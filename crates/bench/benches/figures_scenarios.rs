@@ -1,0 +1,26 @@
+//! Regenerates Figures 2–4 (the three scenarios of the Table 1 example) and
+//! measures the cost of one scenario run (execution + simulation + both
+//! temporal diagrams).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rt_experiments::{run_scenario, Scenario};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Print the three figures once, as the repro binary would.
+    for scenario in [Scenario::One, Scenario::Two, Scenario::Three] {
+        let report = run_scenario(scenario);
+        println!("=== Figure {} ===", report.scenario.figure());
+        println!("{}", report.execution_gantt);
+    }
+    let mut group = c.benchmark_group("figures_scenarios");
+    for scenario in [Scenario::One, Scenario::Two, Scenario::Three] {
+        group.bench_function(format!("figure_{}", scenario.figure()), |b| {
+            b.iter(|| black_box(run_scenario(black_box(scenario))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

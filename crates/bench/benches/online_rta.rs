@@ -1,0 +1,71 @@
+//! The §7 experiment: on-line response-time computation for aperiodic
+//! events. Measures both the end-to-end validation experiment and the raw
+//! cost of the two prediction paths (equations (1)–(4) vs the equation-(5)
+//! slot lookup), which is the complexity argument of the paper's proposal.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt_analysis::{textbook_ps_response_time, InstancePacker, ServerParams};
+use rt_experiments::default_online_rta;
+use rt_model::{Instant, Span};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let report = default_online_rta();
+    println!(
+        "online RTA validation: {}/{} exact matches",
+        report.exact_matches,
+        report.predictions.len()
+    );
+
+    let mut group = c.benchmark_group("online_rta");
+    group.bench_function("validation_experiment", |b| {
+        b.iter(|| black_box(default_online_rta()))
+    });
+
+    let server = ServerParams::new(Span::from_units(4), Span::from_units(6));
+    for queue_len in [8usize, 64, 512] {
+        // Equation (5) through an incremental packer: O(1) per admission.
+        group.bench_with_input(
+            BenchmarkId::new("equation5_incremental", queue_len),
+            &queue_len,
+            |b, &n| {
+                b.iter(|| {
+                    let mut packer = InstancePacker::from_instance(server, 0);
+                    let mut last = Span::ZERO;
+                    for _ in 0..n {
+                        let slot = packer.push(Span::from_units(3));
+                        last = slot.response_time(server, Instant::ZERO);
+                    }
+                    black_box(last)
+                })
+            },
+        );
+        // Equations (1)–(4) with the pending work recomputed per admission:
+        // O(n) per admission, O(n²) for the whole burst.
+        group.bench_with_input(
+            BenchmarkId::new("equations1to4_recompute", queue_len),
+            &queue_len,
+            |b, &n| {
+                b.iter(|| {
+                    let mut pending = Span::ZERO;
+                    let mut last = Span::ZERO;
+                    for _ in 0..n {
+                        pending += Span::from_units(3);
+                        last = textbook_ps_response_time(
+                            server,
+                            Instant::ZERO,
+                            Span::from_units(4),
+                            pending,
+                            Instant::ZERO,
+                        );
+                    }
+                    black_box(last)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

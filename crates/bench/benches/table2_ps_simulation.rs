@@ -1,0 +1,30 @@
+//! Regenerates Table 2 of the paper and measures the cost of doing so.
+//!
+//! The bench body reproduces the full table (six sets × ten systems, seed
+//! 1983); the reproduced rows are printed next to the published values once
+//! at start-up via `rt_bench::print_and_reproduce`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rt_bench::print_and_reproduce;
+use rt_experiments::{reproduce_table, PaperTable, TableConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Print the paper-vs-reproduction comparison once.
+    let _ = print_and_reproduce(PaperTable::Table2PsSimulation);
+    let config = TableConfig::default();
+    let mut group = c.benchmark_group("table2_ps_simulation");
+    group.sample_size(10);
+    group.bench_function("reproduce_full_table", |b| {
+        b.iter(|| black_box(reproduce_table(PaperTable::Table2PsSimulation, black_box(&config))))
+    });
+    // A single set (the densest heterogeneous one) as a finer-grained probe.
+    let quick = TableConfig { systems_per_set: 1, seed: 1983 };
+    group.bench_function("single_system_per_set", |b| {
+        b.iter(|| black_box(reproduce_table(PaperTable::Table2PsSimulation, black_box(&quick))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

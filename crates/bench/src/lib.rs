@@ -1,0 +1,24 @@
+//! # rt-bench — benchmark harness
+//!
+//! Criterion benchmarks that regenerate every table and figure of the paper
+//! (`table2_ps_simulation`, `table3_ps_execution`, `table4_ds_simulation`,
+//! `table5_ds_execution`, `figures_scenarios`, `online_rta`) plus two
+//! ablations (`ablation_queue`: flat FIFO vs list-of-lists admission cost;
+//! `ablation_engine`: simulator vs execution-engine throughput and the effect
+//! of the overhead model). Each table bench prints the reproduced AART / AIR /
+//! ASR rows next to the paper's published values once per run, then measures
+//! the cost of regenerating the table.
+
+#![forbid(unsafe_code)]
+
+use rt_experiments::{reproduce_table, side_by_side, PaperTable, TableConfig};
+
+/// Reproduces a table with the full paper configuration and prints it next to
+/// the published values; returns the reproduced table so benches can keep it
+/// as the measured workload's result.
+pub fn print_and_reproduce(table: PaperTable) -> rt_metrics::ResultTable {
+    let config = TableConfig::default();
+    let reproduced = reproduce_table(table, &config);
+    println!("{}", side_by_side(table, &reproduced));
+    reproduced
+}

@@ -1,0 +1,145 @@
+//! On-line response-time prediction and admission control for aperiodic
+//! events (paper §7).
+//!
+//! "Since the servers have to execute at the highest priority, a response
+//! time computation can reasonably be performed on-line at the arrival time
+//! of the event." Two predictions are provided:
+//!
+//! * [`predicted_response`] — equation (5) applied to the slot the queue
+//!   structure assigned to a pending event (constant-time when the server
+//!   uses the list-of-lists queue);
+//! * [`textbook_prediction`] — equations (1)–(4) for the textbook polling
+//!   server, useful to compare the implementation's prediction against the
+//!   theoretical one.
+//!
+//! [`AdmissionController`] turns the prediction into an accept/reject
+//! decision against a relative deadline — the paper's suggestion that the
+//! constant-time computation "permits … possibly to cancel its execution".
+
+use crate::state::ServerShared;
+use rt_analysis::{textbook_ps_response_time, ServerParams};
+use rt_model::{EventId, Instant, Span};
+
+/// Equation (5) prediction for a *pending* event, using the slot stored by
+/// the list-of-lists queue. Returns `None` when the event is not pending or
+/// when the server uses the flat FIFO queue (which stores no slots).
+pub fn predicted_response(server: &ServerShared, event: EventId) -> Option<Span> {
+    let slot = server.queue.predicted_slot(event)?;
+    let release = server.queue.iter().find(|r| r.event == event)?.release;
+    let params = ServerParams::new(server.params.capacity, server.params.period);
+    Some(slot.response_time(params, release))
+}
+
+/// Equations (1)–(4) prediction for a hypothetical event of cost `cost`
+/// arriving now, given the server's current remaining capacity and the total
+/// pending work ahead of it.
+pub fn textbook_prediction(server: &ServerShared, now: Instant, cost: Span) -> Span {
+    let params = ServerParams::new(server.params.capacity, server.params.period);
+    let pending_ahead: Span = server.queue.iter().map(|r| r.declared_cost()).sum();
+    textbook_ps_response_time(params, now, server.remaining, pending_ahead + cost, now)
+}
+
+/// Accept/reject decision for incoming aperiodic events based on their
+/// predicted response time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionController {
+    /// Maximum acceptable response time; events predicted to exceed it are
+    /// rejected.
+    pub max_response: Span,
+}
+
+impl AdmissionController {
+    /// Creates a controller with the given response-time ceiling.
+    pub fn new(max_response: Span) -> Self {
+        AdmissionController { max_response }
+    }
+
+    /// Decides whether an event of the given cost arriving now should be
+    /// admitted, using the textbook prediction (which does not require the
+    /// event to be queued first).
+    pub fn admit(&self, server: &ServerShared, now: Instant, cost: Span) -> bool {
+        textbook_prediction(server, now, cost) <= self.max_response
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::{QueuedRelease, ServableHandler};
+    use crate::queue::QueueKind;
+    use crate::state::ServerShared;
+    use rt_model::{HandlerId, Priority, ServerPolicyKind};
+    use rtsj_emu::{OverheadModel, TaskServerParameters};
+
+    fn server(queue: QueueKind) -> crate::state::SharedServer {
+        ServerShared::new(
+            TaskServerParameters::new(Span::from_units(4), Span::from_units(6), Priority::new(30)),
+            ServerPolicyKind::Polling,
+            OverheadModel::none(),
+            queue,
+        )
+    }
+
+    fn release(id: u32, cost: u64, at: u64) -> QueuedRelease {
+        QueuedRelease::new(
+            EventId::new(id),
+            ServableHandler::new(HandlerId::new(id), format!("h{id}"), Span::from_units(cost)),
+            Instant::from_units(at),
+        )
+    }
+
+    #[test]
+    fn predicted_response_uses_the_stored_slot() {
+        let shared = server(QueueKind::ListOfLists);
+        {
+            let mut s = shared.borrow_mut();
+            s.remaining = Span::from_units(1);
+            // Released at t=2; remaining capacity 1 cannot hold cost 2, so the
+            // slot is instance 1 (starting at 6): response = 6 + 0 + 2 − 2 = 6.
+            s.released(release(0, 2, 2), Instant::from_units(2));
+        }
+        let s = shared.borrow();
+        assert_eq!(predicted_response(&s, EventId::new(0)), Some(Span::from_units(6)));
+        assert_eq!(predicted_response(&s, EventId::new(9)), None);
+    }
+
+    #[test]
+    fn fifo_queue_stores_no_slots() {
+        let shared = server(QueueKind::Fifo);
+        shared.borrow_mut().released(release(0, 2, 2), Instant::from_units(2));
+        assert_eq!(predicted_response(&shared.borrow(), EventId::new(0)), None);
+    }
+
+    #[test]
+    fn textbook_prediction_counts_the_queue_ahead() {
+        let shared = server(QueueKind::Fifo);
+        {
+            let mut s = shared.borrow_mut();
+            s.released(release(0, 3, 0), Instant::ZERO);
+        }
+        let s = shared.borrow();
+        // Pending work 3 + new cost 2 = 5 > remaining 4: spills into the next
+        // instance.
+        let prediction = textbook_prediction(&s, Instant::ZERO, Span::from_units(2));
+        assert!(prediction > Span::from_units(4));
+        // Without the queue the same event fits immediately.
+        let empty = server(QueueKind::Fifo);
+        let fast = textbook_prediction(&empty.borrow(), Instant::ZERO, Span::from_units(2));
+        assert_eq!(fast, Span::from_units(2));
+    }
+
+    #[test]
+    fn admission_controller_rejects_slow_predictions() {
+        let shared = server(QueueKind::Fifo);
+        {
+            let mut s = shared.borrow_mut();
+            s.released(release(0, 4, 0), Instant::ZERO);
+            s.released(release(1, 4, 0), Instant::ZERO);
+        }
+        let controller = AdmissionController::new(Span::from_units(5));
+        let s = shared.borrow();
+        assert!(!controller.admit(&s, Instant::ZERO, Span::from_units(3)));
+        let empty = server(QueueKind::Fifo);
+        assert!(controller.admit(&empty.borrow(), Instant::ZERO, Span::from_units(3)));
+    }
+}

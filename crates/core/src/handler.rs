@@ -1,0 +1,97 @@
+//! Servable handlers: the framework's `ServableAsyncEventHandler` (SAEH).
+//!
+//! A servable handler "embodies the code which can be associated with an SAE"
+//! (paper §3). In the emulation the *code* is characterised by its processor
+//! demand: the cost declared to the server (used for admission and budget
+//! decisions) and the cost it actually needs (which may be larger — that is
+//! Scenario 3 and one of the two causes of interruptions the paper lists).
+
+use rt_model::{EventId, HandlerId, Instant, Span};
+
+/// A servable asynchronous event handler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServableHandler {
+    /// Handler identifier.
+    pub id: HandlerId,
+    /// Human-readable name ("h1").
+    pub name: String,
+    /// Cost declared to the task server.
+    pub declared_cost: Span,
+    /// Processor time the handler really needs.
+    pub actual_cost: Span,
+}
+
+impl ServableHandler {
+    /// Creates a handler whose declared and actual costs agree.
+    pub fn new(id: HandlerId, name: impl Into<String>, cost: Span) -> Self {
+        ServableHandler { id, name: name.into(), declared_cost: cost, actual_cost: cost }
+    }
+
+    /// Declares a cost different from the real demand.
+    pub fn with_declared_cost(mut self, declared: Span) -> Self {
+        self.declared_cost = declared;
+        self
+    }
+
+    /// True when the handler will overrun its declaration.
+    pub fn underdeclared(&self) -> bool {
+        self.actual_cost > self.declared_cost
+    }
+}
+
+/// One pending release of a servable handler, queued inside a task server.
+///
+/// The paper binds each SAEH to a unique server and adds it to "the
+/// pending-events list of this server" when one of its events fires; this is
+/// that list's element type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuedRelease {
+    /// The event occurrence that fired.
+    pub event: EventId,
+    /// The handler to execute.
+    pub handler: ServableHandler,
+    /// Fire instant (the release time used for response-time measurements).
+    pub release: Instant,
+}
+
+impl QueuedRelease {
+    /// Creates a queued release.
+    pub fn new(event: EventId, handler: ServableHandler, release: Instant) -> Self {
+        QueuedRelease { event, handler, release }
+    }
+
+    /// Cost declared to the server.
+    pub fn declared_cost(&self) -> Span {
+        self.handler.declared_cost
+    }
+
+    /// Real processor demand of the handler.
+    pub fn actual_cost(&self) -> Span {
+        self.handler.actual_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handler_costs_and_underdeclaration() {
+        let h = ServableHandler::new(HandlerId::new(1), "h1", Span::from_units(2));
+        assert_eq!(h.declared_cost, Span::from_units(2));
+        assert_eq!(h.actual_cost, Span::from_units(2));
+        assert!(!h.underdeclared());
+        let h = h.with_declared_cost(Span::from_units(1));
+        assert!(h.underdeclared());
+    }
+
+    #[test]
+    fn queued_release_exposes_costs() {
+        let h = ServableHandler::new(HandlerId::new(1), "h1", Span::from_units(3));
+        let q = QueuedRelease::new(EventId::new(7), h, Instant::from_units(4));
+        assert_eq!(q.declared_cost(), Span::from_units(3));
+        assert_eq!(q.actual_cost(), Span::from_units(3));
+        assert_eq!(q.release, Instant::from_units(4));
+        assert_eq!(q.event, EventId::new(7));
+    }
+}

@@ -1,0 +1,167 @@
+//! # rt-taskserver — the Task Server Framework
+//!
+//! Rust implementation of the paper's primary contribution: an RTSJ extension
+//! for designing real-time event-based applications with aperiodic task
+//! servers. It provides the classes of the paper's Figure 1 —
+//! [`ServableAsyncEvent`], [`ServableHandler`] (the SAEH), the abstract
+//! [`TaskServer`] with its [`PollingTaskServer`] and [`DeferrableTaskServer`]
+//! policies plus a [`BackgroundServer`] baseline, and
+//! [`rtsj_emu::TaskServerParameters`] — together with:
+//!
+//! * the pending-event queues of §4/§7 ([`queue::PendingQueue`], flat FIFO or
+//!   list-of-lists);
+//! * the policy-independent service loop with `Timed` budget enforcement and
+//!   overhead accounting ([`serve::ServiceLoop`]);
+//! * on-line response-time prediction and admission control
+//!   ([`admission`]);
+//! * a runner that executes a complete [`rt_model::SystemSpec`] on the
+//!   virtual-time RTSJ engine ([`system::execute`]) — the "execution" side of
+//!   the paper's evaluation.
+//!
+//! ## Implementation constraints (paper §4)
+//!
+//! Handlers are not resumable: a handler is only dispatched when its whole
+//! declared cost fits in the budget its policy grants, and it is
+//! asynchronously interrupted (and counted in the AIR metric) when its actual
+//! demand — plus the dispatch/enforcement overheads charged inside the budget
+//! — exceeds that budget. The server must be the highest-priority task of the
+//! system; `rt_model::SystemSpec::validate` enforces it.
+//!
+//! ```
+//! use rt_model::{Instant, Priority, ServerPolicyKind, ServerSpec, Span, SystemSpec};
+//! use rt_taskserver::{execute, ExecutionConfig};
+//!
+//! // The paper's Table 1 example with e1 fired at t=0.
+//! let mut b = SystemSpec::builder("quickstart");
+//! b.server(ServerSpec::polling(Span::from_units(3), Span::from_units(6), Priority::new(30)));
+//! b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
+//! b.periodic("tau2", Span::from_units(1), Span::from_units(6), Priority::new(10));
+//! b.aperiodic(Instant::from_units(0), Span::from_units(2));
+//! b.horizon_server_periods(10);
+//! let spec = b.build().unwrap();
+//!
+//! let trace = execute(&spec, &ExecutionConfig::ideal());
+//! assert_eq!(trace.outcomes[0].response_time(), Some(Span::from_units(2)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod deferrable;
+pub mod framework;
+pub mod handler;
+pub mod polling;
+pub mod queue;
+pub mod serve;
+pub mod state;
+pub mod system;
+
+pub use admission::{predicted_response, textbook_prediction, AdmissionController};
+pub use deferrable::EventDrivenServerBody;
+pub use framework::{
+    AnyTaskServer, BackgroundServer, DeferrableTaskServer, PollingTaskServer, ServableAsyncEvent,
+    TaskServer,
+};
+pub use handler::{QueuedRelease, ServableHandler};
+pub use polling::PollingServerBody;
+pub use queue::{PendingQueue, QueueKind};
+pub use rtsj_emu::TaskServerParameters;
+pub use serve::{ServeStep, ServiceLoop};
+pub use state::{GrantedService, ServerShared, SharedServer};
+pub use system::{execute, ExecutionConfig};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rt_model::{Instant, Priority, ServerPolicyKind, ServerSpec, Span, SystemSpec, Trace};
+    use rtsj_emu::OverheadModel;
+
+    fn spec_strategy() -> impl Strategy<Value = SystemSpec> {
+        (
+            2u64..=4,
+            prop_oneof![
+                Just(ServerPolicyKind::Polling),
+                Just(ServerPolicyKind::Deferrable)
+            ],
+            proptest::collection::vec((0u64..55, 1u64..=2), 0..12),
+        )
+            .prop_map(|(capacity, policy, events)| {
+                let mut b = SystemSpec::builder("prop-exec");
+                b.server(ServerSpec {
+                    policy,
+                    capacity: Span::from_units(capacity),
+                    period: Span::from_units(6),
+                    priority: Priority::new(30),
+                });
+                b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
+                b.periodic("tau2", Span::from_units(1), Span::from_units(6), Priority::new(10));
+                for (release, cost) in events {
+                    b.aperiodic(Instant::from_units(release), Span::from_units(cost.min(capacity)));
+                }
+                b.horizon_server_periods(10);
+                b.build().unwrap()
+            })
+    }
+
+    fn served(trace: &Trace) -> usize {
+        trace.outcomes.iter().filter(|o| o.is_served()).count()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Executions always produce well-formed traces with one outcome per
+        /// released event.
+        #[test]
+        fn executions_are_well_formed(spec in spec_strategy()) {
+            let trace = execute(&spec, &ExecutionConfig::reference());
+            prop_assert!(trace.check_invariants().is_ok());
+            prop_assert_eq!(trace.outcomes.len(), spec.aperiodics.len());
+        }
+
+        /// With no overheads and no underdeclared handlers, nothing is ever
+        /// interrupted.
+        #[test]
+        fn ideal_executions_never_interrupt(spec in spec_strategy()) {
+            let trace = execute(&spec, &ExecutionConfig::ideal());
+            prop_assert!(trace.outcomes.iter().all(|o| !o.is_interrupted()));
+        }
+
+        /// Adding runtime overhead can only reduce the number of served
+        /// events.
+        #[test]
+        fn overhead_never_helps(spec in spec_strategy()) {
+            let ideal = execute(&spec, &ExecutionConfig::ideal());
+            let heavy = execute(
+                &spec,
+                &ExecutionConfig::ideal()
+                    .with_overhead(OverheadModel::reference().scaled(4)),
+            );
+            prop_assert!(served(&heavy) <= served(&ideal));
+        }
+
+        /// The queue structure (flat FIFO vs list of lists) does not change
+        /// the service outcomes, only the admission-time prediction cost.
+        #[test]
+        fn queue_structure_does_not_change_outcomes(spec in spec_strategy()) {
+            let fifo = execute(&spec, &ExecutionConfig::reference().with_queue(QueueKind::Fifo));
+            let lol = execute(
+                &spec,
+                &ExecutionConfig::reference().with_queue(QueueKind::ListOfLists),
+            );
+            prop_assert_eq!(fifo.outcomes, lol.outcomes);
+        }
+
+        /// The periodic tasks keep their deadlines whenever the server's
+        /// capacity keeps the total utilisation within 1 on the harmonic
+        /// Table 1 set (capacity ≤ 3) and the runtime is ideal.
+        #[test]
+        fn periodic_tasks_are_protected_in_ideal_executions(spec in spec_strategy()) {
+            prop_assume!(spec.server.as_ref().unwrap().capacity <= Span::from_units(3));
+            let trace = execute(&spec, &ExecutionConfig::ideal());
+            prop_assert!(trace.all_periodic_deadlines_met());
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! The policy-independent service loop of a task server.
+//!
+//! Whatever the activation policy (periodic polling, event-driven deferrable
+//! servicing, background servicing), once a server decides to serve its
+//! pending queue the sequence is the same and mirrors the paper's
+//! implementation (§4):
+//!
+//! 1. `chooseNextEvent()` — pick the first pending handler whose declared
+//!    cost fits in the budget the policy grants it;
+//! 2. pay the dispatch overhead (queue manipulation, setting up the `Timed`
+//!    interruptible section);
+//! 3. run the handler inside `Timed.doInterruptible` with the granted budget
+//!    minus the runtime overheads — if the handler's real demand does not
+//!    fit, it is asynchronously interrupted;
+//! 4. pay the enforcement overhead, debit the capacity, record the outcome;
+//! 5. loop back to 1 until nothing is servable.
+//!
+//! [`ServiceLoop`] implements steps 2–5 as a small state machine driven by
+//! the engine completions; the concrete server bodies own step 1's activation
+//! policy and what to do when the loop goes idle.
+
+use crate::state::{GrantedService, SharedServer};
+use rt_model::{ExecUnit, Instant, Span};
+use rtsj_emu::{Action, BodyCtx, Completion};
+
+/// Where the service loop currently is.
+#[derive(Debug, Clone)]
+enum Phase {
+    /// Nothing in flight.
+    Idle,
+    /// Paying the dispatch overhead before running `service`.
+    Dispatching { service: GrantedService },
+    /// The handler is running under its budget.
+    Working { service: GrantedService, started: Instant },
+    /// Paying the enforcement overhead after the handler finished or was
+    /// interrupted.
+    Enforcing {
+        service: GrantedService,
+        started: Instant,
+        finished: Instant,
+        interrupted: bool,
+    },
+}
+
+/// Outcome of feeding a completion to the service loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeStep {
+    /// The loop wants the engine to perform this action next.
+    Continue(Action),
+    /// Nothing is servable right now; the body should apply its policy's
+    /// idle behaviour (wait for the next period, wait for the wake-up event).
+    Idle,
+}
+
+/// The dispatch → work → enforce → record loop shared by every server policy.
+#[derive(Debug)]
+pub struct ServiceLoop {
+    shared: SharedServer,
+    phase: Phase,
+}
+
+impl ServiceLoop {
+    /// Creates an idle loop over the given shared server state.
+    pub fn new(shared: SharedServer) -> Self {
+        ServiceLoop { shared, phase: Phase::Idle }
+    }
+
+    /// Access to the shared server state.
+    pub fn shared(&self) -> &SharedServer {
+        &self.shared
+    }
+
+    /// Tries to start serving the next pending release at `now`.
+    pub fn try_dispatch(&mut self, now: Instant) -> ServeStep {
+        let (chosen, dispatch) = {
+            let mut shared = self.shared.borrow_mut();
+            let dispatch = shared.overhead.dispatch;
+            (shared.choose_next(now), dispatch)
+        };
+        match chosen {
+            None => {
+                self.phase = Phase::Idle;
+                ServeStep::Idle
+            }
+            Some(service) => {
+                if dispatch.is_zero() {
+                    ServeStep::Continue(self.begin_work(service, now))
+                } else {
+                    self.phase = Phase::Dispatching { service };
+                    ServeStep::Continue(Action::Compute {
+                        amount: dispatch,
+                        unit: ExecUnit::ServerOverhead,
+                    })
+                }
+            }
+        }
+    }
+
+    fn begin_work(&mut self, service: GrantedService, now: Instant) -> Action {
+        let (work_budget, amount, unit) = {
+            let shared = self.shared.borrow();
+            let overhead = shared.overhead;
+            let budget = service
+                .granted
+                .saturating_sub(overhead.dispatch)
+                .saturating_sub(overhead.enforcement);
+            (
+                budget,
+                service.release.actual_cost(),
+                ExecUnit::Handler(service.release.event),
+            )
+        };
+        self.phase = Phase::Working { service, started: now };
+        Action::ComputeInterruptible { amount, budget: work_budget, unit }
+    }
+
+    /// Feeds the completion of the loop's previous action and returns what to
+    /// do next.
+    ///
+    /// # Panics
+    /// Panics if called while the loop is idle (the body must route
+    /// activation completions to [`Self::try_dispatch`] instead).
+    pub fn on_completion(&mut self, ctx: &mut BodyCtx, completion: Completion) -> ServeStep {
+        let phase = std::mem::replace(&mut self.phase, Phase::Idle);
+        match phase {
+            Phase::Idle => panic!("service loop received a completion while idle: {completion:?}"),
+            Phase::Dispatching { service } => {
+                debug_assert!(!completion.was_interrupted());
+                let dispatch = self.shared.borrow().overhead.dispatch;
+                self.shared.borrow_mut().consume(dispatch);
+                ServeStep::Continue(self.begin_work(service, ctx.now()))
+            }
+            Phase::Working { service, started } => {
+                let consumed = completion.consumed();
+                self.shared.borrow_mut().consume(consumed);
+                let interrupted = completion.was_interrupted();
+                let finished = ctx.now();
+                let enforcement = self.shared.borrow().overhead.enforcement;
+                if enforcement.is_zero() {
+                    self.record(&service, started, finished, interrupted);
+                    self.try_dispatch(ctx.now())
+                } else {
+                    self.phase = Phase::Enforcing { service, started, finished, interrupted };
+                    ServeStep::Continue(Action::Compute {
+                        amount: enforcement,
+                        unit: ExecUnit::ServerOverhead,
+                    })
+                }
+            }
+            Phase::Enforcing { service, started, finished, interrupted } => {
+                let enforcement = self.shared.borrow().overhead.enforcement;
+                self.shared.borrow_mut().consume(enforcement);
+                self.record(&service, started, finished, interrupted);
+                self.try_dispatch(ctx.now())
+            }
+        }
+    }
+
+    fn record(
+        &mut self,
+        service: &GrantedService,
+        started: Instant,
+        finished: Instant,
+        interrupted: bool,
+    ) {
+        let mut shared = self.shared.borrow_mut();
+        if interrupted {
+            shared.record_interrupted(&service.release, started, finished);
+        } else {
+            shared.record_served(&service.release, started, finished);
+        }
+    }
+
+    /// True when a service is in flight (used by tests).
+    pub fn is_busy(&self) -> bool {
+        !matches!(self.phase, Phase::Idle)
+    }
+
+    /// Total overhead charged per dispatched handler under the current model.
+    pub fn per_dispatch_overhead(&self) -> Span {
+        self.shared.borrow().overhead.per_dispatch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::{QueuedRelease, ServableHandler};
+    use crate::queue::QueueKind;
+    use crate::state::ServerShared;
+    use rt_model::{EventId, HandlerId, Priority, ServerPolicyKind};
+    use rtsj_emu::{OverheadModel, TaskServerParameters};
+
+    fn shared(overhead: OverheadModel) -> SharedServer {
+        ServerShared::new(
+            TaskServerParameters::new(Span::from_units(4), Span::from_units(6), Priority::new(30)),
+            ServerPolicyKind::Polling,
+            overhead,
+            QueueKind::Fifo,
+        )
+    }
+
+    fn push(server: &SharedServer, id: u32, cost: u64, at: u64) {
+        let release = QueuedRelease::new(
+            EventId::new(id),
+            ServableHandler::new(HandlerId::new(id), format!("h{id}"), Span::from_units(cost)),
+            Instant::from_units(at),
+        );
+        let now = Instant::from_units(at);
+        server.borrow_mut().released(release, now);
+    }
+
+    #[test]
+    fn idle_when_nothing_is_pending() {
+        let mut service = ServiceLoop::new(shared(OverheadModel::none()));
+        assert_eq!(service.try_dispatch(Instant::ZERO), ServeStep::Idle);
+        assert!(!service.is_busy());
+    }
+
+    #[test]
+    fn zero_overhead_dispatch_goes_straight_to_work() {
+        let server = shared(OverheadModel::none());
+        push(&server, 0, 2, 0);
+        let mut service = ServiceLoop::new(server);
+        match service.try_dispatch(Instant::ZERO) {
+            ServeStep::Continue(Action::ComputeInterruptible { amount, budget, unit }) => {
+                assert_eq!(amount, Span::from_units(2));
+                assert_eq!(budget, Span::from_units(4));
+                assert_eq!(unit, ExecUnit::Handler(EventId::new(0)));
+            }
+            other => panic!("expected interruptible work, got {other:?}"),
+        }
+        assert!(service.is_busy());
+        assert_eq!(service.per_dispatch_overhead(), Span::ZERO);
+    }
+
+    #[test]
+    fn dispatch_overhead_precedes_the_work_and_shrinks_the_budget() {
+        let overhead = OverheadModel {
+            timer_fire: Span::ZERO,
+            dispatch: Span::from_ticks(100),
+            enforcement: Span::from_ticks(50),
+        };
+        let server = shared(overhead);
+        push(&server, 0, 2, 0);
+        let mut service = ServiceLoop::new(server.clone());
+        match service.try_dispatch(Instant::ZERO) {
+            ServeStep::Continue(Action::Compute { amount, unit }) => {
+                assert_eq!(amount, Span::from_ticks(100));
+                assert_eq!(unit, ExecUnit::ServerOverhead);
+            }
+            other => panic!("expected dispatch overhead, got {other:?}"),
+        }
+        // Simulate the engine completing the dispatch at t = 0.1.
+        let mut ctx = BodyCtx::new(Instant::from_ticks(100));
+        match service.on_completion(&mut ctx, Completion::Computed { consumed: Span::from_ticks(100) }) {
+            ServeStep::Continue(Action::ComputeInterruptible { budget, .. }) => {
+                // 4 (granted) − 0.1 (dispatch) − 0.05 (enforcement) = 3.85.
+                assert_eq!(budget, Span::from_ticks(3_850));
+            }
+            other => panic!("expected interruptible work, got {other:?}"),
+        }
+        assert_eq!(server.borrow().remaining, Span::from_ticks(3_900));
+    }
+
+    #[test]
+    fn completed_work_is_recorded_and_the_loop_continues() {
+        let server = shared(OverheadModel::none());
+        push(&server, 0, 2, 0);
+        push(&server, 1, 1, 0);
+        let mut service = ServiceLoop::new(server.clone());
+        let _ = service.try_dispatch(Instant::ZERO);
+        let mut ctx = BodyCtx::new(Instant::from_units(2));
+        // First handler completes; the loop immediately dispatches the second.
+        match service.on_completion(&mut ctx, Completion::Computed { consumed: Span::from_units(2) }) {
+            ServeStep::Continue(Action::ComputeInterruptible { amount, budget, .. }) => {
+                assert_eq!(amount, Span::from_units(1));
+                assert_eq!(budget, Span::from_units(2), "capacity shrank by the first service");
+            }
+            other => panic!("expected the second handler, got {other:?}"),
+        }
+        let outcomes = &server.borrow().outcomes;
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].is_served());
+    }
+
+    #[test]
+    fn interrupted_work_is_recorded_as_interrupted() {
+        let server = shared(OverheadModel::none());
+        push(&server, 0, 4, 0);
+        let mut service = ServiceLoop::new(server.clone());
+        server.borrow_mut().remaining = Span::from_units(1);
+        // granted = 1 < cost 4 … nothing servable: Idle.
+        assert_eq!(service.try_dispatch(Instant::ZERO), ServeStep::Idle);
+        // Give it capacity 4 but a handler that overruns its declaration.
+        server.borrow_mut().remaining = Span::from_units(4);
+        let overrun = QueuedRelease::new(
+            EventId::new(9),
+            ServableHandler::new(HandlerId::new(9), "h9", Span::from_units(6))
+                .with_declared_cost(Span::from_units(2)),
+            Instant::ZERO,
+        );
+        server.borrow_mut().released(overrun, Instant::ZERO);
+        // The declared cost (2) fits; but the first pending is still the
+        // cost-4 one, served first.
+        let _ = service.try_dispatch(Instant::ZERO);
+        let mut ctx = BodyCtx::new(Instant::from_units(4));
+        let step = service.on_completion(&mut ctx, Completion::Computed { consumed: Span::from_units(4) });
+        // Capacity is now exhausted: the overrunning handler is not servable.
+        assert_eq!(step, ServeStep::Idle);
+        // Replenish and dispatch it: its work (6) exceeds its budget (4), so
+        // the engine would interrupt; emulate that completion here.
+        server.borrow_mut().replenish(Instant::from_units(6));
+        let _ = service.try_dispatch(Instant::from_units(6));
+        let mut ctx = BodyCtx::new(Instant::from_units(10));
+        let step = service.on_completion(&mut ctx, Completion::Interrupted { consumed: Span::from_units(4) });
+        assert_eq!(step, ServeStep::Idle);
+        let outcomes = &server.borrow().outcomes;
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes[0].is_served());
+        assert!(outcomes[1].is_interrupted());
+    }
+
+    #[test]
+    #[should_panic(expected = "while idle")]
+    fn completions_while_idle_are_a_bug() {
+        let mut service = ServiceLoop::new(shared(OverheadModel::none()));
+        let mut ctx = BodyCtx::new(Instant::ZERO);
+        let _ = service.on_completion(&mut ctx, Completion::Computed { consumed: Span::ZERO });
+    }
+}

@@ -1,0 +1,315 @@
+//! Shared runtime state of a task server.
+//!
+//! The paper's abstract `TaskServer` class owns the pending-events list, the
+//! capacity accounting and the policy-independent bookkeeping; the concrete
+//! `PollingTaskServer` and `DeferrableTaskServer` subclasses add their
+//! activation logic. Here the shared part is [`ServerShared`], owned jointly
+//! (via `Rc<RefCell<…>>`) by the server's schedulable body, the fire hooks of
+//! its servable events and the replenishment timer hook — exactly the
+//! sharing pattern of the RTSJ design, where `fire()` calls
+//! `servableEventReleased()` on the server object.
+
+use crate::handler::QueuedRelease;
+use crate::queue::{PendingQueue, QueueKind};
+use rt_model::{
+    AperiodicFate, AperiodicOutcome, Instant, ServerPolicyKind, Span,
+};
+use rtsj_emu::{OverheadModel, TaskServerParameters};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A chosen release together with the budget granted to its service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrantedService {
+    /// The release to serve.
+    pub release: QueuedRelease,
+    /// Total budget granted (dispatch + handler work + enforcement must fit
+    /// within it).
+    pub granted: Span,
+}
+
+/// Policy-independent runtime state shared between the server body, the
+/// servable-event fire hooks and the replenishment machinery.
+#[derive(Debug)]
+pub struct ServerShared {
+    /// Construction parameters (capacity, period, priority).
+    pub params: TaskServerParameters,
+    /// Service policy.
+    pub policy: ServerPolicyKind,
+    /// Overhead model of the runtime.
+    pub overhead: OverheadModel,
+    /// Capacity remaining in the current replenishment period.
+    pub remaining: Span,
+    /// Next replenishment instant.
+    pub next_replenishment: Instant,
+    /// Pending releases.
+    pub queue: PendingQueue,
+    /// Outcomes recorded so far (served and interrupted events).
+    pub outcomes: Vec<AperiodicOutcome>,
+}
+
+/// Shared handle to a server's state.
+pub type SharedServer = Rc<RefCell<ServerShared>>;
+
+impl ServerShared {
+    /// Creates the state and wraps it for sharing.
+    pub fn new(
+        params: TaskServerParameters,
+        policy: ServerPolicyKind,
+        overhead: OverheadModel,
+        queue_kind: QueueKind,
+    ) -> SharedServer {
+        let queue = PendingQueue::new(queue_kind, params.capacity, params.period);
+        Rc::new(RefCell::new(ServerShared {
+            params,
+            policy,
+            overhead,
+            remaining: params.capacity,
+            next_replenishment: Instant::ZERO + params.period,
+            queue,
+            outcomes: Vec::new(),
+        }))
+    }
+
+    /// Replenishes the capacity to its full value (called at each server
+    /// period — by the periodic thread for the PS, by the replenishment timer
+    /// for the DS).
+    pub fn replenish(&mut self, now: Instant) {
+        self.remaining = self.params.capacity;
+        self.next_replenishment = now + self.params.period;
+    }
+
+    /// Registers a release (the `servableEventReleased` entry point called by
+    /// `ServableAsyncEvent::fire`). The equation-(5) slot predicted by the
+    /// queue structure, when it maintains one, is available afterwards
+    /// through [`PendingQueue::predicted_slot`] or
+    /// [`crate::admission::predicted_response`].
+    pub fn released(&mut self, release: QueuedRelease, now: Instant) {
+        let _ = self.queue.push(release, now, self.remaining);
+    }
+
+    /// Budget the policy would grant to a release chosen at `now`.
+    ///
+    /// * Polling Server: the remaining capacity — the handler must fit
+    ///   entirely in the current instance because it cannot be resumed.
+    /// * Deferrable Server: the remaining capacity, extended by one full
+    ///   capacity when the service would span the next replenishment
+    ///   ("if the current date plus the chosen event cost is bigger than the
+    ///   next period of the server, the time budget associated with the event
+    ///   is equal to the remaining capacity plus the total capacity", §4.2).
+    /// * Background servicing: unlimited.
+    pub fn granted_budget(&self, release: &QueuedRelease, now: Instant) -> Span {
+        match self.policy {
+            ServerPolicyKind::Background => Span::MAX,
+            ServerPolicyKind::Polling => self.remaining,
+            ServerPolicyKind::Deferrable => {
+                // §4.2: the budget is extended by one full capacity when the
+                // service would span the next replenishment ("the current
+                // date plus the chosen event cost is bigger than the next
+                // period") *and* the replenishment arrives before the current
+                // remaining capacity would run out ("if the next refill of
+                // the capacity is in a time lesser than [the remaining
+                // capacity], the event can be served") — otherwise the server
+                // would be running on capacity it does not have yet.
+                let crosses_boundary =
+                    now + release.declared_cost() > self.next_replenishment;
+                let refill_before_exhaustion =
+                    self.next_replenishment - now <= self.remaining;
+                if crosses_boundary && refill_before_exhaustion {
+                    self.remaining + self.params.capacity
+                } else {
+                    self.remaining
+                }
+            }
+        }
+    }
+
+    /// Chooses the next release to serve at `now`, together with its granted
+    /// budget: the first pending release (FIFO order) whose declared cost
+    /// fits in the budget its policy grants it.
+    pub fn choose_next(&mut self, now: Instant) -> Option<GrantedService> {
+        if self.policy == ServerPolicyKind::Background {
+            return self
+                .queue
+                .pop_front()
+                .map(|release| GrantedService { release, granted: Span::MAX });
+        }
+        // Evaluate the per-release budgets without holding a borrow on the
+        // queue, then extract the chosen release.
+        let budgets: Vec<(rt_model::EventId, Span)> = self
+            .queue
+            .iter()
+            .map(|release| (release.event, self.granted_budget(release, now)))
+            .collect();
+        let release = self.queue.choose_where(|release| {
+            budgets
+                .iter()
+                .find(|(event, _)| *event == release.event)
+                .is_some_and(|(_, budget)| release.declared_cost() <= *budget)
+        })?;
+        let granted = self.granted_budget(&release, now);
+        Some(GrantedService { release, granted })
+    }
+
+    /// Consumes capacity (saturating at zero — see the module documentation
+    /// of [`crate::deferrable`] for the boundary-crossing simplification).
+    pub fn consume(&mut self, amount: Span) {
+        if self.policy != ServerPolicyKind::Background {
+            self.remaining = self.remaining.saturating_sub(amount);
+        }
+    }
+
+    /// Records a successfully served event.
+    pub fn record_served(&mut self, release: &QueuedRelease, started: Instant, completed: Instant) {
+        self.outcomes.push(AperiodicOutcome {
+            event: release.event,
+            release: release.release,
+            declared_cost: release.declared_cost(),
+            fate: AperiodicFate::Served { started, completed },
+        });
+    }
+
+    /// Records an event interrupted by budget enforcement.
+    pub fn record_interrupted(
+        &mut self,
+        release: &QueuedRelease,
+        started: Instant,
+        interrupted_at: Instant,
+    ) {
+        self.outcomes.push(AperiodicOutcome {
+            event: release.event,
+            release: release.release,
+            declared_cost: release.declared_cost(),
+            fate: AperiodicFate::Interrupted { started, interrupted_at },
+        });
+    }
+
+    /// Reports everything still pending as unserved (called once the horizon
+    /// is reached) and returns the complete outcome list.
+    pub fn finalise(&mut self) -> Vec<AperiodicOutcome> {
+        for release in self.queue.drain() {
+            self.outcomes.push(AperiodicOutcome {
+                event: release.event,
+                release: release.release,
+                declared_cost: release.declared_cost(),
+                fate: AperiodicFate::Unserved,
+            });
+        }
+        let mut outcomes = std::mem::take(&mut self.outcomes);
+        outcomes.sort_by_key(|o| (o.release, o.event));
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::ServableHandler;
+    use rt_model::{EventId, HandlerId, Priority};
+
+    fn params() -> TaskServerParameters {
+        TaskServerParameters::new(Span::from_units(4), Span::from_units(6), Priority::new(30))
+    }
+
+    fn release(id: u32, cost: u64, at: u64) -> QueuedRelease {
+        QueuedRelease::new(
+            EventId::new(id),
+            ServableHandler::new(HandlerId::new(id), format!("h{id}"), Span::from_units(cost)),
+            Instant::from_units(at),
+        )
+    }
+
+    fn shared(policy: ServerPolicyKind) -> SharedServer {
+        ServerShared::new(params(), policy, OverheadModel::none(), QueueKind::Fifo)
+    }
+
+    #[test]
+    fn polling_budget_is_the_remaining_capacity() {
+        let server = shared(ServerPolicyKind::Polling);
+        let mut s = server.borrow_mut();
+        s.remaining = Span::from_units(2);
+        let r = release(0, 3, 0);
+        assert_eq!(s.granted_budget(&r, Instant::from_units(1)), Span::from_units(2));
+    }
+
+    #[test]
+    fn deferrable_budget_extends_across_the_boundary() {
+        let server = shared(ServerPolicyKind::Deferrable);
+        let mut s = server.borrow_mut();
+        s.remaining = Span::from_units(1);
+        s.next_replenishment = Instant::from_units(6);
+        let r = release(0, 2, 5);
+        // Serving cost 2 from t=5 crosses the boundary at 6: the budget is
+        // extended by the full capacity.
+        assert_eq!(s.granted_budget(&r, Instant::from_units(5)), Span::from_units(5));
+        // Served well before the boundary, no extension applies.
+        assert_eq!(s.granted_budget(&r, Instant::from_units(1)), Span::from_units(1));
+    }
+
+    #[test]
+    fn choose_next_applies_the_policy_budgets() {
+        let server = shared(ServerPolicyKind::Deferrable);
+        let mut s = server.borrow_mut();
+        s.remaining = Span::from_units(1);
+        s.next_replenishment = Instant::from_units(6);
+        s.released(release(0, 2, 5), Instant::from_units(5));
+        // At t=5 the boundary rule grants 1 + 4 = 5 ≥ 2: chosen.
+        let granted = s.choose_next(Instant::from_units(5)).unwrap();
+        assert_eq!(granted.release.event, EventId::new(0));
+        assert_eq!(granted.granted, Span::from_units(5));
+        // Same state but analysed at t=1: nothing is servable.
+        s.released(release(1, 2, 0), Instant::from_units(0));
+        assert!(s.choose_next(Instant::from_units(1)).is_none());
+    }
+
+    #[test]
+    fn polling_choose_skips_oversized_releases() {
+        let server = shared(ServerPolicyKind::Polling);
+        let mut s = server.borrow_mut();
+        s.remaining = Span::from_units(2);
+        s.released(release(0, 3, 0), Instant::ZERO);
+        s.released(release(1, 1, 1), Instant::ZERO);
+        let granted = s.choose_next(Instant::from_units(6)).unwrap();
+        assert_eq!(granted.release.event, EventId::new(1), "the later, smaller release skips ahead");
+    }
+
+    #[test]
+    fn background_serves_fifo_without_budget() {
+        let server = shared(ServerPolicyKind::Background);
+        let mut s = server.borrow_mut();
+        s.released(release(0, 50, 0), Instant::ZERO);
+        let granted = s.choose_next(Instant::ZERO).unwrap();
+        assert_eq!(granted.granted, Span::MAX);
+        s.consume(Span::from_units(50));
+        assert_eq!(s.remaining, params().capacity, "background consumes no capacity");
+    }
+
+    #[test]
+    fn consume_and_replenish() {
+        let server = shared(ServerPolicyKind::Polling);
+        let mut s = server.borrow_mut();
+        s.consume(Span::from_units(3));
+        assert_eq!(s.remaining, Span::from_units(1));
+        s.consume(Span::from_units(5));
+        assert_eq!(s.remaining, Span::ZERO);
+        s.replenish(Instant::from_units(6));
+        assert_eq!(s.remaining, Span::from_units(4));
+        assert_eq!(s.next_replenishment, Instant::from_units(12));
+    }
+
+    #[test]
+    fn finalise_reports_unserved_and_sorts_outcomes() {
+        let server = shared(ServerPolicyKind::Polling);
+        let mut s = server.borrow_mut();
+        let first = release(0, 2, 0);
+        let second = release(1, 2, 3);
+        s.released(second.clone(), Instant::from_units(3));
+        s.record_served(&first, Instant::from_units(6), Instant::from_units(8));
+        let outcomes = s.finalise();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].event, EventId::new(0));
+        assert!(outcomes[0].is_served());
+        assert_eq!(outcomes[1].fate, AperiodicFate::Unserved);
+        assert!(s.queue.is_empty());
+    }
+}

@@ -1,0 +1,351 @@
+//! Executing a complete [`SystemSpec`] on the RTSJ emulation engine.
+//!
+//! This is the "execution" side of the paper's methodology: the same system
+//! descriptions that `rtss-sim` replays under the idealised policies are
+//! instantiated here as a real task-server application — periodic real-time
+//! threads for the periodic tasks, an installed task server, one servable
+//! asynchronous event (fired by a one-shot timer) per aperiodic occurrence —
+//! and run on the virtual-time engine with its overhead model. The result is
+//! the same [`Trace`] type the simulator produces, so the metrics crate
+//! treats executions and simulations identically.
+
+use crate::framework::{AnyTaskServer, ServableAsyncEvent, TaskServer};
+use crate::handler::ServableHandler;
+use crate::queue::QueueKind;
+use rt_model::{
+    AperiodicFate, AperiodicOutcome, ExecUnit, Instant, PeriodicJobRecord, PeriodicTask, Span,
+    SystemSpec, Trace,
+};
+use rtsj_emu::{Engine, EngineConfig, OverheadModel, PeriodicThreadBody};
+
+/// Configuration of an execution run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutionConfig {
+    /// Runtime overhead model.
+    pub overhead: OverheadModel,
+    /// Pending-queue structure used by the server.
+    pub queue: QueueKind,
+}
+
+impl ExecutionConfig {
+    /// The configuration used for the paper's tables: reference overheads and
+    /// the flat FIFO queue of the base implementation.
+    pub fn reference() -> Self {
+        ExecutionConfig { overhead: OverheadModel::reference(), queue: QueueKind::Fifo }
+    }
+
+    /// An idealised configuration (no overhead): used for the scenario
+    /// figures and for differential tests against the simulator.
+    pub fn ideal() -> Self {
+        ExecutionConfig { overhead: OverheadModel::none(), queue: QueueKind::Fifo }
+    }
+
+    /// Replaces the queue structure.
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Replaces the overhead model.
+    pub fn with_overhead(mut self, overhead: OverheadModel) -> Self {
+        self.overhead = overhead;
+        self
+    }
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+/// Executes the system on the emulation engine and returns its trace.
+///
+/// # Panics
+/// Panics when the specification fails validation.
+pub fn execute(spec: &SystemSpec, config: &ExecutionConfig) -> Trace {
+    spec.validate().expect("execute() requires a valid system specification");
+    let mut engine =
+        Engine::new(EngineConfig::new(spec.horizon).with_overhead(config.overhead));
+
+    // The task server, when the system has one.
+    let server = spec
+        .server
+        .as_ref()
+        .map(|server_spec| AnyTaskServer::install(&mut engine, server_spec, config.queue));
+
+    // The periodic tasks, as periodic real-time threads.
+    for task in &spec.periodic_tasks {
+        engine.spawn_periodic(
+            task.name.clone(),
+            task.priority,
+            Instant::ZERO + task.offset,
+            task.period,
+            Box::new(PeriodicThreadBody::new(task.cost, ExecUnit::Task(task.id))),
+        );
+    }
+
+    // One servable async event + firing timer per aperiodic occurrence.
+    if let Some(server) = &server {
+        for event in &spec.aperiodics {
+            if event.release >= spec.horizon {
+                continue;
+            }
+            let handler = ServableHandler {
+                id: event.handler,
+                name: event.name.clone(),
+                declared_cost: event.declared_cost,
+                actual_cost: event.actual_cost,
+            };
+            let sae = ServableAsyncEvent::create(&mut engine, event.id, handler, server);
+            sae.schedule_fire(&mut engine, event.release);
+        }
+    }
+
+    let mut trace = engine.run();
+
+    // Attach the aperiodic outcomes recorded by the server, completing them
+    // with `Unserved` for any released event with no recorded fate (e.g. the
+    // one being served when the horizon was reached).
+    if let Some(server) = &server {
+        let mut outcomes = server.shared().borrow_mut().finalise();
+        for event in &spec.aperiodics {
+            if event.release >= spec.horizon {
+                continue;
+            }
+            if !outcomes.iter().any(|o| o.event == event.id) {
+                outcomes.push(AperiodicOutcome {
+                    event: event.id,
+                    release: event.release,
+                    declared_cost: event.declared_cost,
+                    fate: AperiodicFate::Unserved,
+                });
+            }
+        }
+        outcomes.sort_by_key(|o| (o.release, o.event));
+        trace.outcomes = outcomes;
+    }
+
+    // Reconstruct per-job completion records for the periodic tasks from
+    // their execution segments.
+    for task in &spec.periodic_tasks {
+        for record in reconstruct_periodic_records(&trace, task, spec.horizon) {
+            trace.periodic_jobs.push(record);
+        }
+    }
+
+    debug_assert!(trace.check_invariants().is_ok());
+    trace
+}
+
+/// Rebuilds the periodic job records of one task from its trace segments:
+/// the k-th job completes when the task has accumulated `(k+1) · cost` of
+/// processor time.
+fn reconstruct_periodic_records(
+    trace: &Trace,
+    task: &PeriodicTask,
+    horizon: Instant,
+) -> Vec<PeriodicJobRecord> {
+    let segments: Vec<(Instant, Instant)> = trace
+        .segments_of(ExecUnit::Task(task.id))
+        .map(|s| (s.start, s.end))
+        .collect();
+    let mut records = Vec::new();
+    let mut segment_index = 0usize;
+    // Processor time of the current segment already attributed to earlier jobs.
+    let mut consumed_in_segment = Span::ZERO;
+    let mut activation = 0u64;
+    loop {
+        let release = task.release_of(activation);
+        if release >= horizon {
+            break;
+        }
+        let mut needed = task.cost;
+        let mut completed = None;
+        while !needed.is_zero() {
+            let Some(&(start, end)) = segments.get(segment_index) else { break };
+            let available = (end - start) - consumed_in_segment;
+            if available <= needed {
+                needed -= available;
+                segment_index += 1;
+                consumed_in_segment = Span::ZERO;
+                if needed.is_zero() {
+                    completed = Some(end);
+                }
+            } else {
+                consumed_in_segment += needed;
+                completed = Some(start + consumed_in_segment);
+                needed = Span::ZERO;
+            }
+        }
+        records.push(PeriodicJobRecord {
+            task: task.id,
+            activation,
+            release,
+            deadline: task.deadline_of(activation),
+            completed,
+        });
+        activation += 1;
+        if completed.is_none() {
+            // Later jobs cannot have completed either: record them as
+            // incomplete and stop.
+            while task.release_of(activation) < horizon {
+                records.push(PeriodicJobRecord {
+                    task: task.id,
+                    activation,
+                    release: task.release_of(activation),
+                    deadline: task.deadline_of(activation),
+                    completed: None,
+                });
+                activation += 1;
+            }
+            break;
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_model::{Priority, ServerPolicyKind, ServerSpec, SystemSpec};
+
+    fn table1(policy: ServerPolicyKind, capacity: u64, events: &[(u64, u64)]) -> SystemSpec {
+        let mut b = SystemSpec::builder("table-1");
+        b.server(ServerSpec {
+            policy,
+            capacity: Span::from_units(capacity),
+            period: Span::from_units(6),
+            priority: Priority::new(30),
+        });
+        b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
+        b.periodic("tau2", Span::from_units(1), Span::from_units(6), Priority::new(10));
+        for &(release, cost) in events {
+            b.aperiodic(Instant::from_units(release), Span::from_units(cost));
+        }
+        b.horizon_server_periods(10);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn execution_produces_outcomes_for_every_released_event() {
+        let spec = table1(ServerPolicyKind::Polling, 3, &[(0, 2), (6, 2), (40, 3)]);
+        let trace = execute(&spec, &ExecutionConfig::ideal());
+        assert_eq!(trace.outcomes.len(), 3);
+        assert!(trace.outcomes.iter().all(|o| o.is_served()));
+        assert!(trace.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn execution_matches_simulation_for_scenario_1() {
+        // When every handler fits in the capacity at its activation, the
+        // implementation and the textbook policy coincide; compare against
+        // the simulator.
+        let spec = table1(ServerPolicyKind::Polling, 3, &[(0, 2), (6, 2)]);
+        let executed = execute(&spec, &ExecutionConfig::ideal());
+        let simulated = rtss_sim_simulate(&spec);
+        let exec_responses: Vec<_> =
+            executed.outcomes.iter().map(|o| o.response_time()).collect();
+        let sim_responses: Vec<_> =
+            simulated.outcomes.iter().map(|o| o.response_time()).collect();
+        assert_eq!(exec_responses, sim_responses);
+    }
+
+    /// Minimal local re-implementation shim so this crate's tests do not
+    /// depend on `rtss-sim` (which would create a dev-dependency cycle with
+    /// the workspace layering); the integration tests at the workspace root
+    /// compare against the real simulator.
+    fn rtss_sim_simulate(spec: &SystemSpec) -> Trace {
+        // Scenario 1 is simple enough to compute by hand: both events are
+        // served immediately at their release for 2 time units.
+        let mut trace = Trace::new(spec.horizon);
+        for event in &spec.aperiodics {
+            trace.push_outcome(AperiodicOutcome {
+                event: event.id,
+                release: event.release,
+                declared_cost: event.declared_cost,
+                fate: AperiodicFate::Served {
+                    started: event.release,
+                    completed: event.release + event.actual_cost,
+                },
+            });
+        }
+        trace
+    }
+
+    #[test]
+    fn periodic_records_are_reconstructed() {
+        let spec = table1(ServerPolicyKind::Polling, 3, &[(0, 2)]);
+        let trace = execute(&spec, &ExecutionConfig::ideal());
+        // 10 jobs per task over 10 periods.
+        assert_eq!(trace.periodic_jobs.len(), 20);
+        assert!(trace.all_periodic_deadlines_met());
+        // tau1's first job runs after the server: released 0, completed 4.
+        let tau1_first = trace
+            .periodic_jobs
+            .iter()
+            .find(|j| j.task == spec.periodic_tasks[0].id && j.activation == 0)
+            .unwrap();
+        assert_eq!(tau1_first.completed, Some(Instant::from_units(4)));
+    }
+
+    #[test]
+    fn overheads_reduce_the_served_ratio() {
+        // Heavy traffic: with reference overheads strictly fewer events
+        // complete than with the ideal runtime.
+        let events: Vec<(u64, u64)> = (0..25).map(|i| (i * 2, 3)).collect();
+        let spec = table1(ServerPolicyKind::Polling, 4, &events);
+        let ideal = execute(&spec, &ExecutionConfig::ideal());
+        let real = execute(&spec, &ExecutionConfig::reference());
+        let served = |t: &Trace| t.outcomes.iter().filter(|o| o.is_served()).count();
+        assert!(served(&real) <= served(&ideal));
+        assert!(real.overhead_time() > Span::ZERO);
+        assert_eq!(ideal.overhead_time(), Span::ZERO);
+    }
+
+    #[test]
+    fn deferrable_execution_served_ratio_not_lower_than_polling() {
+        let events: Vec<(u64, u64)> = (0..12).map(|i| (i * 4 + 1, 2)).collect();
+        let ps_spec = table1(ServerPolicyKind::Polling, 3, &events);
+        let ds_spec = table1(ServerPolicyKind::Deferrable, 3, &events);
+        let ps = execute(&ps_spec, &ExecutionConfig::reference());
+        let ds = execute(&ds_spec, &ExecutionConfig::reference());
+        let served = |t: &Trace| t.outcomes.iter().filter(|o| o.is_served()).count();
+        assert!(served(&ds) >= served(&ps));
+    }
+
+    #[test]
+    fn systems_without_servers_run_their_periodic_tasks_only() {
+        let mut b = SystemSpec::builder("no-server");
+        b.periodic("tau", Span::from_units(2), Span::from_units(5), Priority::new(10));
+        b.horizon(Instant::from_units(20));
+        let spec = b.build().unwrap();
+        let trace = execute(&spec, &ExecutionConfig::ideal());
+        assert!(trace.outcomes.is_empty());
+        assert_eq!(trace.periodic_jobs.len(), 4);
+        assert!(trace.all_periodic_deadlines_met());
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let events: Vec<(u64, u64)> = (0..10).map(|i| (i * 3 + 1, 2)).collect();
+        let spec = table1(ServerPolicyKind::Deferrable, 3, &events);
+        let a = execute(&spec, &ExecutionConfig::reference());
+        let b = execute(&spec, &ExecutionConfig::reference());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn background_spec_is_executed_at_low_priority() {
+        let mut b = SystemSpec::builder("bg");
+        b.server(ServerSpec::background(Priority::new(1)));
+        b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
+        b.aperiodic(Instant::from_units(0), Span::from_units(2));
+        b.horizon(Instant::from_units(30));
+        let spec = b.build().unwrap();
+        let trace = execute(&spec, &ExecutionConfig::ideal());
+        assert_eq!(trace.outcomes.len(), 1);
+        // Served only after tau1's first job (0..2): response 4.
+        assert_eq!(trace.outcomes[0].response_time(), Some(Span::from_units(4)));
+    }
+}

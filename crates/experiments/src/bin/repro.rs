@@ -1,0 +1,100 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro fig2|fig3|fig4      temporal diagrams of the three scenarios
+//! repro table2|table3|table4|table5
+//! repro online-rta          §7 on-line response-time validation
+//! repro all                 everything above (default)
+//! repro quick               all tables with 3 systems per set (fast smoke run)
+//! ```
+
+use rt_experiments::{
+    default_online_rta, reproduce_table, run_scenario, side_by_side, PaperTable, Scenario,
+    TableConfig,
+};
+
+fn print_scenario(scenario: Scenario) {
+    let report = run_scenario(scenario);
+    println!("=== Figure {} (scenario {:?}) ===", report.scenario.figure(), report.scenario);
+    println!("--- execution (task-server framework) ---");
+    println!("{}", report.execution_gantt);
+    println!("--- simulation (literature-exact polling server) ---");
+    println!("{}", report.simulation_gantt);
+    for outcome in &report.execution.outcomes {
+        match outcome.response_time() {
+            Some(response) => println!(
+                "{}: released {} served, response {}",
+                outcome.event, outcome.release, response
+            ),
+            None => println!(
+                "{}: released {} {}",
+                outcome.event,
+                outcome.release,
+                if outcome.is_interrupted() { "interrupted" } else { "unserved" }
+            ),
+        }
+    }
+    println!();
+}
+
+fn print_table(table: PaperTable, config: &TableConfig) {
+    let reproduced = reproduce_table(table, config);
+    println!("{}", side_by_side(table, &reproduced));
+}
+
+fn print_online_rta() {
+    let report = default_online_rta();
+    println!("=== §7 on-line response-time computation (equation 5) ===");
+    println!("{:>10} {:>12} {:>12}", "release", "predicted", "measured");
+    for p in &report.predictions {
+        println!(
+            "{:>10} {:>12} {:>12}",
+            p.release.to_string(),
+            p.predicted.to_string(),
+            p.measured.map_or("unserved".to_string(), |m| m.to_string())
+        );
+    }
+    println!(
+        "exact matches: {}/{}",
+        report.exact_matches,
+        report.predictions.len()
+    );
+    println!();
+}
+
+fn main() {
+    let command = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let full = TableConfig::default();
+    let quick = TableConfig { systems_per_set: 3, seed: 1983 };
+    match command.as_str() {
+        "fig2" => print_scenario(Scenario::One),
+        "fig3" => print_scenario(Scenario::Two),
+        "fig4" => print_scenario(Scenario::Three),
+        "table2" => print_table(PaperTable::Table2PsSimulation, &full),
+        "table3" => print_table(PaperTable::Table3PsExecution, &full),
+        "table4" => print_table(PaperTable::Table4DsSimulation, &full),
+        "table5" => print_table(PaperTable::Table5DsExecution, &full),
+        "online-rta" => print_online_rta(),
+        "quick" => {
+            for table in PaperTable::all() {
+                print_table(table, &quick);
+            }
+        }
+        "all" => {
+            for scenario in [Scenario::One, Scenario::Two, Scenario::Three] {
+                print_scenario(scenario);
+            }
+            for table in PaperTable::all() {
+                print_table(table, &full);
+            }
+            print_online_rta();
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            eprintln!(
+                "usage: repro [fig2|fig3|fig4|table2|table3|table4|table5|online-rta|quick|all]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # rt-experiments — the reproduction harness
+//!
+//! Everything needed to regenerate the paper's evaluation:
+//!
+//! * [`scenarios`] — the Table 1 example and the three scenarios of
+//!   Figures 2–4, executed and simulated, with temporal diagrams;
+//! * [`tables`] — Tables 2–5 (Polling/Deferrable × simulation/execution over
+//!   the six generated sets), with side-by-side rendering against the
+//!   published values;
+//! * [`online`] — the §7 on-line response-time computation, validated
+//!   against measured executions.
+//!
+//! The `repro` binary exposes each experiment as a subcommand; the Criterion
+//! benches in `rt-bench` wrap the same entry points.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod online;
+pub mod scenarios;
+pub mod tables;
+
+pub use online::{default_online_rta, online_rta_experiment, OnlinePrediction, OnlineRtaReport};
+pub use scenarios::{run_scenario, scenario_system, table1_system, Scenario, ScenarioReport};
+pub use tables::{
+    generate_set, reproduce_table, run_system, side_by_side, EvaluationMode, PaperTable,
+    TableConfig,
+};

@@ -1,0 +1,80 @@
+//! # rt-metrics — the paper's evaluation measures
+//!
+//! Per-run measures (average response time of served events, interrupted
+//! ratio, served ratio), the cross-set aggregates AART / AIR / ASR of Tables
+//! 2–5, paper-style table formatting, the published reference values and the
+//! qualitative shape checks used to compare the reproduction against them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod measures;
+pub mod table;
+
+pub use aggregate::SetAggregate;
+pub use measures::RunMeasures;
+pub use table::{paper, shape, ResultTable, SET_ORDER};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rt_model::{AperiodicFate, AperiodicOutcome, EventId, Instant, Span};
+
+    fn outcome_strategy() -> impl Strategy<Value = AperiodicOutcome> {
+        (0u32..1000, 0u64..100, 1u64..10, 0u8..3, 0u64..50).prop_map(
+            |(id, release, cost, kind, extra)| {
+                let release = Instant::from_units(release);
+                let fate = match kind {
+                    0 => AperiodicFate::Served {
+                        started: release + Span::from_units(extra),
+                        completed: release + Span::from_units(extra + cost),
+                    },
+                    1 => AperiodicFate::Interrupted {
+                        started: release + Span::from_units(extra),
+                        interrupted_at: release + Span::from_units(extra + 1),
+                    },
+                    _ => AperiodicFate::Unserved,
+                };
+                AperiodicOutcome {
+                    event: EventId::new(id),
+                    release,
+                    declared_cost: Span::from_units(cost),
+                    fate,
+                }
+            },
+        )
+    }
+
+    proptest! {
+        /// Ratios always lie in [0, 1] and served + interrupted never exceeds
+        /// the number of released events.
+        #[test]
+        fn ratios_are_well_bounded(outcomes in proptest::collection::vec(outcome_strategy(), 0..50)) {
+            let m = RunMeasures::from_outcomes(&outcomes);
+            prop_assert!(m.served + m.interrupted <= m.released);
+            prop_assert!((0.0..=1.0).contains(&m.served_ratio()));
+            prop_assert!((0.0..=1.0).contains(&m.interrupted_ratio()));
+            if let Some(aart) = m.average_response_time {
+                prop_assert!(aart >= 0.0);
+            }
+        }
+
+        /// Aggregating identical runs reproduces the per-run values.
+        #[test]
+        fn aggregate_of_identical_runs_is_the_run(
+            outcomes in proptest::collection::vec(outcome_strategy(), 1..20),
+            copies in 1usize..10,
+        ) {
+            let run = RunMeasures::from_outcomes(&outcomes);
+            let agg = SetAggregate::from_runs(&vec![run; copies]);
+            prop_assert_eq!(agg.runs, copies);
+            prop_assert!((agg.asr - run.served_ratio()).abs() < 1e-9);
+            prop_assert!((agg.air - run.interrupted_ratio()).abs() < 1e-9);
+            if let Some(aart) = run.average_response_time {
+                prop_assert!((agg.aart - aart).abs() < 1e-9);
+            }
+        }
+    }
+}

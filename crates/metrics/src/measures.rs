@@ -1,0 +1,119 @@
+//! Per-run measures over the aperiodic outcomes of one trace.
+//!
+//! The paper measures, for each execution and simulation, "the average
+//! response time of aperiodics, the interrupted-aperiodics ratio and the
+//! served-aperiodics ratio" (§6.1). A [`RunMeasures`] value holds exactly
+//! those three quantities for one run.
+
+use rt_model::{AperiodicOutcome, Span, Trace};
+
+/// The three per-run measures of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMeasures {
+    /// Number of aperiodic events released within the horizon.
+    pub released: usize,
+    /// Number of events served to completion.
+    pub served: usize,
+    /// Number of events interrupted by budget enforcement.
+    pub interrupted: usize,
+    /// Average response time of the *served* events, in time units
+    /// (`None` when nothing was served).
+    pub average_response_time: Option<f64>,
+}
+
+impl RunMeasures {
+    /// Computes the measures from a list of outcomes.
+    pub fn from_outcomes(outcomes: &[AperiodicOutcome]) -> Self {
+        let released = outcomes.len();
+        let served_times: Vec<Span> =
+            outcomes.iter().filter_map(|o| o.response_time()).collect();
+        let served = served_times.len();
+        let interrupted = outcomes.iter().filter(|o| o.is_interrupted()).count();
+        let average_response_time = if served == 0 {
+            None
+        } else {
+            Some(served_times.iter().map(|s| s.as_units()).sum::<f64>() / served as f64)
+        };
+        RunMeasures { released, served, interrupted, average_response_time }
+    }
+
+    /// Computes the measures directly from a trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        Self::from_outcomes(&trace.outcomes)
+    }
+
+    /// Served-aperiodics ratio (the per-run contribution to ASR).
+    pub fn served_ratio(&self) -> f64 {
+        if self.released == 0 {
+            return 1.0;
+        }
+        self.served as f64 / self.released as f64
+    }
+
+    /// Interrupted-aperiodics ratio (the per-run contribution to AIR).
+    pub fn interrupted_ratio(&self) -> f64 {
+        if self.released == 0 {
+            return 0.0;
+        }
+        self.interrupted as f64 / self.released as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_model::{AperiodicFate, EventId, Instant};
+
+    fn outcome(id: u32, fate: AperiodicFate) -> AperiodicOutcome {
+        AperiodicOutcome {
+            event: EventId::new(id),
+            release: Instant::from_units(2),
+            declared_cost: Span::from_units(2),
+            fate,
+        }
+    }
+
+    #[test]
+    fn measures_over_mixed_outcomes() {
+        let outcomes = vec![
+            outcome(0, AperiodicFate::Served {
+                started: Instant::from_units(2),
+                completed: Instant::from_units(6),
+            }),
+            outcome(1, AperiodicFate::Served {
+                started: Instant::from_units(8),
+                completed: Instant::from_units(10),
+            }),
+            outcome(2, AperiodicFate::Interrupted {
+                started: Instant::from_units(12),
+                interrupted_at: Instant::from_units(13),
+            }),
+            outcome(3, AperiodicFate::Unserved),
+        ];
+        let measures = RunMeasures::from_outcomes(&outcomes);
+        assert_eq!(measures.released, 4);
+        assert_eq!(measures.served, 2);
+        assert_eq!(measures.interrupted, 1);
+        // Responses: 4 and 8 → average 6.
+        assert_eq!(measures.average_response_time, Some(6.0));
+        assert_eq!(measures.served_ratio(), 0.5);
+        assert_eq!(measures.interrupted_ratio(), 0.25);
+    }
+
+    #[test]
+    fn empty_runs_have_neutral_ratios() {
+        let measures = RunMeasures::from_outcomes(&[]);
+        assert_eq!(measures.average_response_time, None);
+        assert_eq!(measures.served_ratio(), 1.0);
+        assert_eq!(measures.interrupted_ratio(), 0.0);
+    }
+
+    #[test]
+    fn from_trace_uses_the_trace_outcomes() {
+        let mut trace = Trace::new(Instant::from_units(10));
+        trace.push_outcome(outcome(0, AperiodicFate::Unserved));
+        let measures = RunMeasures::from_trace(&trace);
+        assert_eq!(measures.released, 1);
+        assert_eq!(measures.served, 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Error type shared by the model builders and validators.
+
+use std::fmt;
+
+/// Error raised when a system specification or one of its components is not
+/// structurally valid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelError {
+    message: String,
+}
+
+impl ModelError {
+    /// Creates an invalid-specification error.
+    pub fn invalid(message: impl Into<String>) -> Self {
+        ModelError { message: message.into() }
+    }
+
+    /// Error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid system specification: {}", self.message)
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ModelError::invalid("bad period");
+        assert_eq!(e.message(), "bad period");
+        assert!(e.to_string().contains("bad period"));
+        // std::error::Error is implemented.
+        let _: &dyn std::error::Error = &e;
+    }
+}

@@ -1,0 +1,143 @@
+//! # rt-model — shared real-time system model
+//!
+//! Common vocabulary for the reproduction of *"The Design and Implementation
+//! of Real-time Event-based Applications with RTSJ"* (Masson & Midonnet,
+//! 2007): virtual time, priorities, task/event descriptors, complete system
+//! specifications, runtime jobs and execution traces.
+//!
+//! Every other crate of the workspace depends on this one:
+//!
+//! * `rt-sysgen` produces [`SystemSpec`] values,
+//! * `rtss-sim` and the `rtsj-emu` + `rt-taskserver` pair both consume a
+//!   [`SystemSpec`] and produce a [`Trace`],
+//! * `rt-metrics` turns traces into the paper's AART / AIR / ASR measures,
+//! * `rt-analysis` reasons about the descriptors off-line.
+//!
+//! Keeping the model in a dependency-free crate is what guarantees that the
+//! "execution" and "simulation" paths of the paper are fed exactly the same
+//! systems and are measured exactly the same way.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ids;
+pub mod job;
+pub mod priority;
+pub mod system;
+pub mod task;
+pub mod time;
+pub mod trace;
+
+pub use error::ModelError;
+pub use ids::{EventId, HandlerId, IdAllocator, JobId, ServerId, TaskId};
+pub use job::{Job, JobSource, JobState};
+pub use priority::{deadline_monotonic, rate_monotonic, Priority, SymbolicPriority};
+pub use system::{SystemBuilder, SystemSpec};
+pub use task::{AperiodicEvent, PeriodicTask, ServerPolicyKind, ServerSpec};
+pub use time::{Instant, Span, TICKS_PER_UNIT};
+pub use trace::{
+    AperiodicFate, AperiodicOutcome, ExecUnit, PeriodicJobRecord, Segment, Trace,
+};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn span_strategy() -> impl Strategy<Value = Span> {
+        (0u64..=1_000_000u64).prop_map(Span::from_ticks)
+    }
+
+    fn instant_strategy() -> impl Strategy<Value = Instant> {
+        (0u64..=1_000_000u64).prop_map(Instant::from_ticks)
+    }
+
+    proptest! {
+        /// Instant + Span - Span round-trips whenever no saturation occurs.
+        #[test]
+        fn instant_add_sub_round_trip(i in instant_strategy(), s in span_strategy()) {
+            let forward = i + s;
+            prop_assert_eq!(forward - s, i);
+            prop_assert_eq!(forward - i, s);
+        }
+
+        /// Span subtraction saturates at zero and never panics.
+        #[test]
+        fn span_sub_saturates(a in span_strategy(), b in span_strategy()) {
+            let d = a - b;
+            if a >= b {
+                prop_assert_eq!(d + b, a);
+            } else {
+                prop_assert_eq!(d, Span::ZERO);
+            }
+        }
+
+        /// Ceiling division is consistent with ordinary division.
+        #[test]
+        fn span_div_ceil_consistency(a in span_strategy(), b in 1u64..=100_000u64) {
+            let b = Span::from_ticks(b);
+            let floor = a.div_span(b);
+            let ceil = a.div_ceil_span(b);
+            prop_assert!(ceil == floor || ceil == floor + 1);
+            prop_assert!(b.saturating_mul(ceil) >= a);
+            prop_assert!(b.saturating_mul(floor) <= a);
+        }
+
+        /// Unit conversion is monotone.
+        #[test]
+        fn units_conversion_monotone(a in 0.0f64..1_000.0, b in 0.0f64..1_000.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(Span::from_units_f64(lo) <= Span::from_units_f64(hi));
+        }
+
+        /// Rate-monotonic assignment gives strictly higher priority to
+        /// strictly shorter periods.
+        #[test]
+        fn rate_monotonic_respects_period_order(
+            periods in proptest::collection::vec(1u64..1_000u64, 1..10)
+        ) {
+            let spans: Vec<Span> = periods.iter().map(|&p| Span::from_units(p)).collect();
+            let prios = rate_monotonic(&spans);
+            for i in 0..spans.len() {
+                for j in 0..spans.len() {
+                    if spans[i] < spans[j] {
+                        prop_assert!(prios[i].preempts(prios[j]) || prios[i] == prios[j],
+                            "shorter period must not get lower priority");
+                    }
+                }
+            }
+        }
+
+        /// A job executed in arbitrary valid slices always completes with a
+        /// response time equal to (last slice end − release).
+        #[test]
+        fn job_slice_execution_completes(
+            work_units in 1u64..50,
+            slices in proptest::collection::vec(1u64..10, 1..20)
+        ) {
+            let work = Span::from_units(work_units);
+            let release = Instant::from_units(3);
+            let mut job = Job::new(
+                JobId::new(0),
+                JobSource::Aperiodic { event: EventId::new(0) },
+                release,
+                work,
+            );
+            let mut now = release;
+            let mut done = Span::ZERO;
+            for s in slices {
+                if !job.is_runnable() { break; }
+                let slice = Span::from_units(s).min(job.remaining);
+                now = now + Span::from_units(1); // arbitrary gap
+                let finished = job.execute(now, slice);
+                done += slice;
+                now = now + slice;
+                if finished {
+                    prop_assert_eq!(done, work);
+                    prop_assert_eq!(job.response_time(), Some(now - release));
+                }
+            }
+        }
+    }
+}

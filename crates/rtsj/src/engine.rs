@@ -1,0 +1,871 @@
+//! The deterministic virtual-time execution engine.
+//!
+//! This is the substrate that plays the role of the RTSJ virtual machine in
+//! the paper's executions: a single processor, preemptive fixed-priority
+//! scheduling, asynchronous events fired by timers that run above every
+//! application priority, periodic real-time threads, and `Timed` budget
+//! enforcement. Unlike the simulator (`rtss-sim`), which replays idealised
+//! policies, this engine executes *code* — the [`crate::body::ThreadBody`]
+//! state machines supplied by the task-server framework — and charges the
+//! configured [`crate::overhead::OverheadModel`] for the runtime machinery.
+//!
+//! Time is virtual and integer (see [`rt_model::time`]), so runs are exactly
+//! reproducible; the engine never blocks the host thread.
+
+use crate::body::{Action, BodyCtx, Completion, ThreadBody};
+use crate::overhead::OverheadModel;
+use rt_model::{ExecUnit, Instant, Priority, Span, Trace};
+use std::collections::VecDeque;
+
+/// Handle to an engine-level asynchronous event (the emulation of an RTSJ
+/// `AsyncEvent` instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventHandle(usize);
+
+impl EventHandle {
+    /// Builds a handle from its raw index (tests and serialisation only;
+    /// handles are normally obtained from [`Engine::create_event`]).
+    pub fn from_raw(raw: usize) -> Self {
+        EventHandle(raw)
+    }
+
+    /// Raw index of the event.
+    pub fn raw(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a schedulable spawned on the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadHandle(usize);
+
+impl ThreadHandle {
+    /// Raw index of the schedulable.
+    pub fn raw(self) -> usize {
+        self.0
+    }
+}
+
+/// Context passed to event fire hooks.
+#[derive(Debug)]
+pub struct FireCtx {
+    now: Instant,
+    cascade: Vec<EventHandle>,
+}
+
+impl FireCtx {
+    /// Current virtual time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Requests that another event be fired as part of this firing (processed
+    /// iteratively, so hooks can chain events without re-entrancy).
+    pub fn fire(&mut self, event: EventHandle) {
+        self.cascade.push(event);
+    }
+}
+
+/// A hook invoked synchronously when an event fires. Hooks are how the
+/// task-server framework's `ServableAsyncEvent` notifies its servers
+/// (`servableEventReleased`) at fire time.
+pub type FireHook = Box<dyn FnMut(&mut FireCtx)>;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Observation horizon: the engine stops at this instant.
+    pub horizon: Instant,
+    /// Overhead model charged for timers (the dispatch/enforcement components
+    /// are consumed by server bodies, which read them from this model).
+    pub overhead: OverheadModel,
+}
+
+impl EngineConfig {
+    /// Configuration with the given horizon and the reference overhead model.
+    pub fn new(horizon: Instant) -> Self {
+        EngineConfig { horizon, overhead: OverheadModel::reference() }
+    }
+
+    /// Replaces the overhead model.
+    pub fn with_overhead(mut self, overhead: OverheadModel) -> Self {
+        self.overhead = overhead;
+        self
+    }
+}
+
+#[derive(Debug)]
+struct ComputeState {
+    remaining: Span,
+    budget: Option<Span>,
+    unit: ExecUnit,
+    consumed: Span,
+}
+
+#[derive(Debug)]
+enum ThreadStatus {
+    /// The body must be asked for its next action; `Completion` explains how
+    /// the previous one ended.
+    Ready(Completion),
+    /// A computation is in progress (possibly preempted).
+    Computing(ComputeState),
+    /// Blocked until the stored wake-up condition.
+    BlockedUntil(Instant),
+    /// Blocked until the next periodic release (stored in `PeriodicRelease`).
+    BlockedForPeriod,
+    /// Blocked waiting for an event fire (the event's waiter list holds the
+    /// back-reference).
+    BlockedOnEvent,
+    /// Finished.
+    Terminated,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PeriodicRelease {
+    next: Instant,
+    period: Span,
+}
+
+struct ThreadState {
+    name: String,
+    priority: Priority,
+    body: Box<dyn ThreadBody>,
+    periodic: Option<PeriodicRelease>,
+    status: ThreadStatus,
+}
+
+struct EventState {
+    name: String,
+    pending: u32,
+    waiters: Vec<usize>,
+    hooks: Vec<FireHook>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TimerState {
+    event: EventHandle,
+    next: Instant,
+    period: Option<Span>,
+    enabled: bool,
+}
+
+/// Safety bound on body invocations without time advancing, to turn an
+/// accidentally non-progressing body into a diagnosable panic instead of an
+/// infinite loop.
+const MAX_ZERO_TIME_STEPS: u32 = 100_000;
+
+/// The virtual-time execution engine.
+pub struct Engine {
+    config: EngineConfig,
+    now: Instant,
+    threads: Vec<ThreadState>,
+    events: Vec<EventState>,
+    timers: Vec<TimerState>,
+    pending_timer_overhead: Span,
+    trace: Trace,
+    zero_time_steps: u32,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            now: Instant::ZERO,
+            threads: Vec::new(),
+            events: Vec::new(),
+            timers: Vec::new(),
+            pending_timer_overhead: Span::ZERO,
+            trace: Trace::new(config.horizon),
+            zero_time_steps: 0,
+            config,
+        }
+    }
+
+    /// The configured overhead model (server bodies read their dispatch /
+    /// enforcement costs from here).
+    pub fn overhead(&self) -> OverheadModel {
+        self.config.overhead
+    }
+
+    /// The configured horizon.
+    pub fn horizon(&self) -> Instant {
+        self.config.horizon
+    }
+
+    /// Creates an asynchronous event.
+    pub fn create_event(&mut self, name: impl Into<String>) -> EventHandle {
+        let handle = EventHandle(self.events.len());
+        self.events.push(EventState {
+            name: name.into(),
+            pending: 0,
+            waiters: Vec::new(),
+            hooks: Vec::new(),
+        });
+        handle
+    }
+
+    /// Registers a hook invoked synchronously every time the event fires.
+    pub fn add_fire_hook(&mut self, event: EventHandle, hook: FireHook) {
+        self.events[event.0].hooks.push(hook);
+    }
+
+    /// Arms a one-shot timer that fires the event at the given instant.
+    pub fn add_one_shot_timer(&mut self, at: Instant, event: EventHandle) {
+        self.timers.push(TimerState { event, next: at, period: None, enabled: true });
+    }
+
+    /// Arms a periodic timer that fires the event at `start`, `start+period`, …
+    pub fn add_periodic_timer(&mut self, start: Instant, period: Span, event: EventHandle) {
+        assert!(!period.is_zero(), "periodic timers need a positive period");
+        self.timers.push(TimerState { event, next: start, period: Some(period), enabled: true });
+    }
+
+    /// Spawns an aperiodic schedulable.
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        priority: Priority,
+        body: Box<dyn ThreadBody>,
+    ) -> ThreadHandle {
+        let handle = ThreadHandle(self.threads.len());
+        self.threads.push(ThreadState {
+            name: name.into(),
+            priority,
+            body,
+            periodic: None,
+            status: ThreadStatus::Ready(Completion::Started),
+        });
+        handle
+    }
+
+    /// Spawns a periodic schedulable (an emulated `RealtimeThread` with
+    /// `PeriodicParameters{start, period}`); [`Action::WaitForNextPeriod`]
+    /// blocks it until its next release.
+    pub fn spawn_periodic(
+        &mut self,
+        name: impl Into<String>,
+        priority: Priority,
+        start: Instant,
+        period: Span,
+        body: Box<dyn ThreadBody>,
+    ) -> ThreadHandle {
+        assert!(!period.is_zero(), "periodic schedulables need a positive period");
+        let handle = self.spawn(name, priority, body);
+        self.threads[handle.0].periodic = Some(PeriodicRelease { next: start, period });
+        handle
+    }
+
+    /// Name of a schedulable (for diagnostics).
+    pub fn thread_name(&self, handle: ThreadHandle) -> &str {
+        &self.threads[handle.0].name
+    }
+
+    /// Name of an event (for diagnostics).
+    pub fn event_name(&self, event: EventHandle) -> &str {
+        &self.events[event.0].name
+    }
+
+    /// Runs the system until the horizon and returns the trace.
+    pub fn run(mut self) -> Trace {
+        while self.now < self.config.horizon {
+            self.fire_due_timers();
+            self.wake_due_threads();
+
+            // The timer machinery runs above everything: charge its pending
+            // cost before any application code.
+            if !self.pending_timer_overhead.is_zero() {
+                let slice = self.pending_timer_overhead.min(self.config.horizon - self.now);
+                self.trace
+                    .push_segment(ExecUnit::TimerOverhead, self.now, self.now + slice);
+                self.now = self.now + slice;
+                self.pending_timer_overhead -= slice;
+                self.note_progress(slice);
+                continue;
+            }
+
+            let Some(tid) = self.pick_runnable() else {
+                let next = self.next_wake_time();
+                debug_assert!(next > self.now);
+                self.trace.push_segment(ExecUnit::Idle, self.now, next);
+                self.now = next;
+                self.zero_time_steps = 0;
+                continue;
+            };
+
+            // If the chosen thread needs to decide its next action, pump its
+            // body once and re-evaluate (the decision may fire events or
+            // block, which can change who should run).
+            if matches!(self.threads[tid].status, ThreadStatus::Ready(_)) {
+                self.pump_body(tid);
+                self.note_progress(Span::ZERO);
+                continue;
+            }
+
+            // Otherwise run the in-progress computation until the next
+            // preemption opportunity.
+            let limit = self.next_preemption_time();
+            debug_assert!(limit > self.now);
+            let window = limit - self.now;
+            let state = match &mut self.threads[tid].status {
+                ThreadStatus::Computing(state) => state,
+                _ => unreachable!("pick_runnable returned a non-runnable thread"),
+            };
+            let mut slice = state.remaining.min(window);
+            if let Some(budget) = state.budget {
+                slice = slice.min(budget);
+            }
+            debug_assert!(!slice.is_zero(), "computations always make progress");
+            self.trace.push_segment(state.unit, self.now, self.now + slice);
+            self.now = self.now + slice;
+            state.remaining -= slice;
+            state.consumed += slice;
+            if let Some(budget) = &mut state.budget {
+                *budget -= slice;
+            }
+            if state.remaining.is_zero() {
+                let consumed = state.consumed;
+                self.threads[tid].status = ThreadStatus::Ready(Completion::Computed { consumed });
+            } else if state.budget == Some(Span::ZERO) {
+                let consumed = state.consumed;
+                self.threads[tid].status =
+                    ThreadStatus::Ready(Completion::Interrupted { consumed });
+            }
+            self.note_progress(slice);
+        }
+        debug_assert!(self.trace.check_invariants().is_ok());
+        self.trace
+    }
+
+    fn note_progress(&mut self, advanced: Span) {
+        if advanced.is_zero() {
+            self.zero_time_steps += 1;
+            assert!(
+                self.zero_time_steps < MAX_ZERO_TIME_STEPS,
+                "engine made {MAX_ZERO_TIME_STEPS} scheduling decisions at {now} without \
+                 advancing time: a ThreadBody is not making progress",
+                now = self.now
+            );
+        } else {
+            self.zero_time_steps = 0;
+        }
+    }
+
+    /// Fires every timer due at or before the current instant.
+    fn fire_due_timers(&mut self) {
+        let mut to_fire: Vec<EventHandle> = Vec::new();
+        for timer in &mut self.timers {
+            while timer.enabled && timer.next <= self.now && timer.next < self.config.horizon {
+                to_fire.push(timer.event);
+                match timer.period {
+                    Some(period) => timer.next = timer.next + period,
+                    None => {
+                        timer.enabled = false;
+                    }
+                }
+            }
+        }
+        for event in to_fire {
+            self.pending_timer_overhead += self.config.overhead.timer_fire;
+            self.fire_event_now(event);
+        }
+    }
+
+    /// Fires an event immediately: runs its hooks (which may cascade into
+    /// more fires) and wakes or credits its waiters.
+    pub(crate) fn fire_event_now(&mut self, event: EventHandle) {
+        let mut queue = VecDeque::from([event]);
+        while let Some(event) = queue.pop_front() {
+            // Run the hooks with the hook list temporarily detached so hooks
+            // can be FnMut over their own captured state.
+            let mut hooks = std::mem::take(&mut self.events[event.0].hooks);
+            let mut ctx = FireCtx { now: self.now, cascade: Vec::new() };
+            for hook in &mut hooks {
+                hook(&mut ctx);
+            }
+            self.events[event.0].hooks = hooks;
+            queue.extend(ctx.cascade);
+
+            // Wake every waiter; if nobody is waiting the fire is remembered.
+            let waiters = std::mem::take(&mut self.events[event.0].waiters);
+            if waiters.is_empty() {
+                self.events[event.0].pending = self.events[event.0].pending.saturating_add(1);
+            } else {
+                for tid in waiters {
+                    self.threads[tid].status = ThreadStatus::Ready(Completion::EventFired);
+                }
+            }
+        }
+    }
+
+    /// Wakes every thread whose timed wait has expired.
+    fn wake_due_threads(&mut self) {
+        for thread in &mut self.threads {
+            match thread.status {
+                ThreadStatus::BlockedUntil(t) if t <= self.now => {
+                    thread.status = ThreadStatus::Ready(Completion::TimeReached);
+                }
+                ThreadStatus::BlockedForPeriod => {
+                    let release = thread
+                        .periodic
+                        .as_mut()
+                        .expect("BlockedForPeriod requires periodic parameters");
+                    if release.next <= self.now {
+                        release.next = release.next + release.period;
+                        thread.status = ThreadStatus::Ready(Completion::PeriodStarted);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Highest-priority thread that is ready or computing; ties are broken by
+    /// spawn order (earlier spawn wins), which keeps runs deterministic.
+    fn pick_runnable(&self) -> Option<usize> {
+        let mut best: Option<(Priority, usize)> = None;
+        for (i, thread) in self.threads.iter().enumerate() {
+            if !matches!(thread.status, ThreadStatus::Ready(_) | ThreadStatus::Computing(_)) {
+                continue;
+            }
+            match best {
+                None => best = Some((thread.priority, i)),
+                Some((p, _)) if thread.priority.preempts(p) => best = Some((thread.priority, i)),
+                _ => {}
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// Asks the body of a Ready thread for its next action and applies it.
+    fn pump_body(&mut self, tid: usize) {
+        let completion = match &self.threads[tid].status {
+            ThreadStatus::Ready(completion) => *completion,
+            _ => unreachable!("pump_body requires a Ready thread"),
+        };
+        let mut ctx = BodyCtx::new(self.now);
+        let action = self.threads[tid].body.next_action(&mut ctx, completion);
+        let fires = ctx.take_fire_requests();
+
+        match action {
+            Action::Compute { amount, unit } => {
+                if amount.is_zero() {
+                    self.threads[tid].status =
+                        ThreadStatus::Ready(Completion::Computed { consumed: Span::ZERO });
+                } else {
+                    self.threads[tid].status = ThreadStatus::Computing(ComputeState {
+                        remaining: amount,
+                        budget: None,
+                        unit,
+                        consumed: Span::ZERO,
+                    });
+                }
+            }
+            Action::ComputeInterruptible { amount, budget, unit } => {
+                if amount.is_zero() {
+                    self.threads[tid].status =
+                        ThreadStatus::Ready(Completion::Computed { consumed: Span::ZERO });
+                } else if budget.is_zero() {
+                    self.threads[tid].status =
+                        ThreadStatus::Ready(Completion::Interrupted { consumed: Span::ZERO });
+                } else {
+                    self.threads[tid].status = ThreadStatus::Computing(ComputeState {
+                        remaining: amount,
+                        budget: Some(budget),
+                        unit,
+                        consumed: Span::ZERO,
+                    });
+                }
+            }
+            Action::WaitForNextPeriod => {
+                let periodic = self.threads[tid]
+                    .periodic
+                    .as_mut()
+                    .expect("WaitForNextPeriod requires a periodic schedulable");
+                if periodic.next <= self.now {
+                    // The release has already happened (including the very
+                    // first release at the start instant): proceed without
+                    // blocking and move on to the following release.
+                    periodic.next = periodic.next + periodic.period;
+                    self.threads[tid].status = ThreadStatus::Ready(Completion::PeriodStarted);
+                } else {
+                    self.threads[tid].status = ThreadStatus::BlockedForPeriod;
+                }
+            }
+            Action::WaitUntil(t) => {
+                if t <= self.now {
+                    self.threads[tid].status = ThreadStatus::Ready(Completion::TimeReached);
+                } else {
+                    self.threads[tid].status = ThreadStatus::BlockedUntil(t);
+                }
+            }
+            Action::WaitForEvent(event) => {
+                if self.events[event.0].pending > 0 {
+                    self.events[event.0].pending -= 1;
+                    self.threads[tid].status = ThreadStatus::Ready(Completion::EventFired);
+                } else {
+                    self.events[event.0].waiters.push(tid);
+                    self.threads[tid].status = ThreadStatus::BlockedOnEvent;
+                }
+            }
+            Action::Terminate => {
+                self.threads[tid].status = ThreadStatus::Terminated;
+            }
+        }
+
+        // Fires requested by the body are processed after its state is
+        // settled, so a body can fire the event it is about to wait on.
+        for event in fires {
+            self.fire_event_now(event);
+        }
+    }
+
+    /// The next instant at which the set of runnable threads could change
+    /// while some thread is computing: the next timer fire, the next timed
+    /// wake-up, the next periodic release, or the horizon.
+    fn next_preemption_time(&self) -> Instant {
+        let mut next = self.config.horizon;
+        for timer in &self.timers {
+            if timer.enabled && timer.next < self.config.horizon {
+                next = next.min(timer.next);
+            }
+        }
+        for thread in &self.threads {
+            match thread.status {
+                ThreadStatus::BlockedUntil(t) => next = next.min(t),
+                ThreadStatus::BlockedForPeriod => {
+                    if let Some(p) = &thread.periodic {
+                        next = next.min(p.next);
+                    }
+                }
+                _ => {}
+            }
+        }
+        next.max(self.now + Span::from_ticks(1))
+    }
+
+    /// The next instant at which anything can happen while the processor is
+    /// idle. Identical to [`Self::next_preemption_time`] today, but kept
+    /// separate because idle time additionally ends the run at the horizon.
+    fn next_wake_time(&self) -> Instant {
+        self.next_preemption_time().min(self.config.horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn config(horizon_units: u64) -> EngineConfig {
+        EngineConfig::new(Instant::from_units(horizon_units)).with_overhead(OverheadModel::none())
+    }
+
+    /// A periodic body that computes a fixed cost each period, forever.
+    struct PeriodicWorker {
+        cost: Span,
+        unit: ExecUnit,
+    }
+
+    impl ThreadBody for PeriodicWorker {
+        fn next_action(&mut self, _ctx: &mut BodyCtx, completion: Completion) -> Action {
+            match completion {
+                Completion::Started | Completion::Computed { .. } => Action::WaitForNextPeriod,
+                Completion::PeriodStarted => Action::Compute { amount: self.cost, unit: self.unit },
+                other => panic!("unexpected completion {other:?}"),
+            }
+        }
+    }
+
+    fn task_unit(raw: u32) -> ExecUnit {
+        ExecUnit::Task(rt_model::TaskId::new(raw))
+    }
+
+    #[test]
+    fn single_periodic_thread_runs_every_period() {
+        let mut engine = Engine::new(config(30));
+        engine.spawn_periodic(
+            "tau",
+            Priority::new(10),
+            Instant::ZERO,
+            Span::from_units(10),
+            Box::new(PeriodicWorker { cost: Span::from_units(2), unit: task_unit(0) }),
+        );
+        let trace = engine.run();
+        let segments: Vec<_> = trace.segments_of(task_unit(0)).collect();
+        assert_eq!(segments.len(), 3);
+        assert_eq!(segments[0].start, Instant::ZERO);
+        assert_eq!(segments[1].start, Instant::from_units(10));
+        assert_eq!(segments[2].start, Instant::from_units(20));
+        assert_eq!(trace.busy_time(task_unit(0)), Span::from_units(6));
+        assert_eq!(trace.idle_time(), Span::from_units(24));
+    }
+
+    #[test]
+    fn higher_priority_thread_preempts_lower() {
+        let mut engine = Engine::new(config(20));
+        // Low-priority long job released at 0.
+        engine.spawn_periodic(
+            "low",
+            Priority::new(10),
+            Instant::ZERO,
+            Span::from_units(20),
+            Box::new(PeriodicWorker { cost: Span::from_units(6), unit: task_unit(0) }),
+        );
+        // High-priority short job released at 2.
+        engine.spawn_periodic(
+            "high",
+            Priority::new(20),
+            Instant::from_units(2),
+            Span::from_units(20),
+            Box::new(PeriodicWorker { cost: Span::from_units(3), unit: task_unit(1) }),
+        );
+        let trace = engine.run();
+        let low: Vec<_> = trace.segments_of(task_unit(0)).collect();
+        let high: Vec<_> = trace.segments_of(task_unit(1)).collect();
+        // Low runs 0..2, is preempted 2..5, resumes 5..9.
+        assert_eq!(low.len(), 2);
+        assert_eq!((low[0].start, low[0].end), (Instant::ZERO, Instant::from_units(2)));
+        assert_eq!((low[1].start, low[1].end), (Instant::from_units(5), Instant::from_units(9)));
+        assert_eq!(high.len(), 1);
+        assert_eq!((high[0].start, high[0].end), (Instant::from_units(2), Instant::from_units(5)));
+    }
+
+    #[test]
+    fn timers_fire_events_and_wake_waiting_threads() {
+        let mut engine = Engine::new(config(20));
+        let event = engine.create_event("e");
+        engine.add_one_shot_timer(Instant::from_units(4), event);
+        struct Waiter {
+            event: EventHandle,
+            served_at: Rc<RefCell<Vec<Instant>>>,
+        }
+        impl ThreadBody for Waiter {
+            fn next_action(&mut self, ctx: &mut BodyCtx, completion: Completion) -> Action {
+                match completion {
+                    Completion::Started | Completion::Computed { .. } => {
+                        Action::WaitForEvent(self.event)
+                    }
+                    Completion::EventFired => {
+                        self.served_at.borrow_mut().push(ctx.now());
+                        Action::Compute { amount: Span::from_units(2), unit: task_unit(0) }
+                    }
+                    other => panic!("unexpected completion {other:?}"),
+                }
+            }
+        }
+        let served_at = Rc::new(RefCell::new(Vec::new()));
+        engine.spawn("waiter", Priority::new(10), Box::new(Waiter { event, served_at: served_at.clone() }));
+        let trace = engine.run();
+        assert_eq!(*served_at.borrow(), vec![Instant::from_units(4)]);
+        assert_eq!(trace.busy_time(task_unit(0)), Span::from_units(2));
+    }
+
+    #[test]
+    fn fires_before_the_wait_are_remembered_as_pending() {
+        let mut engine = Engine::new(config(20));
+        let event = engine.create_event("e");
+        engine.add_one_shot_timer(Instant::from_units(1), event);
+        // The waiter only starts waiting at t=5 (it computes first); the fire
+        // at t=1 must not be lost.
+        struct LateWaiter {
+            event: EventHandle,
+            woke: Rc<RefCell<Option<Instant>>>,
+            phase: u8,
+        }
+        impl ThreadBody for LateWaiter {
+            fn next_action(&mut self, ctx: &mut BodyCtx, completion: Completion) -> Action {
+                self.phase += 1;
+                match self.phase {
+                    1 => Action::Compute { amount: Span::from_units(5), unit: task_unit(0) },
+                    2 => Action::WaitForEvent(self.event),
+                    3 => {
+                        assert_eq!(completion, Completion::EventFired);
+                        *self.woke.borrow_mut() = Some(ctx.now());
+                        Action::Terminate
+                    }
+                    _ => Action::Terminate,
+                }
+            }
+        }
+        let woke = Rc::new(RefCell::new(None));
+        engine.spawn(
+            "late",
+            Priority::new(10),
+            Box::new(LateWaiter { event, woke: woke.clone(), phase: 0 }),
+        );
+        let trace = engine.run();
+        assert_eq!(*woke.borrow(), Some(Instant::from_units(5)));
+        assert!(trace.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn interruptible_compute_is_cut_at_the_budget() {
+        let mut engine = Engine::new(config(20));
+        struct Budgeted {
+            outcomes: Rc<RefCell<Vec<Completion>>>,
+            issued: bool,
+        }
+        impl ThreadBody for Budgeted {
+            fn next_action(&mut self, _ctx: &mut BodyCtx, completion: Completion) -> Action {
+                if !self.issued {
+                    self.issued = true;
+                    return Action::ComputeInterruptible {
+                        amount: Span::from_units(5),
+                        budget: Span::from_units(3),
+                        unit: task_unit(0),
+                    };
+                }
+                self.outcomes.borrow_mut().push(completion);
+                Action::Terminate
+            }
+        }
+        let outcomes = Rc::new(RefCell::new(Vec::new()));
+        engine.spawn("budgeted", Priority::new(10), Box::new(Budgeted { outcomes: outcomes.clone(), issued: false }));
+        let trace = engine.run();
+        assert_eq!(
+            *outcomes.borrow(),
+            vec![Completion::Interrupted { consumed: Span::from_units(3) }]
+        );
+        assert_eq!(trace.busy_time(task_unit(0)), Span::from_units(3));
+    }
+
+    #[test]
+    fn interruptible_compute_completes_within_budget() {
+        let mut engine = Engine::new(config(20));
+        struct Budgeted {
+            outcomes: Rc<RefCell<Vec<Completion>>>,
+            issued: bool,
+        }
+        impl ThreadBody for Budgeted {
+            fn next_action(&mut self, _ctx: &mut BodyCtx, completion: Completion) -> Action {
+                if !self.issued {
+                    self.issued = true;
+                    return Action::ComputeInterruptible {
+                        amount: Span::from_units(2),
+                        budget: Span::from_units(3),
+                        unit: task_unit(0),
+                    };
+                }
+                self.outcomes.borrow_mut().push(completion);
+                Action::Terminate
+            }
+        }
+        let outcomes = Rc::new(RefCell::new(Vec::new()));
+        engine.spawn("budgeted", Priority::new(10), Box::new(Budgeted { outcomes: outcomes.clone(), issued: false }));
+        engine.run();
+        assert_eq!(
+            *outcomes.borrow(),
+            vec![Completion::Computed { consumed: Span::from_units(2) }]
+        );
+    }
+
+    #[test]
+    fn timer_overhead_delays_application_threads() {
+        let overhead = OverheadModel {
+            timer_fire: Span::from_units(1),
+            dispatch: Span::ZERO,
+            enforcement: Span::ZERO,
+        };
+        let mut engine =
+            Engine::new(EngineConfig::new(Instant::from_units(20)).with_overhead(overhead));
+        let event = engine.create_event("e");
+        engine.add_one_shot_timer(Instant::from_units(2), event);
+        engine.spawn_periodic(
+            "tau",
+            Priority::new(10),
+            Instant::ZERO,
+            Span::from_units(20),
+            Box::new(PeriodicWorker { cost: Span::from_units(4), unit: task_unit(0) }),
+        );
+        let trace = engine.run();
+        // The task runs 0..2, the timer machinery takes 2..3, the task
+        // resumes 3..5.
+        assert_eq!(trace.busy_time(ExecUnit::TimerOverhead), Span::from_units(1));
+        let segs: Vec<_> = trace.segments_of(task_unit(0)).collect();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[1].start, Instant::from_units(3));
+    }
+
+    #[test]
+    fn fire_hooks_run_and_can_cascade() {
+        let mut engine = Engine::new(config(10));
+        let first = engine.create_event("first");
+        let second = engine.create_event("second");
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let log1 = log.clone();
+        engine.add_fire_hook(
+            first,
+            Box::new(move |ctx| {
+                log1.borrow_mut().push(("first", ctx.now()));
+                ctx.fire(second);
+            }),
+        );
+        let log2 = log.clone();
+        engine.add_fire_hook(
+            second,
+            Box::new(move |ctx| {
+                log2.borrow_mut().push(("second", ctx.now()));
+            }),
+        );
+        engine.add_one_shot_timer(Instant::from_units(3), first);
+        engine.run();
+        assert_eq!(
+            *log.borrow(),
+            vec![("first", Instant::from_units(3)), ("second", Instant::from_units(3))]
+        );
+    }
+
+    #[test]
+    fn equal_priorities_are_scheduled_in_spawn_order() {
+        let mut engine = Engine::new(config(10));
+        engine.spawn_periodic(
+            "a",
+            Priority::new(10),
+            Instant::ZERO,
+            Span::from_units(10),
+            Box::new(PeriodicWorker { cost: Span::from_units(2), unit: task_unit(0) }),
+        );
+        engine.spawn_periodic(
+            "b",
+            Priority::new(10),
+            Instant::ZERO,
+            Span::from_units(10),
+            Box::new(PeriodicWorker { cost: Span::from_units(2), unit: task_unit(1) }),
+        );
+        let trace = engine.run();
+        let a = trace.segments_of(task_unit(0)).next().unwrap();
+        let b = trace.segments_of(task_unit(1)).next().unwrap();
+        assert!(a.end <= b.start, "the first spawned thread runs first");
+    }
+
+    #[test]
+    #[should_panic(expected = "not making progress")]
+    fn non_progressing_bodies_are_detected() {
+        let mut engine = Engine::new(config(10));
+        engine.spawn(
+            "spin",
+            Priority::new(10),
+            Box::new(|_ctx: &mut BodyCtx, _c: Completion| Action::Compute {
+                amount: Span::ZERO,
+                unit: ExecUnit::ServerOverhead,
+            }),
+        );
+        engine.run();
+    }
+
+    #[test]
+    fn names_are_retained_for_diagnostics() {
+        let mut engine = Engine::new(config(10));
+        let e = engine.create_event("wakeUp");
+        let t = engine.spawn(
+            "server",
+            Priority::new(10),
+            Box::new(|_: &mut BodyCtx, _: Completion| Action::Terminate),
+        );
+        assert_eq!(engine.event_name(e), "wakeUp");
+        assert_eq!(engine.thread_name(t), "server");
+        assert_eq!(e.raw(), 0);
+        assert_eq!(t.raw(), 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! # rtsj-emu — emulation of the RTSJ execution substrate
+//!
+//! The paper implements its task-server framework on top of the Real-Time
+//! Specification for Java and measures it on the TimeSys reference
+//! implementation. This crate provides the corresponding substrate for the
+//! Rust reproduction:
+//!
+//! * [`params`] — the RTSJ parameter objects (`PriorityParameters`,
+//!   `ReleaseParameters`, `ProcessingGroupParameters`, and the paper's
+//!   `TaskServerParameters`);
+//! * [`body`] — the coroutine-style protocol ([`body::ThreadBody`]) through
+//!   which schedulable objects describe their behaviour to the engine,
+//!   covering `waitForNextPeriod`, event waits and `Timed.doInterruptible`;
+//! * [`engine`] — a deterministic virtual-time, preemptive fixed-priority
+//!   execution engine with asynchronous events, timers running above every
+//!   application priority, and `Timed` budget enforcement;
+//! * [`overhead`] — the explicit runtime-cost model that recreates the
+//!   execution-vs-simulation gap measured by the paper;
+//! * [`handlers`] — ready-made bodies for periodic real-time threads and
+//!   event-bound handlers;
+//! * [`wallclock`] — an optional real-thread demonstration runner.
+//!
+//! The task-server framework itself (the paper's contribution) lives in the
+//! `rt-taskserver` crate and is built entirely on this API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod body;
+pub mod engine;
+pub mod handlers;
+pub mod overhead;
+pub mod params;
+pub mod wallclock;
+
+pub use body::{Action, BodyCtx, Completion, ThreadBody};
+pub use engine::{Engine, EngineConfig, EventHandle, FireCtx, FireHook, ThreadHandle};
+pub use handlers::{BoundHandlerBody, HandlerRun, PeriodicThreadBody};
+pub use overhead::OverheadModel;
+pub use params::{
+    PriorityParameters, ProcessingGroupParameters, ReleaseParameters, TaskServerParameters,
+};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rt_model::{ExecUnit, Instant, Priority, Span, TaskId};
+
+    /// A random set of periodic workers: (priority, cost, period).
+    fn workers_strategy() -> impl Strategy<Value = Vec<(u8, u64, u64)>> {
+        proptest::collection::vec((1u8..90, 1u64..4, 5u64..20), 1..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The engine produces well-formed traces and conserves processor
+        /// time for arbitrary periodic workloads.
+        #[test]
+        fn engine_traces_are_well_formed(workers in workers_strategy()) {
+            let horizon = Instant::from_units(60);
+            let mut engine = Engine::new(
+                EngineConfig::new(horizon).with_overhead(OverheadModel::none()),
+            );
+            for (i, (prio, cost, period)) in workers.iter().enumerate() {
+                engine.spawn_periodic(
+                    format!("w{i}"),
+                    Priority::new(*prio),
+                    Instant::ZERO,
+                    Span::from_units(*period),
+                    Box::new(PeriodicThreadBody::new(
+                        Span::from_units(*cost),
+                        ExecUnit::Task(TaskId::new(i as u32)),
+                    )),
+                );
+            }
+            let trace = engine.run();
+            prop_assert!(trace.check_invariants().is_ok());
+            let busy: Span = trace
+                .segments
+                .iter()
+                .filter(|s| s.unit != ExecUnit::Idle)
+                .map(|s| s.duration())
+                .sum();
+            prop_assert!(busy <= horizon - Instant::ZERO);
+            prop_assert_eq!(busy + trace.idle_time(), horizon - Instant::ZERO);
+        }
+
+        /// The top-priority worker is never preempted, so it receives at
+        /// least one full cost of service per complete period of the horizon.
+        #[test]
+        fn highest_priority_worker_gets_its_full_demand(workers in workers_strategy()) {
+            let horizon_units = 60u64;
+            let horizon = Instant::from_units(horizon_units);
+            let mut engine = Engine::new(
+                EngineConfig::new(horizon).with_overhead(OverheadModel::none()),
+            );
+            for (i, (prio, cost, period)) in workers.iter().enumerate() {
+                let prio = if i == 0 { 99 } else { (*prio).min(90) };
+                engine.spawn_periodic(
+                    format!("w{i}"),
+                    Priority::new(prio),
+                    Instant::ZERO,
+                    Span::from_units(*period),
+                    Box::new(PeriodicThreadBody::new(
+                        Span::from_units(*cost),
+                        ExecUnit::Task(TaskId::new(i as u32)),
+                    )),
+                );
+            }
+            let trace = engine.run();
+            let (_, cost, period) = workers[0];
+            prop_assume!(cost <= period);
+            let full_periods = horizon_units / period;
+            let expected_min = Span::from_units(cost * full_periods);
+            prop_assert!(trace.busy_time(ExecUnit::Task(TaskId::new(0))) >= expected_min);
+        }
+
+        /// Determinism: two identical engines produce identical traces.
+        #[test]
+        fn engine_is_deterministic(workers in workers_strategy()) {
+            let build = || {
+                let mut engine = Engine::new(
+                    EngineConfig::new(Instant::from_units(40))
+                        .with_overhead(OverheadModel::reference()),
+                );
+                let event = engine.create_event("e");
+                engine.add_periodic_timer(Instant::from_units(1), Span::from_units(7), event);
+                let (body, _runs) = BoundHandlerBody::new(
+                    event,
+                    Span::from_units(1),
+                    ExecUnit::Handler(rt_model::EventId::new(0)),
+                );
+                engine.spawn("handler", Priority::new(95), Box::new(body));
+                for (i, (prio, cost, period)) in workers.iter().enumerate() {
+                    engine.spawn_periodic(
+                        format!("w{i}"),
+                        Priority::new(*prio),
+                        Instant::ZERO,
+                        Span::from_units(*period),
+                        Box::new(PeriodicThreadBody::new(
+                            Span::from_units(*cost),
+                            ExecUnit::Task(TaskId::new(i as u32)),
+                        )),
+                    );
+                }
+                engine.run()
+            };
+            prop_assert_eq!(build(), build());
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Wall-clock demonstration runner.
+//!
+//! Everything measured in this reproduction runs on the deterministic
+//! virtual-time engine, but the paper's executions ran on a real machine.
+//! This module provides a small, honest wall-clock counterpart: it executes a
+//! polling-server loop on real OS threads (periodic activation via sleeps,
+//! handler costs via busy work) and measures real response times. It makes no
+//! claim of hard real-time behaviour — the host is a time-shared OS without
+//! priority guarantees — and is used by the `wallclock_execution` example to
+//! show what the framework looks like when it leaves virtual time, and to
+//! sanity-check that the virtual-time results are not an artefact of the
+//! virtual clock.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+use rt_model::{Instant, Span};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// One aperiodic request submitted to the wall-clock server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WallclockRequest {
+    /// Release offset from the start of the run, in virtual time units.
+    pub release: Span,
+    /// Handler cost, in virtual time units.
+    pub cost: Span,
+}
+
+/// Measured outcome of one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WallclockOutcome {
+    /// The request.
+    pub request: WallclockRequest,
+    /// Wall-clock response time expressed back in virtual time units.
+    pub response_units: f64,
+    /// Whether the request was served before the run ended.
+    pub served: bool,
+}
+
+/// Configuration of the wall-clock polling-server demonstration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WallclockConfig {
+    /// Server capacity per period, in time units.
+    pub capacity: Span,
+    /// Server period, in time units.
+    pub period: Span,
+    /// Number of server periods to run.
+    pub periods: u64,
+    /// Wall-clock milliseconds per time unit (the scale factor).
+    pub millis_per_unit: f64,
+}
+
+impl Default for WallclockConfig {
+    fn default() -> Self {
+        WallclockConfig {
+            capacity: Span::from_units(4),
+            period: Span::from_units(6),
+            periods: 10,
+            millis_per_unit: 2.0,
+        }
+    }
+}
+
+fn units_to_duration(units: f64, millis_per_unit: f64) -> Duration {
+    Duration::from_secs_f64((units * millis_per_unit / 1_000.0).max(0.0))
+}
+
+/// Burns CPU for roughly the requested duration (the handler "work").
+fn busy_work(duration: Duration) {
+    let start = std::time::Instant::now();
+    let mut x: u64 = 0;
+    while start.elapsed() < duration {
+        // Cheap, optimisation-resistant busy loop.
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        std::hint::black_box(x);
+    }
+}
+
+/// Runs a polling-server loop on real threads: a generator thread releases the
+/// requests at their offsets, the server thread activates every period with a
+/// fresh capacity and serves pending requests FIFO, skipping (and retaining)
+/// any request whose cost exceeds the remaining capacity — the same
+/// non-resumable constraint as the paper's implementation.
+pub fn run_polling_wallclock(
+    config: WallclockConfig,
+    requests: &[WallclockRequest],
+) -> Vec<WallclockOutcome> {
+    let (tx, rx) = channel::unbounded::<(usize, std::time::Instant)>();
+    let outcomes: Arc<Mutex<Vec<Option<WallclockOutcome>>>> =
+        Arc::new(Mutex::new(vec![None; requests.len()]));
+    let start = std::time::Instant::now();
+    let scale = config.millis_per_unit;
+
+    // Generator thread: releases requests at their offsets.
+    let request_list: Vec<WallclockRequest> = requests.to_vec();
+    let generator = {
+        let tx = tx.clone();
+        thread::spawn(move || {
+            for (i, request) in request_list.iter().enumerate() {
+                let target = units_to_duration(request.release.as_units(), scale);
+                let elapsed = start.elapsed();
+                if target > elapsed {
+                    thread::sleep(target - elapsed);
+                }
+                let _ = tx.send((i, std::time::Instant::now()));
+            }
+        })
+    };
+    drop(tx);
+
+    // Server loop on the current thread (the "polling server").
+    let horizon = units_to_duration(config.period.as_units() * config.periods as f64, scale);
+    let mut pending: Vec<(usize, std::time::Instant)> = Vec::new();
+    let mut served = 0usize;
+    for activation in 0..config.periods {
+        let activation_at =
+            units_to_duration(config.period.as_units() * activation as f64, scale);
+        let elapsed = start.elapsed();
+        if activation_at > elapsed {
+            thread::sleep(activation_at - elapsed);
+        }
+        // Collect everything released so far.
+        while let Ok(released) = rx.try_recv() {
+            pending.push(released);
+        }
+        let mut remaining = config.capacity.as_units();
+        let mut index = 0;
+        while index < pending.len() {
+            let (request_index, released_at) = pending[index];
+            let cost = requests[request_index].cost.as_units();
+            if cost > remaining {
+                index += 1;
+                continue;
+            }
+            busy_work(units_to_duration(cost, scale));
+            remaining -= cost;
+            let response = released_at.elapsed().as_secs_f64() * 1_000.0 / scale;
+            outcomes.lock()[request_index] = Some(WallclockOutcome {
+                request: requests[request_index],
+                response_units: response,
+                served: true,
+            });
+            served += 1;
+            pending.remove(index);
+        }
+        if start.elapsed() >= horizon {
+            break;
+        }
+    }
+    let _ = generator.join();
+    let _ = served;
+
+    let locked = outcomes.lock();
+    requests
+        .iter()
+        .enumerate()
+        .map(|(i, request)| {
+            locked[i].unwrap_or(WallclockOutcome {
+                request: *request,
+                response_units: f64::INFINITY,
+                served: false,
+            })
+        })
+        .collect()
+}
+
+/// Converts wall-clock outcomes into the average response time of the served
+/// requests (in time units), or `None` when nothing was served.
+pub fn average_response(outcomes: &[WallclockOutcome]) -> Option<f64> {
+    let served: Vec<f64> =
+        outcomes.iter().filter(|o| o.served).map(|o| o.response_units).collect();
+    if served.is_empty() {
+        None
+    } else {
+        Some(served.iter().sum::<f64>() / served.len() as f64)
+    }
+}
+
+/// Helper for examples: a small burst of requests at the start of the run.
+pub fn burst(count: usize, cost: Span, spacing: Span) -> Vec<WallclockRequest> {
+    (0..count)
+        .map(|i| WallclockRequest { release: spacing.saturating_mul(i as u64), cost })
+        .collect()
+}
+
+/// Placeholder instant conversion used by examples reporting absolute times.
+pub fn virtual_release(request: &WallclockRequest) -> Instant {
+    Instant::ZERO + request.release
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wallclock_polling_server_serves_a_light_burst() {
+        let config = WallclockConfig {
+            capacity: Span::from_units(4),
+            period: Span::from_units(6),
+            periods: 4,
+            millis_per_unit: 1.0,
+        };
+        let requests = burst(3, Span::from_units(2), Span::from_units(6));
+        let outcomes = run_polling_wallclock(config, &requests);
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes.iter().all(|o| o.served), "a light burst must be fully served");
+        for o in &outcomes {
+            assert!(o.response_units.is_finite());
+            assert!(o.response_units >= 0.0);
+        }
+        assert!(average_response(&outcomes).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn oversized_requests_are_never_served() {
+        let config = WallclockConfig {
+            capacity: Span::from_units(2),
+            period: Span::from_units(4),
+            periods: 2,
+            millis_per_unit: 1.0,
+        };
+        let requests = vec![WallclockRequest { release: Span::ZERO, cost: Span::from_units(3) }];
+        let outcomes = run_polling_wallclock(config, &requests);
+        assert!(!outcomes[0].served);
+        assert_eq!(average_response(&outcomes), None);
+    }
+
+    #[test]
+    fn burst_helper_spaces_requests() {
+        let requests = burst(3, Span::from_units(1), Span::from_units(5));
+        assert_eq!(requests[0].release, Span::ZERO);
+        assert_eq!(requests[2].release, Span::from_units(10));
+        assert_eq!(virtual_release(&requests[2]), Instant::from_units(10));
+    }
+}

@@ -1,0 +1,199 @@
+//! Capacity state machines for the literature-exact aperiodic servers
+//! simulated by RTSS.
+//!
+//! These implement the *textbook* policies (Lehoczky, Sha & Strosnider for
+//! the Deferrable Server; Lehoczky et al. / Sprunt et al. for the Polling
+//! Server), not the paper's RTSJ implementation: handlers are resumable, the
+//! server never pays any overhead, and capacity accounting is exact. The
+//! differences with the implementation are precisely what Tables 2–5 measure.
+
+use rt_model::{Instant, ServerPolicyKind, ServerSpec, Span};
+
+/// Runtime capacity state of a simulated aperiodic server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerState {
+    /// Static specification.
+    pub spec: ServerSpec,
+    /// Remaining capacity in the current period.
+    pub capacity: Span,
+    /// Next replenishment instant.
+    pub next_replenishment: Instant,
+}
+
+impl ServerState {
+    /// Creates the state as it is just before time zero: the first
+    /// replenishment (the server's initial activation) is scheduled at time
+    /// zero itself, so the engine's very first call to [`Self::replenish_due`]
+    /// decides — based on whether anything is already pending — whether a
+    /// Polling Server keeps or forfeits its first capacity.
+    pub fn new(spec: ServerSpec) -> Self {
+        let (capacity, next) = match spec.policy {
+            ServerPolicyKind::Background => (Span::MAX, Instant::MAX),
+            _ => (Span::ZERO, Instant::ZERO),
+        };
+        ServerState { spec, capacity, next_replenishment: next }
+    }
+
+    /// True when the policy maintains a finite capacity.
+    pub fn is_capacity_limited(&self) -> bool {
+        self.spec.policy != ServerPolicyKind::Background
+    }
+
+    /// Applies every replenishment due at or before `now`, returning `true`
+    /// when at least one replenishment happened.
+    ///
+    /// `queue_empty` lets the Polling Server discard the fresh capacity
+    /// immediately when it has nothing to serve at its activation instant.
+    pub fn replenish_due(&mut self, now: Instant, queue_empty: bool) -> bool {
+        if !self.is_capacity_limited() {
+            return false;
+        }
+        let mut replenished = false;
+        while self.next_replenishment <= now {
+            self.capacity = self.spec.capacity;
+            self.next_replenishment = self.next_replenishment + self.spec.period;
+            replenished = true;
+        }
+        if replenished && self.spec.policy == ServerPolicyKind::Polling && queue_empty {
+            // The PS "loses its remaining capacity until its next activation"
+            // as soon as there is nothing to poll.
+            self.capacity = Span::ZERO;
+        }
+        replenished
+    }
+
+    /// Consumes capacity after the server executed for `amount`.
+    pub fn consume(&mut self, amount: Span) {
+        if self.is_capacity_limited() {
+            debug_assert!(amount <= self.capacity, "server executed beyond its capacity");
+            self.capacity = self.capacity.saturating_sub(amount);
+        }
+    }
+
+    /// Called by the engine when the pending queue just became empty; the
+    /// Polling Server forfeits whatever capacity is left.
+    pub fn on_queue_emptied(&mut self) {
+        if self.spec.policy == ServerPolicyKind::Polling {
+            self.capacity = Span::ZERO;
+        }
+    }
+
+    /// True when the server may execute right now, given whether it has
+    /// pending work.
+    pub fn is_ready(&self, queue_empty: bool) -> bool {
+        !queue_empty && (!self.is_capacity_limited() || !self.capacity.is_zero())
+    }
+
+    /// The largest slice the server may execute in one go from `now` before a
+    /// capacity-related decision point (capacity exhaustion). Replenishments
+    /// are decision points handled by the engine's event horizon.
+    pub fn max_slice(&self) -> Span {
+        if self.is_capacity_limited() {
+            self.capacity
+        } else {
+            Span::MAX
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_model::Priority;
+
+    fn polling() -> ServerState {
+        ServerState::new(ServerSpec::polling(
+            Span::from_units(3),
+            Span::from_units(6),
+            Priority::new(30),
+        ))
+    }
+
+    fn deferrable() -> ServerState {
+        ServerState::new(ServerSpec::deferrable(
+            Span::from_units(3),
+            Span::from_units(6),
+            Priority::new(30),
+        ))
+    }
+
+    #[test]
+    fn initial_activation_is_scheduled_at_time_zero() {
+        let mut s = polling();
+        assert_eq!(s.next_replenishment, Instant::ZERO);
+        assert!(s.is_capacity_limited());
+        // With pending work at time zero the first activation keeps the full
+        // capacity and schedules the next replenishment one period later.
+        assert!(s.replenish_due(Instant::ZERO, false));
+        assert_eq!(s.capacity, Span::from_units(3));
+        assert_eq!(s.next_replenishment, Instant::from_units(6));
+        // Without pending work a polling server forfeits it immediately.
+        let mut idle = polling();
+        assert!(idle.replenish_due(Instant::ZERO, true));
+        assert_eq!(idle.capacity, Span::ZERO);
+    }
+
+    #[test]
+    fn background_server_is_never_capacity_limited() {
+        let mut s = ServerState::new(ServerSpec::background(Priority::MIN));
+        assert!(!s.is_capacity_limited());
+        assert!(!s.replenish_due(Instant::from_units(100), true));
+        s.consume(Span::from_units(50));
+        assert_eq!(s.max_slice(), Span::MAX);
+        assert!(s.is_ready(false));
+        assert!(!s.is_ready(true));
+    }
+
+    #[test]
+    fn polling_server_discards_capacity_when_idle_at_activation() {
+        let mut s = polling();
+        assert!(s.replenish_due(Instant::from_units(6), true));
+        assert_eq!(s.capacity, Span::ZERO);
+        // Next activation with pending work gets the full capacity back.
+        assert!(s.replenish_due(Instant::from_units(12), false));
+        assert_eq!(s.capacity, Span::from_units(3));
+    }
+
+    #[test]
+    fn deferrable_server_keeps_capacity_when_idle() {
+        let mut s = deferrable();
+        assert!(s.replenish_due(Instant::from_units(6), true));
+        assert_eq!(s.capacity, Span::from_units(3));
+    }
+
+    #[test]
+    fn consume_and_queue_emptied() {
+        let mut s = polling();
+        s.replenish_due(Instant::ZERO, false);
+        s.consume(Span::from_units(2));
+        assert_eq!(s.capacity, Span::from_units(1));
+        s.on_queue_emptied();
+        assert_eq!(s.capacity, Span::ZERO);
+
+        let mut d = deferrable();
+        d.replenish_due(Instant::ZERO, false);
+        d.consume(Span::from_units(2));
+        d.on_queue_emptied();
+        assert_eq!(d.capacity, Span::from_units(1), "the DS keeps its remaining capacity");
+    }
+
+    #[test]
+    fn multiple_missed_replenishments_are_collapsed() {
+        let mut s = deferrable();
+        s.replenish_due(Instant::ZERO, false);
+        s.consume(Span::from_units(3));
+        assert!(s.replenish_due(Instant::from_units(20), false));
+        assert_eq!(s.capacity, Span::from_units(3));
+        assert_eq!(s.next_replenishment, Instant::from_units(24));
+    }
+
+    #[test]
+    fn readiness_depends_on_capacity_and_queue() {
+        let mut s = polling();
+        s.replenish_due(Instant::ZERO, false);
+        assert!(s.is_ready(false));
+        assert!(!s.is_ready(true));
+        s.consume(Span::from_units(3));
+        assert!(!s.is_ready(false));
+    }
+}

@@ -1,0 +1,301 @@
+//! The random real-time system generator (paper §6.1).
+//!
+//! For each generated system the generator draws, independently for every
+//! server period of the horizon, a Poisson-distributed number of aperiodic
+//! events (mean = `taskDensity`), places them uniformly at random within the
+//! period, and draws their costs from the configured [`CostModel`]. The
+//! result is a [`SystemSpec`] containing the server and the aperiodic
+//! traffic — exactly what both the simulator and the execution engine
+//! consume — optionally augmented with a synthetic periodic task set
+//! (UUniFast) running below the server.
+
+use crate::cost::CostModel;
+use crate::distributions::poisson;
+use crate::params::GeneratorParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rt_model::{
+    Instant, Priority, ServerPolicyKind, ServerSpec, Span, SymbolicPriority, SystemSpec,
+};
+
+/// Optional periodic load generated below the server (an extension over the
+/// paper, whose generated systems contain only the server and the aperiodic
+/// traffic because a highest-priority server makes the aperiodic response
+/// times independent of what runs below it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodicLoad {
+    /// Number of periodic tasks.
+    pub count: usize,
+    /// Total utilisation to share among them (UUniFast).
+    pub utilization: f64,
+    /// Smallest period, in time units.
+    pub min_period: f64,
+    /// Largest period, in time units.
+    pub max_period: f64,
+}
+
+/// The random system generator.
+#[derive(Debug, Clone)]
+pub struct RandomSystemGenerator {
+    params: GeneratorParams,
+    cost_model: CostModel,
+    policy: ServerPolicyKind,
+    periodic_load: Option<PeriodicLoad>,
+}
+
+impl RandomSystemGenerator {
+    /// Creates a generator with the paper's cost model (normal distribution
+    /// clamped at 0.1 tu, capped at the server capacity).
+    pub fn new(params: GeneratorParams, policy: ServerPolicyKind) -> Result<Self, String> {
+        params.validate()?;
+        let cost_model = CostModel::paper(
+            params.average_cost,
+            params.std_deviation,
+            params.server_capacity,
+        );
+        Ok(RandomSystemGenerator { params, cost_model, policy, periodic_load: None })
+    }
+
+    /// Replaces the cost model (e.g. with [`CostModel::resampling`]).
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Adds a synthetic periodic task set below the server.
+    pub fn with_periodic_load(mut self, load: PeriodicLoad) -> Self {
+        self.periodic_load = Some(load);
+        self
+    }
+
+    /// The generator parameters.
+    pub fn params(&self) -> &GeneratorParams {
+        &self.params
+    }
+
+    /// Generates all `nbGeneration` systems.
+    pub fn generate(&self) -> Vec<SystemSpec> {
+        (0..self.params.nb_generation)
+            .map(|i| self.generate_one(i))
+            .collect()
+    }
+
+    /// Generates the `index`-th system of the batch. Each system gets its own
+    /// RNG stream derived from (seed, index) so systems are independent and
+    /// any one of them can be regenerated without replaying the whole batch.
+    pub fn generate_one(&self, index: usize) -> SystemSpec {
+        let mut rng = StdRng::seed_from_u64(
+            self.params.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(index as u64),
+        );
+        let period = self.params.server_period;
+        let horizon = self.params.horizon();
+
+        let mut builder = SystemSpec::builder(format!(
+            "gen(density={}, std={}, seed={}, #{index})",
+            self.params.task_density, self.params.std_deviation, self.params.seed
+        ));
+        let server_priority = SymbolicPriority::High.to_priority();
+        let server = ServerSpec {
+            policy: self.policy,
+            capacity: self.params.server_capacity,
+            period,
+            priority: server_priority,
+        };
+        builder.server(server);
+
+        if let Some(load) = self.periodic_load {
+            let utilizations = uunifast(&mut rng, load.count, load.utilization);
+            for (i, u) in utilizations.into_iter().enumerate() {
+                let period_units =
+                    rng.gen_range(load.min_period..=load.max_period.max(load.min_period));
+                let period = Span::from_units_f64(period_units);
+                let cost = Span::from_units_f64(u * period_units).max(Span::from_ticks(1));
+                // Periodic tasks sit strictly below the server priority.
+                let prio = Priority::new(
+                    server_priority.level().saturating_sub(1 + i as u8).max(Priority::MIN.level()),
+                );
+                builder.periodic(format!("gen-tau{i}"), cost, period, prio);
+            }
+        }
+
+        // Poisson arrivals: one draw per server period, uniform placement.
+        let mut releases: Vec<Instant> = Vec::new();
+        for k in 0..self.params.horizon_periods {
+            let count = poisson(&mut rng, self.params.task_density);
+            let start = Instant::ZERO + period.saturating_mul(k);
+            for _ in 0..count {
+                let offset_ticks = rng.gen_range(0..period.ticks());
+                releases.push(start + Span::from_ticks(offset_ticks));
+            }
+        }
+        releases.sort();
+        for release in releases {
+            let cost = self.cost_model.sample(&mut rng);
+            builder.aperiodic(release, cost);
+        }
+        builder.horizon(horizon);
+        builder
+            .build()
+            .expect("generated systems are valid by construction")
+    }
+}
+
+/// The UUniFast algorithm (Bini & Buttazzo): draws `n` task utilisations
+/// summing to `total`, uniformly over the simplex.
+pub fn uunifast<R: Rng + ?Sized>(rng: &mut R, n: usize, total: f64) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut utilizations = Vec::with_capacity(n);
+    let mut remaining = total;
+    for i in 1..n {
+        let exponent = 1.0 / (n - i) as f64;
+        let next = remaining * rng.gen::<f64>().powf(exponent);
+        utilizations.push(remaining - next);
+        remaining = next;
+    }
+    utilizations.push(remaining);
+    utilizations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator(density: u32, std_dev: u32) -> RandomSystemGenerator {
+        RandomSystemGenerator::new(
+            GeneratorParams::paper_set(density, std_dev),
+            ServerPolicyKind::Polling,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn generates_the_requested_number_of_systems() {
+        let systems = generator(1, 0).generate();
+        assert_eq!(systems.len(), 10);
+        for sys in &systems {
+            assert!(sys.validate().is_ok());
+            assert_eq!(sys.horizon, Instant::from_units(60));
+            assert_eq!(sys.server.as_ref().unwrap().capacity, Span::from_units(4));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = generator(2, 2).generate();
+        let b = generator(2, 2).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_traffic() {
+        let mut params = GeneratorParams::paper_set(2, 2);
+        params.seed = 2024;
+        let other = RandomSystemGenerator::new(params, ServerPolicyKind::Polling).unwrap();
+        let a = generator(2, 2).generate();
+        let b = other.generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn homogeneous_sets_have_constant_costs() {
+        for sys in generator(1, 0).generate() {
+            for e in &sys.aperiodics {
+                assert_eq!(e.declared_cost, Span::from_units(3));
+                assert_eq!(e.actual_cost, Span::from_units(3));
+            }
+        }
+    }
+
+    #[test]
+    fn density_controls_the_average_number_of_events() {
+        // Aggregate over the ten systems of each set: densities 1 vs 3 per
+        // period over 10 periods and 10 systems → expected 100 vs 300 events.
+        let count = |d| -> usize {
+            generator(d, 0).generate().iter().map(|s| s.aperiodics.len()).sum()
+        };
+        let low = count(1);
+        let high = count(3);
+        assert!(low > 50 && low < 150, "density-1 sets produced {low} events");
+        assert!(high > 220 && high < 380, "density-3 sets produced {high} events");
+        assert!(high > low);
+    }
+
+    #[test]
+    fn heterogeneous_costs_vary_but_respect_bounds() {
+        let systems = generator(2, 2).generate();
+        let mut distinct = std::collections::BTreeSet::new();
+        for sys in &systems {
+            for e in &sys.aperiodics {
+                assert!(e.declared_cost <= Span::from_units(4));
+                assert!(e.declared_cost >= Span::from_units_f64(0.1));
+                distinct.insert(e.declared_cost);
+            }
+        }
+        assert!(distinct.len() > 10, "costs should vary across events");
+    }
+
+    #[test]
+    fn events_fall_within_the_horizon_and_are_sorted() {
+        for sys in generator(3, 2).generate() {
+            assert!(sys.aperiodics.windows(2).all(|w| w[0].release <= w[1].release));
+            assert!(sys.aperiodics.iter().all(|e| e.release < sys.horizon));
+        }
+    }
+
+    #[test]
+    fn deferrable_flavour_only_changes_the_policy() {
+        let ps = generator(1, 2).generate();
+        let ds = RandomSystemGenerator::new(
+            GeneratorParams::paper_set(1, 2),
+            ServerPolicyKind::Deferrable,
+        )
+        .unwrap()
+        .generate();
+        assert_eq!(ps.len(), ds.len());
+        for (a, b) in ps.iter().zip(ds.iter()) {
+            assert_eq!(a.aperiodics, b.aperiodics, "same seed must give the same traffic");
+            assert_eq!(a.server.as_ref().unwrap().policy, ServerPolicyKind::Polling);
+            assert_eq!(b.server.as_ref().unwrap().policy, ServerPolicyKind::Deferrable);
+        }
+    }
+
+    #[test]
+    fn periodic_load_is_generated_below_the_server() {
+        let gen = generator(1, 0).with_periodic_load(PeriodicLoad {
+            count: 3,
+            utilization: 0.3,
+            min_period: 10.0,
+            max_period: 40.0,
+        });
+        let sys = gen.generate_one(0);
+        assert_eq!(sys.periodic_tasks.len(), 3);
+        let server_prio = sys.server.as_ref().unwrap().priority;
+        for t in &sys.periodic_tasks {
+            assert!(server_prio.preempts(t.priority));
+        }
+        let u: f64 = sys.periodic_tasks.iter().map(|t| t.utilization()).sum();
+        assert!(u > 0.0 && u < 0.5);
+    }
+
+    #[test]
+    fn uunifast_sums_to_total() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in 1..10 {
+            let us = uunifast(&mut rng, n, 0.7);
+            assert_eq!(us.len(), n);
+            let sum: f64 = us.iter().sum();
+            assert!((sum - 0.7).abs() < 1e-9);
+            assert!(us.iter().all(|&u| u >= 0.0));
+        }
+        assert!(uunifast(&mut rng, 0, 0.7).is_empty());
+    }
+
+    #[test]
+    fn invalid_params_are_rejected_at_construction() {
+        let mut params = GeneratorParams::paper_baseline();
+        params.task_density = -1.0;
+        assert!(RandomSystemGenerator::new(params, ServerPolicyKind::Polling).is_err());
+    }
+}
