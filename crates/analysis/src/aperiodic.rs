@@ -31,7 +31,10 @@ impl ServerParams {
     pub fn new(capacity: Span, period: Span) -> Self {
         assert!(!period.is_zero(), "server period must be positive");
         assert!(!capacity.is_zero(), "server capacity must be positive");
-        assert!(capacity <= period, "server capacity cannot exceed its period");
+        assert!(
+            capacity <= period,
+            "server capacity cannot exceed its period"
+        );
         ServerParams { capacity, period }
     }
 
@@ -64,7 +67,10 @@ pub fn textbook_ps_response_time(
     pending_work: Span,
     release: Instant,
 ) -> Span {
-    assert!(release <= t, "the analysis instant cannot precede the release");
+    assert!(
+        release <= t,
+        "the analysis instant cannot precede the release"
+    );
     if pending_work <= remaining_capacity {
         // Equation (1), first case: everything fits in the current instance.
         return (t + pending_work) - release;
@@ -149,7 +155,11 @@ impl InstancePacker {
     /// active at `now`, with `remaining_capacity` left in it.
     pub fn new(server: ServerParams, now: Instant, remaining_capacity: Span) -> Self {
         let next = server.next_instance_index(now);
-        let current = if now.ticks() % server.period.ticks() == 0 { next } else { next - 1 };
+        let current = if now.ticks().is_multiple_of(server.period.ticks()) {
+            next
+        } else {
+            next - 1
+        };
         InstancePacker {
             server,
             last_instance: current,
@@ -198,7 +208,11 @@ impl InstancePacker {
             self.last_instance += 1;
             self.last_load = cost;
             self.last_capacity = self.server.capacity;
-            InstanceSlot { instance: self.last_instance, prior_cost: Span::ZERO, cost }
+            InstanceSlot {
+                instance: self.last_instance,
+                prior_cost: Span::ZERO,
+                cost,
+            }
         }
     }
 
@@ -361,7 +375,10 @@ mod tests {
     fn packer_small_job_can_use_first_instance_when_it_fits() {
         let mut p = InstancePacker::new(server(), Instant::from_units(2), Span::from_units(1));
         let slot = p.push(Span::from_units(1));
-        assert_eq!(slot.instance, 0, "fits in the remaining capacity of the current instance");
+        assert_eq!(
+            slot.instance, 0,
+            "fits in the remaining capacity of the current instance"
+        );
     }
 
     #[test]
@@ -376,7 +393,10 @@ mod tests {
         let mut p = InstancePacker::from_instance(server(), 1);
         let slot = p.push(Span::from_units(2));
         // Instance 1 starts at 6; release at 4 -> response 6 + 0 + 2 - 4 = 4.
-        assert_eq!(slot.response_time(server(), Instant::from_units(4)), Span::from_units(4));
+        assert_eq!(
+            slot.response_time(server(), Instant::from_units(4)),
+            Span::from_units(4)
+        );
     }
 
     #[test]

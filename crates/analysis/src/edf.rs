@@ -52,11 +52,7 @@ fn testing_interval_bound(tasks: &[PeriodicTask]) -> Option<Span> {
         })
         .sum();
     let l_star = numerator / (1.0 - u);
-    let max_deadline = tasks
-        .iter()
-        .map(|t| t.deadline)
-        .max()
-        .unwrap_or(Span::ZERO);
+    let max_deadline = tasks.iter().map(|t| t.deadline).max().unwrap_or(Span::ZERO);
     Some(Span::from_units_f64(l_star).max(max_deadline))
 }
 
@@ -115,17 +111,32 @@ mod tests {
     fn demand_bound_counts_whole_jobs_only() {
         let tasks = vec![task(0, 2, 6)];
         assert_eq!(demand_bound(&tasks, Span::from_units(5)), Span::ZERO);
-        assert_eq!(demand_bound(&tasks, Span::from_units(6)), Span::from_units(2));
-        assert_eq!(demand_bound(&tasks, Span::from_units(11)), Span::from_units(2));
-        assert_eq!(demand_bound(&tasks, Span::from_units(12)), Span::from_units(4));
+        assert_eq!(
+            demand_bound(&tasks, Span::from_units(6)),
+            Span::from_units(2)
+        );
+        assert_eq!(
+            demand_bound(&tasks, Span::from_units(11)),
+            Span::from_units(2)
+        );
+        assert_eq!(
+            demand_bound(&tasks, Span::from_units(12)),
+            Span::from_units(4)
+        );
     }
 
     #[test]
     fn demand_bound_with_constrained_deadline() {
         let tasks = vec![task(0, 2, 10).with_deadline(Span::from_units(4))];
         assert_eq!(demand_bound(&tasks, Span::from_units(3)), Span::ZERO);
-        assert_eq!(demand_bound(&tasks, Span::from_units(4)), Span::from_units(2));
-        assert_eq!(demand_bound(&tasks, Span::from_units(14)), Span::from_units(4));
+        assert_eq!(
+            demand_bound(&tasks, Span::from_units(4)),
+            Span::from_units(2)
+        );
+        assert_eq!(
+            demand_bound(&tasks, Span::from_units(14)),
+            Span::from_units(4)
+        );
     }
 
     #[test]

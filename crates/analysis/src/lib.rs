@@ -41,41 +41,55 @@ pub use utilization::{
 
 #[cfg(test)]
 mod proptests {
+    //! Randomised property tests. The offline build environment has no
+    //! `proptest`, so the same properties are exercised over seeded,
+    //! deterministic random cases instead of shrinking strategies.
+
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use rt_model::{Instant, Priority, Span};
 
-    fn tasks_strategy() -> impl Strategy<Value = Vec<rta::AnalysisTask>> {
-        proptest::collection::vec((1u64..10, 10u64..100, 1u8..90), 1..6).prop_map(|raw| {
-            raw.into_iter()
-                .enumerate()
-                .map(|(i, (c, t, p))| {
-                    rta::AnalysisTask::new(
-                        format!("t{i}"),
-                        Span::from_units(c),
-                        Span::from_units(t.max(c + 1)),
-                        Priority::new(p),
-                    )
-                })
-                .collect()
-        })
+    const CASES: usize = 256;
+
+    fn random_tasks(rng: &mut StdRng) -> Vec<rta::AnalysisTask> {
+        let n = rng.gen_range(1u64..6) as usize;
+        (0..n)
+            .map(|i| {
+                let c = rng.gen_range(1u64..10);
+                let t = rng.gen_range(10u64..100);
+                let p = rng.gen_range(1u64..90) as u8;
+                rta::AnalysisTask::new(
+                    format!("t{i}"),
+                    Span::from_units(c),
+                    Span::from_units(t.max(c + 1)),
+                    Priority::new(p),
+                )
+            })
+            .collect()
     }
 
-    proptest! {
-        /// A converged response time is never smaller than the task's own cost.
-        #[test]
-        fn response_time_at_least_cost(tasks in tasks_strategy()) {
+    /// A converged response time is never smaller than the task's own cost.
+    #[test]
+    fn response_time_at_least_cost() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0400);
+        for _ in 0..CASES {
+            let tasks = random_tasks(&mut rng);
             let result = analyse(&tasks);
             for (task, resp) in tasks.iter().zip(result.tasks.iter()) {
                 if let Some(r) = resp.response_time {
-                    prop_assert!(r >= task.cost);
+                    assert!(r >= task.cost);
                 }
             }
         }
+    }
 
-        /// Adding a higher-priority task never decreases anyone's response time.
-        #[test]
-        fn adding_interference_is_monotone(tasks in tasks_strategy()) {
+    /// Adding a higher-priority task never decreases anyone's response time.
+    #[test]
+    fn adding_interference_is_monotone() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0401);
+        for _ in 0..CASES {
+            let tasks = random_tasks(&mut rng);
             let base = analyse(&tasks);
             let mut augmented = tasks.clone();
             augmented.push(rta::AnalysisTask::new(
@@ -89,23 +103,25 @@ mod proptests {
                 let before_r = base.tasks[i].response_time;
                 let after_r = after.tasks[i].response_time;
                 match (before_r, after_r) {
-                    (Some(b), Some(a)) => prop_assert!(a >= b, "task {} got faster", task.name),
-                    (None, Some(_)) => prop_assert!(false, "unschedulable became schedulable"),
+                    (Some(b), Some(a)) => assert!(a >= b, "task {} got faster", task.name),
+                    (None, Some(_)) => panic!("unschedulable became schedulable"),
                     _ => {}
                 }
             }
         }
+    }
 
-        /// The textbook PS response time is never smaller than the pending work
-        /// and is achieved exactly when everything fits in the current capacity.
-        #[test]
-        fn textbook_ps_response_lower_bound(
-            capacity in 1u64..10,
-            extra_period in 0u64..10,
-            remaining in 0u64..10,
-            pending in 1u64..40,
-            release in 0u64..30,
-        ) {
+    /// The textbook PS response time is never smaller than the pending work
+    /// and is achieved exactly when everything fits in the current capacity.
+    #[test]
+    fn textbook_ps_response_lower_bound() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0402);
+        for _ in 0..CASES {
+            let capacity = rng.gen_range(1u64..10);
+            let extra_period = rng.gen_range(0u64..10);
+            let remaining = rng.gen_range(0u64..10);
+            let pending = rng.gen_range(1u64..40);
+            let release = rng.gen_range(0u64..30);
             let period = capacity + extra_period.max(1);
             let server = ServerParams::new(Span::from_units(capacity), Span::from_units(period));
             let remaining = Span::from_units(remaining.min(capacity));
@@ -113,22 +129,27 @@ mod proptests {
             let t = Instant::from_units(release);
             let r = textbook_ps_response_time(server, t, remaining, pending, t);
             if pending <= remaining {
-                prop_assert_eq!(r, pending);
+                assert_eq!(r, pending);
             } else {
                 // In the spill-over case the equations credit the whole
                 // remaining capacity at once, so the response is bounded
                 // below by the work that has to wait for later instances.
-                prop_assert!(r >= pending - remaining,
-                    "response cannot beat the spilled work");
+                assert!(
+                    r >= pending - remaining,
+                    "response cannot beat the spilled work"
+                );
             }
         }
+    }
 
-        /// InstancePacker never overfills an instance and keeps FIFO order.
-        #[test]
-        fn packer_never_overfills(
-            capacity in 2u64..10,
-            costs in proptest::collection::vec(1u64..10, 1..30),
-        ) {
+    /// InstancePacker never overfills an instance and keeps FIFO order.
+    #[test]
+    fn packer_never_overfills() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0403);
+        for _ in 0..CASES {
+            let capacity = rng.gen_range(2u64..10);
+            let count = rng.gen_range(1u64..30) as usize;
+            let costs: Vec<u64> = (0..count).map(|_| rng.gen_range(1u64..10)).collect();
             let period = capacity + 2;
             let server = ServerParams::new(Span::from_units(capacity), Span::from_units(period));
             let mut packer = InstancePacker::from_instance(server, 0);
@@ -143,24 +164,27 @@ mod proptests {
                 *load.entry(s.instance).or_insert(Span::ZERO) += s.cost;
             }
             for (_, l) in load {
-                prop_assert!(l <= Span::from_units(capacity));
+                assert!(l <= Span::from_units(capacity));
             }
             // FIFO: instances are non-decreasing, prior costs strictly
             // increase within an instance.
             for w in slots.windows(2) {
-                prop_assert!(w[1].instance >= w[0].instance);
+                assert!(w[1].instance >= w[0].instance);
                 if w[1].instance == w[0].instance {
-                    prop_assert!(w[1].prior_cost >= w[0].prior_cost + w[0].cost);
+                    assert!(w[1].prior_cost >= w[0].prior_cost + w[0].cost);
                 }
             }
         }
+    }
 
-        /// Equation (5) through a packer is consistent with replaying the
-        /// instances by hand.
-        #[test]
-        fn packer_response_times_are_consistent(
-            costs in proptest::collection::vec(1u64..5, 1..15),
-        ) {
+    /// Equation (5) through a packer is consistent with replaying the
+    /// instances by hand.
+    #[test]
+    fn packer_response_times_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0404);
+        for _ in 0..CASES {
+            let count = rng.gen_range(1u64..15) as usize;
+            let costs: Vec<u64> = (0..count).map(|_| rng.gen_range(1u64..5)).collect();
             let server = ServerParams::new(Span::from_units(5), Span::from_units(8));
             let mut packer = InstancePacker::from_instance(server, 0);
             let release = Instant::from_units(0);
@@ -168,8 +192,9 @@ mod proptests {
                 let cost = Span::from_units(c);
                 let slot = packer.push(cost);
                 let r = slot.response_time(server, release);
-                let manual = server.instance_start(slot.instance) + slot.prior_cost + cost - release;
-                prop_assert_eq!(r, manual);
+                let manual =
+                    server.instance_start(slot.instance) + slot.prior_cost + cost - release;
+                assert_eq!(r, manual);
             }
         }
     }

@@ -119,7 +119,10 @@ impl RtaResult {
     /// Response time of the task with the given name, if it was analysed and
     /// converged.
     pub fn response_of(&self, name: &str) -> Option<Span> {
-        self.tasks.iter().find(|t| t.name == name).and_then(|t| t.response_time)
+        self.tasks
+            .iter()
+            .find(|t| t.name == name)
+            .and_then(|t| t.response_time)
     }
 }
 
@@ -169,8 +172,7 @@ pub fn analyse(tasks: &[AnalysisTask]) -> RtaResult {
             .enumerate()
             .filter(|(j, other)| {
                 *j != i
-                    && (other.priority.preempts(task.priority)
-                        || other.priority == task.priority)
+                    && (other.priority.preempts(task.priority) || other.priority == task.priority)
             })
             .map(|(_, t)| t.clone())
             .collect();
@@ -188,7 +190,12 @@ mod tests {
     use super::*;
 
     fn t(name: &str, cost: u64, period: u64, prio: u8) -> AnalysisTask {
-        AnalysisTask::new(name, Span::from_units(cost), Span::from_units(period), Priority::new(prio))
+        AnalysisTask::new(
+            name,
+            Span::from_units(cost),
+            Span::from_units(period),
+            Priority::new(prio),
+        )
     }
 
     #[test]
@@ -238,7 +245,11 @@ mod tests {
         // The victim can never catch up: every window of length w contains
         // strictly more higher-priority work than w (two hogs saturate the
         // processor on their own), so the recurrence diverges.
-        let tasks = vec![t("hog1", 3, 6, 30), t("hog2", 4, 6, 29), t("victim", 3, 6, 10)];
+        let tasks = vec![
+            t("hog1", 3, 6, 30),
+            t("hog2", 4, 6, 29),
+            t("victim", 3, 6, 10),
+        ];
         let result = analyse(&tasks);
         assert_eq!(result.tasks[2].response_time, None);
         assert!(!result.all_schedulable());

@@ -26,7 +26,9 @@ pub struct ServerAnalysisModel {
 /// Builds the equivalent analysis task of a server specification.
 pub fn server_analysis_model(server: &ServerSpec) -> ServerAnalysisModel {
     match server.policy {
-        ServerPolicyKind::Background => ServerAnalysisModel { equivalent_task: None },
+        ServerPolicyKind::Background => ServerAnalysisModel {
+            equivalent_task: None,
+        },
         ServerPolicyKind::Polling => ServerAnalysisModel {
             equivalent_task: Some(AnalysisTask::new(
                 "server(PS)",
@@ -37,8 +39,13 @@ pub fn server_analysis_model(server: &ServerSpec) -> ServerAnalysisModel {
         },
         ServerPolicyKind::Deferrable => ServerAnalysisModel {
             equivalent_task: Some(
-                AnalysisTask::new("server(DS)", server.capacity, server.period, server.priority)
-                    .with_jitter(server.period - server.capacity),
+                AnalysisTask::new(
+                    "server(DS)",
+                    server.capacity,
+                    server.period,
+                    server.priority,
+                )
+                .with_jitter(server.period - server.capacity),
             ),
         },
     }
@@ -75,7 +82,12 @@ pub fn max_feasible_capacity(
     priority: rt_model::Priority,
     policy: ServerPolicyKind,
 ) -> Span {
-    let make = |capacity: Span| ServerSpec { policy, capacity, period, priority };
+    let make = |capacity: Span| ServerSpec {
+        policy,
+        capacity,
+        period,
+        priority,
+    };
     if !periodic_set_feasible_with_server(tasks, &make(Span::from_ticks(1))) {
         return Span::ZERO;
     }
@@ -157,9 +169,14 @@ mod tests {
     fn deferrable_analysis_is_more_pessimistic_than_polling() {
         let tasks = vec![task(1, 2, 10, 20), task(2, 3, 30, 10)];
         let ps = ServerSpec::polling(Span::from_units(2), Span::from_units(8), Priority::new(30));
-        let ds = ServerSpec::deferrable(Span::from_units(2), Span::from_units(8), Priority::new(30));
-        let r_ps = analyse_with_server(&tasks, &ps).response_of("tau2").unwrap();
-        let r_ds = analyse_with_server(&tasks, &ds).response_of("tau2").unwrap();
+        let ds =
+            ServerSpec::deferrable(Span::from_units(2), Span::from_units(8), Priority::new(30));
+        let r_ps = analyse_with_server(&tasks, &ps)
+            .response_of("tau2")
+            .unwrap();
+        let r_ds = analyse_with_server(&tasks, &ds)
+            .response_of("tau2")
+            .unwrap();
         assert!(r_ds >= r_ps);
     }
 

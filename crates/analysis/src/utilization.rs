@@ -8,7 +8,7 @@
 //! which is why the server is dimensioned as a periodic task (capacity,
 //! period) that enters exactly these formulas.
 
-use rt_model::{PeriodicTask, ServerSpec, ServerPolicyKind};
+use rt_model::{PeriodicTask, ServerPolicyKind, ServerSpec};
 
 /// Total processor utilisation of a periodic task set.
 pub fn total_utilization(tasks: &[PeriodicTask]) -> f64 {
@@ -104,7 +104,8 @@ mod tests {
     fn paper_example_task_set_utilization() {
         // Table 1: PS (3/6) + tau1 (2/6) + tau2 (1/6) = 1.0 utilisation.
         let tasks = vec![task(0, 2, 6, 20), task(1, 1, 6, 10)];
-        let server = ServerSpec::polling(Span::from_units(3), Span::from_units(6), Priority::new(30));
+        let server =
+            ServerSpec::polling(Span::from_units(3), Span::from_units(6), Priority::new(30));
         assert!((utilization_with_server(&tasks, &server) - 1.0).abs() < 1e-12);
         // Utilisation 1.0 exceeds the LL bound for 3 tasks, so the sufficient
         // test rejects it (it is nonetheless schedulable: harmonic periods).

@@ -1,0 +1,142 @@
+//! Scaling benchmark for the two execution substrates.
+//!
+//! Sweeps the system size (periodic task count and aperiodic timer count,
+//! 3 → 300) and the horizon (10³ → 10⁶ time units), comparing the indexed
+//! O(log n)-per-decision engines against the seed's linear-scan reference
+//! implementations (`SchedulerKind::LinearScan` in `rtsj-emu`,
+//! `simulate_reference` in `rtss-sim`).
+//!
+//! Besides the criterion measurements, the run prints a per-decision cost
+//! and speedup summary; the 300-task row is the acceptance gate for the
+//! indexed-engine refactor (≥5× vs the linear scan for both engines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt_model::{Instant, Priority, ServerSpec, Span, SystemSpec};
+use rt_taskserver::{execute, ExecutionConfig};
+use rtsj_emu::SchedulerKind;
+use rtss_sim::{simulate, simulate_reference};
+use std::hint::black_box;
+
+/// A system whose decision *rate* is independent of `n`, so per-decision
+/// cost is what the sweep exposes: `n` periodic tasks share a 10-unit
+/// period with total utilisation 0.8, a deferrable server (capacity 1,
+/// period 10) sits on top, and `n` aperiodic events spread over the horizon.
+fn scaled_system(n: usize, horizon_units: u64) -> SystemSpec {
+    let mut b = SystemSpec::builder(format!("scale-{n}-{horizon_units}"));
+    b.server(ServerSpec::deferrable(
+        Span::from_units(1),
+        Span::from_units(10),
+        Priority::new(99),
+    ));
+    let cost_ticks = (8_000 / n as u64).max(1);
+    for i in 0..n {
+        b.periodic(
+            format!("t{i}"),
+            Span::from_ticks(cost_ticks),
+            Span::from_units(10),
+            Priority::new(1 + (i % 90) as u8),
+        );
+    }
+    let spacing = (horizon_units / n as u64).max(1);
+    for j in 0..n {
+        b.aperiodic(
+            Instant::from_units(j as u64 * spacing),
+            Span::from_ticks(500),
+        );
+    }
+    b.horizon(Instant::from_units(horizon_units));
+    b.build().expect("scaled systems are valid")
+}
+
+/// Wall-clock seconds for one run of `f` (single shot: the workloads are
+/// large enough that per-call noise is negligible for the summary table).
+fn time_once(f: impl FnOnce()) -> f64 {
+    let start = std::time::Instant::now();
+    f();
+    start.elapsed().as_secs_f64()
+}
+
+fn bench(c: &mut Criterion) {
+    const TASK_SWEEP: [usize; 5] = [3, 10, 30, 100, 300];
+    const HORIZON_SWEEP: [u64; 4] = [1_000, 10_000, 100_000, 1_000_000];
+    const TASK_SWEEP_HORIZON: u64 = 1_000;
+
+    let mut group = c.benchmark_group("engine_scaling");
+    for n in TASK_SWEEP {
+        let spec = scaled_system(n, TASK_SWEEP_HORIZON);
+        group.bench_with_input(BenchmarkId::new("rtsj_indexed", n), &spec, |b, s| {
+            b.iter(|| black_box(execute(black_box(s), &ExecutionConfig::reference())))
+        });
+        group.bench_with_input(BenchmarkId::new("rtsj_linear_scan", n), &spec, |b, s| {
+            b.iter(|| {
+                let config = ExecutionConfig::reference().with_scheduler(SchedulerKind::LinearScan);
+                black_box(execute(black_box(s), &config))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rtss_indexed", n), &spec, |b, s| {
+            b.iter(|| black_box(simulate(black_box(s))))
+        });
+        group.bench_with_input(BenchmarkId::new("rtss_linear_scan", n), &spec, |b, s| {
+            b.iter(|| black_box(simulate_reference(black_box(s))))
+        });
+    }
+    // Horizon sweep at a fixed moderate size: decisions grow linearly with
+    // the horizon, per-decision cost must stay flat for the indexed engines.
+    for horizon in HORIZON_SWEEP {
+        let spec = scaled_system(30, horizon);
+        group.bench_with_input(
+            BenchmarkId::new("rtsj_indexed_horizon", horizon),
+            &spec,
+            |b, s| b.iter(|| black_box(execute(black_box(s), &ExecutionConfig::reference()))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rtss_indexed_horizon", horizon),
+            &spec,
+            |b, s| b.iter(|| black_box(simulate(black_box(s)))),
+        );
+    }
+    group.finish();
+
+    // Speedup summary (single-shot timings; the acceptance gate is the
+    // 300-task row).
+    println!();
+    println!("per-run speedup, indexed vs linear scan (horizon {TASK_SWEEP_HORIZON} units):");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}",
+        "tasks", "rtsj idx", "rtsj scan", "speedup", "rtss idx", "rtss scan", "speedup"
+    );
+    for n in TASK_SWEEP {
+        let spec = scaled_system(n, TASK_SWEEP_HORIZON);
+        // Warm up allocators and caches once per size.
+        black_box(execute(&spec, &ExecutionConfig::reference()));
+        black_box(simulate(&spec));
+        let rtsj_indexed = time_once(|| {
+            black_box(execute(&spec, &ExecutionConfig::reference()));
+        });
+        let rtsj_scan = time_once(|| {
+            black_box(execute(
+                &spec,
+                &ExecutionConfig::reference().with_scheduler(SchedulerKind::LinearScan),
+            ));
+        });
+        let rtss_indexed = time_once(|| {
+            black_box(simulate(&spec));
+        });
+        let rtss_scan = time_once(|| {
+            black_box(simulate_reference(&spec));
+        });
+        println!(
+            "{:>6} {:>11.2}ms {:>11.2}ms {:>7.1}x {:>11.2}ms {:>11.2}ms {:>7.1}x",
+            n,
+            rtsj_indexed * 1e3,
+            rtsj_scan * 1e3,
+            rtsj_scan / rtsj_indexed,
+            rtss_indexed * 1e3,
+            rtss_scan * 1e3,
+            rtss_scan / rtss_indexed,
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

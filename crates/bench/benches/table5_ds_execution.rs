@@ -16,12 +16,25 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table5_ds_execution");
     group.sample_size(10);
     group.bench_function("reproduce_full_table", |b| {
-        b.iter(|| black_box(reproduce_table(PaperTable::Table5DsExecution, black_box(&config))))
+        b.iter(|| {
+            black_box(reproduce_table(
+                PaperTable::Table5DsExecution,
+                black_box(&config),
+            ))
+        })
     });
     // A single set (the densest heterogeneous one) as a finer-grained probe.
-    let quick = TableConfig { systems_per_set: 1, seed: 1983 };
+    let quick = TableConfig {
+        systems_per_set: 1,
+        seed: 1983,
+    };
     group.bench_function("single_system_per_set", |b| {
-        b.iter(|| black_box(reproduce_table(PaperTable::Table5DsExecution, black_box(&quick))))
+        b.iter(|| {
+            black_box(reproduce_table(
+                PaperTable::Table5DsExecution,
+                black_box(&quick),
+            ))
+        })
     });
     group.finish();
 }

@@ -1,0 +1,298 @@
+//! In-tree shim for the `criterion` API subset used by the bench crate.
+//!
+//! The build environment is fully offline, so the real criterion crate cannot
+//! be fetched. This shim re-implements the narrow API the workspace benches
+//! use — groups, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `criterion_group!` / `criterion_main!` — over a plain wall-clock harness:
+//! every benchmark is warmed up once, then timed in growing batches until a
+//! time budget is consumed, and the mean with min/max batch means is printed
+//! in a criterion-like format.
+//!
+//! Like real criterion, the harness distinguishes `cargo bench` (which passes
+//! `--bench` to the binary: full measurement) from `cargo test --benches`
+//! (no `--bench` flag: every benchmark body runs exactly once as a smoke
+//! test). Positional command-line arguments act as substring filters on the
+//! full `group/function` benchmark id.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterised benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    /// Measurement mode: `false` runs the body once (smoke test).
+    measure: bool,
+    /// Time budget for the whole measurement of this benchmark.
+    budget: Duration,
+    /// Collected batch means, in nanoseconds per iteration.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records its mean wall-clock cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.measure {
+            black_box(routine());
+            return;
+        }
+        // Warm-up and batch-size calibration: grow the batch until it runs
+        // for at least ~1ms so timer resolution noise stays below 0.1%.
+        let mut batch: u64 = 1;
+        let mut per_iter;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            per_iter = elapsed.as_secs_f64() / batch as f64;
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Measurement: repeat batches until the budget is spent (at least 3
+        // batches so min/max are meaningful).
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed.as_secs_f64() / batch as f64 * 1e9);
+            if self.samples.len() >= 3 && Instant::now() >= deadline {
+                break;
+            }
+        }
+        let _ = per_iter;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for compatibility; the shim's sampling is time-budgeted, so
+    /// the requested sample count is not used.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility (criterion's measurement-time knob).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run_one(&self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let mut bencher = Bencher {
+            measure: self.criterion.measure,
+            budget: self.criterion.budget,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if !self.criterion.measure {
+            println!("{full}: smoke-tested (1 iteration)");
+            return;
+        }
+        if bencher.samples.is_empty() {
+            println!("{full}: no samples collected");
+            return;
+        }
+        let mean = bencher.samples.iter().sum::<f64>() / bencher.samples.len() as f64;
+        let min = bencher
+            .samples
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let max = bencher
+            .samples
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{full:<60} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max)
+        );
+    }
+
+    /// Benchmarks a closure under the given name.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), f);
+        self
+    }
+
+    /// Benchmarks a closure parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run_one(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    measure: bool,
+    budget: Duration,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        // `cargo bench` passes --bench; `cargo test --benches` does not.
+        let measure = args.iter().any(|a| a == "--bench");
+        let filters = args
+            .iter()
+            .filter(|a| !a.starts_with('-'))
+            .cloned()
+            .collect();
+        let budget = std::env::var("BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::from_millis(300));
+        Criterion {
+            measure,
+            budget,
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, full_id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_id.contains(f.as_str()))
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks a standalone closure (no group).
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let name = id.to_string();
+        let group = BenchmarkGroup {
+            criterion: self,
+            name: name.clone(),
+        };
+        // Standalone functions print as `name/name`-free single id.
+        group.run_one(&name, f);
+        self
+    }
+
+    /// Runs the final reporting phase (a no-op for the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a benchmark group function set, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_function_and_parameter() {
+        let id = BenchmarkId::new("pack", 42);
+        assert_eq!(id.id, "pack/42");
+    }
+
+    #[test]
+    fn smoke_mode_runs_the_body_once() {
+        let mut calls = 0;
+        let mut b = Bencher {
+            measure: false,
+            budget: Duration::ZERO,
+            samples: Vec::new(),
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.samples.is_empty());
+    }
+
+    #[test]
+    fn measurement_mode_collects_samples() {
+        let mut b = Bencher {
+            measure: true,
+            budget: Duration::from_millis(5),
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(3u64.wrapping_mul(7)));
+        assert!(b.samples.len() >= 3);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+}

@@ -1,0 +1,82 @@
+//! Derive macros backing the in-tree `serde` shim.
+//!
+//! The build environment is fully offline, so the real `serde`/`serde_derive`
+//! crates are unavailable. The workspace only uses `#[derive(Serialize,
+//! Deserialize)]` as forward-looking annotations — nothing actually
+//! serialises values yet — so these derives emit marker-trait impls and no
+//! serialisation code. Swapping the shim for real serde later requires no
+//! source changes outside `crates/compat`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the identifier being derived for and the text of its generics
+/// list, skipping attributes, doc comments and visibility qualifiers.
+fn type_head(input: TokenStream) -> (String, String) {
+    let mut tokens = input.into_iter().peekable();
+    let mut name = None;
+    // Attribute bodies (`#[...]`, doc comments) arrive as Punct + Group
+    // tokens and are skipped; only the declaring keyword matters.
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = token {
+            let text = ident.to_string();
+            if text == "struct" || text == "enum" || text == "union" {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("derive input must declare a struct or enum");
+    // Collect a `<...>` generics header if one follows the name.
+    let mut generics = String::new();
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 0i32;
+        for token in tokens.by_ref() {
+            let text = token.to_string();
+            match &token {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                _ => {}
+            }
+            generics.push_str(&text);
+            generics.push(' ');
+            if depth == 0 {
+                break;
+            }
+        }
+    }
+    (name, generics)
+}
+
+fn marker_impl(trait_path: &str, input: TokenStream) -> TokenStream {
+    let (name, generics) = type_head(input);
+    // The shim traits have no methods, so a bare impl suffices. Generic
+    // parameters are repeated verbatim; bounds on the parameters themselves
+    // carry over because the impl restates the full generics header.
+    let code = if generics.is_empty() {
+        format!("impl {trait_path} for {name} {{}}")
+    } else {
+        // Strip defaults like `const N: usize = 4` from the impl header.
+        let header: String = generics.split('=').next().unwrap_or("").to_string();
+        let header = if header.ends_with('>') {
+            header
+        } else {
+            format!("{header}>")
+        };
+        format!("impl{header} {trait_path} for {name}{header} {{}}")
+    };
+    code.parse().expect("generated impl must parse")
+}
+
+/// No-op `Serialize` derive: emits a marker impl only.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Serialize", input)
+}
+
+/// No-op `Deserialize` derive: emits a marker impl only.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Deserialize", input)
+}

@@ -1,0 +1,16 @@
+//! In-tree shim for the `serde` facade.
+//!
+//! The build environment is fully offline, so the real serde crate cannot be
+//! fetched. The workspace only relies on `#[derive(Serialize, Deserialize)]`
+//! compiling — values are never actually serialised — so this shim provides
+//! empty marker traits and re-exports no-op derive macros under the same
+//! names. Replacing this crate with real serde is a one-line change in the
+//! workspace manifest.
+
+/// Marker stand-in for `serde::Serialize` (no methods; derive is a no-op).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods; derive is a no-op).
+pub trait Deserialize {}
+
+pub use serde_shim_derive::{Deserialize, Serialize};

@@ -99,14 +99,19 @@ mod tests {
             s.released(release(0, 2, 2), Instant::from_units(2));
         }
         let s = shared.borrow();
-        assert_eq!(predicted_response(&s, EventId::new(0)), Some(Span::from_units(6)));
+        assert_eq!(
+            predicted_response(&s, EventId::new(0)),
+            Some(Span::from_units(6))
+        );
         assert_eq!(predicted_response(&s, EventId::new(9)), None);
     }
 
     #[test]
     fn fifo_queue_stores_no_slots() {
         let shared = server(QueueKind::Fifo);
-        shared.borrow_mut().released(release(0, 2, 2), Instant::from_units(2));
+        shared
+            .borrow_mut()
+            .released(release(0, 2, 2), Instant::from_units(2));
         assert_eq!(predicted_response(&shared.borrow(), EventId::new(0)), None);
     }
 

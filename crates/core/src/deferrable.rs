@@ -41,7 +41,10 @@ impl EventDrivenServerBody {
     /// Creates the body over the shared server state; `wakeup` is the event
     /// fired both by servable events and by the replenishment timer.
     pub fn new(shared: SharedServer, wakeup: EventHandle) -> Self {
-        EventDrivenServerBody { service: ServiceLoop::new(shared), wakeup }
+        EventDrivenServerBody {
+            service: ServiceLoop::new(shared),
+            wakeup,
+        }
     }
 
     fn idle_action(&self) -> Action {
@@ -122,14 +125,20 @@ mod tests {
             Priority::new(20),
             Instant::ZERO,
             Span::from_units(6),
-            Box::new(PeriodicThreadBody::new(Span::from_units(2), ExecUnit::Task(TaskId::new(0)))),
+            Box::new(PeriodicThreadBody::new(
+                Span::from_units(2),
+                ExecUnit::Task(TaskId::new(0)),
+            )),
         );
         engine.spawn_periodic(
             "tau2",
             Priority::new(10),
             Instant::ZERO,
             Span::from_units(6),
-            Box::new(PeriodicThreadBody::new(Span::from_units(1), ExecUnit::Task(TaskId::new(1)))),
+            Box::new(PeriodicThreadBody::new(
+                Span::from_units(1),
+                ExecUnit::Task(TaskId::new(1)),
+            )),
         );
         for (i, (release, cost)) in events.iter().enumerate() {
             let event = engine.create_event(format!("e{i}"));
@@ -168,13 +177,7 @@ mod tests {
     fn deferrable_server_serves_on_arrival() {
         // e1@2 cost 2: served immediately (2..4), unlike the polling server
         // which would wait for its next activation at 6.
-        let (shared, trace) = run_event_driven(
-            ServerPolicyKind::Deferrable,
-            3,
-            30,
-            &[(2, 2)],
-            24,
-        );
+        let (shared, trace) = run_event_driven(ServerPolicyKind::Deferrable, 3, 30, &[(2, 2)], 24);
         assert_eq!(handler_segments(&trace, 0), vec![(2, 4)]);
         let outcomes = shared.borrow_mut().finalise();
         assert_eq!(outcomes[0].response_time(), Some(Span::from_units(2)));
@@ -185,13 +188,8 @@ mod tests {
         // Capacity 3. e1@2 cost 2 consumes down to 1. e2@5 costs 2 > 1, but
         // 5 + 2 > 6 (the next replenishment), so the §4.2 rule grants
         // 1 + 3 = 4 and the event is served 5..7 without interruption.
-        let (shared, trace) = run_event_driven(
-            ServerPolicyKind::Deferrable,
-            3,
-            30,
-            &[(2, 2), (5, 2)],
-            24,
-        );
+        let (shared, trace) =
+            run_event_driven(ServerPolicyKind::Deferrable, 3, 30, &[(2, 2), (5, 2)], 24);
         assert_eq!(handler_segments(&trace, 0), vec![(2, 4)]);
         assert_eq!(handler_segments(&trace, 1), vec![(5, 7)]);
         let outcomes = shared.borrow_mut().finalise();
@@ -223,8 +221,7 @@ mod tests {
     fn deferrable_improves_response_times_over_polling_semantics() {
         // The same single event under DS is served 4 time units earlier than
         // the polling activation would allow (arrival mid-period).
-        let (ds_shared, _) =
-            run_event_driven(ServerPolicyKind::Deferrable, 3, 30, &[(2, 2)], 24);
+        let (ds_shared, _) = run_event_driven(ServerPolicyKind::Deferrable, 3, 30, &[(2, 2)], 24);
         let ds = ds_shared.borrow_mut().finalise();
         assert_eq!(ds[0].response_time(), Some(Span::from_units(2)));
     }
@@ -233,13 +230,7 @@ mod tests {
     fn background_server_runs_below_the_periodic_tasks() {
         // Background servicing at priority 1: the handler only gets the idle
         // time left by tau1 (0..2) and tau2 (2..3): served 3..5.
-        let (shared, trace) = run_event_driven(
-            ServerPolicyKind::Background,
-            4,
-            1,
-            &[(0, 2)],
-            24,
-        );
+        let (shared, trace) = run_event_driven(ServerPolicyKind::Background, 4, 1, &[(0, 2)], 24);
         assert_eq!(handler_segments(&trace, 0), vec![(3, 5)]);
         let outcomes = shared.borrow_mut().finalise();
         assert_eq!(outcomes[0].response_time(), Some(Span::from_units(5)));
@@ -249,13 +240,7 @@ mod tests {
     fn background_server_has_no_capacity_limit() {
         // A single huge request (cost 10 > any capacity) is still served by
         // the background policy, spread across the idle time.
-        let (shared, trace) = run_event_driven(
-            ServerPolicyKind::Background,
-            4,
-            1,
-            &[(0, 10)],
-            48,
-        );
+        let (shared, trace) = run_event_driven(ServerPolicyKind::Background, 4, 1, &[(0, 10)], 48);
         let segments = handler_segments(&trace, 0);
         assert!(!segments.is_empty());
         let total: u64 = segments.iter().map(|(s, e)| e - s).sum();
@@ -268,17 +253,14 @@ mod tests {
     fn unserved_events_remain_in_the_queue_until_finalised() {
         // More work than ten periods of capacity can absorb.
         let events: Vec<(u64, u64)> = (0..30).map(|i| (i * 2, 3)).collect();
-        let (shared, _trace) = run_event_driven(
-            ServerPolicyKind::Deferrable,
-            3,
-            30,
-            &events,
-            60,
-        );
+        let (shared, _trace) = run_event_driven(ServerPolicyKind::Deferrable, 3, 30, &events, 60);
         let outcomes = shared.borrow_mut().finalise();
         assert_eq!(outcomes.len(), 30);
         let served = outcomes.iter().filter(|o| o.is_served()).count();
-        let unserved = outcomes.iter().filter(|o| !o.is_served() && !o.is_interrupted()).count();
+        let unserved = outcomes
+            .iter()
+            .filter(|o| !o.is_served() && !o.is_interrupted())
+            .count();
         assert!(served > 0);
         assert!(unserved > 0);
         assert_eq!(served + unserved, 30);

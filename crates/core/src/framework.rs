@@ -51,8 +51,7 @@ impl PollingTaskServer {
     /// Installs the server: spawns its periodic real-time thread at the
     /// server priority with the server period.
     pub fn install(engine: &mut Engine, params: TaskServerParameters, queue: QueueKind) -> Self {
-        let shared =
-            ServerShared::new(params, ServerPolicyKind::Polling, engine.overhead(), queue);
+        let shared = ServerShared::new(params, ServerPolicyKind::Polling, engine.overhead(), queue);
         let thread = engine.spawn_periodic(
             "server(PS)",
             params.priority,
@@ -60,7 +59,11 @@ impl PollingTaskServer {
             params.period,
             Box::new(PollingServerBody::new(shared.clone())),
         );
-        PollingTaskServer { shared, params, thread }
+        PollingTaskServer {
+            shared,
+            params,
+            thread,
+        }
     }
 
     /// Handle of the server's periodic thread.
@@ -98,8 +101,12 @@ impl DeferrableTaskServer {
     /// body bound to it, and arms the periodic replenishment timer that
     /// refills the capacity and fires `wakeUp` every period.
     pub fn install(engine: &mut Engine, params: TaskServerParameters, queue: QueueKind) -> Self {
-        let shared =
-            ServerShared::new(params, ServerPolicyKind::Deferrable, engine.overhead(), queue);
+        let shared = ServerShared::new(
+            params,
+            ServerPolicyKind::Deferrable,
+            engine.overhead(),
+            queue,
+        );
         let wakeup = engine.create_event("wakeUp");
         let thread = engine.spawn(
             "server(DS)",
@@ -116,7 +123,12 @@ impl DeferrableTaskServer {
             }),
         );
         engine.add_periodic_timer(Instant::ZERO + params.period, params.period, replenish);
-        DeferrableTaskServer { shared, params, wakeup, thread }
+        DeferrableTaskServer {
+            shared,
+            params,
+            wakeup,
+            thread,
+        }
     }
 
     /// Handle of the server's handler thread.
@@ -153,15 +165,24 @@ pub struct BackgroundServer {
 impl BackgroundServer {
     /// Installs the background server.
     pub fn install(engine: &mut Engine, params: TaskServerParameters, queue: QueueKind) -> Self {
-        let shared =
-            ServerShared::new(params, ServerPolicyKind::Background, engine.overhead(), queue);
+        let shared = ServerShared::new(
+            params,
+            ServerPolicyKind::Background,
+            engine.overhead(),
+            queue,
+        );
         let wakeup = engine.create_event("wakeUp(bg)");
         let thread = engine.spawn(
             "server(BG)",
             params.priority,
             Box::new(EventDrivenServerBody::new(shared.clone(), wakeup)),
         );
-        BackgroundServer { shared, params, wakeup, thread }
+        BackgroundServer {
+            shared,
+            params,
+            wakeup,
+            thread,
+        }
     }
 
     /// Handle of the background thread.
@@ -282,7 +303,10 @@ impl ServableAsyncEvent {
                 }
             }),
         );
-        ServableAsyncEvent { event_id, engine_event }
+        ServableAsyncEvent {
+            event_id,
+            engine_event,
+        }
     }
 
     /// Schedules a fire of this event at the given instant (the emulation of
@@ -351,7 +375,8 @@ mod tests {
         // Two events of cost 2: the first consumes the whole capacity, the
         // second must wait for the replenishment at 6.
         for (i, at) in [(0u32, 0u64), (1, 1)] {
-            let handler = ServableHandler::new(HandlerId::new(i), format!("h{i}"), Span::from_units(2));
+            let handler =
+                ServableHandler::new(HandlerId::new(i), format!("h{i}"), Span::from_units(2));
             let sae = ServableAsyncEvent::create(&mut engine, EventId::new(i), handler, &server);
             sae.schedule_fire(&mut engine, Instant::from_units(at));
         }

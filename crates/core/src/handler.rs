@@ -24,7 +24,12 @@ pub struct ServableHandler {
 impl ServableHandler {
     /// Creates a handler whose declared and actual costs agree.
     pub fn new(id: HandlerId, name: impl Into<String>, cost: Span) -> Self {
-        ServableHandler { id, name: name.into(), declared_cost: cost, actual_cost: cost }
+        ServableHandler {
+            id,
+            name: name.into(),
+            declared_cost: cost,
+            actual_cost: cost,
+        }
     }
 
     /// Declares a cost different from the real demand.
@@ -57,7 +62,11 @@ pub struct QueuedRelease {
 impl QueuedRelease {
     /// Creates a queued release.
     pub fn new(event: EventId, handler: ServableHandler, release: Instant) -> Self {
-        QueuedRelease { event, handler, release }
+        QueuedRelease {
+            event,
+            handler,
+            release,
+        }
     }
 
     /// Cost declared to the server.

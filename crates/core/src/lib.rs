@@ -73,95 +73,132 @@ pub use system::{execute, ExecutionConfig};
 
 #[cfg(test)]
 mod proptests {
+    //! Randomised property tests. The offline build environment has no
+    //! `proptest`, so the same properties are exercised over many seeded,
+    //! deterministic random cases instead of shrinking strategies.
+
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use rt_model::{Instant, Priority, ServerPolicyKind, ServerSpec, Span, SystemSpec, Trace};
     use rtsj_emu::OverheadModel;
 
-    fn spec_strategy() -> impl Strategy<Value = SystemSpec> {
-        (
-            2u64..=4,
-            prop_oneof![
-                Just(ServerPolicyKind::Polling),
-                Just(ServerPolicyKind::Deferrable)
-            ],
-            proptest::collection::vec((0u64..55, 1u64..=2), 0..12),
-        )
-            .prop_map(|(capacity, policy, events)| {
-                let mut b = SystemSpec::builder("prop-exec");
-                b.server(ServerSpec {
-                    policy,
-                    capacity: Span::from_units(capacity),
-                    period: Span::from_units(6),
-                    priority: Priority::new(30),
-                });
-                b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
-                b.periodic("tau2", Span::from_units(1), Span::from_units(6), Priority::new(10));
-                for (release, cost) in events {
-                    b.aperiodic(Instant::from_units(release), Span::from_units(cost.min(capacity)));
-                }
-                b.horizon_server_periods(10);
-                b.build().unwrap()
-            })
+    fn random_spec(rng: &mut StdRng) -> SystemSpec {
+        let capacity = rng.gen_range(2u64..=4);
+        let policy = if rng.gen() {
+            ServerPolicyKind::Polling
+        } else {
+            ServerPolicyKind::Deferrable
+        };
+        let mut b = SystemSpec::builder("prop-exec");
+        b.server(ServerSpec {
+            policy,
+            capacity: Span::from_units(capacity),
+            period: Span::from_units(6),
+            priority: Priority::new(30),
+        });
+        b.periodic(
+            "tau1",
+            Span::from_units(2),
+            Span::from_units(6),
+            Priority::new(20),
+        );
+        b.periodic(
+            "tau2",
+            Span::from_units(1),
+            Span::from_units(6),
+            Priority::new(10),
+        );
+        for _ in 0..rng.gen_range(0u64..=11) {
+            let release = rng.gen_range(0u64..=54);
+            let cost = rng.gen_range(1u64..=2);
+            b.aperiodic(
+                Instant::from_units(release),
+                Span::from_units(cost.min(capacity)),
+            );
+        }
+        b.horizon_server_periods(10);
+        b.build().unwrap()
     }
 
     fn served(trace: &Trace) -> usize {
         trace.outcomes.iter().filter(|o| o.is_served()).count()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
+    const CASES: u64 = 48;
 
-        /// Executions always produce well-formed traces with one outcome per
-        /// released event.
-        #[test]
-        fn executions_are_well_formed(spec in spec_strategy()) {
+    /// Executions always produce well-formed traces with one outcome per
+    /// released event.
+    #[test]
+    fn executions_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(0xA11C_E001);
+        for _ in 0..CASES {
+            let spec = random_spec(&mut rng);
             let trace = execute(&spec, &ExecutionConfig::reference());
-            prop_assert!(trace.check_invariants().is_ok());
-            prop_assert_eq!(trace.outcomes.len(), spec.aperiodics.len());
+            assert!(trace.check_invariants().is_ok());
+            assert_eq!(trace.outcomes.len(), spec.aperiodics.len());
         }
+    }
 
-        /// With no overheads and no underdeclared handlers, nothing is ever
-        /// interrupted.
-        #[test]
-        fn ideal_executions_never_interrupt(spec in spec_strategy()) {
+    /// With no overheads and no underdeclared handlers, nothing is ever
+    /// interrupted.
+    #[test]
+    fn ideal_executions_never_interrupt() {
+        let mut rng = StdRng::seed_from_u64(0xA11C_E002);
+        for _ in 0..CASES {
+            let spec = random_spec(&mut rng);
             let trace = execute(&spec, &ExecutionConfig::ideal());
-            prop_assert!(trace.outcomes.iter().all(|o| !o.is_interrupted()));
+            assert!(trace.outcomes.iter().all(|o| !o.is_interrupted()));
         }
+    }
 
-        /// Adding runtime overhead can only reduce the number of served
-        /// events.
-        #[test]
-        fn overhead_never_helps(spec in spec_strategy()) {
+    /// Adding runtime overhead can only reduce the number of served events.
+    #[test]
+    fn overhead_never_helps() {
+        let mut rng = StdRng::seed_from_u64(0xA11C_E003);
+        for _ in 0..CASES {
+            let spec = random_spec(&mut rng);
             let ideal = execute(&spec, &ExecutionConfig::ideal());
             let heavy = execute(
                 &spec,
-                &ExecutionConfig::ideal()
-                    .with_overhead(OverheadModel::reference().scaled(4)),
+                &ExecutionConfig::ideal().with_overhead(OverheadModel::reference().scaled(4)),
             );
-            prop_assert!(served(&heavy) <= served(&ideal));
+            assert!(served(&heavy) <= served(&ideal));
         }
+    }
 
-        /// The queue structure (flat FIFO vs list of lists) does not change
-        /// the service outcomes, only the admission-time prediction cost.
-        #[test]
-        fn queue_structure_does_not_change_outcomes(spec in spec_strategy()) {
-            let fifo = execute(&spec, &ExecutionConfig::reference().with_queue(QueueKind::Fifo));
+    /// The queue structure (flat FIFO vs list of lists) does not change
+    /// the service outcomes, only the admission-time prediction cost.
+    #[test]
+    fn queue_structure_does_not_change_outcomes() {
+        let mut rng = StdRng::seed_from_u64(0xA11C_E004);
+        for _ in 0..CASES {
+            let spec = random_spec(&mut rng);
+            let fifo = execute(
+                &spec,
+                &ExecutionConfig::reference().with_queue(QueueKind::Fifo),
+            );
             let lol = execute(
                 &spec,
                 &ExecutionConfig::reference().with_queue(QueueKind::ListOfLists),
             );
-            prop_assert_eq!(fifo.outcomes, lol.outcomes);
+            assert_eq!(fifo.outcomes, lol.outcomes);
         }
+    }
 
-        /// The periodic tasks keep their deadlines whenever the server's
-        /// capacity keeps the total utilisation within 1 on the harmonic
-        /// Table 1 set (capacity ≤ 3) and the runtime is ideal.
-        #[test]
-        fn periodic_tasks_are_protected_in_ideal_executions(spec in spec_strategy()) {
-            prop_assume!(spec.server.as_ref().unwrap().capacity <= Span::from_units(3));
+    /// The periodic tasks keep their deadlines whenever the server's
+    /// capacity keeps the total utilisation within 1 on the harmonic
+    /// Table 1 set (capacity ≤ 3) and the runtime is ideal.
+    #[test]
+    fn periodic_tasks_are_protected_in_ideal_executions() {
+        let mut rng = StdRng::seed_from_u64(0xA11C_E005);
+        for _ in 0..CASES {
+            let spec = random_spec(&mut rng);
+            if spec.server.as_ref().unwrap().capacity > Span::from_units(3) {
+                continue;
+            }
             let trace = execute(&spec, &ExecutionConfig::ideal());
-            prop_assert!(trace.all_periodic_deadlines_met());
+            assert!(trace.all_periodic_deadlines_met());
         }
     }
 }

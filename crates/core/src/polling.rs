@@ -28,7 +28,9 @@ pub struct PollingServerBody {
 impl PollingServerBody {
     /// Creates the body over the shared server state.
     pub fn new(shared: SharedServer) -> Self {
-        PollingServerBody { service: ServiceLoop::new(shared) }
+        PollingServerBody {
+            service: ServiceLoop::new(shared),
+        }
     }
 
     fn idle_action(&self) -> Action {
@@ -94,9 +96,8 @@ mod tests {
         );
         let shared =
             ServerShared::new(params, ServerPolicyKind::Polling, overhead, QueueKind::Fifo);
-        let mut engine = Engine::new(
-            EngineConfig::new(Instant::from_units(horizon)).with_overhead(overhead),
-        );
+        let mut engine =
+            Engine::new(EngineConfig::new(Instant::from_units(horizon)).with_overhead(overhead));
         engine.spawn_periodic(
             "server(PS)",
             Priority::new(30),
@@ -109,14 +110,20 @@ mod tests {
             Priority::new(20),
             Instant::ZERO,
             Span::from_units(6),
-            Box::new(PeriodicThreadBody::new(Span::from_units(2), ExecUnit::Task(TaskId::new(0)))),
+            Box::new(PeriodicThreadBody::new(
+                Span::from_units(2),
+                ExecUnit::Task(TaskId::new(0)),
+            )),
         );
         engine.spawn_periodic(
             "tau2",
             Priority::new(10),
             Instant::ZERO,
             Span::from_units(6),
-            Box::new(PeriodicThreadBody::new(Span::from_units(1), ExecUnit::Task(TaskId::new(1)))),
+            Box::new(PeriodicThreadBody::new(
+                Span::from_units(1),
+                ExecUnit::Task(TaskId::new(1)),
+            )),
         );
         for (i, (release, actual, declared)) in events.iter().enumerate() {
             let event = engine.create_event(format!("e{i}"));
@@ -187,15 +194,22 @@ mod tests {
         // Figure 4: same firings, but h2 declares a cost of 1 while really
         // needing 2. It is dispatched at 8 (declared 1 ≤ remaining 1) and the
         // budget enforcement interrupts it at 9.
-        let (shared, trace) =
-            run_table1(3, &[(2, 2, None), (4, 2, Some(1))], 24, OverheadModel::none());
+        let (shared, trace) = run_table1(
+            3,
+            &[(2, 2, None), (4, 2, Some(1))],
+            24,
+            OverheadModel::none(),
+        );
         assert_eq!(handler_segments(&trace, 0), vec![(6, 8)]);
         assert_eq!(handler_segments(&trace, 1), vec![(8, 9)]);
         let outcomes = shared.borrow_mut().finalise();
         assert!(outcomes[0].is_served());
         assert!(outcomes[1].is_interrupted());
         match outcomes[1].fate {
-            rt_model::AperiodicFate::Interrupted { started, interrupted_at } => {
+            rt_model::AperiodicFate::Interrupted {
+                started,
+                interrupted_at,
+            } => {
                 assert_eq!(started, Instant::from_units(8));
                 assert_eq!(interrupted_at, Instant::from_units(9));
             }
@@ -208,8 +222,14 @@ mod tests {
         let events: Vec<(u64, u64, Option<u64>)> = (0..8).map(|i| (i * 5, 3, None)).collect();
         let (_, trace) = run_table1(3, &events, 60, OverheadModel::none());
         // tau1 gets 2 units in every period of 6: check its busy time.
-        assert_eq!(trace.busy_time(ExecUnit::Task(TaskId::new(0))), Span::from_units(20));
-        assert_eq!(trace.busy_time(ExecUnit::Task(TaskId::new(1))), Span::from_units(10));
+        assert_eq!(
+            trace.busy_time(ExecUnit::Task(TaskId::new(0))),
+            Span::from_units(20)
+        );
+        assert_eq!(
+            trace.busy_time(ExecUnit::Task(TaskId::new(1))),
+            Span::from_units(10)
+        );
         assert!(trace.check_invariants().is_ok());
     }
 
@@ -221,11 +241,8 @@ mod tests {
         // capacity too close to the cost of the event".
         let params_cost_ticks = 3_950u64;
         // Build manually to express the fractional cost.
-        let params = TaskServerParameters::new(
-            Span::from_units(4),
-            Span::from_units(6),
-            Priority::new(30),
-        );
+        let params =
+            TaskServerParameters::new(Span::from_units(4), Span::from_units(6), Priority::new(30));
         let shared = ServerShared::new(
             params,
             ServerPolicyKind::Polling,
@@ -243,11 +260,8 @@ mod tests {
             Box::new(PollingServerBody::new(shared.clone())),
         );
         let event = engine.create_event("e0");
-        let handler = ServableHandler::new(
-            HandlerId::new(0),
-            "h0",
-            Span::from_ticks(params_cost_ticks),
-        );
+        let handler =
+            ServableHandler::new(HandlerId::new(0), "h0", Span::from_ticks(params_cost_ticks));
         let hook_state = shared.clone();
         engine.add_fire_hook(
             event,
@@ -262,7 +276,10 @@ mod tests {
         let _trace = engine.run();
         let outcomes = shared.borrow_mut().finalise();
         assert_eq!(outcomes.len(), 1);
-        assert!(outcomes[0].is_interrupted(), "overhead must eat the slack and trigger enforcement");
+        assert!(
+            outcomes[0].is_interrupted(),
+            "overhead must eat the slack and trigger enforcement"
+        );
 
         // The same reference overheads leave a cost-3 handler untouched
         // (slack 1 ≫ overhead), which the scenario tests above already cover.

@@ -51,7 +51,12 @@ impl PendingQueue {
     /// Creates an empty queue for a server with the given capacity/period.
     pub fn new(kind: QueueKind, capacity: Span, period: Span) -> Self {
         let server = ServerParams::new(capacity, period);
-        PendingQueue { kind, server, entries: VecDeque::new(), packer: None }
+        PendingQueue {
+            kind,
+            server,
+            entries: VecDeque::new(),
+            packer: None,
+        }
     }
 
     /// The queue structure in use.
@@ -94,28 +99,48 @@ impl PendingQueue {
         } else {
             Some(match self.kind {
                 QueueKind::ListOfLists => {
-                    let packer = self.packer.get_or_insert_with(|| {
-                        InstancePacker::new(self.server, now, remaining_capacity)
-                    });
-                    packer.push(release.declared_cost())
+                    if self.packer.is_none() {
+                        // Rebuild against the live queue: after an
+                        // out-of-order removal or a drain the previous
+                        // packing no longer matches the entries, so the
+                        // surviving releases are replayed before the new one
+                        // is packed. This is the only O(n) moment of the
+                        // structure; steady-state pushes stay O(1).
+                        self.packer = Some(self.pack_entries(now, remaining_capacity));
+                    }
+                    self.packer
+                        .as_mut()
+                        .expect("packer was just rebuilt")
+                        .push(release.declared_cost())
                 }
                 QueueKind::Fifo => {
                     // Recompute the whole packing: O(n) in the queue length.
-                    let mut packer = InstancePacker::new(self.server, now, remaining_capacity);
-                    for entry in &self.entries {
-                        if entry.release.declared_cost() <= self.server.capacity {
-                            packer.push(entry.release.declared_cost());
-                        }
-                    }
-                    packer.push(release.declared_cost())
+                    self.pack_entries(now, remaining_capacity)
+                        .push(release.declared_cost())
                 }
             })
         };
         self.entries.push_back(QueuedEntry {
             release,
-            slot: if self.kind == QueueKind::ListOfLists { slot } else { None },
+            slot: if self.kind == QueueKind::ListOfLists {
+                slot
+            } else {
+                None
+            },
         });
         slot
+    }
+
+    /// Packs every pending, servable release into a fresh packer seeded with
+    /// the given server state — the equation-(5) packing of the live queue.
+    fn pack_entries(&self, now: Instant, remaining_capacity: Span) -> InstancePacker {
+        let mut packer = InstancePacker::new(self.server, now, remaining_capacity);
+        for entry in &self.entries {
+            if entry.release.declared_cost() <= self.server.capacity {
+                packer.push(entry.release.declared_cost());
+            }
+        }
+        packer
     }
 
     /// Removes and returns the first pending release whose declared cost fits
@@ -130,12 +155,11 @@ impl PendingQueue {
             .position(|entry| entry.release.declared_cost() <= budget)?;
         let entry = self.entries.remove(position)?;
         if position != 0 || self.entries.is_empty() {
-            // The stored packing no longer reflects the queue exactly once a
-            // later element is taken out of order, or once the queue drains;
-            // it is rebuilt lazily on the next push.
-            if self.entries.is_empty() {
-                self.packer = None;
-            }
+            // The stored packing no longer reflects the queue once a later
+            // element is taken out of order (FIFO-with-skip), and a drained
+            // queue's packing must be reseeded from live server state: drop
+            // it; the next push rebuilds it against the remaining entries.
+            self.packer = None;
         }
         Some(entry.release)
     }
@@ -149,9 +173,13 @@ impl PendingQueue {
         &mut self,
         accept: impl Fn(&QueuedRelease) -> bool,
     ) -> Option<QueuedRelease> {
-        let position = self.entries.iter().position(|entry| accept(&entry.release))?;
+        let position = self
+            .entries
+            .iter()
+            .position(|entry| accept(&entry.release))?;
         let entry = self.entries.remove(position)?;
-        if self.entries.is_empty() {
+        if position != 0 || self.entries.is_empty() {
+            // Same staleness rule as [`Self::choose_next`].
             self.packer = None;
         }
         Some(entry.release)
@@ -174,7 +202,10 @@ impl PendingQueue {
 
     /// The predicted slot stored for a pending release (list-of-lists only).
     pub fn predicted_slot(&self, event: rt_model::EventId) -> Option<InstanceSlot> {
-        self.entries.iter().find(|e| e.release.event == event).and_then(|e| e.slot)
+        self.entries
+            .iter()
+            .find(|e| e.release.event == event)
+            .and_then(|e| e.slot)
     }
 
     /// Drains every remaining release (used at the horizon to report
@@ -217,7 +248,10 @@ mod tests {
             assert_eq!(q.len(), 1);
             assert_eq!(q.iter().next().unwrap().event, EventId::new(0));
             // With a full budget it is served next.
-            assert_eq!(q.choose_next(Span::from_units(4)).unwrap().event, EventId::new(0));
+            assert_eq!(
+                q.choose_next(Span::from_units(4)).unwrap().event,
+                EventId::new(0)
+            );
             assert!(q.is_empty());
         }
     }
@@ -238,10 +272,16 @@ mod tests {
         let mut fifo = queue(QueueKind::Fifo);
         let mut lol = queue(QueueKind::ListOfLists);
         for (i, &c) in costs.iter().enumerate() {
-            let slot_fifo =
-                fifo.push(release(i as u32, c, i as u64), Instant::ZERO, Span::from_units(4));
-            let slot_lol =
-                lol.push(release(i as u32, c, i as u64), Instant::ZERO, Span::from_units(4));
+            let slot_fifo = fifo.push(
+                release(i as u32, c, i as u64),
+                Instant::ZERO,
+                Span::from_units(4),
+            );
+            let slot_lol = lol.push(
+                release(i as u32, c, i as u64),
+                Instant::ZERO,
+                Span::from_units(4),
+            );
             assert_eq!(slot_fifo, slot_lol, "slot mismatch for release {i}");
         }
     }
@@ -260,6 +300,36 @@ mod tests {
         let mut fifo = queue(QueueKind::Fifo);
         fifo.push(release(0, 3, 0), Instant::ZERO, Span::from_units(4));
         assert!(fifo.predicted_slot(EventId::new(0)).is_none());
+    }
+
+    #[test]
+    fn skip_invalidates_the_stored_packing() {
+        // Regression test for the stale-packer bug: after an out-of-order
+        // (FIFO-with-skip) removal, the list-of-lists predictions must be
+        // computed against the queue as it actually is — i.e. agree with the
+        // flat FIFO, which recomputes the packing from scratch on each push.
+        let mut lol = queue(QueueKind::ListOfLists);
+        let mut fifo = queue(QueueKind::Fifo);
+        for q in [&mut lol, &mut fifo] {
+            q.push(release(0, 3, 0), Instant::ZERO, Span::from_units(4));
+            q.push(release(1, 1, 1), Instant::ZERO, Span::from_units(4));
+            // Budget 1: the cost-3 head is skipped, the cost-1 entry leaves
+            // out of order, so entry 0 is alone again but the old packing
+            // said instance 0 already holds cost 3 + 1.
+            let taken = q.choose_next(Span::from_units(1)).unwrap();
+            assert_eq!(taken.event, EventId::new(1));
+        }
+        let slot_lol = lol.push(release(2, 2, 2), Instant::ZERO, Span::from_units(4));
+        let slot_fifo = fifo.push(release(2, 2, 2), Instant::ZERO, Span::from_units(4));
+        assert_eq!(
+            slot_lol, slot_fifo,
+            "after a skip the incremental packer must be rebuilt against the live queue"
+        );
+        // The cost-3 survivor fills instance 0 past 4-2: the new cost-2
+        // release lands in instance 1 with no prior cost.
+        let slot = slot_lol.unwrap();
+        assert_eq!(slot.instance, 1);
+        assert_eq!(slot.prior_cost, Span::ZERO);
     }
 
     #[test]

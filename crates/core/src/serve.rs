@@ -31,7 +31,10 @@ enum Phase {
     /// Paying the dispatch overhead before running `service`.
     Dispatching { service: GrantedService },
     /// The handler is running under its budget.
-    Working { service: GrantedService, started: Instant },
+    Working {
+        service: GrantedService,
+        started: Instant,
+    },
     /// Paying the enforcement overhead after the handler finished or was
     /// interrupted.
     Enforcing {
@@ -62,7 +65,10 @@ pub struct ServiceLoop {
 impl ServiceLoop {
     /// Creates an idle loop over the given shared server state.
     pub fn new(shared: SharedServer) -> Self {
-        ServiceLoop { shared, phase: Phase::Idle }
+        ServiceLoop {
+            shared,
+            phase: Phase::Idle,
+        }
     }
 
     /// Access to the shared server state.
@@ -110,8 +116,15 @@ impl ServiceLoop {
                 ExecUnit::Handler(service.release.event),
             )
         };
-        self.phase = Phase::Working { service, started: now };
-        Action::ComputeInterruptible { amount, budget: work_budget, unit }
+        self.phase = Phase::Working {
+            service,
+            started: now,
+        };
+        Action::ComputeInterruptible {
+            amount,
+            budget: work_budget,
+            unit,
+        }
     }
 
     /// Feeds the completion of the loop's previous action and returns what to
@@ -140,14 +153,24 @@ impl ServiceLoop {
                     self.record(&service, started, finished, interrupted);
                     self.try_dispatch(ctx.now())
                 } else {
-                    self.phase = Phase::Enforcing { service, started, finished, interrupted };
+                    self.phase = Phase::Enforcing {
+                        service,
+                        started,
+                        finished,
+                        interrupted,
+                    };
                     ServeStep::Continue(Action::Compute {
                         amount: enforcement,
                         unit: ExecUnit::ServerOverhead,
                     })
                 }
             }
-            Phase::Enforcing { service, started, finished, interrupted } => {
+            Phase::Enforcing {
+                service,
+                started,
+                finished,
+                interrupted,
+            } => {
                 let enforcement = self.shared.borrow().overhead.enforcement;
                 self.shared.borrow_mut().consume(enforcement);
                 self.record(&service, started, finished, interrupted);
@@ -223,7 +246,11 @@ mod tests {
         push(&server, 0, 2, 0);
         let mut service = ServiceLoop::new(server);
         match service.try_dispatch(Instant::ZERO) {
-            ServeStep::Continue(Action::ComputeInterruptible { amount, budget, unit }) => {
+            ServeStep::Continue(Action::ComputeInterruptible {
+                amount,
+                budget,
+                unit,
+            }) => {
                 assert_eq!(amount, Span::from_units(2));
                 assert_eq!(budget, Span::from_units(4));
                 assert_eq!(unit, ExecUnit::Handler(EventId::new(0)));
@@ -253,7 +280,12 @@ mod tests {
         }
         // Simulate the engine completing the dispatch at t = 0.1.
         let mut ctx = BodyCtx::new(Instant::from_ticks(100));
-        match service.on_completion(&mut ctx, Completion::Computed { consumed: Span::from_ticks(100) }) {
+        match service.on_completion(
+            &mut ctx,
+            Completion::Computed {
+                consumed: Span::from_ticks(100),
+            },
+        ) {
             ServeStep::Continue(Action::ComputeInterruptible { budget, .. }) => {
                 // 4 (granted) − 0.1 (dispatch) − 0.05 (enforcement) = 3.85.
                 assert_eq!(budget, Span::from_ticks(3_850));
@@ -272,10 +304,19 @@ mod tests {
         let _ = service.try_dispatch(Instant::ZERO);
         let mut ctx = BodyCtx::new(Instant::from_units(2));
         // First handler completes; the loop immediately dispatches the second.
-        match service.on_completion(&mut ctx, Completion::Computed { consumed: Span::from_units(2) }) {
+        match service.on_completion(
+            &mut ctx,
+            Completion::Computed {
+                consumed: Span::from_units(2),
+            },
+        ) {
             ServeStep::Continue(Action::ComputeInterruptible { amount, budget, .. }) => {
                 assert_eq!(amount, Span::from_units(1));
-                assert_eq!(budget, Span::from_units(2), "capacity shrank by the first service");
+                assert_eq!(
+                    budget,
+                    Span::from_units(2),
+                    "capacity shrank by the first service"
+                );
             }
             other => panic!("expected the second handler, got {other:?}"),
         }
@@ -305,7 +346,12 @@ mod tests {
         // cost-4 one, served first.
         let _ = service.try_dispatch(Instant::ZERO);
         let mut ctx = BodyCtx::new(Instant::from_units(4));
-        let step = service.on_completion(&mut ctx, Completion::Computed { consumed: Span::from_units(4) });
+        let step = service.on_completion(
+            &mut ctx,
+            Completion::Computed {
+                consumed: Span::from_units(4),
+            },
+        );
         // Capacity is now exhausted: the overrunning handler is not servable.
         assert_eq!(step, ServeStep::Idle);
         // Replenish and dispatch it: its work (6) exceeds its budget (4), so
@@ -313,7 +359,12 @@ mod tests {
         server.borrow_mut().replenish(Instant::from_units(6));
         let _ = service.try_dispatch(Instant::from_units(6));
         let mut ctx = BodyCtx::new(Instant::from_units(10));
-        let step = service.on_completion(&mut ctx, Completion::Interrupted { consumed: Span::from_units(4) });
+        let step = service.on_completion(
+            &mut ctx,
+            Completion::Interrupted {
+                consumed: Span::from_units(4),
+            },
+        );
         assert_eq!(step, ServeStep::Idle);
         let outcomes = &server.borrow().outcomes;
         assert_eq!(outcomes.len(), 2);
@@ -326,6 +377,11 @@ mod tests {
     fn completions_while_idle_are_a_bug() {
         let mut service = ServiceLoop::new(shared(OverheadModel::none()));
         let mut ctx = BodyCtx::new(Instant::ZERO);
-        let _ = service.on_completion(&mut ctx, Completion::Computed { consumed: Span::ZERO });
+        let _ = service.on_completion(
+            &mut ctx,
+            Completion::Computed {
+                consumed: Span::ZERO,
+            },
+        );
     }
 }

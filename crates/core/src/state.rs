@@ -11,9 +11,7 @@
 
 use crate::handler::QueuedRelease;
 use crate::queue::{PendingQueue, QueueKind};
-use rt_model::{
-    AperiodicFate, AperiodicOutcome, Instant, ServerPolicyKind, Span,
-};
+use rt_model::{AperiodicFate, AperiodicOutcome, Instant, ServerPolicyKind, Span};
 use rtsj_emu::{OverheadModel, TaskServerParameters};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -111,10 +109,8 @@ impl ServerShared {
                 // the capacity is in a time lesser than [the remaining
                 // capacity], the event can be served") — otherwise the server
                 // would be running on capacity it does not have yet.
-                let crosses_boundary =
-                    now + release.declared_cost() > self.next_replenishment;
-                let refill_before_exhaustion =
-                    self.next_replenishment - now <= self.remaining;
+                let crosses_boundary = now + release.declared_cost() > self.next_replenishment;
+                let refill_before_exhaustion = self.next_replenishment - now <= self.remaining;
                 if crosses_boundary && refill_before_exhaustion {
                     self.remaining + self.params.capacity
                 } else {
@@ -129,10 +125,10 @@ impl ServerShared {
     /// fits in the budget its policy grants it.
     pub fn choose_next(&mut self, now: Instant) -> Option<GrantedService> {
         if self.policy == ServerPolicyKind::Background {
-            return self
-                .queue
-                .pop_front()
-                .map(|release| GrantedService { release, granted: Span::MAX });
+            return self.queue.pop_front().map(|release| GrantedService {
+                release,
+                granted: Span::MAX,
+            });
         }
         // Evaluate the per-release budgets without holding a borrow on the
         // queue, then extract the chosen release.
@@ -180,7 +176,10 @@ impl ServerShared {
             event: release.event,
             release: release.release,
             declared_cost: release.declared_cost(),
-            fate: AperiodicFate::Interrupted { started, interrupted_at },
+            fate: AperiodicFate::Interrupted {
+                started,
+                interrupted_at,
+            },
         });
     }
 
@@ -229,7 +228,10 @@ mod tests {
         let mut s = server.borrow_mut();
         s.remaining = Span::from_units(2);
         let r = release(0, 3, 0);
-        assert_eq!(s.granted_budget(&r, Instant::from_units(1)), Span::from_units(2));
+        assert_eq!(
+            s.granted_budget(&r, Instant::from_units(1)),
+            Span::from_units(2)
+        );
     }
 
     #[test]
@@ -241,9 +243,15 @@ mod tests {
         let r = release(0, 2, 5);
         // Serving cost 2 from t=5 crosses the boundary at 6: the budget is
         // extended by the full capacity.
-        assert_eq!(s.granted_budget(&r, Instant::from_units(5)), Span::from_units(5));
+        assert_eq!(
+            s.granted_budget(&r, Instant::from_units(5)),
+            Span::from_units(5)
+        );
         // Served well before the boundary, no extension applies.
-        assert_eq!(s.granted_budget(&r, Instant::from_units(1)), Span::from_units(1));
+        assert_eq!(
+            s.granted_budget(&r, Instant::from_units(1)),
+            Span::from_units(1)
+        );
     }
 
     #[test]
@@ -270,7 +278,11 @@ mod tests {
         s.released(release(0, 3, 0), Instant::ZERO);
         s.released(release(1, 1, 1), Instant::ZERO);
         let granted = s.choose_next(Instant::from_units(6)).unwrap();
-        assert_eq!(granted.release.event, EventId::new(1), "the later, smaller release skips ahead");
+        assert_eq!(
+            granted.release.event,
+            EventId::new(1),
+            "the later, smaller release skips ahead"
+        );
     }
 
     #[test]
@@ -281,7 +293,11 @@ mod tests {
         let granted = s.choose_next(Instant::ZERO).unwrap();
         assert_eq!(granted.granted, Span::MAX);
         s.consume(Span::from_units(50));
-        assert_eq!(s.remaining, params().capacity, "background consumes no capacity");
+        assert_eq!(
+            s.remaining,
+            params().capacity,
+            "background consumes no capacity"
+        );
     }
 
     #[test]

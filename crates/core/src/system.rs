@@ -16,7 +16,7 @@ use rt_model::{
     AperiodicFate, AperiodicOutcome, ExecUnit, Instant, PeriodicJobRecord, PeriodicTask, Span,
     SystemSpec, Trace,
 };
-use rtsj_emu::{Engine, EngineConfig, OverheadModel, PeriodicThreadBody};
+use rtsj_emu::{Engine, EngineConfig, OverheadModel, PeriodicThreadBody, SchedulerKind};
 
 /// Configuration of an execution run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,19 +25,30 @@ pub struct ExecutionConfig {
     pub overhead: OverheadModel,
     /// Pending-queue structure used by the server.
     pub queue: QueueKind,
+    /// Engine scheduling structures (indexed by default; the linear-scan
+    /// reference exists for differential tests and benchmarks).
+    pub scheduler: SchedulerKind,
 }
 
 impl ExecutionConfig {
     /// The configuration used for the paper's tables: reference overheads and
     /// the flat FIFO queue of the base implementation.
     pub fn reference() -> Self {
-        ExecutionConfig { overhead: OverheadModel::reference(), queue: QueueKind::Fifo }
+        ExecutionConfig {
+            overhead: OverheadModel::reference(),
+            queue: QueueKind::Fifo,
+            scheduler: SchedulerKind::Indexed,
+        }
     }
 
     /// An idealised configuration (no overhead): used for the scenario
     /// figures and for differential tests against the simulator.
     pub fn ideal() -> Self {
-        ExecutionConfig { overhead: OverheadModel::none(), queue: QueueKind::Fifo }
+        ExecutionConfig {
+            overhead: OverheadModel::none(),
+            queue: QueueKind::Fifo,
+            scheduler: SchedulerKind::Indexed,
+        }
     }
 
     /// Replaces the queue structure.
@@ -49,6 +60,12 @@ impl ExecutionConfig {
     /// Replaces the overhead model.
     pub fn with_overhead(mut self, overhead: OverheadModel) -> Self {
         self.overhead = overhead;
+        self
+    }
+
+    /// Replaces the engine scheduler implementation.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
         self
     }
 }
@@ -64,9 +81,13 @@ impl Default for ExecutionConfig {
 /// # Panics
 /// Panics when the specification fails validation.
 pub fn execute(spec: &SystemSpec, config: &ExecutionConfig) -> Trace {
-    spec.validate().expect("execute() requires a valid system specification");
-    let mut engine =
-        Engine::new(EngineConfig::new(spec.horizon).with_overhead(config.overhead));
+    spec.validate()
+        .expect("execute() requires a valid system specification");
+    let mut engine = Engine::new(
+        EngineConfig::new(spec.horizon)
+            .with_overhead(config.overhead)
+            .with_scheduler(config.scheduler),
+    );
 
     // The task server, when the system has one.
     let server = spec
@@ -163,7 +184,9 @@ fn reconstruct_periodic_records(
         let mut needed = task.cost;
         let mut completed = None;
         while !needed.is_zero() {
-            let Some(&(start, end)) = segments.get(segment_index) else { break };
+            let Some(&(start, end)) = segments.get(segment_index) else {
+                break;
+            };
             let available = (end - start) - consumed_in_segment;
             if available <= needed {
                 needed -= available;
@@ -218,8 +241,18 @@ mod tests {
             period: Span::from_units(6),
             priority: Priority::new(30),
         });
-        b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
-        b.periodic("tau2", Span::from_units(1), Span::from_units(6), Priority::new(10));
+        b.periodic(
+            "tau1",
+            Span::from_units(2),
+            Span::from_units(6),
+            Priority::new(20),
+        );
+        b.periodic(
+            "tau2",
+            Span::from_units(1),
+            Span::from_units(6),
+            Priority::new(10),
+        );
         for &(release, cost) in events {
             b.aperiodic(Instant::from_units(release), Span::from_units(cost));
         }
@@ -244,10 +277,16 @@ mod tests {
         let spec = table1(ServerPolicyKind::Polling, 3, &[(0, 2), (6, 2)]);
         let executed = execute(&spec, &ExecutionConfig::ideal());
         let simulated = rtss_sim_simulate(&spec);
-        let exec_responses: Vec<_> =
-            executed.outcomes.iter().map(|o| o.response_time()).collect();
-        let sim_responses: Vec<_> =
-            simulated.outcomes.iter().map(|o| o.response_time()).collect();
+        let exec_responses: Vec<_> = executed
+            .outcomes
+            .iter()
+            .map(|o| o.response_time())
+            .collect();
+        let sim_responses: Vec<_> = simulated
+            .outcomes
+            .iter()
+            .map(|o| o.response_time())
+            .collect();
         assert_eq!(exec_responses, sim_responses);
     }
 
@@ -317,7 +356,12 @@ mod tests {
     #[test]
     fn systems_without_servers_run_their_periodic_tasks_only() {
         let mut b = SystemSpec::builder("no-server");
-        b.periodic("tau", Span::from_units(2), Span::from_units(5), Priority::new(10));
+        b.periodic(
+            "tau",
+            Span::from_units(2),
+            Span::from_units(5),
+            Priority::new(10),
+        );
         b.horizon(Instant::from_units(20));
         let spec = b.build().unwrap();
         let trace = execute(&spec, &ExecutionConfig::ideal());
@@ -339,7 +383,12 @@ mod tests {
     fn background_spec_is_executed_at_low_priority() {
         let mut b = SystemSpec::builder("bg");
         b.server(ServerSpec::background(Priority::new(1)));
-        b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
+        b.periodic(
+            "tau1",
+            Span::from_units(2),
+            Span::from_units(6),
+            Priority::new(20),
+        );
         b.aperiodic(Instant::from_units(0), Span::from_units(2));
         b.horizon(Instant::from_units(30));
         let spec = b.build().unwrap();

@@ -15,7 +15,11 @@ use rt_experiments::{
 
 fn print_scenario(scenario: Scenario) {
     let report = run_scenario(scenario);
-    println!("=== Figure {} (scenario {:?}) ===", report.scenario.figure(), report.scenario);
+    println!(
+        "=== Figure {} (scenario {:?}) ===",
+        report.scenario.figure(),
+        report.scenario
+    );
     println!("--- execution (task-server framework) ---");
     println!("{}", report.execution_gantt);
     println!("--- simulation (literature-exact polling server) ---");
@@ -30,7 +34,11 @@ fn print_scenario(scenario: Scenario) {
                 "{}: released {} {}",
                 outcome.event,
                 outcome.release,
-                if outcome.is_interrupted() { "interrupted" } else { "unserved" }
+                if outcome.is_interrupted() {
+                    "interrupted"
+                } else {
+                    "unserved"
+                }
             ),
         }
     }
@@ -65,7 +73,10 @@ fn print_online_rta() {
 fn main() {
     let command = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     let full = TableConfig::default();
-    let quick = TableConfig { systems_per_set: 3, seed: 1983 };
+    let quick = TableConfig {
+        systems_per_set: 3,
+        seed: 1983,
+    };
     match command.as_str() {
         "fig2" => print_scenario(Scenario::One),
         "fig3" => print_scenario(Scenario::Two),

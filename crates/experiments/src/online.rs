@@ -45,7 +45,10 @@ pub fn online_rta_experiment(
     capacity: Span,
     period: Span,
 ) -> OnlineRtaReport {
-    assert!(cost <= capacity, "the framework cannot serve handlers above the capacity");
+    assert!(
+        cost <= capacity,
+        "the framework cannot serve handlers above the capacity"
+    );
     let mut builder = SystemSpec::builder("online-rta");
     builder.server(ServerSpec::polling(capacity, period, Priority::new(30)));
     let mut releases = Vec::new();
@@ -95,7 +98,10 @@ pub fn online_rta_experiment(
         .iter()
         .filter(|p| p.measured == Some(p.predicted))
         .count();
-    OnlineRtaReport { predictions, exact_matches }
+    OnlineRtaReport {
+        predictions,
+        exact_matches,
+    }
 }
 
 /// The default instance of the experiment used by the `repro` binary: a burst
@@ -121,7 +127,12 @@ mod tests {
         let report = default_online_rta();
         assert_eq!(report.predictions.len(), 12);
         for p in &report.predictions {
-            assert_eq!(p.measured, Some(p.predicted), "prediction mismatch at {:?}", p.release);
+            assert_eq!(
+                p.measured,
+                Some(p.predicted),
+                "prediction mismatch at {:?}",
+                p.release
+            );
         }
         assert_eq!(report.exact_matches, 12);
     }

@@ -47,8 +47,18 @@ pub fn table1_system(
         period: Span::from_units(6),
         priority: Priority::new(30),
     });
-    b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
-    b.periodic("tau2", Span::from_units(1), Span::from_units(6), Priority::new(10));
+    b.periodic(
+        "tau1",
+        Span::from_units(2),
+        Span::from_units(6),
+        Priority::new(20),
+    );
+    b.periodic(
+        "tau2",
+        Span::from_units(1),
+        Span::from_units(6),
+        Priority::new(10),
+    );
     for &(release, actual, declared) in events {
         b.aperiodic_with(
             Instant::from_units(release),
@@ -93,10 +103,20 @@ pub fn run_scenario(scenario: Scenario) -> ScenarioReport {
     let system = scenario_system(scenario);
     let execution = execute(&system, &ExecutionConfig::ideal());
     let simulation = simulate(&system);
-    let options = GanttOptions { column_units: 1.0, max_columns: 20 };
+    let options = GanttOptions {
+        column_units: 1.0,
+        max_columns: 20,
+    };
     let execution_gantt = render_ascii(&execution, Some(&system), options);
     let simulation_gantt = render_ascii(&simulation, Some(&system), options);
-    ScenarioReport { scenario, system, execution, simulation, execution_gantt, simulation_gantt }
+    ScenarioReport {
+        scenario,
+        system,
+        execution,
+        simulation,
+        execution_gantt,
+        simulation_gantt,
+    }
 }
 
 #[cfg(test)]
@@ -129,7 +149,10 @@ mod tests {
         // Implementation: h2 delayed to the next activation (12..14).
         assert_eq!(handler_window(&report.execution, 1), vec![(12, 14)]);
         // Theory (simulation): h2 split across 8..9 and 12..13.
-        assert_eq!(handler_window(&report.simulation, 1), vec![(8, 9), (12, 13)]);
+        assert_eq!(
+            handler_window(&report.simulation, 1),
+            vec![(8, 9), (12, 13)]
+        );
     }
 
     #[test]
@@ -138,7 +161,10 @@ mod tests {
         assert_eq!(handler_window(&report.execution, 1), vec![(8, 9)]);
         let h2 = &report.execution.outcomes[1];
         match h2.fate {
-            AperiodicFate::Interrupted { started, interrupted_at } => {
+            AperiodicFate::Interrupted {
+                started,
+                interrupted_at,
+            } => {
                 assert_eq!(started, Instant::from_units(8));
                 assert_eq!(interrupted_at, Instant::from_units(9));
             }

@@ -61,9 +61,7 @@ impl PaperTable {
         match self {
             PaperTable::Table2PsSimulation => "Table 2 — Measures on Polling Server simulations",
             PaperTable::Table3PsExecution => "Table 3 — Measures on Polling Server executions",
-            PaperTable::Table4DsSimulation => {
-                "Table 4 — Measures on Deferrable Server simulations"
-            }
+            PaperTable::Table4DsSimulation => "Table 4 — Measures on Deferrable Server simulations",
             PaperTable::Table5DsExecution => "Table 5 — Measures on Deferrable Server executions",
         }
     }
@@ -100,7 +98,10 @@ pub struct TableConfig {
 
 impl Default for TableConfig {
     fn default() -> Self {
-        TableConfig { systems_per_set: 10, seed: 1983 }
+        TableConfig {
+            systems_per_set: 10,
+            seed: 1983,
+        }
     }
 }
 
@@ -187,7 +188,10 @@ mod tests {
     /// the full 10-system tables are exercised by the integration tests and
     /// the `repro` binary.
     fn quick() -> TableConfig {
-        TableConfig { systems_per_set: 3, seed: 1983 }
+        TableConfig {
+            systems_per_set: 3,
+            seed: 1983,
+        }
     }
 
     #[test]
@@ -196,8 +200,14 @@ mod tests {
             let _ = table.caption();
             let _ = table.paper_values();
         }
-        assert_eq!(PaperTable::Table2PsSimulation.policy(), ServerPolicyKind::Polling);
-        assert_eq!(PaperTable::Table5DsExecution.mode(), EvaluationMode::Execution);
+        assert_eq!(
+            PaperTable::Table2PsSimulation.policy(),
+            ServerPolicyKind::Polling
+        );
+        assert_eq!(
+            PaperTable::Table5DsExecution.mode(),
+            EvaluationMode::Execution
+        );
     }
 
     #[test]
@@ -221,8 +231,14 @@ mod tests {
         assert!(shape::air_is_negligible(&t2, 0.0));
         assert!(shape::air_is_negligible(&t4, 0.0));
         assert!(shape::asr_shrinks_with_density(&t2));
-        assert!(shape::dominates_on_aart(&t4, &t2), "DS must beat PS on response times");
-        assert!(shape::dominates_on_asr(&t4, &t2), "DS must beat PS on served ratio");
+        assert!(
+            shape::dominates_on_aart(&t4, &t2),
+            "DS must beat PS on response times"
+        );
+        assert!(
+            shape::dominates_on_asr(&t4, &t2),
+            "DS must beat PS on served ratio"
+        );
     }
 
     #[test]

@@ -31,10 +31,17 @@ impl SetAggregate {
     pub fn from_runs(runs: &[RunMeasures]) -> Self {
         let n = runs.len();
         if n == 0 {
-            return SetAggregate { runs: 0, aart: 0.0, air: 0.0, asr: 0.0 };
+            return SetAggregate {
+                runs: 0,
+                aart: 0.0,
+                air: 0.0,
+                asr: 0.0,
+            };
         }
-        let with_service: Vec<f64> =
-            runs.iter().filter_map(|r| r.average_response_time).collect();
+        let with_service: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| r.average_response_time)
+            .collect();
         let aart = if with_service.is_empty() {
             0.0
         } else {
@@ -42,7 +49,12 @@ impl SetAggregate {
         };
         let air = runs.iter().map(|r| r.interrupted_ratio()).sum::<f64>() / n as f64;
         let asr = runs.iter().map(|r| r.served_ratio()).sum::<f64>() / n as f64;
-        SetAggregate { runs: n, aart, air, asr }
+        SetAggregate {
+            runs: n,
+            aart,
+            air,
+            asr,
+        }
     }
 
     /// Formats the aggregate as the paper prints it (two decimal places).
@@ -60,22 +72,27 @@ mod tests {
     use super::*;
 
     fn run(avg: Option<f64>, served: usize, interrupted: usize, released: usize) -> RunMeasures {
-        RunMeasures { released, served, interrupted, average_response_time: avg }
+        RunMeasures {
+            released,
+            served,
+            interrupted,
+            average_response_time: avg,
+        }
     }
 
     #[test]
     fn aggregate_averages_the_per_run_measures() {
-        let runs = vec![
-            run(Some(4.0), 2, 0, 4),
-            run(Some(8.0), 3, 1, 4),
-        ];
+        let runs = vec![run(Some(4.0), 2, 0, 4), run(Some(8.0), 3, 1, 4)];
         let agg = SetAggregate::from_runs(&runs);
         assert_eq!(agg.runs, 2);
         assert_eq!(agg.aart, 6.0);
         assert_eq!(agg.air, 0.125);
         assert_eq!(agg.asr, 0.625);
         // Rust's float formatting rounds ties to even: 0.125 → "0.12".
-        assert_eq!(agg.paper_row(), ("6.00".into(), "0.12".into(), "0.62".into()));
+        assert_eq!(
+            agg.paper_row(),
+            ("6.00".into(), "0.12".into(), "0.62".into())
+        );
     }
 
     #[test]

@@ -18,62 +18,76 @@ pub use table::{paper, shape, ResultTable, SET_ORDER};
 
 #[cfg(test)]
 mod proptests {
+    //! Randomised property tests. The offline build environment has no
+    //! `proptest`, so the same properties are exercised over many seeded,
+    //! deterministic random cases instead of shrinking strategies.
+
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use rt_model::{AperiodicFate, AperiodicOutcome, EventId, Instant, Span};
 
-    fn outcome_strategy() -> impl Strategy<Value = AperiodicOutcome> {
-        (0u32..1000, 0u64..100, 1u64..10, 0u8..3, 0u64..50).prop_map(
-            |(id, release, cost, kind, extra)| {
-                let release = Instant::from_units(release);
-                let fate = match kind {
-                    0 => AperiodicFate::Served {
-                        started: release + Span::from_units(extra),
-                        completed: release + Span::from_units(extra + cost),
-                    },
-                    1 => AperiodicFate::Interrupted {
-                        started: release + Span::from_units(extra),
-                        interrupted_at: release + Span::from_units(extra + 1),
-                    },
-                    _ => AperiodicFate::Unserved,
-                };
-                AperiodicOutcome {
-                    event: EventId::new(id),
-                    release,
-                    declared_cost: Span::from_units(cost),
-                    fate,
-                }
+    fn random_outcome(rng: &mut StdRng) -> AperiodicOutcome {
+        let id: u32 = rng.gen_range(0u64..1000) as u32;
+        let release = Instant::from_units(rng.gen_range(0u64..100));
+        let cost = rng.gen_range(1u64..10);
+        let kind = rng.gen_range(0u64..3);
+        let extra = rng.gen_range(0u64..50);
+        let fate = match kind {
+            0 => AperiodicFate::Served {
+                started: release + Span::from_units(extra),
+                completed: release + Span::from_units(extra + cost),
             },
-        )
+            1 => AperiodicFate::Interrupted {
+                started: release + Span::from_units(extra),
+                interrupted_at: release + Span::from_units(extra + 1),
+            },
+            _ => AperiodicFate::Unserved,
+        };
+        AperiodicOutcome {
+            event: EventId::new(id),
+            release,
+            declared_cost: Span::from_units(cost),
+            fate,
+        }
     }
 
-    proptest! {
-        /// Ratios always lie in [0, 1] and served + interrupted never exceeds
-        /// the number of released events.
-        #[test]
-        fn ratios_are_well_bounded(outcomes in proptest::collection::vec(outcome_strategy(), 0..50)) {
+    fn random_outcomes(rng: &mut StdRng, min: usize, max: usize) -> Vec<AperiodicOutcome> {
+        let n = rng.gen_range(min..max);
+        (0..n).map(|_| random_outcome(rng)).collect()
+    }
+
+    /// Ratios always lie in [0, 1] and served + interrupted never exceeds
+    /// the number of released events.
+    #[test]
+    fn ratios_are_well_bounded() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0001);
+        for _ in 0..256 {
+            let outcomes = random_outcomes(&mut rng, 0, 50);
             let m = RunMeasures::from_outcomes(&outcomes);
-            prop_assert!(m.served + m.interrupted <= m.released);
-            prop_assert!((0.0..=1.0).contains(&m.served_ratio()));
-            prop_assert!((0.0..=1.0).contains(&m.interrupted_ratio()));
+            assert!(m.served + m.interrupted <= m.released);
+            assert!((0.0..=1.0).contains(&m.served_ratio()));
+            assert!((0.0..=1.0).contains(&m.interrupted_ratio()));
             if let Some(aart) = m.average_response_time {
-                prop_assert!(aart >= 0.0);
+                assert!(aart >= 0.0);
             }
         }
+    }
 
-        /// Aggregating identical runs reproduces the per-run values.
-        #[test]
-        fn aggregate_of_identical_runs_is_the_run(
-            outcomes in proptest::collection::vec(outcome_strategy(), 1..20),
-            copies in 1usize..10,
-        ) {
+    /// Aggregating identical runs reproduces the per-run values.
+    #[test]
+    fn aggregate_of_identical_runs_is_the_run() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0002);
+        for _ in 0..256 {
+            let outcomes = random_outcomes(&mut rng, 1, 20);
+            let copies = rng.gen_range(1u64..10) as usize;
             let run = RunMeasures::from_outcomes(&outcomes);
             let agg = SetAggregate::from_runs(&vec![run; copies]);
-            prop_assert_eq!(agg.runs, copies);
-            prop_assert!((agg.asr - run.served_ratio()).abs() < 1e-9);
-            prop_assert!((agg.air - run.interrupted_ratio()).abs() < 1e-9);
+            assert_eq!(agg.runs, copies);
+            assert!((agg.asr - run.served_ratio()).abs() < 1e-9);
+            assert!((agg.air - run.interrupted_ratio()).abs() < 1e-9);
             if let Some(aart) = run.average_response_time {
-                prop_assert!((agg.aart - aart).abs() < 1e-9);
+                assert!((agg.aart - aart).abs() < 1e-9);
             }
         }
     }

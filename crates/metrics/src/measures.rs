@@ -25,8 +25,7 @@ impl RunMeasures {
     /// Computes the measures from a list of outcomes.
     pub fn from_outcomes(outcomes: &[AperiodicOutcome]) -> Self {
         let released = outcomes.len();
-        let served_times: Vec<Span> =
-            outcomes.iter().filter_map(|o| o.response_time()).collect();
+        let served_times: Vec<Span> = outcomes.iter().filter_map(|o| o.response_time()).collect();
         let served = served_times.len();
         let interrupted = outcomes.iter().filter(|o| o.is_interrupted()).count();
         let average_response_time = if served == 0 {
@@ -34,7 +33,12 @@ impl RunMeasures {
         } else {
             Some(served_times.iter().map(|s| s.as_units()).sum::<f64>() / served as f64)
         };
-        RunMeasures { released, served, interrupted, average_response_time }
+        RunMeasures {
+            released,
+            served,
+            interrupted,
+            average_response_time,
+        }
     }
 
     /// Computes the measures directly from a trace.
@@ -76,18 +80,27 @@ mod tests {
     #[test]
     fn measures_over_mixed_outcomes() {
         let outcomes = vec![
-            outcome(0, AperiodicFate::Served {
-                started: Instant::from_units(2),
-                completed: Instant::from_units(6),
-            }),
-            outcome(1, AperiodicFate::Served {
-                started: Instant::from_units(8),
-                completed: Instant::from_units(10),
-            }),
-            outcome(2, AperiodicFate::Interrupted {
-                started: Instant::from_units(12),
-                interrupted_at: Instant::from_units(13),
-            }),
+            outcome(
+                0,
+                AperiodicFate::Served {
+                    started: Instant::from_units(2),
+                    completed: Instant::from_units(6),
+                },
+            ),
+            outcome(
+                1,
+                AperiodicFate::Served {
+                    started: Instant::from_units(8),
+                    completed: Instant::from_units(10),
+                },
+            ),
+            outcome(
+                2,
+                AperiodicFate::Interrupted {
+                    started: Instant::from_units(12),
+                    interrupted_at: Instant::from_units(13),
+                },
+            ),
             outcome(3, AperiodicFate::Unserved),
         ];
         let measures = RunMeasures::from_outcomes(&outcomes);

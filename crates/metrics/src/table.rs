@@ -29,7 +29,10 @@ pub struct ResultTable {
 impl ResultTable {
     /// Creates a table from aggregates listed in [`SET_ORDER`] order.
     pub fn new(caption: impl Into<String>, sets: Vec<((u32, u32), SetAggregate)>) -> Self {
-        ResultTable { caption: caption.into(), sets }
+        ResultTable {
+            caption: caption.into(),
+            sets,
+        }
     }
 
     /// The aggregate of one set.
@@ -131,13 +134,21 @@ pub mod shape {
     /// (homogeneous sets and heterogeneous sets checked independently).
     pub fn aart_grows_with_density(table: &ResultTable) -> bool {
         let row = table.aart_row();
-        row.len() == 6 && row[0] <= row[1] && row[1] <= row[2] && row[3] <= row[4] && row[4] <= row[5]
+        row.len() == 6
+            && row[0] <= row[1]
+            && row[1] <= row[2]
+            && row[3] <= row[4]
+            && row[4] <= row[5]
     }
 
     /// ASR shrinks as the density grows within each cost family.
     pub fn asr_shrinks_with_density(table: &ResultTable) -> bool {
         let row = table.asr_row();
-        row.len() == 6 && row[0] >= row[1] && row[1] >= row[2] && row[3] >= row[4] && row[4] >= row[5]
+        row.len() == 6
+            && row[0] >= row[1]
+            && row[1] >= row[2]
+            && row[3] >= row[4]
+            && row[4] >= row[5]
     }
 
     /// Every AIR entry is (close to) zero — true of all simulations and of
@@ -185,7 +196,17 @@ mod tests {
             SET_ORDER
                 .iter()
                 .zip(values)
-                .map(|(&k, &(aart, air, asr))| (k, SetAggregate { runs: 10, aart, air, asr }))
+                .map(|(&k, &(aart, air, asr))| {
+                    (
+                        k,
+                        SetAggregate {
+                            runs: 10,
+                            aart,
+                            air,
+                            asr,
+                        },
+                    )
+                })
                 .collect(),
         )
     }

@@ -12,7 +12,9 @@ pub struct ModelError {
 impl ModelError {
     /// Creates an invalid-specification error.
     pub fn invalid(message: impl Into<String>) -> Self {
-        ModelError { message: message.into() }
+        ModelError {
+            message: message.into(),
+        }
     }
 
     /// Error message.

@@ -102,7 +102,8 @@ impl Job {
 
     /// True when the job can still be scheduled.
     pub fn is_runnable(&self) -> bool {
-        matches!(self.state, JobState::Pending | JobState::Started { .. }) && !self.remaining.is_zero()
+        matches!(self.state, JobState::Pending | JobState::Started { .. })
+            && !self.remaining.is_zero()
     }
 
     /// Records that the job executed for `amount` starting at `now`.
@@ -113,7 +114,11 @@ impl Job {
     /// Panics if `amount` exceeds the remaining work — engines must never
     /// over-run a job — or if the job is not runnable.
     pub fn execute(&mut self, now: Instant, amount: Span) -> bool {
-        assert!(self.is_runnable(), "executing a non-runnable job {:?}", self.state);
+        assert!(
+            self.is_runnable(),
+            "executing a non-runnable job {:?}",
+            self.state
+        );
         assert!(
             amount <= self.remaining,
             "executing {amount} exceeds remaining work {rem}",
@@ -127,7 +132,10 @@ impl Job {
         self.remaining -= amount;
         let end = now + amount;
         if self.remaining.is_zero() {
-            self.state = JobState::Completed { started_at, finished_at: end };
+            self.state = JobState::Completed {
+                started_at,
+                finished_at: end,
+            };
             true
         } else {
             self.state = JobState::Started { started_at };
@@ -144,7 +152,10 @@ impl Job {
             JobState::Completed { started_at, .. } => started_at,
             JobState::Unserved => now,
         };
-        self.state = JobState::Interrupted { started_at, interrupted_at: now };
+        self.state = JobState::Interrupted {
+            started_at,
+            interrupted_at: now,
+        };
     }
 
     /// Marks a never-started job as unserved (horizon reached).
@@ -179,7 +190,9 @@ mod tests {
     fn job(work: u64) -> Job {
         Job::new(
             JobId::new(0),
-            JobSource::Aperiodic { event: EventId::new(0) },
+            JobSource::Aperiodic {
+                event: EventId::new(0),
+            },
             Instant::from_units(2),
             Span::from_units(work),
         )
@@ -240,7 +253,10 @@ mod tests {
     fn periodic_source_identifies_activation() {
         let j = Job::new(
             JobId::new(3),
-            JobSource::Periodic { task: TaskId::new(1), activation: 4 },
+            JobSource::Periodic {
+                task: TaskId::new(1),
+                activation: 4,
+            },
             Instant::from_units(24),
             Span::from_units(2),
         );

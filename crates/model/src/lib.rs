@@ -36,106 +36,140 @@ pub use priority::{deadline_monotonic, rate_monotonic, Priority, SymbolicPriorit
 pub use system::{SystemBuilder, SystemSpec};
 pub use task::{AperiodicEvent, PeriodicTask, ServerPolicyKind, ServerSpec};
 pub use time::{Instant, Span, TICKS_PER_UNIT};
-pub use trace::{
-    AperiodicFate, AperiodicOutcome, ExecUnit, PeriodicJobRecord, Segment, Trace,
-};
+pub use trace::{AperiodicFate, AperiodicOutcome, ExecUnit, PeriodicJobRecord, Segment, Trace};
 
 #[cfg(test)]
 mod proptests {
+    //! Randomised property tests. The offline build environment has no
+    //! `proptest`, so the same properties are exercised over seeded,
+    //! deterministic random cases instead of shrinking strategies.
+
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    fn span_strategy() -> impl Strategy<Value = Span> {
-        (0u64..=1_000_000u64).prop_map(Span::from_ticks)
+    const CASES: usize = 256;
+
+    fn random_span(rng: &mut StdRng) -> Span {
+        Span::from_ticks(rng.gen_range(0u64..=1_000_000))
     }
 
-    fn instant_strategy() -> impl Strategy<Value = Instant> {
-        (0u64..=1_000_000u64).prop_map(Instant::from_ticks)
+    fn random_instant(rng: &mut StdRng) -> Instant {
+        Instant::from_ticks(rng.gen_range(0u64..=1_000_000))
     }
 
-    proptest! {
-        /// Instant + Span - Span round-trips whenever no saturation occurs.
-        #[test]
-        fn instant_add_sub_round_trip(i in instant_strategy(), s in span_strategy()) {
+    /// Instant + Span - Span round-trips whenever no saturation occurs.
+    #[test]
+    fn instant_add_sub_round_trip() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0200);
+        for _ in 0..CASES {
+            let i = random_instant(&mut rng);
+            let s = random_span(&mut rng);
             let forward = i + s;
-            prop_assert_eq!(forward - s, i);
-            prop_assert_eq!(forward - i, s);
+            assert_eq!(forward - s, i);
+            assert_eq!(forward - i, s);
         }
+    }
 
-        /// Span subtraction saturates at zero and never panics.
-        #[test]
-        fn span_sub_saturates(a in span_strategy(), b in span_strategy()) {
+    /// Span subtraction saturates at zero and never panics.
+    #[test]
+    fn span_sub_saturates() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0201);
+        for _ in 0..CASES {
+            let a = random_span(&mut rng);
+            let b = random_span(&mut rng);
             let d = a - b;
             if a >= b {
-                prop_assert_eq!(d + b, a);
+                assert_eq!(d + b, a);
             } else {
-                prop_assert_eq!(d, Span::ZERO);
+                assert_eq!(d, Span::ZERO);
             }
         }
+    }
 
-        /// Ceiling division is consistent with ordinary division.
-        #[test]
-        fn span_div_ceil_consistency(a in span_strategy(), b in 1u64..=100_000u64) {
-            let b = Span::from_ticks(b);
+    /// Ceiling division is consistent with ordinary division.
+    #[test]
+    fn span_div_ceil_consistency() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0202);
+        for _ in 0..CASES {
+            let a = random_span(&mut rng);
+            let b = Span::from_ticks(rng.gen_range(1u64..=100_000));
             let floor = a.div_span(b);
             let ceil = a.div_ceil_span(b);
-            prop_assert!(ceil == floor || ceil == floor + 1);
-            prop_assert!(b.saturating_mul(ceil) >= a);
-            prop_assert!(b.saturating_mul(floor) <= a);
+            assert!(ceil == floor || ceil == floor + 1);
+            assert!(b.saturating_mul(ceil) >= a);
+            assert!(b.saturating_mul(floor) <= a);
         }
+    }
 
-        /// Unit conversion is monotone.
-        #[test]
-        fn units_conversion_monotone(a in 0.0f64..1_000.0, b in 0.0f64..1_000.0) {
+    /// Unit conversion is monotone.
+    #[test]
+    fn units_conversion_monotone() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0203);
+        for _ in 0..CASES {
+            let a = rng.gen_range(0.0f64..1_000.0);
+            let b = rng.gen_range(0.0f64..1_000.0);
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-            prop_assert!(Span::from_units_f64(lo) <= Span::from_units_f64(hi));
+            assert!(Span::from_units_f64(lo) <= Span::from_units_f64(hi));
         }
+    }
 
-        /// Rate-monotonic assignment gives strictly higher priority to
-        /// strictly shorter periods.
-        #[test]
-        fn rate_monotonic_respects_period_order(
-            periods in proptest::collection::vec(1u64..1_000u64, 1..10)
-        ) {
-            let spans: Vec<Span> = periods.iter().map(|&p| Span::from_units(p)).collect();
+    /// Rate-monotonic assignment gives strictly higher priority to
+    /// strictly shorter periods.
+    #[test]
+    fn rate_monotonic_respects_period_order() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0204);
+        for _ in 0..CASES {
+            let n = rng.gen_range(1u64..10) as usize;
+            let spans: Vec<Span> = (0..n)
+                .map(|_| Span::from_units(rng.gen_range(1u64..1_000)))
+                .collect();
             let prios = rate_monotonic(&spans);
             for i in 0..spans.len() {
                 for j in 0..spans.len() {
                     if spans[i] < spans[j] {
-                        prop_assert!(prios[i].preempts(prios[j]) || prios[i] == prios[j],
-                            "shorter period must not get lower priority");
+                        assert!(
+                            prios[i].preempts(prios[j]) || prios[i] == prios[j],
+                            "shorter period must not get lower priority"
+                        );
                     }
                 }
             }
         }
+    }
 
-        /// A job executed in arbitrary valid slices always completes with a
-        /// response time equal to (last slice end − release).
-        #[test]
-        fn job_slice_execution_completes(
-            work_units in 1u64..50,
-            slices in proptest::collection::vec(1u64..10, 1..20)
-        ) {
-            let work = Span::from_units(work_units);
+    /// A job executed in arbitrary valid slices always completes with a
+    /// response time equal to (last slice end − release).
+    #[test]
+    fn job_slice_execution_completes() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0205);
+        for _ in 0..CASES {
+            let work = Span::from_units(rng.gen_range(1u64..50));
+            let slice_count = rng.gen_range(1u64..20) as usize;
+            let slices: Vec<u64> = (0..slice_count).map(|_| rng.gen_range(1u64..10)).collect();
             let release = Instant::from_units(3);
             let mut job = Job::new(
                 JobId::new(0),
-                JobSource::Aperiodic { event: EventId::new(0) },
+                JobSource::Aperiodic {
+                    event: EventId::new(0),
+                },
                 release,
                 work,
             );
             let mut now = release;
             let mut done = Span::ZERO;
             for s in slices {
-                if !job.is_runnable() { break; }
+                if !job.is_runnable() {
+                    break;
+                }
                 let slice = Span::from_units(s).min(job.remaining);
-                now = now + Span::from_units(1); // arbitrary gap
+                now += Span::from_units(1); // arbitrary gap
                 let finished = job.execute(now, slice);
                 done += slice;
-                now = now + slice;
+                now += slice;
                 if finished {
-                    prop_assert_eq!(done, work);
-                    prop_assert_eq!(job.response_time(), Some(now - release));
+                    assert_eq!(done, work);
+                    assert_eq!(job.response_time(), Some(now - release));
                 }
             }
         }

@@ -11,9 +11,7 @@ use std::fmt;
 
 /// A fixed scheduling priority. **Higher numeric value means higher priority**,
 /// matching the RTSJ `PriorityParameters` convention.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Priority(pub u8);
 
 impl Priority {
@@ -146,7 +144,11 @@ mod tests {
 
     #[test]
     fn rate_monotonic_orders_by_period() {
-        let periods = [Span::from_units(10), Span::from_units(5), Span::from_units(20)];
+        let periods = [
+            Span::from_units(10),
+            Span::from_units(5),
+            Span::from_units(20),
+        ];
         let prios = rate_monotonic(&periods);
         assert!(prios[1].preempts(prios[0]));
         assert!(prios[0].preempts(prios[2]));

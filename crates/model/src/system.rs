@@ -60,7 +60,10 @@ impl SystemSpec {
 
     /// Number of aperiodic events released strictly before the horizon.
     pub fn aperiodics_within_horizon(&self) -> usize {
-        self.aperiodics.iter().filter(|e| e.release < self.horizon).count()
+        self.aperiodics
+            .iter()
+            .filter(|e| e.release < self.horizon)
+            .count()
     }
 
     /// Checks structural validity: well-formed tasks and server, unique ids,
@@ -199,9 +202,8 @@ impl SystemBuilder {
         let handler = HandlerId::new(self.next_handler);
         self.next_event += 1;
         self.next_handler += 1;
-        self.aperiodics.push(
-            AperiodicEvent::new(id, handler, release, actual).with_declared_cost(declared),
-        );
+        self.aperiodics
+            .push(AperiodicEvent::new(id, handler, release, actual).with_declared_cost(declared));
         id
     }
 
@@ -273,8 +275,18 @@ mod tests {
             Span::from_units(6),
             Priority::new(30),
         ));
-        b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
-        b.periodic("tau2", Span::from_units(1), Span::from_units(6), Priority::new(10));
+        b.periodic(
+            "tau1",
+            Span::from_units(2),
+            Span::from_units(6),
+            Priority::new(20),
+        );
+        b.periodic(
+            "tau2",
+            Span::from_units(1),
+            Span::from_units(6),
+            Priority::new(10),
+        );
         b.aperiodic(Instant::from_units(0), Span::from_units(2));
         b.aperiodic(Instant::from_units(6), Span::from_units(2));
         b.horizon_server_periods(10);
@@ -315,7 +327,12 @@ mod tests {
             Span::from_units(6),
             Priority::new(10),
         ));
-        b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
+        b.periodic(
+            "tau1",
+            Span::from_units(2),
+            Span::from_units(6),
+            Priority::new(20),
+        );
         let err = b.build().unwrap_err();
         assert!(err.to_string().contains("does not dominate"));
     }
@@ -337,17 +354,30 @@ mod tests {
     fn background_server_accepts_any_cost() {
         let mut b = SystemSpec::builder("bg");
         b.server(ServerSpec::background(Priority::MIN));
-        b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
+        b.periodic(
+            "tau1",
+            Span::from_units(2),
+            Span::from_units(6),
+            Priority::new(20),
+        );
         b.aperiodic(Instant::from_units(0), Span::from_units(50));
         b.horizon(Instant::from_units(100));
         let sys = b.build().unwrap();
-        assert_eq!(sys.server.as_ref().unwrap().policy, ServerPolicyKind::Background);
+        assert_eq!(
+            sys.server.as_ref().unwrap().policy,
+            ServerPolicyKind::Background
+        );
     }
 
     #[test]
     fn default_horizon_without_server_uses_periods() {
         let mut b = SystemSpec::builder("no-server");
-        b.periodic("tau1", Span::from_units(2), Span::from_units(8), Priority::new(20));
+        b.periodic(
+            "tau1",
+            Span::from_units(2),
+            Span::from_units(8),
+            Priority::new(20),
+        );
         let sys = b.build().unwrap();
         assert_eq!(sys.horizon, Instant::from_units(80));
     }

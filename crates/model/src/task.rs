@@ -32,7 +32,13 @@ pub struct PeriodicTask {
 
 impl PeriodicTask {
     /// Creates an implicit-deadline task released at time zero.
-    pub fn new(id: TaskId, name: impl Into<String>, cost: Span, period: Span, priority: Priority) -> Self {
+    pub fn new(
+        id: TaskId,
+        name: impl Into<String>,
+        cost: Span,
+        period: Span,
+        priority: Priority,
+    ) -> Self {
         PeriodicTask {
             id,
             name: name.into(),
@@ -195,12 +201,22 @@ pub struct ServerSpec {
 impl ServerSpec {
     /// Creates a polling server specification.
     pub fn polling(capacity: Span, period: Span, priority: Priority) -> Self {
-        ServerSpec { policy: ServerPolicyKind::Polling, capacity, period, priority }
+        ServerSpec {
+            policy: ServerPolicyKind::Polling,
+            capacity,
+            period,
+            priority,
+        }
     }
 
     /// Creates a deferrable server specification.
     pub fn deferrable(capacity: Span, period: Span, priority: Priority) -> Self {
-        ServerSpec { policy: ServerPolicyKind::Deferrable, capacity, period, priority }
+        ServerSpec {
+            policy: ServerPolicyKind::Deferrable,
+            capacity,
+            period,
+            priority,
+        }
     }
 
     /// Creates a background-servicing specification (no capacity, lowest
@@ -233,11 +249,7 @@ impl ServerSpec {
     pub fn is_well_formed(&self) -> bool {
         match self.policy {
             ServerPolicyKind::Background => true,
-            _ => {
-                !self.period.is_zero()
-                    && !self.capacity.is_zero()
-                    && self.capacity <= self.period
-            }
+            _ => !self.period.is_zero() && !self.capacity.is_zero() && self.capacity <= self.period,
         }
     }
 }

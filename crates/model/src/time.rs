@@ -209,7 +209,10 @@ impl Span {
     /// Panics when `other` is zero.
     #[inline]
     pub fn div_ceil_span(self, other: Span) -> u64 {
-        assert!(!other.is_zero(), "ceiling division of a Span by a zero Span");
+        assert!(
+            !other.is_zero(),
+            "ceiling division of a Span by a zero Span"
+        );
         self.0.div_ceil(other.0)
     }
 
@@ -412,8 +415,14 @@ mod tests {
     fn min_max_and_sentinels() {
         assert!(Instant::MAX.is_never());
         assert!(!Instant::ZERO.is_never());
-        assert_eq!(Instant::from_units(3).min(Instant::from_units(5)), Instant::from_units(3));
-        assert_eq!(Span::from_units(3).max(Span::from_units(5)), Span::from_units(5));
+        assert_eq!(
+            Instant::from_units(3).min(Instant::from_units(5)),
+            Instant::from_units(3)
+        );
+        assert_eq!(
+            Span::from_units(3).max(Span::from_units(5)),
+            Span::from_units(5)
+        );
     }
 
     #[test]

@@ -168,7 +168,12 @@ pub struct Trace {
 impl Trace {
     /// Creates an empty trace for the given horizon.
     pub fn new(horizon: Instant) -> Self {
-        Trace { segments: Vec::new(), outcomes: Vec::new(), periodic_jobs: Vec::new(), horizon }
+        Trace {
+            segments: Vec::new(),
+            outcomes: Vec::new(),
+            periodic_jobs: Vec::new(),
+            horizon,
+        }
     }
 
     /// Appends a processor-occupation segment, merging it with the previous
@@ -258,7 +263,62 @@ impl Trace {
 
     /// Number of periodic deadline misses.
     pub fn periodic_deadline_misses(&self) -> usize {
-        self.periodic_jobs.iter().filter(|j| !j.met_deadline()).count()
+        self.periodic_jobs
+            .iter()
+            .filter(|j| !j.met_deadline())
+            .count()
+    }
+
+    /// Renders the trace as a canonical, line-oriented text form: one line
+    /// per segment, aperiodic outcome and periodic job, in trace order.
+    ///
+    /// The format is stable and used by the golden-trace regression tests to
+    /// assert event-by-event equality of scheduling decisions across engine
+    /// refactors; any change to it invalidates the stored goldens.
+    pub fn render_canonical(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(out, "horizon {}", self.horizon.ticks()).unwrap();
+        for s in &self.segments {
+            writeln!(out, "seg {} {} {}", s.unit, s.start.ticks(), s.end.ticks()).unwrap();
+        }
+        for o in &self.outcomes {
+            let fate = match o.fate {
+                AperiodicFate::Served { started, completed } => {
+                    format!("served {} {}", started.ticks(), completed.ticks())
+                }
+                AperiodicFate::Interrupted {
+                    started,
+                    interrupted_at,
+                } => {
+                    format!("interrupted {} {}", started.ticks(), interrupted_at.ticks())
+                }
+                AperiodicFate::Unserved => "unserved".to_string(),
+            };
+            writeln!(
+                out,
+                "out {} release {} declared {} {}",
+                o.event,
+                o.release.ticks(),
+                o.declared_cost.ticks(),
+                fate
+            )
+            .unwrap();
+        }
+        for j in &self.periodic_jobs {
+            writeln!(
+                out,
+                "job {} act {} release {} deadline {} completed {}",
+                j.task,
+                j.activation,
+                j.release.ticks(),
+                j.deadline.ticks(),
+                j.completed
+                    .map_or("never".to_string(), |c| c.ticks().to_string())
+            )
+            .unwrap();
+        }
+        out
     }
 
     /// Checks the structural invariants of the trace: segments ordered and
@@ -285,13 +345,13 @@ impl Trace {
             match o.fate {
                 AperiodicFate::Served { started, completed } => {
                     if started < o.release || completed < started {
-                        return Err(format!(
-                            "outcome of {} has inconsistent instants",
-                            o.event
-                        ));
+                        return Err(format!("outcome of {} has inconsistent instants", o.event));
                     }
                 }
-                AperiodicFate::Interrupted { started, interrupted_at } => {
+                AperiodicFate::Interrupted {
+                    started,
+                    interrupted_at,
+                } => {
                     if started < o.release || interrupted_at < started {
                         return Err(format!(
                             "interrupted outcome of {} has inconsistent instants",
@@ -313,9 +373,21 @@ mod tests {
     #[test]
     fn push_segment_merges_contiguous_same_unit() {
         let mut t = Trace::new(Instant::from_units(10));
-        t.push_segment(ExecUnit::Task(TaskId::new(0)), Instant::from_units(0), Instant::from_units(1));
-        t.push_segment(ExecUnit::Task(TaskId::new(0)), Instant::from_units(1), Instant::from_units(2));
-        t.push_segment(ExecUnit::Idle, Instant::from_units(2), Instant::from_units(3));
+        t.push_segment(
+            ExecUnit::Task(TaskId::new(0)),
+            Instant::from_units(0),
+            Instant::from_units(1),
+        );
+        t.push_segment(
+            ExecUnit::Task(TaskId::new(0)),
+            Instant::from_units(1),
+            Instant::from_units(2),
+        );
+        t.push_segment(
+            ExecUnit::Idle,
+            Instant::from_units(2),
+            Instant::from_units(3),
+        );
         assert_eq!(t.segments.len(), 2);
         assert_eq!(t.segments[0].duration(), Span::from_units(2));
         assert!(t.check_invariants().is_ok());
@@ -324,7 +396,11 @@ mod tests {
     #[test]
     fn zero_length_segments_are_ignored() {
         let mut t = Trace::new(Instant::from_units(10));
-        t.push_segment(ExecUnit::Idle, Instant::from_units(3), Instant::from_units(3));
+        t.push_segment(
+            ExecUnit::Idle,
+            Instant::from_units(3),
+            Instant::from_units(3),
+        );
         assert!(t.segments.is_empty());
     }
 
@@ -332,21 +408,47 @@ mod tests {
     #[should_panic(expected = "overlaps previous segment")]
     fn overlapping_segments_panic() {
         let mut t = Trace::new(Instant::from_units(10));
-        t.push_segment(ExecUnit::Idle, Instant::from_units(0), Instant::from_units(5));
-        t.push_segment(ExecUnit::Idle, Instant::from_units(4), Instant::from_units(6));
+        t.push_segment(
+            ExecUnit::Idle,
+            Instant::from_units(0),
+            Instant::from_units(5),
+        );
+        t.push_segment(
+            ExecUnit::Idle,
+            Instant::from_units(4),
+            Instant::from_units(6),
+        );
     }
 
     #[test]
     fn busy_idle_and_overhead_accounting() {
         let mut t = Trace::new(Instant::from_units(10));
-        t.push_segment(ExecUnit::Handler(EventId::new(0)), Instant::from_units(0), Instant::from_units(2));
-        t.push_segment(ExecUnit::ServerOverhead, Instant::from_units(2), Instant::from_units(3));
-        t.push_segment(ExecUnit::Task(TaskId::new(0)), Instant::from_units(3), Instant::from_units(5));
-        assert_eq!(t.busy_time(ExecUnit::Handler(EventId::new(0))), Span::from_units(2));
+        t.push_segment(
+            ExecUnit::Handler(EventId::new(0)),
+            Instant::from_units(0),
+            Instant::from_units(2),
+        );
+        t.push_segment(
+            ExecUnit::ServerOverhead,
+            Instant::from_units(2),
+            Instant::from_units(3),
+        );
+        t.push_segment(
+            ExecUnit::Task(TaskId::new(0)),
+            Instant::from_units(3),
+            Instant::from_units(5),
+        );
+        assert_eq!(
+            t.busy_time(ExecUnit::Handler(EventId::new(0))),
+            Span::from_units(2)
+        );
         assert_eq!(t.overhead_time(), Span::from_units(1));
         assert_eq!(t.idle_time(), Span::from_units(5));
         let by_unit = t.busy_by_unit();
-        assert_eq!(by_unit[&ExecUnit::Task(TaskId::new(0))], Span::from_units(2));
+        assert_eq!(
+            by_unit[&ExecUnit::Task(TaskId::new(0))],
+            Span::from_units(2)
+        );
         assert_eq!(t.segments_of(ExecUnit::ServerOverhead).count(), 1);
     }
 
@@ -402,7 +504,11 @@ mod tests {
     #[test]
     fn invariants_reject_segments_beyond_horizon() {
         let mut t = Trace::new(Instant::from_units(4));
-        t.push_segment(ExecUnit::Idle, Instant::from_units(0), Instant::from_units(6));
+        t.push_segment(
+            ExecUnit::Idle,
+            Instant::from_units(0),
+            Instant::from_units(6),
+        );
         assert!(t.check_invariants().is_err());
     }
 

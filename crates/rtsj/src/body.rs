@@ -111,7 +111,10 @@ impl BodyCtx {
     /// internally; the constructor is public so unit tests of custom
     /// [`ThreadBody`] implementations can drive them without an engine.
     pub fn new(now: Instant) -> Self {
-        BodyCtx { now, fire_requests: Vec::new() }
+        BodyCtx {
+            now,
+            fire_requests: Vec::new(),
+        }
     }
 
     /// Current virtual time.
@@ -156,10 +159,16 @@ mod tests {
     fn completion_accessors() {
         assert_eq!(Completion::Started.consumed(), Span::ZERO);
         assert_eq!(
-            Completion::Computed { consumed: Span::from_units(2) }.consumed(),
+            Completion::Computed {
+                consumed: Span::from_units(2)
+            }
+            .consumed(),
             Span::from_units(2)
         );
-        assert!(Completion::Interrupted { consumed: Span::ZERO }.was_interrupted());
+        assert!(Completion::Interrupted {
+            consumed: Span::ZERO
+        }
+        .was_interrupted());
         assert!(!Completion::PeriodStarted.was_interrupted());
     }
 
@@ -178,6 +187,9 @@ mod tests {
     fn closures_are_bodies() {
         let mut body = |_ctx: &mut BodyCtx, _c: Completion| Action::Terminate;
         let mut ctx = BodyCtx::new(Instant::ZERO);
-        assert_eq!(body.next_action(&mut ctx, Completion::Started), Action::Terminate);
+        assert_eq!(
+            body.next_action(&mut ctx, Completion::Started),
+            Action::Terminate
+        );
     }
 }

@@ -11,11 +11,37 @@
 //!
 //! Time is virtual and integer (see [`rt_model::time`]), so runs are exactly
 //! reproducible; the engine never blocks the host thread.
+//!
+//! # Per-decision complexity
+//!
+//! The engine advances decision by decision; with `t` threads and `m` timers
+//! the cost of one decision under the default [`SchedulerKind::Indexed`]
+//! scheduler is:
+//!
+//! * **event calendar** — a [`BinaryHeap`] keyed on `(instant, entry)` holds
+//!   every future timer fire, `BlockedUntil` wake-up and periodic release.
+//!   Firing/waking everything due at the current instant is O(d·log(t+m))
+//!   for `d` due entries, and finding the next preemption instant is an O(1)
+//!   peek (amortising the lazy removal of stale entries);
+//! * **ready set** — a second [`BinaryHeap`] keyed on
+//!   `(priority, Reverse(spawn index))`, maintained incrementally on every
+//!   status transition, answers "highest-priority runnable thread" in
+//!   amortised O(1) peeks with O(log t) insertions, preserving the
+//!   documented spawn-order tie-break.
+//!
+//! The seed implementation rescanned every thread and every timer at every
+//! decision — O(t + m) per decision. That path is retained verbatim as
+//! [`SchedulerKind::LinearScan`]: the differential tests assert both
+//! schedulers produce identical traces, and the `engine_scaling` benchmark
+//! measures the gap. Under the linear scan the heaps are left empty (only
+//! the cheap `runnable` flags are kept coherent), so that path reproduces
+//! the seed's per-decision cost exactly.
 
 use crate::body::{Action, BodyCtx, Completion, ThreadBody};
 use crate::overhead::OverheadModel;
 use rt_model::{ExecUnit, Instant, Priority, Span, Trace};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Handle to an engine-level asynchronous event (the emulation of an RTSJ
 /// `AsyncEvent` instance).
@@ -71,6 +97,20 @@ impl FireCtx {
 /// (`servableEventReleased`) at fire time.
 pub type FireHook = Box<dyn FnMut(&mut FireCtx)>;
 
+/// Which scheduling-decision structures the engine uses. Both produce
+/// bit-identical traces; they differ only in per-decision cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Indexed structures: binary-heap event calendar + priority-indexed
+    /// ready set. O(log n) per decision. The default.
+    #[default]
+    Indexed,
+    /// The seed implementation: rescan every thread and timer at every
+    /// decision. O(n) per decision. Kept as the reference for differential
+    /// tests and the `engine_scaling` benchmark.
+    LinearScan,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
@@ -79,17 +119,29 @@ pub struct EngineConfig {
     /// Overhead model charged for timers (the dispatch/enforcement components
     /// are consumed by server bodies, which read them from this model).
     pub overhead: OverheadModel,
+    /// Scheduling-decision structures (indexed by default).
+    pub scheduler: SchedulerKind,
 }
 
 impl EngineConfig {
     /// Configuration with the given horizon and the reference overhead model.
     pub fn new(horizon: Instant) -> Self {
-        EngineConfig { horizon, overhead: OverheadModel::reference() }
+        EngineConfig {
+            horizon,
+            overhead: OverheadModel::reference(),
+            scheduler: SchedulerKind::Indexed,
+        }
     }
 
     /// Replaces the overhead model.
     pub fn with_overhead(mut self, overhead: OverheadModel) -> Self {
         self.overhead = overhead;
+        self
+    }
+
+    /// Replaces the scheduler implementation.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
         self
     }
 }
@@ -154,6 +206,29 @@ struct TimerState {
 /// infinite loop.
 const MAX_ZERO_TIME_STEPS: u32 = 100_000;
 
+/// What a calendar entry refers to. The payload is the index of the timer or
+/// thread; entries are validated against the authoritative state on pop, so
+/// stale entries (from re-armed timers or re-blocked threads) are skipped
+/// lazily instead of being removed eagerly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum CalendarKind {
+    /// `TimerState[i]` fires at the entry instant.
+    Timer(usize),
+    /// Thread `i` leaves `BlockedUntil` at the entry instant.
+    ThreadWake(usize),
+    /// Thread `i` leaves `BlockedForPeriod` at the entry instant.
+    PeriodRelease(usize),
+}
+
+/// One future event in the engine's calendar, min-ordered by instant (the
+/// kind only breaks ties deterministically inside the heap; processing order
+/// at equal instants is re-established by the caller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct CalendarEntry {
+    time: Instant,
+    kind: CalendarKind,
+}
+
 /// The virtual-time execution engine.
 pub struct Engine {
     config: EngineConfig,
@@ -164,6 +239,17 @@ pub struct Engine {
     pending_timer_overhead: Span,
     trace: Trace,
     zero_time_steps: u32,
+    /// Future timer fires, timed wake-ups and periodic releases, min-first.
+    calendar: BinaryHeap<Reverse<CalendarEntry>>,
+    /// Runnable threads by `(priority, Reverse(spawn index))`, max-first —
+    /// the spawn-order tie-break of [`Self::pick_runnable`]. May hold stale
+    /// entries; `runnable` is authoritative.
+    ready: BinaryHeap<(Priority, Reverse<usize>)>,
+    /// Whether thread `i` is currently Ready or Computing.
+    runnable: Vec<bool>,
+    /// Memoised next decision instant (uncapped); invalidated whenever the
+    /// calendar contents or a blocked thread's state can have changed.
+    next_event_cache: Option<Instant>,
 }
 
 impl Engine {
@@ -177,8 +263,58 @@ impl Engine {
             pending_timer_overhead: Span::ZERO,
             trace: Trace::new(config.horizon),
             zero_time_steps: 0,
+            calendar: BinaryHeap::new(),
+            ready: BinaryHeap::new(),
+            runnable: Vec::new(),
+            next_event_cache: None,
             config,
         }
+    }
+
+    /// Inserts a calendar entry (and invalidates the next-decision memo).
+    /// Under the linear-scan reference scheduler the calendar is unused, so
+    /// nothing is stored and the scan path keeps the seed's exact cost.
+    fn push_calendar(&mut self, time: Instant, kind: CalendarKind) {
+        self.next_event_cache = None;
+        if self.config.scheduler == SchedulerKind::Indexed {
+            self.calendar.push(Reverse(CalendarEntry { time, kind }));
+        }
+    }
+
+    /// True when a calendar entry still reflects the authoritative timer or
+    /// thread state it was created from.
+    fn calendar_entry_is_live(&self, entry: &CalendarEntry) -> bool {
+        match entry.kind {
+            CalendarKind::Timer(i) => {
+                let timer = &self.timers[i];
+                timer.enabled && timer.next == entry.time
+            }
+            CalendarKind::ThreadWake(t) => {
+                matches!(self.threads[t].status, ThreadStatus::BlockedUntil(at) if at == entry.time)
+            }
+            CalendarKind::PeriodRelease(t) => {
+                matches!(self.threads[t].status, ThreadStatus::BlockedForPeriod)
+                    && self.threads[t]
+                        .periodic
+                        .map(|p| p.next == entry.time)
+                        .unwrap_or(false)
+            }
+        }
+    }
+
+    /// Marks a thread runnable (Ready or Computing) in the indexed ready set.
+    fn mark_runnable(&mut self, tid: usize) {
+        if !self.runnable[tid] {
+            self.runnable[tid] = true;
+            if self.config.scheduler == SchedulerKind::Indexed {
+                self.ready.push((self.threads[tid].priority, Reverse(tid)));
+            }
+        }
+    }
+
+    /// Marks a thread not-runnable; its heap entry is dropped lazily.
+    fn unmark_runnable(&mut self, tid: usize) {
+        self.runnable[tid] = false;
     }
 
     /// The configured overhead model (server bodies read their dispatch /
@@ -211,13 +347,27 @@ impl Engine {
 
     /// Arms a one-shot timer that fires the event at the given instant.
     pub fn add_one_shot_timer(&mut self, at: Instant, event: EventHandle) {
-        self.timers.push(TimerState { event, next: at, period: None, enabled: true });
+        let index = self.timers.len();
+        self.timers.push(TimerState {
+            event,
+            next: at,
+            period: None,
+            enabled: true,
+        });
+        self.push_calendar(at, CalendarKind::Timer(index));
     }
 
     /// Arms a periodic timer that fires the event at `start`, `start+period`, …
     pub fn add_periodic_timer(&mut self, start: Instant, period: Span, event: EventHandle) {
         assert!(!period.is_zero(), "periodic timers need a positive period");
-        self.timers.push(TimerState { event, next: start, period: Some(period), enabled: true });
+        let index = self.timers.len();
+        self.timers.push(TimerState {
+            event,
+            next: start,
+            period: Some(period),
+            enabled: true,
+        });
+        self.push_calendar(start, CalendarKind::Timer(index));
     }
 
     /// Spawns an aperiodic schedulable.
@@ -235,6 +385,8 @@ impl Engine {
             periodic: None,
             status: ThreadStatus::Ready(Completion::Started),
         });
+        self.runnable.push(false);
+        self.mark_runnable(handle.0);
         handle
     }
 
@@ -249,9 +401,15 @@ impl Engine {
         period: Span,
         body: Box<dyn ThreadBody>,
     ) -> ThreadHandle {
-        assert!(!period.is_zero(), "periodic schedulables need a positive period");
+        assert!(
+            !period.is_zero(),
+            "periodic schedulables need a positive period"
+        );
         let handle = self.spawn(name, priority, body);
-        self.threads[handle.0].periodic = Some(PeriodicRelease { next: start, period });
+        self.threads[handle.0].periodic = Some(PeriodicRelease {
+            next: start,
+            period,
+        });
         handle
     }
 
@@ -268,23 +426,32 @@ impl Engine {
     /// Runs the system until the horizon and returns the trace.
     pub fn run(mut self) -> Trace {
         while self.now < self.config.horizon {
-            self.fire_due_timers();
-            self.wake_due_threads();
+            match self.config.scheduler {
+                SchedulerKind::Indexed => self.process_due_calendar(),
+                SchedulerKind::LinearScan => {
+                    self.fire_due_timers_scan();
+                    self.wake_due_threads_scan();
+                }
+            }
 
             // The timer machinery runs above everything: charge its pending
             // cost before any application code.
             if !self.pending_timer_overhead.is_zero() {
-                let slice = self.pending_timer_overhead.min(self.config.horizon - self.now);
+                let slice = self
+                    .pending_timer_overhead
+                    .min(self.config.horizon - self.now);
                 self.trace
                     .push_segment(ExecUnit::TimerOverhead, self.now, self.now + slice);
-                self.now = self.now + slice;
+                self.now += slice;
                 self.pending_timer_overhead -= slice;
                 self.note_progress(slice);
                 continue;
             }
 
             let Some(tid) = self.pick_runnable() else {
-                let next = self.next_wake_time();
+                // Idle: jump to the next instant anything can happen
+                // (next_preemption_time is already capped at the horizon).
+                let next = self.next_preemption_time();
                 debug_assert!(next > self.now);
                 self.trace.push_segment(ExecUnit::Idle, self.now, next);
                 self.now = next;
@@ -315,8 +482,9 @@ impl Engine {
                 slice = slice.min(budget);
             }
             debug_assert!(!slice.is_zero(), "computations always make progress");
-            self.trace.push_segment(state.unit, self.now, self.now + slice);
-            self.now = self.now + slice;
+            self.trace
+                .push_segment(state.unit, self.now, self.now + slice);
+            self.now += slice;
             state.remaining -= slice;
             state.consumed += slice;
             if let Some(budget) = &mut state.budget {
@@ -350,14 +518,77 @@ impl Engine {
         }
     }
 
-    /// Fires every timer due at or before the current instant.
-    fn fire_due_timers(&mut self) {
+    /// Processes every calendar entry due at or before the current instant:
+    /// wakes timed waits and periodic releases, and fires due timers.
+    ///
+    /// O(d·log(t+m)) for `d` due entries. Timed wakes only flip independent
+    /// per-thread statuses, so applying them while draining the heap (before
+    /// the timer fires run their hooks) is order-equivalent to the seed's
+    /// fire-then-wake sequence: hooks and event waits never observe
+    /// `BlockedUntil` / `BlockedForPeriod` states. Timer fires are replayed
+    /// in (timer creation order, occurrence instant) order, the seed's exact
+    /// linear-scan order.
+    fn process_due_calendar(&mut self) {
+        let mut due_fires: Vec<(usize, Instant)> = Vec::new();
+        while let Some(&Reverse(entry)) = self.calendar.peek() {
+            if entry.time > self.now {
+                break;
+            }
+            self.calendar.pop();
+            self.next_event_cache = None;
+            if !self.calendar_entry_is_live(&entry) {
+                continue;
+            }
+            match entry.kind {
+                CalendarKind::Timer(i) => {
+                    // now < horizon in the run loop, so entry.time < horizon:
+                    // the seed's `next < horizon` fire guard holds implicitly.
+                    due_fires.push((i, entry.time));
+                    match self.timers[i].period {
+                        Some(period) => {
+                            let next = entry.time + period;
+                            self.timers[i].next = next;
+                            self.calendar.push(Reverse(CalendarEntry {
+                                time: next,
+                                kind: entry.kind,
+                            }));
+                        }
+                        None => self.timers[i].enabled = false,
+                    }
+                }
+                CalendarKind::ThreadWake(t) => {
+                    self.threads[t].status = ThreadStatus::Ready(Completion::TimeReached);
+                    self.mark_runnable(t);
+                }
+                CalendarKind::PeriodRelease(t) => {
+                    let release = self.threads[t]
+                        .periodic
+                        .as_mut()
+                        .expect("BlockedForPeriod requires periodic parameters");
+                    release.next += release.period;
+                    self.threads[t].status = ThreadStatus::Ready(Completion::PeriodStarted);
+                    self.mark_runnable(t);
+                }
+            }
+        }
+        due_fires.sort_unstable();
+        for (i, _) in due_fires {
+            self.pending_timer_overhead += self.config.overhead.timer_fire;
+            let event = self.timers[i].event;
+            self.fire_event_now(event);
+        }
+    }
+
+    /// Fires every timer due at or before the current instant by scanning the
+    /// whole timer list — the seed implementation, O(m) per decision
+    /// ([`SchedulerKind::LinearScan`] only).
+    fn fire_due_timers_scan(&mut self) {
         let mut to_fire: Vec<EventHandle> = Vec::new();
         for timer in &mut self.timers {
             while timer.enabled && timer.next <= self.now && timer.next < self.config.horizon {
                 to_fire.push(timer.event);
                 match timer.period {
-                    Some(period) => timer.next = timer.next + period,
+                    Some(period) => timer.next += period,
                     None => {
                         timer.enabled = false;
                     }
@@ -378,7 +609,10 @@ impl Engine {
             // Run the hooks with the hook list temporarily detached so hooks
             // can be FnMut over their own captured state.
             let mut hooks = std::mem::take(&mut self.events[event.0].hooks);
-            let mut ctx = FireCtx { now: self.now, cascade: Vec::new() };
+            let mut ctx = FireCtx {
+                now: self.now,
+                cascade: Vec::new(),
+            };
             for hook in &mut hooks {
                 hook(&mut ctx);
             }
@@ -392,17 +626,22 @@ impl Engine {
             } else {
                 for tid in waiters {
                     self.threads[tid].status = ThreadStatus::Ready(Completion::EventFired);
+                    self.mark_runnable(tid);
                 }
             }
         }
     }
 
-    /// Wakes every thread whose timed wait has expired.
-    fn wake_due_threads(&mut self) {
-        for thread in &mut self.threads {
+    /// Wakes every thread whose timed wait has expired by scanning the whole
+    /// thread list — the seed implementation, O(t) per decision
+    /// ([`SchedulerKind::LinearScan`] only).
+    fn wake_due_threads_scan(&mut self) {
+        for tid in 0..self.threads.len() {
+            let thread = &mut self.threads[tid];
             match thread.status {
                 ThreadStatus::BlockedUntil(t) if t <= self.now => {
                     thread.status = ThreadStatus::Ready(Completion::TimeReached);
+                    self.mark_runnable(tid);
                 }
                 ThreadStatus::BlockedForPeriod => {
                     let release = thread
@@ -410,8 +649,9 @@ impl Engine {
                         .as_mut()
                         .expect("BlockedForPeriod requires periodic parameters");
                     if release.next <= self.now {
-                        release.next = release.next + release.period;
+                        release.next += release.period;
                         thread.status = ThreadStatus::Ready(Completion::PeriodStarted);
+                        self.mark_runnable(tid);
                     }
                 }
                 _ => {}
@@ -421,19 +661,44 @@ impl Engine {
 
     /// Highest-priority thread that is ready or computing; ties are broken by
     /// spawn order (earlier spawn wins), which keeps runs deterministic.
-    fn pick_runnable(&self) -> Option<usize> {
-        let mut best: Option<(Priority, usize)> = None;
-        for (i, thread) in self.threads.iter().enumerate() {
-            if !matches!(thread.status, ThreadStatus::Ready(_) | ThreadStatus::Computing(_)) {
-                continue;
+    ///
+    /// Indexed: amortised O(1) peek on the ready heap (stale entries are
+    /// dropped lazily). Linear scan: O(t) sweep over every thread.
+    fn pick_runnable(&mut self) -> Option<usize> {
+        match self.config.scheduler {
+            SchedulerKind::Indexed => {
+                while let Some(&(_, Reverse(tid))) = self.ready.peek() {
+                    if self.runnable[tid] {
+                        debug_assert!(matches!(
+                            self.threads[tid].status,
+                            ThreadStatus::Ready(_) | ThreadStatus::Computing(_)
+                        ));
+                        return Some(tid);
+                    }
+                    self.ready.pop();
+                }
+                None
             }
-            match best {
-                None => best = Some((thread.priority, i)),
-                Some((p, _)) if thread.priority.preempts(p) => best = Some((thread.priority, i)),
-                _ => {}
+            SchedulerKind::LinearScan => {
+                let mut best: Option<(Priority, usize)> = None;
+                for (i, thread) in self.threads.iter().enumerate() {
+                    if !matches!(
+                        thread.status,
+                        ThreadStatus::Ready(_) | ThreadStatus::Computing(_)
+                    ) {
+                        continue;
+                    }
+                    match best {
+                        None => best = Some((thread.priority, i)),
+                        Some((p, _)) if thread.priority.preempts(p) => {
+                            best = Some((thread.priority, i))
+                        }
+                        _ => {}
+                    }
+                }
+                best.map(|(_, i)| i)
             }
         }
-        best.map(|(_, i)| i)
     }
 
     /// Asks the body of a Ready thread for its next action and applies it.
@@ -449,8 +714,9 @@ impl Engine {
         match action {
             Action::Compute { amount, unit } => {
                 if amount.is_zero() {
-                    self.threads[tid].status =
-                        ThreadStatus::Ready(Completion::Computed { consumed: Span::ZERO });
+                    self.threads[tid].status = ThreadStatus::Ready(Completion::Computed {
+                        consumed: Span::ZERO,
+                    });
                 } else {
                     self.threads[tid].status = ThreadStatus::Computing(ComputeState {
                         remaining: amount,
@@ -460,13 +726,19 @@ impl Engine {
                     });
                 }
             }
-            Action::ComputeInterruptible { amount, budget, unit } => {
+            Action::ComputeInterruptible {
+                amount,
+                budget,
+                unit,
+            } => {
                 if amount.is_zero() {
-                    self.threads[tid].status =
-                        ThreadStatus::Ready(Completion::Computed { consumed: Span::ZERO });
+                    self.threads[tid].status = ThreadStatus::Ready(Completion::Computed {
+                        consumed: Span::ZERO,
+                    });
                 } else if budget.is_zero() {
-                    self.threads[tid].status =
-                        ThreadStatus::Ready(Completion::Interrupted { consumed: Span::ZERO });
+                    self.threads[tid].status = ThreadStatus::Ready(Completion::Interrupted {
+                        consumed: Span::ZERO,
+                    });
                 } else {
                     self.threads[tid].status = ThreadStatus::Computing(ComputeState {
                         remaining: amount,
@@ -485,10 +757,13 @@ impl Engine {
                     // The release has already happened (including the very
                     // first release at the start instant): proceed without
                     // blocking and move on to the following release.
-                    periodic.next = periodic.next + periodic.period;
+                    periodic.next += periodic.period;
                     self.threads[tid].status = ThreadStatus::Ready(Completion::PeriodStarted);
                 } else {
+                    let release = periodic.next;
                     self.threads[tid].status = ThreadStatus::BlockedForPeriod;
+                    self.unmark_runnable(tid);
+                    self.push_calendar(release, CalendarKind::PeriodRelease(tid));
                 }
             }
             Action::WaitUntil(t) => {
@@ -496,6 +771,8 @@ impl Engine {
                     self.threads[tid].status = ThreadStatus::Ready(Completion::TimeReached);
                 } else {
                     self.threads[tid].status = ThreadStatus::BlockedUntil(t);
+                    self.unmark_runnable(tid);
+                    self.push_calendar(t, CalendarKind::ThreadWake(tid));
                 }
             }
             Action::WaitForEvent(event) => {
@@ -505,10 +782,12 @@ impl Engine {
                 } else {
                     self.events[event.0].waiters.push(tid);
                     self.threads[tid].status = ThreadStatus::BlockedOnEvent;
+                    self.unmark_runnable(tid);
                 }
             }
             Action::Terminate => {
                 self.threads[tid].status = ThreadStatus::Terminated;
+                self.unmark_runnable(tid);
             }
         }
 
@@ -522,32 +801,53 @@ impl Engine {
     /// The next instant at which the set of runnable threads could change
     /// while some thread is computing: the next timer fire, the next timed
     /// wake-up, the next periodic release, or the horizon.
-    fn next_preemption_time(&self) -> Instant {
-        let mut next = self.config.horizon;
-        for timer in &self.timers {
-            if timer.enabled && timer.next < self.config.horizon {
-                next = next.min(timer.next);
-            }
-        }
-        for thread in &self.threads {
-            match thread.status {
-                ThreadStatus::BlockedUntil(t) => next = next.min(t),
-                ThreadStatus::BlockedForPeriod => {
-                    if let Some(p) = &thread.periodic {
-                        next = next.min(p.next);
+    ///
+    /// Indexed: an O(1) peek of the calendar (memoised between decisions, so
+    /// consecutive compute slices do not even pay the stale-entry sweep).
+    /// Linear scan: an O(t + m) sweep over every thread and timer.
+    fn next_preemption_time(&mut self) -> Instant {
+        let next = match self.config.scheduler {
+            SchedulerKind::Indexed => match self.next_event_cache {
+                Some(cached) => cached,
+                None => {
+                    let found = loop {
+                        match self.calendar.peek() {
+                            None => break Instant::MAX,
+                            Some(&Reverse(entry)) => {
+                                if self.calendar_entry_is_live(&entry) {
+                                    break entry.time;
+                                }
+                                self.calendar.pop();
+                            }
+                        }
+                    };
+                    self.next_event_cache = Some(found);
+                    found
+                }
+            },
+            SchedulerKind::LinearScan => {
+                let mut next = Instant::MAX;
+                for timer in &self.timers {
+                    if timer.enabled && timer.next < self.config.horizon {
+                        next = next.min(timer.next);
                     }
                 }
-                _ => {}
+                for thread in &self.threads {
+                    match thread.status {
+                        ThreadStatus::BlockedUntil(t) => next = next.min(t),
+                        ThreadStatus::BlockedForPeriod => {
+                            if let Some(p) = &thread.periodic {
+                                next = next.min(p.next);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                next
             }
-        }
-        next.max(self.now + Span::from_ticks(1))
-    }
-
-    /// The next instant at which anything can happen while the processor is
-    /// idle. Identical to [`Self::next_preemption_time`] today, but kept
-    /// separate because idle time additionally ends the run at the horizon.
-    fn next_wake_time(&self) -> Instant {
-        self.next_preemption_time().min(self.config.horizon)
+        };
+        next.min(self.config.horizon)
+            .max(self.now + Span::from_ticks(1))
     }
 }
 
@@ -571,7 +871,10 @@ mod tests {
         fn next_action(&mut self, _ctx: &mut BodyCtx, completion: Completion) -> Action {
             match completion {
                 Completion::Started | Completion::Computed { .. } => Action::WaitForNextPeriod,
-                Completion::PeriodStarted => Action::Compute { amount: self.cost, unit: self.unit },
+                Completion::PeriodStarted => Action::Compute {
+                    amount: self.cost,
+                    unit: self.unit,
+                },
                 other => panic!("unexpected completion {other:?}"),
             }
         }
@@ -589,7 +892,10 @@ mod tests {
             Priority::new(10),
             Instant::ZERO,
             Span::from_units(10),
-            Box::new(PeriodicWorker { cost: Span::from_units(2), unit: task_unit(0) }),
+            Box::new(PeriodicWorker {
+                cost: Span::from_units(2),
+                unit: task_unit(0),
+            }),
         );
         let trace = engine.run();
         let segments: Vec<_> = trace.segments_of(task_unit(0)).collect();
@@ -610,7 +916,10 @@ mod tests {
             Priority::new(10),
             Instant::ZERO,
             Span::from_units(20),
-            Box::new(PeriodicWorker { cost: Span::from_units(6), unit: task_unit(0) }),
+            Box::new(PeriodicWorker {
+                cost: Span::from_units(6),
+                unit: task_unit(0),
+            }),
         );
         // High-priority short job released at 2.
         engine.spawn_periodic(
@@ -618,17 +927,29 @@ mod tests {
             Priority::new(20),
             Instant::from_units(2),
             Span::from_units(20),
-            Box::new(PeriodicWorker { cost: Span::from_units(3), unit: task_unit(1) }),
+            Box::new(PeriodicWorker {
+                cost: Span::from_units(3),
+                unit: task_unit(1),
+            }),
         );
         let trace = engine.run();
         let low: Vec<_> = trace.segments_of(task_unit(0)).collect();
         let high: Vec<_> = trace.segments_of(task_unit(1)).collect();
         // Low runs 0..2, is preempted 2..5, resumes 5..9.
         assert_eq!(low.len(), 2);
-        assert_eq!((low[0].start, low[0].end), (Instant::ZERO, Instant::from_units(2)));
-        assert_eq!((low[1].start, low[1].end), (Instant::from_units(5), Instant::from_units(9)));
+        assert_eq!(
+            (low[0].start, low[0].end),
+            (Instant::ZERO, Instant::from_units(2))
+        );
+        assert_eq!(
+            (low[1].start, low[1].end),
+            (Instant::from_units(5), Instant::from_units(9))
+        );
         assert_eq!(high.len(), 1);
-        assert_eq!((high[0].start, high[0].end), (Instant::from_units(2), Instant::from_units(5)));
+        assert_eq!(
+            (high[0].start, high[0].end),
+            (Instant::from_units(2), Instant::from_units(5))
+        );
     }
 
     #[test]
@@ -648,14 +969,24 @@ mod tests {
                     }
                     Completion::EventFired => {
                         self.served_at.borrow_mut().push(ctx.now());
-                        Action::Compute { amount: Span::from_units(2), unit: task_unit(0) }
+                        Action::Compute {
+                            amount: Span::from_units(2),
+                            unit: task_unit(0),
+                        }
                     }
                     other => panic!("unexpected completion {other:?}"),
                 }
             }
         }
         let served_at = Rc::new(RefCell::new(Vec::new()));
-        engine.spawn("waiter", Priority::new(10), Box::new(Waiter { event, served_at: served_at.clone() }));
+        engine.spawn(
+            "waiter",
+            Priority::new(10),
+            Box::new(Waiter {
+                event,
+                served_at: served_at.clone(),
+            }),
+        );
         let trace = engine.run();
         assert_eq!(*served_at.borrow(), vec![Instant::from_units(4)]);
         assert_eq!(trace.busy_time(task_unit(0)), Span::from_units(2));
@@ -677,7 +1008,10 @@ mod tests {
             fn next_action(&mut self, ctx: &mut BodyCtx, completion: Completion) -> Action {
                 self.phase += 1;
                 match self.phase {
-                    1 => Action::Compute { amount: Span::from_units(5), unit: task_unit(0) },
+                    1 => Action::Compute {
+                        amount: Span::from_units(5),
+                        unit: task_unit(0),
+                    },
                     2 => Action::WaitForEvent(self.event),
                     3 => {
                         assert_eq!(completion, Completion::EventFired);
@@ -692,7 +1026,11 @@ mod tests {
         engine.spawn(
             "late",
             Priority::new(10),
-            Box::new(LateWaiter { event, woke: woke.clone(), phase: 0 }),
+            Box::new(LateWaiter {
+                event,
+                woke: woke.clone(),
+                phase: 0,
+            }),
         );
         let trace = engine.run();
         assert_eq!(*woke.borrow(), Some(Instant::from_units(5)));
@@ -721,11 +1059,20 @@ mod tests {
             }
         }
         let outcomes = Rc::new(RefCell::new(Vec::new()));
-        engine.spawn("budgeted", Priority::new(10), Box::new(Budgeted { outcomes: outcomes.clone(), issued: false }));
+        engine.spawn(
+            "budgeted",
+            Priority::new(10),
+            Box::new(Budgeted {
+                outcomes: outcomes.clone(),
+                issued: false,
+            }),
+        );
         let trace = engine.run();
         assert_eq!(
             *outcomes.borrow(),
-            vec![Completion::Interrupted { consumed: Span::from_units(3) }]
+            vec![Completion::Interrupted {
+                consumed: Span::from_units(3)
+            }]
         );
         assert_eq!(trace.busy_time(task_unit(0)), Span::from_units(3));
     }
@@ -752,11 +1099,20 @@ mod tests {
             }
         }
         let outcomes = Rc::new(RefCell::new(Vec::new()));
-        engine.spawn("budgeted", Priority::new(10), Box::new(Budgeted { outcomes: outcomes.clone(), issued: false }));
+        engine.spawn(
+            "budgeted",
+            Priority::new(10),
+            Box::new(Budgeted {
+                outcomes: outcomes.clone(),
+                issued: false,
+            }),
+        );
         engine.run();
         assert_eq!(
             *outcomes.borrow(),
-            vec![Completion::Computed { consumed: Span::from_units(2) }]
+            vec![Completion::Computed {
+                consumed: Span::from_units(2)
+            }]
         );
     }
 
@@ -776,12 +1132,18 @@ mod tests {
             Priority::new(10),
             Instant::ZERO,
             Span::from_units(20),
-            Box::new(PeriodicWorker { cost: Span::from_units(4), unit: task_unit(0) }),
+            Box::new(PeriodicWorker {
+                cost: Span::from_units(4),
+                unit: task_unit(0),
+            }),
         );
         let trace = engine.run();
         // The task runs 0..2, the timer machinery takes 2..3, the task
         // resumes 3..5.
-        assert_eq!(trace.busy_time(ExecUnit::TimerOverhead), Span::from_units(1));
+        assert_eq!(
+            trace.busy_time(ExecUnit::TimerOverhead),
+            Span::from_units(1)
+        );
         let segs: Vec<_> = trace.segments_of(task_unit(0)).collect();
         assert_eq!(segs.len(), 2);
         assert_eq!(segs[1].start, Instant::from_units(3));
@@ -812,7 +1174,10 @@ mod tests {
         engine.run();
         assert_eq!(
             *log.borrow(),
-            vec![("first", Instant::from_units(3)), ("second", Instant::from_units(3))]
+            vec![
+                ("first", Instant::from_units(3)),
+                ("second", Instant::from_units(3))
+            ]
         );
     }
 
@@ -824,14 +1189,20 @@ mod tests {
             Priority::new(10),
             Instant::ZERO,
             Span::from_units(10),
-            Box::new(PeriodicWorker { cost: Span::from_units(2), unit: task_unit(0) }),
+            Box::new(PeriodicWorker {
+                cost: Span::from_units(2),
+                unit: task_unit(0),
+            }),
         );
         engine.spawn_periodic(
             "b",
             Priority::new(10),
             Instant::ZERO,
             Span::from_units(10),
-            Box::new(PeriodicWorker { cost: Span::from_units(2), unit: task_unit(1) }),
+            Box::new(PeriodicWorker {
+                cost: Span::from_units(2),
+                unit: task_unit(1),
+            }),
         );
         let trace = engine.run();
         let a = trace.segments_of(task_unit(0)).next().unwrap();

@@ -48,12 +48,18 @@ impl ThreadBody for PeriodicThreadBody {
             Completion::Started | Completion::Computed { .. } | Completion::Interrupted { .. } => {
                 Action::WaitForNextPeriod
             }
-            Completion::PeriodStarted => Action::Compute { amount: self.cost, unit: self.unit },
+            Completion::PeriodStarted => Action::Compute {
+                amount: self.cost,
+                unit: self.unit,
+            },
             Completion::TimeReached | Completion::EventFired => {
                 // A plain periodic thread never waits on events or absolute
                 // times; treat a stray wake-up as the start of a period so the
                 // thread keeps its budget discipline rather than panicking.
-                Action::Compute { amount: self.cost, unit: self.unit }
+                Action::Compute {
+                    amount: self.cost,
+                    unit: self.unit,
+                }
             }
         }
     }
@@ -73,10 +79,20 @@ pub struct BoundHandlerBody {
 
 impl BoundHandlerBody {
     /// Creates the body and returns it together with the shared run log.
-    pub fn new(event: EventHandle, cost: Span, unit: ExecUnit) -> (Self, Rc<RefCell<Vec<HandlerRun>>>) {
+    pub fn new(
+        event: EventHandle,
+        cost: Span,
+        unit: ExecUnit,
+    ) -> (Self, Rc<RefCell<Vec<HandlerRun>>>) {
         let runs = Rc::new(RefCell::new(Vec::new()));
         (
-            BoundHandlerBody { event, cost, unit, runs: runs.clone(), current_start: None },
+            BoundHandlerBody {
+                event,
+                cost,
+                unit,
+                runs: runs.clone(),
+                current_start: None,
+            },
             runs,
         )
     }
@@ -88,11 +104,17 @@ impl ThreadBody for BoundHandlerBody {
             Completion::Started => Action::WaitForEvent(self.event),
             Completion::EventFired => {
                 self.current_start = Some(ctx.now());
-                Action::Compute { amount: self.cost, unit: self.unit }
+                Action::Compute {
+                    amount: self.cost,
+                    unit: self.unit,
+                }
             }
             Completion::Computed { .. } => {
                 if let Some(started) = self.current_start.take() {
-                    self.runs.borrow_mut().push(HandlerRun { started, finished: ctx.now() });
+                    self.runs.borrow_mut().push(HandlerRun {
+                        started,
+                        finished: ctx.now(),
+                    });
                 }
                 Action::WaitForEvent(self.event)
             }
@@ -103,9 +125,7 @@ impl ThreadBody for BoundHandlerBody {
                 self.current_start = None;
                 Action::WaitForEvent(self.event)
             }
-            Completion::PeriodStarted | Completion::TimeReached => {
-                Action::WaitForEvent(self.event)
-            }
+            Completion::PeriodStarted | Completion::TimeReached => Action::WaitForEvent(self.event),
         }
     }
 }
@@ -131,10 +151,16 @@ mod tests {
             Priority::new(10),
             Instant::ZERO,
             Span::from_units(6),
-            Box::new(PeriodicThreadBody::new(Span::from_units(2), ExecUnit::Task(TaskId::new(0)))),
+            Box::new(PeriodicThreadBody::new(
+                Span::from_units(2),
+                ExecUnit::Task(TaskId::new(0)),
+            )),
         );
         let trace = engine.run();
-        assert_eq!(trace.busy_time(ExecUnit::Task(TaskId::new(0))), Span::from_units(6));
+        assert_eq!(
+            trace.busy_time(ExecUnit::Task(TaskId::new(0))),
+            Span::from_units(6)
+        );
         assert_eq!(trace.segments_of(ExecUnit::Task(TaskId::new(0))).count(), 3);
     }
 
@@ -180,7 +206,10 @@ mod tests {
             Priority::new(10),
             Instant::ZERO,
             Span::from_units(12),
-            Box::new(PeriodicThreadBody::new(Span::from_units(4), ExecUnit::Task(TaskId::new(0)))),
+            Box::new(PeriodicThreadBody::new(
+                Span::from_units(4),
+                ExecUnit::Task(TaskId::new(0)),
+            )),
         );
         let trace = engine.run();
         assert_eq!(runs.borrow()[0].started, Instant::from_units(1));

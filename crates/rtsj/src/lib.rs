@@ -34,7 +34,9 @@ pub mod params;
 pub mod wallclock;
 
 pub use body::{Action, BodyCtx, Completion, ThreadBody};
-pub use engine::{Engine, EngineConfig, EventHandle, FireCtx, FireHook, ThreadHandle};
+pub use engine::{
+    Engine, EngineConfig, EventHandle, FireCtx, FireHook, SchedulerKind, ThreadHandle,
+};
 pub use handlers::{BoundHandlerBody, HandlerRun, PeriodicThreadBody};
 pub use overhead::OverheadModel;
 pub use params::{
@@ -43,26 +45,41 @@ pub use params::{
 
 #[cfg(test)]
 mod proptests {
+    //! Randomised property tests. The offline build environment has no
+    //! `proptest`, so the same properties are exercised over seeded,
+    //! deterministic random cases instead of shrinking strategies.
+
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use rt_model::{ExecUnit, Instant, Priority, Span, TaskId};
 
+    const CASES: usize = 32;
+
     /// A random set of periodic workers: (priority, cost, period).
-    fn workers_strategy() -> impl Strategy<Value = Vec<(u8, u64, u64)>> {
-        proptest::collection::vec((1u8..90, 1u64..4, 5u64..20), 1..5)
+    fn random_workers(rng: &mut StdRng) -> Vec<(u8, u64, u64)> {
+        let n = rng.gen_range(1u64..5) as usize;
+        (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(1u64..90) as u8,
+                    rng.gen_range(1u64..4),
+                    rng.gen_range(5u64..20),
+                )
+            })
+            .collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        /// The engine produces well-formed traces and conserves processor
-        /// time for arbitrary periodic workloads.
-        #[test]
-        fn engine_traces_are_well_formed(workers in workers_strategy()) {
+    /// The engine produces well-formed traces and conserves processor
+    /// time for arbitrary periodic workloads.
+    #[test]
+    fn engine_traces_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0300);
+        for _ in 0..CASES {
+            let workers = random_workers(&mut rng);
             let horizon = Instant::from_units(60);
-            let mut engine = Engine::new(
-                EngineConfig::new(horizon).with_overhead(OverheadModel::none()),
-            );
+            let mut engine =
+                Engine::new(EngineConfig::new(horizon).with_overhead(OverheadModel::none()));
             for (i, (prio, cost, period)) in workers.iter().enumerate() {
                 engine.spawn_periodic(
                     format!("w{i}"),
@@ -76,26 +93,33 @@ mod proptests {
                 );
             }
             let trace = engine.run();
-            prop_assert!(trace.check_invariants().is_ok());
+            assert!(trace.check_invariants().is_ok());
             let busy: Span = trace
                 .segments
                 .iter()
                 .filter(|s| s.unit != ExecUnit::Idle)
                 .map(|s| s.duration())
                 .sum();
-            prop_assert!(busy <= horizon - Instant::ZERO);
-            prop_assert_eq!(busy + trace.idle_time(), horizon - Instant::ZERO);
+            assert!(busy <= horizon - Instant::ZERO);
+            assert_eq!(busy + trace.idle_time(), horizon - Instant::ZERO);
         }
+    }
 
-        /// The top-priority worker is never preempted, so it receives at
-        /// least one full cost of service per complete period of the horizon.
-        #[test]
-        fn highest_priority_worker_gets_its_full_demand(workers in workers_strategy()) {
+    /// The top-priority worker is never preempted, so it receives at
+    /// least one full cost of service per complete period of the horizon.
+    #[test]
+    fn highest_priority_worker_gets_its_full_demand() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0301);
+        for _ in 0..CASES {
+            let workers = random_workers(&mut rng);
+            let (_, cost, period) = workers[0];
+            if cost > period {
+                continue;
+            }
             let horizon_units = 60u64;
             let horizon = Instant::from_units(horizon_units);
-            let mut engine = Engine::new(
-                EngineConfig::new(horizon).with_overhead(OverheadModel::none()),
-            );
+            let mut engine =
+                Engine::new(EngineConfig::new(horizon).with_overhead(OverheadModel::none()));
             for (i, (prio, cost, period)) in workers.iter().enumerate() {
                 let prio = if i == 0 { 99 } else { (*prio).min(90) };
                 engine.spawn_periodic(
@@ -110,16 +134,18 @@ mod proptests {
                 );
             }
             let trace = engine.run();
-            let (_, cost, period) = workers[0];
-            prop_assume!(cost <= period);
             let full_periods = horizon_units / period;
             let expected_min = Span::from_units(cost * full_periods);
-            prop_assert!(trace.busy_time(ExecUnit::Task(TaskId::new(0))) >= expected_min);
+            assert!(trace.busy_time(ExecUnit::Task(TaskId::new(0))) >= expected_min);
         }
+    }
 
-        /// Determinism: two identical engines produce identical traces.
-        #[test]
-        fn engine_is_deterministic(workers in workers_strategy()) {
+    /// Determinism: two identical engines produce identical traces.
+    #[test]
+    fn engine_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0302);
+        for _ in 0..CASES {
+            let workers = random_workers(&mut rng);
             let build = || {
                 let mut engine = Engine::new(
                     EngineConfig::new(Instant::from_units(40))
@@ -147,7 +173,7 @@ mod proptests {
                 }
                 engine.run()
             };
-            prop_assert_eq!(build(), build());
+            assert_eq!(build(), build());
         }
     }
 }

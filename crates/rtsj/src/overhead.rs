@@ -36,7 +36,11 @@ impl OverheadModel {
     /// A zero-overhead model: the execution engine then behaves like an ideal
     /// runtime (useful for differential tests against the simulator).
     pub const fn none() -> Self {
-        OverheadModel { timer_fire: Span::ZERO, dispatch: Span::ZERO, enforcement: Span::ZERO }
+        OverheadModel {
+            timer_fire: Span::ZERO,
+            dispatch: Span::ZERO,
+            enforcement: Span::ZERO,
+        }
     }
 
     /// The reference model used by the experiments: a 0.02 tu timer fire,

@@ -87,7 +87,9 @@ impl ReleaseParameters {
     pub fn analysable_period(&self) -> Option<Span> {
         match self {
             ReleaseParameters::Periodic { period, .. } => Some(*period),
-            ReleaseParameters::Sporadic { min_interarrival, .. } => Some(*min_interarrival),
+            ReleaseParameters::Sporadic {
+                min_interarrival, ..
+            } => Some(*min_interarrival),
             ReleaseParameters::Aperiodic { .. } => None,
         }
     }
@@ -114,10 +116,20 @@ impl TaskServerParameters {
     /// Panics when the capacity is zero, the period is zero, or the capacity
     /// exceeds the period (such a server could never be schedulable).
     pub fn new(capacity: Span, period: Span, priority: Priority) -> Self {
-        assert!(!capacity.is_zero(), "a task server needs a positive capacity");
+        assert!(
+            !capacity.is_zero(),
+            "a task server needs a positive capacity"
+        );
         assert!(!period.is_zero(), "a task server needs a positive period");
-        assert!(capacity <= period, "the server capacity cannot exceed its period");
-        TaskServerParameters { capacity, period, priority }
+        assert!(
+            capacity <= period,
+            "the server capacity cannot exceed its period"
+        );
+        TaskServerParameters {
+            capacity,
+            period,
+            priority,
+        }
     }
 
     /// The equivalent periodic release parameters: this is exactly the
@@ -160,7 +172,11 @@ pub struct ProcessingGroupParameters {
 impl ProcessingGroupParameters {
     /// Creates (non-enforced) processing group parameters.
     pub fn new(cost: Span, period: Span) -> Self {
-        ProcessingGroupParameters { cost, period, cost_enforced: false }
+        ProcessingGroupParameters {
+            cost,
+            period,
+            cost_enforced: false,
+        }
     }
 }
 
@@ -186,20 +202,29 @@ mod tests {
         };
         assert_eq!(sporadic.analysable_period(), Some(Span::from_units(10)));
 
-        let aperiodic = ReleaseParameters::Aperiodic { cost: Span::from_units(2), deadline: None };
-        assert_eq!(aperiodic.analysable_period(), None, "aperiodic releases cannot be analysed as periodic tasks");
+        let aperiodic = ReleaseParameters::Aperiodic {
+            cost: Span::from_units(2),
+            deadline: None,
+        };
+        assert_eq!(
+            aperiodic.analysable_period(),
+            None,
+            "aperiodic releases cannot be analysed as periodic tasks"
+        );
     }
 
     #[test]
     fn task_server_parameters_reduce_to_a_periodic_task() {
-        let params = TaskServerParameters::new(
-            Span::from_units(3),
-            Span::from_units(6),
-            Priority::new(30),
-        );
+        let params =
+            TaskServerParameters::new(Span::from_units(3), Span::from_units(6), Priority::new(30));
         assert!((params.utilization() - 0.5).abs() < 1e-12);
         match params.as_periodic_release() {
-            ReleaseParameters::Periodic { cost, period, deadline, .. } => {
+            ReleaseParameters::Periodic {
+                cost,
+                period,
+                deadline,
+                ..
+            } => {
                 assert_eq!(cost, Span::from_units(3));
                 assert_eq!(period, Span::from_units(6));
                 assert_eq!(deadline, Span::from_units(6));

@@ -11,10 +11,9 @@
 //! sanity-check that the virtual-time results are not an artefact of the
 //! virtual clock.
 
-use crossbeam::channel;
-use parking_lot::Mutex;
 use rt_model::{Instant, Span};
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
@@ -72,7 +71,9 @@ fn busy_work(duration: Duration) {
     let mut x: u64 = 0;
     while start.elapsed() < duration {
         // Cheap, optimisation-resistant busy loop.
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         std::hint::black_box(x);
     }
 }
@@ -86,7 +87,7 @@ pub fn run_polling_wallclock(
     config: WallclockConfig,
     requests: &[WallclockRequest],
 ) -> Vec<WallclockOutcome> {
-    let (tx, rx) = channel::unbounded::<(usize, std::time::Instant)>();
+    let (tx, rx) = mpsc::channel::<(usize, std::time::Instant)>();
     let outcomes: Arc<Mutex<Vec<Option<WallclockOutcome>>>> =
         Arc::new(Mutex::new(vec![None; requests.len()]));
     let start = std::time::Instant::now();
@@ -114,8 +115,7 @@ pub fn run_polling_wallclock(
     let mut pending: Vec<(usize, std::time::Instant)> = Vec::new();
     let mut served = 0usize;
     for activation in 0..config.periods {
-        let activation_at =
-            units_to_duration(config.period.as_units() * activation as f64, scale);
+        let activation_at = units_to_duration(config.period.as_units() * activation as f64, scale);
         let elapsed = start.elapsed();
         if activation_at > elapsed {
             thread::sleep(activation_at - elapsed);
@@ -136,7 +136,7 @@ pub fn run_polling_wallclock(
             busy_work(units_to_duration(cost, scale));
             remaining -= cost;
             let response = released_at.elapsed().as_secs_f64() * 1_000.0 / scale;
-            outcomes.lock()[request_index] = Some(WallclockOutcome {
+            outcomes.lock().unwrap()[request_index] = Some(WallclockOutcome {
                 request: requests[request_index],
                 response_units: response,
                 served: true,
@@ -151,7 +151,7 @@ pub fn run_polling_wallclock(
     let _ = generator.join();
     let _ = served;
 
-    let locked = outcomes.lock();
+    let locked = outcomes.lock().unwrap();
     requests
         .iter()
         .enumerate()
@@ -168,8 +168,11 @@ pub fn run_polling_wallclock(
 /// Converts wall-clock outcomes into the average response time of the served
 /// requests (in time units), or `None` when nothing was served.
 pub fn average_response(outcomes: &[WallclockOutcome]) -> Option<f64> {
-    let served: Vec<f64> =
-        outcomes.iter().filter(|o| o.served).map(|o| o.response_units).collect();
+    let served: Vec<f64> = outcomes
+        .iter()
+        .filter(|o| o.served)
+        .map(|o| o.response_units)
+        .collect();
     if served.is_empty() {
         None
     } else {
@@ -180,7 +183,10 @@ pub fn average_response(outcomes: &[WallclockOutcome]) -> Option<f64> {
 /// Helper for examples: a small burst of requests at the start of the run.
 pub fn burst(count: usize, cost: Span, spacing: Span) -> Vec<WallclockRequest> {
     (0..count)
-        .map(|i| WallclockRequest { release: spacing.saturating_mul(i as u64), cost })
+        .map(|i| WallclockRequest {
+            release: spacing.saturating_mul(i as u64),
+            cost,
+        })
         .collect()
 }
 
@@ -204,7 +210,10 @@ mod tests {
         let requests = burst(3, Span::from_units(2), Span::from_units(6));
         let outcomes = run_polling_wallclock(config, &requests);
         assert_eq!(outcomes.len(), 3);
-        assert!(outcomes.iter().all(|o| o.served), "a light burst must be fully served");
+        assert!(
+            outcomes.iter().all(|o| o.served),
+            "a light burst must be fully served"
+        );
         for o in &outcomes {
             assert!(o.response_units.is_finite());
             assert!(o.response_units >= 0.0);
@@ -220,7 +229,10 @@ mod tests {
             periods: 2,
             millis_per_unit: 1.0,
         };
-        let requests = vec![WallclockRequest { release: Span::ZERO, cost: Span::from_units(3) }];
+        let requests = vec![WallclockRequest {
+            release: Span::ZERO,
+            cost: Span::from_units(3),
+        }];
         let outcomes = run_polling_wallclock(config, &requests);
         assert!(!outcomes[0].served);
         assert_eq!(average_response(&outcomes), None);

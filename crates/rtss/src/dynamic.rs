@@ -17,8 +17,7 @@
 //! evaluates D-OVER).
 
 use rt_model::{
-    AperiodicFate, AperiodicOutcome, ExecUnit, Instant, PeriodicJobRecord, Span, SystemSpec,
-    Trace,
+    AperiodicFate, AperiodicOutcome, ExecUnit, Instant, PeriodicJobRecord, Span, SystemSpec, Trace,
 };
 use std::collections::VecDeque;
 
@@ -61,7 +60,8 @@ impl DynJob {
 /// events are scheduled alongside the periodic jobs; events without a
 /// relative deadline get an implicit deadline equal to the horizon.
 pub fn simulate_dynamic(spec: &SystemSpec, policy: DynamicPolicy) -> Trace {
-    spec.validate().expect("simulate_dynamic() requires a valid system specification");
+    spec.validate()
+        .expect("simulate_dynamic() requires a valid system specification");
     let horizon = spec.horizon;
     let mut trace = Trace::new(horizon);
 
@@ -98,18 +98,26 @@ pub fn simulate_dynamic(spec: &SystemSpec, policy: DynamicPolicy) -> Trace {
         // EDF selection: earliest absolute deadline, ties by release then unit.
         ready.sort_by_key(|j| (j.deadline, j.release, j.unit));
         let job = &mut ready[0];
-        let slice = job.remaining.min(next_release - now).min(job.deadline.max(now) - now).max(
-            // If the deadline already passed (plain EDF keeps running late
-            // jobs), fall back to the release window.
-            Span::ZERO,
-        );
-        let slice = if slice.is_zero() { job.remaining.min(next_release - now) } else { slice };
+        let slice = job
+            .remaining
+            .min(next_release - now)
+            .min(job.deadline.max(now) - now)
+            .max(
+                // If the deadline already passed (plain EDF keeps running late
+                // jobs), fall back to the release window.
+                Span::ZERO,
+            );
+        let slice = if slice.is_zero() {
+            job.remaining.min(next_release - now)
+        } else {
+            slice
+        };
         if job.started.is_none() {
             job.started = Some(now);
         }
         trace.push_segment(job.unit, now, now + slice);
         job.remaining -= slice;
-        now = now + slice;
+        now += slice;
         if ready[0].remaining.is_zero() {
             let job = ready.remove(0);
             record_completion(job, now, &mut trace, spec);
@@ -117,7 +125,10 @@ pub fn simulate_dynamic(spec: &SystemSpec, policy: DynamicPolicy) -> Trace {
     }
 
     // Everything still pending is unserved / incomplete.
-    for job in ready.into_iter().chain(future.into_iter().filter(|j| j.release < horizon)) {
+    for job in ready
+        .into_iter()
+        .chain(future.into_iter().filter(|j| j.release < horizon))
+    {
         record_incomplete(job, &mut trace, spec);
     }
     trace.outcomes.sort_by_key(|o| (o.release, o.event));
@@ -273,8 +284,18 @@ mod tests {
 
     fn periodic_pair(costs: (u64, u64), periods: (u64, u64), horizon: u64) -> SystemSpec {
         let mut b = SystemSpec::builder("dyn");
-        b.periodic("tau1", Span::from_units(costs.0), Span::from_units(periods.0), Priority::new(20));
-        b.periodic("tau2", Span::from_units(costs.1), Span::from_units(periods.1), Priority::new(10));
+        b.periodic(
+            "tau1",
+            Span::from_units(costs.0),
+            Span::from_units(periods.0),
+            Priority::new(20),
+        );
+        b.periodic(
+            "tau2",
+            Span::from_units(costs.1),
+            Span::from_units(periods.1),
+            Priority::new(10),
+        );
         b.horizon(Instant::from_units(horizon));
         b.build().unwrap()
     }
@@ -300,8 +321,18 @@ mod tests {
     #[test]
     fn edf_prefers_earlier_deadlines() {
         let mut b = SystemSpec::builder("edf-order");
-        b.periodic("long", Span::from_units(4), Span::from_units(20), Priority::new(10));
-        b.periodic("short", Span::from_units(1), Span::from_units(4), Priority::new(5));
+        b.periodic(
+            "long",
+            Span::from_units(4),
+            Span::from_units(20),
+            Priority::new(10),
+        );
+        b.periodic(
+            "short",
+            Span::from_units(1),
+            Span::from_units(4),
+            Priority::new(5),
+        );
         b.horizon(Instant::from_units(20));
         let spec = b.build().unwrap();
         let trace = simulate_dynamic(&spec, DynamicPolicy::Edf);
@@ -317,7 +348,10 @@ mod tests {
         // U = 3/4 + 3/6 = 1.25: overloaded.
         let spec = periodic_pair((3, 3), (4, 6), 48);
         let edf = simulate_dynamic(&spec, DynamicPolicy::Edf);
-        assert!(!edf.all_periodic_deadlines_met(), "EDF must thrash under overload");
+        assert!(
+            !edf.all_periodic_deadlines_met(),
+            "EDF must thrash under overload"
+        );
         let dover = simulate_dynamic(&spec, DynamicPolicy::DOver);
         // D-OVER abandons some jobs (recorded as incomplete)…
         assert!(dover.periodic_deadline_misses() > 0);
@@ -332,7 +366,12 @@ mod tests {
     #[test]
     fn aperiodic_jobs_with_deadlines_are_scheduled_by_edf() {
         let mut b = SystemSpec::builder("edf-aperiodic");
-        b.periodic("tau", Span::from_units(2), Span::from_units(10), Priority::new(10));
+        b.periodic(
+            "tau",
+            Span::from_units(2),
+            Span::from_units(10),
+            Priority::new(10),
+        );
         b.push_aperiodic(
             rt_model::AperiodicEvent::new(
                 rt_model::EventId::new(0),
@@ -355,7 +394,12 @@ mod tests {
     #[test]
     fn dover_abandons_jobs_that_can_no_longer_make_it() {
         let mut b = SystemSpec::builder("dover-abandon");
-        b.periodic("hog", Span::from_units(8), Span::from_units(10), Priority::new(10));
+        b.periodic(
+            "hog",
+            Span::from_units(8),
+            Span::from_units(10),
+            Priority::new(10),
+        );
         b.push_aperiodic(
             rt_model::AperiodicEvent::new(
                 rt_model::EventId::new(0),
@@ -370,8 +414,9 @@ mod tests {
         let trace = simulate_dynamic(&spec, DynamicPolicy::DOver);
         // The ready set at time 0 (hog: 8 by 10, aperiodic: 4 by 5) is
         // overloaded; the lower value-density job is sacrificed.
-        assert!(trace.outcomes.iter().any(|o| !o.is_served())
-            || trace.periodic_deadline_misses() > 0);
+        assert!(
+            trace.outcomes.iter().any(|o| !o.is_served()) || trace.periodic_deadline_misses() > 0
+        );
         for job in &trace.periodic_jobs {
             if let Some(c) = job.completed {
                 assert!(c <= job.deadline);
@@ -382,7 +427,12 @@ mod tests {
     #[test]
     fn empty_horizon_produces_empty_trace() {
         let mut b = SystemSpec::builder("tiny");
-        b.periodic("tau", Span::from_units(1), Span::from_units(5), Priority::new(10));
+        b.periodic(
+            "tau",
+            Span::from_units(1),
+            Span::from_units(5),
+            Priority::new(10),
+        );
         b.horizon(Instant::from_units(1));
         let spec = b.build().unwrap();
         let trace = simulate_dynamic(&spec, DynamicPolicy::Edf);

@@ -11,13 +11,36 @@
 //! simulation of our implementations", paper §5): handlers are resumable,
 //! there is no server overhead and no timer overhead, so the interrupted
 //! ratio of a simulation is always zero.
+//!
+//! # Per-decision complexity
+//!
+//! With `t` periodic tasks, one decision under the default indexed mode
+//! ([`simulate`]) costs:
+//!
+//! * **next decision point** — aperiodic arrivals are a cursor into the
+//!   release-sorted event list (O(1)); the server replenishment is one field
+//!   (O(1)); periodic releases are the peek of a [`BinaryHeap`] keyed on
+//!   `(release, task index)` with lazily discarded stale entries (amortised
+//!   O(1) peek, O(log t) per release);
+//! * **runner choice** — ready tasks (non-empty pending queues) live in a
+//!   second [`BinaryHeap`] keyed on `(priority, Reverse(task index))`,
+//!   updated on empty↔non-empty transitions, so the highest-priority ready
+//!   task is an amortised O(1) peek; the seed's first-index-wins tie-breaks
+//!   (server before equal-priority tasks, earlier task before later) are
+//!   preserved exactly.
+//!
+//! The seed implementation rescanned every task for both questions —
+//! O(t) per decision. It is retained as [`simulate_reference`]: the
+//! differential tests assert both modes produce identical traces and the
+//! `engine_scaling` benchmark measures the gap.
 
 use crate::server::ServerState;
 use rt_model::{
-    AperiodicFate, AperiodicOutcome, ExecUnit, Instant, PeriodicJobRecord, PeriodicTask,
+    AperiodicFate, AperiodicOutcome, ExecUnit, Instant, PeriodicJobRecord, PeriodicTask, Priority,
     ServerPolicyKind, Span, SystemSpec, Trace,
 };
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// One pending periodic job inside the simulator.
 #[derive(Debug, Clone)]
@@ -40,7 +63,12 @@ struct PeriodicState {
 impl PeriodicState {
     fn new(task: PeriodicTask) -> Self {
         let next_release = task.release_of(0);
-        PeriodicState { task, next_release, next_activation: 0, pending: VecDeque::new() }
+        PeriodicState {
+            task,
+            next_release,
+            next_activation: 0,
+            pending: VecDeque::new(),
+        }
     }
 }
 
@@ -60,14 +88,29 @@ enum Runner {
 }
 
 /// Simulates the execution of the system under its configured server policy
-/// and preemptive fixed priorities, returning the full trace.
+/// and preemptive fixed priorities, returning the full trace. Uses the
+/// indexed O(log t)-per-decision engine.
 ///
 /// # Panics
 /// Panics when the specification fails validation; callers are expected to
 /// build specs through [`rt_model::SystemBuilder`], which validates.
 pub fn simulate(spec: &SystemSpec) -> Trace {
-    spec.validate().expect("simulate() requires a valid system specification");
-    Simulator::new(spec).run()
+    spec.validate()
+        .expect("simulate() requires a valid system specification");
+    Simulator::new(spec, true).run()
+}
+
+/// Simulates with the seed's linear-scan decision loop (O(t) per decision).
+///
+/// Produces bit-identical traces to [`simulate`]; kept as the reference
+/// implementation for differential tests and the `engine_scaling` benchmark.
+///
+/// # Panics
+/// Panics when the specification fails validation.
+pub fn simulate_reference(spec: &SystemSpec) -> Trace {
+    spec.validate()
+        .expect("simulate_reference() requires a valid system specification");
+    Simulator::new(spec, false).run()
 }
 
 struct Simulator<'a> {
@@ -79,16 +122,35 @@ struct Simulator<'a> {
     queue: VecDeque<PendingAperiodic>,
     next_arrival: usize,
     trace: Trace,
+    /// Indexed (heap) vs linear-scan (seed) decision structures.
+    indexed: bool,
+    /// Future periodic releases, min-first by `(release, task index)`.
+    /// Entries are validated against `PeriodicState::next_release` on pop.
+    releases: BinaryHeap<Reverse<(Instant, usize)>>,
+    /// Tasks with a non-empty pending queue, max-first by
+    /// `(priority, Reverse(task index))`. `has_pending` is authoritative.
+    ready: BinaryHeap<(Priority, Reverse<usize>)>,
+    /// Whether task `i` currently has pending jobs.
+    has_pending: Vec<bool>,
 }
 
 impl<'a> Simulator<'a> {
-    fn new(spec: &'a SystemSpec) -> Self {
-        let periodic = spec
+    fn new(spec: &'a SystemSpec, indexed: bool) -> Self {
+        let periodic: Vec<PeriodicState> = spec
             .periodic_tasks
             .iter()
             .cloned()
             .map(PeriodicState::new)
             .collect();
+        let mut releases = BinaryHeap::new();
+        if indexed {
+            for (i, state) in periodic.iter().enumerate() {
+                if state.next_release < spec.horizon {
+                    releases.push(Reverse((state.next_release, i)));
+                }
+            }
+        }
+        let has_pending = vec![false; periodic.len()];
         Simulator {
             spec,
             now: Instant::ZERO,
@@ -98,7 +160,27 @@ impl<'a> Simulator<'a> {
             queue: VecDeque::new(),
             next_arrival: 0,
             trace: Trace::new(spec.horizon),
+            indexed,
+            releases,
+            ready: BinaryHeap::new(),
+            has_pending,
         }
+    }
+
+    /// Marks task `i` as having pending work in the indexed ready structure.
+    fn mark_ready(&mut self, i: usize) {
+        if !self.has_pending[i] {
+            self.has_pending[i] = true;
+            if self.indexed {
+                self.ready
+                    .push((self.periodic[i].task.priority, Reverse(i)));
+            }
+        }
+    }
+
+    /// Marks task `i` as idle; its heap entry is dropped lazily.
+    fn unmark_ready(&mut self, i: usize) {
+        self.has_pending[i] = false;
     }
 
     fn run(mut self) -> Trace {
@@ -140,9 +222,20 @@ impl<'a> Simulator<'a> {
             }
             self.next_arrival += 1;
         }
-        // Periodic releases.
-        for state in &mut self.periodic {
-            while state.next_release <= self.now && state.next_release < self.horizon {
+        // Periodic releases. Releases of distinct tasks land in distinct
+        // pending queues, so heap-pop order and task-scan order are
+        // interchangeable; within one task both paths release in
+        // chronological order. Unlike the rtsj-emu calendar there is no
+        // lazy staleness here: the heap holds exactly one entry per task
+        // and `next_release` only advances when that entry is popped.
+        if self.indexed {
+            while let Some(&Reverse((at, i))) = self.releases.peek() {
+                if at > self.now {
+                    break;
+                }
+                self.releases.pop();
+                let state = &mut self.periodic[i];
+                debug_assert_eq!(state.next_release, at, "one live heap entry per task");
                 state.pending.push_back(PendingPeriodicJob {
                     activation: state.next_activation,
                     release: state.next_release,
@@ -151,6 +244,30 @@ impl<'a> Simulator<'a> {
                 });
                 state.next_activation += 1;
                 state.next_release = state.task.release_of(state.next_activation);
+                let next = state.next_release;
+                if next < self.horizon {
+                    self.releases.push(Reverse((next, i)));
+                }
+                self.mark_ready(i);
+            }
+        } else {
+            for i in 0..self.periodic.len() {
+                let state = &mut self.periodic[i];
+                let mut released = false;
+                while state.next_release <= self.now && state.next_release < self.horizon {
+                    state.pending.push_back(PendingPeriodicJob {
+                        activation: state.next_activation,
+                        release: state.next_release,
+                        deadline: state.task.deadline_of(state.next_activation),
+                        remaining: state.task.cost,
+                    });
+                    state.next_activation += 1;
+                    state.next_release = state.task.release_of(state.next_activation);
+                    released = true;
+                }
+                if released {
+                    self.mark_ready(i);
+                }
             }
         }
         // Server replenishments.
@@ -161,14 +278,27 @@ impl<'a> Simulator<'a> {
     }
 
     /// The next instant at which the scheduling decision could change.
-    fn next_decision_point(&self) -> Instant {
+    ///
+    /// Indexed: O(1) — arrival cursor, release-heap peek, replenishment
+    /// field. Linear scan: O(t) sweep over every periodic task.
+    fn next_decision_point(&mut self) -> Instant {
         let mut next = self.horizon;
         if self.next_arrival < self.spec.aperiodics.len() {
             next = next.min(self.spec.aperiodics[self.next_arrival].release);
         }
-        for state in &self.periodic {
-            if state.next_release < self.horizon {
-                next = next.min(state.next_release);
+        if self.indexed {
+            // The peek is the true next release: every entry is live (see
+            // `process_due_events`) and the heap only holds entries below
+            // the horizon.
+            if let Some(&Reverse((at, i))) = self.releases.peek() {
+                debug_assert_eq!(self.periodic[i].next_release, at);
+                next = next.min(at);
+            }
+        } else {
+            for state in &self.periodic {
+                if state.next_release < self.horizon {
+                    next = next.min(state.next_release);
+                }
             }
         }
         if let Some(server) = &self.server {
@@ -176,45 +306,90 @@ impl<'a> Simulator<'a> {
                 next = next.min(server.next_replenishment);
             }
         }
-        next.max(self.now + Span::from_ticks(1)).min(self.horizon.max(self.now + Span::from_ticks(1)))
+        next.max(self.now + Span::from_ticks(1))
+            .min(self.horizon.max(self.now + Span::from_ticks(1)))
     }
 
-    /// Chooses the highest-priority ready entity, if any.
-    fn pick_runner(&self) -> Option<Runner> {
-        let mut best: Option<(rt_model::Priority, Runner)> = None;
-        if let Some(server) = &self.server {
-            if server.is_ready(self.queue.is_empty()) {
-                best = Some((server.spec.priority, Runner::Server));
-            }
-        }
-        for (i, state) in self.periodic.iter().enumerate() {
-            if state.pending.is_empty() {
-                continue;
-            }
-            let candidate = (state.task.priority, Runner::Task(i));
-            best = match best {
-                None => Some(candidate),
-                Some((p, _)) if candidate.0.preempts(p) => Some(candidate),
-                other => other,
+    /// Chooses the highest-priority ready entity, if any. Ties go to the
+    /// server first, then to the earliest task index — the seed's scan order.
+    ///
+    /// Indexed: amortised O(1) peek of the ready heap. Linear scan: O(t).
+    fn pick_runner(&mut self) -> Option<Runner> {
+        let server_ready = self
+            .server
+            .as_ref()
+            .map(|s| s.is_ready(self.queue.is_empty()))
+            .unwrap_or(false);
+        if self.indexed {
+            let top_task = loop {
+                match self.ready.peek() {
+                    None => break None,
+                    Some(&(prio, Reverse(i))) => {
+                        if self.has_pending[i] {
+                            debug_assert!(!self.periodic[i].pending.is_empty());
+                            break Some((prio, i));
+                        }
+                        self.ready.pop();
+                    }
+                }
             };
+            match (server_ready, top_task) {
+                (false, None) => None,
+                (true, None) => Some(Runner::Server),
+                (false, Some((_, i))) => Some(Runner::Task(i)),
+                (true, Some((prio, i))) => {
+                    let server_prio = self.server.as_ref().unwrap().spec.priority;
+                    if prio.preempts(server_prio) {
+                        Some(Runner::Task(i))
+                    } else {
+                        Some(Runner::Server)
+                    }
+                }
+            }
+        } else {
+            let mut best: Option<(Priority, Runner)> = None;
+            if server_ready {
+                best = Some((self.server.as_ref().unwrap().spec.priority, Runner::Server));
+            }
+            for (i, state) in self.periodic.iter().enumerate() {
+                if state.pending.is_empty() {
+                    continue;
+                }
+                let candidate = (state.task.priority, Runner::Task(i));
+                best = match best {
+                    None => Some(candidate),
+                    Some((p, _)) if candidate.0.preempts(p) => Some(candidate),
+                    other => other,
+                };
+            }
+            best.map(|(_, runner)| runner)
         }
-        best.map(|(_, runner)| runner)
     }
 
     fn run_server(&mut self, next: Instant) {
-        let server = self.server.as_mut().expect("server runner requires a server");
-        let job = self.queue.front_mut().expect("server runner requires pending work");
+        let server = self
+            .server
+            .as_mut()
+            .expect("server runner requires a server");
+        let job = self
+            .queue
+            .front_mut()
+            .expect("server runner requires pending work");
         let window = next - self.now;
         let slice = job.remaining.min(server.max_slice()).min(window);
-        debug_assert!(!slice.is_zero(), "the server was picked but cannot make progress");
+        debug_assert!(
+            !slice.is_zero(),
+            "the server was picked but cannot make progress"
+        );
         let event = self.spec.aperiodics[job.index].id;
         if job.started.is_none() {
             job.started = Some(self.now);
         }
-        self.trace.push_segment(ExecUnit::Handler(event), self.now, self.now + slice);
+        self.trace
+            .push_segment(ExecUnit::Handler(event), self.now, self.now + slice);
         job.remaining -= slice;
         server.consume(slice);
-        self.now = self.now + slice;
+        self.now += slice;
         if job.remaining.is_zero() {
             let started = job.started.expect("a completed job has started");
             let spec_event = &self.spec.aperiodics[job.index];
@@ -222,7 +397,10 @@ impl<'a> Simulator<'a> {
                 event,
                 release: spec_event.release,
                 declared_cost: spec_event.declared_cost,
-                fate: AperiodicFate::Served { started, completed: self.now },
+                fate: AperiodicFate::Served {
+                    started,
+                    completed: self.now,
+                },
             });
             self.queue.pop_front();
             if self.queue.is_empty() {
@@ -233,14 +411,17 @@ impl<'a> Simulator<'a> {
 
     fn run_task(&mut self, index: usize, next: Instant) {
         let state = &mut self.periodic[index];
-        let job = state.pending.front_mut().expect("task runner requires pending work");
+        let job = state
+            .pending
+            .front_mut()
+            .expect("task runner requires pending work");
         let window = next - self.now;
         let slice = job.remaining.min(window);
         debug_assert!(!slice.is_zero());
         self.trace
             .push_segment(ExecUnit::Task(state.task.id), self.now, self.now + slice);
         job.remaining -= slice;
-        self.now = self.now + slice;
+        self.now += slice;
         if job.remaining.is_zero() {
             self.trace.push_periodic_job(PeriodicJobRecord {
                 task: state.task.id,
@@ -250,6 +431,9 @@ impl<'a> Simulator<'a> {
                 completed: Some(self.now),
             });
             state.pending.pop_front();
+            if state.pending.is_empty() {
+                self.unmark_ready(index);
+            }
         }
     }
 
@@ -279,9 +463,7 @@ impl<'a> Simulator<'a> {
                 });
             }
         }
-        self.trace
-            .outcomes
-            .sort_by_key(|o| (o.release, o.event));
+        self.trace.outcomes.sort_by_key(|o| (o.release, o.event));
         debug_assert!(self.trace.check_invariants().is_ok());
     }
 }
@@ -303,11 +485,7 @@ mod tests {
 
     /// The paper's Table 1 task set with a configurable server policy and
     /// aperiodic traffic.
-    fn table1(
-        policy: ServerPolicyKind,
-        capacity: u64,
-        events: &[(u64, u64)],
-    ) -> SystemSpec {
+    fn table1(policy: ServerPolicyKind, capacity: u64, events: &[(u64, u64)]) -> SystemSpec {
         let mut b = SystemSpec::builder("table-1");
         let server = ServerSpec {
             policy,
@@ -316,8 +494,18 @@ mod tests {
             priority: Priority::new(30),
         };
         b.server(server);
-        b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
-        b.periodic("tau2", Span::from_units(1), Span::from_units(6), Priority::new(10));
+        b.periodic(
+            "tau1",
+            Span::from_units(2),
+            Span::from_units(6),
+            Priority::new(20),
+        );
+        b.periodic(
+            "tau2",
+            Span::from_units(1),
+            Span::from_units(6),
+            Priority::new(10),
+        );
         for &(release, cost) in events {
             b.aperiodic(Instant::from_units(release), Span::from_units(cost));
         }
@@ -356,8 +544,14 @@ mod tests {
         let h2 = spec.aperiodics[1].id;
         let segs: Vec<_> = trace.segments_of(ExecUnit::Handler(h2)).collect();
         assert_eq!(segs.len(), 2);
-        assert_eq!((segs[0].start, segs[0].end), (Instant::from_units(8), Instant::from_units(9)));
-        assert_eq!((segs[1].start, segs[1].end), (Instant::from_units(12), Instant::from_units(13)));
+        assert_eq!(
+            (segs[0].start, segs[0].end),
+            (Instant::from_units(8), Instant::from_units(9))
+        );
+        assert_eq!(
+            (segs[1].start, segs[1].end),
+            (Instant::from_units(12), Instant::from_units(13))
+        );
         assert!(trace.all_periodic_deadlines_met());
     }
 
@@ -379,18 +573,35 @@ mod tests {
         let ps = simulate(&table1(ServerPolicyKind::Polling, 3, events));
         let ds = simulate(&table1(ServerPolicyKind::Deferrable, 3, events));
         let avg = |t: &Trace| {
-            let served: Vec<Span> = t.outcomes.iter().filter_map(|o| o.response_time()).collect();
+            let served: Vec<Span> = t
+                .outcomes
+                .iter()
+                .filter_map(|o| o.response_time())
+                .collect();
             served.iter().map(|s| s.as_units()).sum::<f64>() / served.len() as f64
         };
-        assert!(avg(&ds) < avg(&ps), "DS must give better average response times");
+        assert!(
+            avg(&ds) < avg(&ps),
+            "DS must give better average response times"
+        );
     }
 
     #[test]
     fn background_servicing_waits_for_idle_time() {
         let mut b = SystemSpec::builder("bg");
         b.server(ServerSpec::background(Priority::new(1)));
-        b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
-        b.periodic("tau2", Span::from_units(1), Span::from_units(6), Priority::new(10));
+        b.periodic(
+            "tau1",
+            Span::from_units(2),
+            Span::from_units(6),
+            Priority::new(20),
+        );
+        b.periodic(
+            "tau2",
+            Span::from_units(1),
+            Span::from_units(6),
+            Priority::new(10),
+        );
         b.aperiodic(Instant::from_units(0), Span::from_units(2));
         b.horizon(Instant::from_units(30));
         let spec = b.build().unwrap();
@@ -408,7 +619,10 @@ mod tests {
         let trace = simulate(&spec);
         assert_eq!(trace.outcomes.len(), 20);
         let unserved = trace.outcomes.iter().filter(|o| !o.is_served()).count();
-        assert!(unserved > 0, "an overloaded server must leave events unserved");
+        assert!(
+            unserved > 0,
+            "an overloaded server must leave events unserved"
+        );
         // Simulations never interrupt anything.
         assert!(trace.outcomes.iter().all(|o| !o.is_interrupted()));
     }
@@ -444,17 +658,28 @@ mod tests {
         let spec = table1(ServerPolicyKind::Polling, 3, &[(2, 2)]);
         let ds_trace = simulate_with_policy(&spec, ServerPolicyKind::Deferrable);
         // Under DS the event is served on arrival.
-        assert_eq!(ds_trace.outcomes[0].response_time(), Some(Span::from_units(2)));
+        assert_eq!(
+            ds_trace.outcomes[0].response_time(),
+            Some(Span::from_units(2))
+        );
     }
 
     #[test]
     fn empty_system_is_all_idle() {
         let mut b = SystemSpec::builder("empty");
-        b.periodic("tau1", Span::from_units(1), Span::from_units(10), Priority::new(10));
+        b.periodic(
+            "tau1",
+            Span::from_units(1),
+            Span::from_units(10),
+            Priority::new(10),
+        );
         b.horizon(Instant::from_units(20));
         let spec = b.build().unwrap();
         let trace = simulate(&spec);
-        assert_eq!(trace.busy_time(ExecUnit::Task(spec.periodic_tasks[0].id)), Span::from_units(2));
+        assert_eq!(
+            trace.busy_time(ExecUnit::Task(spec.periodic_tasks[0].id)),
+            Span::from_units(2)
+        );
         assert_eq!(trace.idle_time(), Span::from_units(18));
     }
 }

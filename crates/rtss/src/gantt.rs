@@ -24,7 +24,10 @@ pub struct GanttOptions {
 
 impl Default for GanttOptions {
     fn default() -> Self {
-        GanttOptions { column_units: 1.0, max_columns: 200 }
+        GanttOptions {
+            column_units: 1.0,
+            max_columns: 200,
+        }
     }
 }
 
@@ -59,8 +62,8 @@ fn row_order(unit: ExecUnit) -> (u8, ExecUnit) {
 /// Renders the trace as a fixed-width ASCII chart.
 pub fn render_ascii(trace: &Trace, spec: Option<&SystemSpec>, options: GanttOptions) -> String {
     let column = Span::from_units_f64(options.column_units.max(1e-3));
-    let total_columns = ((trace.horizon - Instant::ZERO).div_ceil_span(column) as usize)
-        .min(options.max_columns);
+    let total_columns =
+        ((trace.horizon - Instant::ZERO).div_ceil_span(column) as usize).min(options.max_columns);
 
     // Collect the units that actually appear, keep a stable row order.
     let mut units: Vec<ExecUnit> = trace
@@ -123,8 +126,7 @@ pub fn render_svg(trace: &Trace, spec: Option<&SystemSpec>) -> String {
         .collect();
     units.sort_by_key(|u| row_order(*u));
     units.dedup();
-    let rows: BTreeMap<ExecUnit, usize> =
-        units.iter().enumerate().map(|(i, u)| (*u, i)).collect();
+    let rows: BTreeMap<ExecUnit, usize> = units.iter().enumerate().map(|(i, u)| (*u, i)).collect();
 
     let horizon_units = trace.horizon.as_units();
     let width = LEFT_MARGIN + horizon_units * PIXELS_PER_UNIT + 20.0;
@@ -135,7 +137,10 @@ pub fn render_svg(trace: &Trace, spec: Option<&SystemSpec>) -> String {
         svg,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"#
     );
-    let _ = writeln!(svg, r#"<style>text {{ font-family: monospace; font-size: 12px; }}</style>"#);
+    let _ = writeln!(
+        svg,
+        r#"<style>text {{ font-family: monospace; font-size: 12px; }}</style>"#
+    );
 
     // Time grid.
     let mut t = 0.0;
@@ -146,19 +151,29 @@ pub fn render_svg(trace: &Trace, spec: Option<&SystemSpec>) -> String {
             r##"<line x1="{x:.1}" y1="{TOP_MARGIN}" x2="{x:.1}" y2="{:.1}" stroke="#ddd"/>"##,
             height - 30.0
         );
-        let _ = writeln!(svg, r#"<text x="{x:.1}" y="{:.1}">{t:.0}</text>"#, height - 12.0);
+        let _ = writeln!(
+            svg,
+            r#"<text x="{x:.1}" y="{:.1}">{t:.0}</text>"#,
+            height - 12.0
+        );
         t += 1.0;
     }
 
     // Row labels.
     for (unit, row) in &rows {
         let y = TOP_MARGIN + *row as f64 * (ROW_HEIGHT + ROW_GAP) + ROW_HEIGHT * 0.7;
-        let _ = writeln!(svg, r#"<text x="4" y="{y:.1}">{}</text>"#, unit_label(*unit, spec));
+        let _ = writeln!(
+            svg,
+            r#"<text x="4" y="{y:.1}">{}</text>"#,
+            unit_label(*unit, spec)
+        );
     }
 
     // Segments.
     for segment in &trace.segments {
-        let Some(row) = rows.get(&segment.unit) else { continue };
+        let Some(row) = rows.get(&segment.unit) else {
+            continue;
+        };
         let x = LEFT_MARGIN + segment.start.as_units() * PIXELS_PER_UNIT;
         let w = segment.duration().as_units() * PIXELS_PER_UNIT;
         let y = TOP_MARGIN + *row as f64 * (ROW_HEIGHT + ROW_GAP);
@@ -192,8 +207,18 @@ mod tests {
             period: Span::from_units(6),
             priority: Priority::new(30),
         });
-        b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
-        b.periodic("tau2", Span::from_units(1), Span::from_units(6), Priority::new(10));
+        b.periodic(
+            "tau1",
+            Span::from_units(2),
+            Span::from_units(6),
+            Priority::new(20),
+        );
+        b.periodic(
+            "tau2",
+            Span::from_units(1),
+            Span::from_units(6),
+            Priority::new(10),
+        );
         b.aperiodic(Instant::from_units(0), Span::from_units(2));
         b.aperiodic(Instant::from_units(6), Span::from_units(2));
         b.horizon(Instant::from_units(12));
@@ -223,7 +248,10 @@ mod tests {
         let chart = render_ascii(
             &trace,
             Some(&spec),
-            GanttOptions { column_units: 1.0, max_columns: 5 },
+            GanttOptions {
+                column_units: 1.0,
+                max_columns: 5,
+            },
         );
         for line in chart.lines().skip(1) {
             let cells = line.split_whitespace().last().unwrap();

@@ -36,45 +36,63 @@ pub mod gantt;
 pub mod server;
 
 pub use dynamic::{simulate_dynamic, DynamicPolicy};
-pub use engine::{simulate, simulate_with_policy};
+pub use engine::{simulate, simulate_reference, simulate_with_policy};
 pub use gantt::{render_ascii, render_svg, GanttOptions};
 pub use server::ServerState;
 
 #[cfg(test)]
 mod proptests {
+    //! Randomised property tests. The offline build environment has no
+    //! `proptest`, so the same properties are exercised over seeded,
+    //! deterministic random cases instead of shrinking strategies.
+
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use rt_model::{
         ExecUnit, Instant, Priority, ServerPolicyKind, ServerSpec, Span, SystemSpec, Trace,
     };
 
+    const CASES: usize = 64;
+
     /// A random but always-valid system: the Table 1 periodic pair plus a
     /// random server capacity and random aperiodic traffic.
-    fn system_strategy() -> impl Strategy<Value = SystemSpec> {
-        (
-            2u64..=4,
-            prop_oneof![
-                Just(ServerPolicyKind::Polling),
-                Just(ServerPolicyKind::Deferrable)
-            ],
-            proptest::collection::vec((0u64..55, 1u64..=2), 0..12),
-        )
-            .prop_map(|(capacity, policy, events)| {
-                let mut b = SystemSpec::builder("prop");
-                b.server(ServerSpec {
-                    policy,
-                    capacity: Span::from_units(capacity),
-                    period: Span::from_units(6),
-                    priority: Priority::new(30),
-                });
-                b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
-                b.periodic("tau2", Span::from_units(1), Span::from_units(6), Priority::new(10));
-                for (release, cost) in events {
-                    b.aperiodic(Instant::from_units(release), Span::from_units(cost.min(capacity)));
-                }
-                b.horizon_server_periods(10);
-                b.build().unwrap()
-            })
+    fn random_system(rng: &mut StdRng) -> SystemSpec {
+        let capacity = rng.gen_range(2u64..=4);
+        let policy = if rng.gen() {
+            ServerPolicyKind::Polling
+        } else {
+            ServerPolicyKind::Deferrable
+        };
+        let mut b = SystemSpec::builder("prop");
+        b.server(ServerSpec {
+            policy,
+            capacity: Span::from_units(capacity),
+            period: Span::from_units(6),
+            priority: Priority::new(30),
+        });
+        b.periodic(
+            "tau1",
+            Span::from_units(2),
+            Span::from_units(6),
+            Priority::new(20),
+        );
+        b.periodic(
+            "tau2",
+            Span::from_units(1),
+            Span::from_units(6),
+            Priority::new(10),
+        );
+        for _ in 0..rng.gen_range(0u64..12) {
+            let release = rng.gen_range(0u64..55);
+            let cost = rng.gen_range(1u64..=2);
+            b.aperiodic(
+                Instant::from_units(release),
+                Span::from_units(cost.min(capacity)),
+            );
+        }
+        b.horizon_server_periods(10);
+        b.build().unwrap()
     }
 
     fn served_time(trace: &Trace) -> Span {
@@ -86,57 +104,75 @@ mod proptests {
             .sum()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// The simulator always produces a structurally valid trace with one
-        /// outcome per released event and never reports interruptions.
-        #[test]
-        fn traces_are_well_formed(spec in system_strategy()) {
+    /// The simulator always produces a structurally valid trace with one
+    /// outcome per released event and never reports interruptions.
+    #[test]
+    fn traces_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0500);
+        for _ in 0..CASES {
+            let spec = random_system(&mut rng);
             let trace = simulate(&spec);
-            prop_assert!(trace.check_invariants().is_ok());
-            prop_assert_eq!(trace.outcomes.len(), spec.aperiodics.len());
-            prop_assert!(trace.outcomes.iter().all(|o| !o.is_interrupted()));
+            assert!(trace.check_invariants().is_ok());
+            assert_eq!(trace.outcomes.len(), spec.aperiodics.len());
+            assert!(trace.outcomes.iter().all(|o| !o.is_interrupted()));
         }
+    }
 
-        /// Periodic tasks never miss deadlines when the server fits in the
-        /// schedulability margin (capacity ≤ 3 keeps total utilisation ≤ 1 on
-        /// the harmonic Table 1 set).
-        #[test]
-        fn periodic_tasks_are_protected(spec in system_strategy()) {
-            prop_assume!(spec.server.as_ref().unwrap().capacity <= Span::from_units(3));
+    /// Periodic tasks never miss deadlines when the server fits in the
+    /// schedulability margin (capacity ≤ 3 keeps total utilisation ≤ 1 on
+    /// the harmonic Table 1 set).
+    #[test]
+    fn periodic_tasks_are_protected() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0501);
+        for _ in 0..CASES {
+            let spec = random_system(&mut rng);
+            if spec.server.as_ref().unwrap().capacity > Span::from_units(3) {
+                continue;
+            }
             let trace = simulate(&spec);
-            prop_assert!(trace.all_periodic_deadlines_met());
+            assert!(trace.all_periodic_deadlines_met());
         }
+    }
 
-        /// Served handler time never exceeds what the capacity allows:
-        /// at most one full capacity per elapsed server period (plus one for
-        /// the in-progress period).
-        #[test]
-        fn capacity_is_never_exceeded(spec in system_strategy()) {
+    /// Served handler time never exceeds what the capacity allows:
+    /// at most one full capacity per elapsed server period (plus one for
+    /// the in-progress period).
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0502);
+        for _ in 0..CASES {
+            let spec = random_system(&mut rng);
             let trace = simulate(&spec);
             let server = spec.server.as_ref().unwrap();
             let periods = (spec.horizon - Instant::ZERO).div_ceil_span(server.period);
             let bound = server.capacity.saturating_mul(periods);
-            prop_assert!(served_time(&trace) <= bound);
+            assert!(served_time(&trace) <= bound);
         }
+    }
 
-        /// The deferrable server serves at least as much aperiodic work as
-        /// the polling server on the same traffic, and never serves any event
-        /// later.
-        #[test]
-        fn deferrable_dominates_polling_in_served_work(spec in system_strategy()) {
+    /// The deferrable server serves at least as much aperiodic work as
+    /// the polling server on the same traffic, and never serves any event
+    /// later.
+    #[test]
+    fn deferrable_dominates_polling_in_served_work() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0503);
+        for _ in 0..CASES {
+            let spec = random_system(&mut rng);
             let ps = simulate_with_policy(&spec, ServerPolicyKind::Polling);
             let ds = simulate_with_policy(&spec, ServerPolicyKind::Deferrable);
-            prop_assert!(served_time(&ds) >= served_time(&ps));
+            assert!(served_time(&ds) >= served_time(&ps));
             let served = |t: &Trace| t.outcomes.iter().filter(|o| o.is_served()).count();
-            prop_assert!(served(&ds) >= served(&ps));
+            assert!(served(&ds) >= served(&ps));
         }
+    }
 
-        /// Simulation is deterministic.
-        #[test]
-        fn simulation_is_deterministic(spec in system_strategy()) {
-            prop_assert_eq!(simulate(&spec), simulate(&spec));
+    /// Simulation is deterministic.
+    #[test]
+    fn simulation_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0504);
+        for _ in 0..CASES {
+            let spec = random_system(&mut rng);
+            assert_eq!(simulate(&spec), simulate(&spec));
         }
     }
 }

@@ -31,7 +31,11 @@ impl ServerState {
             ServerPolicyKind::Background => (Span::MAX, Instant::MAX),
             _ => (Span::ZERO, Instant::ZERO),
         };
-        ServerState { spec, capacity, next_replenishment: next }
+        ServerState {
+            spec,
+            capacity,
+            next_replenishment: next,
+        }
     }
 
     /// True when the policy maintains a finite capacity.
@@ -51,7 +55,7 @@ impl ServerState {
         let mut replenished = false;
         while self.next_replenishment <= now {
             self.capacity = self.spec.capacity;
-            self.next_replenishment = self.next_replenishment + self.spec.period;
+            self.next_replenishment += self.spec.period;
             replenished = true;
         }
         if replenished && self.spec.policy == ServerPolicyKind::Polling && queue_empty {
@@ -65,7 +69,10 @@ impl ServerState {
     /// Consumes capacity after the server executed for `amount`.
     pub fn consume(&mut self, amount: Span) {
         if self.is_capacity_limited() {
-            debug_assert!(amount <= self.capacity, "server executed beyond its capacity");
+            debug_assert!(
+                amount <= self.capacity,
+                "server executed beyond its capacity"
+            );
             self.capacity = self.capacity.saturating_sub(amount);
         }
     }
@@ -174,7 +181,11 @@ mod tests {
         d.replenish_due(Instant::ZERO, false);
         d.consume(Span::from_units(2));
         d.on_queue_emptied();
-        assert_eq!(d.capacity, Span::from_units(1), "the DS keeps its remaining capacity");
+        assert_eq!(
+            d.capacity,
+            Span::from_units(1),
+            "the DS keeps its remaining capacity"
+        );
     }
 
     #[test]

@@ -47,12 +47,22 @@ impl CostModel {
     /// The paper's model for a given set: normal(mean, std), clamped at 0.1,
     /// capped at the server capacity.
     pub fn paper(mean: f64, std_dev: f64, capacity: Span) -> Self {
-        CostModel { mean, std_dev, clamp: ClampMode::PaperClamp, cap: capacity.as_units() }
+        CostModel {
+            mean,
+            std_dev,
+            clamp: ClampMode::PaperClamp,
+            cap: capacity.as_units(),
+        }
     }
 
     /// The unbiased variant that resamples instead of clamping.
     pub fn resampling(mean: f64, std_dev: f64, capacity: Span) -> Self {
-        CostModel { mean, std_dev, clamp: ClampMode::Resample, cap: capacity.as_units() }
+        CostModel {
+            mean,
+            std_dev,
+            clamp: ClampMode::Resample,
+            cap: capacity.as_units(),
+        }
     }
 
     /// Draws one cost.

@@ -88,7 +88,11 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 3.0).abs() < 0.1, "mean {mean} too far from 3.0");
-        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {} too far from 2.0", var.sqrt());
+        assert!(
+            (var.sqrt() - 2.0).abs() < 0.1,
+            "std {} too far from 2.0",
+            var.sqrt()
+        );
     }
 
     #[test]
@@ -98,7 +102,10 @@ mod tests {
         let lambda = 2.5;
         let samples: Vec<u64> = (0..n).map(|_| poisson(&mut r, lambda)).collect();
         let mean = samples.iter().sum::<u64>() as f64 / n as f64;
-        assert!((mean - lambda).abs() < 0.1, "mean {mean} too far from {lambda}");
+        assert!(
+            (mean - lambda).abs() < 0.1,
+            "mean {mean} too far from {lambda}"
+        );
     }
 
     #[test]

@@ -53,7 +53,12 @@ impl RandomSystemGenerator {
             params.std_deviation,
             params.server_capacity,
         );
-        Ok(RandomSystemGenerator { params, cost_model, policy, periodic_load: None })
+        Ok(RandomSystemGenerator {
+            params,
+            cost_model,
+            policy,
+            periodic_load: None,
+        })
     }
 
     /// Replaces the cost model (e.g. with [`CostModel::resampling`]).
@@ -85,7 +90,10 @@ impl RandomSystemGenerator {
     /// any one of them can be regenerated without replaying the whole batch.
     pub fn generate_one(&self, index: usize) -> SystemSpec {
         let mut rng = StdRng::seed_from_u64(
-            self.params.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(index as u64),
+            self.params
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(index as u64),
         );
         let period = self.params.server_period;
         let horizon = self.params.horizon();
@@ -112,7 +120,10 @@ impl RandomSystemGenerator {
                 let cost = Span::from_units_f64(u * period_units).max(Span::from_ticks(1));
                 // Periodic tasks sit strictly below the server priority.
                 let prio = Priority::new(
-                    server_priority.level().saturating_sub(1 + i as u8).max(Priority::MIN.level()),
+                    server_priority
+                        .level()
+                        .saturating_sub(1 + i as u8)
+                        .max(Priority::MIN.level()),
                 );
                 builder.periodic(format!("gen-tau{i}"), cost, period, prio);
             }
@@ -213,12 +224,22 @@ mod tests {
         // Aggregate over the ten systems of each set: densities 1 vs 3 per
         // period over 10 periods and 10 systems → expected 100 vs 300 events.
         let count = |d| -> usize {
-            generator(d, 0).generate().iter().map(|s| s.aperiodics.len()).sum()
+            generator(d, 0)
+                .generate()
+                .iter()
+                .map(|s| s.aperiodics.len())
+                .sum()
         };
         let low = count(1);
         let high = count(3);
-        assert!(low > 50 && low < 150, "density-1 sets produced {low} events");
-        assert!(high > 220 && high < 380, "density-3 sets produced {high} events");
+        assert!(
+            low > 50 && low < 150,
+            "density-1 sets produced {low} events"
+        );
+        assert!(
+            high > 220 && high < 380,
+            "density-3 sets produced {high} events"
+        );
         assert!(high > low);
     }
 
@@ -239,7 +260,10 @@ mod tests {
     #[test]
     fn events_fall_within_the_horizon_and_are_sorted() {
         for sys in generator(3, 2).generate() {
-            assert!(sys.aperiodics.windows(2).all(|w| w[0].release <= w[1].release));
+            assert!(sys
+                .aperiodics
+                .windows(2)
+                .all(|w| w[0].release <= w[1].release));
             assert!(sys.aperiodics.iter().all(|e| e.release < sys.horizon));
         }
     }
@@ -255,9 +279,15 @@ mod tests {
         .generate();
         assert_eq!(ps.len(), ds.len());
         for (a, b) in ps.iter().zip(ds.iter()) {
-            assert_eq!(a.aperiodics, b.aperiodics, "same seed must give the same traffic");
+            assert_eq!(
+                a.aperiodics, b.aperiodics,
+                "same seed must give the same traffic"
+            );
             assert_eq!(a.server.as_ref().unwrap().policy, ServerPolicyKind::Polling);
-            assert_eq!(b.server.as_ref().unwrap().policy, ServerPolicyKind::Deferrable);
+            assert_eq!(
+                b.server.as_ref().unwrap().policy,
+                ServerPolicyKind::Deferrable
+            );
         }
     }
 

@@ -31,22 +31,25 @@ pub use params::GeneratorParams;
 
 #[cfg(test)]
 mod proptests {
+    //! Randomised property tests. The offline build environment has no
+    //! `proptest`, so the same properties are exercised over seeded,
+    //! deterministic random cases instead of shrinking strategies.
+
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use rt_model::ServerPolicyKind;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-
-        /// Every generated system is structurally valid, for any reasonable
-        /// parameter tuple.
-        #[test]
-        fn generated_systems_are_always_valid(
-            density in 1u32..5,
-            std_dev in 0u32..3,
-            seed in 0u64..10_000,
-            capacity in 2u64..6,
-        ) {
+    /// Every generated system is structurally valid, for any reasonable
+    /// parameter tuple.
+    #[test]
+    fn generated_systems_are_always_valid() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0100);
+        for _ in 0..16 {
+            let density = rng.gen_range(1u64..5) as u32;
+            let std_dev = rng.gen_range(0u64..3) as u32;
+            let seed = rng.gen_range(0u64..10_000);
+            let capacity = rng.gen_range(2u64..6);
             let mut params = GeneratorParams::paper_set(density, std_dev);
             params.seed = seed;
             params.server_capacity = rt_model::Span::from_units(capacity);
@@ -54,22 +57,27 @@ mod proptests {
             let generator =
                 RandomSystemGenerator::new(params, ServerPolicyKind::Deferrable).unwrap();
             for sys in generator.generate() {
-                prop_assert!(sys.validate().is_ok());
+                assert!(sys.validate().is_ok());
                 for e in &sys.aperiodics {
-                    prop_assert!(e.declared_cost <= rt_model::Span::from_units(capacity));
-                    prop_assert!(e.release < sys.horizon);
+                    assert!(e.declared_cost <= rt_model::Span::from_units(capacity));
+                    assert!(e.release < sys.horizon);
                 }
             }
         }
+    }
 
-        /// Generation is a pure function of (params, index).
-        #[test]
-        fn generation_is_reproducible(seed in 0u64..10_000, index in 0usize..10) {
+    /// Generation is a pure function of (params, index).
+    #[test]
+    fn generation_is_reproducible() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0101);
+        for _ in 0..16 {
+            let seed = rng.gen_range(0u64..10_000);
+            let index = rng.gen_range(0u64..10) as usize;
             let mut params = GeneratorParams::paper_set(2, 2);
             params.seed = seed;
             let g1 = RandomSystemGenerator::new(params.clone(), ServerPolicyKind::Polling).unwrap();
             let g2 = RandomSystemGenerator::new(params, ServerPolicyKind::Polling).unwrap();
-            prop_assert_eq!(g1.generate_one(index), g2.generate_one(index));
+            assert_eq!(g1.generate_one(index), g2.generate_one(index));
         }
     }
 }

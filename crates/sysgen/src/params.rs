@@ -65,7 +65,15 @@ impl GeneratorParams {
     /// five parameters are fixed at (cost 3, capacity 4, period 6, 10
     /// systems, seed 1983).
     pub fn paper_set(density: u32, std_deviation: u32) -> Self {
-        Self::from_tuple(density as f64, 3.0, std_deviation as f64, 4.0, 6.0, 10, 1983)
+        Self::from_tuple(
+            density as f64,
+            3.0,
+            std_deviation as f64,
+            4.0,
+            6.0,
+            10,
+            1983,
+        )
     }
 
     /// The six `(density, std-deviation)` pairs of Tables 2–5, in the order

@@ -19,10 +19,30 @@ use rtsj_event_framework::prelude::*;
 
 /// Periodic control workload: acquisition, control law, actuation, logging.
 fn periodic_tasks(builder: &mut rtsj_event_framework::model::SystemBuilder) {
-    builder.periodic("acquisition", Span::from_units(1), Span::from_units(5), Priority::new(25));
-    builder.periodic("control-law", Span::from_units(2), Span::from_units(10), Priority::new(22));
-    builder.periodic("actuation", Span::from_units(1), Span::from_units(10), Priority::new(20));
-    builder.periodic("logging", Span::from_units(2), Span::from_units(40), Priority::new(12));
+    builder.periodic(
+        "acquisition",
+        Span::from_units(1),
+        Span::from_units(5),
+        Priority::new(25),
+    );
+    builder.periodic(
+        "control-law",
+        Span::from_units(2),
+        Span::from_units(10),
+        Priority::new(22),
+    );
+    builder.periodic(
+        "actuation",
+        Span::from_units(1),
+        Span::from_units(10),
+        Priority::new(20),
+    );
+    builder.periodic(
+        "logging",
+        Span::from_units(2),
+        Span::from_units(40),
+        Priority::new(12),
+    );
 }
 
 /// The alarm storm: a burst of operator alarms early in the window, then a
@@ -36,7 +56,7 @@ fn alarm_traffic(builder: &mut rtsj_event_framework::model::SystemBuilder) {
         (7, 0.5),
         (23, 2.0),
         (41, 1.0),
-        (44, 2.5),
+        (44, 2.0),
         (71, 1.0),
     ];
     for (release, cost) in alarms {
@@ -131,7 +151,10 @@ fn main() {
         render_ascii(
             &trace,
             Some(&deferrable),
-            GanttOptions { column_units: 1.0, max_columns: 40 }
+            GanttOptions {
+                column_units: 1.0,
+                max_columns: 40
+            }
         )
     );
 }

@@ -6,8 +6,8 @@
 //! cargo run --release --example generate_and_compare [density] [std_deviation]
 //! ```
 
-use rtsj_event_framework::prelude::*;
 use rtsj_event_framework::metrics::SetAggregate;
+use rtsj_event_framework::prelude::*;
 
 fn aggregate(traces: &[Trace]) -> SetAggregate {
     let runs: Vec<RunMeasures> = traces.iter().map(RunMeasures::from_trace).collect();
@@ -33,8 +33,8 @@ fn main() {
     );
 
     for policy in [ServerPolicyKind::Polling, ServerPolicyKind::Deferrable] {
-        let generator = RandomSystemGenerator::new(params.clone(), policy)
-            .expect("paper parameters are valid");
+        let generator =
+            RandomSystemGenerator::new(params.clone(), policy).expect("paper parameters are valid");
         let systems = generator.generate();
 
         let simulations: Vec<Trace> = systems.iter().map(simulate).collect();

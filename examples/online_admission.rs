@@ -10,9 +10,11 @@
 //! cargo run --example online_admission
 //! ```
 
-use rtsj_event_framework::prelude::*;
-use rtsj_event_framework::taskserver::{predicted_response, textbook_prediction, QueuedRelease, ServableHandler, ServerShared};
 use rt_model::{EventId, HandlerId};
+use rtsj_event_framework::prelude::*;
+use rtsj_event_framework::taskserver::{
+    predicted_response, textbook_prediction, QueuedRelease, ServableHandler, ServerShared,
+};
 
 fn main() {
     // A polling server with capacity 4 / period 6 at the top priority.
@@ -28,8 +30,16 @@ fn main() {
     let controller = AdmissionController::new(Span::from_units(15));
 
     // Queries arriving back-to-back at t = 1 with varied costs.
-    let queries: [(u32, f64); 8] =
-        [(0, 3.0), (1, 2.0), (2, 3.5), (3, 1.0), (4, 4.0), (5, 2.0), (6, 3.0), (7, 1.5)];
+    let queries: [(u32, f64); 8] = [
+        (0, 3.0),
+        (1, 2.0),
+        (2, 3.5),
+        (3, 1.0),
+        (4, 4.0),
+        (5, 2.0),
+        (6, 3.0),
+        (7, 1.5),
+    ];
     let now = Instant::from_units(1);
 
     println!("admission decisions at t = {now} (ceiling: 15 tu)");

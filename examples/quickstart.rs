@@ -12,15 +12,31 @@ fn report(label: &str, spec: &SystemSpec, trace: &Trace) {
     println!("--- {label} ---");
     println!(
         "{}",
-        render_ascii(trace, Some(spec), GanttOptions { column_units: 1.0, max_columns: 36 })
+        render_ascii(
+            trace,
+            Some(spec),
+            GanttOptions {
+                column_units: 1.0,
+                max_columns: 36
+            }
+        )
     );
     for outcome in &trace.outcomes {
         match outcome.response_time() {
-            Some(response) => println!("  {} released at {} -> response {}", outcome.event, outcome.release, response),
+            Some(response) => println!(
+                "  {} released at {} -> response {}",
+                outcome.event, outcome.release, response
+            ),
             None if outcome.is_interrupted() => {
-                println!("  {} released at {} -> interrupted", outcome.event, outcome.release)
+                println!(
+                    "  {} released at {} -> interrupted",
+                    outcome.event, outcome.release
+                )
             }
-            None => println!("  {} released at {} -> unserved", outcome.event, outcome.release),
+            None => println!(
+                "  {} released at {} -> unserved",
+                outcome.event, outcome.release
+            ),
         }
     }
     let measures = RunMeasures::from_trace(trace);
@@ -42,8 +58,18 @@ fn main() {
         Span::from_units(6),
         Priority::new(30),
     ));
-    builder.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
-    builder.periodic("tau2", Span::from_units(1), Span::from_units(6), Priority::new(10));
+    builder.periodic(
+        "tau1",
+        Span::from_units(2),
+        Span::from_units(6),
+        Priority::new(20),
+    );
+    builder.periodic(
+        "tau2",
+        Span::from_units(1),
+        Span::from_units(6),
+        Priority::new(10),
+    );
     builder.aperiodic(Instant::from_units(2), Span::from_units(2));
     builder.aperiodic(Instant::from_units(4), Span::from_units(2));
     builder.horizon_server_periods(4);
@@ -56,12 +82,20 @@ fn main() {
     );
     println!(
         "periodic task set with the server dimensioned as a periodic task: {}\n",
-        if feasible { "schedulable" } else { "NOT schedulable" }
+        if feasible {
+            "schedulable"
+        } else {
+            "NOT schedulable"
+        }
     );
 
     // Execution of the framework (ideal runtime, like the paper's figures).
     let execution = execute(&spec, &ExecutionConfig::ideal());
-    report("execution (task-server framework, polling server)", &spec, &execution);
+    report(
+        "execution (task-server framework, polling server)",
+        &spec,
+        &execution,
+    );
 
     // Literature-exact simulation of the same system.
     let simulation = simulate(&spec);

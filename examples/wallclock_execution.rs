@@ -28,7 +28,12 @@ fn main() {
         .collect();
 
     // Wall-clock run: 5 ms per time unit keeps the whole demo under a second.
-    let config = WallclockConfig { capacity, period, periods: 8, millis_per_unit: 5.0 };
+    let config = WallclockConfig {
+        capacity,
+        period,
+        periods: 8,
+        millis_per_unit: 5.0,
+    };
     let outcomes = run_polling_wallclock(config, &requests);
     println!("wall-clock polling server (5 ms per time unit):");
     for o in &outcomes {
@@ -36,7 +41,11 @@ fn main() {
             "  release {:>5}  cost {}  {}",
             o.request.release,
             o.request.cost,
-            if o.served { format!("response {:.2} tu", o.response_units) } else { "unserved".into() }
+            if o.served {
+                format!("response {:.2} tu", o.response_units)
+            } else {
+                "unserved".into()
+            }
         );
     }
     if let Some(avg) = average_response(&outcomes) {

@@ -65,13 +65,13 @@ pub use rtss_sim as simulator;
 pub mod prelude {
     pub use rt_metrics::{ResultTable, RunMeasures, SetAggregate};
     pub use rt_model::{
-        AperiodicEvent, AperiodicFate, AperiodicOutcome, ExecUnit, Instant, PeriodicTask,
-        Priority, ServerPolicyKind, ServerSpec, Span, SystemSpec, Trace,
+        AperiodicEvent, AperiodicFate, AperiodicOutcome, ExecUnit, Instant, PeriodicTask, Priority,
+        ServerPolicyKind, ServerSpec, Span, SystemSpec, Trace,
     };
     pub use rt_sysgen::{GeneratorParams, RandomSystemGenerator};
     pub use rt_taskserver::{
         execute, AdmissionController, ExecutionConfig, QueueKind, TaskServerParameters,
     };
-    pub use rtsj_emu::OverheadModel;
-    pub use rtss_sim::{render_ascii, render_svg, simulate, GanttOptions};
+    pub use rtsj_emu::{OverheadModel, SchedulerKind};
+    pub use rtss_sim::{render_ascii, render_svg, simulate, simulate_reference, GanttOptions};
 }

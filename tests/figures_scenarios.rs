@@ -7,14 +7,18 @@ use rtsj_event_framework::prelude::*;
 
 fn handler_segments(trace: &Trace, event: u32) -> Vec<(u64, u64)> {
     trace
-        .segments_of(ExecUnit::Handler(rtsj_event_framework::model::EventId::new(event)))
+        .segments_of(ExecUnit::Handler(
+            rtsj_event_framework::model::EventId::new(event),
+        ))
         .map(|s| (s.start.ticks() / 1000, s.end.ticks() / 1000))
         .collect()
 }
 
 fn task_segments(trace: &Trace, task: u32) -> Vec<(u64, u64)> {
     trace
-        .segments_of(ExecUnit::Task(rtsj_event_framework::model::TaskId::new(task)))
+        .segments_of(ExecUnit::Task(rtsj_event_framework::model::TaskId::new(
+            task,
+        )))
         .map(|s| (s.start.ticks() / 1000, s.end.ticks() / 1000))
         .collect()
 }
@@ -50,7 +54,10 @@ fn figure_3_scenario_2_timeline() {
     assert_eq!(handler_segments(&report.execution, 1), vec![(12, 14)]);
     // "With the real PS policy, h2 should begin its execution at time 8,
     // suspend it at time 9 and resume it at time 12."
-    assert_eq!(handler_segments(&report.simulation, 1), vec![(8, 9), (12, 13)]);
+    assert_eq!(
+        handler_segments(&report.simulation, 1),
+        vec![(8, 9), (12, 13)]
+    );
     // Responses: execution 6 and 10; simulation 6 and 9.
     assert_eq!(
         report.execution.outcomes[1].response_time(),
@@ -71,7 +78,10 @@ fn figure_4_scenario_3_timeline() {
     // finished."
     assert_eq!(handler_segments(&report.execution, 1), vec![(8, 9)]);
     match report.execution.outcomes[1].fate {
-        AperiodicFate::Interrupted { started, interrupted_at } => {
+        AperiodicFate::Interrupted {
+            started,
+            interrupted_at,
+        } => {
             assert_eq!(started, Instant::from_units(8));
             assert_eq!(interrupted_at, Instant::from_units(9));
         }
@@ -87,7 +97,11 @@ fn scenario_gantt_charts_render_every_actor() {
     for scenario in [Scenario::One, Scenario::Two, Scenario::Three] {
         let report = run_scenario(scenario);
         for chart in [&report.execution_gantt, &report.simulation_gantt] {
-            assert!(chart.contains("tau1"), "figure {}: {chart}", scenario.figure());
+            assert!(
+                chart.contains("tau1"),
+                "figure {}: {chart}",
+                scenario.figure()
+            );
             assert!(chart.contains("tau2"));
             assert!(chart.contains('#'));
         }

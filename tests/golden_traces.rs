@@ -1,0 +1,171 @@
+//! Golden-trace regression tests for the execution and simulation engines.
+//!
+//! The goldens under `tests/goldens/` were captured from the pre-optimisation
+//! engines (linear-scan scheduling) and pin down the *event-by-event*
+//! scheduling order of every paper scenario under every server policy and
+//! queue structure. Both schedulers are checked against them here: the
+//! retained linear-scan reference must keep matching the recorded history,
+//! and the indexed engines (binary-heap event calendar, priority-indexed
+//! ready set) must reproduce it bit for bit — the documented deterministic
+//! tie-breaks (spawn order, timer creation order) are part of the contract.
+//!
+//! Regenerate with `UPDATE_GOLDENS=1 cargo test --test golden_traces` and
+//! review the diff; regeneration renders from the linear-scan reference
+//! path so fixture provenance stays with the seed implementation, and an
+//! unreviewed golden update defeats the tests.
+
+use rtsj_event_framework::model::{
+    Instant, Priority, ServerPolicyKind, ServerSpec, Span, SystemSpec,
+};
+use rtsj_event_framework::rtsj::SchedulerKind;
+use rtsj_event_framework::simulator::{simulate, simulate_reference};
+use rtsj_event_framework::taskserver::{execute, ExecutionConfig, QueueKind};
+
+/// The three figure scenarios' traffic: (release, actual cost, declared cost).
+fn scenario_events(scenario: u32) -> &'static [(u64, u64, Option<u64>)] {
+    match scenario {
+        1 => &[(0, 2, None), (6, 2, None)],
+        2 => &[(2, 2, None), (4, 2, None)],
+        3 => &[(2, 2, None), (4, 2, Some(1))],
+        _ => unreachable!(),
+    }
+}
+
+/// The Table 1 periodic pair under the given server policy, with the
+/// scenario's traffic, over ten server periods (long enough for background
+/// servicing to drain the queue).
+fn system(scenario: u32, policy: ServerPolicyKind) -> SystemSpec {
+    let mut b = SystemSpec::builder(format!("golden-s{scenario}-{policy:?}"));
+    let server = match policy {
+        ServerPolicyKind::Background => ServerSpec::background(Priority::new(1)),
+        _ => ServerSpec {
+            policy,
+            capacity: Span::from_units(3),
+            period: Span::from_units(6),
+            priority: Priority::new(30),
+        },
+    };
+    b.server(server);
+    b.periodic(
+        "tau1",
+        Span::from_units(2),
+        Span::from_units(6),
+        Priority::new(20),
+    );
+    b.periodic(
+        "tau2",
+        Span::from_units(1),
+        Span::from_units(6),
+        Priority::new(10),
+    );
+    for &(release, actual, declared) in scenario_events(scenario) {
+        b.aperiodic_with(
+            Instant::from_units(release),
+            Span::from_units(declared.unwrap_or(actual)),
+            Span::from_units(actual),
+        );
+    }
+    b.horizon(Instant::from_units(60));
+    b.build().expect("golden systems are valid")
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("{name}.txt"))
+}
+
+/// Checks (or, with `UPDATE_GOLDENS=1`, regenerates) one golden.
+///
+/// `reference` is the rendering of the retained pre-refactor linear-scan
+/// path and is what regeneration writes, so fixture provenance always stays
+/// with the seed implementation; `indexed` is the optimised engine's
+/// rendering and must match the same bytes.
+fn check_golden(name: &str, reference: &str, indexed: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDENS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, reference).unwrap();
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path:?} ({e}); run with UPDATE_GOLDENS=1"));
+    assert_eq!(
+        expected, reference,
+        "linear-scan reference diverged from golden {name}; if the change is \
+         intentional, regenerate with UPDATE_GOLDENS=1 and review the diff"
+    );
+    assert_eq!(
+        expected, indexed,
+        "indexed engine diverged from golden {name} (the linear-scan \
+         reference still matches, so the indexed structures changed behaviour)"
+    );
+}
+
+#[test]
+fn executions_match_goldens_for_every_scenario_policy_and_queue() {
+    for scenario in [1u32, 2, 3] {
+        for policy in [
+            ServerPolicyKind::Polling,
+            ServerPolicyKind::Deferrable,
+            ServerPolicyKind::Background,
+        ] {
+            let spec = system(scenario, policy);
+            for queue in [QueueKind::Fifo, QueueKind::ListOfLists] {
+                let config = ExecutionConfig::reference().with_queue(queue);
+                let reference = execute(&spec, &config.with_scheduler(SchedulerKind::LinearScan));
+                let indexed = execute(&spec, &config.with_scheduler(SchedulerKind::Indexed));
+                let name = format!("exec_s{scenario}_{policy:?}_{queue:?}").to_lowercase();
+                check_golden(
+                    &name,
+                    &reference.render_canonical(),
+                    &indexed.render_canonical(),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn simulations_match_goldens_for_every_scenario_and_policy() {
+    for scenario in [1u32, 2, 3] {
+        for policy in [
+            ServerPolicyKind::Polling,
+            ServerPolicyKind::Deferrable,
+            ServerPolicyKind::Background,
+        ] {
+            let spec = system(scenario, policy);
+            let reference = simulate_reference(&spec);
+            let indexed = simulate(&spec);
+            let name = format!("sim_s{scenario}_{policy:?}").to_lowercase();
+            check_golden(
+                &name,
+                &reference.render_canonical(),
+                &indexed.render_canonical(),
+            );
+        }
+    }
+}
+
+/// The two queue structures must schedule identically (they only differ in
+/// admission-time prediction cost), so their goldens are byte-identical.
+#[test]
+fn queue_kinds_share_identical_goldens() {
+    for scenario in [1u32, 2, 3] {
+        for policy in [
+            ServerPolicyKind::Polling,
+            ServerPolicyKind::Deferrable,
+            ServerPolicyKind::Background,
+        ] {
+            let spec = system(scenario, policy);
+            let fifo = execute(
+                &spec,
+                &ExecutionConfig::reference().with_queue(QueueKind::Fifo),
+            );
+            let lol = execute(
+                &spec,
+                &ExecutionConfig::reference().with_queue(QueueKind::ListOfLists),
+            );
+            assert_eq!(fifo.render_canonical(), lol.render_canonical());
+        }
+    }
+}
