@@ -14,6 +14,25 @@
 //!   with the O(1) list-of-lists [`aperiodic::InstancePacker`];
 //! * [`edf`] — utilisation and processor-demand tests matching the EDF policy
 //!   offered by the RTSS simulator.
+//!
+//! ```
+//! use rt_analysis::periodic_set_feasible_with_server;
+//! use rt_model::{Priority, ServerSpec, Span, SystemSpec};
+//!
+//! // The paper's Table 1 set: a polling server (capacity 3, period 6) above
+//! // tau1 (2, 6) and tau2 (1, 6) is exactly feasible ("the server is a
+//! // periodic task" for the off-line analysis).
+//! let mut b = SystemSpec::builder("table-1");
+//! b.server(ServerSpec::polling(Span::from_units(3), Span::from_units(6), Priority::new(30)));
+//! b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
+//! b.periodic("tau2", Span::from_units(1), Span::from_units(6), Priority::new(10));
+//! b.horizon_server_periods(1);
+//! let spec = b.build().unwrap();
+//! assert!(periodic_set_feasible_with_server(
+//!     &spec.periodic_tasks,
+//!     spec.server.as_ref().unwrap(),
+//! ));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -9,12 +9,22 @@
 //! Besides the criterion measurements, the run prints a per-decision cost
 //! and speedup summary; the 300-task row is the acceptance gate for the
 //! indexed-engine refactor (≥5× vs the linear scan for both engines).
+//!
+//! Two harness-level sweeps ride along:
+//!
+//! * **worker scaling** — systems/sec of the table harness
+//!   (`run_systems`) over a paper-sized batch, 1 → N workers; the
+//!   acceptance gate is ≥2× at 4 workers over the sequential path;
+//! * **same-instant batching ablation** — both engines on a bursty workload
+//!   (many events per instant), batched vs unbatched dispatch.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rt_model::{Instant, Priority, ServerSpec, Span, SystemSpec};
+use rt_experiments::{available_workers, generate_set, run_systems, EvaluationMode, TableConfig};
+use rt_metrics::SET_ORDER;
+use rt_model::{Instant, Priority, ServerPolicyKind, ServerSpec, Span, SystemSpec};
 use rt_taskserver::{execute, ExecutionConfig};
 use rtsj_emu::SchedulerKind;
-use rtss_sim::{simulate, simulate_reference};
+use rtss_sim::{simulate, simulate_reference, simulate_unbatched};
 use std::hint::black_box;
 
 /// A system whose decision *rate* is independent of `n`, so per-decision
@@ -54,6 +64,59 @@ fn time_once(f: impl FnOnce()) -> f64 {
     let start = std::time::Instant::now();
     f();
     start.elapsed().as_secs_f64()
+}
+
+/// A table-harness workload: every generated set under both policies
+/// (2 × 6 × `systems_per_set` independent systems). A single paper-sized
+/// table (10 per set) simulates in under a millisecond, so the throughput
+/// sweep uses the "thousands of generated systems" scale the paper's
+/// aggregation methodology implies.
+fn harness_batch(systems_per_set: usize) -> Vec<SystemSpec> {
+    let config = TableConfig {
+        systems_per_set,
+        seed: 1983,
+    };
+    let mut systems = Vec::new();
+    for policy in [ServerPolicyKind::Polling, ServerPolicyKind::Deferrable] {
+        for &set in SET_ORDER.iter() {
+            systems.extend(generate_set(set, policy, &config));
+        }
+    }
+    systems
+}
+
+/// A workload dominated by coincident work: every 40 units, `burst` cost-1
+/// events arrive at the same instant on a deferrable server (capacity 5,
+/// period 10) above two periodic tasks, so each server window serves several
+/// queued jobs. The burst is sized below the server bandwidth (20 units per
+/// 40) so the queue drains between bursts — an overloaded execution is
+/// dominated by pending-queue bookkeeping, not by dispatch.
+fn bursty_system(burst: usize, horizon_units: u64) -> SystemSpec {
+    let mut b = SystemSpec::builder(format!("bursty-{burst}-{horizon_units}"));
+    b.server(ServerSpec::deferrable(
+        Span::from_units(5),
+        Span::from_units(10),
+        Priority::new(99),
+    ));
+    b.periodic(
+        "t0",
+        Span::from_units(2),
+        Span::from_units(10),
+        Priority::new(10),
+    );
+    b.periodic(
+        "t1",
+        Span::from_units(1),
+        Span::from_units(10),
+        Priority::new(5),
+    );
+    for instant in (0..horizon_units).step_by(40) {
+        for _ in 0..burst {
+            b.aperiodic(Instant::from_units(instant), Span::from_units(1));
+        }
+    }
+    b.horizon(Instant::from_units(horizon_units));
+    b.build().expect("bursty systems are valid")
 }
 
 fn bench(c: &mut Criterion) {
@@ -97,6 +160,44 @@ fn bench(c: &mut Criterion) {
     }
     group.finish();
 
+    // Harness worker scaling over a thousands-of-systems batch.
+    let batch = harness_batch(100);
+    let mut group = c.benchmark_group("harness_scaling");
+    let mut worker_counts = vec![1usize, 2, 4];
+    if !worker_counts.contains(&available_workers()) {
+        worker_counts.push(available_workers());
+    }
+    for workers in worker_counts {
+        group.bench_with_input(
+            BenchmarkId::new("run_systems", workers),
+            &workers,
+            |b, &w| b.iter(|| black_box(run_systems(&batch, EvaluationMode::Execution, w))),
+        );
+    }
+    group.finish();
+
+    // Same-instant batching ablation on the bursty workload.
+    let bursty = bursty_system(12, 10_000);
+    let mut group = c.benchmark_group("batching_ablation");
+    group.bench_function("rtss_batched", |b| {
+        b.iter(|| black_box(simulate(black_box(&bursty))))
+    });
+    group.bench_function("rtss_unbatched", |b| {
+        b.iter(|| black_box(simulate_unbatched(black_box(&bursty))))
+    });
+    group.bench_function("rtsj_batched", |b| {
+        b.iter(|| black_box(execute(black_box(&bursty), &ExecutionConfig::reference())))
+    });
+    group.bench_function("rtsj_unbatched", |b| {
+        b.iter(|| {
+            black_box(execute(
+                black_box(&bursty),
+                &ExecutionConfig::reference().with_batching(false),
+            ))
+        })
+    });
+    group.finish();
+
     // Speedup summary (single-shot timings; the acceptance gate is the
     // 300-task row).
     println!();
@@ -136,6 +237,83 @@ fn bench(c: &mut Criterion) {
             rtss_scan / rtss_indexed,
         );
     }
+
+    // Harness throughput summary (the acceptance gate is ≥2× systems/sec at
+    // 4 workers over the sequential path — reachable only on ≥4 hardware
+    // threads, since the runs are CPU-bound).
+    let batch = harness_batch(500);
+    black_box(run_systems(&batch, EvaluationMode::Execution, 1)); // warm-up
+    println!();
+    println!(
+        "harness throughput, {} independent table systems (execution mode, \
+         {} hardware threads):",
+        batch.len(),
+        available_workers()
+    );
+    println!(
+        "{:>8} {:>12} {:>14} {:>8}",
+        "workers", "seconds", "systems/sec", "speedup"
+    );
+    let sequential = time_once(|| {
+        black_box(run_systems(&batch, EvaluationMode::Execution, 1));
+    });
+    let mut worker_sweep = vec![1, 2, 4];
+    let hardware = available_workers();
+    if !worker_sweep.contains(&hardware) {
+        worker_sweep.push(hardware);
+    }
+    for workers in worker_sweep {
+        let elapsed = time_once(|| {
+            black_box(run_systems(&batch, EvaluationMode::Execution, workers));
+        });
+        println!(
+            "{:>8} {:>11.3}s {:>14.1} {:>7.2}x",
+            workers,
+            elapsed,
+            batch.len() as f64 / elapsed,
+            sequential / elapsed,
+        );
+    }
+
+    // Same-instant batching summary on the bursty workload (median of
+    // several runs: the effect is a constant factor, easily drowned by a
+    // single noisy measurement).
+    let bursty = bursty_system(12, 40_000);
+    let median = |f: &dyn Fn()| {
+        f(); // warm-up
+        let mut times: Vec<f64> = (0..5).map(|_| time_once(f)).collect();
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    };
+    let rtss_batched = median(&|| {
+        black_box(simulate(&bursty));
+    });
+    let rtss_unbatched = median(&|| {
+        black_box(simulate_unbatched(&bursty));
+    });
+    let rtsj_batched = median(&|| {
+        black_box(execute(&bursty, &ExecutionConfig::reference()));
+    });
+    let rtsj_unbatched = median(&|| {
+        black_box(execute(
+            &bursty,
+            &ExecutionConfig::reference().with_batching(false),
+        ));
+    });
+    println!();
+    println!("same-instant batching, bursty workload (12 events/instant):");
+    println!(
+        "  rtss {:>8.2}ms batched {:>8.2}ms unbatched {:>5.2}x",
+        rtss_batched * 1e3,
+        rtss_unbatched * 1e3,
+        rtss_unbatched / rtss_batched
+    );
+    println!(
+        "  rtsj {:>8.2}ms batched {:>8.2}ms unbatched {:>5.2}x",
+        rtsj_batched * 1e3,
+        rtsj_unbatched * 1e3,
+        rtsj_unbatched / rtsj_batched
+    );
 }
 
 criterion_group!(benches, bench);

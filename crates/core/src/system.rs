@@ -28,6 +28,10 @@ pub struct ExecutionConfig {
     /// Engine scheduling structures (indexed by default; the linear-scan
     /// reference exists for differential tests and benchmarks).
     pub scheduler: SchedulerKind,
+    /// Engine same-instant batching (on by default; the off position exists
+    /// for the `engine_scaling` ablation and the batching tests — traces are
+    /// identical either way).
+    pub batching: bool,
 }
 
 impl ExecutionConfig {
@@ -38,6 +42,7 @@ impl ExecutionConfig {
             overhead: OverheadModel::reference(),
             queue: QueueKind::Fifo,
             scheduler: SchedulerKind::Indexed,
+            batching: true,
         }
     }
 
@@ -48,6 +53,7 @@ impl ExecutionConfig {
             overhead: OverheadModel::none(),
             queue: QueueKind::Fifo,
             scheduler: SchedulerKind::Indexed,
+            batching: true,
         }
     }
 
@@ -68,6 +74,12 @@ impl ExecutionConfig {
         self.scheduler = scheduler;
         self
     }
+
+    /// Enables or disables engine same-instant batching.
+    pub fn with_batching(mut self, batching: bool) -> Self {
+        self.batching = batching;
+        self
+    }
 }
 
 impl Default for ExecutionConfig {
@@ -78,6 +90,19 @@ impl Default for ExecutionConfig {
 
 /// Executes the system on the emulation engine and returns its trace.
 ///
+/// ```
+/// use rt_model::{Instant, Priority, ServerSpec, Span, SystemSpec};
+/// use rt_taskserver::{execute, ExecutionConfig};
+///
+/// let mut b = SystemSpec::builder("doc");
+/// b.server(ServerSpec::polling(Span::from_units(3), Span::from_units(6), Priority::new(30)));
+/// b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
+/// b.aperiodic(Instant::from_units(0), Span::from_units(2));
+/// b.horizon_server_periods(4);
+/// let trace = execute(&b.build().unwrap(), &ExecutionConfig::ideal());
+/// assert!(trace.outcomes[0].is_served());
+/// ```
+///
 /// # Panics
 /// Panics when the specification fails validation.
 pub fn execute(spec: &SystemSpec, config: &ExecutionConfig) -> Trace {
@@ -86,7 +111,8 @@ pub fn execute(spec: &SystemSpec, config: &ExecutionConfig) -> Trace {
     let mut engine = Engine::new(
         EngineConfig::new(spec.horizon)
             .with_overhead(config.overhead)
-            .with_scheduler(config.scheduler),
+            .with_scheduler(config.scheduler)
+            .with_batching(config.batching),
     );
 
     // The task server, when the system has one.

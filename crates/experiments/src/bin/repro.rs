@@ -7,10 +7,14 @@
 //! repro all                 everything above (default)
 //! repro quick               all tables with 3 systems per set (fast smoke run)
 //! ```
+//!
+//! Tables are reproduced on a worker pool sized to the hardware's available
+//! parallelism; pass `--workers N` (e.g. `repro all --workers 1`) to pin the
+//! pool size. The printed numbers are bit-identical for any worker count.
 
 use rt_experiments::{
-    default_online_rta, reproduce_table, run_scenario, side_by_side, PaperTable, Scenario,
-    TableConfig,
+    available_workers, default_online_rta, reproduce_table_with_workers, run_scenario,
+    side_by_side, PaperTable, Scenario, TableConfig,
 };
 
 fn print_scenario(scenario: Scenario) {
@@ -45,8 +49,8 @@ fn print_scenario(scenario: Scenario) {
     println!();
 }
 
-fn print_table(table: PaperTable, config: &TableConfig) {
-    let reproduced = reproduce_table(table, config);
+fn print_table(table: PaperTable, config: &TableConfig, workers: usize) {
+    let reproduced = reproduce_table_with_workers(table, config, workers);
     println!("{}", side_by_side(table, &reproduced));
 }
 
@@ -70,8 +74,36 @@ fn print_online_rta() {
     println!();
 }
 
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: repro [fig2|fig3|fig4|table2|table3|table4|table5|online-rta|quick|all] \
+         [--workers N]"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
-    let command = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut command = None;
+    let mut workers = available_workers();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--workers" {
+            workers = args
+                .next()
+                .and_then(|n| n.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("--workers needs a positive integer");
+                    usage_and_exit()
+                });
+        } else if command.is_none() {
+            command = Some(arg);
+        } else {
+            eprintln!("unexpected argument `{arg}`");
+            usage_and_exit();
+        }
+    }
+    let command = command.unwrap_or_else(|| "all".to_string());
     let full = TableConfig::default();
     let quick = TableConfig {
         systems_per_set: 3,
@@ -81,14 +113,14 @@ fn main() {
         "fig2" => print_scenario(Scenario::One),
         "fig3" => print_scenario(Scenario::Two),
         "fig4" => print_scenario(Scenario::Three),
-        "table2" => print_table(PaperTable::Table2PsSimulation, &full),
-        "table3" => print_table(PaperTable::Table3PsExecution, &full),
-        "table4" => print_table(PaperTable::Table4DsSimulation, &full),
-        "table5" => print_table(PaperTable::Table5DsExecution, &full),
+        "table2" => print_table(PaperTable::Table2PsSimulation, &full, workers),
+        "table3" => print_table(PaperTable::Table3PsExecution, &full, workers),
+        "table4" => print_table(PaperTable::Table4DsSimulation, &full, workers),
+        "table5" => print_table(PaperTable::Table5DsExecution, &full, workers),
         "online-rta" => print_online_rta(),
         "quick" => {
             for table in PaperTable::all() {
-                print_table(table, &quick);
+                print_table(table, &quick, workers);
             }
         }
         "all" => {
@@ -96,16 +128,13 @@ fn main() {
                 print_scenario(scenario);
             }
             for table in PaperTable::all() {
-                print_table(table, &full);
+                print_table(table, &full, workers);
             }
             print_online_rta();
         }
         other => {
             eprintln!("unknown command `{other}`");
-            eprintln!(
-                "usage: repro [fig2|fig3|fig4|table2|table3|table4|table5|online-rta|quick|all]"
-            );
-            std::process::exit(2);
+            usage_and_exit();
         }
     }
 }

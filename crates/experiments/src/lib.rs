@@ -8,7 +8,9 @@
 //!   the six generated sets), with side-by-side rendering against the
 //!   published values;
 //! * [`online`] — the §7 on-line response-time computation, validated
-//!   against measured executions.
+//!   against measured executions;
+//! * [`pool`] — the std-thread worker pool the table harness fans out on,
+//!   with deterministic (bit-identical for any worker count) reduction.
 //!
 //! The `repro` binary exposes each experiment as a subcommand; the Criterion
 //! benches in `rt-bench` wrap the same entry points.
@@ -17,12 +19,14 @@
 #![warn(missing_docs)]
 
 pub mod online;
+pub mod pool;
 pub mod scenarios;
 pub mod tables;
 
 pub use online::{default_online_rta, online_rta_experiment, OnlinePrediction, OnlineRtaReport};
+pub use pool::{available_workers, parallel_map, parallel_shards};
 pub use scenarios::{run_scenario, scenario_system, table1_system, Scenario, ScenarioReport};
 pub use tables::{
-    generate_set, reproduce_table, run_system, side_by_side, EvaluationMode, PaperTable,
-    TableConfig,
+    generate_set, reproduce_table, reproduce_table_with_workers, run_system, run_systems,
+    side_by_side, EvaluationMode, PaperTable, TableConfig,
 };

@@ -1,0 +1,172 @@
+//! A minimal std-thread worker pool for the experiment harness.
+//!
+//! The paper's tables aggregate many *independent* generated systems, so the
+//! harness is embarrassingly parallel: the only care needed is determinism.
+//! Two rules make every result bit-identical to a sequential loop regardless
+//! of the worker count or the OS's scheduling of the workers:
+//!
+//! 1. **work is claimed dynamically but keyed statically** — workers pull the
+//!    next item off a shared atomic cursor (so a slow item does not idle the
+//!    other workers), and every produced value is tagged with the item's
+//!    input index;
+//! 2. **reduction happens in input order** — per-worker partials are merged
+//!    and then sorted by that index before any order-sensitive fold (such as
+//!    a floating-point average) runs.
+//!
+//! The pool is intentionally tiny (scoped `std::thread`, one atomic, no
+//! channels, no external crates) because the work items — whole simulation
+//! runs — are many orders of magnitude heavier than the coordination.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of workers the harness uses by default: the hardware's available
+/// parallelism, or 1 when it cannot be determined.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Fans `items` out over `workers` threads, giving each worker its own
+/// accumulator: `init()` builds the per-worker accumulator, `step` folds one
+/// item into it, and the per-worker partials are returned for the caller to
+/// merge (deterministically — see the module docs).
+///
+/// Work is claimed dynamically: a worker that finishes early keeps pulling
+/// items, so the wall-clock cost is bounded by the slowest single item, not
+/// by the unluckiest static shard. With `workers <= 1` (or at most one item)
+/// everything runs inline on the caller's thread and exactly one partial is
+/// returned, so the sequential path spawns nothing.
+///
+/// Panics in `step` propagate to the caller.
+pub fn parallel_shards<T, A, I, S>(items: &[T], workers: usize, init: I, step: S) -> Vec<A>
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    S: Fn(&mut A, usize, &T) + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers == 1 {
+        let mut acc = init();
+        for (index, item) in items.iter().enumerate() {
+            step(&mut acc, index, item);
+        }
+        return vec![acc];
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut acc = init();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(index) else { break };
+                        step(&mut acc, index, item);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| {
+                handle
+                    .join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    })
+}
+
+/// Order-preserving parallel map: applies `f` to every item across `workers`
+/// threads and returns the results **in input order**, bit-identical to
+/// `items.iter().enumerate().map(|(i, x)| f(i, x)).collect()` for any worker
+/// count.
+///
+/// ```
+/// use rt_experiments::pool::parallel_map;
+///
+/// let squares = parallel_map(&[1u64, 2, 3, 4], 3, |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let shards = parallel_shards(
+        items,
+        workers,
+        Vec::new,
+        |acc: &mut Vec<(usize, R)>, i, item| acc.push((i, f(i, item))),
+    );
+    let mut tagged: Vec<(usize, R)> = shards.into_iter().flatten().collect();
+    tagged.sort_by_key(|&(index, _)| index);
+    debug_assert_eq!(tagged.len(), items.len());
+    tagged.into_iter().map(|(_, result)| result).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn map_preserves_input_order_for_any_worker_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for workers in [1, 2, 3, 8, 64, 200] {
+            let got = parallel_map(&items, workers, |_, &x| x * 3 + 1);
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn every_item_is_processed_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+        parallel_map(&(0..50).collect::<Vec<usize>>(), 7, |i, _| {
+            hits[i].fetch_add(1, Ordering::Relaxed)
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn shards_cover_the_items_and_nothing_else() {
+        let items: Vec<u64> = (0..33).collect();
+        let shards = parallel_shards(&items, 4, Vec::new, |acc: &mut Vec<(usize, u64)>, i, &x| {
+            acc.push((i, x))
+        });
+        assert!(shards.len() <= 4 && !shards.is_empty());
+        let mut all: Vec<(usize, u64)> = shards.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expected: Vec<(usize, u64)> = items.iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs_run_inline() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[41u8], 8, |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn worker_panics_propagate() {
+        parallel_map(&(0..16).collect::<Vec<usize>>(), 4, |_, &x| {
+            if x == 9 {
+                panic!("deliberate");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn available_workers_is_at_least_one() {
+        assert!(available_workers() >= 1);
+    }
+}

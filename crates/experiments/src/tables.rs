@@ -1,7 +1,15 @@
 //! Regeneration of Tables 2–5: the six generated sets, simulated and
 //! executed under the Polling and Deferrable server policies.
+//!
+//! Every system of a table is independent, so the harness fans the work out
+//! over a [`crate::pool`] worker pool: generation is parallel across the six
+//! sets (each set owns its own RNG stream, seeded exactly as the sequential
+//! path seeds it), the runs are parallel across all systems, and the
+//! per-worker [`PartialRuns`] are merged in generation order — the resulting
+//! table is bit-identical to [`reproduce_table`] for any worker count.
 
-use rt_metrics::{ResultTable, RunMeasures, SetAggregate, SET_ORDER};
+use crate::pool;
+use rt_metrics::{PartialRuns, ResultTable, RunMeasures, SetAggregate, SET_ORDER};
 use rt_model::{ServerPolicyKind, SystemSpec, Trace};
 use rt_sysgen::{GeneratorParams, RandomSystemGenerator};
 use rt_taskserver::{execute, ExecutionConfig};
@@ -127,7 +135,24 @@ pub fn run_system(system: &SystemSpec, mode: EvaluationMode) -> Trace {
     }
 }
 
-/// Reproduces one of the paper's tables.
+/// Runs a batch of systems in the requested mode across `workers` threads,
+/// returning the per-run measures **in input order** — bit-identical to a
+/// sequential loop for any worker count. This is the generic entry point for
+/// `sysgen`-driven experiments outside the four paper tables.
+pub fn run_systems(
+    systems: &[SystemSpec],
+    mode: EvaluationMode,
+    workers: usize,
+) -> Vec<RunMeasures> {
+    pool::parallel_map(systems, workers, |_, system| {
+        RunMeasures::from_trace(&run_system(system, mode))
+    })
+}
+
+/// Reproduces one of the paper's tables sequentially, one system at a time.
+///
+/// This is the reference the parallel harness is pinned against:
+/// [`reproduce_table_with_workers`] must return exactly this table.
 pub fn reproduce_table(table: PaperTable, config: &TableConfig) -> ResultTable {
     let policy = table.policy();
     let mode = table.mode();
@@ -141,6 +166,64 @@ pub fn reproduce_table(table: PaperTable, config: &TableConfig) -> ResultTable {
                 .collect();
             (set, SetAggregate::from_runs(&runs))
         })
+        .collect();
+    ResultTable::new(table.caption(), sets)
+}
+
+/// Reproduces one of the paper's tables with the work fanned out over
+/// `workers` threads.
+///
+/// Determinism: generation runs one work item per set, and each item builds
+/// the same identically-seeded [`RandomSystemGenerator`] the sequential path
+/// builds — per-item RNG streams, so no stream ever crosses a worker
+/// boundary. The runs are then fanned out over all `(set, system)` pairs,
+/// each worker folding its share into one [`PartialRuns`] per set, and the
+/// partials merge in generation order. The result is bit-identical to
+/// [`reproduce_table`] for any `workers`, including 1 (pinned by
+/// `tests/harness_determinism.rs`).
+pub fn reproduce_table_with_workers(
+    table: PaperTable,
+    config: &TableConfig,
+    workers: usize,
+) -> ResultTable {
+    let policy = table.policy();
+    let mode = table.mode();
+    let sets: Vec<Vec<SystemSpec>> = pool::parallel_map(&SET_ORDER, workers, |_, &set| {
+        generate_set(set, policy, config)
+    });
+    let items: Vec<(usize, usize, &SystemSpec)> = sets
+        .iter()
+        .enumerate()
+        .flat_map(|(set_index, systems)| {
+            systems
+                .iter()
+                .enumerate()
+                .map(move |(run_index, system)| (set_index, run_index, system))
+        })
+        .collect();
+    let shards = pool::parallel_shards(
+        &items,
+        workers,
+        || SET_ORDER.map(|_| PartialRuns::new()),
+        |acc, _, &(set_index, run_index, system)| {
+            acc[set_index].record(
+                run_index,
+                RunMeasures::from_trace(&run_system(system, mode)),
+            );
+        },
+    );
+    // Transpose the per-worker shards into per-set partial lists; the
+    // order-insensitive merge + index-ordered fold lives in `from_partials`.
+    let mut per_set = SET_ORDER.map(|_| Vec::new());
+    for shard in shards {
+        for (partials, partial) in per_set.iter_mut().zip(shard) {
+            partials.push(partial);
+        }
+    }
+    let sets = SET_ORDER
+        .iter()
+        .zip(per_set)
+        .map(|(&set, partials)| (set, SetAggregate::from_partials(partials)))
         .collect();
     ResultTable::new(table.caption(), sets)
 }

@@ -12,7 +12,7 @@ pub mod aggregate;
 pub mod measures;
 pub mod table;
 
-pub use aggregate::SetAggregate;
+pub use aggregate::{PartialRuns, SetAggregate};
 pub use measures::RunMeasures;
 pub use table::{paper, shape, ResultTable, SET_ORDER};
 

@@ -36,6 +36,18 @@
 //! measures the gap. Under the linear scan the heaps are left empty (only
 //! the cheap `runnable` flags are kept coherent), so that path reproduces
 //! the seed's per-decision cost exactly.
+//!
+//! # Same-instant batching
+//!
+//! Many decisions advance no time at all (body pumps: a thread deciding its
+//! next action). Every calendar insertion made while the engine runs is
+//! strictly in the future, so once the calendar has been drained at an
+//! instant it cannot grow another entry due at that same instant — the
+//! default engine therefore drains **once per instant** instead of once per
+//! decision, and k coincident releases cost one drain, not k
+//! ([`EngineConfig::batching`]; traces are identical with the toggle off).
+//! For the same reason an insertion only tightens the memoised
+//! next-preemption instant in place rather than invalidating it.
 
 use crate::body::{Action, BodyCtx, Completion, ThreadBody};
 use crate::overhead::OverheadModel;
@@ -121,6 +133,12 @@ pub struct EngineConfig {
     pub overhead: OverheadModel,
     /// Scheduling-decision structures (indexed by default).
     pub scheduler: SchedulerKind,
+    /// Same-instant batching: drain the event calendar once per instant
+    /// instead of once per scheduling decision (on by default; only
+    /// meaningful under [`SchedulerKind::Indexed`]). Traces are identical
+    /// either way — the toggle exists for the `engine_scaling` ablation and
+    /// the batching tests.
+    pub batching: bool,
 }
 
 impl EngineConfig {
@@ -130,6 +148,7 @@ impl EngineConfig {
             horizon,
             overhead: OverheadModel::reference(),
             scheduler: SchedulerKind::Indexed,
+            batching: true,
         }
     }
 
@@ -142,6 +161,12 @@ impl EngineConfig {
     /// Replaces the scheduler implementation.
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Enables or disables same-instant batching (enabled by default).
+    pub fn with_batching(mut self, batching: bool) -> Self {
+        self.batching = batching;
         self
     }
 }
@@ -247,9 +272,19 @@ pub struct Engine {
     ready: BinaryHeap<(Priority, Reverse<usize>)>,
     /// Whether thread `i` is currently Ready or Computing.
     runnable: Vec<bool>,
-    /// Memoised next decision instant (uncapped); invalidated whenever the
-    /// calendar contents or a blocked thread's state can have changed.
+    /// Memoised next decision instant (uncapped). Calendar insertions
+    /// tighten it in place (the new entry is live); it is only invalidated
+    /// when the drain loop pops entries.
     next_event_cache: Option<Instant>,
+    /// The instant the calendar was last drained at. While the engine makes
+    /// zero-time decisions (body pumps) at one instant, nothing new can
+    /// become due — every mid-run calendar insertion is strictly in the
+    /// future — so re-draining is skipped until time advances (same-instant
+    /// batching; see [`EngineConfig::batching`]).
+    drained_at: Option<Instant>,
+    /// Reusable scratch buffer for the timer fires collected by one calendar
+    /// drain, so steady-state decisions allocate nothing.
+    due_fires: Vec<(usize, Instant)>,
 }
 
 impl Engine {
@@ -267,17 +302,23 @@ impl Engine {
             ready: BinaryHeap::new(),
             runnable: Vec::new(),
             next_event_cache: None,
+            drained_at: None,
+            due_fires: Vec::new(),
             config,
         }
     }
 
-    /// Inserts a calendar entry (and invalidates the next-decision memo).
-    /// Under the linear-scan reference scheduler the calendar is unused, so
-    /// nothing is stored and the scan path keeps the seed's exact cost.
+    /// Inserts a calendar entry, tightening the next-decision memo (the new
+    /// entry is live, so the next decision instant is simply the smaller of
+    /// the two — no invalidation, no stale-entry re-sweep). Under the
+    /// linear-scan reference scheduler the calendar is unused, so nothing is
+    /// stored and the scan path keeps the seed's exact cost.
     fn push_calendar(&mut self, time: Instant, kind: CalendarKind) {
-        self.next_event_cache = None;
         if self.config.scheduler == SchedulerKind::Indexed {
+            self.next_event_cache = self.next_event_cache.map(|cached| cached.min(time));
             self.calendar.push(Reverse(CalendarEntry { time, kind }));
+        } else {
+            self.next_event_cache = None;
         }
     }
 
@@ -427,7 +468,17 @@ impl Engine {
     pub fn run(mut self) -> Trace {
         while self.now < self.config.horizon {
             match self.config.scheduler {
-                SchedulerKind::Indexed => self.process_due_calendar(),
+                SchedulerKind::Indexed => {
+                    // Same-instant batching: the calendar cannot have grown a
+                    // due entry since the last drain at this instant (every
+                    // mid-run insertion checks `time > now`, and nothing can
+                    // re-arm a timer from a hook or body), so consecutive
+                    // zero-time decisions skip straight to the dispatcher.
+                    if !self.config.batching || self.drained_at != Some(self.now) {
+                        self.process_due_calendar();
+                        self.drained_at = Some(self.now);
+                    }
+                }
                 SchedulerKind::LinearScan => {
                     self.fire_due_timers_scan();
                     self.wake_due_threads_scan();
@@ -529,7 +580,8 @@ impl Engine {
     /// in (timer creation order, occurrence instant) order, the seed's exact
     /// linear-scan order.
     fn process_due_calendar(&mut self) {
-        let mut due_fires: Vec<(usize, Instant)> = Vec::new();
+        let mut due_fires = std::mem::take(&mut self.due_fires);
+        debug_assert!(due_fires.is_empty());
         while let Some(&Reverse(entry)) = self.calendar.peek() {
             if entry.time > self.now {
                 break;
@@ -572,11 +624,13 @@ impl Engine {
             }
         }
         due_fires.sort_unstable();
-        for (i, _) in due_fires {
+        for &(i, _) in &due_fires {
             self.pending_timer_overhead += self.config.overhead.timer_fire;
             let event = self.timers[i].event;
             self.fire_event_now(event);
         }
+        due_fires.clear();
+        self.due_fires = due_fires;
     }
 
     /// Fires every timer due at or before the current instant by scanning the

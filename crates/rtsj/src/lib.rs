@@ -22,6 +22,30 @@
 //!
 //! The task-server framework itself (the paper's contribution) lives in the
 //! `rt-taskserver` crate and is built entirely on this API.
+//!
+//! ```
+//! use rt_model::{ExecUnit, Instant, Priority, Span, TaskId};
+//! use rtsj_emu::{Engine, EngineConfig, OverheadModel, PeriodicThreadBody};
+//!
+//! // A periodic real-time thread (cost 2, period 10) on an ideal runtime,
+//! // observed for 30 virtual time units.
+//! let mut engine = Engine::new(
+//!     EngineConfig::new(Instant::from_units(30)).with_overhead(OverheadModel::none()),
+//! );
+//! engine.spawn_periodic(
+//!     "tau",
+//!     Priority::new(10),
+//!     Instant::ZERO,
+//!     Span::from_units(10),
+//!     Box::new(PeriodicThreadBody::new(
+//!         Span::from_units(2),
+//!         ExecUnit::Task(TaskId::new(0)),
+//!     )),
+//! );
+//! let trace = engine.run();
+//! // Three releases, two units of service each — deterministically.
+//! assert_eq!(trace.busy_time(ExecUnit::Task(TaskId::new(0))), Span::from_units(6));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

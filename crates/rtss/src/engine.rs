@@ -33,6 +33,22 @@
 //! O(t) per decision. It is retained as [`simulate_reference`]: the
 //! differential tests assert both modes produce identical traces and the
 //! `engine_scaling` benchmark measures the gap.
+//!
+//! # Same-instant batching
+//!
+//! Decision *count* is the remaining cost driver. Between two consecutive
+//! decision points nothing new can become due — that is the definition of
+//! a decision point (`Simulator::next_decision_point`) — so when the chosen runner finishes a
+//! job strictly inside its window, the next pick is forced: the task/server
+//! states other than the runner's own queue are untouched, and the previous
+//! priority comparison still holds. The default engine therefore keeps
+//! serving from the same runner's queue until the window closes, the queue
+//! drains, or (for the server) capacity runs out, instead of paying a full
+//! dispatcher re-entry (`process_due_events` + `next_decision_point` +
+//! `pick_runner`) per job: k coincident arrivals cost one dispatch, not k.
+//! The traces are byte-identical by construction; [`simulate_unbatched`]
+//! keeps the one-job-per-dispatch loop for differential tests and the
+//! `engine_scaling` harness ablation.
 
 use crate::server::ServerState;
 use rt_model::{
@@ -89,7 +105,20 @@ enum Runner {
 
 /// Simulates the execution of the system under its configured server policy
 /// and preemptive fixed priorities, returning the full trace. Uses the
-/// indexed O(log t)-per-decision engine.
+/// indexed O(log t)-per-decision engine with same-instant batching.
+///
+/// ```
+/// use rt_model::{Instant, Priority, ServerSpec, Span, SystemSpec};
+///
+/// let mut b = SystemSpec::builder("doc");
+/// b.server(ServerSpec::polling(Span::from_units(3), Span::from_units(6), Priority::new(30)));
+/// b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
+/// b.aperiodic(Instant::from_units(0), Span::from_units(2));
+/// b.horizon_server_periods(4);
+/// let trace = rtss_sim::simulate(&b.build().unwrap());
+/// // The textbook polling server picks the event up at its activation.
+/// assert_eq!(trace.outcomes[0].response_time(), Some(Span::from_units(2)));
+/// ```
 ///
 /// # Panics
 /// Panics when the specification fails validation; callers are expected to
@@ -97,10 +126,11 @@ enum Runner {
 pub fn simulate(spec: &SystemSpec) -> Trace {
     spec.validate()
         .expect("simulate() requires a valid system specification");
-    Simulator::new(spec, true).run()
+    Simulator::new(spec, true, true).run()
 }
 
-/// Simulates with the seed's linear-scan decision loop (O(t) per decision).
+/// Simulates with the seed's linear-scan decision loop (O(t) per decision,
+/// one job per dispatch).
 ///
 /// Produces bit-identical traces to [`simulate`]; kept as the reference
 /// implementation for differential tests and the `engine_scaling` benchmark.
@@ -110,7 +140,22 @@ pub fn simulate(spec: &SystemSpec) -> Trace {
 pub fn simulate_reference(spec: &SystemSpec) -> Trace {
     spec.validate()
         .expect("simulate_reference() requires a valid system specification");
-    Simulator::new(spec, false).run()
+    Simulator::new(spec, false, false).run()
+}
+
+/// Simulates with the indexed decision structures but without same-instant
+/// batching: every served job pays a full dispatcher re-entry, as the engine
+/// did before batching landed.
+///
+/// Produces bit-identical traces to [`simulate`]; kept as the ablation point
+/// for the `engine_scaling` harness benchmark and the batching tests.
+///
+/// # Panics
+/// Panics when the specification fails validation.
+pub fn simulate_unbatched(spec: &SystemSpec) -> Trace {
+    spec.validate()
+        .expect("simulate_unbatched() requires a valid system specification");
+    Simulator::new(spec, true, false).run()
 }
 
 struct Simulator<'a> {
@@ -124,6 +169,9 @@ struct Simulator<'a> {
     trace: Trace,
     /// Indexed (heap) vs linear-scan (seed) decision structures.
     indexed: bool,
+    /// Whether a runner keeps draining its queue inside one decision window
+    /// (same-instant batching) instead of re-entering the dispatcher per job.
+    batch: bool,
     /// Future periodic releases, min-first by `(release, task index)`.
     /// Entries are validated against `PeriodicState::next_release` on pop.
     releases: BinaryHeap<Reverse<(Instant, usize)>>,
@@ -135,7 +183,7 @@ struct Simulator<'a> {
 }
 
 impl<'a> Simulator<'a> {
-    fn new(spec: &'a SystemSpec, indexed: bool) -> Self {
+    fn new(spec: &'a SystemSpec, indexed: bool, batch: bool) -> Self {
         let periodic: Vec<PeriodicState> = spec
             .periodic_tasks
             .iter()
@@ -161,6 +209,7 @@ impl<'a> Simulator<'a> {
             next_arrival: 0,
             trace: Trace::new(spec.horizon),
             indexed,
+            batch,
             releases,
             ready: BinaryHeap::new(),
             has_pending,
@@ -176,11 +225,6 @@ impl<'a> Simulator<'a> {
                     .push((self.periodic[i].task.priority, Reverse(i)));
             }
         }
-    }
-
-    /// Marks task `i` as idle; its heap entry is dropped lazily.
-    fn unmark_ready(&mut self, i: usize) {
-        self.has_pending[i] = false;
     }
 
     fn run(mut self) -> Trace {
@@ -366,73 +410,95 @@ impl<'a> Simulator<'a> {
         }
     }
 
+    /// Serves the aperiodic queue until the decision window closes. Batched:
+    /// completing a job strictly inside the window does not re-enter the
+    /// dispatcher — nothing becomes due before `next` and the priority
+    /// comparison that picked the server is unchanged, so as long as the
+    /// server is still ready the forced re-pick is skipped and the next job
+    /// is served directly.
     fn run_server(&mut self, next: Instant) {
         let server = self
             .server
             .as_mut()
             .expect("server runner requires a server");
-        let job = self
-            .queue
-            .front_mut()
-            .expect("server runner requires pending work");
-        let window = next - self.now;
-        let slice = job.remaining.min(server.max_slice()).min(window);
-        debug_assert!(
-            !slice.is_zero(),
-            "the server was picked but cannot make progress"
-        );
-        let event = self.spec.aperiodics[job.index].id;
-        if job.started.is_none() {
-            job.started = Some(self.now);
-        }
-        self.trace
-            .push_segment(ExecUnit::Handler(event), self.now, self.now + slice);
-        job.remaining -= slice;
-        server.consume(slice);
-        self.now += slice;
-        if job.remaining.is_zero() {
-            let started = job.started.expect("a completed job has started");
-            let spec_event = &self.spec.aperiodics[job.index];
-            self.trace.push_outcome(AperiodicOutcome {
-                event,
-                release: spec_event.release,
-                declared_cost: spec_event.declared_cost,
-                fate: AperiodicFate::Served {
-                    started,
-                    completed: self.now,
-                },
-            });
-            self.queue.pop_front();
-            if self.queue.is_empty() {
-                server.on_queue_emptied();
+        loop {
+            let job = self
+                .queue
+                .front_mut()
+                .expect("server runner requires pending work");
+            let window = next - self.now;
+            let slice = job.remaining.min(server.max_slice()).min(window);
+            debug_assert!(
+                !slice.is_zero(),
+                "the server was picked but cannot make progress"
+            );
+            let event = self.spec.aperiodics[job.index].id;
+            if job.started.is_none() {
+                job.started = Some(self.now);
+            }
+            self.trace
+                .push_segment(ExecUnit::Handler(event), self.now, self.now + slice);
+            job.remaining -= slice;
+            server.consume(slice);
+            self.now += slice;
+            if job.remaining.is_zero() {
+                let started = job.started.expect("a completed job has started");
+                let spec_event = &self.spec.aperiodics[job.index];
+                self.trace.push_outcome(AperiodicOutcome {
+                    event,
+                    release: spec_event.release,
+                    declared_cost: spec_event.declared_cost,
+                    fate: AperiodicFate::Served {
+                        started,
+                        completed: self.now,
+                    },
+                });
+                self.queue.pop_front();
+                if self.queue.is_empty() {
+                    server.on_queue_emptied();
+                }
+            }
+            if !self.batch || self.now >= next || !server.is_ready(self.queue.is_empty()) {
+                break;
             }
         }
     }
 
+    /// Runs task `index`'s pending jobs until the decision window closes.
+    /// Batched: a backlogged task whose job completes strictly inside the
+    /// window continues with its next pending job — no other task or server
+    /// state changed, so the dispatcher would necessarily pick it again.
     fn run_task(&mut self, index: usize, next: Instant) {
         let state = &mut self.periodic[index];
-        let job = state
-            .pending
-            .front_mut()
-            .expect("task runner requires pending work");
-        let window = next - self.now;
-        let slice = job.remaining.min(window);
-        debug_assert!(!slice.is_zero());
-        self.trace
-            .push_segment(ExecUnit::Task(state.task.id), self.now, self.now + slice);
-        job.remaining -= slice;
-        self.now += slice;
-        if job.remaining.is_zero() {
-            self.trace.push_periodic_job(PeriodicJobRecord {
-                task: state.task.id,
-                activation: job.activation,
-                release: job.release,
-                deadline: job.deadline,
-                completed: Some(self.now),
-            });
-            state.pending.pop_front();
-            if state.pending.is_empty() {
-                self.unmark_ready(index);
+        loop {
+            let job = state
+                .pending
+                .front_mut()
+                .expect("task runner requires pending work");
+            let window = next - self.now;
+            let slice = job.remaining.min(window);
+            debug_assert!(!slice.is_zero());
+            self.trace
+                .push_segment(ExecUnit::Task(state.task.id), self.now, self.now + slice);
+            job.remaining -= slice;
+            self.now += slice;
+            if job.remaining.is_zero() {
+                self.trace.push_periodic_job(PeriodicJobRecord {
+                    task: state.task.id,
+                    activation: job.activation,
+                    release: job.release,
+                    deadline: job.deadline,
+                    completed: Some(self.now),
+                });
+                state.pending.pop_front();
+                if state.pending.is_empty() {
+                    // Mark the task idle; its ready-heap entry drops lazily.
+                    self.has_pending[index] = false;
+                    break;
+                }
+            }
+            if !self.batch || self.now >= next {
+                break;
             }
         }
     }

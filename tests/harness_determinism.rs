@@ -1,0 +1,67 @@
+//! Determinism of the parallel experiment harness: the fan-out over the
+//! worker pool must be invisible in the results. Every aggregate — down to
+//! the last floating-point bit — must match the sequential reference for any
+//! worker count, because generation streams are per set, runs are keyed by
+//! generation index, and partials fold in index order.
+
+use rtsj_event_framework::experiments::{
+    available_workers, generate_set, reproduce_table, reproduce_table_with_workers, run_systems,
+    EvaluationMode, PaperTable, TableConfig,
+};
+use rtsj_event_framework::model::ServerPolicyKind;
+
+fn quick() -> TableConfig {
+    TableConfig {
+        systems_per_set: 3,
+        seed: 1983,
+    }
+}
+
+/// Worker counts to sweep: sequential, small, more workers than sets, more
+/// workers than work items, and whatever the host actually has.
+fn worker_sweep() -> Vec<usize> {
+    let mut sweep = vec![1, 2, 5, 64];
+    sweep.push(available_workers());
+    sweep
+}
+
+#[test]
+fn parallel_tables_are_bit_identical_to_sequential_for_any_worker_count() {
+    for table in [
+        PaperTable::Table2PsSimulation,
+        PaperTable::Table3PsExecution,
+        PaperTable::Table4DsSimulation,
+        PaperTable::Table5DsExecution,
+    ] {
+        let sequential = reproduce_table(table, &quick());
+        for workers in worker_sweep() {
+            let parallel = reproduce_table_with_workers(table, &quick(), workers);
+            assert_eq!(
+                parallel, sequential,
+                "{table:?} diverged with {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_size_simulation_table_is_bit_identical_in_parallel() {
+    // One table at the paper's full 10 systems per set, to make sure the
+    // quick configuration is not hiding a partition-dependent fold.
+    let config = TableConfig::default();
+    let table = PaperTable::Table2PsSimulation;
+    let sequential = reproduce_table(table, &config);
+    let parallel = reproduce_table_with_workers(table, &config, available_workers().max(4));
+    assert_eq!(parallel, sequential);
+}
+
+#[test]
+fn run_systems_preserves_input_order_for_any_worker_count() {
+    let systems = generate_set((2, 2), ServerPolicyKind::Deferrable, &quick());
+    let sequential = run_systems(&systems, EvaluationMode::Simulation, 1);
+    assert_eq!(sequential.len(), systems.len());
+    for workers in worker_sweep() {
+        let parallel = run_systems(&systems, EvaluationMode::Simulation, workers);
+        assert_eq!(parallel, sequential, "diverged with {workers} workers");
+    }
+}
