@@ -128,6 +128,32 @@ impl InstanceSlot {
     }
 }
 
+/// Conservative equation-(5) bound for a server that is **not** the
+/// top-priority server of a multi-server system.
+///
+/// Equation (5) assumes the server runs above everything, so its instance
+/// `i` really delivers its capacity starting at `i·T_s`. With servers above
+/// it, every instance the prediction touches — from the one containing the
+/// release to the one the handler is served in — can additionally be pushed
+/// back by the full capacity of each higher-priority server (their worst
+/// per-period demand). The bound adds that interference once per touched
+/// instance; with `higher_capacity_per_period == 0` it degenerates to
+/// equation (5) exactly.
+pub fn multi_server_response_bound(
+    server: ServerParams,
+    slot: InstanceSlot,
+    release: Instant,
+    higher_capacity_per_period: Span,
+) -> Span {
+    let base = slot.response_time(server, release);
+    if higher_capacity_per_period.is_zero() {
+        return base;
+    }
+    let release_instance = Span::from_ticks(release.ticks()).div_span(server.period);
+    let instances_touched = slot.instance.saturating_sub(release_instance) + 1;
+    base + higher_capacity_per_period.saturating_mul(instances_touched)
+}
+
 /// The list-of-lists structure proposed in §7 of the paper: each inner list
 /// holds the handlers that fit together in one server instance, alongside the
 /// cumulative cost of that list. Pushing a handler assigns it to the first
@@ -396,6 +422,23 @@ mod tests {
         assert_eq!(
             slot.response_time(server(), Instant::from_units(4)),
             Span::from_units(4)
+        );
+    }
+
+    #[test]
+    fn multi_server_bound_reduces_to_equation_five_at_the_top() {
+        let mut p = InstancePacker::from_instance(server(), 1);
+        let slot = p.push(Span::from_units(2));
+        let release = Instant::from_units(4);
+        assert_eq!(
+            multi_server_response_bound(server(), slot, release, Span::ZERO),
+            slot.response_time(server(), release)
+        );
+        // One higher server of capacity 1: the release instance (0) and the
+        // service instance (1) can each be pushed back by 1 → +2.
+        assert_eq!(
+            multi_server_response_bound(server(), slot, release, Span::from_units(1)),
+            slot.response_time(server(), release) + Span::from_units(2)
         );
     }
 

@@ -30,7 +30,7 @@
 //! let spec = b.build().unwrap();
 //! assert!(periodic_set_feasible_with_server(
 //!     &spec.periodic_tasks,
-//!     spec.server.as_ref().unwrap(),
+//!     spec.server().unwrap(),
 //! ));
 //! ```
 
@@ -44,13 +44,14 @@ pub mod server;
 pub mod utilization;
 
 pub use aperiodic::{
-    implementation_ps_response_time, textbook_ps_response_time, InstancePacker, InstanceSlot,
-    ServerParams,
+    implementation_ps_response_time, multi_server_response_bound, textbook_ps_response_time,
+    InstancePacker, InstanceSlot, ServerParams,
 };
 pub use rta::{analyse, response_time, AnalysisTask, RtaResult, TaskResponse};
 pub use server::{
-    analyse_with_server, max_feasible_capacity, periodic_set_feasible_with_server,
-    server_analysis_model, ServerAnalysisModel,
+    analyse_with_server, analyse_with_servers, max_feasible_capacity,
+    periodic_set_feasible_with_server, periodic_set_feasible_with_servers, server_analysis_model,
+    ServerAnalysisModel,
 };
 pub use utilization::{
     deferrable_server_test, deferrable_server_utilization_bound, hyperbolic_test,

@@ -48,6 +48,17 @@ pub fn server_analysis_model(server: &ServerSpec) -> ServerAnalysisModel {
                 .with_jitter(server.period - server.capacity),
             ),
         },
+        // Sprunt, Sha & Lehoczky's theorem: a sporadic server is equivalent,
+        // for worst-case interference, to a periodic task with the same
+        // capacity and period — no back-to-back jitter, unlike the DS.
+        ServerPolicyKind::Sporadic => ServerAnalysisModel {
+            equivalent_task: Some(AnalysisTask::new(
+                "server(SS)",
+                server.capacity,
+                server.period,
+                server.priority,
+            )),
+        },
     }
 }
 
@@ -55,9 +66,20 @@ pub fn server_analysis_model(server: &ServerSpec) -> ServerAnalysisModel {
 /// server's equivalent task. The returned result contains one entry per
 /// periodic task plus (when applicable) one entry for the server itself.
 pub fn analyse_with_server(tasks: &[PeriodicTask], server: &ServerSpec) -> RtaResult {
-    let mut analysis_tasks: Vec<AnalysisTask> = Vec::with_capacity(tasks.len() + 1);
-    if let Some(equivalent) = server_analysis_model(server).equivalent_task {
-        analysis_tasks.push(equivalent);
+    analyse_with_servers(tasks, std::slice::from_ref(server))
+}
+
+/// Runs the response-time analysis of the periodic tasks together with the
+/// equivalent task of *every* server of a multi-server system: each server
+/// folds in independently (PS and SS as plain periodic tasks, DS with
+/// back-to-back jitter), so the result contains one entry per periodic task
+/// plus one per interfering server.
+pub fn analyse_with_servers(tasks: &[PeriodicTask], servers: &[ServerSpec]) -> RtaResult {
+    let mut analysis_tasks: Vec<AnalysisTask> = Vec::with_capacity(tasks.len() + servers.len());
+    for server in servers {
+        if let Some(equivalent) = server_analysis_model(server).equivalent_task {
+            analysis_tasks.push(equivalent);
+        }
     }
     analysis_tasks.extend(tasks.iter().map(AnalysisTask::from_periodic));
     analyse(&analysis_tasks)
@@ -67,6 +89,12 @@ pub fn analyse_with_server(tasks: &[PeriodicTask], server: &ServerSpec) -> RtaRe
 /// task) meets its deadline under the given server policy.
 pub fn periodic_set_feasible_with_server(tasks: &[PeriodicTask], server: &ServerSpec) -> bool {
     analyse_with_server(tasks, server).all_schedulable()
+}
+
+/// True when every periodic task and every server's equivalent task meet
+/// their deadlines in a multi-server system.
+pub fn periodic_set_feasible_with_servers(tasks: &[PeriodicTask], servers: &[ServerSpec]) -> bool {
+    analyse_with_servers(tasks, servers).all_schedulable()
 }
 
 /// Largest server capacity (at the given period and priority, for the given
@@ -139,6 +167,37 @@ mod tests {
         let eq = server_analysis_model(&s).equivalent_task.unwrap();
         assert_eq!(eq.jitter, Span::ZERO);
         assert_eq!(eq.cost, Span::from_units(3));
+    }
+
+    #[test]
+    fn sporadic_server_analyses_like_a_periodic_task() {
+        let s = ServerSpec::sporadic(Span::from_units(3), Span::from_units(6), Priority::new(30));
+        let eq = server_analysis_model(&s).equivalent_task.unwrap();
+        assert_eq!(eq.jitter, Span::ZERO, "no DS back-to-back penalty");
+        assert_eq!(eq.cost, Span::from_units(3));
+        // Consequence: the Table 1 set that a DS of the same size breaks
+        // stays feasible under an SS, exactly as under a PS.
+        assert!(periodic_set_feasible_with_server(&table1_tasks(), &s));
+    }
+
+    #[test]
+    fn multi_server_analysis_folds_every_server_in() {
+        let tasks = vec![task(1, 1, 10, 20), task(2, 2, 30, 10)];
+        let one = ServerSpec::polling(Span::from_units(2), Span::from_units(10), Priority::new(31));
+        let two =
+            ServerSpec::sporadic(Span::from_units(2), Span::from_units(12), Priority::new(30));
+        let result = analyse_with_servers(&tasks, &[one.clone(), two.clone()]);
+        assert!(result.all_schedulable());
+        // Both servers appear in the result, and the two-server response of
+        // tau2 is no smaller than the single-server one.
+        assert!(result.response_of("server(PS)").is_some());
+        assert!(result.response_of("server(SS)").is_some());
+        let single = analyse_with_server(&tasks, &one)
+            .response_of("tau2")
+            .unwrap();
+        let multi = result.response_of("tau2").unwrap();
+        assert!(multi >= single);
+        assert!(periodic_set_feasible_with_servers(&tasks, &[one, two]));
     }
 
     #[test]

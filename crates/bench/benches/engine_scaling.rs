@@ -10,13 +10,18 @@
 //! and speedup summary; the 300-task row is the acceptance gate for the
 //! indexed-engine refactor (≥5× vs the linear scan for both engines).
 //!
-//! Two harness-level sweeps ride along:
+//! Three further sweeps ride along:
 //!
 //! * **worker scaling** — systems/sec of the table harness
 //!   (`run_systems`) over a paper-sized batch, 1 → N workers; the
 //!   acceptance gate is ≥2× at 4 workers over the sequential path;
 //! * **same-instant batching ablation** — both engines on a bursty workload
-//!   (many events per instant), batched vs unbatched dispatch.
+//!   (many events per instant), batched vs unbatched dispatch;
+//! * **overload scaling** — executions of the ROADMAP overload hot-spot
+//!   (16-events/10-units burst into a capacity-5/period-10 DS) across
+//!   horizons 10³..10⁴; with the indexed pending queue the cost is linear
+//!   in the horizon (run just this sweep with
+//!   `cargo bench -p rt-bench --bench engine_scaling -- overload`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rt_experiments::{available_workers, generate_set, run_systems, EvaluationMode, TableConfig};
@@ -119,6 +124,35 @@ fn bursty_system(burst: usize, horizon_units: u64) -> SystemSpec {
     b.build().expect("bursty systems are valid")
 }
 
+/// The ROADMAP overload hot-spot: a 16-events/10-units burst (cost 1 each)
+/// into a capacity-5/period-10 deferrable server — arrival bandwidth 1.6,
+/// service bandwidth 0.5, so the backlog grows linearly with the horizon and
+/// the pending-queue bookkeeping dominates. Before the indexed pending queue
+/// the per-dispatch cost scanned the whole backlog (superlinear executions:
+/// ~0.2 s at horizon 10³ vs ~255 s at 10⁴ on the CI container); with it the
+/// execution stays linear in the horizon.
+fn overloaded_system(horizon_units: u64) -> SystemSpec {
+    let mut b = SystemSpec::builder(format!("overload-{horizon_units}"));
+    b.server(ServerSpec::deferrable(
+        Span::from_units(5),
+        Span::from_units(10),
+        Priority::new(99),
+    ));
+    b.periodic(
+        "t0",
+        Span::from_units(2),
+        Span::from_units(10),
+        Priority::new(10),
+    );
+    for instant in (0..horizon_units).step_by(10) {
+        for _ in 0..16 {
+            b.aperiodic(Instant::from_units(instant), Span::from_units(1));
+        }
+    }
+    b.horizon(Instant::from_units(horizon_units));
+    b.build().expect("overloaded systems are valid")
+}
+
 fn bench(c: &mut Criterion) {
     const TASK_SWEEP: [usize; 5] = [3, 10, 30, 100, 300];
     const HORIZON_SWEEP: [u64; 4] = [1_000, 10_000, 100_000, 1_000_000];
@@ -154,6 +188,27 @@ fn bench(c: &mut Criterion) {
         );
         group.bench_with_input(
             BenchmarkId::new("rtss_indexed_horizon", horizon),
+            &spec,
+            |b, s| b.iter(|| black_box(simulate(black_box(s)))),
+        );
+    }
+    group.finish();
+
+    // Overloaded-execution sweep: horizons 10³..10⁴ of the ROADMAP burst
+    // workload (the acceptance gate for the indexed pending queue).
+    let mut group = c.benchmark_group("overload_scaling");
+    for horizon in [1_000u64, 3_000, 10_000] {
+        let spec = overloaded_system(horizon);
+        group.bench_with_input(
+            BenchmarkId::new("overload_execution", horizon),
+            &spec,
+            |b, s| b.iter(|| black_box(execute(black_box(s), &ExecutionConfig::reference()))),
+        );
+    }
+    {
+        let spec = overloaded_system(10_000);
+        group.bench_with_input(
+            BenchmarkId::new("overload_simulation", 10_000u64),
             &spec,
             |b, s| b.iter(|| black_box(simulate(black_box(s)))),
         );
@@ -314,6 +369,26 @@ fn bench(c: &mut Criterion) {
         rtsj_unbatched * 1e3,
         rtsj_unbatched / rtsj_batched
     );
+
+    // Overload summary: executions of the burst workload must scale linearly
+    // with the horizon now that the pending queue is indexed (the pre-fix
+    // engine was superlinear in the backlog: ~255 s at horizon 10⁴).
+    println!();
+    println!("overloaded-DS execution (16 events/10 units, capacity 5, period 10):");
+    println!("{:>8} {:>12} {:>14}", "horizon", "seconds", "events");
+    for horizon in [1_000u64, 3_000, 10_000] {
+        let spec = overloaded_system(horizon);
+        black_box(execute(&spec, &ExecutionConfig::reference())); // warm-up
+        let elapsed = time_once(|| {
+            black_box(execute(&spec, &ExecutionConfig::reference()));
+        });
+        println!(
+            "{:>8} {:>11.3}s {:>14}",
+            horizon,
+            elapsed,
+            spec.aperiodics.len()
+        );
+    }
 }
 
 criterion_group!(benches, bench);

@@ -22,6 +22,7 @@ use crate::deferrable::EventDrivenServerBody;
 use crate::handler::{QueuedRelease, ServableHandler};
 use crate::polling::PollingServerBody;
 use crate::queue::QueueKind;
+use crate::sporadic::SporadicServerBody;
 use crate::state::{ServerShared, SharedServer};
 use rt_model::{EventId, Instant, ServerPolicyKind, ServerSpec};
 use rtsj_emu::{Engine, EventHandle, TaskServerParameters, ThreadHandle};
@@ -206,6 +207,73 @@ impl TaskServer for BackgroundServer {
     }
 }
 
+/// A sporadic task server installed on an engine (Sprunt-style replenishment
+/// events; see [`crate::sporadic`]).
+#[derive(Debug)]
+pub struct SporadicTaskServer {
+    shared: SharedServer,
+    params: TaskServerParameters,
+    wakeup: EventHandle,
+    thread: ThreadHandle,
+}
+
+impl SporadicTaskServer {
+    /// Installs the server: creates its `wakeUp` and `replenish` events,
+    /// spawns the handler body bound to `wakeUp`, and hooks `replenish` to
+    /// credit the due replenishments and re-wake the server. The
+    /// replenishment timers themselves are armed at runtime by the body,
+    /// one per closed consumption chunk.
+    pub fn install(engine: &mut Engine, params: TaskServerParameters, queue: QueueKind) -> Self {
+        let shared =
+            ServerShared::new(params, ServerPolicyKind::Sporadic, engine.overhead(), queue);
+        let wakeup = engine.create_event("wakeUp(SS)");
+        let replenish = engine.create_event("replenish(SS)");
+        let replenish_state = shared.clone();
+        engine.add_fire_hook(
+            replenish,
+            Box::new(move |ctx| {
+                if replenish_state
+                    .borrow_mut()
+                    .apply_due_replenishments(ctx.now())
+                {
+                    ctx.fire(wakeup);
+                }
+            }),
+        );
+        let thread = engine.spawn(
+            "server(SS)",
+            params.priority,
+            Box::new(SporadicServerBody::new(shared.clone(), wakeup, replenish)),
+        );
+        SporadicTaskServer {
+            shared,
+            params,
+            wakeup,
+            thread,
+        }
+    }
+
+    /// Handle of the server's handler thread.
+    pub fn thread(&self) -> ThreadHandle {
+        self.thread
+    }
+}
+
+impl TaskServer for SporadicTaskServer {
+    fn shared(&self) -> &SharedServer {
+        &self.shared
+    }
+    fn wakeup(&self) -> Option<EventHandle> {
+        Some(self.wakeup)
+    }
+    fn params(&self) -> TaskServerParameters {
+        self.params
+    }
+    fn policy(&self) -> ServerPolicyKind {
+        ServerPolicyKind::Sporadic
+    }
+}
+
 /// A task server of any policy, installed from a [`ServerSpec`].
 #[derive(Debug)]
 pub enum AnyTaskServer {
@@ -215,6 +283,8 @@ pub enum AnyTaskServer {
     Deferrable(DeferrableTaskServer),
     /// Background servicing.
     Background(BackgroundServer),
+    /// Sporadic server.
+    Sporadic(SporadicTaskServer),
 }
 
 impl AnyTaskServer {
@@ -233,6 +303,11 @@ impl AnyTaskServer {
                     queue,
                 ))
             }
+            ServerPolicyKind::Sporadic => AnyTaskServer::Sporadic(SporadicTaskServer::install(
+                engine,
+                TaskServerParameters::new(spec.capacity, spec.period, spec.priority),
+                queue,
+            )),
             ServerPolicyKind::Background => {
                 // Background servicing has no meaningful capacity or period;
                 // carry a nominal pair so the queue structure has a packing
@@ -252,6 +327,7 @@ impl AnyTaskServer {
             AnyTaskServer::Polling(s) => s,
             AnyTaskServer::Deferrable(s) => s,
             AnyTaskServer::Background(s) => s,
+            AnyTaskServer::Sporadic(s) => s,
         }
     }
 }

@@ -54,6 +54,7 @@ pub mod handler;
 pub mod polling;
 pub mod queue;
 pub mod serve;
+pub mod sporadic;
 pub mod state;
 pub mod system;
 
@@ -61,13 +62,14 @@ pub use admission::{predicted_response, textbook_prediction, AdmissionController
 pub use deferrable::EventDrivenServerBody;
 pub use framework::{
     AnyTaskServer, BackgroundServer, DeferrableTaskServer, PollingTaskServer, ServableAsyncEvent,
-    TaskServer,
+    SporadicTaskServer, TaskServer,
 };
 pub use handler::{QueuedRelease, ServableHandler};
 pub use polling::PollingServerBody;
 pub use queue::{PendingQueue, QueueKind};
 pub use rtsj_emu::TaskServerParameters;
 pub use serve::{ServeStep, ServiceLoop};
+pub use sporadic::SporadicServerBody;
 pub use state::{GrantedService, ServerShared, SharedServer};
 pub use system::{execute, ExecutionConfig};
 
@@ -194,7 +196,7 @@ mod proptests {
         let mut rng = StdRng::seed_from_u64(0xA11C_E005);
         for _ in 0..CASES {
             let spec = random_spec(&mut rng);
-            if spec.server.as_ref().unwrap().capacity > Span::from_units(3) {
+            if spec.server().unwrap().capacity > Span::from_units(3) {
                 continue;
             }
             let trace = execute(&spec, &ExecutionConfig::ideal());

@@ -7,18 +7,29 @@
 //! time of a newly released event can be computed in constant time at
 //! registration (equation (5)).
 //!
-//! Both structures are implemented here with the same *service* semantics —
+//! Both structures share the same *service* semantics —
 //! [`PendingQueue::choose_next`] returns "the first handler in the list which
 //! has a cost lower than the remaining capacity", the FIFO-with-skip rule of
 //! §4.1 — and differ only in the cost of predicting a response time at
-//! admission: O(n) for the flat FIFO (the packing has to be recomputed),
-//! O(1) for the list of lists. The `ablation_queue` benchmark measures
-//! exactly that difference.
+//! admission ([`PendingQueue::predict_slot`]): O(n) for the flat FIFO (the
+//! packing has to be recomputed), O(1) for the list of lists. The
+//! `ablation_queue` benchmark measures exactly that difference.
+//!
+//! # Indexed FIFO-with-skip
+//!
+//! Service-side, the queue is *indexed*: entries live in an arrival-ordered
+//! slab paired with a tournament tree holding the minimum declared cost of
+//! every subtree, so "earliest release whose declared cost fits the budget"
+//! is answered by one O(log n) descent instead of the seed's O(n) scan —
+//! and, worse, the seed's per-dispatch re-evaluation of every pending
+//! budget, which made overloaded executions superlinear in the backlog
+//! (the ROADMAP hot-spot). Pushes are O(log n), removals O(log n), and the
+//! slab is compacted whenever the queue drains, so steady-state memory
+//! tracks the live backlog.
 
 use crate::handler::QueuedRelease;
 use rt_analysis::{InstancePacker, InstanceSlot, ServerParams};
 use rt_model::{Instant, Span};
-use std::collections::VecDeque;
 
 /// Which queue structure a server uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,12 +48,100 @@ struct QueuedEntry {
     slot: Option<InstanceSlot>,
 }
 
+/// Sentinel marking a vacant leaf of the cost index. Live costs are clamped
+/// one below it, which cannot change any selection (a cost that large is
+/// unreachable by every finite budget that matters).
+const VACANT: u64 = u64::MAX;
+
+/// Tournament tree over the arrival-ordered slab: `tree[cap + i]` holds the
+/// declared cost (in ticks) of slab slot `i`, interior nodes hold subtree
+/// minima, and the leftmost leaf `≤ budget` — the FIFO-with-skip choice — is
+/// found by a root-to-leaf descent in O(log n).
+#[derive(Debug, Clone, Default)]
+struct CostIndex {
+    /// Leaf capacity (a power of two, zero until the first push).
+    cap: usize,
+    /// `2 * cap` nodes; `tree[1]` is the root.
+    tree: Vec<u64>,
+    /// Leaf slots handed out so far (== the paired slab length).
+    len: usize,
+}
+
+impl CostIndex {
+    fn clear(&mut self) {
+        self.cap = 0;
+        self.tree.clear();
+        self.len = 0;
+    }
+
+    /// Appends a leaf, growing (amortised O(1) per push) when full.
+    fn push(&mut self, cost: u64) -> usize {
+        if self.len == self.cap {
+            self.grow();
+        }
+        let index = self.len;
+        self.len += 1;
+        self.set(index, cost);
+        index
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.cap * 2).max(64);
+        let mut tree = vec![VACANT; 2 * new_cap];
+        if self.len > 0 {
+            tree[new_cap..new_cap + self.len]
+                .copy_from_slice(&self.tree[self.cap..self.cap + self.len]);
+            for node in (1..new_cap).rev() {
+                tree[node] = tree[2 * node].min(tree[2 * node + 1]);
+            }
+        }
+        self.cap = new_cap;
+        self.tree = tree;
+    }
+
+    fn set(&mut self, index: usize, cost: u64) {
+        let mut node = self.cap + index;
+        self.tree[node] = cost;
+        while node > 1 {
+            node /= 2;
+            self.tree[node] = self.tree[2 * node].min(self.tree[2 * node + 1]);
+        }
+    }
+
+    fn remove(&mut self, index: usize) {
+        self.set(index, VACANT);
+    }
+
+    /// Leftmost leaf whose cost is at most `budget` (ticks), if any.
+    fn first_at_most(&self, budget: u64) -> Option<usize> {
+        let budget = budget.min(VACANT - 1);
+        if self.cap == 0 || self.tree[1] > budget {
+            return None;
+        }
+        let mut node = 1;
+        while node < self.cap {
+            node = if self.tree[2 * node] <= budget {
+                2 * node
+            } else {
+                2 * node + 1
+            };
+        }
+        Some(node - self.cap)
+    }
+}
+
 /// The pending-event queue of one task server.
 #[derive(Debug, Clone)]
 pub struct PendingQueue {
     kind: QueueKind,
     server: ServerParams,
-    entries: VecDeque<QueuedEntry>,
+    /// Arrival-ordered slab; `None` marks a served (removed) entry. Compacted
+    /// whenever the queue drains.
+    slots: Vec<Option<QueuedEntry>>,
+    /// Cost index paired with `slots` (same indices).
+    index: CostIndex,
+    /// Number of live entries.
+    live: usize,
     /// Incremental packer used by the list-of-lists structure.
     packer: Option<InstancePacker>,
 }
@@ -54,7 +153,9 @@ impl PendingQueue {
         PendingQueue {
             kind,
             server,
-            entries: VecDeque::new(),
+            slots: Vec::new(),
+            index: CostIndex::default(),
+            live: 0,
             packer: None,
         }
     }
@@ -66,21 +167,24 @@ impl PendingQueue {
 
     /// Number of pending releases.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// True when nothing is pending.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
-    /// Registers a release, returning the predicted service slot (instance
-    /// index and cumulative prior cost) used by equation (5).
+    /// Registers a release in O(log n), returning the predicted service slot
+    /// (instance index and cumulative prior cost) used by equation (5) when
+    /// the structure maintains one:
     ///
-    /// * With [`QueueKind::ListOfLists`] the slot comes from the incremental
-    ///   packer in O(1).
-    /// * With [`QueueKind::Fifo`] the packing is recomputed from scratch in
-    ///   O(n), which is the cost the §7 structure eliminates.
+    /// * with [`QueueKind::ListOfLists`] the slot comes from the incremental
+    ///   packer in O(1) and is remembered for [`Self::predicted_slot`];
+    /// * with [`QueueKind::Fifo`] no packing is maintained — `None` is
+    ///   returned, and an admission-time prediction costs O(n) through
+    ///   [`Self::predict_slot`], which is exactly the cost the §7 structure
+    ///   eliminates.
     ///
     /// `now` and `remaining_capacity` describe the server state at
     /// registration time and seed the packer for its first element. Releases
@@ -94,40 +198,29 @@ impl PendingQueue {
         remaining_capacity: Span,
     ) -> Option<InstanceSlot> {
         let predictable = release.declared_cost() <= self.server.capacity;
-        let slot = if !predictable {
-            None
+        let slot = if predictable && self.kind == QueueKind::ListOfLists {
+            if self.packer.is_none() {
+                // Rebuild against the live queue: after an out-of-order
+                // removal or a drain the previous packing no longer matches
+                // the entries, so the surviving releases are replayed before
+                // the new one is packed. This is the only O(n) moment of the
+                // structure; steady-state pushes stay O(1).
+                self.packer = Some(self.pack_entries(now, remaining_capacity));
+            }
+            Some(
+                self.packer
+                    .as_mut()
+                    .expect("packer was just rebuilt")
+                    .push(release.declared_cost()),
+            )
         } else {
-            Some(match self.kind {
-                QueueKind::ListOfLists => {
-                    if self.packer.is_none() {
-                        // Rebuild against the live queue: after an
-                        // out-of-order removal or a drain the previous
-                        // packing no longer matches the entries, so the
-                        // surviving releases are replayed before the new one
-                        // is packed. This is the only O(n) moment of the
-                        // structure; steady-state pushes stay O(1).
-                        self.packer = Some(self.pack_entries(now, remaining_capacity));
-                    }
-                    self.packer
-                        .as_mut()
-                        .expect("packer was just rebuilt")
-                        .push(release.declared_cost())
-                }
-                QueueKind::Fifo => {
-                    // Recompute the whole packing: O(n) in the queue length.
-                    self.pack_entries(now, remaining_capacity)
-                        .push(release.declared_cost())
-                }
-            })
+            None
         };
-        self.entries.push_back(QueuedEntry {
-            release,
-            slot: if self.kind == QueueKind::ListOfLists {
-                slot
-            } else {
-                None
-            },
-        });
+        let cost = release.declared_cost().ticks().min(VACANT - 1);
+        let index = self.index.push(cost);
+        debug_assert_eq!(index, self.slots.len(), "slab and cost index in step");
+        self.slots.push(Some(QueuedEntry { release, slot }));
+        self.live += 1;
         slot
     }
 
@@ -135,7 +228,7 @@ impl PendingQueue {
     /// the given server state — the equation-(5) packing of the live queue.
     fn pack_entries(&self, now: Instant, remaining_capacity: Span) -> InstancePacker {
         let mut packer = InstancePacker::new(self.server, now, remaining_capacity);
-        for entry in &self.entries {
+        for entry in self.slots.iter().flatten() {
             if entry.release.declared_cost() <= self.server.capacity {
                 packer.push(entry.release.declared_cost());
             }
@@ -143,67 +236,118 @@ impl PendingQueue {
         packer
     }
 
+    /// The equation-(5) slot a hypothetical new release of `cost` would be
+    /// assigned if pushed now: O(1) for the list of lists (the stored packer
+    /// answers directly), O(n) for the flat FIFO (the packing is recomputed
+    /// from the live queue). Returns `None` for costs above the server
+    /// capacity, which the non-resumable implementation can never serve.
+    pub fn predict_slot(
+        &self,
+        cost: Span,
+        now: Instant,
+        remaining_capacity: Span,
+    ) -> Option<InstanceSlot> {
+        if cost > self.server.capacity {
+            return None;
+        }
+        let mut packer = match (&self.packer, self.kind) {
+            (Some(packer), QueueKind::ListOfLists) => packer.clone(),
+            _ => self.pack_entries(now, remaining_capacity),
+        };
+        Some(packer.push(cost))
+    }
+
+    /// Index of the earliest live entry, if any.
+    fn head(&self) -> Option<usize> {
+        self.index.first_at_most(VACANT - 1)
+    }
+
+    /// Removes slot `index`, maintaining the packer-staleness rule: the
+    /// stored packing survives only a strict head removal that leaves the
+    /// queue non-empty (an out-of-order removal breaks the packing, and a
+    /// drained queue's packing must be reseeded from live server state).
+    fn take(&mut self, index: usize) -> QueuedRelease {
+        let was_head = self.head() == Some(index);
+        let entry = self.slots[index]
+            .take()
+            .expect("take() requires a live slot");
+        self.index.remove(index);
+        self.live -= 1;
+        self.maybe_compact();
+        if !was_head || self.live == 0 {
+            self.packer = None;
+        }
+        entry.release
+    }
+
+    /// Compacts the slab once dead slots dominate, so memory and every
+    /// O(slab) walk (`pack_entries`, `iter`, `choose_where`) track the
+    /// *live* backlog, not the total arrivals of the run. Rebuilding keeps
+    /// the live entries in arrival order, so the stored packer — a function
+    /// of that order only — stays valid; each removal pays amortised O(1).
+    fn maybe_compact(&mut self) {
+        if self.live == 0 {
+            self.slots.clear();
+            self.index.clear();
+            return;
+        }
+        if self.slots.len() < 64 || self.live * 2 >= self.slots.len() {
+            return;
+        }
+        let entries: Vec<QueuedEntry> = self.slots.drain(..).flatten().collect();
+        self.index.clear();
+        for entry in entries {
+            let cost = entry.release.declared_cost().ticks().min(VACANT - 1);
+            let index = self.index.push(cost);
+            debug_assert_eq!(index, self.slots.len());
+            self.slots.push(Some(entry));
+        }
+        debug_assert_eq!(self.slots.len(), self.live);
+    }
+
     /// Removes and returns the first pending release whose declared cost fits
     /// within `budget` — the FIFO-with-skip rule of §4.1: "this implies that
     /// if there is two handlers in the list, if the first has a cost greater
     /// than the remaining capacity and if the second has a cost lesser than
     /// the remaining capacity, the event released last is served first".
+    /// O(log n) via the cost index.
     pub fn choose_next(&mut self, budget: Span) -> Option<QueuedRelease> {
-        let position = self
-            .entries
-            .iter()
-            .position(|entry| entry.release.declared_cost() <= budget)?;
-        let entry = self.entries.remove(position)?;
-        if position != 0 || self.entries.is_empty() {
-            // The stored packing no longer reflects the queue once a later
-            // element is taken out of order (FIFO-with-skip), and a drained
-            // queue's packing must be reseeded from live server state: drop
-            // it; the next push rebuilds it against the remaining entries.
-            self.packer = None;
-        }
-        Some(entry.release)
+        let index = self.index.first_at_most(budget.ticks())?;
+        Some(self.take(index))
     }
 
     /// Removes and returns the first pending release (in FIFO order)
-    /// satisfying the given predicate. This generalises
-    /// [`Self::choose_next`]: the Deferrable Server uses it with its
-    /// boundary rule, where the budget granted to a handler depends on the
-    /// handler's own cost (§4.2).
+    /// satisfying an arbitrary predicate — the O(n) generalisation of
+    /// [`Self::choose_next`], kept for callers whose acceptance rule is not
+    /// a cost threshold.
     pub fn choose_where(
         &mut self,
         accept: impl Fn(&QueuedRelease) -> bool,
     ) -> Option<QueuedRelease> {
-        let position = self
-            .entries
+        let index = self
+            .slots
             .iter()
-            .position(|entry| accept(&entry.release))?;
-        let entry = self.entries.remove(position)?;
-        if position != 0 || self.entries.is_empty() {
-            // Same staleness rule as [`Self::choose_next`].
-            self.packer = None;
-        }
-        Some(entry.release)
+            .position(|entry| entry.as_ref().is_some_and(|e| accept(&e.release)))?;
+        Some(self.take(index))
     }
 
     /// Removes and returns the first pending release regardless of its cost
     /// (used by background servicing, which has no capacity limit).
     pub fn pop_front(&mut self) -> Option<QueuedRelease> {
-        let entry = self.entries.pop_front()?;
-        if self.entries.is_empty() {
-            self.packer = None;
-        }
-        Some(entry.release)
+        let index = self.head()?;
+        Some(self.take(index))
     }
 
     /// Iterates over the pending releases in FIFO order.
     pub fn iter(&self) -> impl Iterator<Item = &QueuedRelease> {
-        self.entries.iter().map(|e| &e.release)
+        self.slots.iter().flatten().map(|e| &e.release)
     }
 
     /// The predicted slot stored for a pending release (list-of-lists only).
     pub fn predicted_slot(&self, event: rt_model::EventId) -> Option<InstanceSlot> {
-        self.entries
+        self.slots
             .iter()
+            .flatten()
             .find(|e| e.release.event == event)
             .and_then(|e| e.slot)
     }
@@ -212,7 +356,10 @@ impl PendingQueue {
     /// unserved events).
     pub fn drain(&mut self) -> Vec<QueuedRelease> {
         self.packer = None;
-        self.entries.drain(..).map(|e| e.release).collect()
+        self.live = 0;
+        self.index.clear();
+        let drained = self.slots.drain(..).flatten().map(|e| e.release).collect();
+        drained
     }
 }
 
@@ -265,24 +412,31 @@ mod tests {
     }
 
     #[test]
-    fn both_kinds_predict_the_same_slots_for_fifo_service() {
+    fn both_kinds_predict_the_same_slots() {
         // Pushing a sequence of releases must give identical equation-(5)
-        // predictions whichever structure computes them.
+        // predictions whichever structure computes them: the flat FIFO
+        // recomputes on demand (`predict_slot`), the list of lists maintains
+        // the packing incrementally (`push` return).
         let costs = [3u64, 2, 2, 4, 1, 3, 1];
         let mut fifo = queue(QueueKind::Fifo);
         let mut lol = queue(QueueKind::ListOfLists);
         for (i, &c) in costs.iter().enumerate() {
-            let slot_fifo = fifo.push(
+            let predicted_fifo =
+                fifo.predict_slot(Span::from_units(c), Instant::ZERO, Span::from_units(4));
+            fifo.push(
                 release(i as u32, c, i as u64),
                 Instant::ZERO,
                 Span::from_units(4),
             );
+            let predicted_lol =
+                lol.predict_slot(Span::from_units(c), Instant::ZERO, Span::from_units(4));
             let slot_lol = lol.push(
                 release(i as u32, c, i as u64),
                 Instant::ZERO,
                 Span::from_units(4),
             );
-            assert_eq!(slot_fifo, slot_lol, "slot mismatch for release {i}");
+            assert_eq!(predicted_fifo, predicted_lol, "prediction mismatch at {i}");
+            assert_eq!(predicted_lol, slot_lol, "stored slot mismatch at {i}");
         }
     }
 
@@ -307,7 +461,7 @@ mod tests {
         // Regression test for the stale-packer bug: after an out-of-order
         // (FIFO-with-skip) removal, the list-of-lists predictions must be
         // computed against the queue as it actually is — i.e. agree with the
-        // flat FIFO, which recomputes the packing from scratch on each push.
+        // flat FIFO, which recomputes the packing from scratch on demand.
         let mut lol = queue(QueueKind::ListOfLists);
         let mut fifo = queue(QueueKind::Fifo);
         for q in [&mut lol, &mut fifo] {
@@ -320,7 +474,7 @@ mod tests {
             assert_eq!(taken.event, EventId::new(1));
         }
         let slot_lol = lol.push(release(2, 2, 2), Instant::ZERO, Span::from_units(4));
-        let slot_fifo = fifo.push(release(2, 2, 2), Instant::ZERO, Span::from_units(4));
+        let slot_fifo = fifo.predict_slot(Span::from_units(2), Instant::ZERO, Span::from_units(4));
         assert_eq!(
             slot_lol, slot_fifo,
             "after a skip the incremental packer must be rebuilt against the live queue"
@@ -343,6 +497,19 @@ mod tests {
     }
 
     #[test]
+    fn choose_where_takes_the_first_acceptable_release() {
+        let mut q = queue(QueueKind::Fifo);
+        q.push(release(0, 3, 0), Instant::ZERO, Span::from_units(4));
+        q.push(release(1, 1, 1), Instant::ZERO, Span::from_units(4));
+        q.push(release(2, 2, 2), Instant::ZERO, Span::from_units(4));
+        let taken = q
+            .choose_where(|r| r.declared_cost() <= Span::from_units(2))
+            .unwrap();
+        assert_eq!(taken.event, EventId::new(1));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
     fn drain_empties_the_queue() {
         let mut q = queue(QueueKind::ListOfLists);
         q.push(release(0, 2, 0), Instant::ZERO, Span::from_units(4));
@@ -351,5 +518,74 @@ mod tests {
         assert_eq!(drained.len(), 2);
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn slab_compacts_while_a_release_stays_stuck() {
+        // A cost-4 head that never fits the small budgets below stays
+        // pending for the whole run while thousands of cost-1 releases pass
+        // through out of order (FIFO-with-skip): the slab must track the
+        // live backlog, not the total arrivals.
+        let mut q = queue(QueueKind::ListOfLists);
+        q.push(release(0, 4, 0), Instant::ZERO, Span::from_units(4));
+        for i in 1..=2000u32 {
+            q.push(release(i, 1, i as u64), Instant::ZERO, Span::from_units(4));
+            let taken = q.choose_next(Span::from_units(1)).unwrap();
+            assert_eq!(taken.event, EventId::new(i));
+            assert_eq!(q.len(), 1);
+        }
+        assert!(
+            q.slots.len() <= 64,
+            "slab holds {} slots for 1 live entry",
+            q.slots.len()
+        );
+        // FIFO order survives compaction: the stuck head is still first.
+        assert_eq!(q.iter().next().unwrap().event, EventId::new(0));
+        assert_eq!(
+            q.choose_next(Span::from_units(4)).unwrap().event,
+            EventId::new(0)
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn indexed_selection_matches_a_linear_scan_on_random_backlogs() {
+        // Seeded differential test: the tournament-tree selection must agree
+        // with the straightforward linear FIFO-with-skip scan for arbitrary
+        // push/choose interleavings.
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        let mut next_rand = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _case in 0..50 {
+            let mut q = queue(QueueKind::Fifo);
+            let mut reference: Vec<(u32, u64)> = Vec::new();
+            let mut id = 0u32;
+            for _step in 0..200 {
+                if next_rand() % 3 != 0 {
+                    let cost = 1 + next_rand() % 4;
+                    q.push(release(id, cost, 0), Instant::ZERO, Span::from_units(4));
+                    reference.push((id, cost));
+                    id += 1;
+                } else {
+                    let budget = next_rand() % 5;
+                    let expected = reference
+                        .iter()
+                        .position(|&(_, c)| c <= budget)
+                        .map(|p| reference.remove(p).0);
+                    let got = q
+                        .choose_next(Span::from_units(budget))
+                        .map(|r| r.event.raw());
+                    assert_eq!(got, expected);
+                }
+            }
+            assert_eq!(q.len(), reference.len());
+            let drained: Vec<u32> = q.drain().into_iter().map(|r| r.event.raw()).collect();
+            let expected: Vec<u32> = reference.iter().map(|&(i, _)| i).collect();
+            assert_eq!(drained, expected, "drain preserves FIFO order");
+        }
     }
 }

@@ -14,6 +14,7 @@ use crate::queue::{PendingQueue, QueueKind};
 use rt_model::{AperiodicFate, AperiodicOutcome, Instant, ServerPolicyKind, Span};
 use rtsj_emu::{OverheadModel, TaskServerParameters};
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// A chosen release together with the budget granted to its service.
@@ -44,6 +45,14 @@ pub struct ServerShared {
     pub queue: PendingQueue,
     /// Outcomes recorded so far (served and interrupted events).
     pub outcomes: Vec<AperiodicOutcome>,
+    /// Sporadic Server only: scheduled replenishments `(when, amount)`,
+    /// time-ordered (chunk anchors are nondecreasing).
+    pub pending_replenishments: VecDeque<(Instant, Span)>,
+    /// Sporadic Server only: anchor of the open consumption chunk — the
+    /// instant its first dispatch started.
+    pub active_since: Option<Instant>,
+    /// Sporadic Server only: capacity actually debited since the anchor.
+    pub consumed_since_active: Span,
 }
 
 /// Shared handle to a server's state.
@@ -66,6 +75,9 @@ impl ServerShared {
             next_replenishment: Instant::ZERO + params.period,
             queue,
             outcomes: Vec::new(),
+            pending_replenishments: VecDeque::new(),
+            active_since: None,
+            consumed_since_active: Span::ZERO,
         }))
     }
 
@@ -90,6 +102,8 @@ impl ServerShared {
     ///
     /// * Polling Server: the remaining capacity — the handler must fit
     ///   entirely in the current instance because it cannot be resumed.
+    /// * Sporadic Server: the remaining capacity, like the PS — sporadic
+    ///   replenishments arrive as discrete events, never mid-budget.
     /// * Deferrable Server: the remaining capacity, extended by one full
     ///   capacity when the service would span the next replenishment
     ///   ("if the current date plus the chosen event cost is bigger than the
@@ -99,7 +113,7 @@ impl ServerShared {
     pub fn granted_budget(&self, release: &QueuedRelease, now: Instant) -> Span {
         match self.policy {
             ServerPolicyKind::Background => Span::MAX,
-            ServerPolicyKind::Polling => self.remaining,
+            ServerPolicyKind::Polling | ServerPolicyKind::Sporadic => self.remaining,
             ServerPolicyKind::Deferrable => {
                 // §4.2: the budget is extended by one full capacity when the
                 // service would span the next replenishment ("the current
@@ -120,9 +134,43 @@ impl ServerShared {
         }
     }
 
+    /// The largest declared cost the policy would accept for service at
+    /// `now`. The per-release acceptance rule `declared ≤ granted_budget` of
+    /// every policy collapses to a single cost threshold:
+    ///
+    /// * PS / SS: the remaining capacity;
+    /// * DS: when the next refill arrives before the remaining capacity
+    ///   could run out, the two §4.2 intervals (`[0, remaining]` and the
+    ///   boundary-extended one) are contiguous and the threshold is
+    ///   `remaining + capacity`; otherwise it is `remaining`.
+    ///
+    /// This is what lets [`Self::choose_next`] use the queue's O(log n)
+    /// indexed selection instead of re-evaluating every pending budget per
+    /// dispatch (the seed's O(n²)-per-dispatch overload hot-spot).
+    fn servable_cost_ceiling(&self, now: Instant) -> Span {
+        match self.policy {
+            ServerPolicyKind::Background => Span::MAX,
+            ServerPolicyKind::Polling | ServerPolicyKind::Sporadic => self.remaining,
+            ServerPolicyKind::Deferrable => {
+                let refill_before_exhaustion = self.next_replenishment - now <= self.remaining;
+                if refill_before_exhaustion {
+                    // Any cost in (next_replenishment − now, remaining +
+                    // capacity] crosses the boundary and gets the extended
+                    // budget; anything at or below `remaining` fits the plain
+                    // budget; with the gap ≤ remaining the union is one
+                    // contiguous interval.
+                    self.remaining + self.params.capacity
+                } else {
+                    self.remaining
+                }
+            }
+        }
+    }
+
     /// Chooses the next release to serve at `now`, together with its granted
     /// budget: the first pending release (FIFO order) whose declared cost
-    /// fits in the budget its policy grants it.
+    /// fits in the budget its policy grants it. O(log n) in the backlog via
+    /// the queue's cost index.
     pub fn choose_next(&mut self, now: Instant) -> Option<GrantedService> {
         if self.policy == ServerPolicyKind::Background {
             return self.queue.pop_front().map(|release| GrantedService {
@@ -130,29 +178,65 @@ impl ServerShared {
                 granted: Span::MAX,
             });
         }
-        // Evaluate the per-release budgets without holding a borrow on the
-        // queue, then extract the chosen release.
-        let budgets: Vec<(rt_model::EventId, Span)> = self
-            .queue
-            .iter()
-            .map(|release| (release.event, self.granted_budget(release, now)))
-            .collect();
-        let release = self.queue.choose_where(|release| {
-            budgets
-                .iter()
-                .find(|(event, _)| *event == release.event)
-                .is_some_and(|(_, budget)| release.declared_cost() <= *budget)
-        })?;
+        let ceiling = self.servable_cost_ceiling(now);
+        let release = self.queue.choose_next(ceiling)?;
+        if self.policy == ServerPolicyKind::Sporadic && self.active_since.is_none() {
+            // Sprunt's rule: the replenishment anchor is the instant the
+            // server becomes active. The server runs above every periodic
+            // task, so the first dispatch of a chunk happens at that instant.
+            self.active_since = Some(now);
+        }
         let granted = self.granted_budget(&release, now);
         Some(GrantedService { release, granted })
     }
 
     /// Consumes capacity (saturating at zero — see the module documentation
     /// of [`crate::deferrable`] for the boundary-crossing simplification).
+    /// For the Sporadic Server the actually-debited amount is also charged
+    /// to the open chunk, so a later replenishment returns exactly what was
+    /// taken.
     pub fn consume(&mut self, amount: Span) {
         if self.policy != ServerPolicyKind::Background {
-            self.remaining = self.remaining.saturating_sub(amount);
+            let debit = amount.min(self.remaining);
+            self.remaining -= debit;
+            if self.policy == ServerPolicyKind::Sporadic && self.active_since.is_some() {
+                self.consumed_since_active += debit;
+            }
         }
+    }
+
+    /// Sporadic Server: closes the open consumption chunk, scheduling its
+    /// replenishment one server period after the chunk's anchor. Returns the
+    /// replenishment instant so the server body can arm the one-shot timer
+    /// that will apply it. Call when the server goes idle (queue drained or
+    /// capacity exhausted).
+    pub fn close_sporadic_chunk(&mut self) -> Option<Instant> {
+        if self.policy != ServerPolicyKind::Sporadic {
+            return None;
+        }
+        let anchor = self.active_since.take()?;
+        let amount = std::mem::replace(&mut self.consumed_since_active, Span::ZERO);
+        if amount.is_zero() {
+            return None;
+        }
+        let when = anchor + self.params.period;
+        self.pending_replenishments.push_back((when, amount));
+        Some(when)
+    }
+
+    /// Sporadic Server: applies every scheduled replenishment due at or
+    /// before `now`, returning `true` when capacity came back.
+    pub fn apply_due_replenishments(&mut self, now: Instant) -> bool {
+        let mut applied = false;
+        while let Some(&(when, amount)) = self.pending_replenishments.front() {
+            if when > now {
+                break;
+            }
+            self.pending_replenishments.pop_front();
+            self.remaining = (self.remaining + amount).min(self.params.capacity);
+            applied = true;
+        }
+        applied
     }
 
     /// Records a successfully served event.

@@ -16,7 +16,7 @@ use rt_model::{
     AperiodicFate, AperiodicOutcome, ExecUnit, Instant, PeriodicJobRecord, PeriodicTask, Span,
     SystemSpec, Trace,
 };
-use rtsj_emu::{Engine, EngineConfig, OverheadModel, PeriodicThreadBody, SchedulerKind};
+use rtsj_emu::{Engine, EngineConfig, OverheadModel, SchedulerKind};
 
 /// Configuration of an execution run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,49 +115,58 @@ pub fn execute(spec: &SystemSpec, config: &ExecutionConfig) -> Trace {
             .with_batching(config.batching),
     );
 
-    // The task server, when the system has one.
-    let server = spec
-        .server
-        .as_ref()
-        .map(|server_spec| AnyTaskServer::install(&mut engine, server_spec, config.queue));
+    // The task servers, in install (table) order; one installed server per
+    // entry of `spec.servers`, each with its own pending queue.
+    let servers: Vec<AnyTaskServer> = spec
+        .servers
+        .iter()
+        .map(|server_spec| AnyTaskServer::install(&mut engine, server_spec, config.queue))
+        .collect();
 
-    // The periodic tasks, as periodic real-time threads.
+    // The periodic tasks, as periodic real-time threads whose bodies live
+    // inline in the engine's thread table (no per-spawn boxing).
     for task in &spec.periodic_tasks {
-        engine.spawn_periodic(
+        engine.spawn_periodic_worker(
             task.name.clone(),
             task.priority,
             Instant::ZERO + task.offset,
             task.period,
-            Box::new(PeriodicThreadBody::new(task.cost, ExecUnit::Task(task.id))),
+            task.cost,
+            ExecUnit::Task(task.id),
         );
     }
 
-    // One servable async event + firing timer per aperiodic occurrence.
-    if let Some(server) = &server {
-        for event in &spec.aperiodics {
-            if event.release >= spec.horizon {
-                continue;
-            }
-            let handler = ServableHandler {
-                id: event.handler,
-                name: event.name.clone(),
-                declared_cost: event.declared_cost,
-                actual_cost: event.actual_cost,
-            };
-            let sae = ServableAsyncEvent::create(&mut engine, event.id, handler, server);
-            sae.schedule_fire(&mut engine, event.release);
+    // One servable async event + firing timer per aperiodic occurrence,
+    // bound to the server the event routes to.
+    for event in &spec.aperiodics {
+        if event.release >= spec.horizon {
+            continue;
         }
+        let Some(server) = servers.get(event.server) else {
+            continue;
+        };
+        let handler = ServableHandler {
+            id: event.handler,
+            name: event.name.clone(),
+            declared_cost: event.declared_cost,
+            actual_cost: event.actual_cost,
+        };
+        let sae = ServableAsyncEvent::create(&mut engine, event.id, handler, server);
+        sae.schedule_fire(&mut engine, event.release);
     }
 
     let mut trace = engine.run();
 
-    // Attach the aperiodic outcomes recorded by the server, completing them
-    // with `Unserved` for any released event with no recorded fate (e.g. the
-    // one being served when the horizon was reached).
-    if let Some(server) = &server {
-        let mut outcomes = server.shared().borrow_mut().finalise();
+    // Attach the aperiodic outcomes recorded by every server, completing
+    // them with `Unserved` for any released event with no recorded fate
+    // (e.g. the one being served when the horizon was reached).
+    if !servers.is_empty() {
+        let mut outcomes: Vec<AperiodicOutcome> = servers
+            .iter()
+            .flat_map(|server| server.shared().borrow_mut().finalise())
+            .collect();
         for event in &spec.aperiodics {
-            if event.release >= spec.horizon {
+            if event.release >= spec.horizon || servers.get(event.server).is_none() {
                 continue;
             }
             if !outcomes.iter().any(|o| o.event == event.id) {

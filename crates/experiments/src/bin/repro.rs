@@ -4,7 +4,8 @@
 //! repro fig2|fig3|fig4      temporal diagrams of the three scenarios
 //! repro table2|table3|table4|table5
 //! repro online-rta          §7 on-line response-time validation
-//! repro all                 everything above (default)
+//! repro multi               multi-server tables (PS+SS and DS+SS+PS systems)
+//! repro all                 everything above but multi (default)
 //! repro quick               all tables with 3 systems per set (fast smoke run)
 //! ```
 //!
@@ -76,7 +77,7 @@ fn print_online_rta() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro [fig2|fig3|fig4|table2|table3|table4|table5|online-rta|quick|all] \
+        "usage: repro [fig2|fig3|fig4|table2|table3|table4|table5|online-rta|multi|quick|all] \
          [--workers N]"
     );
     std::process::exit(2);
@@ -118,6 +119,20 @@ fn main() {
         "table4" => print_table(PaperTable::Table4DsSimulation, &full, workers),
         "table5" => print_table(PaperTable::Table5DsExecution, &full, workers),
         "online-rta" => print_online_rta(),
+        "multi" => {
+            use rt_experiments::reproduce_multi_server_table;
+            use rt_experiments::EvaluationMode;
+            use rt_model::ServerPolicyKind::{Deferrable, Polling, Sporadic};
+            for policies in [
+                &[Polling, Sporadic][..],
+                &[Deferrable, Sporadic, Polling][..],
+            ] {
+                for mode in [EvaluationMode::Simulation, EvaluationMode::Execution] {
+                    let table = reproduce_multi_server_table(policies, mode, &full, workers);
+                    println!("{table}");
+                }
+            }
+        }
         "quick" => {
             for table in PaperTable::all() {
                 print_table(table, &quick, workers);

@@ -11,7 +11,7 @@
 use crate::pool;
 use rt_metrics::{PartialRuns, ResultTable, RunMeasures, SetAggregate, SET_ORDER};
 use rt_model::{ServerPolicyKind, SystemSpec, Trace};
-use rt_sysgen::{GeneratorParams, RandomSystemGenerator};
+use rt_sysgen::{ExtraServer, GeneratorParams, RandomSystemGenerator};
 use rt_taskserver::{execute, ExecutionConfig};
 use rtss_sim::simulate;
 
@@ -125,6 +125,65 @@ pub fn generate_set(
     RandomSystemGenerator::new(params, policy)
         .expect("paper parameters are valid")
         .generate()
+}
+
+/// Generates the systems of one paper set on a **multi-server** system: the
+/// first policy is the primary (paper-parameter) server, every further
+/// policy adds a server of the same capacity/period directly below it, and
+/// the generator routes each aperiodic event uniformly at random across the
+/// servers. With a single policy this is exactly [`generate_set`].
+pub fn generate_multi_server_set(
+    set: (u32, u32),
+    policies: &[ServerPolicyKind],
+    config: &TableConfig,
+) -> Vec<SystemSpec> {
+    assert!(!policies.is_empty(), "at least one server policy required");
+    let mut params = GeneratorParams::paper_set(set.0, set.1);
+    params.nb_generation = config.systems_per_set;
+    params.seed = config.seed;
+    let capacity = params.server_capacity;
+    let period = params.server_period;
+    let extras: Vec<ExtraServer> = policies[1..]
+        .iter()
+        .map(|&policy| ExtraServer::new(policy, capacity, period))
+        .collect();
+    RandomSystemGenerator::new(params, policies[0])
+        .expect("paper parameters are valid")
+        .with_extra_servers(extras)
+        .generate()
+}
+
+/// Reproduces a table-shaped aggregate (AART/AIR/ASR per generated set) for
+/// a multi-server configuration, fanned out over `workers` threads — the
+/// multi-server workload family the server-policy layer opens, reported in
+/// the same format as the four paper tables.
+pub fn reproduce_multi_server_table(
+    policies: &[ServerPolicyKind],
+    mode: EvaluationMode,
+    config: &TableConfig,
+    workers: usize,
+) -> ResultTable {
+    let caption = format!(
+        "Multi-server {} — {}",
+        policies
+            .iter()
+            .map(|p| p.label())
+            .collect::<Vec<_>>()
+            .join("+"),
+        match mode {
+            EvaluationMode::Simulation => "simulations",
+            EvaluationMode::Execution => "executions",
+        }
+    );
+    let sets = SET_ORDER
+        .iter()
+        .map(|&set| {
+            let systems = generate_multi_server_set(set, policies, config);
+            let runs = run_systems(&systems, mode, workers);
+            (set, SetAggregate::from_runs(&runs))
+        })
+        .collect();
+    ResultTable::new(caption, sets)
 }
 
 /// Runs one system in the requested mode.
@@ -338,6 +397,38 @@ mod tests {
         let sim = reproduce_table(PaperTable::Table2PsSimulation, &quick);
         let exec = reproduce_table(PaperTable::Table3PsExecution, &quick);
         assert!(shape::dominates_on_asr(&sim, &exec));
+    }
+
+    #[test]
+    fn multi_server_sets_validate_and_reduce_to_single_server() {
+        use rt_model::ServerPolicyKind::{Deferrable, Polling, Sporadic};
+        let multi = generate_multi_server_set((2, 2), &[Polling, Deferrable, Sporadic], &quick());
+        assert_eq!(multi.len(), 3);
+        for sys in &multi {
+            assert!(sys.validate().is_ok());
+            assert_eq!(sys.servers.len(), 3);
+        }
+        // One policy == the plain single-server generator.
+        let single = generate_multi_server_set((2, 2), &[Polling], &quick());
+        let plain = generate_set((2, 2), Polling, &quick());
+        assert_eq!(single, plain);
+    }
+
+    #[test]
+    fn multi_server_table_aggregates_every_set() {
+        use rt_model::ServerPolicyKind::{Deferrable, Sporadic};
+        let table = reproduce_multi_server_table(
+            &[Deferrable, Sporadic],
+            EvaluationMode::Execution,
+            &quick(),
+            1,
+        );
+        assert!(table.caption.contains("DS+SS"));
+        for &set in SET_ORDER.iter() {
+            let aggregate = table.get(set).expect("every set present");
+            assert_eq!(aggregate.runs, 3);
+            assert!(aggregate.asr > 0.0, "some events must be served");
+        }
     }
 
     #[test]

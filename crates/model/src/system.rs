@@ -26,8 +26,12 @@ pub struct SystemSpec {
     pub name: String,
     /// The hard periodic tasks.
     pub periodic_tasks: Vec<PeriodicTask>,
-    /// The aperiodic task server, if any.
-    pub server: Option<ServerSpec>,
+    /// The aperiodic task servers, in install order. The index of a server in
+    /// this table is the routing key stored in
+    /// [`AperiodicEvent::server`](crate::task::AperiodicEvent::server);
+    /// single-server systems are the one-element case, and
+    /// [`SystemSpec::server`] keeps the original accessor shape.
+    pub servers: Vec<ServerSpec>,
     /// The aperiodic traffic, sorted by release time.
     pub aperiodics: Vec<AperiodicEvent>,
     /// Observation horizon. The paper limits both simulations and executions
@@ -41,11 +45,27 @@ impl SystemSpec {
         SystemBuilder::new(name)
     }
 
-    /// Total utilisation of the periodic tasks plus the server.
+    /// The primary (first-installed) server — the only server of every
+    /// pre-multi-server system, kept as the back-compat accessor.
+    pub fn server(&self) -> Option<&ServerSpec> {
+        self.servers.first()
+    }
+
+    /// Mutable access to the primary server.
+    pub fn server_mut(&mut self) -> Option<&mut ServerSpec> {
+        self.servers.first_mut()
+    }
+
+    /// The server an event is routed to, if the system has one at its index.
+    pub fn server_of(&self, event: &AperiodicEvent) -> Option<&ServerSpec> {
+        self.servers.get(event.server)
+    }
+
+    /// Total utilisation of the periodic tasks plus every server.
     pub fn total_utilization(&self) -> f64 {
         let periodic: f64 = self.periodic_tasks.iter().map(|t| t.utilization()).sum();
-        let server = self.server.as_ref().map_or(0.0, |s| s.utilization());
-        periodic + server
+        let servers: f64 = self.servers.iter().map(|s| s.utilization()).sum();
+        periodic + servers
     }
 
     /// Looks up a periodic task by id.
@@ -66,11 +86,12 @@ impl SystemSpec {
             .count()
     }
 
-    /// Checks structural validity: well-formed tasks and server, unique ids,
-    /// sorted aperiodic releases, the server (when present and not
-    /// background) strictly above every periodic priority — the framework's
-    /// "highest priority task in the system" requirement — and handler costs
-    /// within the server capacity (the framework's admission constraint).
+    /// Checks structural validity: well-formed tasks and servers, unique ids,
+    /// sorted aperiodic releases, every capacity-limited server strictly
+    /// above every periodic priority — the framework's "highest priority
+    /// task in the system" requirement, applied per server — every event
+    /// routed to an existing server, and handler costs within the capacity
+    /// of their own server (the framework's admission constraint).
     pub fn validate(&self) -> Result<(), ModelError> {
         for t in &self.periodic_tasks {
             if !t.is_well_formed() {
@@ -101,11 +122,13 @@ impl SystemSpec {
                 "aperiodic events must be sorted by release time",
             ));
         }
-        if let Some(server) = &self.server {
+        for (index, server) in self.servers.iter().enumerate() {
             if !server.is_well_formed() {
-                return Err(ModelError::invalid("server specification is malformed"));
+                return Err(ModelError::invalid(format!(
+                    "server {index} specification is malformed"
+                )));
             }
-            if server.policy != crate::task::ServerPolicyKind::Background {
+            if server.policy.is_capacity_limited() {
                 if let Some(t) = self
                     .periodic_tasks
                     .iter()
@@ -116,11 +139,19 @@ impl SystemSpec {
                         server.priority, t.name, t.priority
                     )));
                 }
-                if let Some(e) = self
-                    .aperiodics
-                    .iter()
-                    .find(|e| e.declared_cost > server.capacity)
-                {
+            }
+        }
+        if !self.servers.is_empty() {
+            for e in &self.aperiodics {
+                let Some(server) = self.servers.get(e.server) else {
+                    return Err(ModelError::invalid(format!(
+                        "aperiodic {} routes to server {} but the system has {}",
+                        e.name,
+                        e.server,
+                        self.servers.len()
+                    )));
+                };
+                if server.policy.is_capacity_limited() && e.declared_cost > server.capacity {
                     return Err(ModelError::invalid(format!(
                         "aperiodic {} declares cost {} above the server capacity {}",
                         e.name, e.declared_cost, server.capacity
@@ -140,7 +171,7 @@ impl SystemSpec {
 pub struct SystemBuilder {
     name: String,
     periodic_tasks: Vec<PeriodicTask>,
-    server: Option<ServerSpec>,
+    servers: Vec<ServerSpec>,
     aperiodics: Vec<AperiodicEvent>,
     horizon: Option<Instant>,
     next_task: u32,
@@ -154,7 +185,7 @@ impl SystemBuilder {
         SystemBuilder {
             name: name.into(),
             periodic_tasks: Vec::new(),
-            server: None,
+            servers: Vec::new(),
             aperiodics: Vec::new(),
             horizon: None,
             next_task: 0,
@@ -185,15 +216,39 @@ impl SystemBuilder {
         self
     }
 
-    /// Sets the aperiodic server.
+    /// Sets the (single) aperiodic server — the back-compat builder of every
+    /// pre-multi-server call site. Replaces the whole server table with the
+    /// one entry, so repeated calls keep the original "last one wins"
+    /// behaviour.
     pub fn server(&mut self, server: ServerSpec) -> &mut Self {
-        self.server = Some(server);
+        self.servers = vec![server];
         self
     }
 
-    /// Adds an aperiodic event occurrence whose declared and actual cost agree.
+    /// Appends a server to the system's server table and returns its index
+    /// (the routing key for [`Self::aperiodic_for`]).
+    pub fn add_server(&mut self, server: ServerSpec) -> usize {
+        self.servers.push(server);
+        self.servers.len() - 1
+    }
+
+    /// Adds an aperiodic event occurrence whose declared and actual cost
+    /// agree, routed to the primary server.
     pub fn aperiodic(&mut self, release: Instant, cost: Span) -> EventId {
         self.aperiodic_with(release, cost, cost)
+    }
+
+    /// Adds an aperiodic event occurrence routed to the server at the given
+    /// index of the server table.
+    pub fn aperiodic_for(&mut self, server: usize, release: Instant, cost: Span) -> EventId {
+        let id = self.aperiodic_with(release, cost, cost);
+        let event = self
+            .aperiodics
+            .last_mut()
+            .expect("aperiodic_with just appended the event");
+        debug_assert_eq!(event.id, id);
+        event.server = server;
+        id
     }
 
     /// Adds an aperiodic event occurrence with distinct declared/actual costs.
@@ -221,9 +276,10 @@ impl SystemBuilder {
         self
     }
 
-    /// Sets the horizon to `n` server periods, the paper's convention.
+    /// Sets the horizon to `n` periods of the primary server, the paper's
+    /// convention.
     pub fn horizon_server_periods(&mut self, n: u64) -> &mut Self {
-        if let Some(server) = &self.server {
+        if let Some(server) = self.servers.first() {
             self.horizon = Some(Instant::ZERO + server.period.saturating_mul(n));
         }
         self
@@ -234,9 +290,9 @@ impl SystemBuilder {
         let mut aperiodics = std::mem::take(&mut self.aperiodics);
         aperiodics.sort_by_key(|e| (e.release, e.id));
         let horizon = self.horizon.unwrap_or_else(|| {
-            // Default: ten server periods, or the periodic hyper-window if
-            // there is no server.
-            match &self.server {
+            // Default: ten primary-server periods, or the periodic
+            // hyper-window if there is no server.
+            match self.servers.first() {
                 Some(s) if !s.period.is_zero() && s.period != Span::MAX => {
                     Instant::ZERO + s.period.saturating_mul(10)
                 }
@@ -254,7 +310,7 @@ impl SystemBuilder {
         let spec = SystemSpec {
             name: std::mem::take(&mut self.name),
             periodic_tasks: std::mem::take(&mut self.periodic_tasks),
-            server: self.server.take(),
+            servers: std::mem::take(&mut self.servers),
             aperiodics,
             horizon,
         };
@@ -363,10 +419,77 @@ mod tests {
         b.aperiodic(Instant::from_units(0), Span::from_units(50));
         b.horizon(Instant::from_units(100));
         let sys = b.build().unwrap();
-        assert_eq!(
-            sys.server.as_ref().unwrap().policy,
-            ServerPolicyKind::Background
+        assert_eq!(sys.server().unwrap().policy, ServerPolicyKind::Background);
+    }
+
+    #[test]
+    fn multi_server_builder_routes_events() {
+        let mut b = SystemSpec::builder("multi");
+        let ps = b.add_server(ServerSpec::polling(
+            Span::from_units(2),
+            Span::from_units(6),
+            Priority::new(31),
+        ));
+        let ss = b.add_server(ServerSpec::sporadic(
+            Span::from_units(2),
+            Span::from_units(8),
+            Priority::new(30),
+        ));
+        b.periodic(
+            "tau1",
+            Span::from_units(1),
+            Span::from_units(6),
+            Priority::new(20),
         );
+        b.aperiodic_for(ps, Instant::from_units(0), Span::from_units(1));
+        b.aperiodic_for(ss, Instant::from_units(3), Span::from_units(2));
+        b.horizon(Instant::from_units(48));
+        let sys = b.build().unwrap();
+        assert_eq!(sys.servers.len(), 2);
+        assert_eq!(sys.aperiodics[0].server, 0);
+        assert_eq!(sys.aperiodics[1].server, 1);
+        assert_eq!(
+            sys.server_of(&sys.aperiodics[1]).unwrap().policy,
+            ServerPolicyKind::Sporadic
+        );
+        // Utilisation sums every server: 2/6 + 2/8 + 1/6.
+        assert!((sys.total_utilization() - (2.0 / 6.0 + 0.25 + 1.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_dangling_server_routes() {
+        let mut b = SystemSpec::builder("dangling");
+        b.server(ServerSpec::polling(
+            Span::from_units(3),
+            Span::from_units(6),
+            Priority::new(30),
+        ));
+        b.aperiodic_for(4, Instant::from_units(0), Span::from_units(1));
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("routes to server"));
+    }
+
+    #[test]
+    fn every_capacity_limited_server_must_dominate_the_tasks() {
+        let mut b = SystemSpec::builder("low-second-server");
+        b.add_server(ServerSpec::polling(
+            Span::from_units(3),
+            Span::from_units(6),
+            Priority::new(30),
+        ));
+        b.add_server(ServerSpec::sporadic(
+            Span::from_units(1),
+            Span::from_units(6),
+            Priority::new(15),
+        ));
+        b.periodic(
+            "tau1",
+            Span::from_units(2),
+            Span::from_units(6),
+            Priority::new(20),
+        );
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("does not dominate"));
     }
 
     #[test]

@@ -113,6 +113,10 @@ pub struct AperiodicEvent {
     /// Optional relative deadline used by deadline-ordered service policies
     /// and by the on-line response-time equations (d_k in the paper).
     pub relative_deadline: Option<Span>,
+    /// Index (into [`crate::SystemSpec::servers`]) of the task server that
+    /// services this event. Zero for single-server systems, which keeps the
+    /// original one-server format a special case of the multi-server one.
+    pub server: usize,
 }
 
 impl AperiodicEvent {
@@ -126,6 +130,7 @@ impl AperiodicEvent {
             declared_cost: cost,
             actual_cost: cost,
             relative_deadline: None,
+            server: 0,
         }
     }
 
@@ -144,6 +149,13 @@ impl AperiodicEvent {
     /// Attaches a relative deadline to the event.
     pub fn with_relative_deadline(mut self, deadline: Span) -> Self {
         self.relative_deadline = Some(deadline);
+        self
+    }
+
+    /// Routes the event to the server at the given index of the system's
+    /// server table.
+    pub fn with_server(mut self, server: usize) -> Self {
+        self.server = server;
         self
     }
 
@@ -171,6 +183,11 @@ pub enum ServerPolicyKind {
     /// Background servicing: aperiodics run at the lowest priority with no
     /// capacity limit (the "easiest way" baseline from §2 of the paper).
     Background,
+    /// Sporadic Server (Sprunt, Sha & Lehoczky): capacity consumed while the
+    /// server is active is replenished one server period after the activation
+    /// that consumed it, so the server preserves its bandwidth without the
+    /// Deferrable Server's back-to-back penalty on the periodic analysis.
+    Sporadic,
 }
 
 impl ServerPolicyKind {
@@ -180,7 +197,13 @@ impl ServerPolicyKind {
             ServerPolicyKind::Polling => "PS",
             ServerPolicyKind::Deferrable => "DS",
             ServerPolicyKind::Background => "BG",
+            ServerPolicyKind::Sporadic => "SS",
         }
+    }
+
+    /// True when the policy maintains a finite, replenished capacity.
+    pub fn is_capacity_limited(self) -> bool {
+        self != ServerPolicyKind::Background
     }
 }
 
@@ -213,6 +236,16 @@ impl ServerSpec {
     pub fn deferrable(capacity: Span, period: Span, priority: Priority) -> Self {
         ServerSpec {
             policy: ServerPolicyKind::Deferrable,
+            capacity,
+            period,
+            priority,
+        }
+    }
+
+    /// Creates a sporadic server specification.
+    pub fn sporadic(capacity: Span, period: Span, priority: Priority) -> Self {
+        ServerSpec {
+            policy: ServerPolicyKind::Sporadic,
             capacity,
             period,
             priority,

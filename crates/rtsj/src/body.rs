@@ -104,6 +104,7 @@ impl Completion {
 pub struct BodyCtx {
     now: Instant,
     fire_requests: Vec<EventHandle>,
+    timer_requests: Vec<(Instant, EventHandle)>,
 }
 
 impl BodyCtx {
@@ -114,6 +115,7 @@ impl BodyCtx {
         BodyCtx {
             now,
             fire_requests: Vec::new(),
+            timer_requests: Vec::new(),
         }
     }
 
@@ -129,8 +131,21 @@ impl BodyCtx {
         self.fire_requests.push(event);
     }
 
+    /// Arms a one-shot timer firing `event` at `at` — the runtime equivalent
+    /// of constructing an RTSJ `OneShotTimer` from application code. The
+    /// entry rides the engine's event calendar like any pre-run timer (the
+    /// Sporadic Server schedules its per-consumption replenishments this
+    /// way); an instant at or before the current time fires immediately.
+    pub fn arm_timer(&mut self, at: Instant, event: EventHandle) {
+        self.timer_requests.push((at, event));
+    }
+
     pub(crate) fn take_fire_requests(&mut self) -> Vec<EventHandle> {
         std::mem::take(&mut self.fire_requests)
+    }
+
+    pub(crate) fn take_timer_requests(&mut self) -> Vec<(Instant, EventHandle)> {
+        std::mem::take(&mut self.timer_requests)
     }
 }
 

@@ -37,6 +37,19 @@
 //! the cheap `runnable` flags are kept coherent), so that path reproduces
 //! the seed's per-decision cost exactly.
 //!
+//! **Body storage.** The thread table doubles as a body arena: bodies whose
+//! concrete type the engine knows (the periodic workers of
+//! [`Engine::spawn_periodic_worker`]) live inline in their thread slot, so
+//! spawning the `n`-task population of an executed system performs no
+//! per-spawn heap allocation; only the handful of framework server bodies
+//! still arrive boxed through the generic [`Engine::spawn`].
+//!
+//! **Runtime-armed timers.** Bodies can arm one-shot timers mid-run through
+//! [`crate::body::BodyCtx::arm_timer`]; the entries ride the same event
+//! calendar (strictly-future instants, preserving the batching invariant),
+//! which is how the Sporadic Server schedules its per-consumption
+//! replenishments.
+//!
 //! # Same-instant batching
 //!
 //! Many decisions advance no time at all (body pumps: a thread deciding its
@@ -203,10 +216,34 @@ struct PeriodicRelease {
     period: Span,
 }
 
+/// Engine-internal storage of a schedulable's body. The thread table itself
+/// is the arena: bodies whose concrete type the engine knows are stored
+/// *inline* in their [`ThreadState`] slot — no per-spawn heap box — while
+/// framework-supplied bodies still arrive as trait objects through
+/// [`Engine::spawn`]. In the scaling workloads the inline periodic workers
+/// are the dominant population (`n` tasks vs a handful of server bodies), so
+/// spawning a large system costs O(1) allocations beyond the table growth.
+enum StoredBody {
+    /// A framework-supplied body behind a trait object.
+    Boxed(Box<dyn ThreadBody>),
+    /// An engine-owned periodic worker ([`PeriodicThreadBody`]) stored
+    /// inline.
+    Periodic(crate::handlers::PeriodicThreadBody),
+}
+
+impl StoredBody {
+    fn next_action(&mut self, ctx: &mut BodyCtx, completion: Completion) -> Action {
+        match self {
+            StoredBody::Boxed(body) => body.next_action(ctx, completion),
+            StoredBody::Periodic(body) => body.next_action(ctx, completion),
+        }
+    }
+}
+
 struct ThreadState {
     name: String,
     priority: Priority,
-    body: Box<dyn ThreadBody>,
+    body: StoredBody,
     periodic: Option<PeriodicRelease>,
     status: ThreadStatus,
 }
@@ -418,6 +455,15 @@ impl Engine {
         priority: Priority,
         body: Box<dyn ThreadBody>,
     ) -> ThreadHandle {
+        self.spawn_stored(name, priority, StoredBody::Boxed(body))
+    }
+
+    fn spawn_stored(
+        &mut self,
+        name: impl Into<String>,
+        priority: Priority,
+        body: StoredBody,
+    ) -> ThreadHandle {
         let handle = ThreadHandle(self.threads.len());
         self.threads.push(ThreadState {
             name: name.into(),
@@ -447,6 +493,33 @@ impl Engine {
             "periodic schedulables need a positive period"
         );
         let handle = self.spawn(name, priority, body);
+        self.threads[handle.0].periodic = Some(PeriodicRelease {
+            next: start,
+            period,
+        });
+        handle
+    }
+
+    /// Spawns a periodic worker that computes `cost` attributed to `unit`
+    /// every `period`, with its [`crate::handlers::PeriodicThreadBody`]
+    /// stored inline in the engine's thread table instead of behind a
+    /// per-spawn heap box — the fast path for the periodic task population
+    /// of executed [`rt_model::SystemSpec`] systems.
+    pub fn spawn_periodic_worker(
+        &mut self,
+        name: impl Into<String>,
+        priority: Priority,
+        start: Instant,
+        period: Span,
+        cost: Span,
+        unit: ExecUnit,
+    ) -> ThreadHandle {
+        assert!(
+            !period.is_zero(),
+            "periodic schedulables need a positive period"
+        );
+        let body = crate::handlers::PeriodicThreadBody::new(cost, unit);
+        let handle = self.spawn_stored(name, priority, StoredBody::Periodic(body));
         self.threads[handle.0].periodic = Some(PeriodicRelease {
             next: start,
             period,
@@ -764,6 +837,7 @@ impl Engine {
         let mut ctx = BodyCtx::new(self.now);
         let action = self.threads[tid].body.next_action(&mut ctx, completion);
         let fires = ctx.take_fire_requests();
+        let timers = ctx.take_timer_requests();
 
         match action {
             Action::Compute { amount, unit } => {
@@ -849,6 +923,19 @@ impl Engine {
         // settled, so a body can fire the event it is about to wait on.
         for event in fires {
             self.fire_event_now(event);
+        }
+        // Runtime-armed timers: a future instant rides the event calendar
+        // like any pre-run timer (preserving the batching invariant that
+        // mid-run insertions are strictly in the future); a past or present
+        // instant fires immediately, charging the same timer overhead a
+        // calendar fire would.
+        for (at, event) in timers {
+            if at <= self.now {
+                self.pending_timer_overhead += self.config.overhead.timer_fire;
+                self.fire_event_now(event);
+            } else {
+                self.add_one_shot_timer(at, event);
+            }
         }
     }
 

@@ -27,7 +27,19 @@
 //!   updated on empty↔non-empty transitions, so the highest-priority ready
 //!   task is an amortised O(1) peek; the seed's first-index-wins tie-breaks
 //!   (server before equal-priority tasks, earlier task before later) are
-//!   preserved exactly.
+//!   preserved exactly. The `S` server lanes (see below) are swept linearly,
+//!   so a decision costs O(S + log t) — servers are few, tasks are many.
+//!
+//! # Multi-server systems
+//!
+//! The engine runs every server of [`SystemSpec::servers`] concurrently:
+//! each server owns a *lane* (its [`crate::server::ServerState`] capacity
+//! machine plus its own pending queue), arrivals are routed by
+//! [`rt_model::AperiodicEvent::server`], and the dispatcher picks among
+//! ready lanes and tasks by priority with the seed's tie-breaks (servers
+//! before equal-priority tasks, earlier install index before later). A
+//! one-server system takes exactly the code path the single-server engine
+//! took, so pre-refactor traces are byte-identical (pinned by the goldens).
 //!
 //! The seed implementation rescanned every task for both questions —
 //! O(t) per decision. It is retained as [`simulate_reference`]: the
@@ -88,7 +100,7 @@ impl PeriodicState {
     }
 }
 
-/// One pending aperiodic job inside the simulator's server queue.
+/// One pending aperiodic job inside a server's pending queue.
 #[derive(Debug, Clone)]
 struct PendingAperiodic {
     index: usize,
@@ -96,10 +108,18 @@ struct PendingAperiodic {
     started: Option<Instant>,
 }
 
+/// One installed server: its capacity-policy state plus its own pending
+/// queue (the per-server `PendingQueue` of the multi-server layer).
+#[derive(Debug, Clone)]
+struct ServerLane {
+    state: ServerState,
+    queue: VecDeque<PendingAperiodic>,
+}
+
 /// Which entity the simulator decided to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Runner {
-    Server,
+    Server(usize),
     Task(usize),
 }
 
@@ -163,8 +183,10 @@ struct Simulator<'a> {
     now: Instant,
     horizon: Instant,
     periodic: Vec<PeriodicState>,
-    server: Option<ServerState>,
-    queue: VecDeque<PendingAperiodic>,
+    servers: Vec<ServerLane>,
+    /// Arrivals with no server to run on (systems without servers); reported
+    /// unserved at the horizon, as the seed engine did.
+    orphans: Vec<usize>,
     next_arrival: usize,
     trace: Trace,
     /// Indexed (heap) vs linear-scan (seed) decision structures.
@@ -204,8 +226,16 @@ impl<'a> Simulator<'a> {
             now: Instant::ZERO,
             horizon: spec.horizon,
             periodic,
-            server: spec.server.clone().map(ServerState::new),
-            queue: VecDeque::new(),
+            servers: spec
+                .servers
+                .iter()
+                .cloned()
+                .map(|s| ServerLane {
+                    state: ServerState::new(s),
+                    queue: VecDeque::new(),
+                })
+                .collect(),
+            orphans: Vec::new(),
             next_arrival: 0,
             trace: Trace::new(spec.horizon),
             indexed,
@@ -237,7 +267,7 @@ impl<'a> Simulator<'a> {
                     self.trace.push_segment(ExecUnit::Idle, self.now, next);
                     self.now = next;
                 }
-                Some(Runner::Server) => self.run_server(next),
+                Some(Runner::Server(s)) => self.run_server(s, next),
                 Some(Runner::Task(i)) => self.run_task(i, next),
             }
         }
@@ -256,13 +286,17 @@ impl<'a> Simulator<'a> {
         {
             let event = &self.spec.aperiodics[self.next_arrival];
             if event.release < self.horizon {
-                self.queue.push_back(PendingAperiodic {
+                let job = PendingAperiodic {
                     index: self.next_arrival,
                     // The simulator executes the real demand of the handler;
                     // for generated systems declared and actual agree.
                     remaining: event.actual_cost,
                     started: None,
-                });
+                };
+                match self.servers.get_mut(event.server) {
+                    Some(lane) => lane.queue.push_back(job),
+                    None => self.orphans.push(self.next_arrival),
+                }
             }
             self.next_arrival += 1;
         }
@@ -314,10 +348,10 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
-        // Server replenishments.
-        let queue_empty = self.queue.is_empty();
-        if let Some(server) = &mut self.server {
-            server.replenish_due(self.now, queue_empty);
+        // Server replenishments, in install order.
+        for lane in &mut self.servers {
+            let queue_empty = lane.queue.is_empty();
+            lane.state.replenish_due(self.now, queue_empty);
         }
     }
 
@@ -345,25 +379,36 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
-        if let Some(server) = &self.server {
-            if server.is_capacity_limited() {
-                next = next.min(server.next_replenishment);
+        for lane in &self.servers {
+            if lane.state.is_capacity_limited() {
+                next = next.min(lane.state.next_replenishment());
             }
         }
         next.max(self.now + Span::from_ticks(1))
             .min(self.horizon.max(self.now + Span::from_ticks(1)))
     }
 
-    /// Chooses the highest-priority ready entity, if any. Ties go to the
-    /// server first, then to the earliest task index — the seed's scan order.
+    /// Chooses the highest-priority ready entity, if any. Ties go to servers
+    /// before equal-priority tasks, and to the earlier install/scan index
+    /// within each group — the seed's scan order, generalised to N servers.
     ///
-    /// Indexed: amortised O(1) peek of the ready heap. Linear scan: O(t).
+    /// Indexed: an O(S) sweep over the (few) server lanes plus an amortised
+    /// O(1) peek of the task-ready heap — O(S + log t) per decision, the
+    /// promised O(log n) plus a constant per extra server. Linear scan:
+    /// O(S + t).
     fn pick_runner(&mut self) -> Option<Runner> {
-        let server_ready = self
-            .server
-            .as_ref()
-            .map(|s| s.is_ready(self.queue.is_empty()))
-            .unwrap_or(false);
+        let mut best_server: Option<(Priority, usize)> = None;
+        for (s, lane) in self.servers.iter().enumerate() {
+            if !lane.state.is_ready(lane.queue.is_empty()) {
+                continue;
+            }
+            let prio = lane.state.spec.priority;
+            match best_server {
+                None => best_server = Some((prio, s)),
+                Some((p, _)) if prio.preempts(p) => best_server = Some((prio, s)),
+                _ => {}
+            }
+        }
         if self.indexed {
             let top_task = loop {
                 match self.ready.peek() {
@@ -377,24 +422,21 @@ impl<'a> Simulator<'a> {
                     }
                 }
             };
-            match (server_ready, top_task) {
-                (false, None) => None,
-                (true, None) => Some(Runner::Server),
-                (false, Some((_, i))) => Some(Runner::Task(i)),
-                (true, Some((prio, i))) => {
-                    let server_prio = self.server.as_ref().unwrap().spec.priority;
+            match (best_server, top_task) {
+                (None, None) => None,
+                (Some((_, s)), None) => Some(Runner::Server(s)),
+                (None, Some((_, i))) => Some(Runner::Task(i)),
+                (Some((server_prio, s)), Some((prio, i))) => {
                     if prio.preempts(server_prio) {
                         Some(Runner::Task(i))
                     } else {
-                        Some(Runner::Server)
+                        Some(Runner::Server(s))
                     }
                 }
             }
         } else {
-            let mut best: Option<(Priority, Runner)> = None;
-            if server_ready {
-                best = Some((self.server.as_ref().unwrap().spec.priority, Runner::Server));
-            }
+            let mut best: Option<(Priority, Runner)> =
+                best_server.map(|(p, s)| (p, Runner::Server(s)));
             for (i, state) in self.periodic.iter().enumerate() {
                 if state.pending.is_empty() {
                     continue;
@@ -410,24 +452,21 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// Serves the aperiodic queue until the decision window closes. Batched:
-    /// completing a job strictly inside the window does not re-enter the
-    /// dispatcher — nothing becomes due before `next` and the priority
+    /// Serves server `s`'s pending queue until the decision window closes.
+    /// Batched: completing a job strictly inside the window does not re-enter
+    /// the dispatcher — nothing becomes due before `next` and the priority
     /// comparison that picked the server is unchanged, so as long as the
     /// server is still ready the forced re-pick is skipped and the next job
     /// is served directly.
-    fn run_server(&mut self, next: Instant) {
-        let server = self
-            .server
-            .as_mut()
-            .expect("server runner requires a server");
+    fn run_server(&mut self, s: usize, next: Instant) {
+        let lane = &mut self.servers[s];
         loop {
-            let job = self
+            let job = lane
                 .queue
                 .front_mut()
                 .expect("server runner requires pending work");
             let window = next - self.now;
-            let slice = job.remaining.min(server.max_slice()).min(window);
+            let slice = job.remaining.min(lane.state.max_slice()).min(window);
             debug_assert!(
                 !slice.is_zero(),
                 "the server was picked but cannot make progress"
@@ -439,7 +478,7 @@ impl<'a> Simulator<'a> {
             self.trace
                 .push_segment(ExecUnit::Handler(event), self.now, self.now + slice);
             job.remaining -= slice;
-            server.consume(slice);
+            lane.state.consume(slice, self.now);
             self.now += slice;
             if job.remaining.is_zero() {
                 let started = job.started.expect("a completed job has started");
@@ -453,12 +492,12 @@ impl<'a> Simulator<'a> {
                         completed: self.now,
                     },
                 });
-                self.queue.pop_front();
-                if self.queue.is_empty() {
-                    server.on_queue_emptied();
+                lane.queue.pop_front();
+                if lane.queue.is_empty() {
+                    lane.state.on_queue_emptied(self.now);
                 }
             }
-            if !self.batch || self.now >= next || !server.is_ready(self.queue.is_empty()) {
+            if !self.batch || self.now >= next || !lane.state.is_ready(lane.queue.is_empty()) {
                 break;
             }
         }
@@ -509,8 +548,19 @@ impl<'a> Simulator<'a> {
         // released before the horizon but never enqueued do not exist here
         // because every arrival strictly before the horizon is a decision
         // point processed by the loop.
-        for job in self.queue.drain(..) {
-            let event = &self.spec.aperiodics[job.index];
+        for lane in &mut self.servers {
+            for job in lane.queue.drain(..) {
+                let event = &self.spec.aperiodics[job.index];
+                self.trace.push_outcome(AperiodicOutcome {
+                    event: event.id,
+                    release: event.release,
+                    declared_cost: event.declared_cost,
+                    fate: AperiodicFate::Unserved,
+                });
+            }
+        }
+        for index in std::mem::take(&mut self.orphans) {
+            let event = &self.spec.aperiodics[index];
             self.trace.push_outcome(AperiodicOutcome {
                 event: event.id,
                 release: event.release,
@@ -535,10 +585,11 @@ impl<'a> Simulator<'a> {
 }
 
 /// Convenience wrapper: simulates the same traffic under a different server
-/// policy without rebuilding the whole specification.
+/// policy (applied to every server of the system) without rebuilding the
+/// whole specification.
 pub fn simulate_with_policy(spec: &SystemSpec, policy: ServerPolicyKind) -> Trace {
     let mut spec = spec.clone();
-    if let Some(server) = &mut spec.server {
+    for server in &mut spec.servers {
         server.policy = policy;
     }
     simulate(&spec)

@@ -38,7 +38,9 @@ pub mod server;
 pub use dynamic::{simulate_dynamic, DynamicPolicy};
 pub use engine::{simulate, simulate_reference, simulate_unbatched, simulate_with_policy};
 pub use gantt::{render_ascii, render_svg, GanttOptions};
-pub use server::ServerState;
+pub use server::{
+    BackgroundPolicy, DeferrablePolicy, PollingPolicy, ServerPolicy, ServerState, SporadicPolicy,
+};
 
 #[cfg(test)]
 mod proptests {
@@ -126,7 +128,7 @@ mod proptests {
         let mut rng = StdRng::seed_from_u64(0x5EED_0501);
         for _ in 0..CASES {
             let spec = random_system(&mut rng);
-            if spec.server.as_ref().unwrap().capacity > Span::from_units(3) {
+            if spec.server().unwrap().capacity > Span::from_units(3) {
                 continue;
             }
             let trace = simulate(&spec);
@@ -143,7 +145,7 @@ mod proptests {
         for _ in 0..CASES {
             let spec = random_system(&mut rng);
             let trace = simulate(&spec);
-            let server = spec.server.as_ref().unwrap();
+            let server = spec.server().unwrap();
             let periods = (spec.horizon - Instant::ZERO).div_ceil_span(server.period);
             let bound = server.capacity.saturating_mul(periods);
             assert!(served_time(&trace) <= bound);

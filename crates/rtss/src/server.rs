@@ -1,105 +1,382 @@
-//! Capacity state machines for the literature-exact aperiodic servers
-//! simulated by RTSS.
+//! The server-policy layer: capacity state machines for the literature-exact
+//! aperiodic servers simulated by RTSS.
 //!
 //! These implement the *textbook* policies (Lehoczky, Sha & Strosnider for
-//! the Deferrable Server; Lehoczky et al. / Sprunt et al. for the Polling
-//! Server), not the paper's RTSJ implementation: handlers are resumable, the
-//! server never pays any overhead, and capacity accounting is exact. The
-//! differences with the implementation are precisely what Tables 2–5 measure.
+//! the Deferrable Server; Lehoczky et al. for the Polling Server; Sprunt,
+//! Sha & Lehoczky for the Sporadic Server), not the paper's RTSJ
+//! implementation: handlers are resumable, the server never pays any
+//! overhead, and capacity accounting is exact. The differences with the
+//! implementation are precisely what Tables 2–5 measure.
+//!
+//! The layer is split in two:
+//!
+//! * [`ServerPolicy`] — the capacity-state trait every policy implements:
+//!   when capacity comes back ([`ServerPolicy::replenish_due`],
+//!   [`ServerPolicy::next_replenishment`]), how consumption is debited
+//!   ([`ServerPolicy::consume`]) and what happens when the pending queue
+//!   drains ([`ServerPolicy::on_queue_emptied`]). The engine only talks to
+//!   this trait, so adding a policy touches nothing outside this module.
+//! * [`ServerState`] — one installed server: its [`ServerSpec`] plus the
+//!   policy state, the unit the engine's per-server lanes are built from.
+//!
+//! The same abstraction shape drives the execution side
+//! (`rt-taskserver`'s server bodies): policy-specific capacity rules live in
+//! one place per world, and the framework-vs-textbook comparison stays
+//! policy-by-policy.
 
 use rt_model::{Instant, ServerPolicyKind, ServerSpec, Span};
+use std::collections::VecDeque;
 
-/// Runtime capacity state of a simulated aperiodic server.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ServerState {
-    /// Static specification.
-    pub spec: ServerSpec,
-    /// Remaining capacity in the current period.
-    pub capacity: Span,
-    /// Next replenishment instant.
-    pub next_replenishment: Instant,
+/// The capacity-state machine of one aperiodic server policy.
+///
+/// All methods receive the static [`ServerSpec`] so implementations stay
+/// plain data. Instants passed to [`ServerPolicy::consume`] are the *start*
+/// of the consumed slice (the Sporadic Server anchors replenishments there).
+pub trait ServerPolicy {
+    /// Applies every replenishment due at or before `now`, returning `true`
+    /// when at least one replenishment happened. `queue_empty` lets the
+    /// Polling Server discard fresh capacity when it has nothing to poll.
+    fn replenish_due(&mut self, spec: &ServerSpec, now: Instant, queue_empty: bool) -> bool;
+
+    /// Debits `amount` of capacity for a slice that started at `start`.
+    fn consume(&mut self, spec: &ServerSpec, amount: Span, start: Instant);
+
+    /// Called when the pending queue just became empty at `now`.
+    fn on_queue_emptied(&mut self, spec: &ServerSpec, now: Instant);
+
+    /// Capacity currently available ([`Span::MAX`] for unlimited policies).
+    fn available(&self) -> Span;
+
+    /// The next instant at which the available capacity can grow
+    /// ([`Instant::MAX`] when no replenishment is scheduled).
+    fn next_replenishment(&self) -> Instant;
 }
 
-impl ServerState {
-    /// Creates the state as it is just before time zero: the first
-    /// replenishment (the server's initial activation) is scheduled at time
-    /// zero itself, so the engine's very first call to [`Self::replenish_due`]
-    /// decides — based on whether anything is already pending — whether a
-    /// Polling Server keeps or forfeits its first capacity.
-    pub fn new(spec: ServerSpec) -> Self {
-        let (capacity, next) = match spec.policy {
-            ServerPolicyKind::Background => (Span::MAX, Instant::MAX),
-            _ => (Span::ZERO, Instant::ZERO),
-        };
-        ServerState {
-            spec,
-            capacity,
-            next_replenishment: next,
+/// Shared state of the two periodically-replenished policies (PS and DS):
+/// full capacity every period, collapsed missed replenishments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PeriodicReplenish {
+    capacity: Span,
+    next_replenishment: Instant,
+}
+
+impl PeriodicReplenish {
+    /// As it is just before time zero: the first replenishment (the server's
+    /// initial activation) is scheduled at time zero itself, so the engine's
+    /// very first `replenish_due` decides — based on whether anything is
+    /// already pending — whether a Polling Server keeps or forfeits its first
+    /// capacity.
+    fn new() -> Self {
+        PeriodicReplenish {
+            capacity: Span::ZERO,
+            next_replenishment: Instant::ZERO,
         }
     }
 
-    /// True when the policy maintains a finite capacity.
-    pub fn is_capacity_limited(&self) -> bool {
-        self.spec.policy != ServerPolicyKind::Background
-    }
-
-    /// Applies every replenishment due at or before `now`, returning `true`
-    /// when at least one replenishment happened.
-    ///
-    /// `queue_empty` lets the Polling Server discard the fresh capacity
-    /// immediately when it has nothing to serve at its activation instant.
-    pub fn replenish_due(&mut self, now: Instant, queue_empty: bool) -> bool {
-        if !self.is_capacity_limited() {
-            return false;
-        }
+    fn replenish_due(&mut self, spec: &ServerSpec, now: Instant) -> bool {
         let mut replenished = false;
         while self.next_replenishment <= now {
-            self.capacity = self.spec.capacity;
-            self.next_replenishment += self.spec.period;
+            self.capacity = spec.capacity;
+            self.next_replenishment += spec.period;
             replenished = true;
         }
-        if replenished && self.spec.policy == ServerPolicyKind::Polling && queue_empty {
+        replenished
+    }
+}
+
+/// Polling Server: full capacity at each periodic activation, forfeited as
+/// soon as there is nothing to poll.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PollingPolicy(PeriodicReplenish);
+
+impl ServerPolicy for PollingPolicy {
+    fn replenish_due(&mut self, spec: &ServerSpec, now: Instant, queue_empty: bool) -> bool {
+        let replenished = self.0.replenish_due(spec, now);
+        if replenished && queue_empty {
             // The PS "loses its remaining capacity until its next activation"
             // as soon as there is nothing to poll.
-            self.capacity = Span::ZERO;
+            self.0.capacity = Span::ZERO;
         }
         replenished
     }
 
-    /// Consumes capacity after the server executed for `amount`.
-    pub fn consume(&mut self, amount: Span) {
-        if self.is_capacity_limited() {
-            debug_assert!(
-                amount <= self.capacity,
-                "server executed beyond its capacity"
-            );
-            self.capacity = self.capacity.saturating_sub(amount);
+    fn consume(&mut self, _spec: &ServerSpec, amount: Span, _start: Instant) {
+        debug_assert!(
+            amount <= self.0.capacity,
+            "server executed beyond its capacity"
+        );
+        self.0.capacity = self.0.capacity.saturating_sub(amount);
+    }
+
+    fn on_queue_emptied(&mut self, _spec: &ServerSpec, _now: Instant) {
+        self.0.capacity = Span::ZERO;
+    }
+
+    fn available(&self) -> Span {
+        self.0.capacity
+    }
+
+    fn next_replenishment(&self) -> Instant {
+        self.0.next_replenishment
+    }
+}
+
+/// Deferrable Server: capacity is preserved while idle and refilled to full
+/// at every period boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeferrablePolicy(PeriodicReplenish);
+
+impl ServerPolicy for DeferrablePolicy {
+    fn replenish_due(&mut self, spec: &ServerSpec, now: Instant, _queue_empty: bool) -> bool {
+        self.0.replenish_due(spec, now)
+    }
+
+    fn consume(&mut self, _spec: &ServerSpec, amount: Span, _start: Instant) {
+        debug_assert!(
+            amount <= self.0.capacity,
+            "server executed beyond its capacity"
+        );
+        self.0.capacity = self.0.capacity.saturating_sub(amount);
+    }
+
+    fn on_queue_emptied(&mut self, _spec: &ServerSpec, _now: Instant) {}
+
+    fn available(&self) -> Span {
+        self.0.capacity
+    }
+
+    fn next_replenishment(&self) -> Instant {
+        self.0.next_replenishment
+    }
+}
+
+/// Background servicing: no capacity limit, no replenishments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackgroundPolicy;
+
+impl ServerPolicy for BackgroundPolicy {
+    fn replenish_due(&mut self, _spec: &ServerSpec, _now: Instant, _queue_empty: bool) -> bool {
+        false
+    }
+
+    fn consume(&mut self, _spec: &ServerSpec, _amount: Span, _start: Instant) {}
+
+    fn on_queue_emptied(&mut self, _spec: &ServerSpec, _now: Instant) {}
+
+    fn available(&self) -> Span {
+        Span::MAX
+    }
+
+    fn next_replenishment(&self) -> Instant {
+        Instant::MAX
+    }
+}
+
+/// Sporadic Server (Sprunt-style, simplified): the server starts with its
+/// full capacity; capacity consumed during one *active chunk* — a maximal
+/// service burst anchored at the instant the chunk's first slice starts — is
+/// replenished, as one replenishment event, exactly one server period after
+/// the anchor. Chunks close when the capacity is exhausted or the pending
+/// queue drains.
+///
+/// Because the engine requires capacity-limited servers to run above every
+/// periodic task, a chunk's first slice starts at the instant the server
+/// became eligible (modulo interference from higher-priority servers), so
+/// anchoring replenishments at the slice start matches Sprunt's
+/// "replenishment time set when the server becomes active" rule for the
+/// system shapes the validator admits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SporadicPolicy {
+    capacity: Span,
+    /// Scheduled replenishments `(when, amount)`. Anchors are nondecreasing
+    /// over time, so the queue stays time-ordered without a heap.
+    pending: VecDeque<(Instant, Span)>,
+    /// Anchor of the open active chunk, if any.
+    anchor: Option<Instant>,
+    /// Capacity consumed since the anchor.
+    consumed: Span,
+}
+
+impl SporadicPolicy {
+    fn new(spec: &ServerSpec) -> Self {
+        SporadicPolicy {
+            capacity: spec.capacity,
+            pending: VecDeque::new(),
+            anchor: None,
+            consumed: Span::ZERO,
         }
     }
 
-    /// Called by the engine when the pending queue just became empty; the
-    /// Polling Server forfeits whatever capacity is left.
-    pub fn on_queue_emptied(&mut self) {
-        if self.spec.policy == ServerPolicyKind::Polling {
-            self.capacity = Span::ZERO;
+    /// Closes the open chunk, scheduling its replenishment one period after
+    /// the anchor.
+    fn close_chunk(&mut self, spec: &ServerSpec) {
+        if let Some(anchor) = self.anchor.take() {
+            if !self.consumed.is_zero() {
+                self.pending
+                    .push_back((anchor + spec.period, self.consumed));
+            }
+            self.consumed = Span::ZERO;
         }
+    }
+}
+
+impl ServerPolicy for SporadicPolicy {
+    fn replenish_due(&mut self, spec: &ServerSpec, now: Instant, _queue_empty: bool) -> bool {
+        let mut replenished = false;
+        while let Some(&(when, amount)) = self.pending.front() {
+            if when > now {
+                break;
+            }
+            self.pending.pop_front();
+            self.capacity = (self.capacity + amount).min(spec.capacity);
+            replenished = true;
+        }
+        replenished
+    }
+
+    fn consume(&mut self, spec: &ServerSpec, amount: Span, start: Instant) {
+        debug_assert!(
+            amount <= self.capacity,
+            "server executed beyond its capacity"
+        );
+        if self.anchor.is_none() {
+            self.anchor = Some(start);
+        }
+        // Replenish only what was actually debited, so the total capacity in
+        // flight (available + scheduled) never exceeds the full capacity.
+        let debit = amount.min(self.capacity);
+        self.capacity -= debit;
+        self.consumed += debit;
+        if self.capacity.is_zero() {
+            self.close_chunk(spec);
+        }
+    }
+
+    fn on_queue_emptied(&mut self, spec: &ServerSpec, _now: Instant) {
+        self.close_chunk(spec);
+    }
+
+    fn available(&self) -> Span {
+        self.capacity
+    }
+
+    fn next_replenishment(&self) -> Instant {
+        self.pending
+            .front()
+            .map(|&(when, _)| when)
+            .unwrap_or(Instant::MAX)
+    }
+}
+
+/// The policy state of one server, dispatching the [`ServerPolicy`] trait
+/// over the four implementations (an enum rather than a trait object so
+/// [`ServerState`] stays `Clone` and allocation-free for the common
+/// policies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PolicyState {
+    /// Polling Server.
+    Polling(PollingPolicy),
+    /// Deferrable Server.
+    Deferrable(DeferrablePolicy),
+    /// Background servicing.
+    Background(BackgroundPolicy),
+    /// Sporadic Server.
+    Sporadic(SporadicPolicy),
+}
+
+impl PolicyState {
+    fn as_policy_mut(&mut self) -> &mut dyn ServerPolicy {
+        match self {
+            PolicyState::Polling(p) => p,
+            PolicyState::Deferrable(p) => p,
+            PolicyState::Background(p) => p,
+            PolicyState::Sporadic(p) => p,
+        }
+    }
+
+    fn as_policy(&self) -> &dyn ServerPolicy {
+        match self {
+            PolicyState::Polling(p) => p,
+            PolicyState::Deferrable(p) => p,
+            PolicyState::Background(p) => p,
+            PolicyState::Sporadic(p) => p,
+        }
+    }
+}
+
+/// Runtime capacity state of a simulated aperiodic server: the static
+/// [`ServerSpec`] plus its [`ServerPolicy`] state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerState {
+    /// Static specification.
+    pub spec: ServerSpec,
+    policy: PolicyState,
+}
+
+impl ServerState {
+    /// Creates the state as it is just before time zero.
+    pub fn new(spec: ServerSpec) -> Self {
+        let policy = match spec.policy {
+            ServerPolicyKind::Polling => {
+                PolicyState::Polling(PollingPolicy(PeriodicReplenish::new()))
+            }
+            ServerPolicyKind::Deferrable => {
+                PolicyState::Deferrable(DeferrablePolicy(PeriodicReplenish::new()))
+            }
+            ServerPolicyKind::Background => PolicyState::Background(BackgroundPolicy),
+            ServerPolicyKind::Sporadic => PolicyState::Sporadic(SporadicPolicy::new(&spec)),
+        };
+        ServerState { spec, policy }
+    }
+
+    /// True when the policy maintains a finite capacity.
+    pub fn is_capacity_limited(&self) -> bool {
+        self.spec.policy.is_capacity_limited()
+    }
+
+    /// Remaining capacity right now ([`Span::MAX`] for background servicing).
+    pub fn capacity(&self) -> Span {
+        self.policy.as_policy().available()
+    }
+
+    /// The next instant at which the available capacity can grow.
+    pub fn next_replenishment(&self) -> Instant {
+        self.policy.as_policy().next_replenishment()
+    }
+
+    /// Applies every replenishment due at or before `now`, returning `true`
+    /// when at least one replenishment happened.
+    pub fn replenish_due(&mut self, now: Instant, queue_empty: bool) -> bool {
+        let spec = self.spec.clone();
+        self.policy
+            .as_policy_mut()
+            .replenish_due(&spec, now, queue_empty)
+    }
+
+    /// Consumes capacity after the server executed for `amount` starting at
+    /// `start`.
+    pub fn consume(&mut self, amount: Span, start: Instant) {
+        let spec = self.spec.clone();
+        self.policy.as_policy_mut().consume(&spec, amount, start);
+    }
+
+    /// Called by the engine when the pending queue just became empty at `now`.
+    pub fn on_queue_emptied(&mut self, now: Instant) {
+        let spec = self.spec.clone();
+        self.policy.as_policy_mut().on_queue_emptied(&spec, now);
     }
 
     /// True when the server may execute right now, given whether it has
     /// pending work.
     pub fn is_ready(&self, queue_empty: bool) -> bool {
-        !queue_empty && (!self.is_capacity_limited() || !self.capacity.is_zero())
+        !queue_empty && !self.capacity().is_zero()
     }
 
-    /// The largest slice the server may execute in one go from `now` before a
+    /// The largest slice the server may execute in one go before a
     /// capacity-related decision point (capacity exhaustion). Replenishments
     /// are decision points handled by the engine's event horizon.
     pub fn max_slice(&self) -> Span {
-        if self.is_capacity_limited() {
-            self.capacity
-        } else {
-            Span::MAX
-        }
+        self.capacity()
     }
 }
 
@@ -124,20 +401,28 @@ mod tests {
         ))
     }
 
+    fn sporadic() -> ServerState {
+        ServerState::new(ServerSpec::sporadic(
+            Span::from_units(3),
+            Span::from_units(6),
+            Priority::new(30),
+        ))
+    }
+
     #[test]
     fn initial_activation_is_scheduled_at_time_zero() {
         let mut s = polling();
-        assert_eq!(s.next_replenishment, Instant::ZERO);
+        assert_eq!(s.next_replenishment(), Instant::ZERO);
         assert!(s.is_capacity_limited());
         // With pending work at time zero the first activation keeps the full
         // capacity and schedules the next replenishment one period later.
         assert!(s.replenish_due(Instant::ZERO, false));
-        assert_eq!(s.capacity, Span::from_units(3));
-        assert_eq!(s.next_replenishment, Instant::from_units(6));
+        assert_eq!(s.capacity(), Span::from_units(3));
+        assert_eq!(s.next_replenishment(), Instant::from_units(6));
         // Without pending work a polling server forfeits it immediately.
         let mut idle = polling();
         assert!(idle.replenish_due(Instant::ZERO, true));
-        assert_eq!(idle.capacity, Span::ZERO);
+        assert_eq!(idle.capacity(), Span::ZERO);
     }
 
     #[test]
@@ -145,7 +430,7 @@ mod tests {
         let mut s = ServerState::new(ServerSpec::background(Priority::MIN));
         assert!(!s.is_capacity_limited());
         assert!(!s.replenish_due(Instant::from_units(100), true));
-        s.consume(Span::from_units(50));
+        s.consume(Span::from_units(50), Instant::ZERO);
         assert_eq!(s.max_slice(), Span::MAX);
         assert!(s.is_ready(false));
         assert!(!s.is_ready(true));
@@ -155,34 +440,34 @@ mod tests {
     fn polling_server_discards_capacity_when_idle_at_activation() {
         let mut s = polling();
         assert!(s.replenish_due(Instant::from_units(6), true));
-        assert_eq!(s.capacity, Span::ZERO);
+        assert_eq!(s.capacity(), Span::ZERO);
         // Next activation with pending work gets the full capacity back.
         assert!(s.replenish_due(Instant::from_units(12), false));
-        assert_eq!(s.capacity, Span::from_units(3));
+        assert_eq!(s.capacity(), Span::from_units(3));
     }
 
     #[test]
     fn deferrable_server_keeps_capacity_when_idle() {
         let mut s = deferrable();
         assert!(s.replenish_due(Instant::from_units(6), true));
-        assert_eq!(s.capacity, Span::from_units(3));
+        assert_eq!(s.capacity(), Span::from_units(3));
     }
 
     #[test]
     fn consume_and_queue_emptied() {
         let mut s = polling();
         s.replenish_due(Instant::ZERO, false);
-        s.consume(Span::from_units(2));
-        assert_eq!(s.capacity, Span::from_units(1));
-        s.on_queue_emptied();
-        assert_eq!(s.capacity, Span::ZERO);
+        s.consume(Span::from_units(2), Instant::ZERO);
+        assert_eq!(s.capacity(), Span::from_units(1));
+        s.on_queue_emptied(Instant::from_units(2));
+        assert_eq!(s.capacity(), Span::ZERO);
 
         let mut d = deferrable();
         d.replenish_due(Instant::ZERO, false);
-        d.consume(Span::from_units(2));
-        d.on_queue_emptied();
+        d.consume(Span::from_units(2), Instant::ZERO);
+        d.on_queue_emptied(Instant::from_units(2));
         assert_eq!(
-            d.capacity,
+            d.capacity(),
             Span::from_units(1),
             "the DS keeps its remaining capacity"
         );
@@ -192,10 +477,10 @@ mod tests {
     fn multiple_missed_replenishments_are_collapsed() {
         let mut s = deferrable();
         s.replenish_due(Instant::ZERO, false);
-        s.consume(Span::from_units(3));
+        s.consume(Span::from_units(3), Instant::ZERO);
         assert!(s.replenish_due(Instant::from_units(20), false));
-        assert_eq!(s.capacity, Span::from_units(3));
-        assert_eq!(s.next_replenishment, Instant::from_units(24));
+        assert_eq!(s.capacity(), Span::from_units(3));
+        assert_eq!(s.next_replenishment(), Instant::from_units(24));
     }
 
     #[test]
@@ -204,7 +489,52 @@ mod tests {
         s.replenish_due(Instant::ZERO, false);
         assert!(s.is_ready(false));
         assert!(!s.is_ready(true));
-        s.consume(Span::from_units(3));
+        s.consume(Span::from_units(3), Instant::ZERO);
         assert!(!s.is_ready(false));
+    }
+
+    #[test]
+    fn sporadic_server_starts_full_and_replenishes_per_consumption() {
+        let mut s = sporadic();
+        assert_eq!(s.capacity(), Span::from_units(3));
+        assert_eq!(s.next_replenishment(), Instant::MAX);
+        // A chunk of 2 units starting at t=1 closes when the queue drains at
+        // t=3: replenishment of 2 scheduled at 1 + 6 = 7.
+        s.consume(Span::from_units(2), Instant::from_units(1));
+        s.on_queue_emptied(Instant::from_units(3));
+        assert_eq!(s.capacity(), Span::from_units(1));
+        assert_eq!(s.next_replenishment(), Instant::from_units(7));
+        assert!(!s.replenish_due(Instant::from_units(6), true));
+        assert!(s.replenish_due(Instant::from_units(7), true));
+        assert_eq!(s.capacity(), Span::from_units(3));
+        assert_eq!(s.next_replenishment(), Instant::MAX);
+    }
+
+    #[test]
+    fn sporadic_exhaustion_closes_the_chunk_immediately() {
+        let mut s = sporadic();
+        // Consume everything in one chunk anchored at t=2.
+        s.consume(Span::from_units(3), Instant::from_units(2));
+        assert_eq!(s.capacity(), Span::ZERO);
+        assert!(!s.is_ready(false));
+        assert_eq!(s.next_replenishment(), Instant::from_units(8));
+        // A later chunk anchors at its own start.
+        assert!(s.replenish_due(Instant::from_units(8), false));
+        s.consume(Span::from_units(1), Instant::from_units(9));
+        s.on_queue_emptied(Instant::from_units(10));
+        assert_eq!(s.next_replenishment(), Instant::from_units(15));
+    }
+
+    #[test]
+    fn sporadic_chunks_accumulate_split_consumption() {
+        let mut s = sporadic();
+        // Two slices of the same chunk (preempted service): one replenishment
+        // of the total at anchor + period.
+        s.consume(Span::from_units(1), Instant::from_units(2));
+        s.consume(Span::from_units(1), Instant::from_units(4));
+        s.on_queue_emptied(Instant::from_units(5));
+        assert_eq!(s.capacity(), Span::from_units(1));
+        assert!(s.replenish_due(Instant::from_units(8), true));
+        assert_eq!(s.capacity(), Span::from_units(3));
     }
 }

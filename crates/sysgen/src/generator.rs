@@ -34,6 +34,31 @@ pub struct PeriodicLoad {
     pub max_period: f64,
 }
 
+/// An additional server generated below the primary one (multi-server
+/// systems). Priorities are assigned automatically: the primary server keeps
+/// the paper's "High" level and extras stack directly underneath it, all
+/// above every generated periodic task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtraServer {
+    /// Service policy of the extra server.
+    pub policy: ServerPolicyKind,
+    /// Capacity replenished per period.
+    pub capacity: Span,
+    /// Replenishment period.
+    pub period: Span,
+}
+
+impl ExtraServer {
+    /// Creates an extra-server descriptor.
+    pub fn new(policy: ServerPolicyKind, capacity: Span, period: Span) -> Self {
+        ExtraServer {
+            policy,
+            capacity,
+            period,
+        }
+    }
+}
+
 /// The random system generator.
 #[derive(Debug, Clone)]
 pub struct RandomSystemGenerator {
@@ -41,6 +66,7 @@ pub struct RandomSystemGenerator {
     cost_model: CostModel,
     policy: ServerPolicyKind,
     periodic_load: Option<PeriodicLoad>,
+    extra_servers: Vec<ExtraServer>,
 }
 
 impl RandomSystemGenerator {
@@ -58,6 +84,7 @@ impl RandomSystemGenerator {
             cost_model,
             policy,
             periodic_load: None,
+            extra_servers: Vec::new(),
         })
     }
 
@@ -70,6 +97,17 @@ impl RandomSystemGenerator {
     /// Adds a synthetic periodic task set below the server.
     pub fn with_periodic_load(mut self, load: PeriodicLoad) -> Self {
         self.periodic_load = Some(load);
+        self
+    }
+
+    /// Adds extra servers below the primary one, turning the generator into
+    /// a multi-server system generator: each aperiodic event is routed
+    /// uniformly at random to one of the `1 + extras` servers, and its cost
+    /// is clamped to the target server's capacity so the admission
+    /// constraint holds. With no extras the generated systems (and RNG
+    /// streams) are exactly the single-server ones.
+    pub fn with_extra_servers(mut self, extras: Vec<ExtraServer>) -> Self {
+        self.extra_servers = extras;
         self
     }
 
@@ -111,6 +149,28 @@ impl RandomSystemGenerator {
         };
         builder.server(server);
 
+        // Extra servers stack directly below the primary one; periodic tasks
+        // (when generated) sit below every server.
+        let mut server_capacities = vec![self.params.server_capacity];
+        for (j, extra) in self.extra_servers.iter().enumerate() {
+            let priority = Priority::new(
+                server_priority
+                    .level()
+                    .saturating_sub(1 + j as u8)
+                    .max(Priority::MIN.level()),
+            );
+            builder.add_server(ServerSpec {
+                policy: extra.policy,
+                capacity: extra.capacity,
+                period: extra.period,
+                priority,
+            });
+            server_capacities.push(extra.capacity);
+        }
+        let lowest_server_level = server_priority
+            .level()
+            .saturating_sub(self.extra_servers.len() as u8);
+
         if let Some(load) = self.periodic_load {
             let utilizations = uunifast(&mut rng, load.count, load.utilization);
             for (i, u) in utilizations.into_iter().enumerate() {
@@ -118,10 +178,9 @@ impl RandomSystemGenerator {
                     rng.gen_range(load.min_period..=load.max_period.max(load.min_period));
                 let period = Span::from_units_f64(period_units);
                 let cost = Span::from_units_f64(u * period_units).max(Span::from_ticks(1));
-                // Periodic tasks sit strictly below the server priority.
+                // Periodic tasks sit strictly below every server priority.
                 let prio = Priority::new(
-                    server_priority
-                        .level()
+                    lowest_server_level
                         .saturating_sub(1 + i as u8)
                         .max(Priority::MIN.level()),
                 );
@@ -141,8 +200,20 @@ impl RandomSystemGenerator {
         }
         releases.sort();
         for release in releases {
-            let cost = self.cost_model.sample(&mut rng);
-            builder.aperiodic(release, cost);
+            if self.extra_servers.is_empty() {
+                // Single-server path: byte-identical draws to the original
+                // generator, so existing sets are reproducible.
+                let cost = self.cost_model.sample(&mut rng);
+                builder.aperiodic(release, cost);
+            } else {
+                let target = rng.gen_range(0..server_capacities.len());
+                let cost = self
+                    .cost_model
+                    .sample(&mut rng)
+                    .min(server_capacities[target]);
+                let id = builder.aperiodic_for(target, release, cost);
+                let _ = id;
+            }
         }
         builder.horizon(horizon);
         builder
@@ -188,7 +259,7 @@ mod tests {
         for sys in &systems {
             assert!(sys.validate().is_ok());
             assert_eq!(sys.horizon, Instant::from_units(60));
-            assert_eq!(sys.server.as_ref().unwrap().capacity, Span::from_units(4));
+            assert_eq!(sys.server().unwrap().capacity, Span::from_units(4));
         }
     }
 
@@ -283,11 +354,8 @@ mod tests {
                 a.aperiodics, b.aperiodics,
                 "same seed must give the same traffic"
             );
-            assert_eq!(a.server.as_ref().unwrap().policy, ServerPolicyKind::Polling);
-            assert_eq!(
-                b.server.as_ref().unwrap().policy,
-                ServerPolicyKind::Deferrable
-            );
+            assert_eq!(a.server().unwrap().policy, ServerPolicyKind::Polling);
+            assert_eq!(b.server().unwrap().policy, ServerPolicyKind::Deferrable);
         }
     }
 
@@ -301,12 +369,56 @@ mod tests {
         });
         let sys = gen.generate_one(0);
         assert_eq!(sys.periodic_tasks.len(), 3);
-        let server_prio = sys.server.as_ref().unwrap().priority;
+        let server_prio = sys.server().unwrap().priority;
         for t in &sys.periodic_tasks {
             assert!(server_prio.preempts(t.priority));
         }
         let u: f64 = sys.periodic_tasks.iter().map(|t| t.utilization()).sum();
         assert!(u > 0.0 && u < 0.5);
+    }
+
+    #[test]
+    fn extra_servers_produce_valid_multi_server_systems() {
+        let gen = generator(2, 2).with_extra_servers(vec![
+            ExtraServer::new(
+                ServerPolicyKind::Sporadic,
+                Span::from_units(3),
+                Span::from_units(8),
+            ),
+            ExtraServer::new(
+                ServerPolicyKind::Deferrable,
+                Span::from_units(2),
+                Span::from_units(12),
+            ),
+        ]);
+        let systems = gen.generate();
+        let mut routed_beyond_primary = 0usize;
+        for sys in &systems {
+            assert!(sys.validate().is_ok());
+            assert_eq!(sys.servers.len(), 3);
+            // Priorities stack strictly downward from the primary server.
+            assert!(sys.servers[0].priority.preempts(sys.servers[1].priority));
+            assert!(sys.servers[1].priority.preempts(sys.servers[2].priority));
+            for e in &sys.aperiodics {
+                assert!(e.server < 3);
+                let target = &sys.servers[e.server];
+                assert!(e.declared_cost <= target.capacity);
+                if e.server > 0 {
+                    routed_beyond_primary += 1;
+                }
+            }
+        }
+        assert!(
+            routed_beyond_primary > 0,
+            "uniform routing must hit the extra servers"
+        );
+    }
+
+    #[test]
+    fn no_extras_keeps_the_original_streams() {
+        let plain = generator(2, 2).generate();
+        let with_empty = generator(2, 2).with_extra_servers(Vec::new()).generate();
+        assert_eq!(plain, with_empty);
     }
 
     #[test]

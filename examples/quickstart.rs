@@ -78,7 +78,7 @@ fn main() {
     // Off-line feasibility of the periodic part with the server folded in.
     let feasible = rtsj_event_framework::analysis::periodic_set_feasible_with_server(
         &spec.periodic_tasks,
-        spec.server.as_ref().unwrap(),
+        spec.server().unwrap(),
     );
     println!(
         "periodic task set with the server dimensioned as a periodic task: {}\n",
@@ -103,7 +103,7 @@ fn main() {
 
     // The same traffic under a deferrable server, for comparison.
     let mut ds_spec = spec.clone();
-    ds_spec.server.as_mut().unwrap().policy = ServerPolicyKind::Deferrable;
+    ds_spec.server_mut().unwrap().policy = ServerPolicyKind::Deferrable;
     let ds_execution = execute(&ds_spec, &ExecutionConfig::ideal());
     report("execution (deferrable server)", &ds_spec, &ds_execution);
 }

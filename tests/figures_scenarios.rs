@@ -117,7 +117,7 @@ fn deferrable_server_improves_scenario_2_response_times() {
     // Running the scenario-2 traffic under a DS (execution) serves both
     // events on arrival, which is the motivation for the DS policy.
     let mut spec = rtsj_event_framework::experiments::scenario_system(Scenario::Two);
-    spec.server.as_mut().unwrap().policy = ServerPolicyKind::Deferrable;
+    spec.server_mut().unwrap().policy = ServerPolicyKind::Deferrable;
     let trace = execute(&spec, &ExecutionConfig::ideal());
     assert_eq!(trace.outcomes[0].response_time(), Some(Span::from_units(2)));
     assert!(trace.outcomes[1].response_time().unwrap() < Span::from_units(10));

@@ -108,6 +108,7 @@ fn executions_match_goldens_for_every_scenario_policy_and_queue() {
             ServerPolicyKind::Polling,
             ServerPolicyKind::Deferrable,
             ServerPolicyKind::Background,
+            ServerPolicyKind::Sporadic,
         ] {
             let spec = system(scenario, policy);
             for queue in [QueueKind::Fifo, QueueKind::ListOfLists] {
@@ -132,6 +133,7 @@ fn simulations_match_goldens_for_every_scenario_and_policy() {
             ServerPolicyKind::Polling,
             ServerPolicyKind::Deferrable,
             ServerPolicyKind::Background,
+            ServerPolicyKind::Sporadic,
         ] {
             let spec = system(scenario, policy);
             let reference = simulate_reference(&spec);
@@ -143,6 +145,83 @@ fn simulations_match_goldens_for_every_scenario_and_policy() {
                 &indexed.render_canonical(),
             );
         }
+    }
+}
+
+/// A multi-server system with `n` servers (2 ≤ n ≤ 3): a deferrable server
+/// on top, a sporadic server below it, optionally a polling server below
+/// that, all above the Table 1 periodic pair, with bursty traffic routed
+/// round-robin across the servers.
+fn multi_server_system(n: usize) -> SystemSpec {
+    assert!((2..=3).contains(&n));
+    let mut b = SystemSpec::builder(format!("golden-multi{n}"));
+    b.add_server(ServerSpec::deferrable(
+        Span::from_units(3),
+        Span::from_units(6),
+        Priority::new(33),
+    ));
+    b.add_server(ServerSpec::sporadic(
+        Span::from_units(2),
+        Span::from_units(8),
+        Priority::new(32),
+    ));
+    if n == 3 {
+        b.add_server(ServerSpec::polling(
+            Span::from_units(2),
+            Span::from_units(6),
+            Priority::new(31),
+        ));
+    }
+    b.periodic(
+        "tau1",
+        Span::from_units(2),
+        Span::from_units(6),
+        Priority::new(20),
+    );
+    b.periodic(
+        "tau2",
+        Span::from_units(1),
+        Span::from_units(6),
+        Priority::new(10),
+    );
+    // Bursty releases (several per instant at 0 and 12) so the servers
+    // contend; costs cycle 1/2 so skips and replenishments all trigger.
+    let releases = [0u64, 0, 0, 4, 7, 12, 12, 13, 19, 25, 31, 40];
+    for (i, &release) in releases.iter().enumerate() {
+        b.aperiodic_for(
+            i % n,
+            Instant::from_units(release),
+            Span::from_units(1 + (i as u64 % 2)),
+        );
+    }
+    b.horizon(Instant::from_units(60));
+    b.build().expect("multi-server golden systems are valid")
+}
+
+/// Multi-server goldens: 2- and 3-server systems, executed (both queue
+/// structures) and simulated, pinned event by event for both schedulers.
+#[test]
+fn multi_server_systems_match_goldens() {
+    for n in [2usize, 3] {
+        let spec = multi_server_system(n);
+        for queue in [QueueKind::Fifo, QueueKind::ListOfLists] {
+            let config = ExecutionConfig::reference().with_queue(queue);
+            let reference = execute(&spec, &config.with_scheduler(SchedulerKind::LinearScan));
+            let indexed = execute(&spec, &config.with_scheduler(SchedulerKind::Indexed));
+            let name = format!("exec_multi{n}_{queue:?}").to_lowercase();
+            check_golden(
+                &name,
+                &reference.render_canonical(),
+                &indexed.render_canonical(),
+            );
+        }
+        let reference = simulate_reference(&spec);
+        let indexed = simulate(&spec);
+        check_golden(
+            &format!("sim_multi{n}"),
+            &reference.render_canonical(),
+            &indexed.render_canonical(),
+        );
     }
 }
 
