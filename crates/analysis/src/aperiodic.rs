@@ -150,7 +150,21 @@ pub fn multi_server_response_bound(
         return base;
     }
     let release_instance = Span::from_ticks(release.ticks()).div_span(server.period);
-    let instances_touched = slot.instance.saturating_sub(release_instance) + 1;
+    // A slot earlier than the release's own instance would mean the handler
+    // is predicted to be served *before* its event fired — a packer-misuse
+    // bug a saturating subtraction would silently flatten into "one
+    // instance touched", under-counting the interference. Surface it.
+    debug_assert!(
+        slot.instance >= release_instance,
+        "slot instance {} precedes the release instance {release_instance}: \
+         the packer was seeded after the release it predicts",
+        slot.instance
+    );
+    let instances_touched = match slot.instance.checked_sub(release_instance) {
+        Some(spanned) => spanned + 1,
+        // Release-build fallback: count at least the release instance.
+        None => 1,
+    };
     base + higher_capacity_per_period.saturating_mul(instances_touched)
 }
 

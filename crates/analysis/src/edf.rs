@@ -1,13 +1,23 @@
 //! Feasibility analysis for Earliest-Deadline-First scheduling.
 //!
-//! The RTSS simulator (paper §5) offers EDF alongside preemptive fixed
+//! Both execution substrates (the RTSS simulator of paper §5 and the
+//! `rtsj-emu` execution engine) offer EDF alongside preemptive fixed
 //! priority; the analysis side matches it with the two classical tests:
 //!
 //! * the utilisation test (exact for implicit deadlines): `Σ C_i/T_i ≤ 1`;
 //! * the processor-demand criterion for constrained deadlines: for every
 //!   absolute deadline `t` in the testing set, `dbf(t) ≤ t`.
+//!
+//! [`edf_feasible_with_servers`] extends the demand test to systems with
+//! aperiodic task servers the same way the fixed-priority side does
+//! (`analyse_with_servers`): each capacity-limited server folds in as a
+//! periodic task of cost `capacity` and period/deadline `period` — its
+//! replenishment-derived EDF deadline — which upper-bounds its demand under
+//! every policy the workspace implements (PS/DS/SS all deliver at most one
+//! capacity per period window). This is the verdict the table harness
+//! reports next to the FP-RTA one for generated systems.
 
-use rt_model::{PeriodicTask, Span};
+use rt_model::{PeriodicTask, Priority, ServerSpec, Span, SystemSpec, TaskId};
 
 /// Exact EDF feasibility test for implicit-deadline periodic tasks.
 pub fn edf_utilization_test(tasks: &[PeriodicTask]) -> bool {
@@ -83,10 +93,47 @@ pub fn edf_demand_test(tasks: &[PeriodicTask]) -> bool {
     points.into_iter().all(|t| demand_bound(tasks, t) <= t)
 }
 
+/// Folds every capacity-limited server of the list into an equivalent
+/// periodic demand task (cost = capacity, period = deadline = the server
+/// period, the replenishment-derived deadline). Background servers consume
+/// no reserved bandwidth and fold to nothing.
+pub fn server_demand_tasks(servers: &[ServerSpec]) -> Vec<PeriodicTask> {
+    servers
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.policy.is_capacity_limited())
+        .map(|(i, s)| {
+            PeriodicTask::new(
+                TaskId::new(u32::MAX - i as u32),
+                format!("server-{i}({})", s.policy.label()),
+                s.capacity,
+                s.period,
+                Priority::MAX,
+            )
+        })
+        .collect()
+}
+
+/// Processor-demand EDF feasibility for a periodic task set running next to
+/// aperiodic task servers: the servers fold in as periodic demand tasks
+/// (see [`server_demand_tasks`]) and the combined set goes through
+/// [`edf_demand_test`].
+pub fn edf_feasible_with_servers(tasks: &[PeriodicTask], servers: &[ServerSpec]) -> bool {
+    let mut combined: Vec<PeriodicTask> = tasks.to_vec();
+    combined.extend(server_demand_tasks(servers));
+    edf_demand_test(&combined)
+}
+
+/// EDF feasibility verdict for a whole [`SystemSpec`] — the entry point the
+/// table harness uses to report an EDF column next to the FP-RTA one.
+pub fn edf_feasible_system(spec: &SystemSpec) -> bool {
+    edf_feasible_with_servers(&spec.periodic_tasks, &spec.servers)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rt_model::{Priority, TaskId};
+    use rt_model::Instant;
 
     fn task(id: u32, cost: u64, period: u64) -> PeriodicTask {
         PeriodicTask::new(
@@ -169,5 +216,56 @@ mod tests {
     fn empty_set_is_trivially_feasible() {
         assert!(edf_demand_test(&[]));
         assert!(edf_utilization_test(&[]));
+    }
+
+    #[test]
+    fn servers_fold_in_as_periodic_demand() {
+        // Table 1: server capacity 3 / period 6 above tau1 (2,6) and tau2
+        // (1,6) is exactly feasible under EDF (U = 1).
+        let tasks = vec![task(0, 2, 6), task(1, 1, 6)];
+        let servers = vec![ServerSpec::polling(
+            Span::from_units(3),
+            Span::from_units(6),
+            Priority::new(30),
+        )];
+        assert!(edf_feasible_with_servers(&tasks, &servers));
+        // One more unit of capacity pushes the demand over.
+        let too_big = vec![ServerSpec::polling(
+            Span::from_units(4),
+            Span::from_units(6),
+            Priority::new(30),
+        )];
+        assert!(!edf_feasible_with_servers(&tasks, &too_big));
+    }
+
+    #[test]
+    fn background_servers_add_no_demand() {
+        let tasks = vec![task(0, 3, 6), task(1, 3, 6)];
+        let servers = vec![ServerSpec::background(Priority::MIN)];
+        assert!(server_demand_tasks(&servers).is_empty());
+        assert!(edf_feasible_with_servers(&tasks, &servers));
+    }
+
+    #[test]
+    fn system_level_verdict_matches_the_component_test() {
+        let mut b = SystemSpec::builder("edf-verdict");
+        b.server(ServerSpec::sporadic(
+            Span::from_units(2),
+            Span::from_units(8),
+            Priority::new(30),
+        ));
+        b.periodic(
+            "tau",
+            Span::from_units(2),
+            Span::from_units(6),
+            Priority::new(10),
+        );
+        b.horizon(Instant::from_units(48));
+        let spec = b.build().unwrap();
+        assert_eq!(
+            edf_feasible_system(&spec),
+            edf_feasible_with_servers(&spec.periodic_tasks, &spec.servers)
+        );
+        assert!(edf_feasible_system(&spec));
     }
 }

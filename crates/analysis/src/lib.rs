@@ -12,8 +12,12 @@
 //! * [`aperiodic`] — the paper's §7 on-line response-time equations (1)–(5)
 //!   for aperiodic events under a highest-priority polling server, together
 //!   with the O(1) list-of-lists [`aperiodic::InstancePacker`];
-//! * [`edf`] — utilisation and processor-demand tests matching the EDF policy
-//!   offered by the RTSS simulator.
+//! * [`edf`] — utilisation and processor-demand (`dbf`) tests matching the
+//!   EDF policy offered by both engines, including
+//!   [`edf_feasible_with_servers`] / [`edf_feasible_system`], which fold
+//!   capacity-limited task servers into the demand the same way the
+//!   fixed-priority analysis does — the EDF verdict the table harness
+//!   reports next to the FP-RTA one.
 //!
 //! ```
 //! use rt_analysis::periodic_set_feasible_with_server;
@@ -46,6 +50,10 @@ pub mod utilization;
 pub use aperiodic::{
     implementation_ps_response_time, multi_server_response_bound, textbook_ps_response_time,
     InstancePacker, InstanceSlot, ServerParams,
+};
+pub use edf::{
+    demand_bound, edf_demand_test, edf_feasible_system, edf_feasible_with_servers,
+    edf_utilization_test, server_demand_tasks,
 };
 pub use rta::{analyse, response_time, AnalysisTask, RtaResult, TaskResponse};
 pub use server::{

@@ -115,6 +115,7 @@ pub fn max_feasible_capacity(
         capacity,
         period,
         priority,
+        discipline: rt_model::QueueDiscipline::FifoSkip,
     };
     if !periodic_set_feasible_with_server(tasks, &make(Span::from_ticks(1))) {
         return Span::ZERO;

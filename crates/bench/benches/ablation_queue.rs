@@ -31,8 +31,12 @@ fn bench(c: &mut Criterion) {
                 &backlog,
                 |b, &n| {
                     b.iter(|| {
-                        let mut queue =
-                            PendingQueue::new(kind, Span::from_units(4), Span::from_units(6));
+                        let mut queue = PendingQueue::new(
+                            kind,
+                            Span::from_units(4),
+                            Span::from_units(6),
+                            rt_model::QueueDiscipline::FifoSkip,
+                        );
                         for i in 0..n as u32 {
                             let cost = Span::from_units(1 + (i as u64 % 3));
                             // Admission-time prediction for the incoming

@@ -26,7 +26,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rt_experiments::{available_workers, generate_set, run_systems, EvaluationMode, TableConfig};
 use rt_metrics::SET_ORDER;
-use rt_model::{Instant, Priority, ServerPolicyKind, ServerSpec, Span, SystemSpec};
+use rt_model::{
+    Instant, Priority, SchedulingPolicy, ServerPolicyKind, ServerSpec, Span, SystemSpec,
+};
 use rt_taskserver::{execute, ExecutionConfig};
 use rtsj_emu::SchedulerKind;
 use rtss_sim::{simulate, simulate_reference, simulate_unbatched};
@@ -80,6 +82,7 @@ fn harness_batch(systems_per_set: usize) -> Vec<SystemSpec> {
     let config = TableConfig {
         systems_per_set,
         seed: 1983,
+        ..TableConfig::default()
     };
     let mut systems = Vec::new();
     for policy in [ServerPolicyKind::Polling, ServerPolicyKind::Deferrable] {
@@ -122,6 +125,16 @@ fn bursty_system(burst: usize, horizon_units: u64) -> SystemSpec {
     }
     b.horizon(Instant::from_units(horizon_units));
     b.build().expect("bursty systems are valid")
+}
+
+/// The task-sweep system re-stamped for EDF dispatching: identical traffic
+/// and task set, only the ready-queue key changes (absolute deadlines
+/// instead of priorities). Comparing it against the fixed-priority run at
+/// the same size measures the cost of the deadline re-keying.
+fn edf_scaled_system(n: usize, horizon_units: u64) -> SystemSpec {
+    let mut spec = scaled_system(n, horizon_units);
+    spec.scheduling = SchedulingPolicy::Edf;
+    spec
 }
 
 /// The ROADMAP overload hot-spot: a 16-events/10-units burst (cost 1 each)
@@ -191,6 +204,29 @@ fn bench(c: &mut Criterion) {
             &spec,
             |b, s| b.iter(|| black_box(simulate(black_box(s)))),
         );
+    }
+    group.finish();
+
+    // EDF vs fixed priorities at the acceptance size (300 tasks): the EDF
+    // ready-heap re-keying must stay within a small constant factor of the
+    // fixed-priority dispatch on both engines.
+    let mut group = c.benchmark_group("edf_scaling");
+    {
+        let n = 300usize;
+        let fp = scaled_system(n, TASK_SWEEP_HORIZON);
+        let edf = edf_scaled_system(n, TASK_SWEEP_HORIZON);
+        group.bench_with_input(BenchmarkId::new("rtsj_fp", n), &fp, |b, s| {
+            b.iter(|| black_box(execute(black_box(s), &ExecutionConfig::reference())))
+        });
+        group.bench_with_input(BenchmarkId::new("rtsj_edf", n), &edf, |b, s| {
+            b.iter(|| black_box(execute(black_box(s), &ExecutionConfig::reference())))
+        });
+        group.bench_with_input(BenchmarkId::new("rtss_fp", n), &fp, |b, s| {
+            b.iter(|| black_box(simulate(black_box(s))))
+        });
+        group.bench_with_input(BenchmarkId::new("rtss_edf", n), &edf, |b, s| {
+            b.iter(|| black_box(simulate(black_box(s))))
+        });
     }
     group.finish();
 
@@ -369,6 +405,45 @@ fn bench(c: &mut Criterion) {
         rtsj_unbatched * 1e3,
         rtsj_unbatched / rtsj_batched
     );
+
+    // EDF summary: FP vs EDF per-run cost at the acceptance size.
+    println!();
+    println!("EDF vs fixed-priority dispatch (300 tasks, horizon {TASK_SWEEP_HORIZON} units):");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}",
+        "tasks", "rtsj FP", "rtsj EDF", "ratio", "rtss FP", "rtss EDF", "ratio"
+    );
+    {
+        let n = 300usize;
+        let fp = scaled_system(n, TASK_SWEEP_HORIZON);
+        let edf = edf_scaled_system(n, TASK_SWEEP_HORIZON);
+        black_box(execute(&fp, &ExecutionConfig::reference()));
+        black_box(execute(&edf, &ExecutionConfig::reference()));
+        let rtsj_fp = time_once(|| {
+            black_box(execute(&fp, &ExecutionConfig::reference()));
+        });
+        let rtsj_edf = time_once(|| {
+            black_box(execute(&edf, &ExecutionConfig::reference()));
+        });
+        black_box(simulate(&fp));
+        black_box(simulate(&edf));
+        let rtss_fp = time_once(|| {
+            black_box(simulate(&fp));
+        });
+        let rtss_edf = time_once(|| {
+            black_box(simulate(&edf));
+        });
+        println!(
+            "{:>6} {:>11.2}ms {:>11.2}ms {:>7.2}x {:>11.2}ms {:>11.2}ms {:>7.2}x",
+            n,
+            rtsj_fp * 1e3,
+            rtsj_edf * 1e3,
+            rtsj_edf / rtsj_fp,
+            rtss_fp * 1e3,
+            rtss_edf * 1e3,
+            rtss_edf / rtss_fp,
+        );
+    }
 
     // Overload summary: executions of the burst workload must scale linearly
     // with the horizon now that the pending queue is indexed (the pre-fix

@@ -27,6 +27,7 @@ fn bench(c: &mut Criterion) {
     let quick = TableConfig {
         systems_per_set: 1,
         seed: 1983,
+        ..TableConfig::default()
     };
     group.bench_function("single_system_per_set", |b| {
         b.iter(|| {

@@ -77,6 +77,7 @@ mod tests {
             ServerPolicyKind::Polling,
             OverheadModel::none(),
             queue,
+            rt_model::QueueDiscipline::FifoSkip,
         )
     }
 

@@ -54,6 +54,12 @@ impl EventDrivenServerBody {
 
 impl ThreadBody for EventDrivenServerBody {
     fn next_action(&mut self, ctx: &mut BodyCtx, completion: Completion) -> Action {
+        // Publish the replenishment-derived deadline at every pump so an
+        // EDF engine ranks the server correctly; a no-op under fixed
+        // priorities (background servicing publishes Instant::MAX, the
+        // unchanged default).
+        let deadline = self.service.shared().borrow().edf_deadline(ctx.now());
+        ctx.set_deadline(deadline);
         match completion {
             Completion::Started => self.idle_action(),
             Completion::EventFired | Completion::PeriodStarted | Completion::TimeReached => {
@@ -97,7 +103,13 @@ mod tests {
             Span::from_units(6),
             Priority::new(30),
         );
-        let shared = ServerShared::new(params, policy, OverheadModel::none(), QueueKind::Fifo);
+        let shared = ServerShared::new(
+            params,
+            policy,
+            OverheadModel::none(),
+            QueueKind::Fifo,
+            rt_model::QueueDiscipline::FifoSkip,
+        );
         let mut engine = Engine::new(
             EngineConfig::new(Instant::from_units(horizon)).with_overhead(OverheadModel::none()),
         );

@@ -24,7 +24,7 @@ use crate::polling::PollingServerBody;
 use crate::queue::QueueKind;
 use crate::sporadic::SporadicServerBody;
 use crate::state::{ServerShared, SharedServer};
-use rt_model::{EventId, Instant, ServerPolicyKind, ServerSpec};
+use rt_model::{EventId, Instant, QueueDiscipline, ServerPolicyKind, ServerSpec};
 use rtsj_emu::{Engine, EventHandle, TaskServerParameters, ThreadHandle};
 
 /// Behaviour common to every installed task server.
@@ -50,9 +50,22 @@ pub struct PollingTaskServer {
 
 impl PollingTaskServer {
     /// Installs the server: spawns its periodic real-time thread at the
-    /// server priority with the server period.
-    pub fn install(engine: &mut Engine, params: TaskServerParameters, queue: QueueKind) -> Self {
-        let shared = ServerShared::new(params, ServerPolicyKind::Polling, engine.overhead(), queue);
+    /// server priority with the server period. Being periodic, the engine
+    /// re-keys its EDF deadline (release + period = the replenishment-derived
+    /// deadline) automatically at every activation.
+    pub fn install(
+        engine: &mut Engine,
+        params: TaskServerParameters,
+        queue: QueueKind,
+        discipline: QueueDiscipline,
+    ) -> Self {
+        let shared = ServerShared::new(
+            params,
+            ServerPolicyKind::Polling,
+            engine.overhead(),
+            queue,
+            discipline,
+        );
         let thread = engine.spawn_periodic(
             "server(PS)",
             params.priority,
@@ -101,12 +114,18 @@ impl DeferrableTaskServer {
     /// Installs the server: creates its `wakeUp` event, spawns the handler
     /// body bound to it, and arms the periodic replenishment timer that
     /// refills the capacity and fires `wakeUp` every period.
-    pub fn install(engine: &mut Engine, params: TaskServerParameters, queue: QueueKind) -> Self {
+    pub fn install(
+        engine: &mut Engine,
+        params: TaskServerParameters,
+        queue: QueueKind,
+        discipline: QueueDiscipline,
+    ) -> Self {
         let shared = ServerShared::new(
             params,
             ServerPolicyKind::Deferrable,
             engine.overhead(),
             queue,
+            discipline,
         );
         let wakeup = engine.create_event("wakeUp");
         let thread = engine.spawn(
@@ -114,6 +133,8 @@ impl DeferrableTaskServer {
             params.priority,
             Box::new(EventDrivenServerBody::new(shared.clone(), wakeup)),
         );
+        // EDF rank until the first pump: the first replenishment instant.
+        engine.set_thread_deadline(thread, Instant::ZERO + params.period);
         let replenish = engine.create_event("replenish");
         let replenish_state = shared.clone();
         engine.add_fire_hook(
@@ -164,13 +185,20 @@ pub struct BackgroundServer {
 }
 
 impl BackgroundServer {
-    /// Installs the background server.
-    pub fn install(engine: &mut Engine, params: TaskServerParameters, queue: QueueKind) -> Self {
+    /// Installs the background server. Its thread never publishes a
+    /// deadline, so under EDF it keeps the [`Instant::MAX`] background rank.
+    pub fn install(
+        engine: &mut Engine,
+        params: TaskServerParameters,
+        queue: QueueKind,
+        discipline: QueueDiscipline,
+    ) -> Self {
         let shared = ServerShared::new(
             params,
             ServerPolicyKind::Background,
             engine.overhead(),
             queue,
+            discipline,
         );
         let wakeup = engine.create_event("wakeUp(bg)");
         let thread = engine.spawn(
@@ -223,9 +251,19 @@ impl SporadicTaskServer {
     /// credit the due replenishments and re-wake the server. The
     /// replenishment timers themselves are armed at runtime by the body,
     /// one per closed consumption chunk.
-    pub fn install(engine: &mut Engine, params: TaskServerParameters, queue: QueueKind) -> Self {
-        let shared =
-            ServerShared::new(params, ServerPolicyKind::Sporadic, engine.overhead(), queue);
+    pub fn install(
+        engine: &mut Engine,
+        params: TaskServerParameters,
+        queue: QueueKind,
+        discipline: QueueDiscipline,
+    ) -> Self {
+        let shared = ServerShared::new(
+            params,
+            ServerPolicyKind::Sporadic,
+            engine.overhead(),
+            queue,
+            discipline,
+        );
         let wakeup = engine.create_event("wakeUp(SS)");
         let replenish = engine.create_event("replenish(SS)");
         let replenish_state = shared.clone();
@@ -245,6 +283,9 @@ impl SporadicTaskServer {
             params.priority,
             Box::new(SporadicServerBody::new(shared.clone(), wakeup, replenish)),
         );
+        // EDF rank until the first pump: the deadline a chunk opened at time
+        // zero would get.
+        engine.set_thread_deadline(thread, Instant::ZERO + params.period);
         SporadicTaskServer {
             shared,
             params,
@@ -288,25 +329,30 @@ pub enum AnyTaskServer {
 }
 
 impl AnyTaskServer {
-    /// Installs the server described by a [`ServerSpec`].
+    /// Installs the server described by a [`ServerSpec`] (the spec's own
+    /// queue discipline applies).
     pub fn install(engine: &mut Engine, spec: &ServerSpec, queue: QueueKind) -> Self {
+        let discipline = spec.discipline;
         match spec.policy {
             ServerPolicyKind::Polling => AnyTaskServer::Polling(PollingTaskServer::install(
                 engine,
                 TaskServerParameters::new(spec.capacity, spec.period, spec.priority),
                 queue,
+                discipline,
             )),
             ServerPolicyKind::Deferrable => {
                 AnyTaskServer::Deferrable(DeferrableTaskServer::install(
                     engine,
                     TaskServerParameters::new(spec.capacity, spec.period, spec.priority),
                     queue,
+                    discipline,
                 ))
             }
             ServerPolicyKind::Sporadic => AnyTaskServer::Sporadic(SporadicTaskServer::install(
                 engine,
                 TaskServerParameters::new(spec.capacity, spec.period, spec.priority),
                 queue,
+                discipline,
             )),
             ServerPolicyKind::Background => {
                 // Background servicing has no meaningful capacity or period;
@@ -317,7 +363,9 @@ impl AnyTaskServer {
                     rt_model::Span::from_units(1),
                     spec.priority,
                 );
-                AnyTaskServer::Background(BackgroundServer::install(engine, params, queue))
+                AnyTaskServer::Background(BackgroundServer::install(
+                    engine, params, queue, discipline,
+                ))
             }
         }
     }
@@ -421,6 +469,7 @@ mod tests {
             &mut engine,
             TaskServerParameters::new(Span::from_units(3), Span::from_units(6), Priority::new(30)),
             QueueKind::Fifo,
+            QueueDiscipline::FifoSkip,
         );
         assert!(server.wakeup().is_none());
         assert_eq!(server.policy(), ServerPolicyKind::Polling);
@@ -445,6 +494,7 @@ mod tests {
             &mut engine,
             TaskServerParameters::new(Span::from_units(2), Span::from_units(6), Priority::new(30)),
             QueueKind::ListOfLists,
+            QueueDiscipline::FifoSkip,
         );
         assert!(server.wakeup().is_some());
         let _ = server.thread();

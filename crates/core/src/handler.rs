@@ -19,6 +19,11 @@ pub struct ServableHandler {
     pub declared_cost: Span,
     /// Processor time the handler really needs.
     pub actual_cost: Span,
+    /// Optional relative deadline of the events bound to this handler (d_k
+    /// in the paper's on-line equations). Deadline-ordered servers serve the
+    /// earliest `release + relative_deadline` first; handlers without one
+    /// are ranked by their release instant, the FIFO fallback.
+    pub relative_deadline: Option<Span>,
 }
 
 impl ServableHandler {
@@ -29,12 +34,19 @@ impl ServableHandler {
             name: name.into(),
             declared_cost: cost,
             actual_cost: cost,
+            relative_deadline: None,
         }
     }
 
     /// Declares a cost different from the real demand.
     pub fn with_declared_cost(mut self, declared: Span) -> Self {
         self.declared_cost = declared;
+        self
+    }
+
+    /// Attaches a relative deadline to the handler's events.
+    pub fn with_relative_deadline(mut self, deadline: Span) -> Self {
+        self.relative_deadline = Some(deadline);
         self
     }
 
@@ -57,15 +69,25 @@ pub struct QueuedRelease {
     pub handler: ServableHandler,
     /// Fire instant (the release time used for response-time measurements).
     pub release: Instant,
+    /// Absolute deadline used by deadline-ordered service:
+    /// `release + relative_deadline` when the handler declares one, the
+    /// release instant otherwise (so deadline order degenerates to FIFO on
+    /// deadline-free traffic).
+    pub deadline: Instant,
 }
 
 impl QueuedRelease {
     /// Creates a queued release.
     pub fn new(event: EventId, handler: ServableHandler, release: Instant) -> Self {
+        let deadline = match handler.relative_deadline {
+            Some(relative) => release + relative,
+            None => release,
+        };
         QueuedRelease {
             event,
             handler,
             release,
+            deadline,
         }
     }
 

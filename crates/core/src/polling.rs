@@ -94,8 +94,13 @@ mod tests {
             Span::from_units(6),
             Priority::new(30),
         );
-        let shared =
-            ServerShared::new(params, ServerPolicyKind::Polling, overhead, QueueKind::Fifo);
+        let shared = ServerShared::new(
+            params,
+            ServerPolicyKind::Polling,
+            overhead,
+            QueueKind::Fifo,
+            rt_model::QueueDiscipline::FifoSkip,
+        );
         let mut engine =
             Engine::new(EngineConfig::new(Instant::from_units(horizon)).with_overhead(overhead));
         engine.spawn_periodic(
@@ -248,6 +253,7 @@ mod tests {
             ServerPolicyKind::Polling,
             OverheadModel::reference(),
             QueueKind::Fifo,
+            rt_model::QueueDiscipline::FifoSkip,
         );
         let mut engine = Engine::new(
             EngineConfig::new(Instant::from_units(12)).with_overhead(OverheadModel::reference()),

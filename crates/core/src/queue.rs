@@ -26,10 +26,27 @@
 //! (the ROADMAP hot-spot). Pushes are O(log n), removals O(log n), and the
 //! slab is compacted whenever the queue drains, so steady-state memory
 //! tracks the live backlog.
+//!
+//! # Service discipline
+//!
+//! The *order* of service is a per-server knob
+//! ([`rt_model::QueueDiscipline`]) riding the same indexed slab:
+//!
+//! * [`QueueDiscipline::FifoSkip`](rt_model::QueueDiscipline::FifoSkip) —
+//!   the paper's rule above, answered by the cost tree in O(log n);
+//! * [`QueueDiscipline::DeadlineOrdered`](rt_model::QueueDiscipline::DeadlineOrdered)
+//!   — earliest absolute deadline first (ties by arrival), answered by a
+//!   companion min-deadline heap with the same lazy-staleness rule as the
+//!   engines' calendars: O(log n) when the most urgent entry fits the
+//!   budget, O(k·log n) after skipping `k` oversized more-urgent entries.
+//!   Events without a relative deadline are keyed by their release instant,
+//!   so on deadline-free traffic both disciplines serve identically.
 
 use crate::handler::QueuedRelease;
 use rt_analysis::{InstancePacker, InstanceSlot, ServerParams};
-use rt_model::{Instant, Span};
+use rt_model::{Instant, QueueDiscipline, Span};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Which queue structure a server uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,12 +151,18 @@ impl CostIndex {
 #[derive(Debug, Clone)]
 pub struct PendingQueue {
     kind: QueueKind,
+    discipline: QueueDiscipline,
     server: ServerParams,
     /// Arrival-ordered slab; `None` marks a served (removed) entry. Compacted
     /// whenever the queue drains.
     slots: Vec<Option<QueuedEntry>>,
     /// Cost index paired with `slots` (same indices).
     index: CostIndex,
+    /// Deadline index paired with `slots`: min-`(deadline, slot)` heap over
+    /// the live entries, maintained only under
+    /// [`QueueDiscipline::DeadlineOrdered`]. Entries of removed slots are
+    /// discarded lazily; compaction rebuilds the heap (slot indices move).
+    deadline_index: BinaryHeap<Reverse<(Instant, usize)>>,
     /// Number of live entries.
     live: usize,
     /// Incremental packer used by the list-of-lists structure.
@@ -147,14 +170,17 @@ pub struct PendingQueue {
 }
 
 impl PendingQueue {
-    /// Creates an empty queue for a server with the given capacity/period.
-    pub fn new(kind: QueueKind, capacity: Span, period: Span) -> Self {
+    /// Creates an empty queue for a server with the given capacity/period
+    /// and service discipline.
+    pub fn new(kind: QueueKind, capacity: Span, period: Span, discipline: QueueDiscipline) -> Self {
         let server = ServerParams::new(capacity, period);
         PendingQueue {
             kind,
+            discipline,
             server,
             slots: Vec::new(),
             index: CostIndex::default(),
+            deadline_index: BinaryHeap::new(),
             live: 0,
             packer: None,
         }
@@ -163,6 +189,11 @@ impl PendingQueue {
     /// The queue structure in use.
     pub fn kind(&self) -> QueueKind {
         self.kind
+    }
+
+    /// The service discipline in use.
+    pub fn discipline(&self) -> QueueDiscipline {
+        self.discipline
     }
 
     /// Number of pending releases.
@@ -219,6 +250,9 @@ impl PendingQueue {
         let cost = release.declared_cost().ticks().min(VACANT - 1);
         let index = self.index.push(cost);
         debug_assert_eq!(index, self.slots.len(), "slab and cost index in step");
+        if self.discipline == QueueDiscipline::DeadlineOrdered {
+            self.deadline_index.push(Reverse((release.deadline, index)));
+        }
         self.slots.push(Some(QueuedEntry { release, slot }));
         self.live += 1;
         slot
@@ -289,6 +323,7 @@ impl PendingQueue {
         if self.live == 0 {
             self.slots.clear();
             self.index.clear();
+            self.deadline_index.clear();
             return;
         }
         if self.slots.len() < 64 || self.live * 2 >= self.slots.len() {
@@ -296,24 +331,84 @@ impl PendingQueue {
         }
         let entries: Vec<QueuedEntry> = self.slots.drain(..).flatten().collect();
         self.index.clear();
+        // Slot indices move: the deadline heap is rebuilt against the
+        // compacted slab (its stale entries would otherwise point at the
+        // wrong slots).
+        self.deadline_index.clear();
         for entry in entries {
             let cost = entry.release.declared_cost().ticks().min(VACANT - 1);
             let index = self.index.push(cost);
             debug_assert_eq!(index, self.slots.len());
+            if self.discipline == QueueDiscipline::DeadlineOrdered {
+                self.deadline_index
+                    .push(Reverse((entry.release.deadline, index)));
+            }
             self.slots.push(Some(entry));
         }
         debug_assert_eq!(self.slots.len(), self.live);
     }
 
-    /// Removes and returns the first pending release whose declared cost fits
-    /// within `budget` — the FIFO-with-skip rule of §4.1: "this implies that
-    /// if there is two handlers in the list, if the first has a cost greater
-    /// than the remaining capacity and if the second has a cost lesser than
-    /// the remaining capacity, the event released last is served first".
-    /// O(log n) via the cost index.
+    /// Removes and returns the next servable pending release under the
+    /// queue's discipline, given the granted `budget`:
+    ///
+    /// * [`QueueDiscipline::FifoSkip`] — the first pending release (arrival
+    ///   order) whose declared cost fits within `budget`, the §4.1 rule:
+    ///   "this implies that if there is two handlers in the list, if the
+    ///   first has a cost greater than the remaining capacity and if the
+    ///   second has a cost lesser than the remaining capacity, the event
+    ///   released last is served first". O(log n) via the cost index.
+    /// * [`QueueDiscipline::DeadlineOrdered`] — the pending release with the
+    ///   earliest absolute deadline (ties by arrival) whose declared cost
+    ///   fits within `budget`. O(log n) when the earliest-deadline entry
+    ///   fits; O(k·log n) after skipping `k` oversized earlier-deadline
+    ///   entries, which stay pending.
     pub fn choose_next(&mut self, budget: Span) -> Option<QueuedRelease> {
-        let index = self.index.first_at_most(budget.ticks())?;
-        Some(self.take(index))
+        match self.discipline {
+            QueueDiscipline::FifoSkip => {
+                let index = self.index.first_at_most(budget.ticks())?;
+                Some(self.take(index))
+            }
+            QueueDiscipline::DeadlineOrdered => self.choose_next_by_deadline(budget),
+        }
+    }
+
+    /// Deadline-ordered selection: pops the deadline heap until a live entry
+    /// fitting the budget is found, re-pushing the skipped (oversized but
+    /// still pending) entries before the removal so a compaction triggered
+    /// by [`Self::take`] rebuilds a complete heap.
+    fn choose_next_by_deadline(&mut self, budget: Span) -> Option<QueuedRelease> {
+        // The cost tree answers "does anything fit at all?" in O(log n):
+        // without this guard an overloaded queue whose entries are all
+        // oversized would drain and re-push the whole deadline heap on
+        // every failed dispatch — the superlinear backlog behaviour the
+        // indexed queue exists to prevent.
+        self.index.first_at_most(budget.ticks())?;
+        let mut skipped: Vec<Reverse<(Instant, usize)>> = Vec::new();
+        let mut found = None;
+        while let Some(&Reverse((deadline, slot))) = self.deadline_index.peek() {
+            let entry = self.deadline_index.pop().expect("peeked entry exists");
+            let live = self.slots[slot]
+                .as_ref()
+                .is_some_and(|e| e.release.deadline == deadline);
+            if !live {
+                continue;
+            }
+            let fits = self.slots[slot]
+                .as_ref()
+                .expect("checked live above")
+                .release
+                .declared_cost()
+                <= budget;
+            if fits {
+                found = Some(slot);
+                break;
+            }
+            skipped.push(entry);
+        }
+        for entry in skipped {
+            self.deadline_index.push(entry);
+        }
+        found.map(|slot| self.take(slot))
     }
 
     /// Removes and returns the first pending release (in FIFO order)
@@ -331,11 +426,18 @@ impl PendingQueue {
         Some(self.take(index))
     }
 
-    /// Removes and returns the first pending release regardless of its cost
-    /// (used by background servicing, which has no capacity limit).
+    /// Removes and returns the next pending release regardless of its cost
+    /// (used by background servicing, which has no capacity limit): arrival
+    /// order under [`QueueDiscipline::FifoSkip`], earliest deadline under
+    /// [`QueueDiscipline::DeadlineOrdered`].
     pub fn pop_front(&mut self) -> Option<QueuedRelease> {
-        let index = self.head()?;
-        Some(self.take(index))
+        match self.discipline {
+            QueueDiscipline::FifoSkip => {
+                let index = self.head()?;
+                Some(self.take(index))
+            }
+            QueueDiscipline::DeadlineOrdered => self.choose_next_by_deadline(Span::MAX),
+        }
     }
 
     /// Iterates over the pending releases in FIFO order.
@@ -358,6 +460,7 @@ impl PendingQueue {
         self.packer = None;
         self.live = 0;
         self.index.clear();
+        self.deadline_index.clear();
         let drained = self.slots.drain(..).flatten().map(|e| e.release).collect();
         drained
     }
@@ -378,7 +481,31 @@ mod tests {
     }
 
     fn queue(kind: QueueKind) -> PendingQueue {
-        PendingQueue::new(kind, Span::from_units(4), Span::from_units(6))
+        PendingQueue::new(
+            kind,
+            Span::from_units(4),
+            Span::from_units(6),
+            QueueDiscipline::FifoSkip,
+        )
+    }
+
+    fn deadline_queue() -> PendingQueue {
+        PendingQueue::new(
+            QueueKind::Fifo,
+            Span::from_units(4),
+            Span::from_units(6),
+            QueueDiscipline::DeadlineOrdered,
+        )
+    }
+
+    /// A release with an explicit relative deadline.
+    fn deadline_release(id: u32, cost: u64, at: u64, relative_deadline: u64) -> QueuedRelease {
+        QueuedRelease::new(
+            EventId::new(id),
+            ServableHandler::new(HandlerId::new(id), format!("h{id}"), Span::from_units(cost))
+                .with_relative_deadline(Span::from_units(relative_deadline)),
+            Instant::from_units(at),
+        )
     }
 
     #[test]
@@ -546,6 +673,242 @@ mod tests {
             EventId::new(0)
         );
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn deadline_ordered_serves_the_most_urgent_fitting_release() {
+        let mut q = deadline_queue();
+        q.push(
+            deadline_release(0, 2, 0, 20),
+            Instant::ZERO,
+            Span::from_units(4),
+        );
+        q.push(
+            deadline_release(1, 2, 1, 5),
+            Instant::ZERO,
+            Span::from_units(4),
+        );
+        q.push(
+            deadline_release(2, 2, 2, 10),
+            Instant::ZERO,
+            Span::from_units(4),
+        );
+        // Deadlines: e0@20, e1@6, e2@12 — service order e1, e2, e0.
+        for expected in [1u32, 2, 0] {
+            assert_eq!(
+                q.choose_next(Span::from_units(4)).unwrap().event,
+                EventId::new(expected)
+            );
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn deadline_ordered_skips_oversized_urgent_entries_without_losing_them() {
+        let mut q = deadline_queue();
+        q.push(
+            deadline_release(0, 4, 0, 3),
+            Instant::ZERO,
+            Span::from_units(4),
+        );
+        q.push(
+            deadline_release(1, 1, 1, 30),
+            Instant::ZERO,
+            Span::from_units(4),
+        );
+        // Budget 2: the urgent cost-4 entry does not fit and is skipped; the
+        // later-deadline cost-1 entry is served; the skipped one survives.
+        assert_eq!(
+            q.choose_next(Span::from_units(2)).unwrap().event,
+            EventId::new(1)
+        );
+        assert_eq!(q.len(), 1);
+        assert_eq!(
+            q.choose_next(Span::from_units(4)).unwrap().event,
+            EventId::new(0)
+        );
+    }
+
+    #[test]
+    fn deadline_ordered_without_deadlines_degenerates_to_fifo_with_skip() {
+        // Events without a relative deadline are keyed by release: both
+        // disciplines must produce identical service orders on arbitrary
+        // push/choose interleavings.
+        let mut seed = 0xDEAD_BEEF_1234_5678u64;
+        let mut next_rand = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _case in 0..20 {
+            let mut fifo = queue(QueueKind::Fifo);
+            let mut edd = deadline_queue();
+            let mut id = 0u32;
+            let mut at = 0u64;
+            for _step in 0..200 {
+                if next_rand() % 3 != 0 {
+                    let cost = 1 + next_rand() % 4;
+                    at += next_rand() % 2;
+                    fifo.push(release(id, cost, at), Instant::ZERO, Span::from_units(4));
+                    edd.push(release(id, cost, at), Instant::ZERO, Span::from_units(4));
+                    id += 1;
+                } else {
+                    let budget = Span::from_units(next_rand() % 5);
+                    assert_eq!(
+                        fifo.choose_next(budget).map(|r| r.event),
+                        edd.choose_next(budget).map(|r| r.event),
+                        "disciplines diverged on deadline-free traffic"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_ties_break_by_arrival_order() {
+        let mut q = deadline_queue();
+        // Same absolute deadline (release+deadline = 10) for both.
+        q.push(
+            deadline_release(0, 1, 2, 8),
+            Instant::ZERO,
+            Span::from_units(4),
+        );
+        q.push(
+            deadline_release(1, 1, 4, 6),
+            Instant::ZERO,
+            Span::from_units(4),
+        );
+        assert_eq!(
+            q.choose_next(Span::from_units(4)).unwrap().event,
+            EventId::new(0),
+            "equal deadlines: earlier arrival first"
+        );
+    }
+
+    #[test]
+    fn deadline_index_survives_compaction() {
+        // Force compaction while deadline-ordered entries are live: the
+        // rebuilt heap must keep serving by deadline with remapped slots.
+        let mut q = deadline_queue();
+        // A stuck oversized release with a *late* deadline.
+        q.push(
+            deadline_release(0, 4, 0, 500),
+            Instant::ZERO,
+            Span::from_units(4),
+        );
+        for i in 1..=2000u32 {
+            q.push(
+                deadline_release(i, 1, i as u64, 3),
+                Instant::ZERO,
+                Span::from_units(4),
+            );
+            let taken = q.choose_next(Span::from_units(1)).unwrap();
+            assert_eq!(taken.event, EventId::new(i));
+            assert_eq!(q.len(), 1);
+        }
+        assert!(q.slots.len() <= 64, "slab must compact");
+        // After thousands of compactions the stuck entry is still served
+        // once the budget allows.
+        assert_eq!(
+            q.choose_next(Span::from_units(4)).unwrap().event,
+            EventId::new(0)
+        );
+        assert!(q.is_empty());
+    }
+
+    // ----- tournament-tree edge cases (regression suite) -----
+
+    #[test]
+    fn compaction_when_every_slot_is_dead_resets_the_indexes() {
+        // Push past the compaction threshold, then remove everything via
+        // choose_next so the final take() sees live == 0: the slab, the cost
+        // tree and the deadline heap must all reset, and a fresh push must
+        // land in slot 0 again.
+        for discipline in [QueueDiscipline::FifoSkip, QueueDiscipline::DeadlineOrdered] {
+            let mut q = PendingQueue::new(
+                QueueKind::Fifo,
+                Span::from_units(4),
+                Span::from_units(6),
+                discipline,
+            );
+            for i in 0..100u32 {
+                q.push(release(i, 2, i as u64), Instant::ZERO, Span::from_units(4));
+            }
+            for _ in 0..100 {
+                assert!(q.choose_next(Span::from_units(4)).is_some());
+            }
+            assert!(q.is_empty());
+            assert_eq!(q.slots.len(), 0, "{discipline:?}: slab must be cleared");
+            assert_eq!(q.index.len, 0, "{discipline:?}: cost index must be cleared");
+            assert!(q.deadline_index.is_empty());
+            // Push-after-full-drain: indexes restart consistently.
+            q.push(release(999, 1, 0), Instant::ZERO, Span::from_units(4));
+            assert_eq!(q.len(), 1);
+            assert_eq!(
+                q.choose_next(Span::from_units(1)).unwrap().event,
+                EventId::new(999)
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_below_every_cost_selects_nothing_and_keeps_the_queue_intact() {
+        for discipline in [QueueDiscipline::FifoSkip, QueueDiscipline::DeadlineOrdered] {
+            let mut q = PendingQueue::new(
+                QueueKind::Fifo,
+                Span::from_units(4),
+                Span::from_units(6),
+                discipline,
+            );
+            for i in 0..5u32 {
+                q.push(release(i, 3, i as u64), Instant::ZERO, Span::from_units(4));
+            }
+            // Threshold smaller than every declared cost: no selection, no
+            // structural damage, repeatedly.
+            for _ in 0..3 {
+                assert!(
+                    q.choose_next(Span::from_units(2)).is_none(),
+                    "{discipline:?}"
+                );
+                assert!(q.choose_next(Span::ZERO).is_none(), "{discipline:?}");
+                assert_eq!(q.len(), 5, "{discipline:?}");
+            }
+            // The full FIFO order is still intact afterwards.
+            let order: Vec<u32> = std::iter::from_fn(|| q.choose_next(Span::from_units(3)))
+                .map(|r| r.event.raw())
+                .collect();
+            assert_eq!(order, vec![0, 1, 2, 3, 4], "{discipline:?}");
+        }
+    }
+
+    #[test]
+    fn push_after_explicit_drain_restarts_cleanly() {
+        for discipline in [QueueDiscipline::FifoSkip, QueueDiscipline::DeadlineOrdered] {
+            let mut q = PendingQueue::new(
+                QueueKind::ListOfLists,
+                Span::from_units(4),
+                Span::from_units(6),
+                discipline,
+            );
+            for i in 0..80u32 {
+                q.push(release(i, 2, i as u64), Instant::ZERO, Span::from_units(4));
+            }
+            let drained = q.drain();
+            assert_eq!(drained.len(), 80);
+            assert!(q.is_empty());
+            // Everything restarts from slot 0 with a clean packer.
+            let slot = q.push(release(100, 2, 0), Instant::ZERO, Span::from_units(4));
+            assert_eq!(q.len(), 1);
+            if q.kind() == QueueKind::ListOfLists {
+                assert!(slot.is_some(), "packer must be reseeded after drain");
+            }
+            assert_eq!(
+                q.pop_front().unwrap().event,
+                EventId::new(100),
+                "{discipline:?}"
+            );
+        }
     }
 
     #[test]

@@ -106,10 +106,24 @@ impl ServiceLoop {
         let (work_budget, amount, unit) = {
             let shared = self.shared.borrow();
             let overhead = shared.overhead;
+            // The work budget is the grant minus the dispatch/enforcement
+            // overheads charged inside it. When the overheads alone exceed
+            // the grant (a grant at the overhead floor: tiny remaining
+            // capacity, tiny declared cost) the handler gets an empty
+            // budget and budget enforcement interrupts it immediately, so
+            // the overrun surfaces as an Interrupted outcome — a legitimate
+            // runtime state, not a bug, which is why this is a documented
+            // `unwrap_or` rather than a debug assertion. The value equals
+            // what two saturating subtractions would produce; the checked
+            // chain exists so the underflow case reads as one explicit
+            // branch instead of two silent clamps, and
+            // `overheads_exceeding_the_grant_yield_an_explicit_empty_budget`
+            // pins the resulting behaviour.
             let budget = service
                 .granted
-                .saturating_sub(overhead.dispatch)
-                .saturating_sub(overhead.enforcement);
+                .checked_sub(overhead.dispatch)
+                .and_then(|left| left.checked_sub(overhead.enforcement))
+                .unwrap_or(Span::ZERO);
             (
                 budget,
                 service.release.actual_cost(),
@@ -220,6 +234,7 @@ mod tests {
             ServerPolicyKind::Polling,
             overhead,
             QueueKind::Fifo,
+            rt_model::QueueDiscipline::FifoSkip,
         )
     }
 
@@ -370,6 +385,80 @@ mod tests {
         assert_eq!(outcomes.len(), 2);
         assert!(outcomes[0].is_served());
         assert!(outcomes[1].is_interrupted());
+    }
+
+    /// Regression test for the masked-underflow audit: a grant smaller than
+    /// the per-dispatch overheads must produce an *explicit* empty work
+    /// budget (handler interrupted at once, outcome recorded), not a
+    /// silently clamped subtraction hiding the overrun.
+    #[test]
+    fn overheads_exceeding_the_grant_yield_an_explicit_empty_budget() {
+        let overhead = OverheadModel {
+            timer_fire: Span::ZERO,
+            dispatch: Span::from_ticks(100),
+            enforcement: Span::from_ticks(50),
+        };
+        let server = shared(overhead);
+        server.borrow_mut().remaining = Span::from_ticks(120);
+        let tiny = QueuedRelease::new(
+            EventId::new(0),
+            ServableHandler::new(HandlerId::new(0), "h0", Span::from_ticks(100)),
+            Instant::ZERO,
+        );
+        server.borrow_mut().released(tiny, Instant::ZERO);
+        let mut service = ServiceLoop::new(server.clone());
+        // Grant = 120 ticks; dispatch alone eats 100 of them.
+        match service.try_dispatch(Instant::ZERO) {
+            ServeStep::Continue(Action::Compute { amount, .. }) => {
+                assert_eq!(amount, Span::from_ticks(100));
+            }
+            other => panic!("expected the dispatch overhead, got {other:?}"),
+        }
+        let mut ctx = BodyCtx::new(Instant::from_ticks(100));
+        match service.on_completion(
+            &mut ctx,
+            Completion::Computed {
+                consumed: Span::from_ticks(100),
+            },
+        ) {
+            ServeStep::Continue(Action::ComputeInterruptible { budget, .. }) => {
+                assert_eq!(
+                    budget,
+                    Span::ZERO,
+                    "120 − 100 − 50 underflows: the work budget must be explicitly empty"
+                );
+            }
+            other => panic!("expected budget-less work, got {other:?}"),
+        }
+        // The engine would interrupt a zero-budget computation immediately;
+        // the loop then pays the enforcement overhead and goes idle.
+        let mut ctx = BodyCtx::new(Instant::from_ticks(100));
+        match service.on_completion(
+            &mut ctx,
+            Completion::Interrupted {
+                consumed: Span::ZERO,
+            },
+        ) {
+            ServeStep::Continue(Action::Compute { amount, unit }) => {
+                assert_eq!(amount, Span::from_ticks(50));
+                assert_eq!(unit, ExecUnit::ServerOverhead);
+            }
+            other => panic!("expected the enforcement overhead, got {other:?}"),
+        }
+        let mut ctx = BodyCtx::new(Instant::from_ticks(150));
+        let step = service.on_completion(
+            &mut ctx,
+            Completion::Computed {
+                consumed: Span::from_ticks(50),
+            },
+        );
+        assert_eq!(step, ServeStep::Idle);
+        let outcomes = server.borrow_mut().finalise();
+        assert_eq!(outcomes.len(), 1);
+        assert!(
+            outcomes[0].is_interrupted(),
+            "the overrun is visible as an interruption, not hidden"
+        );
     }
 
     #[test]

@@ -55,6 +55,11 @@ impl SporadicServerBody {
 
 impl ThreadBody for SporadicServerBody {
     fn next_action(&mut self, ctx: &mut BodyCtx, completion: Completion) -> Action {
+        // Publish the chunk-derived deadline (anchor + period, else the
+        // earliest scheduled replenishment, else now + period) for EDF
+        // dispatching; a no-op under fixed priorities.
+        let deadline = self.service.shared().borrow().edf_deadline(ctx.now());
+        ctx.set_deadline(deadline);
         match completion {
             Completion::Started => Action::WaitForEvent(self.wakeup),
             Completion::EventFired | Completion::PeriodStarted | Completion::TimeReached => {
@@ -95,6 +100,7 @@ mod tests {
             &mut engine,
             TaskServerParameters::new(Span::from_units(3), Span::from_units(6), Priority::new(30)),
             QueueKind::Fifo,
+            rt_model::QueueDiscipline::FifoSkip,
         );
         engine.spawn_periodic(
             "tau1",

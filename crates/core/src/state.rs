@@ -11,7 +11,7 @@
 
 use crate::handler::QueuedRelease;
 use crate::queue::{PendingQueue, QueueKind};
-use rt_model::{AperiodicFate, AperiodicOutcome, Instant, ServerPolicyKind, Span};
+use rt_model::{AperiodicFate, AperiodicOutcome, Instant, QueueDiscipline, ServerPolicyKind, Span};
 use rtsj_emu::{OverheadModel, TaskServerParameters};
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -65,8 +65,9 @@ impl ServerShared {
         policy: ServerPolicyKind,
         overhead: OverheadModel,
         queue_kind: QueueKind,
+        discipline: QueueDiscipline,
     ) -> SharedServer {
-        let queue = PendingQueue::new(queue_kind, params.capacity, params.period);
+        let queue = PendingQueue::new(queue_kind, params.capacity, params.period, discipline);
         Rc::new(RefCell::new(ServerShared {
             params,
             policy,
@@ -224,6 +225,37 @@ impl ServerShared {
         Some(when)
     }
 
+    /// The absolute deadline an EDF dispatcher ranks this server by — its
+    /// *replenishment-derived deadline*:
+    ///
+    /// * Polling / Deferrable Server: the next replenishment instant (the
+    ///   end of the current server period, the classic deadline assignment
+    ///   for periodic-capacity servers);
+    /// * Sporadic Server: the open chunk's `anchor + period` when the server
+    ///   is active, else the earliest scheduled replenishment, else
+    ///   `now + period` (the deadline a chunk opened right now would get);
+    /// * Background servicing: [`Instant::MAX`] — it never carries a
+    ///   deadline and ranks last.
+    ///
+    /// Server bodies publish this through
+    /// [`rtsj_emu::BodyCtx::set_deadline`] at every pump; between pumps the
+    /// stored value can only be *earlier* than the true one (replenishments
+    /// always wake the server), which the engine tolerates — see the EDF
+    /// notes in `rtsj_emu::engine`.
+    pub fn edf_deadline(&self, now: Instant) -> Instant {
+        match self.policy {
+            ServerPolicyKind::Background => Instant::MAX,
+            ServerPolicyKind::Polling | ServerPolicyKind::Deferrable => self.next_replenishment,
+            ServerPolicyKind::Sporadic => {
+                match (self.active_since, self.pending_replenishments.front()) {
+                    (Some(anchor), _) => anchor + self.params.period,
+                    (None, Some(&(when, _))) => when,
+                    (None, None) => now + self.params.period,
+                }
+            }
+        }
+    }
+
     /// Sporadic Server: applies every scheduled replenishment due at or
     /// before `now`, returning `true` when capacity came back.
     pub fn apply_due_replenishments(&mut self, now: Instant) -> bool {
@@ -303,7 +335,13 @@ mod tests {
     }
 
     fn shared(policy: ServerPolicyKind) -> SharedServer {
-        ServerShared::new(params(), policy, OverheadModel::none(), QueueKind::Fifo)
+        ServerShared::new(
+            params(),
+            policy,
+            OverheadModel::none(),
+            QueueKind::Fifo,
+            QueueDiscipline::FifoSkip,
+        )
     }
 
     #[test]

@@ -13,8 +13,8 @@ use crate::framework::{AnyTaskServer, ServableAsyncEvent, TaskServer};
 use crate::handler::ServableHandler;
 use crate::queue::QueueKind;
 use rt_model::{
-    AperiodicFate, AperiodicOutcome, ExecUnit, Instant, PeriodicJobRecord, PeriodicTask, Span,
-    SystemSpec, Trace,
+    AperiodicFate, AperiodicOutcome, ExecUnit, Instant, PeriodicJobRecord, PeriodicTask,
+    SchedulingPolicy, Span, SystemSpec, Trace,
 };
 use rtsj_emu::{Engine, EngineConfig, OverheadModel, SchedulerKind};
 
@@ -32,6 +32,11 @@ pub struct ExecutionConfig {
     /// for the `engine_scaling` ablation and the batching tests — traces are
     /// identical either way).
     pub batching: bool,
+    /// Scheduling-policy override: `None` (the default) follows the
+    /// [`SystemSpec::scheduling`] knob of the executed system; `Some` forces
+    /// the policy regardless of the spec — handy for differential tests
+    /// comparing the same system under both policies.
+    pub scheduling: Option<SchedulingPolicy>,
 }
 
 impl ExecutionConfig {
@@ -43,6 +48,7 @@ impl ExecutionConfig {
             queue: QueueKind::Fifo,
             scheduler: SchedulerKind::Indexed,
             batching: true,
+            scheduling: None,
         }
     }
 
@@ -54,6 +60,7 @@ impl ExecutionConfig {
             queue: QueueKind::Fifo,
             scheduler: SchedulerKind::Indexed,
             batching: true,
+            scheduling: None,
         }
     }
 
@@ -78,6 +85,13 @@ impl ExecutionConfig {
     /// Enables or disables engine same-instant batching.
     pub fn with_batching(mut self, batching: bool) -> Self {
         self.batching = batching;
+        self
+    }
+
+    /// Forces a scheduling policy, overriding the executed system's own
+    /// [`SystemSpec::scheduling`] knob.
+    pub fn with_scheduling(mut self, scheduling: SchedulingPolicy) -> Self {
+        self.scheduling = Some(scheduling);
         self
     }
 }
@@ -108,10 +122,12 @@ impl Default for ExecutionConfig {
 pub fn execute(spec: &SystemSpec, config: &ExecutionConfig) -> Trace {
     spec.validate()
         .expect("execute() requires a valid system specification");
+    let policy = config.scheduling.unwrap_or(spec.scheduling);
     let mut engine = Engine::new(
         EngineConfig::new(spec.horizon)
             .with_overhead(config.overhead)
             .with_scheduler(config.scheduler)
+            .with_policy(policy)
             .with_batching(config.batching),
     );
 
@@ -126,7 +142,7 @@ pub fn execute(spec: &SystemSpec, config: &ExecutionConfig) -> Trace {
     // The periodic tasks, as periodic real-time threads whose bodies live
     // inline in the engine's thread table (no per-spawn boxing).
     for task in &spec.periodic_tasks {
-        engine.spawn_periodic_worker(
+        let thread = engine.spawn_periodic_worker(
             task.name.clone(),
             task.priority,
             Instant::ZERO + task.offset,
@@ -134,6 +150,11 @@ pub fn execute(spec: &SystemSpec, config: &ExecutionConfig) -> Trace {
             task.cost,
             ExecUnit::Task(task.id),
         );
+        if task.deadline != task.period {
+            // Constrained deadlines re-key the EDF dispatcher; under fixed
+            // priorities the value is stored but unused.
+            engine.set_relative_deadline(thread, task.deadline);
+        }
     }
 
     // One servable async event + firing timer per aperiodic occurrence,
@@ -150,6 +171,7 @@ pub fn execute(spec: &SystemSpec, config: &ExecutionConfig) -> Trace {
             name: event.name.clone(),
             declared_cost: event.declared_cost,
             actual_cost: event.actual_cost,
+            relative_deadline: event.relative_deadline,
         };
         let sae = ServableAsyncEvent::create(&mut engine, event.id, handler, server);
         sae.schedule_fire(&mut engine, event.release);
@@ -275,6 +297,7 @@ mod tests {
             capacity: Span::from_units(capacity),
             period: Span::from_units(6),
             priority: Priority::new(30),
+            discipline: rt_model::QueueDiscipline::FifoSkip,
         });
         b.periodic(
             "tau1",

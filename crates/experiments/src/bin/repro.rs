@@ -5,18 +5,26 @@
 //! repro table2|table3|table4|table5
 //! repro online-rta          §7 on-line response-time validation
 //! repro multi               multi-server tables (PS+SS and DS+SS+PS systems)
-//! repro all                 everything above but multi (default)
+//! repro edf                 the EDF column family: FP vs EDF executions of
+//!                           identical systems + FP-RTA / EDF-dbf verdicts
+//! repro all                 everything above but multi/edf (default)
 //! repro quick               all tables with 3 systems per set (fast smoke run)
 //! ```
 //!
 //! Tables are reproduced on a worker pool sized to the hardware's available
 //! parallelism; pass `--workers N` (e.g. `repro all --workers 1`) to pin the
 //! pool size. The printed numbers are bit-identical for any worker count.
+//!
+//! Scheduling knobs: `--edf` stamps every generated system with
+//! `SchedulingPolicy::Edf` (both engines dispatch by absolute deadline) and
+//! `--discipline fifo|edd` selects the servers' queue-service discipline
+//! (FIFO-with-skip vs deadline-ordered).
 
 use rt_experiments::{
-    available_workers, default_online_rta, reproduce_table_with_workers, run_scenario,
-    side_by_side, PaperTable, Scenario, TableConfig,
+    available_workers, default_online_rta, reproduce_edf_table, reproduce_table_with_workers,
+    run_scenario, side_by_side, PaperTable, Scenario, TableConfig,
 };
+use rt_model::{QueueDiscipline, SchedulingPolicy};
 
 fn print_scenario(scenario: Scenario) {
     let report = run_scenario(scenario);
@@ -77,8 +85,8 @@ fn print_online_rta() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro [fig2|fig3|fig4|table2|table3|table4|table5|online-rta|multi|quick|all] \
-         [--workers N]"
+        "usage: repro [fig2|fig3|fig4|table2|table3|table4|table5|online-rta|multi|edf|quick|all] \
+         [--workers N] [--edf] [--discipline fifo|edd]"
     );
     std::process::exit(2);
 }
@@ -86,6 +94,8 @@ fn usage_and_exit() -> ! {
 fn main() {
     let mut command = None;
     let mut workers = available_workers();
+    let mut scheduling = SchedulingPolicy::FixedPriority;
+    let mut discipline = QueueDiscipline::FifoSkip;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--workers" {
@@ -97,6 +107,17 @@ fn main() {
                     eprintln!("--workers needs a positive integer");
                     usage_and_exit()
                 });
+        } else if arg == "--edf" {
+            scheduling = SchedulingPolicy::Edf;
+        } else if arg == "--discipline" {
+            discipline = match args.next().as_deref() {
+                Some("fifo") => QueueDiscipline::FifoSkip,
+                Some("edd") | Some("deadline") => QueueDiscipline::DeadlineOrdered,
+                other => {
+                    eprintln!("--discipline needs `fifo` or `edd`, got {other:?}");
+                    usage_and_exit()
+                }
+            };
         } else if command.is_none() {
             command = Some(arg);
         } else {
@@ -105,10 +126,16 @@ fn main() {
         }
     }
     let command = command.unwrap_or_else(|| "all".to_string());
-    let full = TableConfig::default();
+    let full = TableConfig {
+        scheduling,
+        discipline,
+        ..TableConfig::default()
+    };
     let quick = TableConfig {
         systems_per_set: 3,
         seed: 1983,
+        scheduling,
+        discipline,
     };
     match command.as_str() {
         "fig2" => print_scenario(Scenario::One),
@@ -119,6 +146,10 @@ fn main() {
         "table4" => print_table(PaperTable::Table4DsSimulation, &full, workers),
         "table5" => print_table(PaperTable::Table5DsExecution, &full, workers),
         "online-rta" => print_online_rta(),
+        "edf" => {
+            let table = reproduce_edf_table(&full, workers);
+            println!("{table}");
+        }
         "multi" => {
             use rt_experiments::reproduce_multi_server_table;
             use rt_experiments::EvaluationMode;

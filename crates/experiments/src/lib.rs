@@ -27,7 +27,7 @@ pub use online::{default_online_rta, online_rta_experiment, OnlinePrediction, On
 pub use pool::{available_workers, parallel_map, parallel_shards};
 pub use scenarios::{run_scenario, scenario_system, table1_system, Scenario, ScenarioReport};
 pub use tables::{
-    generate_multi_server_set, generate_set, reproduce_multi_server_table, reproduce_table,
-    reproduce_table_with_workers, run_system, run_systems, side_by_side, EvaluationMode,
-    PaperTable, TableConfig,
+    generate_multi_server_set, generate_set, reproduce_edf_table, reproduce_multi_server_table,
+    reproduce_table, reproduce_table_with_workers, run_system, run_systems, side_by_side,
+    EdfComparisonTable, EdfRow, EvaluationMode, PaperTable, TableConfig,
 };

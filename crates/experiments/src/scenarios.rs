@@ -46,6 +46,7 @@ pub fn table1_system(
         capacity: Span::from_units(3),
         period: Span::from_units(6),
         priority: Priority::new(30),
+        discipline: rt_model::QueueDiscipline::FifoSkip,
     });
     b.periodic(
         "tau1",

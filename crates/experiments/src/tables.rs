@@ -9,11 +9,13 @@
 //! table is bit-identical to [`reproduce_table`] for any worker count.
 
 use crate::pool;
+use rt_analysis::{edf_feasible_system, periodic_set_feasible_with_servers};
 use rt_metrics::{PartialRuns, ResultTable, RunMeasures, SetAggregate, SET_ORDER};
-use rt_model::{ServerPolicyKind, SystemSpec, Trace};
-use rt_sysgen::{ExtraServer, GeneratorParams, RandomSystemGenerator};
+use rt_model::{QueueDiscipline, SchedulingPolicy, ServerPolicyKind, SystemSpec, Trace};
+use rt_sysgen::{ExtraServer, GeneratorParams, PeriodicLoad, RandomSystemGenerator};
 use rt_taskserver::{execute, ExecutionConfig};
 use rtss_sim::simulate;
+use std::fmt;
 
 /// Whether a table reports simulations (literature-exact policies, RTSS) or
 /// executions (the task-server framework on the emulated RTSJ runtime).
@@ -102,6 +104,13 @@ pub struct TableConfig {
     pub systems_per_set: usize,
     /// Random seed (the paper uses 1983).
     pub seed: u64,
+    /// Scheduling policy stamped on every generated system (fixed
+    /// priorities, the paper's scheduler, by default). Generation streams
+    /// are identical either way; only the dispatching of the runs changes.
+    pub scheduling: SchedulingPolicy,
+    /// Queue-service discipline stamped on every generated server
+    /// (FIFO-with-skip, the paper's rule, by default).
+    pub discipline: QueueDiscipline,
 }
 
 impl Default for TableConfig {
@@ -109,6 +118,8 @@ impl Default for TableConfig {
         TableConfig {
             systems_per_set: 10,
             seed: 1983,
+            scheduling: SchedulingPolicy::FixedPriority,
+            discipline: QueueDiscipline::FifoSkip,
         }
     }
 }
@@ -124,6 +135,8 @@ pub fn generate_set(
     params.seed = config.seed;
     RandomSystemGenerator::new(params, policy)
         .expect("paper parameters are valid")
+        .with_scheduling(config.scheduling)
+        .with_discipline(config.discipline)
         .generate()
 }
 
@@ -149,8 +162,183 @@ pub fn generate_multi_server_set(
         .collect();
     RandomSystemGenerator::new(params, policies[0])
         .expect("paper parameters are valid")
+        .with_scheduling(config.scheduling)
+        .with_discipline(config.discipline)
         .with_extra_servers(extras)
+        .expect("paper-sized multi-server sets fit the priority range")
         .generate()
+}
+
+/// One row of the EDF column family: the same generated set evaluated under
+/// fixed priorities and under EDF, with the matching feasibility verdicts.
+#[derive(Debug, Clone, Copy)]
+pub struct EdfRow {
+    /// The paper set `(density, std deviation)`.
+    pub set: (u32, u32),
+    /// Aggregate measures of the fixed-priority executions.
+    pub fp: SetAggregate,
+    /// Aggregate measures of the EDF executions of the *same* systems.
+    pub edf: SetAggregate,
+    /// Periodic deadline misses across the set's fixed-priority executions.
+    pub fp_deadline_misses: usize,
+    /// Periodic deadline misses across the set's EDF executions.
+    pub edf_deadline_misses: usize,
+    /// Periodic jobs observed per policy (the miss denominators).
+    pub periodic_jobs: usize,
+    /// Systems of the set whose periodic load + servers pass the
+    /// fixed-priority response-time analysis.
+    pub fp_rta_feasible: usize,
+    /// Systems of the set passing the EDF processor-demand (`dbf`) test.
+    pub edf_dbf_feasible: usize,
+    /// Systems evaluated.
+    pub systems: usize,
+}
+
+/// The EDF column family: FP vs EDF executions of identical generated
+/// systems, with per-set FP-RTA and EDF-`dbf` feasibility verdicts.
+#[derive(Debug, Clone)]
+pub struct EdfComparisonTable {
+    /// Table caption.
+    pub caption: String,
+    /// One row per paper set, in [`SET_ORDER`].
+    pub rows: Vec<EdfRow>,
+}
+
+impl fmt::Display for EdfComparisonTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.caption)?;
+        writeln!(
+            f,
+            "{:>6} {:>10} {:>10} {:>9} {:>9} {:>10} {:>10} {:>8} {:>8}",
+            "set",
+            "AART(FP)",
+            "AART(EDF)",
+            "ASR(FP)",
+            "ASR(EDF)",
+            "miss(FP)",
+            "miss(EDF)",
+            "RTA-ok",
+            "dbf-ok"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:>6} {:>10.2} {:>10.2} {:>9.2} {:>9.2} {:>10} {:>10} {:>5}/{:<2} {:>5}/{:<2}",
+                format!("({},{})", row.set.0, row.set.1),
+                row.fp.aart,
+                row.edf.aart,
+                row.fp.asr,
+                row.edf.asr,
+                format!("{}/{}", row.fp_deadline_misses, row.periodic_jobs),
+                format!("{}/{}", row.edf_deadline_misses, row.periodic_jobs),
+                row.fp_rta_feasible,
+                row.systems,
+                row.edf_dbf_feasible,
+                row.systems,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The synthetic periodic load carried by the EDF-comparison systems: with
+/// only the server and the aperiodic traffic (the paper's sets), FP and EDF
+/// dispatch identically on most instants — a periodic underlay is what the
+/// scheduling policy actually reorders, and what the feasibility verdicts
+/// have to say something about.
+fn edf_comparison_load() -> PeriodicLoad {
+    PeriodicLoad {
+        count: 3,
+        utilization: 0.3,
+        min_period: 9.0,
+        max_period: 30.0,
+    }
+}
+
+/// Reproduces the EDF column family over the six paper sets: each generated
+/// system (deferrable server, deadline-stamped aperiodics, a three-task
+/// periodic underlay) is executed twice — under fixed priorities and under
+/// EDF — and reported next to its FP-RTA and EDF-`dbf` verdicts.
+///
+/// The runs fan out over `workers` threads with the same deterministic
+/// reduction as the paper tables; the table is bit-identical for any worker
+/// count.
+pub fn reproduce_edf_table(config: &TableConfig, workers: usize) -> EdfComparisonTable {
+    let rows = SET_ORDER
+        .iter()
+        .map(|&set| {
+            let mut params = GeneratorParams::paper_set(set.0, set.1);
+            params.nb_generation = config.systems_per_set;
+            params.seed = config.seed;
+            // Sporadic primary server: it folds into both analyses as a
+            // plain periodic task (no Deferrable back-to-back penalty), so
+            // the FP-RTA and EDF-dbf verdicts speak about the same demand
+            // the executions actually generate.
+            let fp_systems: Vec<SystemSpec> =
+                RandomSystemGenerator::new(params, ServerPolicyKind::Sporadic)
+                    .expect("paper parameters are valid")
+                    .with_discipline(config.discipline)
+                    .with_aperiodic_deadline_factor(4)
+                    .with_periodic_load(edf_comparison_load())
+                    .expect("three periodic tasks fit the priority range")
+                    .generate();
+            let edf_systems: Vec<SystemSpec> = fp_systems
+                .iter()
+                .map(|spec| {
+                    let mut spec = spec.clone();
+                    spec.scheduling = SchedulingPolicy::Edf;
+                    spec
+                })
+                .collect();
+            // One worker-pool pass per policy; each run also reports its
+            // periodic deadline misses — the measure the scheduling policy
+            // actually moves (the aperiodics ride the same server either
+            // way, so AART/ASR mostly coincide).
+            let evaluate = |systems: &[SystemSpec]| -> (Vec<RunMeasures>, usize, usize) {
+                let per_run = pool::parallel_map(systems, workers, |_, spec| {
+                    let trace = run_system(spec, EvaluationMode::Execution);
+                    (
+                        RunMeasures::from_trace(&trace),
+                        trace.periodic_deadline_misses(),
+                        trace.periodic_jobs.len(),
+                    )
+                });
+                let misses = per_run.iter().map(|&(_, m, _)| m).sum();
+                let jobs = per_run.iter().map(|&(_, _, j)| j).sum();
+                (
+                    per_run.into_iter().map(|(r, _, _)| r).collect(),
+                    misses,
+                    jobs,
+                )
+            };
+            let (fp_runs, fp_deadline_misses, periodic_jobs) = evaluate(&fp_systems);
+            let (edf_runs, edf_deadline_misses, edf_jobs) = evaluate(&edf_systems);
+            debug_assert_eq!(periodic_jobs, edf_jobs, "same systems, same job grid");
+            let fp_rta_feasible = fp_systems
+                .iter()
+                .filter(|s| periodic_set_feasible_with_servers(&s.periodic_tasks, &s.servers))
+                .count();
+            let edf_dbf_feasible = fp_systems.iter().filter(|s| edf_feasible_system(s)).count();
+            EdfRow {
+                set,
+                fp: SetAggregate::from_runs(&fp_runs),
+                edf: SetAggregate::from_runs(&edf_runs),
+                fp_deadline_misses,
+                edf_deadline_misses,
+                periodic_jobs,
+                fp_rta_feasible,
+                edf_dbf_feasible,
+                systems: fp_systems.len(),
+            }
+        })
+        .collect();
+    EdfComparisonTable {
+        caption: format!(
+            "EDF column family — FP vs EDF executions (SS, deadline factor 4, {} discipline)",
+            config.discipline.label()
+        ),
+        rows,
+    }
 }
 
 /// Reproduces a table-shaped aggregate (AART/AIR/ASR per generated set) for
@@ -333,6 +521,7 @@ mod tests {
         TableConfig {
             systems_per_set: 3,
             seed: 1983,
+            ..TableConfig::default()
         }
     }
 
@@ -428,6 +617,58 @@ mod tests {
             let aggregate = table.get(set).expect("every set present");
             assert_eq!(aggregate.runs, 3);
             assert!(aggregate.asr > 0.0, "some events must be served");
+        }
+    }
+
+    #[test]
+    fn edf_table_reports_verdicts_and_is_worker_invariant() {
+        let sequential = reproduce_edf_table(&quick(), 1);
+        let parallel = reproduce_edf_table(&quick(), 3);
+        assert_eq!(
+            sequential.to_string(),
+            parallel.to_string(),
+            "the EDF table must be bit-identical for any worker count"
+        );
+        assert_eq!(sequential.rows.len(), SET_ORDER.len());
+        for row in &sequential.rows {
+            assert_eq!(row.systems, 3);
+            assert!(row.fp_rta_feasible <= row.systems);
+            assert!(row.edf_dbf_feasible <= row.systems);
+            assert!(
+                row.edf_dbf_feasible >= row.fp_rta_feasible,
+                "EDF's exact test dominates the FP-RTA verdict on folded sets"
+            );
+            assert!(row.periodic_jobs > 0, "the underlay must generate jobs");
+        }
+        let fp_misses: usize = sequential.rows.iter().map(|r| r.fp_deadline_misses).sum();
+        let edf_misses: usize = sequential.rows.iter().map(|r| r.edf_deadline_misses).sum();
+        assert!(
+            edf_misses <= fp_misses,
+            "EDF must not miss more periodic deadlines than FP on these sets \
+             ({edf_misses} vs {fp_misses})"
+        );
+        let rendered = sequential.to_string();
+        assert!(rendered.contains("AART(EDF)"));
+        assert!(rendered.contains("dbf-ok"));
+    }
+
+    #[test]
+    fn table_config_scheduling_knob_stamps_generated_systems() {
+        let mut config = quick();
+        config.scheduling = SchedulingPolicy::Edf;
+        config.discipline = QueueDiscipline::DeadlineOrdered;
+        for spec in generate_set((2, 2), ServerPolicyKind::Polling, &config) {
+            assert_eq!(spec.scheduling, SchedulingPolicy::Edf);
+            assert!(spec
+                .servers
+                .iter()
+                .all(|s| s.discipline == QueueDiscipline::DeadlineOrdered));
+        }
+        // Traffic is knob-independent: the same systems modulo the stamps.
+        let plain = generate_set((2, 2), ServerPolicyKind::Polling, &quick());
+        let stamped = generate_set((2, 2), ServerPolicyKind::Polling, &config);
+        for (a, b) in plain.iter().zip(stamped.iter()) {
+            assert_eq!(a.aperiodics, b.aperiodics);
         }
     }
 

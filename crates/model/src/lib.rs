@@ -32,9 +32,11 @@ pub mod trace;
 pub use error::ModelError;
 pub use ids::{EventId, HandlerId, IdAllocator, JobId, ServerId, TaskId};
 pub use job::{Job, JobSource, JobState};
-pub use priority::{deadline_monotonic, rate_monotonic, Priority, SymbolicPriority};
+pub use priority::{
+    deadline_monotonic, rate_monotonic, Priority, SchedulingPolicy, SymbolicPriority,
+};
 pub use system::{SystemBuilder, SystemSpec};
-pub use task::{AperiodicEvent, PeriodicTask, ServerPolicyKind, ServerSpec};
+pub use task::{AperiodicEvent, PeriodicTask, QueueDiscipline, ServerPolicyKind, ServerSpec};
 pub use time::{Instant, Span, TICKS_PER_UNIT};
 pub use trace::{AperiodicFate, AperiodicOutcome, ExecUnit, PeriodicJobRecord, Segment, Trace};
 

@@ -57,6 +57,47 @@ impl fmt::Display for Priority {
     }
 }
 
+/// Which scheduling policy orders the ready schedulables of a system.
+///
+/// The paper's framework is built on the RTSJ's preemptive fixed-priority
+/// scheduler; the RTSS simulator it is compared against also offers EDF
+/// (paper §5). [`SchedulingPolicy`] is the knob that selects between the two
+/// on a whole system ([`crate::SystemSpec::scheduling`]) and on both
+/// execution substrates:
+///
+/// * [`SchedulingPolicy::FixedPriority`] — ready entities are ordered by
+///   their static [`Priority`], ties broken by spawn/install order.
+/// * [`SchedulingPolicy::Edf`] — ready entities are ordered by the absolute
+///   deadline of their current job (periodic jobs: release + relative
+///   deadline; servers: their replenishment-derived deadline), ties broken
+///   by the same spawn/install order. Static priorities are ignored for
+///   dispatching but are kept in the spec so the same system can be run
+///   under either policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SchedulingPolicy {
+    /// Preemptive fixed priorities (the paper's RTSJ scheduler). Default.
+    #[default]
+    FixedPriority,
+    /// Earliest Deadline First over the jobs' absolute deadlines.
+    Edf,
+}
+
+impl SchedulingPolicy {
+    /// Short label used in tables and benchmark ids.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulingPolicy::FixedPriority => "FP",
+            SchedulingPolicy::Edf => "EDF",
+        }
+    }
+}
+
+impl fmt::Display for SchedulingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// The three symbolic levels used by the paper's example task set (Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SymbolicPriority {

@@ -14,7 +14,7 @@
 
 use crate::error::ModelError;
 use crate::ids::{EventId, HandlerId, TaskId};
-use crate::priority::Priority;
+use crate::priority::{Priority, SchedulingPolicy};
 use crate::task::{AperiodicEvent, PeriodicTask, ServerSpec};
 use crate::time::{Instant, Span};
 use serde::{Deserialize, Serialize};
@@ -37,6 +37,11 @@ pub struct SystemSpec {
     /// Observation horizon. The paper limits both simulations and executions
     /// to ten server periods.
     pub horizon: Instant,
+    /// Scheduling policy the system is meant to run under (preemptive fixed
+    /// priorities by default, the paper's scheduler). Both engines honour
+    /// it; the static priorities are kept either way so one system can be
+    /// compared across policies.
+    pub scheduling: SchedulingPolicy,
 }
 
 impl SystemSpec {
@@ -174,6 +179,7 @@ pub struct SystemBuilder {
     servers: Vec<ServerSpec>,
     aperiodics: Vec<AperiodicEvent>,
     horizon: Option<Instant>,
+    scheduling: SchedulingPolicy,
     next_task: u32,
     next_event: u32,
     next_handler: u32,
@@ -188,6 +194,7 @@ impl SystemBuilder {
             servers: Vec::new(),
             aperiodics: Vec::new(),
             horizon: None,
+            scheduling: SchedulingPolicy::FixedPriority,
             next_task: 0,
             next_event: 0,
             next_handler: 0,
@@ -262,6 +269,12 @@ impl SystemBuilder {
         id
     }
 
+    /// Mutable access to the most recently added aperiodic event, for
+    /// post-processing (deadline stamping) before [`Self::build`].
+    pub fn last_aperiodic_mut(&mut self) -> Option<&mut AperiodicEvent> {
+        self.aperiodics.last_mut()
+    }
+
     /// Adds an already-constructed aperiodic event.
     pub fn push_aperiodic(&mut self, event: AperiodicEvent) -> &mut Self {
         self.next_event = self.next_event.max(event.id.raw() + 1);
@@ -273,6 +286,13 @@ impl SystemBuilder {
     /// Sets the observation horizon explicitly.
     pub fn horizon(&mut self, horizon: Instant) -> &mut Self {
         self.horizon = Some(horizon);
+        self
+    }
+
+    /// Selects the scheduling policy the system runs under (fixed priorities
+    /// by default).
+    pub fn scheduling(&mut self, scheduling: SchedulingPolicy) -> &mut Self {
+        self.scheduling = scheduling;
         self
     }
 
@@ -313,6 +333,7 @@ impl SystemBuilder {
             servers: std::mem::take(&mut self.servers),
             aperiodics,
             horizon,
+            scheduling: self.scheduling,
         };
         spec.validate()?;
         Ok(spec)

@@ -207,6 +207,37 @@ impl ServerPolicyKind {
     }
 }
 
+/// How a server picks the next pending release to serve.
+///
+/// The paper's base implementation serves its pending list FIFO, skipping
+/// handlers whose declared cost does not fit the remaining capacity (§4.1).
+/// [`QueueDiscipline::DeadlineOrdered`] replaces the arrival order with the
+/// events' absolute deadlines, so urgent releases jump ahead — the service
+/// policy deadline-driven workloads need once the system itself runs EDF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum QueueDiscipline {
+    /// FIFO with skip: the earliest release whose declared cost fits the
+    /// granted budget (the paper's §4.1 rule). Default.
+    #[default]
+    FifoSkip,
+    /// Deadline-ordered with skip: the pending release with the earliest
+    /// absolute deadline whose declared cost fits the granted budget.
+    /// Events without a relative deadline use their release instant as the
+    /// deadline, so on deadline-free traffic this discipline degenerates to
+    /// [`QueueDiscipline::FifoSkip`] exactly.
+    DeadlineOrdered,
+}
+
+impl QueueDiscipline {
+    /// Short label used in tables and golden names.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueueDiscipline::FifoSkip => "fifo",
+            QueueDiscipline::DeadlineOrdered => "edd",
+        }
+    }
+}
+
 /// Specification of the aperiodic task server of a system.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServerSpec {
@@ -219,6 +250,9 @@ pub struct ServerSpec {
     /// Fixed priority of the server. The paper requires the server to be the
     /// highest-priority task of the system for the on-line analysis to hold.
     pub priority: Priority,
+    /// Order in which pending releases are served (FIFO-with-skip by
+    /// default, the paper's rule).
+    pub discipline: QueueDiscipline,
 }
 
 impl ServerSpec {
@@ -229,6 +263,7 @@ impl ServerSpec {
             capacity,
             period,
             priority,
+            discipline: QueueDiscipline::FifoSkip,
         }
     }
 
@@ -239,6 +274,7 @@ impl ServerSpec {
             capacity,
             period,
             priority,
+            discipline: QueueDiscipline::FifoSkip,
         }
     }
 
@@ -249,6 +285,7 @@ impl ServerSpec {
             capacity,
             period,
             priority,
+            discipline: QueueDiscipline::FifoSkip,
         }
     }
 
@@ -260,7 +297,14 @@ impl ServerSpec {
             capacity: Span::MAX,
             period: Span::MAX,
             priority,
+            discipline: QueueDiscipline::FifoSkip,
         }
+    }
+
+    /// Replaces the queue-service discipline.
+    pub fn with_discipline(mut self, discipline: QueueDiscipline) -> Self {
+        self.discipline = discipline;
+        self
     }
 
     /// Server utilisation (`capacity / period`), the quantity that enters the

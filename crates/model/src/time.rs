@@ -98,6 +98,26 @@ impl Instant {
         self.0.checked_sub(earlier.0).map(Span)
     }
 
+    /// The duration elapsed since `earlier`, asserting (in debug builds)
+    /// that `earlier` really is earlier.
+    ///
+    /// This is the subtraction to use at call sites where an inverted pair
+    /// indicates a *bug* — a completion before its start, a window end
+    /// before the current instant — rather than a legitimate clamp: the
+    /// saturating operators (`-`, [`Instant::saturating_since`]) silently
+    /// return zero there and mask the underflow, while this helper turns it
+    /// into a diagnosable panic in tests and keeps the release-build
+    /// behaviour (saturation) unchanged.
+    #[inline]
+    #[track_caller]
+    pub fn since(self, earlier: Instant) -> Span {
+        debug_assert!(
+            earlier.0 <= self.0,
+            "time went backwards: since({earlier}) called on {self}"
+        );
+        Span(self.0.saturating_sub(earlier.0))
+    }
+
     /// True if this instant is the `MAX` sentinel.
     #[inline]
     pub const fn is_never(self) -> bool {
@@ -173,6 +193,20 @@ impl Span {
     #[inline]
     pub fn checked_sub(self, other: Span) -> Option<Span> {
         self.0.checked_sub(other.0).map(Span)
+    }
+
+    /// Subtraction that asserts (in debug builds) that `other` fits in
+    /// `self` — the [`Instant::since`] counterpart for durations, for call
+    /// sites where a negative intermediate indicates an overrun that the
+    /// silent `saturating_sub` clamp would hide.
+    #[inline]
+    #[track_caller]
+    pub fn minus(self, other: Span) -> Span {
+        debug_assert!(
+            other.0 <= self.0,
+            "span underflow: minus({other}) called on {self}"
+        );
+        Span(self.0.saturating_sub(other.0))
     }
 
     /// Checked addition.
@@ -262,6 +296,12 @@ impl Sub<Span> for Instant {
 impl Sub<Instant> for Instant {
     type Output = Span;
     /// Saturating difference between two instants (zero when `rhs` is later).
+    ///
+    /// The clamp is intentional for *measurement* call sites (elapsed time,
+    /// slack, windows that may legitimately be empty). Where an inverted
+    /// pair means a bug — a completion before its start, an end before a
+    /// begin — use [`Instant::since`] or [`Instant::checked_since`] instead,
+    /// which surface the underflow rather than masking it.
     #[inline]
     fn sub(self, rhs: Instant) -> Span {
         self.saturating_since(rhs)
@@ -429,6 +469,37 @@ mod tests {
     fn sum_of_spans() {
         let total: Span = [1u64, 2, 3].iter().map(|&u| Span::from_units(u)).sum();
         assert_eq!(total, Span::from_units(6));
+    }
+
+    #[test]
+    fn since_and_minus_agree_with_saturating_on_ordered_inputs() {
+        let t0 = Instant::from_units(2);
+        let t1 = Instant::from_units(6);
+        assert_eq!(t1.since(t0), Span::from_units(4));
+        assert_eq!(t1.since(t1), Span::ZERO);
+        assert_eq!(
+            Span::from_units(5).minus(Span::from_units(2)),
+            Span::from_units(3)
+        );
+        assert_eq!(Span::from_units(5).minus(Span::from_units(5)), Span::ZERO);
+    }
+
+    /// Regression guard for the masked-underflow audit: the debug-checked
+    /// subtractions must turn an inverted pair into a diagnosable panic
+    /// instead of silently clamping to zero. (Debug builds only: release
+    /// builds keep the saturating behaviour.)
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time went backwards")]
+    fn since_panics_on_inverted_instants_in_debug() {
+        let _ = Instant::from_units(2).since(Instant::from_units(6));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "span underflow")]
+    fn minus_panics_on_underflow_in_debug() {
+        let _ = Span::from_units(2).minus(Span::from_units(6));
     }
 
     #[test]

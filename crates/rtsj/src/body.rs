@@ -105,6 +105,7 @@ pub struct BodyCtx {
     now: Instant,
     fire_requests: Vec<EventHandle>,
     timer_requests: Vec<(Instant, EventHandle)>,
+    deadline_request: Option<Instant>,
 }
 
 impl BodyCtx {
@@ -116,6 +117,7 @@ impl BodyCtx {
             now,
             fire_requests: Vec::new(),
             timer_requests: Vec::new(),
+            deadline_request: None,
         }
     }
 
@@ -140,8 +142,23 @@ impl BodyCtx {
         self.timer_requests.push((at, event));
     }
 
+    /// Declares the absolute deadline of the work this schedulable is
+    /// currently responsible for — the dynamic-priority analogue of the RTSJ
+    /// `SchedulingParameters`. Under [`rt_model::SchedulingPolicy::Edf`] the
+    /// engine ranks the schedulable by this instant (periodic schedulables
+    /// are re-keyed automatically at every release and need not call this);
+    /// under fixed priorities the value is stored but ignored. Server bodies
+    /// use it to publish their replenishment-derived deadlines.
+    pub fn set_deadline(&mut self, deadline: Instant) {
+        self.deadline_request = Some(deadline);
+    }
+
     pub(crate) fn take_fire_requests(&mut self) -> Vec<EventHandle> {
         std::mem::take(&mut self.fire_requests)
+    }
+
+    pub(crate) fn take_deadline_request(&mut self) -> Option<Instant> {
+        self.deadline_request.take()
     }
 
     pub(crate) fn take_timer_requests(&mut self) -> Vec<(Instant, EventHandle)> {

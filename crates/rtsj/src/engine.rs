@@ -44,6 +44,31 @@
 //! per-spawn heap allocation; only the handful of framework server bodies
 //! still arrive boxed through the generic [`Engine::spawn`].
 //!
+//! # Scheduling policy
+//!
+//! Dispatching is governed by [`EngineConfig::policy`]
+//! ([`rt_model::SchedulingPolicy`]): preemptive fixed priorities (the RTSJ
+//! scheduler, default) or **EDF**. Under EDF the ready heap is re-keyed by
+//! each thread's current absolute deadline — `(deadline, spawn index)`,
+//! min-first, so the spawn-order tie-break is identical to the
+//! fixed-priority one. Periodic schedulables are re-keyed by the engine at
+//! every release (`release + relative_deadline`, the relative deadline
+//! defaulting to the period — see [`Engine::set_relative_deadline`]);
+//! event-driven schedulables publish their deadlines through
+//! [`crate::body::BodyCtx::set_deadline`] (task servers publish their
+//! replenishment-derived deadlines this way) and default to
+//! [`Instant::MAX`], the background rank. Re-keying a runnable thread
+//! pushes a fresh heap entry; the stale one is discarded lazily by the
+//! dispatch peek, exactly like the calendar's stale-entry rule, so EDF
+//! decisions stay O(log t) amortised. A woken server may briefly carry the
+//! deadline of its *previous* activation; bodies only publish deadlines
+//! that shrink over an idle period (replenishment-derived deadlines are
+//! refreshed at every pump), so the error is always toward an earlier
+//! deadline — the thread is pumped at most one zero-time decision too
+//! early, re-publishes, and the compute dispatch that follows uses the
+//! corrected key. Timer machinery is unaffected: it still runs above every
+//! application thread under both policies.
+//!
 //! **Runtime-armed timers.** Bodies can arm one-shot timers mid-run through
 //! [`crate::body::BodyCtx::arm_timer`]; the entries ride the same event
 //! calendar (strictly-future instants, preserving the batching invariant),
@@ -64,7 +89,7 @@
 
 use crate::body::{Action, BodyCtx, Completion, ThreadBody};
 use crate::overhead::OverheadModel;
-use rt_model::{ExecUnit, Instant, Priority, Span, Trace};
+use rt_model::{ExecUnit, Instant, Priority, SchedulingPolicy, Span, Trace};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -146,6 +171,9 @@ pub struct EngineConfig {
     pub overhead: OverheadModel,
     /// Scheduling-decision structures (indexed by default).
     pub scheduler: SchedulerKind,
+    /// Dispatching policy: preemptive fixed priorities (the RTSJ scheduler,
+    /// default) or EDF over the schedulables' absolute deadlines.
+    pub policy: SchedulingPolicy,
     /// Same-instant batching: drain the event calendar once per instant
     /// instead of once per scheduling decision (on by default; only
     /// meaningful under [`SchedulerKind::Indexed`]). Traces are identical
@@ -161,6 +189,7 @@ impl EngineConfig {
             horizon,
             overhead: OverheadModel::reference(),
             scheduler: SchedulerKind::Indexed,
+            policy: SchedulingPolicy::FixedPriority,
             batching: true,
         }
     }
@@ -174,6 +203,12 @@ impl EngineConfig {
     /// Replaces the scheduler implementation.
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Replaces the dispatching policy (fixed priorities by default).
+    pub fn with_policy(mut self, policy: SchedulingPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -214,6 +249,10 @@ enum ThreadStatus {
 struct PeriodicRelease {
     next: Instant,
     period: Span,
+    /// Relative deadline of each job (defaults to the period). Under EDF the
+    /// thread's absolute deadline is re-keyed to `release + relative_deadline`
+    /// at every release.
+    relative_deadline: Span,
 }
 
 /// Engine-internal storage of a schedulable's body. The thread table itself
@@ -246,6 +285,13 @@ struct ThreadState {
     body: StoredBody,
     periodic: Option<PeriodicRelease>,
     status: ThreadStatus,
+    /// Absolute deadline of the thread's current job, the EDF dispatching
+    /// key. [`Instant::MAX`] (the default) ranks the thread after every
+    /// deadline-carrying schedulable — background servicing. Maintained by
+    /// the engine for periodic schedulables and by the bodies (via
+    /// [`BodyCtx::set_deadline`]) for event-driven ones; ignored under
+    /// fixed-priority dispatching.
+    deadline: Instant,
 }
 
 struct EventState {
@@ -305,8 +351,16 @@ pub struct Engine {
     calendar: BinaryHeap<Reverse<CalendarEntry>>,
     /// Runnable threads by `(priority, Reverse(spawn index))`, max-first —
     /// the spawn-order tie-break of [`Self::pick_runnable`]. May hold stale
-    /// entries; `runnable` is authoritative.
+    /// entries; `runnable` is authoritative. Used under
+    /// [`SchedulingPolicy::FixedPriority`].
     ready: BinaryHeap<(Priority, Reverse<usize>)>,
+    /// Runnable threads by `(deadline, spawn index)`, min-first — the same
+    /// ready heap re-keyed by absolute deadline for
+    /// [`SchedulingPolicy::Edf`], with the identical spawn-order tie-break.
+    /// May hold stale entries (a thread whose deadline moved); an entry is
+    /// live only while `runnable` is set *and* its recorded deadline matches
+    /// the thread's current one.
+    ready_edf: BinaryHeap<Reverse<(Instant, usize)>>,
     /// Whether thread `i` is currently Ready or Computing.
     runnable: Vec<bool>,
     /// Memoised next decision instant (uncapped). Calendar insertions
@@ -337,6 +391,7 @@ impl Engine {
             zero_time_steps: 0,
             calendar: BinaryHeap::new(),
             ready: BinaryHeap::new(),
+            ready_edf: BinaryHeap::new(),
             runnable: Vec::new(),
             next_event_cache: None,
             drained_at: None,
@@ -380,12 +435,21 @@ impl Engine {
         }
     }
 
-    /// Marks a thread runnable (Ready or Computing) in the indexed ready set.
+    /// Marks a thread runnable (Ready or Computing) in the indexed ready set
+    /// of the configured dispatching policy.
     fn mark_runnable(&mut self, tid: usize) {
         if !self.runnable[tid] {
             self.runnable[tid] = true;
             if self.config.scheduler == SchedulerKind::Indexed {
-                self.ready.push((self.threads[tid].priority, Reverse(tid)));
+                match self.config.policy {
+                    SchedulingPolicy::FixedPriority => {
+                        self.ready.push((self.threads[tid].priority, Reverse(tid)));
+                    }
+                    SchedulingPolicy::Edf => {
+                        self.ready_edf
+                            .push(Reverse((self.threads[tid].deadline, tid)));
+                    }
+                }
             }
         }
     }
@@ -393,6 +457,23 @@ impl Engine {
     /// Marks a thread not-runnable; its heap entry is dropped lazily.
     fn unmark_runnable(&mut self, tid: usize) {
         self.runnable[tid] = false;
+    }
+
+    /// Re-keys a thread's current absolute deadline. Under EDF a runnable
+    /// thread gets a fresh heap entry (the old one turns stale and is
+    /// discarded lazily by [`Self::pick_runnable`]'s deadline match); under
+    /// fixed priorities the value is only stored.
+    fn set_deadline(&mut self, tid: usize, deadline: Instant) {
+        if self.threads[tid].deadline == deadline {
+            return;
+        }
+        self.threads[tid].deadline = deadline;
+        if self.config.policy == SchedulingPolicy::Edf
+            && self.config.scheduler == SchedulerKind::Indexed
+            && self.runnable[tid]
+        {
+            self.ready_edf.push(Reverse((deadline, tid)));
+        }
     }
 
     /// The configured overhead model (server bodies read their dispatch /
@@ -471,6 +552,7 @@ impl Engine {
             body,
             periodic: None,
             status: ThreadStatus::Ready(Completion::Started),
+            deadline: Instant::MAX,
         });
         self.runnable.push(false);
         self.mark_runnable(handle.0);
@@ -496,7 +578,9 @@ impl Engine {
         self.threads[handle.0].periodic = Some(PeriodicRelease {
             next: start,
             period,
+            relative_deadline: period,
         });
+        self.set_deadline(handle.0, start + period);
         handle
     }
 
@@ -523,8 +607,36 @@ impl Engine {
         self.threads[handle.0].periodic = Some(PeriodicRelease {
             next: start,
             period,
+            relative_deadline: period,
         });
+        self.set_deadline(handle.0, start + period);
         handle
+    }
+
+    /// Overrides the relative deadline of a periodic schedulable (defaults to
+    /// its period — the implicit-deadline case). Under EDF every job of the
+    /// thread is then dispatched by `release + relative_deadline`.
+    ///
+    /// # Panics
+    /// Panics when the handle does not refer to a periodic schedulable.
+    pub fn set_relative_deadline(&mut self, handle: ThreadHandle, relative_deadline: Span) {
+        let periodic = self.threads[handle.0]
+            .periodic
+            .as_mut()
+            .expect("set_relative_deadline requires a periodic schedulable");
+        periodic.relative_deadline = relative_deadline;
+        // Re-key the not-yet-released first job: `next` still holds the
+        // first release at this point (the engine has not run).
+        let first = periodic.next;
+        self.set_deadline(handle.0, first + relative_deadline);
+    }
+
+    /// Sets the initial absolute deadline of an aperiodic schedulable (the
+    /// EDF dispatching key until its body publishes a new one through
+    /// [`BodyCtx::set_deadline`]). Threads start at [`Instant::MAX`] —
+    /// background rank — when this is never called.
+    pub fn set_thread_deadline(&mut self, handle: ThreadHandle, deadline: Instant) {
+        self.set_deadline(handle.0, deadline);
     }
 
     /// Name of a schedulable (for diagnostics).
@@ -561,9 +673,11 @@ impl Engine {
             // The timer machinery runs above everything: charge its pending
             // cost before any application code.
             if !self.pending_timer_overhead.is_zero() {
+                // now < horizon is the loop invariant: an inverted pair here
+                // is an engine bug, so use the debug-checked subtraction.
                 let slice = self
                     .pending_timer_overhead
-                    .min(self.config.horizon - self.now);
+                    .min(self.config.horizon.since(self.now));
                 self.trace
                     .push_segment(ExecUnit::TimerOverhead, self.now, self.now + slice);
                 self.now += slice;
@@ -596,7 +710,7 @@ impl Engine {
             // preemption opportunity.
             let limit = self.next_preemption_time();
             debug_assert!(limit > self.now);
-            let window = limit - self.now;
+            let window = limit.since(self.now);
             let state = match &mut self.threads[tid].status {
                 ThreadStatus::Computing(state) => state,
                 _ => unreachable!("pick_runnable returned a non-runnable thread"),
@@ -609,10 +723,12 @@ impl Engine {
             self.trace
                 .push_segment(state.unit, self.now, self.now + slice);
             self.now += slice;
-            state.remaining -= slice;
+            // The slice was clamped to both bounds above; underflow here
+            // would mean the engine over-ran a computation or its budget.
+            state.remaining = state.remaining.minus(slice);
             state.consumed += slice;
             if let Some(budget) = &mut state.budget {
-                *budget -= slice;
+                *budget = budget.minus(slice);
             }
             if state.remaining.is_zero() {
                 let consumed = state.consumed;
@@ -690,8 +806,12 @@ impl Engine {
                         .periodic
                         .as_mut()
                         .expect("BlockedForPeriod requires periodic parameters");
+                    let job_deadline = entry.time + release.relative_deadline;
                     release.next += release.period;
                     self.threads[t].status = ThreadStatus::Ready(Completion::PeriodStarted);
+                    // Re-key the fresh job's deadline before the ready-heap
+                    // insertion so the EDF entry carries the new key.
+                    self.set_deadline(t, job_deadline);
                     self.mark_runnable(t);
                 }
             }
@@ -776,8 +896,10 @@ impl Engine {
                         .as_mut()
                         .expect("BlockedForPeriod requires periodic parameters");
                     if release.next <= self.now {
+                        let job_deadline = release.next + release.relative_deadline;
                         release.next += release.period;
                         thread.status = ThreadStatus::Ready(Completion::PeriodStarted);
+                        self.set_deadline(tid, job_deadline);
                         self.mark_runnable(tid);
                     }
                 }
@@ -786,14 +908,17 @@ impl Engine {
         }
     }
 
-    /// Highest-priority thread that is ready or computing; ties are broken by
-    /// spawn order (earlier spawn wins), which keeps runs deterministic.
+    /// The thread to dispatch among those ready or computing: the
+    /// highest-priority one under fixed priorities, the earliest-deadline one
+    /// under EDF; ties are broken by spawn order (earlier spawn wins) under
+    /// both policies, which keeps runs deterministic.
     ///
-    /// Indexed: amortised O(1) peek on the ready heap (stale entries are
-    /// dropped lazily). Linear scan: O(t) sweep over every thread.
+    /// Indexed: amortised O(1) peek on the policy's ready heap (stale
+    /// entries — not-runnable threads, re-keyed deadlines — are dropped
+    /// lazily). Linear scan: O(t) sweep over every thread.
     fn pick_runnable(&mut self) -> Option<usize> {
-        match self.config.scheduler {
-            SchedulerKind::Indexed => {
+        match (self.config.scheduler, self.config.policy) {
+            (SchedulerKind::Indexed, SchedulingPolicy::FixedPriority) => {
                 while let Some(&(_, Reverse(tid))) = self.ready.peek() {
                     if self.runnable[tid] {
                         debug_assert!(matches!(
@@ -806,8 +931,23 @@ impl Engine {
                 }
                 None
             }
-            SchedulerKind::LinearScan => {
-                let mut best: Option<(Priority, usize)> = None;
+            (SchedulerKind::Indexed, SchedulingPolicy::Edf) => {
+                while let Some(&Reverse((deadline, tid))) = self.ready_edf.peek() {
+                    // Live iff still runnable *and* still keyed by this
+                    // deadline (a re-keyed thread has a fresher entry).
+                    if self.runnable[tid] && self.threads[tid].deadline == deadline {
+                        debug_assert!(matches!(
+                            self.threads[tid].status,
+                            ThreadStatus::Ready(_) | ThreadStatus::Computing(_)
+                        ));
+                        return Some(tid);
+                    }
+                    self.ready_edf.pop();
+                }
+                None
+            }
+            (SchedulerKind::LinearScan, policy) => {
+                let mut best: Option<(Priority, Instant, usize)> = None;
                 for (i, thread) in self.threads.iter().enumerate() {
                     if !matches!(
                         thread.status,
@@ -815,15 +955,18 @@ impl Engine {
                     ) {
                         continue;
                     }
-                    match best {
-                        None => best = Some((thread.priority, i)),
-                        Some((p, _)) if thread.priority.preempts(p) => {
-                            best = Some((thread.priority, i))
+                    let wins = match (&best, policy) {
+                        (None, _) => true,
+                        (Some((p, _, _)), SchedulingPolicy::FixedPriority) => {
+                            thread.priority.preempts(*p)
                         }
-                        _ => {}
+                        (Some((_, d, _)), SchedulingPolicy::Edf) => thread.deadline < *d,
+                    };
+                    if wins {
+                        best = Some((thread.priority, thread.deadline, i));
                     }
                 }
-                best.map(|(_, i)| i)
+                best.map(|(_, _, i)| i)
             }
         }
     }
@@ -838,6 +981,16 @@ impl Engine {
         let action = self.threads[tid].body.next_action(&mut ctx, completion);
         let fires = ctx.take_fire_requests();
         let timers = ctx.take_timer_requests();
+        let deadline = ctx.take_deadline_request();
+
+        // A deadline published by the body re-keys its EDF rank first, so a
+        // release processed by the action below (the WaitForNextPeriod
+        // released-in-place path) overrides it with the fresh job's
+        // deadline — a body that both publishes and crosses a release is
+        // never left keyed by its previous job.
+        if let Some(deadline) = deadline {
+            self.set_deadline(tid, deadline);
+        }
 
         match action {
             Action::Compute { amount, unit } => {
@@ -885,8 +1038,13 @@ impl Engine {
                     // The release has already happened (including the very
                     // first release at the start instant): proceed without
                     // blocking and move on to the following release.
+                    let job_deadline = periodic.next + periodic.relative_deadline;
                     periodic.next += periodic.period;
                     self.threads[tid].status = ThreadStatus::Ready(Completion::PeriodStarted);
+                    // The thread stays runnable through the release, so the
+                    // EDF re-key pushes a fresh heap entry here (the blocked
+                    // path re-keys when the calendar wakes it instead).
+                    self.set_deadline(tid, job_deadline);
                 } else {
                     let release = periodic.next;
                     self.threads[tid].status = ThreadStatus::BlockedForPeriod;
@@ -1023,6 +1181,62 @@ mod tests {
 
     fn task_unit(raw: u32) -> ExecUnit {
         ExecUnit::Task(rt_model::TaskId::new(raw))
+    }
+
+    /// Regression: a periodic body that publishes a (stale) deadline on the
+    /// same pump whose `WaitForNextPeriod` crosses a release must end up
+    /// keyed by the *fresh job's* deadline — the engine-side release re-key
+    /// wins over the body's publication, so the stale value cannot make the
+    /// thread wrongly preempt a more urgent one under EDF.
+    #[test]
+    fn release_rekey_overrides_a_stale_published_deadline() {
+        struct PublishingWorker;
+        impl ThreadBody for PublishingWorker {
+            fn next_action(&mut self, ctx: &mut BodyCtx, completion: Completion) -> Action {
+                match completion {
+                    Completion::Started | Completion::Computed { .. } => {
+                        // A stale, maximally urgent deadline published on the
+                        // release-crossing pump.
+                        ctx.set_deadline(Instant::ZERO);
+                        Action::WaitForNextPeriod
+                    }
+                    Completion::PeriodStarted => Action::Compute {
+                        amount: Span::from_units(10),
+                        unit: task_unit(0),
+                    },
+                    other => panic!("unexpected completion {other:?}"),
+                }
+            }
+        }
+        let mut engine = Engine::new(config(20).with_policy(rt_model::SchedulingPolicy::Edf));
+        // Saturating worker: its compute ends exactly on its next release,
+        // so the released-in-place WaitForNextPeriod path is taken at t=10.
+        engine.spawn_periodic(
+            "publisher",
+            Priority::new(10),
+            Instant::ZERO,
+            Span::from_units(10),
+            Box::new(PublishingWorker),
+        );
+        // A genuinely more urgent thread released at 10 (deadline 15).
+        engine.spawn_periodic(
+            "urgent",
+            Priority::new(10),
+            Instant::from_units(10),
+            Span::from_units(5),
+            Box::new(PeriodicWorker {
+                cost: Span::from_units(1),
+                unit: task_unit(1),
+            }),
+        );
+        let trace = engine.run();
+        let urgent = trace.segments_of(task_unit(1)).next().unwrap();
+        assert_eq!(
+            urgent.start,
+            Instant::from_units(10),
+            "deadline 15 must beat the publisher's fresh job (deadline 20); \
+             the stale published ZERO must not survive the release re-key"
+        );
     }
 
     #[test]
@@ -1349,6 +1563,201 @@ mod tests {
         let a = trace.segments_of(task_unit(0)).next().unwrap();
         let b = trace.segments_of(task_unit(1)).next().unwrap();
         assert!(a.end <= b.start, "the first spawned thread runs first");
+    }
+
+    #[test]
+    fn edf_dispatches_by_deadline_not_priority() {
+        // Under EDF the *lower-priority* thread with the shorter period (and
+        // therefore the earlier absolute deadline) runs first.
+        for scheduler in [SchedulerKind::Indexed, SchedulerKind::LinearScan] {
+            let mut engine = Engine::new(
+                config(20)
+                    .with_policy(rt_model::SchedulingPolicy::Edf)
+                    .with_scheduler(scheduler),
+            );
+            engine.spawn_periodic(
+                "high-prio-long-deadline",
+                Priority::new(50),
+                Instant::ZERO,
+                Span::from_units(20),
+                Box::new(PeriodicWorker {
+                    cost: Span::from_units(4),
+                    unit: task_unit(0),
+                }),
+            );
+            engine.spawn_periodic(
+                "low-prio-short-deadline",
+                Priority::new(10),
+                Instant::ZERO,
+                Span::from_units(5),
+                Box::new(PeriodicWorker {
+                    cost: Span::from_units(1),
+                    unit: task_unit(1),
+                }),
+            );
+            let trace = engine.run();
+            let first = trace.segments.first().unwrap();
+            assert_eq!(
+                first.unit,
+                task_unit(1),
+                "{scheduler:?}: deadline 5 must beat deadline 20 regardless of priority"
+            );
+        }
+    }
+
+    #[test]
+    fn edf_equal_deadlines_fall_back_to_spawn_order() {
+        let mut engine = Engine::new(config(10).with_policy(rt_model::SchedulingPolicy::Edf));
+        for (i, _) in [0u32, 1].iter().enumerate() {
+            engine.spawn_periodic(
+                format!("w{i}"),
+                Priority::new(10 + i as u8), // later spawn has *higher* priority
+                Instant::ZERO,
+                Span::from_units(10),
+                Box::new(PeriodicWorker {
+                    cost: Span::from_units(2),
+                    unit: task_unit(i as u32),
+                }),
+            );
+        }
+        let trace = engine.run();
+        let a = trace.segments_of(task_unit(0)).next().unwrap();
+        let b = trace.segments_of(task_unit(1)).next().unwrap();
+        assert!(
+            a.end <= b.start,
+            "equal deadlines: the first spawned thread runs first, not the higher priority"
+        );
+    }
+
+    #[test]
+    fn edf_mid_run_release_preempts_a_later_deadline() {
+        // A long job (deadline 30) is preempted at t=4 by a release whose
+        // deadline (4+6=10) is earlier.
+        for scheduler in [SchedulerKind::Indexed, SchedulerKind::LinearScan] {
+            let mut engine = Engine::new(
+                config(30)
+                    .with_policy(rt_model::SchedulingPolicy::Edf)
+                    .with_scheduler(scheduler),
+            );
+            engine.spawn_periodic(
+                "long",
+                Priority::new(50),
+                Instant::ZERO,
+                Span::from_units(30),
+                Box::new(PeriodicWorker {
+                    cost: Span::from_units(10),
+                    unit: task_unit(0),
+                }),
+            );
+            engine.spawn_periodic(
+                "urgent",
+                Priority::new(1),
+                Instant::from_units(4),
+                Span::from_units(6),
+                Box::new(PeriodicWorker {
+                    cost: Span::from_units(2),
+                    unit: task_unit(1),
+                }),
+            );
+            let trace = engine.run();
+            let urgent: Vec<_> = trace.segments_of(task_unit(1)).collect();
+            assert_eq!(
+                (urgent[0].start, urgent[0].end),
+                (Instant::from_units(4), Instant::from_units(6)),
+                "{scheduler:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn edf_indexed_and_linear_scan_traces_agree() {
+        let build = |scheduler: SchedulerKind| {
+            let mut engine = Engine::new(
+                config(60)
+                    .with_policy(rt_model::SchedulingPolicy::Edf)
+                    .with_scheduler(scheduler),
+            );
+            for (i, (cost, period)) in [(2u64, 7u64), (1, 5), (3, 13), (1, 9)].iter().enumerate() {
+                engine.spawn_periodic(
+                    format!("w{i}"),
+                    Priority::new(10 + i as u8),
+                    Instant::ZERO,
+                    Span::from_units(*period),
+                    Box::new(PeriodicWorker {
+                        cost: Span::from_units(*cost),
+                        unit: task_unit(i as u32),
+                    }),
+                );
+            }
+            engine.run()
+        };
+        assert_eq!(
+            build(SchedulerKind::Indexed),
+            build(SchedulerKind::LinearScan)
+        );
+    }
+
+    #[test]
+    fn set_relative_deadline_rekeys_the_jobs() {
+        // Same periods, but the second thread's constrained deadline makes it
+        // more urgent under EDF despite its later spawn.
+        let mut engine = Engine::new(config(10).with_policy(rt_model::SchedulingPolicy::Edf));
+        engine.spawn_periodic(
+            "implicit",
+            Priority::new(10),
+            Instant::ZERO,
+            Span::from_units(10),
+            Box::new(PeriodicWorker {
+                cost: Span::from_units(2),
+                unit: task_unit(0),
+            }),
+        );
+        let constrained = engine.spawn_periodic(
+            "constrained",
+            Priority::new(10),
+            Instant::ZERO,
+            Span::from_units(10),
+            Box::new(PeriodicWorker {
+                cost: Span::from_units(2),
+                unit: task_unit(1),
+            }),
+        );
+        engine.set_relative_deadline(constrained, Span::from_units(4));
+        let trace = engine.run();
+        let first = trace.segments.first().unwrap();
+        assert_eq!(first.unit, task_unit(1), "deadline 4 beats deadline 10");
+    }
+
+    #[test]
+    fn deadlineless_threads_rank_as_background_under_edf() {
+        // An aperiodic thread that never publishes a deadline only runs once
+        // every deadline-carrying thread is blocked.
+        let mut engine = Engine::new(config(10).with_policy(rt_model::SchedulingPolicy::Edf));
+        engine.spawn(
+            "no-deadline",
+            Priority::new(90),
+            Box::new(|_: &mut BodyCtx, c: Completion| match c {
+                Completion::Started => Action::Compute {
+                    amount: Span::from_units(1),
+                    unit: ExecUnit::ServerOverhead,
+                },
+                _ => Action::Terminate,
+            }),
+        );
+        engine.spawn_periodic(
+            "deadline",
+            Priority::new(1),
+            Instant::ZERO,
+            Span::from_units(10),
+            Box::new(PeriodicWorker {
+                cost: Span::from_units(3),
+                unit: task_unit(0),
+            }),
+        );
+        let trace = engine.run();
+        let task = trace.segments_of(task_unit(0)).next().unwrap();
+        let bg = trace.segments_of(ExecUnit::ServerOverhead).next().unwrap();
+        assert!(task.end <= bg.start, "Instant::MAX ranks after deadline 10");
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! The RTSS discrete-event simulation engine for preemptive fixed-priority
-//! systems with an aperiodic task server.
+//! The RTSS discrete-event simulation engine for preemptive systems with
+//! aperiodic task servers — fixed-priority by default, EDF when the
+//! simulated [`SystemSpec::scheduling`] says so.
 //!
 //! The engine advances from decision point to decision point (periodic
 //! release, aperiodic arrival, server replenishment, job completion,
@@ -46,6 +47,24 @@
 //! differential tests assert both modes produce identical traces and the
 //! `engine_scaling` benchmark measures the gap.
 //!
+//! # Scheduling policy and service discipline
+//!
+//! [`SystemSpec::scheduling`] selects the dispatcher: under
+//! [`SchedulingPolicy::Edf`] the task-ready heap is re-keyed by each task's
+//! front-job absolute deadline (release + relative deadline) with the same
+//! lazy staleness rule, and server lanes are ranked by their
+//! *replenishment-derived deadlines*
+//! ([`crate::server::ServerState::edf_deadline`]); ties go to servers
+//! before tasks and to the earlier index, exactly the fixed-priority
+//! tie-break. Within a lane, [`rt_model::QueueDiscipline`] picks the job:
+//! FIFO (the textbook order — resumable servers never need the
+//! implementation's cost skip) or earliest-deadline-first over the events'
+//! absolute deadlines (an O(backlog) sweep per dispatch; lanes are short in
+//! the simulated workloads, the execution engine's indexed `PendingQueue`
+//! is the scalable structure). Under EDF a completed periodic job forces a
+//! dispatcher re-entry instead of batching on: its successor has a later
+//! deadline, so the forced-re-pick argument only holds for servers.
+//!
 //! # Same-instant batching
 //!
 //! Decision *count* is the remaining cost driver. Between two consecutive
@@ -65,7 +84,7 @@
 use crate::server::ServerState;
 use rt_model::{
     AperiodicFate, AperiodicOutcome, ExecUnit, Instant, PeriodicJobRecord, PeriodicTask, Priority,
-    ServerPolicyKind, Span, SystemSpec, Trace,
+    QueueDiscipline, SchedulingPolicy, ServerPolicyKind, Span, SystemSpec, Trace,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -106,6 +125,10 @@ struct PendingAperiodic {
     index: usize,
     remaining: Span,
     started: Option<Instant>,
+    /// Absolute deadline used by deadline-ordered lane service: the event's
+    /// `release + relative_deadline`, or the release itself when the event
+    /// carries no deadline (so deadline order degenerates to FIFO).
+    deadline: Instant,
 }
 
 /// One installed server: its capacity-policy state plus its own pending
@@ -199,9 +222,18 @@ struct Simulator<'a> {
     releases: BinaryHeap<Reverse<(Instant, usize)>>,
     /// Tasks with a non-empty pending queue, max-first by
     /// `(priority, Reverse(task index))`. `has_pending` is authoritative.
+    /// Used under fixed-priority scheduling.
     ready: BinaryHeap<(Priority, Reverse<usize>)>,
+    /// The same ready set re-keyed for EDF: min-first by
+    /// `(front-job deadline, task index)`. An entry is live only while the
+    /// task has pending jobs *and* its front job still carries the recorded
+    /// deadline (serving the front re-keys the task), mirroring the lazy
+    /// staleness rule of the release heap.
+    ready_edf: BinaryHeap<Reverse<(Instant, usize)>>,
     /// Whether task `i` currently has pending jobs.
     has_pending: Vec<bool>,
+    /// Scheduling policy of the simulated system ([`SystemSpec::scheduling`]).
+    scheduling: SchedulingPolicy,
 }
 
 impl<'a> Simulator<'a> {
@@ -242,17 +274,32 @@ impl<'a> Simulator<'a> {
             batch,
             releases,
             ready: BinaryHeap::new(),
+            ready_edf: BinaryHeap::new(),
             has_pending,
+            scheduling: spec.scheduling,
         }
     }
 
-    /// Marks task `i` as having pending work in the indexed ready structure.
+    /// Marks task `i` as having pending work in the indexed ready structure
+    /// of the configured scheduling policy.
     fn mark_ready(&mut self, i: usize) {
         if !self.has_pending[i] {
             self.has_pending[i] = true;
             if self.indexed {
-                self.ready
-                    .push((self.periodic[i].task.priority, Reverse(i)));
+                match self.scheduling {
+                    SchedulingPolicy::FixedPriority => {
+                        self.ready
+                            .push((self.periodic[i].task.priority, Reverse(i)));
+                    }
+                    SchedulingPolicy::Edf => {
+                        let deadline = self.periodic[i]
+                            .pending
+                            .front()
+                            .expect("mark_ready requires a pending job")
+                            .deadline;
+                        self.ready_edf.push(Reverse((deadline, i)));
+                    }
+                }
             }
         }
     }
@@ -292,6 +339,7 @@ impl<'a> Simulator<'a> {
                     // for generated systems declared and actual agree.
                     remaining: event.actual_cost,
                     started: None,
+                    deadline: event.absolute_deadline().unwrap_or(event.release),
                 };
                 match self.servers.get_mut(event.server) {
                     Some(lane) => lane.queue.push_back(job),
@@ -388,15 +436,26 @@ impl<'a> Simulator<'a> {
             .min(self.horizon.max(self.now + Span::from_ticks(1)))
     }
 
-    /// Chooses the highest-priority ready entity, if any. Ties go to servers
-    /// before equal-priority tasks, and to the earlier install/scan index
-    /// within each group — the seed's scan order, generalised to N servers.
+    /// Chooses the ready entity to run under the configured scheduling
+    /// policy: the highest-priority one under fixed priorities, the
+    /// earliest-deadline one under EDF (tasks by their front job's absolute
+    /// deadline, servers by their replenishment-derived deadline). Under
+    /// both policies ties go to servers before tasks, and to the earlier
+    /// install/scan index within each group — the seed's scan order,
+    /// generalised to N servers.
     ///
     /// Indexed: an O(S) sweep over the (few) server lanes plus an amortised
-    /// O(1) peek of the task-ready heap — O(S + log t) per decision, the
-    /// promised O(log n) plus a constant per extra server. Linear scan:
-    /// O(S + t).
+    /// O(1) peek of the policy's task-ready heap — O(S + log t) per
+    /// decision, the promised O(log n) plus a constant per extra server.
+    /// Linear scan: O(S + t).
     fn pick_runner(&mut self) -> Option<Runner> {
+        match self.scheduling {
+            SchedulingPolicy::FixedPriority => self.pick_runner_fp(),
+            SchedulingPolicy::Edf => self.pick_runner_edf(),
+        }
+    }
+
+    fn pick_runner_fp(&mut self) -> Option<Runner> {
         let mut best_server: Option<(Priority, usize)> = None;
         for (s, lane) in self.servers.iter().enumerate() {
             if !lane.state.is_ready(lane.queue.is_empty()) {
@@ -452,6 +511,67 @@ impl<'a> Simulator<'a> {
         }
     }
 
+    fn pick_runner_edf(&mut self) -> Option<Runner> {
+        // Server lanes are few and their deadlines are state-derived, so
+        // they are swept fresh every decision (no staleness to manage).
+        let mut best_server: Option<(Instant, usize)> = None;
+        for (s, lane) in self.servers.iter().enumerate() {
+            if !lane.state.is_ready(lane.queue.is_empty()) {
+                continue;
+            }
+            let deadline = lane.state.edf_deadline(self.now);
+            match best_server {
+                None => best_server = Some((deadline, s)),
+                Some((d, _)) if deadline < d => best_server = Some((deadline, s)),
+                _ => {}
+            }
+        }
+        let top_task = if self.indexed {
+            loop {
+                match self.ready_edf.peek() {
+                    None => break None,
+                    Some(&Reverse((deadline, i))) => {
+                        let live = self.has_pending[i]
+                            && self.periodic[i]
+                                .pending
+                                .front()
+                                .is_some_and(|job| job.deadline == deadline);
+                        if live {
+                            break Some((deadline, i));
+                        }
+                        self.ready_edf.pop();
+                    }
+                }
+            }
+        } else {
+            let mut best: Option<(Instant, usize)> = None;
+            for (i, state) in self.periodic.iter().enumerate() {
+                let Some(job) = state.pending.front() else {
+                    continue;
+                };
+                match best {
+                    None => best = Some((job.deadline, i)),
+                    Some((d, _)) if job.deadline < d => best = Some((job.deadline, i)),
+                    _ => {}
+                }
+            }
+            best
+        };
+        match (best_server, top_task) {
+            (None, None) => None,
+            (Some((_, s)), None) => Some(Runner::Server(s)),
+            (None, Some((_, i))) => Some(Runner::Task(i)),
+            (Some((server_deadline, s)), Some((deadline, i))) => {
+                // Ties go to the server, the seed's scan order.
+                if deadline < server_deadline {
+                    Some(Runner::Task(i))
+                } else {
+                    Some(Runner::Server(s))
+                }
+            }
+        }
+    }
+
     /// Serves server `s`'s pending queue until the decision window closes.
     /// Batched: completing a job strictly inside the window does not re-enter
     /// the dispatcher — nothing becomes due before `next` and the priority
@@ -460,12 +580,33 @@ impl<'a> Simulator<'a> {
     /// is served directly.
     fn run_server(&mut self, s: usize, next: Instant) {
         let lane = &mut self.servers[s];
+        let discipline = lane.state.spec.discipline;
         loop {
+            // Which pending job the lane serves is the per-server queue
+            // discipline: the front (FIFO — the resumable textbook servers
+            // never need the implementation's cost skip) or the earliest
+            // absolute deadline, ties to the earlier arrival. The pick is
+            // re-evaluated per slice, so a newly arrived urgent job takes
+            // over at the next dispatch.
+            let position = match discipline {
+                QueueDiscipline::FifoSkip => 0,
+                QueueDiscipline::DeadlineOrdered => {
+                    let mut best = 0;
+                    for (k, job) in lane.queue.iter().enumerate() {
+                        if job.deadline < lane.queue[best].deadline {
+                            best = k;
+                        }
+                    }
+                    best
+                }
+            };
             let job = lane
                 .queue
-                .front_mut()
+                .get_mut(position)
                 .expect("server runner requires pending work");
-            let window = next - self.now;
+            // Decision points strictly advance time (asserted in `run`): an
+            // inverted window is an engine bug, not a clamp.
+            let window = next.since(self.now);
             let slice = job.remaining.min(lane.state.max_slice()).min(window);
             debug_assert!(
                 !slice.is_zero(),
@@ -492,7 +633,7 @@ impl<'a> Simulator<'a> {
                         completed: self.now,
                     },
                 });
-                lane.queue.pop_front();
+                lane.queue.remove(position);
                 if lane.queue.is_empty() {
                     lane.state.on_queue_emptied(self.now);
                 }
@@ -504,9 +645,13 @@ impl<'a> Simulator<'a> {
     }
 
     /// Runs task `index`'s pending jobs until the decision window closes.
-    /// Batched: a backlogged task whose job completes strictly inside the
-    /// window continues with its next pending job — no other task or server
-    /// state changed, so the dispatcher would necessarily pick it again.
+    /// Batched under fixed priorities: a backlogged task whose job completes
+    /// strictly inside the window continues with its next pending job — no
+    /// other task or server state changed, so the dispatcher would
+    /// necessarily pick it again. Under EDF that shortcut does not hold (the
+    /// next pending job has a *later* deadline, so another ready entity may
+    /// now be the most urgent): a completion re-keys the task's ready entry
+    /// and re-enters the dispatcher instead.
     fn run_task(&mut self, index: usize, next: Instant) {
         let state = &mut self.periodic[index];
         loop {
@@ -514,7 +659,7 @@ impl<'a> Simulator<'a> {
                 .pending
                 .front_mut()
                 .expect("task runner requires pending work");
-            let window = next - self.now;
+            let window = next.since(self.now);
             let slice = job.remaining.min(window);
             debug_assert!(!slice.is_zero());
             self.trace
@@ -533,6 +678,19 @@ impl<'a> Simulator<'a> {
                 if state.pending.is_empty() {
                     // Mark the task idle; its ready-heap entry drops lazily.
                     self.has_pending[index] = false;
+                    break;
+                }
+                if self.scheduling == SchedulingPolicy::Edf {
+                    // Re-key the ready entry to the new front job's deadline
+                    // and force a dispatcher re-entry.
+                    if self.indexed {
+                        let deadline = state
+                            .pending
+                            .front()
+                            .expect("non-empty checked above")
+                            .deadline;
+                        self.ready_edf.push(Reverse((deadline, index)));
+                    }
                     break;
                 }
             }
@@ -609,6 +767,7 @@ mod tests {
             capacity: Span::from_units(capacity),
             period: Span::from_units(6),
             priority: Priority::new(30),
+            discipline: rt_model::QueueDiscipline::FifoSkip,
         };
         b.server(server);
         b.periodic(
@@ -778,6 +937,144 @@ mod tests {
         assert_eq!(
             ds_trace.outcomes[0].response_time(),
             Some(Span::from_units(2))
+        );
+    }
+
+    #[test]
+    fn edf_simulation_orders_tasks_by_deadline() {
+        // Two tasks, no server: the lower-priority short-period task must
+        // run first under EDF.
+        let mut b = SystemSpec::builder("edf-order");
+        b.periodic(
+            "long",
+            Span::from_units(4),
+            Span::from_units(20),
+            Priority::new(50),
+        );
+        b.periodic(
+            "short",
+            Span::from_units(1),
+            Span::from_units(5),
+            Priority::new(1),
+        );
+        b.scheduling(rt_model::SchedulingPolicy::Edf);
+        b.horizon(Instant::from_units(20));
+        let spec = b.build().unwrap();
+        for trace in [simulate(&spec), simulate_reference(&spec)] {
+            let first = trace.segments.first().unwrap();
+            assert_eq!(first.unit, ExecUnit::Task(spec.periodic_tasks[1].id));
+            assert!(trace.all_periodic_deadlines_met());
+            assert!(trace.check_invariants().is_ok());
+        }
+    }
+
+    #[test]
+    fn edf_simulation_modes_agree() {
+        // indexed vs reference vs unbatched must stay bit-identical under
+        // EDF, servers included.
+        let mut spec = table1(ServerPolicyKind::Deferrable, 3, &[(1, 2), (5, 3), (13, 2)]);
+        spec.scheduling = rt_model::SchedulingPolicy::Edf;
+        let indexed = simulate(&spec).render_canonical();
+        assert_eq!(indexed, simulate_reference(&spec).render_canonical());
+        assert_eq!(indexed, simulate_unbatched(&spec).render_canonical());
+    }
+
+    #[test]
+    fn edf_reduces_to_fp_when_priorities_follow_deadlines() {
+        // Table 1: server and both tasks share period 6 (implicit
+        // deadlines), and priorities descend with spawn order — at every
+        // instant the deadline order equals the priority order, so the EDF
+        // trace must be byte-identical to the fixed-priority one.
+        for policy in [ServerPolicyKind::Polling, ServerPolicyKind::Deferrable] {
+            let fp = table1(policy, 3, &[(0, 2), (2, 2), (4, 2), (13, 1)]);
+            let mut edf = fp.clone();
+            edf.scheduling = rt_model::SchedulingPolicy::Edf;
+            assert_eq!(
+                simulate(&fp).render_canonical(),
+                simulate(&edf).render_canonical(),
+                "{policy:?}: deadline-monotonic reduction must hold"
+            );
+        }
+        // Background servicing reduces too, but only with the conventional
+        // *lowest* priority (its EDF rank is Instant::MAX, i.e. last): the
+        // table1 fixture's top-priority background server deliberately
+        // violates the reduction premise and is excluded.
+        let mut b = SystemSpec::builder("bg-reduction");
+        b.server(ServerSpec::background(Priority::new(1)));
+        b.periodic(
+            "tau1",
+            Span::from_units(2),
+            Span::from_units(6),
+            Priority::new(20),
+        );
+        b.periodic(
+            "tau2",
+            Span::from_units(1),
+            Span::from_units(6),
+            Priority::new(10),
+        );
+        for &(release, cost) in &[(0u64, 2u64), (2, 2), (13, 1)] {
+            b.aperiodic(Instant::from_units(release), Span::from_units(cost));
+        }
+        b.horizon(Instant::from_units(60));
+        let fp = b.build().unwrap();
+        let mut edf = fp.clone();
+        edf.scheduling = rt_model::SchedulingPolicy::Edf;
+        assert_eq!(
+            simulate(&fp).render_canonical(),
+            simulate(&edf).render_canonical(),
+            "background: deadline-monotonic reduction must hold at the lowest priority"
+        );
+    }
+
+    #[test]
+    fn deadline_ordered_lane_serves_urgent_events_first() {
+        // Two events queue up while the server has no capacity; once it
+        // replenishes, FIFO serves the earlier arrival but the
+        // deadline-ordered lane serves the more urgent one.
+        let events: &[(u64, u64)] = &[(0, 3), (1, 2), (2, 2)];
+        let fifo = table1(ServerPolicyKind::Polling, 3, events);
+        let mut edd = fifo.clone();
+        edd.servers[0].discipline = rt_model::QueueDiscipline::DeadlineOrdered;
+        // e1 (released 1) gets a loose deadline, e2 (released 2) a tight one.
+        edd.aperiodics[1].relative_deadline = Some(Span::from_units(30));
+        edd.aperiodics[2].relative_deadline = Some(Span::from_units(5));
+        let fifo_trace = simulate(&fifo);
+        let edd_trace = simulate(&edd);
+        let order = |t: &Trace| -> Vec<u32> {
+            let mut seen = Vec::new();
+            for seg in &t.segments {
+                if let ExecUnit::Handler(id) = seg.unit {
+                    if !seen.contains(&id.raw()) {
+                        seen.push(id.raw());
+                    }
+                }
+            }
+            seen
+        };
+        assert_eq!(order(&fifo_trace), vec![0, 1, 2], "FIFO serves by arrival");
+        assert_eq!(
+            order(&edd_trace),
+            vec![0, 2, 1],
+            "deadline order serves the urgent event first"
+        );
+        // Both modes agree with the reference engine.
+        assert_eq!(
+            simulate(&edd).render_canonical(),
+            simulate_reference(&edd).render_canonical()
+        );
+    }
+
+    #[test]
+    fn deadline_ordered_without_deadlines_matches_fifo() {
+        let events: &[(u64, u64)] = &[(0, 2), (1, 2), (3, 1), (13, 2)];
+        let fifo = table1(ServerPolicyKind::Deferrable, 3, events);
+        let mut edd = fifo.clone();
+        edd.servers[0].discipline = rt_model::QueueDiscipline::DeadlineOrdered;
+        assert_eq!(
+            simulate(&fifo).render_canonical(),
+            simulate(&edd).render_canonical(),
+            "deadline order keyed by release must degenerate to FIFO"
         );
     }
 

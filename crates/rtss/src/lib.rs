@@ -72,6 +72,7 @@ mod proptests {
             capacity: Span::from_units(capacity),
             period: Span::from_units(6),
             priority: Priority::new(30),
+            discipline: rt_model::QueueDiscipline::FifoSkip,
         });
         b.periodic(
             "tau1",

@@ -378,6 +378,29 @@ impl ServerState {
     pub fn max_slice(&self) -> Span {
         self.capacity()
     }
+
+    /// The absolute deadline an EDF dispatcher ranks this server by — its
+    /// *replenishment-derived deadline*:
+    ///
+    /// * Polling / Deferrable Server: the next replenishment instant (the
+    ///   end of the current server period);
+    /// * Sporadic Server: `anchor + period` of the open consumption chunk
+    ///   when one is active, else the earliest scheduled replenishment,
+    ///   else `now + period` (the deadline a chunk opened right now would
+    ///   get);
+    /// * Background servicing: [`Instant::MAX`] — it ranks after every
+    ///   deadline-carrying entity.
+    pub fn edf_deadline(&self, now: Instant) -> Instant {
+        match &self.policy {
+            PolicyState::Background(_) => Instant::MAX,
+            PolicyState::Polling(_) | PolicyState::Deferrable(_) => self.next_replenishment(),
+            PolicyState::Sporadic(s) => match (s.anchor, s.pending.front()) {
+                (Some(anchor), _) => anchor + self.spec.period,
+                (None, Some(&(when, _))) => when,
+                (None, None) => now + self.spec.period,
+            },
+        }
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,8 @@ use crate::params::GeneratorParams;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rt_model::{
-    Instant, Priority, ServerPolicyKind, ServerSpec, Span, SymbolicPriority, SystemSpec,
+    Instant, Priority, QueueDiscipline, SchedulingPolicy, ServerPolicyKind, ServerSpec, Span,
+    SymbolicPriority, SystemSpec,
 };
 
 /// Optional periodic load generated below the server (an extension over the
@@ -67,6 +68,9 @@ pub struct RandomSystemGenerator {
     policy: ServerPolicyKind,
     periodic_load: Option<PeriodicLoad>,
     extra_servers: Vec<ExtraServer>,
+    scheduling: SchedulingPolicy,
+    discipline: QueueDiscipline,
+    deadline_factor: Option<u64>,
 }
 
 impl RandomSystemGenerator {
@@ -85,7 +89,39 @@ impl RandomSystemGenerator {
             policy,
             periodic_load: None,
             extra_servers: Vec::new(),
+            scheduling: SchedulingPolicy::FixedPriority,
+            discipline: QueueDiscipline::FifoSkip,
+            deadline_factor: None,
         })
+    }
+
+    /// Number of priority levels a generated system consumes below the
+    /// primary server: one per extra server, then one per periodic task.
+    fn priority_levels_needed(extras: usize, load: Option<PeriodicLoad>) -> usize {
+        extras + load.map_or(0, |l| l.count)
+    }
+
+    /// Rejects configurations whose server/task count exceeds the priority
+    /// range below the primary server. The generator stacks priorities
+    /// strictly downward from [`SymbolicPriority::High`]; running out of
+    /// levels would silently clamp distinct schedulables onto the same
+    /// priority and change the tie-break semantics, so it is an error
+    /// instead.
+    fn check_priority_range(extras: usize, load: Option<PeriodicLoad>) -> Result<(), String> {
+        let top = SymbolicPriority::High.to_priority().level() as usize;
+        let needed = Self::priority_levels_needed(extras, load);
+        // Levels available strictly below the primary server, down to and
+        // including Priority::MIN.
+        let available = top - Priority::MIN.level() as usize;
+        if needed > available {
+            return Err(format!(
+                "{needed} distinct priority levels needed below the primary server (P{top}) \
+                 but only {available} exist down to {}: the generated system would flatten \
+                 distinct schedulables onto one clamped priority",
+                Priority::MIN
+            ));
+        }
+        Ok(())
     }
 
     /// Replaces the cost model (e.g. with [`CostModel::resampling`]).
@@ -95,9 +131,15 @@ impl RandomSystemGenerator {
     }
 
     /// Adds a synthetic periodic task set below the server.
-    pub fn with_periodic_load(mut self, load: PeriodicLoad) -> Self {
+    ///
+    /// # Errors
+    /// Rejects loads whose task count (together with the already-configured
+    /// extra servers) exceeds the available priority range — see
+    /// [`Self::with_extra_servers`].
+    pub fn with_periodic_load(mut self, load: PeriodicLoad) -> Result<Self, String> {
+        Self::check_priority_range(self.extra_servers.len(), Some(load))?;
         self.periodic_load = Some(load);
-        self
+        Ok(self)
     }
 
     /// Adds extra servers below the primary one, turning the generator into
@@ -106,8 +148,41 @@ impl RandomSystemGenerator {
     /// is clamped to the target server's capacity so the admission
     /// constraint holds. With no extras the generated systems (and RNG
     /// streams) are exactly the single-server ones.
-    pub fn with_extra_servers(mut self, extras: Vec<ExtraServer>) -> Self {
+    ///
+    /// # Errors
+    /// Rejects configurations whose server count (together with any
+    /// configured periodic load) exceeds the priority range below the
+    /// primary server: the priorities stack strictly downward, and a count
+    /// past [`Priority::MIN`] would silently assign the same clamped
+    /// priority to distinct servers/tasks, changing tie-break semantics.
+    pub fn with_extra_servers(mut self, extras: Vec<ExtraServer>) -> Result<Self, String> {
+        Self::check_priority_range(extras.len(), self.periodic_load)?;
         self.extra_servers = extras;
+        Ok(self)
+    }
+
+    /// Selects the scheduling policy stamped on every generated system
+    /// ([`SystemSpec::scheduling`]); both engines honour it when running the
+    /// system. Generation itself (and the RNG streams) is unaffected.
+    pub fn with_scheduling(mut self, scheduling: SchedulingPolicy) -> Self {
+        self.scheduling = scheduling;
+        self
+    }
+
+    /// Selects the queue-service discipline stamped on every generated
+    /// server. Generation itself (and the RNG streams) is unaffected.
+    pub fn with_discipline(mut self, discipline: QueueDiscipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Attaches a relative deadline of `factor × declared cost` to every
+    /// generated aperiodic event — the deterministic deadline assignment
+    /// used by the deadline-ordered service and EDF experiments. Derived
+    /// from already-drawn quantities, so the RNG streams (and therefore the
+    /// releases and costs of existing sets) are unchanged.
+    pub fn with_aperiodic_deadline_factor(mut self, factor: u64) -> Self {
+        self.deadline_factor = Some(factor);
         self
     }
 
@@ -146,45 +221,72 @@ impl RandomSystemGenerator {
             capacity: self.params.server_capacity,
             period,
             priority: server_priority,
+            discipline: self.discipline,
         };
         builder.server(server);
+        builder.scheduling(self.scheduling);
 
         // Extra servers stack directly below the primary one; periodic tasks
         // (when generated) sit below every server.
         let mut server_capacities = vec![self.params.server_capacity];
         for (j, extra) in self.extra_servers.iter().enumerate() {
-            let priority = Priority::new(
-                server_priority
-                    .level()
-                    .saturating_sub(1 + j as u8)
-                    .max(Priority::MIN.level()),
-            );
+            // In range by construction: `with_extra_servers` rejected any
+            // configuration that would clamp here.
+            let level = server_priority
+                .level()
+                .checked_sub(1 + j as u8)
+                .expect("priority range was validated at configuration time");
+            debug_assert!(level >= Priority::MIN.level());
             builder.add_server(ServerSpec {
                 policy: extra.policy,
                 capacity: extra.capacity,
                 period: extra.period,
-                priority,
+                priority: Priority::new(level),
+                discipline: self.discipline,
             });
             server_capacities.push(extra.capacity);
         }
         let lowest_server_level = server_priority
             .level()
-            .saturating_sub(self.extra_servers.len() as u8);
+            .checked_sub(self.extra_servers.len() as u8)
+            .expect("priority range was validated at configuration time");
 
         if let Some(load) = self.periodic_load {
             let utilizations = uunifast(&mut rng, load.count, load.utilization);
-            for (i, u) in utilizations.into_iter().enumerate() {
-                let period_units =
-                    rng.gen_range(load.min_period..=load.max_period.max(load.min_period));
-                let period = Span::from_units_f64(period_units);
-                let cost = Span::from_units_f64(u * period_units).max(Span::from_ticks(1));
-                // Periodic tasks sit strictly below every server priority.
-                let prio = Priority::new(
-                    lowest_server_level
-                        .saturating_sub(1 + i as u8)
-                        .max(Priority::MIN.level()),
+            let drawn: Vec<(Span, Span)> = utilizations
+                .into_iter()
+                .map(|u| {
+                    let period_units =
+                        rng.gen_range(load.min_period..=load.max_period.max(load.min_period));
+                    let period = Span::from_units_f64(period_units);
+                    let cost = Span::from_units_f64(u * period_units).max(Span::from_ticks(1));
+                    (cost, period)
+                })
+                .collect();
+            // Rate-monotonic assignment over the drawn periods (derived from
+            // already-drawn quantities — no extra randomness), so the
+            // fixed-priority feasibility verdicts are about RM, not about an
+            // arbitrary index order. Periodic tasks sit strictly below every
+            // server priority; ranks are in range by construction
+            // (`with_periodic_load` rejected any count that would clamp).
+            let ranks =
+                rt_model::rate_monotonic(&drawn.iter().map(|&(_, p)| p).collect::<Vec<_>>());
+            let mut order: Vec<usize> = (0..drawn.len()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(ranks[i]));
+            let mut levels = vec![0u8; drawn.len()];
+            for (rank, &i) in order.iter().enumerate() {
+                levels[i] = lowest_server_level
+                    .checked_sub(1 + rank as u8)
+                    .expect("priority range was validated at configuration time");
+                debug_assert!(levels[i] >= Priority::MIN.level());
+            }
+            for (i, &(cost, period)) in drawn.iter().enumerate() {
+                builder.periodic(
+                    format!("gen-tau{i}"),
+                    cost,
+                    period,
+                    Priority::new(levels[i]),
                 );
-                builder.periodic(format!("gen-tau{i}"), cost, period, prio);
             }
         }
 
@@ -211,8 +313,13 @@ impl RandomSystemGenerator {
                     .cost_model
                     .sample(&mut rng)
                     .min(server_capacities[target]);
-                let id = builder.aperiodic_for(target, release, cost);
-                let _ = id;
+                builder.aperiodic_for(target, release, cost);
+            }
+            if let Some(factor) = self.deadline_factor {
+                let event = builder
+                    .last_aperiodic_mut()
+                    .expect("an event was just appended");
+                event.relative_deadline = Some(event.declared_cost.saturating_mul(factor));
             }
         }
         builder.horizon(horizon);
@@ -361,12 +468,14 @@ mod tests {
 
     #[test]
     fn periodic_load_is_generated_below_the_server() {
-        let gen = generator(1, 0).with_periodic_load(PeriodicLoad {
-            count: 3,
-            utilization: 0.3,
-            min_period: 10.0,
-            max_period: 40.0,
-        });
+        let gen = generator(1, 0)
+            .with_periodic_load(PeriodicLoad {
+                count: 3,
+                utilization: 0.3,
+                min_period: 10.0,
+                max_period: 40.0,
+            })
+            .expect("three tasks fit the priority range");
         let sys = gen.generate_one(0);
         assert_eq!(sys.periodic_tasks.len(), 3);
         let server_prio = sys.server().unwrap().priority;
@@ -379,18 +488,20 @@ mod tests {
 
     #[test]
     fn extra_servers_produce_valid_multi_server_systems() {
-        let gen = generator(2, 2).with_extra_servers(vec![
-            ExtraServer::new(
-                ServerPolicyKind::Sporadic,
-                Span::from_units(3),
-                Span::from_units(8),
-            ),
-            ExtraServer::new(
-                ServerPolicyKind::Deferrable,
-                Span::from_units(2),
-                Span::from_units(12),
-            ),
-        ]);
+        let gen = generator(2, 2)
+            .with_extra_servers(vec![
+                ExtraServer::new(
+                    ServerPolicyKind::Sporadic,
+                    Span::from_units(3),
+                    Span::from_units(8),
+                ),
+                ExtraServer::new(
+                    ServerPolicyKind::Deferrable,
+                    Span::from_units(2),
+                    Span::from_units(12),
+                ),
+            ])
+            .expect("two extra servers fit the priority range");
         let systems = gen.generate();
         let mut routed_beyond_primary = 0usize;
         for sys in &systems {
@@ -417,8 +528,116 @@ mod tests {
     #[test]
     fn no_extras_keeps_the_original_streams() {
         let plain = generator(2, 2).generate();
-        let with_empty = generator(2, 2).with_extra_servers(Vec::new()).generate();
+        let with_empty = generator(2, 2)
+            .with_extra_servers(Vec::new())
+            .expect("no extras always fit")
+            .generate();
         assert_eq!(plain, with_empty);
+    }
+
+    #[test]
+    fn oversized_configurations_are_rejected_not_flattened() {
+        let extra = || {
+            ExtraServer::new(
+                ServerPolicyKind::Polling,
+                Span::from_units(1),
+                Span::from_units(10),
+            )
+        };
+        let load = |count: usize| PeriodicLoad {
+            count,
+            utilization: 0.2,
+            min_period: 10.0,
+            max_period: 40.0,
+        };
+        // 29 levels exist below the primary server (P30 → P1): 29 extras
+        // fit exactly, 30 would clamp two servers onto one priority.
+        let fits: Vec<ExtraServer> = (0..29).map(|_| extra()).collect();
+        assert!(generator(1, 0).with_extra_servers(fits).is_ok());
+        let overflow: Vec<ExtraServer> = (0..30).map(|_| extra()).collect();
+        let err = generator(1, 0).with_extra_servers(overflow).unwrap_err();
+        assert!(err.contains("priority levels"), "unexpected message: {err}");
+        // Periodic loads are bounded the same way…
+        assert!(generator(1, 0).with_periodic_load(load(29)).is_ok());
+        assert!(generator(1, 0).with_periodic_load(load(30)).is_err());
+        // …and the two budgets are combined, whichever is configured first.
+        let twenty: Vec<ExtraServer> = (0..20).map(|_| extra()).collect();
+        let gen = generator(1, 0).with_extra_servers(twenty).unwrap();
+        assert!(gen.clone().with_periodic_load(load(9)).is_ok());
+        assert!(gen.with_periodic_load(load(10)).is_err());
+    }
+
+    #[test]
+    fn accepted_configurations_assign_distinct_priorities() {
+        // Regression for the silent-clamp bug: every accepted system must
+        // give each server and task its own priority level.
+        let extras: Vec<ExtraServer> = (0..10)
+            .map(|_| {
+                ExtraServer::new(
+                    ServerPolicyKind::Deferrable,
+                    Span::from_units(1),
+                    Span::from_units(10),
+                )
+            })
+            .collect();
+        let sys = generator(1, 0)
+            .with_extra_servers(extras)
+            .unwrap()
+            .with_periodic_load(PeriodicLoad {
+                count: 10,
+                utilization: 0.2,
+                min_period: 10.0,
+                max_period: 40.0,
+            })
+            .unwrap()
+            .generate_one(0);
+        let mut levels: Vec<u8> = sys
+            .servers
+            .iter()
+            .map(|s| s.priority.level())
+            .chain(sys.periodic_tasks.iter().map(|t| t.priority.level()))
+            .collect();
+        let total = levels.len();
+        levels.sort_unstable();
+        levels.dedup();
+        assert_eq!(levels.len(), total, "priorities must be pairwise distinct");
+    }
+
+    #[test]
+    fn scheduling_and_discipline_knobs_stamp_the_spec_without_touching_the_streams() {
+        use rt_model::{QueueDiscipline, SchedulingPolicy};
+        let plain = generator(2, 2).generate();
+        let stamped = generator(2, 2)
+            .with_scheduling(SchedulingPolicy::Edf)
+            .with_discipline(QueueDiscipline::DeadlineOrdered)
+            .generate();
+        assert_eq!(plain.len(), stamped.len());
+        for (a, b) in plain.iter().zip(stamped.iter()) {
+            assert_eq!(b.scheduling, SchedulingPolicy::Edf);
+            assert!(b
+                .servers
+                .iter()
+                .all(|s| s.discipline == QueueDiscipline::DeadlineOrdered));
+            // Identical traffic: the knobs never consume randomness.
+            assert_eq!(a.aperiodics, b.aperiodics);
+            assert_eq!(a.horizon, b.horizon);
+        }
+    }
+
+    #[test]
+    fn deadline_factor_attaches_cost_proportional_deadlines() {
+        let plain = generator(2, 2).generate();
+        let with_deadlines = generator(2, 2).with_aperiodic_deadline_factor(4).generate();
+        for (a, b) in plain.iter().zip(with_deadlines.iter()) {
+            for (ea, eb) in a.aperiodics.iter().zip(b.aperiodics.iter()) {
+                assert_eq!(ea.release, eb.release, "streams must be unchanged");
+                assert_eq!(ea.declared_cost, eb.declared_cost);
+                assert_eq!(
+                    eb.relative_deadline,
+                    Some(eb.declared_cost.saturating_mul(4))
+                );
+            }
+        }
     }
 
     #[test]

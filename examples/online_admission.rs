@@ -25,6 +25,7 @@ fn main() {
         ServerPolicyKind::Polling,
         OverheadModel::none(),
         QueueKind::ListOfLists,
+        rtsj_event_framework::model::QueueDiscipline::FifoSkip,
     );
     // Operators will only wait 15 time units for an answer.
     let controller = AdmissionController::new(Span::from_units(15));

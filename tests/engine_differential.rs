@@ -51,6 +51,7 @@ fn table1(policy: ServerPolicyKind, events: &[(u64, u64)]) -> SystemSpec {
             capacity: Span::from_units(3),
             period: Span::from_units(6),
             priority: Priority::new(30),
+            discipline: rt_model::QueueDiscipline::FifoSkip,
         },
     };
     b.server(server);

@@ -16,6 +16,7 @@ fn build(policy: ServerPolicyKind, capacity: u64, events: &[(u64, u64)]) -> Syst
         capacity: Span::from_units(capacity),
         period: Span::from_units(6),
         priority: Priority::new(30),
+        discipline: rt_model::QueueDiscipline::FifoSkip,
     });
     b.periodic(
         "tau1",

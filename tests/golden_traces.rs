@@ -43,6 +43,7 @@ fn system(scenario: u32, policy: ServerPolicyKind) -> SystemSpec {
             capacity: Span::from_units(3),
             period: Span::from_units(6),
             priority: Priority::new(30),
+            discipline: rt_model::QueueDiscipline::FifoSkip,
         },
     };
     b.server(server);
@@ -223,6 +224,93 @@ fn multi_server_systems_match_goldens() {
             &indexed.render_canonical(),
         );
     }
+}
+
+/// The scenario systems re-stamped for EDF dispatching: same traffic, same
+/// servers, but both engines rank ready entities by absolute deadline
+/// (periodic jobs by release + period, servers by their
+/// replenishment-derived deadlines, background servicing last).
+fn edf_system(scenario: u32, policy: ServerPolicyKind) -> SystemSpec {
+    let mut spec = system(scenario, policy);
+    spec.name = format!("golden-edf-s{scenario}-{policy:?}");
+    spec.scheduling = rtsj_event_framework::model::SchedulingPolicy::Edf;
+    spec
+}
+
+/// EDF goldens for both engines: scenario 2 traffic (arrivals mid-period, a
+/// skip, a replenishment wait) under every server policy, pinned event by
+/// event for both schedulers. Regeneration renders the linear-scan
+/// reference, like every other golden.
+#[test]
+fn edf_traces_match_goldens_for_every_policy() {
+    for policy in [
+        ServerPolicyKind::Polling,
+        ServerPolicyKind::Deferrable,
+        ServerPolicyKind::Background,
+        ServerPolicyKind::Sporadic,
+    ] {
+        let spec = edf_system(2, policy);
+        let config = ExecutionConfig::reference();
+        let reference = execute(&spec, &config.with_scheduler(SchedulerKind::LinearScan));
+        let indexed = execute(&spec, &config.with_scheduler(SchedulerKind::Indexed));
+        check_golden(
+            &format!("exec_edf_s2_{policy:?}").to_lowercase(),
+            &reference.render_canonical(),
+            &indexed.render_canonical(),
+        );
+        let reference = simulate_reference(&spec);
+        let indexed = simulate(&spec);
+        check_golden(
+            &format!("sim_edf_s2_{policy:?}").to_lowercase(),
+            &reference.render_canonical(),
+            &indexed.render_canonical(),
+        );
+    }
+}
+
+/// A deadline-carrying multi-server system under the deadline-ordered
+/// queue discipline: the 2-server golden system with deadline-ordered lanes
+/// and deterministic cost-proportional event deadlines, so urgent releases
+/// jump their queues in a pinned order.
+fn deadline_ordered_system() -> SystemSpec {
+    let mut spec = multi_server_system(2);
+    spec.name = "golden-edd-multi2".to_string();
+    for server in &mut spec.servers {
+        server.discipline = rtsj_event_framework::model::QueueDiscipline::DeadlineOrdered;
+    }
+    for (i, event) in spec.aperiodics.iter_mut().enumerate() {
+        // Cycle loose/tight/medium deadlines; the 3-cycle is coprime with
+        // the 2-server round-robin routing, so every lane sees mixed
+        // urgencies and the service order visibly differs from arrival
+        // order.
+        let factor = [20, 2, 9][i % 3];
+        event.relative_deadline = Some(event.declared_cost.saturating_mul(factor));
+    }
+    spec
+}
+
+/// Deadline-ordered service goldens, executed (both queue structures) and
+/// simulated.
+#[test]
+fn deadline_ordered_service_matches_goldens() {
+    let spec = deadline_ordered_system();
+    for queue in [QueueKind::Fifo, QueueKind::ListOfLists] {
+        let config = ExecutionConfig::reference().with_queue(queue);
+        let reference = execute(&spec, &config.with_scheduler(SchedulerKind::LinearScan));
+        let indexed = execute(&spec, &config.with_scheduler(SchedulerKind::Indexed));
+        check_golden(
+            &format!("exec_edd_multi2_{queue:?}").to_lowercase(),
+            &reference.render_canonical(),
+            &indexed.render_canonical(),
+        );
+    }
+    let reference = simulate_reference(&spec);
+    let indexed = simulate(&spec);
+    check_golden(
+        "sim_edd_multi2",
+        &reference.render_canonical(),
+        &indexed.render_canonical(),
+    );
 }
 
 /// The two queue structures must schedule identically (they only differ in

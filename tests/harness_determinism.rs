@@ -14,6 +14,7 @@ fn quick() -> TableConfig {
     TableConfig {
         systems_per_set: 3,
         seed: 1983,
+        ..TableConfig::default()
     }
 }
 

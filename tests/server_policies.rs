@@ -29,6 +29,7 @@ fn multi_server_systems(
     RandomSystemGenerator::new(params, primary)
         .expect("paper parameters are valid")
         .with_extra_servers(extras)
+        .expect("test-sized multi-server sets fit the priority range")
         .generate()
 }
 
@@ -73,6 +74,42 @@ fn assert_all_modes_agree(spec: &SystemSpec) {
 fn sporadic_server_traces_agree_across_every_engine_mode() {
     for spec in multi_server_systems(ServerPolicyKind::Sporadic, &[], 0xA11CE, 6) {
         assert_all_modes_agree(&spec);
+    }
+}
+
+/// The batching × scheduler × queue matrix, extended across the scheduling
+/// policy and queue-service discipline dimensions: every combination must
+/// produce the same trace as its indexed/batched sibling.
+#[test]
+fn scheduling_and_discipline_matrix_agrees_across_engine_modes() {
+    use rtsj_event_framework::model::{QueueDiscipline, SchedulingPolicy};
+    for spec in multi_server_systems(
+        ServerPolicyKind::Deferrable,
+        &[ServerPolicyKind::Sporadic],
+        0xED0,
+        3,
+    ) {
+        for scheduling in [SchedulingPolicy::FixedPriority, SchedulingPolicy::Edf] {
+            for discipline in [QueueDiscipline::FifoSkip, QueueDiscipline::DeadlineOrdered] {
+                let mut variant = spec.clone();
+                variant.scheduling = scheduling;
+                for server in &mut variant.servers {
+                    server.discipline = discipline;
+                }
+                // Give the traffic deadlines so the discipline axis is not
+                // vacuous: a deterministic cost-proportional stamp.
+                for event in &mut variant.aperiodics {
+                    event.relative_deadline = Some(event.declared_cost.saturating_mul(3));
+                }
+                variant.name = format!(
+                    "{}-{}-{}",
+                    spec.name,
+                    scheduling.label(),
+                    discipline.label()
+                );
+                assert_all_modes_agree(&variant);
+            }
+        }
     }
 }
 
