@@ -116,6 +116,7 @@ pub fn max_feasible_capacity(
         period,
         priority,
         discipline: rt_model::QueueDiscipline::FifoSkip,
+        admission: Default::default(),
     };
     if !periodic_set_feasible_with_server(tasks, &make(Span::from_ticks(1))) {
         return Span::ZERO;

@@ -24,6 +24,7 @@
 //!   `cargo bench -p rt-bench --bench engine_scaling -- overload`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt_admission::{AdmissionPolicy, ArrivingEvent, ServerAdmission};
 use rt_experiments::{available_workers, generate_set, run_systems, EvaluationMode, TableConfig};
 use rt_metrics::SET_ORDER;
 use rt_model::{
@@ -166,6 +167,30 @@ fn overloaded_system(horizon_units: u64) -> SystemSpec {
     b.build().expect("overloaded systems are valid")
 }
 
+/// Backlogs swept by the admission-decision benchmark.
+const ADMISSION_BACKLOGS: [usize; 3] = [256, 1024, 4096];
+
+/// An admission state holding `backlog` admitted (deadline-free) events —
+/// the virtual plan a 4x-overload burst builds up.
+fn admission_backlog_state(backlog: usize) -> ServerAdmission {
+    let mut state = ServerAdmission::with_params(
+        AdmissionPolicy::DeadlinePredictive,
+        Span::from_units(4),
+        Span::from_units(6),
+    );
+    for i in 0..backlog {
+        state.on_arrival(&ArrivingEvent {
+            event: rt_model::EventId::new(i as u32),
+            release: Instant::ZERO,
+            declared_cost: Span::from_units(1 + (i as u64 % 3)),
+            deadline: None,
+            value: 1,
+        });
+    }
+    assert_eq!(state.backlog(), backlog);
+    state
+}
+
 fn bench(c: &mut Criterion) {
     const TASK_SWEEP: [usize; 5] = [3, 10, 30, 100, 300];
     const HORIZON_SWEEP: [u64; 4] = [1_000, 10_000, 100_000, 1_000_000];
@@ -247,6 +272,31 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("overload_simulation", 10_000u64),
             &spec,
             |b, s| b.iter(|| black_box(simulate(black_box(s)))),
+        );
+    }
+    group.finish();
+
+    // Admission-decision scaling: the incremental virtual-plan predictor
+    // (amortised O(1) per arrival — better than the promised O(log
+    // backlog)) against the O(backlog) repack reference a naive
+    // arrival-time predictor pays. Run just this sweep with
+    // `cargo bench -p rt-bench --bench engine_scaling -- admission`.
+    let mut group = c.benchmark_group("admission_scaling");
+    for backlog in ADMISSION_BACKLOGS {
+        let state = admission_backlog_state(backlog);
+        group.bench_with_input(
+            BenchmarkId::new("decision_incremental", backlog),
+            &state,
+            |b, s| b.iter(|| black_box(s.predicted_completion(Instant::ZERO, Span::from_units(2)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decision_repack", backlog),
+            &state,
+            |b, s| {
+                b.iter(|| {
+                    black_box(s.predicted_completion_repack(Instant::ZERO, Span::from_units(2)))
+                })
+            },
         );
     }
     group.finish();
@@ -462,6 +512,42 @@ fn bench(c: &mut Criterion) {
             horizon,
             elapsed,
             spec.aperiodics.len()
+        );
+    }
+
+    // Admission summary: per-decision cost of the incremental virtual-plan
+    // predictor vs the O(backlog) repack reference. The incremental column
+    // must stay flat as the backlog grows (the O(log backlog) acceptance
+    // gate — it is in fact amortised O(1)); the repack column grows
+    // linearly.
+    println!();
+    println!("admission decision cost (DeadlinePredictive, per arrival):");
+    println!(
+        "{:>8} {:>14} {:>14} {:>8}",
+        "backlog", "incremental", "repack", "ratio"
+    );
+    for backlog in ADMISSION_BACKLOGS {
+        let state = admission_backlog_state(backlog);
+        let probes = 10_000u32;
+        black_box(state.predicted_completion(Instant::ZERO, Span::from_units(2)));
+        let incremental = time_once(|| {
+            for _ in 0..probes {
+                black_box(state.predicted_completion(Instant::ZERO, Span::from_units(2)));
+            }
+        }) / probes as f64;
+        let repack_probes = (probes / backlog as u32).max(4);
+        black_box(state.predicted_completion_repack(Instant::ZERO, Span::from_units(2)));
+        let repack = time_once(|| {
+            for _ in 0..repack_probes {
+                black_box(state.predicted_completion_repack(Instant::ZERO, Span::from_units(2)));
+            }
+        }) / repack_probes as f64;
+        println!(
+            "{:>8} {:>12.0}ns {:>12.0}ns {:>7.1}x",
+            backlog,
+            incremental * 1e9,
+            repack * 1e9,
+            repack / incremental
         );
     }
 }

@@ -24,7 +24,7 @@ use crate::polling::PollingServerBody;
 use crate::queue::QueueKind;
 use crate::sporadic::SporadicServerBody;
 use crate::state::{ServerShared, SharedServer};
-use rt_model::{EventId, Instant, QueueDiscipline, ServerPolicyKind, ServerSpec};
+use rt_model::{AdmissionPolicy, EventId, Instant, QueueDiscipline, ServerPolicyKind, ServerSpec};
 use rtsj_emu::{Engine, EventHandle, TaskServerParameters, ThreadHandle};
 
 /// Behaviour common to every installed task server.
@@ -58,13 +58,15 @@ impl PollingTaskServer {
         params: TaskServerParameters,
         queue: QueueKind,
         discipline: QueueDiscipline,
+        admission: AdmissionPolicy,
     ) -> Self {
-        let shared = ServerShared::new(
+        let shared = ServerShared::with_admission(
             params,
             ServerPolicyKind::Polling,
             engine.overhead(),
             queue,
             discipline,
+            admission,
         );
         let thread = engine.spawn_periodic(
             "server(PS)",
@@ -119,13 +121,15 @@ impl DeferrableTaskServer {
         params: TaskServerParameters,
         queue: QueueKind,
         discipline: QueueDiscipline,
+        admission: AdmissionPolicy,
     ) -> Self {
-        let shared = ServerShared::new(
+        let shared = ServerShared::with_admission(
             params,
             ServerPolicyKind::Deferrable,
             engine.overhead(),
             queue,
             discipline,
+            admission,
         );
         let wakeup = engine.create_event("wakeUp");
         let thread = engine.spawn(
@@ -256,13 +260,15 @@ impl SporadicTaskServer {
         params: TaskServerParameters,
         queue: QueueKind,
         discipline: QueueDiscipline,
+        admission: AdmissionPolicy,
     ) -> Self {
-        let shared = ServerShared::new(
+        let shared = ServerShared::with_admission(
             params,
             ServerPolicyKind::Sporadic,
             engine.overhead(),
             queue,
             discipline,
+            admission,
         );
         let wakeup = engine.create_event("wakeUp(SS)");
         let replenish = engine.create_event("replenish(SS)");
@@ -333,12 +339,14 @@ impl AnyTaskServer {
     /// queue discipline applies).
     pub fn install(engine: &mut Engine, spec: &ServerSpec, queue: QueueKind) -> Self {
         let discipline = spec.discipline;
+        let admission = spec.admission;
         match spec.policy {
             ServerPolicyKind::Polling => AnyTaskServer::Polling(PollingTaskServer::install(
                 engine,
                 TaskServerParameters::new(spec.capacity, spec.period, spec.priority),
                 queue,
                 discipline,
+                admission,
             )),
             ServerPolicyKind::Deferrable => {
                 AnyTaskServer::Deferrable(DeferrableTaskServer::install(
@@ -346,6 +354,7 @@ impl AnyTaskServer {
                     TaskServerParameters::new(spec.capacity, spec.period, spec.priority),
                     queue,
                     discipline,
+                    admission,
                 ))
             }
             ServerPolicyKind::Sporadic => AnyTaskServer::Sporadic(SporadicTaskServer::install(
@@ -353,6 +362,7 @@ impl AnyTaskServer {
                 TaskServerParameters::new(spec.capacity, spec.period, spec.priority),
                 queue,
                 discipline,
+                admission,
             )),
             ServerPolicyKind::Background => {
                 // Background servicing has no meaningful capacity or period;
@@ -418,12 +428,17 @@ impl ServableAsyncEvent {
         engine.add_fire_hook(
             engine_event,
             Box::new(move |ctx| {
-                shared.borrow_mut().released(
+                let accepted = shared.borrow_mut().released(
                     QueuedRelease::new(event_id, handler.clone(), ctx.now()),
                     ctx.now(),
                 );
-                if let Some(wakeup) = wakeup {
-                    ctx.fire(wakeup);
+                // A refused release never entered the queue: waking the
+                // server would be a spurious (if harmless) activation, and
+                // under AcceptAll this is exactly the pre-admission path.
+                if accepted {
+                    if let Some(wakeup) = wakeup {
+                        ctx.fire(wakeup);
+                    }
                 }
             }),
         );
@@ -470,6 +485,7 @@ mod tests {
             TaskServerParameters::new(Span::from_units(3), Span::from_units(6), Priority::new(30)),
             QueueKind::Fifo,
             QueueDiscipline::FifoSkip,
+            AdmissionPolicy::AcceptAll,
         );
         assert!(server.wakeup().is_none());
         assert_eq!(server.policy(), ServerPolicyKind::Polling);
@@ -495,6 +511,7 @@ mod tests {
             TaskServerParameters::new(Span::from_units(2), Span::from_units(6), Priority::new(30)),
             QueueKind::ListOfLists,
             QueueDiscipline::FifoSkip,
+            AdmissionPolicy::AcceptAll,
         );
         assert!(server.wakeup().is_some());
         let _ = server.thread();

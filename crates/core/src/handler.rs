@@ -24,6 +24,10 @@ pub struct ServableHandler {
     /// earliest `release + relative_deadline` first; handlers without one
     /// are ranked by their release instant, the FIFO fallback.
     pub relative_deadline: Option<Span>,
+    /// Completion value of the handler's events (the D-OVER value tag used
+    /// by value-density admission and the accrued-value metric). Defaults to
+    /// the handler's cost in ticks, i.e. unit value density.
+    pub value: u64,
 }
 
 impl ServableHandler {
@@ -35,7 +39,14 @@ impl ServableHandler {
             declared_cost: cost,
             actual_cost: cost,
             relative_deadline: None,
+            value: cost.ticks(),
         }
+    }
+
+    /// Attaches an explicit completion value (the D-OVER value tag).
+    pub fn with_value(mut self, value: u64) -> Self {
+        self.value = value;
+        self
     }
 
     /// Declares a cost different from the real demand.
@@ -99,6 +110,20 @@ impl QueuedRelease {
     /// Real processor demand of the handler.
     pub fn actual_cost(&self) -> Span {
         self.handler.actual_cost
+    }
+
+    /// Completion value of the release (the D-OVER value tag).
+    pub fn value(&self) -> u64 {
+        self.handler.value
+    }
+
+    /// The release's absolute deadline when its handler declares one —
+    /// unlike [`QueuedRelease::deadline`], which keys deadline-free releases
+    /// by their release instant for the deadline-ordered service fallback.
+    pub fn admission_deadline(&self) -> Option<Instant> {
+        self.handler
+            .relative_deadline
+            .map(|relative| self.release + relative)
     }
 }
 

@@ -58,7 +58,9 @@ pub mod sporadic;
 pub mod state;
 pub mod system;
 
-pub use admission::{predicted_response, textbook_prediction, AdmissionController};
+pub use admission::{
+    predicted_response, textbook_prediction, AdmissionController, AdmissionOracle,
+};
 pub use deferrable::EventDrivenServerBody;
 pub use framework::{
     AnyTaskServer, BackgroundServer, DeferrableTaskServer, PollingTaskServer, ServableAsyncEvent,
@@ -99,6 +101,7 @@ mod proptests {
             period: Span::from_units(6),
             priority: Priority::new(30),
             discipline: rt_model::QueueDiscipline::FifoSkip,
+            admission: Default::default(),
         });
         b.periodic(
             "tau1",

@@ -32,9 +32,9 @@
 //! The *order* of service is a per-server knob
 //! ([`rt_model::QueueDiscipline`]) riding the same indexed slab:
 //!
-//! * [`QueueDiscipline::FifoSkip`](rt_model::QueueDiscipline::FifoSkip) —
+//! * [`QueueDiscipline::FifoSkip`] —
 //!   the paper's rule above, answered by the cost tree in O(log n);
-//! * [`QueueDiscipline::DeadlineOrdered`](rt_model::QueueDiscipline::DeadlineOrdered)
+//! * [`QueueDiscipline::DeadlineOrdered`]
 //!   — earliest absolute deadline first (ties by arrival), answered by a
 //!   companion min-deadline heap with the same lazy-staleness rule as the
 //!   engines' calendars: O(log n) when the most urgent entry fits the
@@ -167,6 +167,22 @@ pub struct PendingQueue {
     live: usize,
     /// Incremental packer used by the list-of-lists structure.
     packer: Option<InstancePacker>,
+    /// The `(now, remaining_capacity)` pair the current packing is seeded
+    /// with, recorded for **both** queue kinds with exactly the packer's
+    /// staleness lifecycle (set at the first push after an invalidation,
+    /// cleared by out-of-order removals and drains). It is what lets the
+    /// flat-FIFO structure answer [`Self::predicted_slot`] by an O(n)
+    /// replay of the live queue — the §7 cost the list of lists avoids —
+    /// instead of returning `None`.
+    packing_seed: Option<(Instant, Span)>,
+    /// Declared costs of the entries served *in order from the head* since
+    /// the packing reference was recorded. Head removals keep the packing
+    /// valid but still consumed their planned capacity, so the flat-FIFO
+    /// replay must pack them first or it would hand their slots to the
+    /// survivors. Cleared together with `packing_seed`; grows with the
+    /// in-order services of one uninterrupted backlog episode (bounded by
+    /// the arrivals of that episode, like the outcome log).
+    replayed_heads: Vec<Span>,
 }
 
 impl PendingQueue {
@@ -183,6 +199,8 @@ impl PendingQueue {
             deadline_index: BinaryHeap::new(),
             live: 0,
             packer: None,
+            packing_seed: None,
+            replayed_heads: Vec::new(),
         }
     }
 
@@ -228,6 +246,11 @@ impl PendingQueue {
         now: Instant,
         remaining_capacity: Span,
     ) -> Option<InstanceSlot> {
+        if self.packing_seed.is_none() {
+            // Same lifecycle as the packer: the packing reference is the
+            // server state at the first push after an invalidation.
+            self.packing_seed = Some((now, remaining_capacity));
+        }
         let predictable = release.declared_cost() <= self.server.capacity;
         let slot = if predictable && self.kind == QueueKind::ListOfLists {
             if self.packer.is_none() {
@@ -310,6 +333,13 @@ impl PendingQueue {
         self.maybe_compact();
         if !was_head || self.live == 0 {
             self.packer = None;
+            self.packing_seed = None;
+            self.replayed_heads.clear();
+        } else {
+            // An in-order head service keeps the packing valid; remember its
+            // cost so the flat-FIFO replay still charges the capacity it
+            // consumed under the plan.
+            self.replayed_heads.push(entry.release.declared_cost());
         }
         entry.release
     }
@@ -445,19 +475,74 @@ impl PendingQueue {
         self.slots.iter().flatten().map(|e| &e.release)
     }
 
-    /// The predicted slot stored for a pending release (list-of-lists only).
+    /// The equation-(5) slot predicted for a pending release.
+    ///
+    /// * [`QueueKind::ListOfLists`] answers from the slot stored at push
+    ///   time — O(1), the §7 structure's whole point. After an out-of-order
+    ///   removal the stored slots of the *surviving* entries reflect the
+    ///   packing as it was when they were pushed (newly pushed entries are
+    ///   packed against the rebuilt live queue).
+    /// * [`QueueKind::Fifo`] answers by replaying the live queue from the
+    ///   recorded packing reference — O(n) per query, exactly the cost the
+    ///   list of lists eliminates. Before the PR-3 tournament-tree refactor
+    ///   grew this path, the flat FIFO returned `None` unconditionally.
+    ///
+    /// Returns `None` for events that are not pending, whose declared cost
+    /// exceeds the capacity (never servable by the non-resumable
+    /// implementation), or — flat FIFO only — while the packing reference is
+    /// invalidated (between an out-of-order removal and the next push).
     pub fn predicted_slot(&self, event: rt_model::EventId) -> Option<InstanceSlot> {
-        self.slots
+        let entry = self
+            .slots
             .iter()
             .flatten()
-            .find(|e| e.release.event == event)
-            .and_then(|e| e.slot)
+            .find(|e| e.release.event == event)?;
+        if let Some(slot) = entry.slot {
+            return Some(slot);
+        }
+        if entry.release.declared_cost() > self.server.capacity {
+            return None;
+        }
+        // Flat-FIFO replay: re-pack the full episode from the recorded
+        // seed — first the heads already served in order (their capacity is
+        // spent under the plan), then the live entries — until the event is
+        // reached.
+        let (now, remaining) = self.packing_seed?;
+        let mut packer = InstancePacker::new(self.server, now, remaining);
+        for &cost in &self.replayed_heads {
+            if cost <= self.server.capacity {
+                packer.push(cost);
+            }
+        }
+        for e in self.slots.iter().flatten() {
+            if e.release.declared_cost() <= self.server.capacity {
+                let slot = packer.push(e.release.declared_cost());
+                if e.release.event == event {
+                    return Some(slot);
+                }
+            }
+        }
+        None
+    }
+
+    /// Removes a pending release by event id (the overload manager's abort
+    /// path), maintaining the same index/packer invariants as a service
+    /// removal. O(n) to locate the slot, O(log n) to remove it; aborts are
+    /// rare decisions on the overload path, never per-dispatch work.
+    pub fn remove_event(&mut self, event: rt_model::EventId) -> Option<QueuedRelease> {
+        let index = self
+            .slots
+            .iter()
+            .position(|entry| entry.as_ref().is_some_and(|e| e.release.event == event))?;
+        Some(self.take(index))
     }
 
     /// Drains every remaining release (used at the horizon to report
     /// unserved events).
     pub fn drain(&mut self) -> Vec<QueuedRelease> {
         self.packer = None;
+        self.packing_seed = None;
+        self.replayed_heads.clear();
         self.live = 0;
         self.index.clear();
         self.deadline_index.clear();
@@ -577,10 +662,12 @@ mod tests {
         // handler is predicted in instance 1 with no prior cost.
         assert_eq!(slot.instance, 1);
         assert_eq!(slot.prior_cost, Span::ZERO);
-        // The flat FIFO stores no slots.
+        // The flat FIFO stores no slots but replays the same packing from
+        // its recorded seed, so the answer is identical (at O(n) cost).
         let mut fifo = queue(QueueKind::Fifo);
         fifo.push(release(0, 3, 0), Instant::ZERO, Span::from_units(4));
-        assert!(fifo.predicted_slot(EventId::new(0)).is_none());
+        fifo.push(release(1, 2, 0), Instant::ZERO, Span::from_units(4));
+        assert_eq!(fifo.predicted_slot(EventId::new(1)), Some(slot));
     }
 
     #[test]
@@ -611,6 +698,40 @@ mod tests {
         let slot = slot_lol.unwrap();
         assert_eq!(slot.instance, 1);
         assert_eq!(slot.prior_cost, Span::ZERO);
+    }
+
+    #[test]
+    fn fifo_replay_remembers_heads_served_in_order() {
+        // Regression: after an in-order head service (which keeps the
+        // packing valid) the flat-FIFO replay must still charge the served
+        // head's capacity — otherwise the survivor inherits its slot and
+        // the prediction disagrees with the list-of-lists answer.
+        let mut fifo = queue(QueueKind::Fifo);
+        let mut lol = queue(QueueKind::ListOfLists);
+        for q in [&mut fifo, &mut lol] {
+            q.push(release(0, 3, 0), Instant::ZERO, Span::from_units(4));
+            q.push(release(1, 2, 0), Instant::ZERO, Span::from_units(4));
+            // Serve the head A in order: packing stays valid.
+            assert_eq!(
+                q.choose_next(Span::from_units(4)).unwrap().event,
+                EventId::new(0)
+            );
+        }
+        let expected = lol.predicted_slot(EventId::new(1)).unwrap();
+        assert_eq!(expected.instance, 1, "B was packed behind the cost-3 head");
+        assert_eq!(
+            fifo.predicted_slot(EventId::new(1)),
+            Some(expected),
+            "the replay must pack the served head first"
+        );
+        // A second in-order service: both structures drain and reset.
+        for q in [&mut fifo, &mut lol] {
+            assert_eq!(
+                q.choose_next(Span::from_units(4)).unwrap().event,
+                EventId::new(1)
+            );
+            assert!(q.is_empty());
+        }
     }
 
     #[test]

@@ -101,6 +101,7 @@ mod tests {
             TaskServerParameters::new(Span::from_units(3), Span::from_units(6), Priority::new(30)),
             QueueKind::Fifo,
             rt_model::QueueDiscipline::FifoSkip,
+            rt_model::AdmissionPolicy::AcceptAll,
         );
         engine.spawn_periodic(
             "tau1",

@@ -11,7 +11,11 @@
 
 use crate::handler::QueuedRelease;
 use crate::queue::{PendingQueue, QueueKind};
-use rt_model::{AperiodicFate, AperiodicOutcome, Instant, QueueDiscipline, ServerPolicyKind, Span};
+use rt_admission::{AdmissionVerdict, ArrivingEvent, ServerAdmission};
+use rt_model::{
+    AdmissionPolicy, AperiodicFate, AperiodicOutcome, Instant, QueueDiscipline, ServerPolicyKind,
+    Span,
+};
 use rtsj_emu::{OverheadModel, TaskServerParameters};
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -53,6 +57,10 @@ pub struct ServerShared {
     pub active_since: Option<Instant>,
     /// Sporadic Server only: capacity actually debited since the anchor.
     pub consumed_since_active: Span,
+    /// On-line admission/overload state. Decisions are a pure function of
+    /// the arrival history (see `rt-admission`), so they agree with the
+    /// simulator's for identical arrival sequences.
+    pub admission: ServerAdmission,
 }
 
 /// Shared handle to a server's state.
@@ -67,7 +75,32 @@ impl ServerShared {
         queue_kind: QueueKind,
         discipline: QueueDiscipline,
     ) -> SharedServer {
+        Self::with_admission(
+            params,
+            policy,
+            overhead,
+            queue_kind,
+            discipline,
+            AdmissionPolicy::AcceptAll,
+        )
+    }
+
+    /// Creates the state with an on-line admission policy. Background
+    /// servicing has no capacity plan to predict against and always accepts.
+    pub fn with_admission(
+        params: TaskServerParameters,
+        policy: ServerPolicyKind,
+        overhead: OverheadModel,
+        queue_kind: QueueKind,
+        discipline: QueueDiscipline,
+        admission: AdmissionPolicy,
+    ) -> SharedServer {
         let queue = PendingQueue::new(queue_kind, params.capacity, params.period, discipline);
+        let admission = if policy == ServerPolicyKind::Background {
+            ServerAdmission::accept_all()
+        } else {
+            ServerAdmission::with_params(admission, params.capacity, params.period)
+        };
         Rc::new(RefCell::new(ServerShared {
             params,
             policy,
@@ -79,6 +112,7 @@ impl ServerShared {
             pending_replenishments: VecDeque::new(),
             active_since: None,
             consumed_since_active: Span::ZERO,
+            admission,
         }))
     }
 
@@ -91,12 +125,41 @@ impl ServerShared {
     }
 
     /// Registers a release (the `servableEventReleased` entry point called by
-    /// `ServableAsyncEvent::fire`). The equation-(5) slot predicted by the
-    /// queue structure, when it maintains one, is available afterwards
-    /// through [`PendingQueue::predicted_slot`] or
+    /// `ServableAsyncEvent::fire`), consulting the server's on-line
+    /// admission policy first. Returns `true` when the release was admitted
+    /// into the pending queue; a refused release is recorded as
+    /// [`AperiodicFate::Rejected`] and any backlog entries displaced by a
+    /// value-density decision are removed from the queue and recorded as
+    /// [`AperiodicFate::Aborted`]. Under the default
+    /// [`AdmissionPolicy::AcceptAll`] this is exactly the pre-admission
+    /// behaviour (always `true`, no extra bookkeeping).
+    ///
+    /// The equation-(5) slot predicted by the queue structure, when it
+    /// maintains one, is available afterwards through
+    /// [`PendingQueue::predicted_slot`] or
     /// [`crate::admission::predicted_response`].
-    pub fn released(&mut self, release: QueuedRelease, now: Instant) {
-        let _ = self.queue.push(release, now, self.remaining);
+    pub fn released(&mut self, release: QueuedRelease, now: Instant) -> bool {
+        let verdict: AdmissionVerdict = self.admission.on_arrival(&ArrivingEvent {
+            event: release.event,
+            release: release.release,
+            declared_cost: release.declared_cost(),
+            deadline: release.admission_deadline(),
+            value: release.value(),
+        });
+        for event in &verdict.aborted {
+            // Only still-pending releases can be dropped; one already being
+            // served (possible under the non-polling policies, which run
+            // ahead of the virtual plan) keeps its in-flight fate.
+            if let Some(dropped) = self.queue.remove_event(*event) {
+                self.record_aborted(&dropped, now);
+            }
+        }
+        if verdict.accepted {
+            let _ = self.queue.push(release, now, self.remaining);
+        } else {
+            self.record_rejected(&release, now);
+        }
+        verdict.accepted
     }
 
     /// Budget the policy would grant to a release chosen at `now`.
@@ -273,12 +336,32 @@ impl ServerShared {
 
     /// Records a successfully served event.
     pub fn record_served(&mut self, release: &QueuedRelease, started: Instant, completed: Instant) {
-        self.outcomes.push(AperiodicOutcome {
+        self.outcomes
+            .push(self.outcome(release, AperiodicFate::Served { started, completed }));
+    }
+
+    /// Builds an outcome record carrying the release's value and deadline.
+    fn outcome(&self, release: &QueuedRelease, fate: AperiodicFate) -> AperiodicOutcome {
+        AperiodicOutcome {
             event: release.event,
             release: release.release,
             declared_cost: release.declared_cost(),
-            fate: AperiodicFate::Served { started, completed },
-        });
+            value: release.value(),
+            deadline: release.admission_deadline(),
+            fate,
+        }
+    }
+
+    /// Records a release refused by the admission policy at arrival.
+    pub fn record_rejected(&mut self, release: &QueuedRelease, at: Instant) {
+        self.outcomes
+            .push(self.outcome(release, AperiodicFate::Rejected { at }));
+    }
+
+    /// Records a pending release dropped by an overload decision.
+    pub fn record_aborted(&mut self, release: &QueuedRelease, at: Instant) {
+        self.outcomes
+            .push(self.outcome(release, AperiodicFate::Aborted { at }));
     }
 
     /// Records an event interrupted by budget enforcement.
@@ -288,27 +371,21 @@ impl ServerShared {
         started: Instant,
         interrupted_at: Instant,
     ) {
-        self.outcomes.push(AperiodicOutcome {
-            event: release.event,
-            release: release.release,
-            declared_cost: release.declared_cost(),
-            fate: AperiodicFate::Interrupted {
+        self.outcomes.push(self.outcome(
+            release,
+            AperiodicFate::Interrupted {
                 started,
                 interrupted_at,
             },
-        });
+        ));
     }
 
     /// Reports everything still pending as unserved (called once the horizon
     /// is reached) and returns the complete outcome list.
     pub fn finalise(&mut self) -> Vec<AperiodicOutcome> {
         for release in self.queue.drain() {
-            self.outcomes.push(AperiodicOutcome {
-                event: release.event,
-                release: release.release,
-                declared_cost: release.declared_cost(),
-                fate: AperiodicFate::Unserved,
-            });
+            let outcome = self.outcome(&release, AperiodicFate::Unserved);
+            self.outcomes.push(outcome);
         }
         let mut outcomes = std::mem::take(&mut self.outcomes);
         outcomes.sort_by_key(|o| (o.release, o.event));

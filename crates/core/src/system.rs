@@ -172,6 +172,7 @@ pub fn execute(spec: &SystemSpec, config: &ExecutionConfig) -> Trace {
             declared_cost: event.declared_cost,
             actual_cost: event.actual_cost,
             relative_deadline: event.relative_deadline,
+            value: event.value,
         };
         let sae = ServableAsyncEvent::create(&mut engine, event.id, handler, server);
         sae.schedule_fire(&mut engine, event.release);
@@ -196,6 +197,8 @@ pub fn execute(spec: &SystemSpec, config: &ExecutionConfig) -> Trace {
                     event: event.id,
                     release: event.release,
                     declared_cost: event.declared_cost,
+                    value: event.value,
+                    deadline: event.absolute_deadline(),
                     fate: AperiodicFate::Unserved,
                 });
             }
@@ -298,6 +301,7 @@ mod tests {
             period: Span::from_units(6),
             priority: Priority::new(30),
             discipline: rt_model::QueueDiscipline::FifoSkip,
+            admission: Default::default(),
         });
         b.periodic(
             "tau1",
@@ -361,6 +365,8 @@ mod tests {
                 event: event.id,
                 release: event.release,
                 declared_cost: event.declared_cost,
+                value: event.value,
+                deadline: event.absolute_deadline(),
                 fate: AperiodicFate::Served {
                     started: event.release,
                     completed: event.release + event.actual_cost,

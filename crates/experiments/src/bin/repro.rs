@@ -7,6 +7,9 @@
 //! repro multi               multi-server tables (PS+SS and DS+SS+PS systems)
 //! repro edf                 the EDF column family: FP vs EDF executions of
 //!                           identical systems + FP-RTA / EDF-dbf verdicts
+//! repro overload            admission/overload sweep: load 0.5x -> 4x across
+//!                           AcceptAll / DeadlinePredictive / ValueDensity,
+//!                           both engines
 //! repro all                 everything above but multi/edf (default)
 //! repro quick               all tables with 3 systems per set (fast smoke run)
 //! ```
@@ -21,8 +24,8 @@
 //! (FIFO-with-skip vs deadline-ordered).
 
 use rt_experiments::{
-    available_workers, default_online_rta, reproduce_edf_table, reproduce_table_with_workers,
-    run_scenario, side_by_side, PaperTable, Scenario, TableConfig,
+    available_workers, default_online_rta, reproduce_edf_table, reproduce_overload_table,
+    reproduce_table_with_workers, run_scenario, side_by_side, PaperTable, Scenario, TableConfig,
 };
 use rt_model::{QueueDiscipline, SchedulingPolicy};
 
@@ -85,7 +88,7 @@ fn print_online_rta() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro [fig2|fig3|fig4|table2|table3|table4|table5|online-rta|multi|edf|quick|all] \
+        "usage: repro [fig2|fig3|fig4|table2|table3|table4|table5|online-rta|multi|edf|overload|quick|all] \
          [--workers N] [--edf] [--discipline fifo|edd]"
     );
     std::process::exit(2);
@@ -148,6 +151,10 @@ fn main() {
         "online-rta" => print_online_rta(),
         "edf" => {
             let table = reproduce_edf_table(&full, workers);
+            println!("{table}");
+        }
+        "overload" => {
+            let table = reproduce_overload_table(&full, workers);
             println!("{table}");
         }
         "multi" => {

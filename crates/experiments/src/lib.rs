@@ -9,6 +9,8 @@
 //!   published values;
 //! * [`online`] — the §7 on-line response-time computation, validated
 //!   against measured executions;
+//! * [`overload`] — the admission/overload sweep: load 0.5×→4× across the
+//!   admission policies, on both engines;
 //! * [`pool`] — the std-thread worker pool the table harness fans out on,
 //!   with deterministic (bit-identical for any worker count) reduction.
 //!
@@ -19,11 +21,16 @@
 #![warn(missing_docs)]
 
 pub mod online;
+pub mod overload;
 pub mod pool;
 pub mod scenarios;
 pub mod tables;
 
 pub use online::{default_online_rta, online_rta_experiment, OnlinePrediction, OnlineRtaReport};
+pub use overload::{
+    generate_overload_set, reproduce_overload_table, OverloadRow, OverloadTable, OVERLOAD_LOADS,
+    OVERLOAD_POLICIES,
+};
 pub use pool::{available_workers, parallel_map, parallel_shards};
 pub use scenarios::{run_scenario, scenario_system, table1_system, Scenario, ScenarioReport};
 pub use tables::{

@@ -47,6 +47,7 @@ pub fn table1_system(
         period: Span::from_units(6),
         priority: Priority::new(30),
         discipline: rt_model::QueueDiscipline::FifoSkip,
+        admission: Default::default(),
     });
     b.periodic(
         "tau1",

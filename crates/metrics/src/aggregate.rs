@@ -84,6 +84,60 @@ impl SetAggregate {
     }
 }
 
+/// Aggregate of the admission/overload columns of a set of runs: the mean
+/// per-run acceptance ratio, the mean miss ratio among accepted
+/// deadline-carrying events, the mean accrued value per run, and the AART
+/// over the served events — the row format of the overload tables
+/// (`rt-experiments::reproduce_overload_table`). Folding follows
+/// [`SetAggregate::from_runs`]: plain run-order averages, so the parallel
+/// harness reproduces it bit for bit through index-ordered partials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadAggregate {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Mean per-run acceptance ratio (accepted / released).
+    pub acceptance: f64,
+    /// Mean per-run deadline-miss ratio among accepted events.
+    pub accepted_miss: f64,
+    /// Mean accrued value per run (value tags of events completed by their
+    /// deadlines).
+    pub mean_value: f64,
+    /// Average of the per-run average response times over served events.
+    pub aart: f64,
+}
+
+impl OverloadAggregate {
+    /// Aggregates a set of per-run measures.
+    pub fn from_runs(runs: &[RunMeasures]) -> Self {
+        let n = runs.len();
+        if n == 0 {
+            return OverloadAggregate {
+                runs: 0,
+                acceptance: 1.0,
+                accepted_miss: 0.0,
+                mean_value: 0.0,
+                aart: 0.0,
+            };
+        }
+        let with_service: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| r.average_response_time)
+            .collect();
+        let aart = if with_service.is_empty() {
+            0.0
+        } else {
+            with_service.iter().sum::<f64>() / with_service.len() as f64
+        };
+        OverloadAggregate {
+            runs: n,
+            acceptance: runs.iter().map(|r| r.acceptance_ratio()).sum::<f64>() / n as f64,
+            accepted_miss: runs.iter().map(|r| r.accepted_miss_ratio()).sum::<f64>() / n as f64,
+            mean_value: runs.iter().map(|r| r.accrued_value as f64).sum::<f64>() / n as f64,
+            aart,
+        }
+    }
+}
+
 /// The measures of one set's runs as collected by one harness worker.
 ///
 /// Workers claim runs dynamically, so one worker's share of a set is an
@@ -97,8 +151,9 @@ impl SetAggregate {
 /// ```
 /// use rt_metrics::{PartialRuns, RunMeasures, SetAggregate};
 ///
-/// let run = |avg| RunMeasures { released: 2, served: 2, interrupted: 0,
-///                               average_response_time: Some(avg) };
+/// let run = |avg| RunMeasures { released: 2, served: 2,
+///                               average_response_time: Some(avg),
+///                               ..RunMeasures::default() };
 /// // Two workers collected the four runs of a set out of order.
 /// let mut a = PartialRuns::new();
 /// a.record(3, run(8.0));
@@ -177,6 +232,7 @@ mod tests {
             served,
             interrupted,
             average_response_time: avg,
+            ..RunMeasures::default()
         }
     }
 

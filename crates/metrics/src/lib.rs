@@ -12,7 +12,7 @@ pub mod aggregate;
 pub mod measures;
 pub mod table;
 
-pub use aggregate::{PartialRuns, SetAggregate};
+pub use aggregate::{OverloadAggregate, PartialRuns, SetAggregate};
 pub use measures::RunMeasures;
 pub use table::{paper, shape, ResultTable, SET_ORDER};
 
@@ -44,12 +44,7 @@ mod proptests {
             },
             _ => AperiodicFate::Unserved,
         };
-        AperiodicOutcome {
-            event: EventId::new(id),
-            release,
-            declared_cost: Span::from_units(cost),
-            fate,
-        }
+        AperiodicOutcome::new(EventId::new(id), release, Span::from_units(cost), fate)
     }
 
     fn random_outcomes(rng: &mut StdRng, min: usize, max: usize) -> Vec<AperiodicOutcome> {

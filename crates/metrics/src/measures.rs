@@ -5,10 +5,13 @@
 //! served-aperiodics ratio" (§6.1). A [`RunMeasures`] value holds exactly
 //! those three quantities for one run.
 
-use rt_model::{AperiodicOutcome, Span, Trace};
+use rt_model::{AperiodicOutcome, Instant, Span, Trace};
 
-/// The three per-run measures of the paper.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// The per-run measures: the paper's three (served/interrupted counts and
+/// the average response time) plus the admission-layer columns introduced
+/// with the `rt-admission` subsystem (acceptance, deadline misses among the
+/// accepted events, accrued value).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RunMeasures {
     /// Number of aperiodic events released within the horizon.
     pub released: usize,
@@ -16,18 +19,59 @@ pub struct RunMeasures {
     pub served: usize,
     /// Number of events interrupted by budget enforcement.
     pub interrupted: usize,
+    /// Events refused by the on-line admission policy at arrival.
+    pub rejected: usize,
+    /// Admitted events later dropped by an overload decision.
+    pub aborted: usize,
+    /// Accepted events that carry a deadline (the miss-ratio denominator).
+    pub accepted_with_deadline: usize,
+    /// Accepted, deadline-carrying events that did not complete by their
+    /// deadline (late, interrupted, aborted or unserved).
+    pub accepted_deadline_misses: usize,
+    /// Total value accrued (value tags of events completed by their
+    /// deadline — the D-OVER accrual rule).
+    pub accrued_value: u64,
     /// Average response time of the *served* events, in time units
     /// (`None` when nothing was served).
     pub average_response_time: Option<f64>,
 }
 
 impl RunMeasures {
-    /// Computes the measures from a list of outcomes.
+    /// Computes the measures from a list of outcomes, without an
+    /// observation horizon: every accepted deadline-carrying event counts
+    /// towards the miss ratio. Prefer [`RunMeasures::from_trace`], which
+    /// censors deadlines falling beyond the horizon.
     pub fn from_outcomes(outcomes: &[AperiodicOutcome]) -> Self {
+        Self::with_horizon(outcomes, None)
+    }
+
+    /// Computes the measures, censoring the deadline-miss columns at the
+    /// observation horizon: an accepted event whose deadline lies *beyond*
+    /// the horizon cannot be observed either way (the run ends before its
+    /// deadline), so it joins neither the miss numerator nor the
+    /// denominator. Without the censoring every sufficiently late arrival
+    /// would count as a "miss" against even a perfect admission policy.
+    pub fn with_horizon(outcomes: &[AperiodicOutcome], horizon: Option<Instant>) -> Self {
         let released = outcomes.len();
         let served_times: Vec<Span> = outcomes.iter().filter_map(|o| o.response_time()).collect();
         let served = served_times.len();
         let interrupted = outcomes.iter().filter(|o| o.is_interrupted()).count();
+        let rejected = outcomes.iter().filter(|o| o.is_rejected()).count();
+        let aborted = outcomes.iter().filter(|o| o.is_aborted()).count();
+        let observable = |o: &&AperiodicOutcome| -> bool {
+            o.deadline.is_some_and(|d| horizon.is_none_or(|h| d <= h))
+        };
+        let accepted_with_deadline = outcomes
+            .iter()
+            .filter(observable)
+            .filter(|o| o.is_accepted())
+            .count();
+        let accepted_deadline_misses = outcomes
+            .iter()
+            .filter(observable)
+            .filter(|o| o.missed_deadline_after_acceptance())
+            .count();
+        let accrued_value = outcomes.iter().map(|o| o.accrued_value()).sum();
         let average_response_time = if served == 0 {
             None
         } else {
@@ -37,13 +81,19 @@ impl RunMeasures {
             released,
             served,
             interrupted,
+            rejected,
+            aborted,
+            accepted_with_deadline,
+            accepted_deadline_misses,
+            accrued_value,
             average_response_time,
         }
     }
 
-    /// Computes the measures directly from a trace.
+    /// Computes the measures directly from a trace, censoring the
+    /// deadline-miss columns at the trace horizon.
     pub fn from_trace(trace: &Trace) -> Self {
-        Self::from_outcomes(&trace.outcomes)
+        Self::with_horizon(&trace.outcomes, Some(trace.horizon))
     }
 
     /// Served-aperiodics ratio (the per-run contribution to ASR).
@@ -61,6 +111,30 @@ impl RunMeasures {
         }
         self.interrupted as f64 / self.released as f64
     }
+
+    /// Events admitted into a pending queue (everything not rejected).
+    pub fn accepted(&self) -> usize {
+        self.released - self.rejected
+    }
+
+    /// Acceptance ratio: accepted / released (1.0 for event-free runs).
+    pub fn acceptance_ratio(&self) -> f64 {
+        if self.released == 0 {
+            return 1.0;
+        }
+        self.accepted() as f64 / self.released as f64
+    }
+
+    /// Deadline-miss ratio among the accepted, deadline-carrying events
+    /// (0.0 when none of the accepted events carries a deadline). This is
+    /// the quantity a predictive admission policy drives to zero: it pays
+    /// for its rejections by guaranteeing the work it does accept.
+    pub fn accepted_miss_ratio(&self) -> f64 {
+        if self.accepted_with_deadline == 0 {
+            return 0.0;
+        }
+        self.accepted_deadline_misses as f64 / self.accepted_with_deadline as f64
+    }
 }
 
 #[cfg(test)]
@@ -69,12 +143,12 @@ mod tests {
     use rt_model::{AperiodicFate, EventId, Instant};
 
     fn outcome(id: u32, fate: AperiodicFate) -> AperiodicOutcome {
-        AperiodicOutcome {
-            event: EventId::new(id),
-            release: Instant::from_units(2),
-            declared_cost: Span::from_units(2),
+        AperiodicOutcome::new(
+            EventId::new(id),
+            Instant::from_units(2),
+            Span::from_units(2),
             fate,
-        }
+        )
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub use priority::{
     deadline_monotonic, rate_monotonic, Priority, SchedulingPolicy, SymbolicPriority,
 };
 pub use system::{SystemBuilder, SystemSpec};
-pub use task::{AperiodicEvent, PeriodicTask, QueueDiscipline, ServerPolicyKind, ServerSpec};
+pub use task::{
+    AdmissionPolicy, AperiodicEvent, PeriodicTask, QueueDiscipline, ServerPolicyKind, ServerSpec,
+};
 pub use time::{Instant, Span, TICKS_PER_UNIT};
 pub use trace::{AperiodicFate, AperiodicOutcome, ExecUnit, PeriodicJobRecord, Segment, Trace};
 

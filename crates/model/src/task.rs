@@ -113,6 +113,11 @@ pub struct AperiodicEvent {
     /// Optional relative deadline used by deadline-ordered service policies
     /// and by the on-line response-time equations (d_k in the paper).
     pub relative_deadline: Option<Span>,
+    /// Abstract value accrued when the event completes by its deadline, used
+    /// by the [`AdmissionPolicy::ValueDensity`] drop rule (the D-OVER
+    /// value-density ordering) and the accrued-value metric. Defaults to the
+    /// event's cost in ticks, i.e. unit value density.
+    pub value: u64,
     /// Index (into [`crate::SystemSpec::servers`]) of the task server that
     /// services this event. Zero for single-server systems, which keeps the
     /// original one-server format a special case of the multi-server one.
@@ -130,6 +135,7 @@ impl AperiodicEvent {
             declared_cost: cost,
             actual_cost: cost,
             relative_deadline: None,
+            value: cost.ticks(),
             server: 0,
         }
     }
@@ -156,6 +162,12 @@ impl AperiodicEvent {
     /// server table.
     pub fn with_server(mut self, server: usize) -> Self {
         self.server = server;
+        self
+    }
+
+    /// Attaches an explicit completion value (the D-OVER value tag).
+    pub fn with_value(mut self, value: u64) -> Self {
+        self.value = value;
         self
     }
 
@@ -238,6 +250,53 @@ impl QueueDiscipline {
     }
 }
 
+/// On-line admission policy of a task server: what the server does with an
+/// aperiodic release *at its arrival instant*, before it enters the pending
+/// queue (paper §7: the constant-time response-time computation "permits …
+/// possibly to cancel its execution").
+///
+/// The decision machinery lives in the `rt-admission` crate and is shared
+/// verbatim by both execution substrates, so accept/reject decisions are a
+/// pure function of the arrival history and identical across engines.
+///
+/// Per-decision complexity (see `rt_admission::ServerAdmission`):
+///
+/// * [`AdmissionPolicy::AcceptAll`] — O(1), and behaviourally invisible:
+///   traces are byte-identical to a system without an admission layer;
+/// * [`AdmissionPolicy::DeadlinePredictive`] — amortised O(1) per arrival
+///   (one incremental equation-(5) packer push; pruning completed virtual
+///   entries is amortised O(1) because packed completions are monotone);
+/// * [`AdmissionPolicy::ValueDensity`] — O(1) on the accept path, O(backlog)
+///   per provisional drop on the overload path (a min-density scan plus a
+///   repack of the surviving backlog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Every release is queued — the pre-admission behaviour. Default.
+    #[default]
+    AcceptAll,
+    /// Reject a release at arrival when its predicted completion (equation
+    /// (5) over the currently admitted backlog) exceeds its absolute
+    /// deadline. Releases without a deadline are always accepted.
+    DeadlinePredictive,
+    /// D-OVER-style drop rule: a release predicted to miss its deadline may
+    /// displace already-admitted (still pending) releases of strictly lower
+    /// value density (`value / declared_cost`), which are aborted; when no
+    /// sequence of such drops makes the newcomer feasible, the newcomer is
+    /// rejected and nothing is dropped.
+    ValueDensity,
+}
+
+impl AdmissionPolicy {
+    /// Short label used in tables and golden names.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmissionPolicy::AcceptAll => "accept",
+            AdmissionPolicy::DeadlinePredictive => "predictive",
+            AdmissionPolicy::ValueDensity => "dover",
+        }
+    }
+}
+
 /// Specification of the aperiodic task server of a system.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServerSpec {
@@ -253,6 +312,11 @@ pub struct ServerSpec {
     /// Order in which pending releases are served (FIFO-with-skip by
     /// default, the paper's rule).
     pub discipline: QueueDiscipline,
+    /// On-line admission policy applied at each release's arrival instant
+    /// (accept everything by default, the pre-admission behaviour).
+    /// Background servers have no admission constraint and always behave as
+    /// [`AdmissionPolicy::AcceptAll`], whatever is configured here.
+    pub admission: AdmissionPolicy,
 }
 
 impl ServerSpec {
@@ -264,6 +328,7 @@ impl ServerSpec {
             period,
             priority,
             discipline: QueueDiscipline::FifoSkip,
+            admission: AdmissionPolicy::AcceptAll,
         }
     }
 
@@ -275,6 +340,7 @@ impl ServerSpec {
             period,
             priority,
             discipline: QueueDiscipline::FifoSkip,
+            admission: AdmissionPolicy::AcceptAll,
         }
     }
 
@@ -286,6 +352,7 @@ impl ServerSpec {
             period,
             priority,
             discipline: QueueDiscipline::FifoSkip,
+            admission: AdmissionPolicy::AcceptAll,
         }
     }
 
@@ -298,12 +365,19 @@ impl ServerSpec {
             period: Span::MAX,
             priority,
             discipline: QueueDiscipline::FifoSkip,
+            admission: AdmissionPolicy::AcceptAll,
         }
     }
 
     /// Replaces the queue-service discipline.
     pub fn with_discipline(mut self, discipline: QueueDiscipline) -> Self {
         self.discipline = discipline;
+        self
+    }
+
+    /// Replaces the on-line admission policy.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
         self
     }
 

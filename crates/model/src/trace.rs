@@ -89,6 +89,19 @@ pub enum AperiodicFate {
     /// The handler never completed within the observation horizon (it may
     /// never have started, or still be pending in the server queue).
     Unserved,
+    /// The release was refused by the server's on-line admission policy at
+    /// its arrival instant and never entered the pending queue.
+    Rejected {
+        /// Instant of the admission decision (the arrival instant).
+        at: Instant,
+    },
+    /// The release was admitted but later dropped from the pending queue by
+    /// an overload-management decision (the D-OVER-style value-density rule)
+    /// before completing.
+    Aborted {
+        /// Instant of the drop decision.
+        at: Instant,
+    },
 }
 
 /// Outcome record for one aperiodic event.
@@ -100,11 +113,41 @@ pub struct AperiodicOutcome {
     pub release: Instant,
     /// Cost declared to the server.
     pub declared_cost: Span,
+    /// Completion value of the event (the D-OVER value tag; defaults to the
+    /// declared cost in ticks for value-free workloads).
+    pub value: u64,
+    /// Absolute deadline of the event, when it carries one.
+    pub deadline: Option<Instant>,
     /// What happened.
     pub fate: AperiodicFate,
 }
 
 impl AperiodicOutcome {
+    /// Creates an outcome record with the default value tag (declared cost in
+    /// ticks) and no deadline — the shape of every pre-admission workload.
+    pub fn new(event: EventId, release: Instant, declared_cost: Span, fate: AperiodicFate) -> Self {
+        AperiodicOutcome {
+            event,
+            release,
+            declared_cost,
+            value: declared_cost.ticks(),
+            deadline: None,
+            fate,
+        }
+    }
+
+    /// Attaches the event's value tag.
+    pub fn with_value(mut self, value: u64) -> Self {
+        self.value = value;
+        self
+    }
+
+    /// Attaches the event's absolute deadline.
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
     /// Response time (completion − release) when the event was served.
     pub fn response_time(&self) -> Option<Span> {
         match self.fate {
@@ -121,6 +164,52 @@ impl AperiodicOutcome {
     /// True when the event was interrupted by budget enforcement.
     pub fn is_interrupted(&self) -> bool {
         matches!(self.fate, AperiodicFate::Interrupted { .. })
+    }
+
+    /// True when the event was refused at arrival by the admission policy.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self.fate, AperiodicFate::Rejected { .. })
+    }
+
+    /// True when the event was admitted and later dropped by the overload
+    /// manager.
+    pub fn is_aborted(&self) -> bool {
+        matches!(self.fate, AperiodicFate::Aborted { .. })
+    }
+
+    /// True when the event entered the pending queue at all (everything but
+    /// an arrival-time rejection).
+    pub fn is_accepted(&self) -> bool {
+        !self.is_rejected()
+    }
+
+    /// True when the event completed at or before its deadline (events
+    /// without a deadline count as on time whenever they are served).
+    pub fn completed_by_deadline(&self) -> bool {
+        match (self.fate, self.deadline) {
+            (AperiodicFate::Served { completed, .. }, Some(d)) => completed <= d,
+            (AperiodicFate::Served { .. }, None) => true,
+            _ => false,
+        }
+    }
+
+    /// True when the event was *accepted*, carries a deadline, and did not
+    /// complete by it — the numerator of the miss-ratio-among-accepted
+    /// metric. Rejected events never count (the admission layer turned them
+    /// away up front); aborted, interrupted, unserved and late-served
+    /// deadline-carrying events all do.
+    pub fn missed_deadline_after_acceptance(&self) -> bool {
+        self.is_accepted() && self.deadline.is_some() && !self.completed_by_deadline()
+    }
+
+    /// The value the event accrued: its value tag when it completed by its
+    /// deadline, zero otherwise (the D-OVER accrual rule).
+    pub fn accrued_value(&self) -> u64 {
+        if self.completed_by_deadline() {
+            self.value
+        } else {
+            0
+        }
     }
 }
 
@@ -294,6 +383,8 @@ impl Trace {
                     format!("interrupted {} {}", started.ticks(), interrupted_at.ticks())
                 }
                 AperiodicFate::Unserved => "unserved".to_string(),
+                AperiodicFate::Rejected { at } => format!("rejected {}", at.ticks()),
+                AperiodicFate::Aborted { at } => format!("aborted {}", at.ticks()),
             };
             writeln!(
                 out,
@@ -360,6 +451,14 @@ impl Trace {
                     }
                 }
                 AperiodicFate::Unserved => {}
+                AperiodicFate::Rejected { at } | AperiodicFate::Aborted { at } => {
+                    if at < o.release {
+                        return Err(format!(
+                            "admission outcome of {} precedes its release",
+                            o.event
+                        ));
+                    }
+                }
             }
         }
         Ok(())
@@ -454,15 +553,15 @@ mod tests {
 
     #[test]
     fn outcome_response_times() {
-        let served = AperiodicOutcome {
-            event: EventId::new(0),
-            release: Instant::from_units(2),
-            declared_cost: Span::from_units(2),
-            fate: AperiodicFate::Served {
+        let served = AperiodicOutcome::new(
+            EventId::new(0),
+            Instant::from_units(2),
+            Span::from_units(2),
+            AperiodicFate::Served {
                 started: Instant::from_units(6),
                 completed: Instant::from_units(8),
             },
-        };
+        );
         assert_eq!(served.response_time(), Some(Span::from_units(6)));
         assert!(served.is_served());
         let interrupted = AperiodicOutcome {
@@ -515,15 +614,15 @@ mod tests {
     #[test]
     fn invariants_reject_inconsistent_outcomes() {
         let mut t = Trace::new(Instant::from_units(10));
-        t.push_outcome(AperiodicOutcome {
-            event: EventId::new(0),
-            release: Instant::from_units(5),
-            declared_cost: Span::from_units(1),
-            fate: AperiodicFate::Served {
+        t.push_outcome(AperiodicOutcome::new(
+            EventId::new(0),
+            Instant::from_units(5),
+            Span::from_units(1),
+            AperiodicFate::Served {
                 started: Instant::from_units(2),
                 completed: Instant::from_units(3),
             },
-        });
+        ));
         assert!(t.check_invariants().is_err());
     }
 }

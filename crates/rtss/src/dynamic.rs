@@ -172,7 +172,10 @@ fn build_release_list(spec: &SystemSpec) -> VecDeque<DynJob> {
             remaining: event.actual_cost,
             total: event.actual_cost,
             started: None,
-            value: event.actual_cost.as_units(),
+            // The D-OVER victim ordering uses the event's value tag (ticks),
+            // converted to time units so the default tag (cost in ticks)
+            // keeps the historical density of 1.
+            value: event.value as f64 / rt_model::TICKS_PER_UNIT as f64,
         });
     }
     jobs.sort_by_key(|j| (j.release, j.deadline));
@@ -244,15 +247,19 @@ fn record_completion(job: DynJob, now: Instant, trace: &mut Trace, spec: &System
     }
     if let Some(i) = job.aperiodic {
         let event = &spec.aperiodics[i];
-        trace.push_outcome(AperiodicOutcome {
-            event: event.id,
-            release: event.release,
-            declared_cost: event.declared_cost,
-            fate: AperiodicFate::Served {
-                started: job.started.unwrap_or(now),
-                completed: now,
-            },
-        });
+        trace.push_outcome(
+            AperiodicOutcome::new(
+                event.id,
+                event.release,
+                event.declared_cost,
+                AperiodicFate::Served {
+                    started: job.started.unwrap_or(now),
+                    completed: now,
+                },
+            )
+            .with_value(event.value)
+            .with_deadline(event.absolute_deadline()),
+        );
     }
 }
 
@@ -268,12 +275,16 @@ fn record_incomplete(job: DynJob, trace: &mut Trace, spec: &SystemSpec) {
     }
     if let Some(i) = job.aperiodic {
         let event = &spec.aperiodics[i];
-        trace.push_outcome(AperiodicOutcome {
-            event: event.id,
-            release: event.release,
-            declared_cost: event.declared_cost,
-            fate: AperiodicFate::Unserved,
-        });
+        trace.push_outcome(
+            AperiodicOutcome::new(
+                event.id,
+                event.release,
+                event.declared_cost,
+                AperiodicFate::Unserved,
+            )
+            .with_value(event.value)
+            .with_deadline(event.absolute_deadline()),
+        );
     }
 }
 

@@ -65,6 +65,21 @@
 //! dispatcher re-entry instead of batching on: its successor has a later
 //! deadline, so the forced-re-pick argument only holds for servers.
 //!
+//! # On-line admission
+//!
+//! Each lane embeds the `rt-admission` decision machine
+//! ([`rt_admission::ServerAdmission`]) its [`rt_model::ServerSpec`]
+//! configures: arrivals are classified accept / reject / abort *before*
+//! they enter the lane queue, rejected events become
+//! [`rt_model::AperiodicFate::Rejected`] records and displaced ones
+//! [`rt_model::AperiodicFate::Aborted`]. Decisions depend only on the
+//! arrival history — never on lane runtime state — so they are identical
+//! to the execution engine's for the same system. Under the default
+//! [`rt_model::AdmissionPolicy::AcceptAll`] the machinery is stateless and
+//! the traces are byte-identical to the pre-admission engine. Per-arrival
+//! cost: O(1) for accept-all, amortised O(1) for the predictive policy,
+//! O(backlog) per provisional drop for the value-density rule.
+//!
 //! # Same-instant batching
 //!
 //! Decision *count* is the remaining cost driver. Between two consecutive
@@ -82,9 +97,10 @@
 //! `engine_scaling` harness ablation.
 
 use crate::server::ServerState;
+use rt_admission::{ArrivingEvent, ServerAdmission};
 use rt_model::{
-    AperiodicFate, AperiodicOutcome, ExecUnit, Instant, PeriodicJobRecord, PeriodicTask, Priority,
-    QueueDiscipline, SchedulingPolicy, ServerPolicyKind, Span, SystemSpec, Trace,
+    AperiodicFate, AperiodicOutcome, EventId, ExecUnit, Instant, PeriodicJobRecord, PeriodicTask,
+    Priority, QueueDiscipline, SchedulingPolicy, ServerPolicyKind, Span, SystemSpec, Trace,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -132,11 +148,15 @@ struct PendingAperiodic {
 }
 
 /// One installed server: its capacity-policy state plus its own pending
-/// queue (the per-server `PendingQueue` of the multi-server layer).
+/// queue (the per-server `PendingQueue` of the multi-server layer) and its
+/// on-line admission state — the same `rt-admission` machine the execution
+/// engine embeds, fed the same arrival history, so accept/reject decisions
+/// agree across engines by construction.
 #[derive(Debug, Clone)]
 struct ServerLane {
     state: ServerState,
     queue: VecDeque<PendingAperiodic>,
+    admission: ServerAdmission,
 }
 
 /// Which entity the simulator decided to run.
@@ -144,6 +164,19 @@ struct ServerLane {
 enum Runner {
     Server(usize),
     Task(usize),
+}
+
+/// Builds the outcome record of one spec event, carrying its value tag and
+/// absolute deadline.
+fn outcome(event: &rt_model::AperiodicEvent, fate: AperiodicFate) -> AperiodicOutcome {
+    AperiodicOutcome {
+        event: event.id,
+        release: event.release,
+        declared_cost: event.declared_cost,
+        value: event.value,
+        deadline: event.absolute_deadline(),
+        fate,
+    }
 }
 
 /// Simulates the execution of the system under its configured server policy
@@ -263,6 +296,7 @@ impl<'a> Simulator<'a> {
                 .iter()
                 .cloned()
                 .map(|s| ServerLane {
+                    admission: ServerAdmission::for_server(&s),
                     state: ServerState::new(s),
                     queue: VecDeque::new(),
                 })
@@ -342,7 +376,29 @@ impl<'a> Simulator<'a> {
                     deadline: event.absolute_deadline().unwrap_or(event.release),
                 };
                 match self.servers.get_mut(event.server) {
-                    Some(lane) => lane.queue.push_back(job),
+                    Some(lane) => {
+                        let verdict = lane.admission.on_arrival(&ArrivingEvent {
+                            event: event.id,
+                            release: event.release,
+                            declared_cost: event.declared_cost,
+                            deadline: event.absolute_deadline(),
+                            value: event.value,
+                        });
+                        let lane_index = event.server;
+                        for &aborted in &verdict.aborted {
+                            self.abort_pending(lane_index, aborted);
+                        }
+                        let lane = &mut self.servers[lane_index];
+                        if verdict.accepted {
+                            lane.queue.push_back(job);
+                        } else {
+                            let event = &self.spec.aperiodics[self.next_arrival];
+                            self.trace.push_outcome(outcome(
+                                event,
+                                AperiodicFate::Rejected { at: self.now },
+                            ));
+                        }
+                    }
                     None => self.orphans.push(self.next_arrival),
                 }
             }
@@ -401,6 +457,37 @@ impl<'a> Simulator<'a> {
             let queue_empty = lane.queue.is_empty();
             lane.state.replenish_due(self.now, queue_empty);
         }
+    }
+
+    /// Removes an admitted-but-displaced job from a lane's pending queue,
+    /// recording it as aborted (the value-density drop rule). Mirrors the
+    /// execution engine's in-service exemption: a job the (resumable)
+    /// textbook server has already started — or completed — keeps its
+    /// in-flight fate, exactly as the framework's non-resumable dispatch
+    /// removes a release from its queue when service begins, putting it out
+    /// of the abort path's reach. Only never-started queue entries are
+    /// dropped, so the two engines abort the same releases whenever their
+    /// service starts agree.
+    fn abort_pending(&mut self, lane_index: usize, event_id: EventId) {
+        let spec = self.spec;
+        let lane = &mut self.servers[lane_index];
+        let Some(position) = lane
+            .queue
+            .iter()
+            .position(|job| job.started.is_none() && spec.aperiodics[job.index].id == event_id)
+        else {
+            return;
+        };
+        let job = lane
+            .queue
+            .remove(position)
+            .expect("position came from the queue");
+        if lane.queue.is_empty() {
+            lane.state.on_queue_emptied(self.now);
+        }
+        let event = &spec.aperiodics[job.index];
+        self.trace
+            .push_outcome(outcome(event, AperiodicFate::Aborted { at: self.now }));
     }
 
     /// The next instant at which the scheduling decision could change.
@@ -624,15 +711,13 @@ impl<'a> Simulator<'a> {
             if job.remaining.is_zero() {
                 let started = job.started.expect("a completed job has started");
                 let spec_event = &self.spec.aperiodics[job.index];
-                self.trace.push_outcome(AperiodicOutcome {
-                    event,
-                    release: spec_event.release,
-                    declared_cost: spec_event.declared_cost,
-                    fate: AperiodicFate::Served {
+                self.trace.push_outcome(outcome(
+                    spec_event,
+                    AperiodicFate::Served {
                         started,
                         completed: self.now,
                     },
-                });
+                ));
                 lane.queue.remove(position);
                 if lane.queue.is_empty() {
                     lane.state.on_queue_emptied(self.now);
@@ -709,22 +794,14 @@ impl<'a> Simulator<'a> {
         for lane in &mut self.servers {
             for job in lane.queue.drain(..) {
                 let event = &self.spec.aperiodics[job.index];
-                self.trace.push_outcome(AperiodicOutcome {
-                    event: event.id,
-                    release: event.release,
-                    declared_cost: event.declared_cost,
-                    fate: AperiodicFate::Unserved,
-                });
+                self.trace
+                    .push_outcome(outcome(event, AperiodicFate::Unserved));
             }
         }
         for index in std::mem::take(&mut self.orphans) {
             let event = &self.spec.aperiodics[index];
-            self.trace.push_outcome(AperiodicOutcome {
-                event: event.id,
-                release: event.release,
-                declared_cost: event.declared_cost,
-                fate: AperiodicFate::Unserved,
-            });
+            self.trace
+                .push_outcome(outcome(event, AperiodicFate::Unserved));
         }
         for state in &mut self.periodic {
             for job in state.pending.drain(..) {
@@ -768,6 +845,7 @@ mod tests {
             period: Span::from_units(6),
             priority: Priority::new(30),
             discipline: rt_model::QueueDiscipline::FifoSkip,
+            admission: Default::default(),
         };
         b.server(server);
         b.periodic(

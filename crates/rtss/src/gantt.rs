@@ -207,6 +207,7 @@ mod tests {
             period: Span::from_units(6),
             priority: Priority::new(30),
             discipline: rt_model::QueueDiscipline::FifoSkip,
+            admission: Default::default(),
         });
         b.periodic(
             "tau1",

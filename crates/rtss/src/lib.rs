@@ -73,6 +73,7 @@ mod proptests {
             period: Span::from_units(6),
             priority: Priority::new(30),
             discipline: rt_model::QueueDiscipline::FifoSkip,
+            admission: Default::default(),
         });
         b.periodic(
             "tau1",

@@ -15,9 +15,37 @@ use crate::params::GeneratorParams;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rt_model::{
-    Instant, Priority, QueueDiscipline, SchedulingPolicy, ServerPolicyKind, ServerSpec, Span,
-    SymbolicPriority, SystemSpec,
+    AdmissionPolicy, Instant, Priority, QueueDiscipline, SchedulingPolicy, ServerPolicyKind,
+    ServerSpec, Span, SymbolicPriority, SystemSpec,
 };
+
+/// How the generator tags aperiodic events with completion values (the
+/// D-OVER value used by value-density admission and the accrued-value
+/// metric).
+///
+/// Values are drawn from a **dedicated RNG stream** derived from the
+/// generator seed with a distinct salt, so attaching (or changing) a value
+/// model never perturbs the release/cost streams: a valued set carries
+/// exactly the traffic of its value-free twin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueModel {
+    /// `value = factor × declared cost` (in ticks): uniform value density
+    /// `factor`, deterministic, no randomness consumed.
+    CostProportional {
+        /// Density factor.
+        factor: u64,
+    },
+    /// Value density drawn uniformly from `lo..=hi` per event and multiplied
+    /// by the declared cost, so workloads mix urgent-and-valuable with
+    /// large-but-worthless work — the regime where the D-OVER drop rule has
+    /// something to decide.
+    UniformDensity {
+        /// Smallest density.
+        lo: u64,
+        /// Largest density (inclusive).
+        hi: u64,
+    },
+}
 
 /// Optional periodic load generated below the server (an extension over the
 /// paper, whose generated systems contain only the server and the aperiodic
@@ -71,6 +99,9 @@ pub struct RandomSystemGenerator {
     scheduling: SchedulingPolicy,
     discipline: QueueDiscipline,
     deadline_factor: Option<u64>,
+    admission: AdmissionPolicy,
+    overload: f64,
+    value_model: Option<ValueModel>,
 }
 
 impl RandomSystemGenerator {
@@ -92,6 +123,9 @@ impl RandomSystemGenerator {
             scheduling: SchedulingPolicy::FixedPriority,
             discipline: QueueDiscipline::FifoSkip,
             deadline_factor: None,
+            admission: AdmissionPolicy::AcceptAll,
+            overload: 1.0,
+            value_model: None,
         })
     }
 
@@ -186,6 +220,37 @@ impl RandomSystemGenerator {
         self
     }
 
+    /// Stamps an on-line admission policy on every generated server.
+    /// Generation itself (and the RNG streams) is unaffected.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Scales the aperiodic arrival rate: the Poisson mean per server period
+    /// becomes `factor × taskDensity`. The overload knob of the
+    /// `reproduce_overload_table` sweep (0.5× → 4×). At the default `1.0`
+    /// the generated systems — and the RNG streams — are byte-identical to
+    /// the unscaled generator; any other factor legitimately draws a
+    /// different arrival stream.
+    pub fn with_overload_factor(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "overload factor must be a non-negative finite number"
+        );
+        self.overload = factor;
+        self
+    }
+
+    /// Tags every generated aperiodic event with a completion value drawn
+    /// from the given model. Values come from a dedicated RNG stream (seed ⊕
+    /// a fixed salt), so the release/cost streams are untouched — a valued
+    /// set is its value-free twin plus tags.
+    pub fn with_value_model(mut self, model: ValueModel) -> Self {
+        self.value_model = Some(model);
+        self
+    }
+
     /// The generator parameters.
     pub fn params(&self) -> &GeneratorParams {
         &self.params
@@ -222,6 +287,7 @@ impl RandomSystemGenerator {
             period,
             priority: server_priority,
             discipline: self.discipline,
+            admission: self.admission,
         };
         builder.server(server);
         builder.scheduling(self.scheduling);
@@ -243,6 +309,7 @@ impl RandomSystemGenerator {
                 period: extra.period,
                 priority: Priority::new(level),
                 discipline: self.discipline,
+                admission: self.admission,
             });
             server_capacities.push(extra.capacity);
         }
@@ -291,9 +358,23 @@ impl RandomSystemGenerator {
         }
 
         // Poisson arrivals: one draw per server period, uniform placement.
+        // The overload knob scales the mean; at 1.0 the draws — and the
+        // whole stream — are byte-identical to the unscaled generator.
+        let arrival_density = self.params.task_density * self.overload;
+        // Dedicated value stream (same (seed, index) derivation, distinct
+        // salt): tagging values never perturbs the release/cost draws.
+        let mut value_rng = self.value_model.map(|_| {
+            StdRng::seed_from_u64(
+                self.params
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(index as u64)
+                    ^ 0xA5A5_5A5A_D0E5_11AD,
+            )
+        });
         let mut releases: Vec<Instant> = Vec::new();
         for k in 0..self.params.horizon_periods {
-            let count = poisson(&mut rng, self.params.task_density);
+            let count = poisson(&mut rng, arrival_density);
             let start = Instant::ZERO + period.saturating_mul(k);
             for _ in 0..count {
                 let offset_ticks = rng.gen_range(0..period.ticks());
@@ -320,6 +401,23 @@ impl RandomSystemGenerator {
                     .last_aperiodic_mut()
                     .expect("an event was just appended");
                 event.relative_deadline = Some(event.declared_cost.saturating_mul(factor));
+            }
+            if let Some(model) = self.value_model {
+                let event = builder
+                    .last_aperiodic_mut()
+                    .expect("an event was just appended");
+                event.value = match model {
+                    ValueModel::CostProportional { factor } => {
+                        event.declared_cost.ticks().saturating_mul(factor)
+                    }
+                    ValueModel::UniformDensity { lo, hi } => {
+                        let density = value_rng
+                            .as_mut()
+                            .expect("value_rng exists whenever a model is set")
+                            .gen_range(lo..=hi.max(lo));
+                        event.declared_cost.ticks().saturating_mul(density)
+                    }
+                };
             }
         }
         builder.horizon(horizon);
@@ -638,6 +736,83 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn overload_factor_one_preserves_the_streams_and_four_multiplies_arrivals() {
+        let plain = generator(2, 0).generate();
+        let unit = generator(2, 0).with_overload_factor(1.0).generate();
+        assert_eq!(plain, unit, "factor 1.0 must be byte-identical");
+        let count =
+            |systems: &[SystemSpec]| -> usize { systems.iter().map(|s| s.aperiodics.len()).sum() };
+        let overloaded = generator(2, 0).with_overload_factor(4.0).generate();
+        let base = count(&plain);
+        let heavy = count(&overloaded);
+        // Poisson mean ×4 over 10 systems × 10 periods: solidly separated.
+        assert!(
+            heavy > base * 2,
+            "4× overload produced {heavy} events vs {base} at 1×"
+        );
+    }
+
+    #[test]
+    fn admission_stamp_applies_to_every_server_without_touching_traffic() {
+        let plain = generator(2, 2).generate();
+        let stamped = generator(2, 2)
+            .with_admission(AdmissionPolicy::DeadlinePredictive)
+            .with_extra_servers(vec![ExtraServer::new(
+                ServerPolicyKind::Sporadic,
+                Span::from_units(3),
+                Span::from_units(8),
+            )])
+            .expect("one extra fits")
+            .generate();
+        for sys in &stamped {
+            assert!(sys
+                .servers
+                .iter()
+                .all(|s| s.admission == AdmissionPolicy::DeadlinePredictive));
+        }
+        // Single-server traffic is untouched by the stamp alone.
+        let stamped_single = generator(2, 2)
+            .with_admission(AdmissionPolicy::ValueDensity)
+            .generate();
+        for (a, b) in plain.iter().zip(stamped_single.iter()) {
+            assert_eq!(a.aperiodics, b.aperiodics);
+        }
+    }
+
+    #[test]
+    fn value_models_tag_without_perturbing_the_streams() {
+        let plain = generator(2, 2).generate();
+        let proportional = generator(2, 2)
+            .with_value_model(ValueModel::CostProportional { factor: 3 })
+            .generate();
+        let random = generator(2, 2)
+            .with_value_model(ValueModel::UniformDensity { lo: 1, hi: 8 })
+            .generate();
+        for ((a, b), c) in plain.iter().zip(proportional.iter()).zip(random.iter()) {
+            for ((ea, eb), ec) in a
+                .aperiodics
+                .iter()
+                .zip(b.aperiodics.iter())
+                .zip(c.aperiodics.iter())
+            {
+                assert_eq!(ea.release, eb.release, "streams must be unchanged");
+                assert_eq!(ea.release, ec.release, "streams must be unchanged");
+                assert_eq!(ea.declared_cost, ec.declared_cost);
+                assert_eq!(eb.value, ea.declared_cost.ticks() * 3);
+                let density = ec.value / ec.declared_cost.ticks().max(1);
+                assert!((1..=8).contains(&density), "density {density} out of range");
+            }
+        }
+        // The uniform model actually varies.
+        let densities: std::collections::BTreeSet<u64> = random
+            .iter()
+            .flat_map(|s| s.aperiodics.iter())
+            .map(|e| e.value / e.declared_cost.ticks().max(1))
+            .collect();
+        assert!(densities.len() > 2, "uniform densities must vary");
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod generator;
 pub mod params;
 
 pub use cost::{ClampMode, CostModel, MIN_COST_UNITS};
-pub use generator::{uunifast, ExtraServer, PeriodicLoad, RandomSystemGenerator};
+pub use generator::{uunifast, ExtraServer, PeriodicLoad, RandomSystemGenerator, ValueModel};
 pub use params::GeneratorParams;
 
 #[cfg(test)]

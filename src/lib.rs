@@ -16,6 +16,7 @@
 //! |---|---|---|
 //! | [`model`] | `rt-model` | time, priorities, task/event descriptors, system specs, traces |
 //! | [`analysis`] | `rt-analysis` | utilisation bounds, RTA, server analysis, on-line equations (1)–(5), EDF tests |
+//! | [`admission`] | `rt-admission` | on-line admission control & overload management shared by both engines |
 //! | [`simulator`] | `rtss-sim` | the RTSS discrete-event simulator (FP/EDF/D-OVER, textbook PS/DS/BG servers, Gantt) |
 //! | [`sysgen`] | `rt-sysgen` | the random real-time system generator |
 //! | [`rtsj`] | `rtsj-emu` | the RTSJ substrate emulation and virtual-time execution engine |
@@ -52,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use rt_admission as admission;
 pub use rt_analysis as analysis;
 pub use rt_experiments as experiments;
 pub use rt_metrics as metrics;
@@ -63,10 +65,11 @@ pub use rtss_sim as simulator;
 
 /// The most common imports, for examples and downstream users.
 pub mod prelude {
+    pub use rt_admission::ServerAdmission;
     pub use rt_metrics::{ResultTable, RunMeasures, SetAggregate};
     pub use rt_model::{
-        AperiodicEvent, AperiodicFate, AperiodicOutcome, ExecUnit, Instant, PeriodicTask, Priority,
-        ServerPolicyKind, ServerSpec, Span, SystemSpec, Trace,
+        AdmissionPolicy, AperiodicEvent, AperiodicFate, AperiodicOutcome, ExecUnit, Instant,
+        PeriodicTask, Priority, ServerPolicyKind, ServerSpec, Span, SystemSpec, Trace,
     };
     pub use rt_sysgen::{GeneratorParams, RandomSystemGenerator};
     pub use rt_taskserver::{

@@ -39,6 +39,7 @@ fn reduction_system(policy: ServerPolicyKind, events: &[(u64, u64)]) -> SystemSp
             period: Span::from_units(6),
             priority: Priority::new(30),
             discipline: QueueDiscipline::FifoSkip,
+            admission: Default::default(),
         },
     };
     b.server(server);

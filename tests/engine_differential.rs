@@ -52,6 +52,7 @@ fn table1(policy: ServerPolicyKind, events: &[(u64, u64)]) -> SystemSpec {
             period: Span::from_units(6),
             priority: Priority::new(30),
             discipline: rt_model::QueueDiscipline::FifoSkip,
+            admission: Default::default(),
         },
     };
     b.server(server);

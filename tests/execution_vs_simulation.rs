@@ -17,6 +17,7 @@ fn build(policy: ServerPolicyKind, capacity: u64, events: &[(u64, u64)]) -> Syst
         period: Span::from_units(6),
         priority: Priority::new(30),
         discipline: rt_model::QueueDiscipline::FifoSkip,
+        admission: Default::default(),
     });
     b.periodic(
         "tau1",

@@ -44,6 +44,7 @@ fn system(scenario: u32, policy: ServerPolicyKind) -> SystemSpec {
             period: Span::from_units(6),
             priority: Priority::new(30),
             discipline: rt_model::QueueDiscipline::FifoSkip,
+            admission: Default::default(),
         },
     };
     b.server(server);
@@ -311,6 +312,152 @@ fn deadline_ordered_service_matches_goldens() {
         &reference.render_canonical(),
         &indexed.render_canonical(),
     );
+}
+
+/// A rejecting/aborting workload for the admission goldens: a sustained 4×
+/// overload burst (one cost-2 event per unit, 30-unit deadlines, cycling
+/// value tags) into a polling server under the given admission policy.
+fn admission_system(
+    policy: rt_model::AdmissionPolicy,
+    scheduling: rtsj_event_framework::model::SchedulingPolicy,
+) -> SystemSpec {
+    let mut b = SystemSpec::builder(format!("golden-adm-{}-{scheduling:?}", policy.label()));
+    b.server(
+        ServerSpec::polling(Span::from_units(5), Span::from_units(10), Priority::new(30))
+            .with_admission(policy),
+    );
+    b.periodic(
+        "tau1",
+        Span::from_units(2),
+        Span::from_units(10),
+        Priority::new(20),
+    );
+    for t in 0..80u64 {
+        b.aperiodic(Instant::from_units(t), Span::from_units(2));
+        let event = b.last_aperiodic_mut().expect("event just added");
+        event.relative_deadline = Some(Span::from_units(30));
+        event.value = (t % 7 + 1) * event.declared_cost.ticks();
+    }
+    b.scheduling(scheduling);
+    b.horizon(Instant::from_units(80));
+    b.build().expect("admission golden systems are valid")
+}
+
+/// The multi-server admission fixture: the 2-server golden system with both
+/// servers under the given admission policy and deadline/value-tagged
+/// traffic dense enough to reject.
+fn admission_multi_system(policy: rt_model::AdmissionPolicy) -> SystemSpec {
+    let mut spec = multi_server_system(2);
+    spec.name = format!("golden-adm-multi2-{}", policy.label());
+    for server in &mut spec.servers {
+        server.admission = policy;
+    }
+    // Densify: a second burst of short-deadline events on top of the base
+    // traffic so both lanes overload and the policies have work to refuse.
+    let mut b = SystemSpec::builder(spec.name.clone());
+    for task in &spec.periodic_tasks {
+        b.push_periodic(task.clone());
+    }
+    for server in &spec.servers {
+        b.add_server(server.clone());
+    }
+    for event in &spec.aperiodics {
+        b.push_aperiodic(
+            event
+                .clone()
+                .with_relative_deadline(Span::from_units(12))
+                .with_value((event.id.raw() as u64 % 5 + 1) * event.declared_cost.ticks()),
+        );
+    }
+    for t in 0..30u64 {
+        b.aperiodic_for(
+            (t % 2) as usize,
+            Instant::from_units(2 * t),
+            Span::from_units(2),
+        );
+        let event = b.last_aperiodic_mut().expect("event just added");
+        event.relative_deadline = Some(Span::from_units(10));
+        event.value = (t % 3 + 1) * event.declared_cost.ticks();
+    }
+    b.horizon(Instant::from_units(60));
+    b.build().expect("multi-server admission goldens are valid")
+}
+
+/// Admission goldens, single server: rejecting (predictive) and aborting
+/// (value-density) runs under fixed priorities and EDF, executed and
+/// simulated, pinned event by event for both schedulers.
+#[test]
+fn admission_traces_match_goldens() {
+    use rt_model::AdmissionPolicy;
+    use rtsj_event_framework::model::SchedulingPolicy;
+    for policy in [
+        AdmissionPolicy::DeadlinePredictive,
+        AdmissionPolicy::ValueDensity,
+    ] {
+        for scheduling in [SchedulingPolicy::FixedPriority, SchedulingPolicy::Edf] {
+            let spec = admission_system(policy, scheduling);
+            let tag = format!(
+                "{}_{}",
+                policy.label(),
+                if scheduling == SchedulingPolicy::Edf {
+                    "edf"
+                } else {
+                    "fp"
+                }
+            );
+            let config = ExecutionConfig::reference();
+            let reference = execute(&spec, &config.with_scheduler(SchedulerKind::LinearScan));
+            let indexed = execute(&spec, &config.with_scheduler(SchedulerKind::Indexed));
+            check_golden(
+                &format!("exec_adm_{tag}"),
+                &reference.render_canonical(),
+                &indexed.render_canonical(),
+            );
+            // The workload must genuinely reject (or displace) work.
+            assert!(
+                indexed.outcomes.iter().any(|o| !o.is_accepted()),
+                "exec_adm_{tag}: nothing was rejected"
+            );
+            let reference = simulate_reference(&spec);
+            let indexed = simulate(&spec);
+            check_golden(
+                &format!("sim_adm_{tag}"),
+                &reference.render_canonical(),
+                &indexed.render_canonical(),
+            );
+        }
+    }
+}
+
+/// Admission goldens, multi-server: both engines, both policies.
+#[test]
+fn multi_server_admission_traces_match_goldens() {
+    use rt_model::AdmissionPolicy;
+    for policy in [
+        AdmissionPolicy::DeadlinePredictive,
+        AdmissionPolicy::ValueDensity,
+    ] {
+        let spec = admission_multi_system(policy);
+        let config = ExecutionConfig::reference();
+        let reference = execute(&spec, &config.with_scheduler(SchedulerKind::LinearScan));
+        let indexed = execute(&spec, &config.with_scheduler(SchedulerKind::Indexed));
+        check_golden(
+            &format!("exec_adm_multi2_{}", policy.label()),
+            &reference.render_canonical(),
+            &indexed.render_canonical(),
+        );
+        assert!(
+            indexed.outcomes.iter().any(|o| !o.is_accepted()),
+            "multi2 {policy:?}: nothing was rejected"
+        );
+        let reference = simulate_reference(&spec);
+        let indexed = simulate(&spec);
+        check_golden(
+            &format!("sim_adm_multi2_{}", policy.label()),
+            &reference.render_canonical(),
+            &indexed.render_canonical(),
+        );
+    }
 }
 
 /// The two queue structures must schedule identically (they only differ in

@@ -5,8 +5,8 @@
 //! generation index, and partials fold in index order.
 
 use rtsj_event_framework::experiments::{
-    available_workers, generate_set, reproduce_table, reproduce_table_with_workers, run_systems,
-    EvaluationMode, PaperTable, TableConfig,
+    available_workers, generate_set, reproduce_overload_table, reproduce_table,
+    reproduce_table_with_workers, run_systems, EvaluationMode, PaperTable, TableConfig,
 };
 use rtsj_event_framework::model::ServerPolicyKind;
 
@@ -54,6 +54,24 @@ fn full_size_simulation_table_is_bit_identical_in_parallel() {
     let sequential = reproduce_table(table, &config);
     let parallel = reproduce_table_with_workers(table, &config, available_workers().max(4));
     assert_eq!(parallel, sequential);
+}
+
+/// The `repro overload --workers N` determinism smoke: the overload sweep
+/// (admission decisions included — they are pure functions of the arrival
+/// history, never of worker scheduling) renders bit-identically for any
+/// worker count.
+#[test]
+fn overload_table_is_bit_identical_for_any_worker_count() {
+    let sequential = reproduce_overload_table(&quick(), 1);
+    let reference = sequential.to_string();
+    for workers in [2usize, 5, available_workers()] {
+        let parallel = reproduce_overload_table(&quick(), workers);
+        assert_eq!(
+            parallel.to_string(),
+            reference,
+            "overload table diverged with {workers} workers"
+        );
+    }
 }
 
 #[test]
