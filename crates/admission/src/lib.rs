@@ -92,16 +92,6 @@ pub struct AdmissionVerdict {
     pub aborted: Vec<EventId>,
 }
 
-impl AdmissionVerdict {
-    fn accept_all() -> Self {
-        AdmissionVerdict {
-            accepted: true,
-            predicted_completion: None,
-            aborted: Vec::new(),
-        }
-    }
-}
-
 /// An admitted release inside the virtual service plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct VirtualEntry {
@@ -306,25 +296,43 @@ impl ServerAdmission {
     /// release order (ties in their fire order), which is how both engines
     /// naturally observe them.
     pub fn on_arrival(&mut self, arrival: &ArrivingEvent) -> AdmissionVerdict {
+        let mut aborted = Vec::new();
+        let (accepted, predicted_completion) = self.on_arrival_into(arrival, &mut aborted);
+        AdmissionVerdict {
+            accepted,
+            predicted_completion,
+            aborted,
+        }
+    }
+
+    /// The allocation-free form of [`ServerAdmission::on_arrival`]: the
+    /// displaced event ids are written into the caller-owned `aborted`
+    /// scratch buffer (cleared first) instead of a fresh verdict `Vec`, and
+    /// the decision comes back as `(accepted, predicted_completion)`. The
+    /// engines' decision loops call this with a reused per-instant buffer,
+    /// so a steady-state arrival allocates nothing here (the packer is all
+    /// scalars; displacement's provisional repacks remain O(backlog)).
+    pub fn on_arrival_into(
+        &mut self,
+        arrival: &ArrivingEvent,
+        aborted: &mut Vec<EventId>,
+    ) -> (bool, Option<Instant>) {
+        aborted.clear();
         let Some(params) = self.params else {
             self.accepted += 1;
-            return AdmissionVerdict::accept_all();
+            return (true, None);
         };
         if self.policy == AdmissionPolicy::AcceptAll {
             // Zero bookkeeping: the admission layer must be invisible.
             self.accepted += 1;
-            return AdmissionVerdict::accept_all();
+            return (true, None);
         }
         self.prune(arrival.release);
         if arrival.declared_cost > params.capacity {
             // Can never be served by a non-resumable capacity-limited
             // server; spec validation normally rejects this upstream.
             self.rejected += 1;
-            return AdmissionVerdict {
-                accepted: false,
-                predicted_completion: None,
-                aborted: Vec::new(),
-            };
+            return (false, None);
         }
         let mut packer = match &self.packer {
             Some(packer) => packer.clone(),
@@ -335,23 +343,15 @@ impl ServerAdmission {
         let fits = arrival.deadline.is_none_or(|d| completion <= d);
         if fits {
             self.commit(packer, arrival, completion);
-            return AdmissionVerdict {
-                accepted: true,
-                predicted_completion: Some(completion),
-                aborted: Vec::new(),
-            };
+            return (true, Some(completion));
         }
         match self.policy {
             AdmissionPolicy::AcceptAll => unreachable!("handled above"),
             AdmissionPolicy::DeadlinePredictive => {
                 self.rejected += 1;
-                AdmissionVerdict {
-                    accepted: false,
-                    predicted_completion: Some(completion),
-                    aborted: Vec::new(),
-                }
+                (false, Some(completion))
             }
-            AdmissionPolicy::ValueDensity => self.try_displace(arrival, completion),
+            AdmissionPolicy::ValueDensity => self.try_displace(arrival, completion, aborted),
         }
     }
 
@@ -359,13 +359,14 @@ impl ServerAdmission {
     /// value-density pending entries (strictly less dense than the newcomer,
     /// not yet virtually started) until the newcomer's repacked completion
     /// meets its deadline. Commits — including the aborts — only when the
-    /// newcomer ends up accepted; otherwise nothing changes and the newcomer
-    /// alone is rejected.
+    /// newcomer ends up accepted; otherwise nothing changes, `dropped` is
+    /// left empty and the newcomer alone is rejected.
     fn try_displace(
         &mut self,
         arrival: &ArrivingEvent,
         first_prediction: Instant,
-    ) -> AdmissionVerdict {
+        dropped: &mut Vec<EventId>,
+    ) -> (bool, Option<Instant>) {
         let params = self.params.expect("displacement requires a capacity plan");
         let deadline = arrival
             .deadline
@@ -383,7 +384,6 @@ impl ServerAdmission {
             .iter()
             .map(|e| (*e, e.virtual_start() > now))
             .collect();
-        let mut dropped: Vec<EventId> = Vec::new();
         loop {
             // Lowest-density victim not yet virtually started (entries whose
             // committed plan already has them in service are left alone, so
@@ -438,20 +438,13 @@ impl ServerAdmission {
                 self.pending = repacked.into_iter().map(|(e, _)| e).collect();
                 self.aborted += dropped.len();
                 self.commit(packer, arrival, completion);
-                return AdmissionVerdict {
-                    accepted: true,
-                    predicted_completion: Some(completion),
-                    aborted: dropped,
-                };
+                return (true, Some(completion));
             }
             survivors = repacked;
         }
+        dropped.clear();
         self.rejected += 1;
-        AdmissionVerdict {
-            accepted: false,
-            predicted_completion: Some(first_prediction),
-            aborted: Vec::new(),
-        }
+        (false, Some(first_prediction))
     }
 
     fn commit(&mut self, packer: InstancePacker, arrival: &ArrivingEvent, completion: Instant) {

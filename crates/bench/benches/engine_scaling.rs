@@ -21,10 +21,18 @@
 //!   (16-events/10-units burst into a capacity-5/period-10 DS) across
 //!   horizons 10³..10⁴; with the indexed pending queue the cost is linear
 //!   in the horizon (run just this sweep with
-//!   `cargo bench -p rt-bench --bench engine_scaling -- overload`).
+//!   `cargo bench -p rt-bench --bench engine_scaling -- overload`);
+//! * **interpreted vs compiled** — the `rt-compile` specialization pass
+//!   against the interpreted oracles across the scaling, EDF, overload and
+//!   admission workloads (`-- compiled` runs just this sweep); the
+//!   acceptance gate is ≥2× per-decision throughput at the 300-task scaling
+//!   point, and the summary is persisted to `BENCH_engine_scaling.json` at
+//!   the repository root on every run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rt_admission::{AdmissionPolicy, ArrivingEvent, ServerAdmission};
+use rt_bench::{write_bench_trajectory, BenchRecord};
+use rt_compile::CompiledSystem;
 use rt_experiments::{available_workers, generate_set, run_systems, EvaluationMode, TableConfig};
 use rt_metrics::SET_ORDER;
 use rt_model::{
@@ -167,6 +175,16 @@ fn overloaded_system(horizon_units: u64) -> SystemSpec {
     b.build().expect("overloaded systems are valid")
 }
 
+/// The task-sweep system with on-line admission enabled on its server lane:
+/// every arrival pays a `DeadlinePredictive` decision, so comparing it with
+/// the plain sweep at the same size exposes the cost of the admission
+/// machinery — and, on the compiled path, of the inlined admission plan.
+fn admission_scaled_system(n: usize, horizon_units: u64) -> SystemSpec {
+    let mut spec = scaled_system(n, horizon_units);
+    spec.servers[0].admission = AdmissionPolicy::DeadlinePredictive;
+    spec
+}
+
 /// Backlogs swept by the admission-decision benchmark.
 const ADMISSION_BACKLOGS: [usize; 3] = [256, 1024, 4096];
 
@@ -297,6 +315,77 @@ fn bench(c: &mut Criterion) {
                     black_box(s.predicted_completion_repack(Instant::ZERO, Span::from_units(2)))
                 })
             },
+        );
+    }
+    group.finish();
+
+    // Compiled-vs-interpreted dispatch: the rt-compile specialization pass
+    // against the interpreted oracles, across the scaling, EDF, overload and
+    // admission workloads. Run just this sweep with
+    // `cargo bench -p rt-bench --bench engine_scaling -- compiled`.
+    //
+    // The compiled rows measure the specialized drivers on a precompiled
+    // system — compilation (validation + table build, O(spec) with one
+    // string clone per named element) is paid once and amortized over every
+    // run, the same way the `exec_compiled` row reuses a prepared plan.
+    let compile = |spec: &SystemSpec| -> CompiledSystem {
+        CompiledSystem::compile(spec).expect("bench systems are valid")
+    };
+    let mut group = c.benchmark_group("interpreted-vs-compiled");
+    for n in TASK_SWEEP {
+        let spec = scaled_system(n, TASK_SWEEP_HORIZON);
+        group.bench_with_input(BenchmarkId::new("sim_interpreted", n), &spec, |b, s| {
+            b.iter(|| black_box(simulate(black_box(s))))
+        });
+        let compiled = compile(&spec);
+        group.bench_with_input(BenchmarkId::new("sim_compiled", n), &compiled, |b, s| {
+            b.iter(|| black_box(black_box(s).simulate()))
+        });
+    }
+    {
+        let n = 300usize;
+        let spec = scaled_system(n, TASK_SWEEP_HORIZON);
+        group.bench_with_input(BenchmarkId::new("exec_interpreted", n), &spec, |b, s| {
+            b.iter(|| black_box(execute(black_box(s), &ExecutionConfig::reference())))
+        });
+        // The compiled execution artifact is the reusable plan: validation,
+        // policy resolution and event planning are paid once at compile time.
+        let plan = compile(&spec).execution_plan(&ExecutionConfig::reference());
+        group.bench_with_input(BenchmarkId::new("exec_compiled", n), &plan, |b, p| {
+            b.iter(|| black_box(p.run()))
+        });
+        let edf = compile(&edf_scaled_system(n, TASK_SWEEP_HORIZON));
+        group.bench_with_input(
+            BenchmarkId::new("edf_sim_interpreted", n),
+            edf.spec(),
+            |b, s| b.iter(|| black_box(simulate(black_box(s)))),
+        );
+        group.bench_with_input(BenchmarkId::new("edf_sim_compiled", n), &edf, |b, s| {
+            b.iter(|| black_box(black_box(s).simulate()))
+        });
+        let admission = compile(&admission_scaled_system(n, TASK_SWEEP_HORIZON));
+        group.bench_with_input(
+            BenchmarkId::new("admission_sim_interpreted", n),
+            admission.spec(),
+            |b, s| b.iter(|| black_box(simulate(black_box(s)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("admission_sim_compiled", n),
+            &admission,
+            |b, s| b.iter(|| black_box(black_box(s).simulate())),
+        );
+    }
+    {
+        let overload = compile(&overloaded_system(3_000));
+        group.bench_with_input(
+            BenchmarkId::new("overload_sim_interpreted", 3_000u64),
+            overload.spec(),
+            |b, s| b.iter(|| black_box(simulate(black_box(s)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("overload_sim_compiled", 3_000u64),
+            &overload,
+            |b, s| b.iter(|| black_box(black_box(s).simulate())),
         );
     }
     group.finish();
@@ -549,6 +638,117 @@ fn bench(c: &mut Criterion) {
             repack * 1e9,
             repack / incremental
         );
+    }
+
+    // Compiled-dispatch summary and the persisted bench trajectory. The
+    // per-decision denominator is the segment count of the trace, which is
+    // engine-independent: the compiled and interpreted traces are
+    // byte-identical (pinned by `tests/compiled_differential.rs`). The
+    // 300-task `sim` row is the acceptance gate for the specialization pass
+    // (≥2× per-decision throughput).
+    println!();
+    println!("compiled vs interpreted dispatch (per-decision cost; decisions = trace segments):");
+    println!(
+        "{:>22} {:>10} {:>13} {:>13} {:>8}",
+        "workload", "decisions", "interpreted", "compiled", "speedup"
+    );
+    let mut records: Vec<BenchRecord> = Vec::new();
+    fn compiled_row(
+        records: &mut Vec<BenchRecord>,
+        group: &str,
+        label: String,
+        decisions: usize,
+        interpreted: f64,
+        compiled: f64,
+    ) {
+        let interpreted_ns = interpreted * 1e9 / decisions as f64;
+        let compiled_ns = compiled * 1e9 / decisions as f64;
+        println!(
+            "{:>22} {:>10} {:>11.1}ns {:>11.1}ns {:>7.2}x",
+            label,
+            decisions,
+            interpreted_ns,
+            compiled_ns,
+            interpreted_ns / compiled_ns
+        );
+        records.push(BenchRecord {
+            group: group.into(),
+            config: format!("{label}/interpreted"),
+            ns_per_decision: interpreted_ns,
+            speedup: 1.0,
+        });
+        records.push(BenchRecord {
+            group: group.into(),
+            config: format!("{label}/compiled"),
+            ns_per_decision: compiled_ns,
+            speedup: interpreted_ns / compiled_ns,
+        });
+    }
+    let sim_point =
+        |records: &mut Vec<BenchRecord>, group: &str, label: String, spec: &SystemSpec| {
+            let compiled_sys = CompiledSystem::compile(spec).expect("bench systems are valid");
+            let decisions = compiled_sys.simulate().segments.len();
+            let interpreted = median(&|| {
+                black_box(simulate(spec));
+            });
+            let compiled = median(&|| {
+                black_box(compiled_sys.simulate());
+            });
+            compiled_row(
+                &mut *records,
+                group,
+                label,
+                decisions,
+                interpreted,
+                compiled,
+            );
+        };
+    for n in TASK_SWEEP {
+        let spec = scaled_system(n, TASK_SWEEP_HORIZON);
+        sim_point(&mut records, "scaling", format!("sim/{n}"), &spec);
+    }
+    {
+        let spec = scaled_system(300, TASK_SWEEP_HORIZON);
+        let plan = CompiledSystem::compile(&spec)
+            .expect("scaled systems are valid")
+            .execution_plan(&ExecutionConfig::reference());
+        let decisions = plan.run().segments.len();
+        let interpreted = median(&|| {
+            black_box(execute(&spec, &ExecutionConfig::reference()));
+        });
+        let compiled = median(&|| {
+            black_box(plan.run());
+        });
+        compiled_row(
+            &mut records,
+            "scaling",
+            "exec/300".into(),
+            decisions,
+            interpreted,
+            compiled,
+        );
+    }
+    sim_point(
+        &mut records,
+        "edf",
+        "sim/300".into(),
+        &edf_scaled_system(300, TASK_SWEEP_HORIZON),
+    );
+    sim_point(
+        &mut records,
+        "admission",
+        "sim/300".into(),
+        &admission_scaled_system(300, TASK_SWEEP_HORIZON),
+    );
+    sim_point(
+        &mut records,
+        "overload",
+        "sim/3000".into(),
+        &overloaded_system(3_000),
+    );
+    match write_bench_trajectory(&records) {
+        Ok(path) => println!("bench trajectory written to {}", path.display()),
+        Err(err) => println!("bench trajectory NOT written: {err}"),
     }
 }
 

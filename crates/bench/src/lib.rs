@@ -8,10 +8,19 @@
 //! of the overhead model). Each table bench prints the reproduced AART / AIR /
 //! ASR rows next to the paper's published values once per run, then measures
 //! the cost of regenerating the table.
+//!
+//! The crate also hosts the **persisted bench trajectory**: the
+//! `engine_scaling` bench writes its compiled-vs-interpreted per-decision
+//! summary to `BENCH_engine_scaling.json` at the repository root through
+//! [`write_bench_trajectory`], and [`parse_bench_trajectory`] reads it back
+//! (the CI bench smoke regenerates the file and checks it parses). The JSON
+//! is hand-rolled because the offline `serde` shim has no JSON backend.
 
 #![forbid(unsafe_code)]
 
 use rt_experiments::{reproduce_table, side_by_side, PaperTable, TableConfig};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
 /// Reproduces a table with the full paper configuration and prints it next to
 /// the published values; returns the reproduced table so benches can keep it
@@ -21,4 +30,346 @@ pub fn print_and_reproduce(table: PaperTable) -> rt_metrics::ResultTable {
     let reproduced = reproduce_table(table, &config);
     println!("{}", side_by_side(table, &reproduced));
     reproduced
+}
+
+/// One row of the persisted bench trajectory: a workload configuration inside
+/// a benchmark group, its per-decision cost (a decision instant is one trace
+/// segment — the denominator is engine-independent because the compiled and
+/// interpreted traces are byte-identical), and its speedup against the
+/// group's interpreted baseline (`1.0` for the baseline rows themselves).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark group the row belongs to (`scaling`, `edf`, `overload`, …).
+    pub group: String,
+    /// Workload configuration inside the group (e.g. `sim/300/compiled`).
+    pub config: String,
+    /// Mean wall-clock nanoseconds per decision instant.
+    pub ns_per_decision: f64,
+    /// Speedup against the interpreted baseline of the same workload.
+    pub speedup: f64,
+}
+
+/// Location of the persisted trajectory: `BENCH_engine_scaling.json` at the
+/// repository root, resolved relative to this crate's manifest.
+pub fn bench_trajectory_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine_scaling.json")
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the trajectory as pretty-printed JSON (`group` → `config` →
+/// ns/decision + speedup, flattened into a record list so consumers do not
+/// need a schema-aware parser).
+pub fn render_bench_trajectory(records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"engine_scaling\",\n");
+    out.push_str("  \"unit\": \"ns per decision (trace segment)\",\n");
+    out.push_str("  \"records\": [\n");
+    for (i, record) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"group\": \"{}\", \"config\": \"{}\", \
+             \"ns_per_decision\": {:.2}, \"speedup\": {:.3}}}{comma}",
+            escape_json(&record.group),
+            escape_json(&record.config),
+            record.ns_per_decision,
+            record.speedup,
+        );
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Writes the trajectory to [`bench_trajectory_path`] and returns the path.
+pub fn write_bench_trajectory(records: &[BenchRecord]) -> std::io::Result<PathBuf> {
+    let path = bench_trajectory_path();
+    std::fs::write(&path, render_bench_trajectory(records))?;
+    Ok(path)
+}
+
+/// Minimal JSON cursor for [`parse_bench_trajectory`]: just enough grammar
+/// (objects, arrays, strings, numbers) for the trajectory file, with byte
+/// offsets in error messages.
+struct JsonCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonCursor<'a> {
+    fn new(text: &'a str) -> Self {
+        JsonCursor {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Strings are valid UTF-8 (the input is a &str); copy the
+                    // whole multi-byte character.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+}
+
+/// Parses a trajectory file produced by [`render_bench_trajectory`], checking
+/// the header fields and that every record carries the four expected keys
+/// with finite numbers. Used by the CI smoke to validate the regenerated
+/// `BENCH_engine_scaling.json`.
+pub fn parse_bench_trajectory(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut cursor = JsonCursor::new(text);
+    cursor.expect(b'{')?;
+    let mut records: Option<Vec<BenchRecord>> = None;
+    loop {
+        let key = cursor.parse_string()?;
+        cursor.expect(b':')?;
+        match key.as_str() {
+            "benchmark" => {
+                let name = cursor.parse_string()?;
+                if name != "engine_scaling" {
+                    return Err(format!("unexpected benchmark name {name:?}"));
+                }
+            }
+            "unit" => {
+                cursor.parse_string()?;
+            }
+            "records" => {
+                let mut list = Vec::new();
+                cursor.expect(b'[')?;
+                if cursor.peek() == Some(b']') {
+                    cursor.expect(b']')?;
+                } else {
+                    loop {
+                        list.push(parse_record(&mut cursor)?);
+                        match cursor.peek() {
+                            Some(b',') => cursor.expect(b',')?,
+                            _ => {
+                                cursor.expect(b']')?;
+                                break;
+                            }
+                        }
+                    }
+                }
+                records = Some(list);
+            }
+            other => return Err(format!("unexpected key {other:?}")),
+        }
+        match cursor.peek() {
+            Some(b',') => cursor.expect(b',')?,
+            _ => {
+                cursor.expect(b'}')?;
+                break;
+            }
+        }
+    }
+    records.ok_or_else(|| "missing \"records\" array".into())
+}
+
+fn parse_record(cursor: &mut JsonCursor<'_>) -> Result<BenchRecord, String> {
+    cursor.expect(b'{')?;
+    let (mut group, mut config) = (None, None);
+    let (mut ns_per_decision, mut speedup) = (None, None);
+    loop {
+        let key = cursor.parse_string()?;
+        cursor.expect(b':')?;
+        match key.as_str() {
+            "group" => group = Some(cursor.parse_string()?),
+            "config" => config = Some(cursor.parse_string()?),
+            "ns_per_decision" => ns_per_decision = Some(cursor.parse_number()?),
+            "speedup" => speedup = Some(cursor.parse_number()?),
+            other => return Err(format!("unexpected record key {other:?}")),
+        }
+        match cursor.peek() {
+            Some(b',') => cursor.expect(b',')?,
+            _ => {
+                cursor.expect(b'}')?;
+                break;
+            }
+        }
+    }
+    let record = BenchRecord {
+        group: group.ok_or("record missing \"group\"")?,
+        config: config.ok_or("record missing \"config\"")?,
+        ns_per_decision: ns_per_decision.ok_or("record missing \"ns_per_decision\"")?,
+        speedup: speedup.ok_or("record missing \"speedup\"")?,
+    };
+    if !record.ns_per_decision.is_finite() || !record.speedup.is_finite() {
+        return Err(format!("non-finite measurement in {:?}", record.config));
+    }
+    Ok(record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<BenchRecord> {
+        vec![
+            BenchRecord {
+                group: "scaling".into(),
+                config: "sim/300/interpreted".into(),
+                ns_per_decision: 1234.56,
+                speedup: 1.0,
+            },
+            BenchRecord {
+                group: "scaling".into(),
+                config: "sim/300/compiled".into(),
+                ns_per_decision: 345.67,
+                speedup: 3.571,
+            },
+        ]
+    }
+
+    #[test]
+    fn trajectory_roundtrips_through_json() {
+        let rendered = render_bench_trajectory(&sample());
+        let parsed = parse_bench_trajectory(&rendered).expect("well-formed JSON");
+        assert_eq!(parsed, sample());
+    }
+
+    #[test]
+    fn empty_trajectory_roundtrips() {
+        let rendered = render_bench_trajectory(&[]);
+        assert_eq!(parse_bench_trajectory(&rendered).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn escaped_strings_roundtrip() {
+        let records = vec![BenchRecord {
+            group: "a\"b\\c".into(),
+            config: "line\nbreak\ttab µs".into(),
+            ns_per_decision: 0.25,
+            speedup: 12.125,
+        }];
+        let rendered = render_bench_trajectory(&records);
+        assert_eq!(parse_bench_trajectory(&rendered).unwrap(), records);
+    }
+
+    #[test]
+    fn malformed_trajectories_are_rejected() {
+        assert!(parse_bench_trajectory("{}").is_err());
+        assert!(parse_bench_trajectory("").is_err());
+        assert!(parse_bench_trajectory("{\"benchmark\": \"other\"}").is_err());
+        let truncated = render_bench_trajectory(&sample());
+        let truncated = &truncated[..truncated.len() - 4];
+        assert!(parse_bench_trajectory(truncated).is_err());
+    }
+
+    #[test]
+    fn checked_in_trajectory_parses() {
+        // The CI bench smoke regenerates the file and re-runs this test; a
+        // missing file means the bench has never run in this tree, which the
+        // repository must not ship.
+        let path = bench_trajectory_path();
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{} unreadable: {e}", path.display()));
+        let records = parse_bench_trajectory(&text)
+            .unwrap_or_else(|e| panic!("{} malformed: {e}", path.display()));
+        assert!(
+            !records.is_empty(),
+            "trajectory must contain at least one record"
+        );
+        assert!(
+            records
+                .iter()
+                .any(|r| r.group == "scaling" && r.config.contains("compiled")),
+            "trajectory must cover the compiled scaling sweep"
+        );
+    }
 }

@@ -1,0 +1,324 @@
+//! # rt-compile — spec-specialized zero-overhead dispatch engines
+//!
+//! The interpreted engines (`rtss-sim`'s simulator, `rt-taskserver`'s
+//! execution framework) re-derive everything per decision: server-policy
+//! state is reached through enum dispatch behind per-call [`ServerSpec`]
+//! clones, the ready set is a comparison-based heap, periodic releases are
+//! tracked one heap entry per task, and admission hooks are consulted even
+//! when the spec says `AcceptAll`. That generality is the point of the
+//! interpreted engines — they are the semantic oracles — but it is paid on
+//! every decision instant.
+//!
+//! This crate is the RTFM-style specialization pass the ROADMAP calls for
+//! ("let the hardware do the bulk of the scheduling"): [`CompiledSystem::compile`]
+//! takes a *validated* [`SystemSpec`] and freezes it into fixed dispatch
+//! tables —
+//!
+//! * **priority order resolved offline** — the fixed-priority ready set is a
+//!   per-priority occupancy bitmap (find-highest-set word scan, no
+//!   comparisons, no heap rebalancing), with the interpreted engine's exact
+//!   tie-breaks (highest priority, then lowest task index) by construction;
+//! * **release wheel** — periodic releases are grouped by `(offset, period)`
+//!   at compile time, so the release heap holds one entry per *distinct
+//!   rate* instead of one per task (the common homogeneous-rate sweeps
+//!   collapse to a single entry);
+//! * **monomorphized server policies** — one driver instantiation per
+//!   server-policy kind × scheduling policy, with the capacity state inlined
+//!   as plain fields (no enum dispatch, no per-call spec clones);
+//! * **inlined admission plans** — `AcceptAll` lanes compile to an
+//!   unconditional accept; stateful policies embed the same
+//!   [`rt_admission::ServerAdmission`] machine the interpreted engines use,
+//!   so decisions agree by construction;
+//! * **preallocated state** — per-run scratch (pending queues, ready
+//!   structures, the trace vectors) is sized from the spec up front, so a
+//!   steady-state decision instant allocates nothing.
+//!
+//! The compiled system executes through both worlds:
+//! [`CompiledSystem::simulate`] is a specialized re-implementation of the
+//! simulator's decision loop (byte-identical canonical traces, pinned by
+//! `tests/compiled_differential.rs` and the compiled goldens), and
+//! [`CompiledSystem::execute`] runs the prepared schedulable table through
+//! `rt-taskserver`'s [`ExecutionPlan`] (same engine, installation plan
+//! precomputed once instead of per run).
+//!
+//! The interpreted engines stay untouched as differential oracles; the
+//! `engine_scaling` benchmark's `interpreted-vs-compiled` group and
+//! `BENCH_engine_scaling.json` record the speedups.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod sim;
+
+use rt_model::{
+    AdmissionPolicy, EventId, Instant, ModelError, Priority, QueueDiscipline, SchedulingPolicy,
+    ServerPolicyKind, ServerSpec, Span, SystemSpec, TaskId, Trace,
+};
+use rt_taskserver::{ExecutionConfig, ExecutionPlan};
+
+/// One periodic task, frozen: exactly the fields the decision loop touches,
+/// laid out flat (the `name` string and spec bookkeeping stay behind in the
+/// retained [`SystemSpec`]).
+#[derive(Debug, Clone)]
+pub(crate) struct TaskTable {
+    pub(crate) id: TaskId,
+    pub(crate) cost: Span,
+    /// Relative deadline (absolute deadline = release + this).
+    pub(crate) deadline: Span,
+    pub(crate) priority: Priority,
+}
+
+/// A release-rate group: every task sharing `(offset, period)` releases at
+/// the same instants forever, so the release wheel tracks the group, not the
+/// tasks. Same-instant releases land in distinct per-task queues and the
+/// ready structures are order-insensitive at one instant, so group order is
+/// unobservable — the interpreted engine's per-task heap order is preserved
+/// trace-byte-for-byte.
+#[derive(Debug, Clone)]
+pub(crate) struct ReleaseGroup {
+    /// First release (the common task offset).
+    pub(crate) first: Instant,
+    pub(crate) period: Span,
+    /// Member task indices, ascending.
+    pub(crate) members: Vec<u32>,
+}
+
+/// One aperiodic arrival, frozen: outcome fields plus the lane-service
+/// deadline precomputed (`release + relative_deadline`, or the release when
+/// the event carries no deadline).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ArrivalTable {
+    pub(crate) id: EventId,
+    /// Routed server index (may be out of range: orphan).
+    pub(crate) server: usize,
+    pub(crate) release: Instant,
+    pub(crate) actual_cost: Span,
+    pub(crate) declared_cost: Span,
+    /// Absolute deadline, if the event carries one.
+    pub(crate) deadline: Option<Instant>,
+    /// Deadline key used by deadline-ordered lane service.
+    pub(crate) lane_deadline: Instant,
+    pub(crate) value: u64,
+}
+
+/// One server lane, frozen: the scalar fields the inlined policies read,
+/// plus the original [`ServerSpec`] for seeding the admission machine.
+#[derive(Debug, Clone)]
+pub(crate) struct LaneTable {
+    pub(crate) kind: ServerPolicyKind,
+    pub(crate) capacity: Span,
+    pub(crate) period: Span,
+    pub(crate) priority: Priority,
+    pub(crate) discipline: QueueDiscipline,
+    pub(crate) admission: AdmissionPolicy,
+    pub(crate) spec: ServerSpec,
+}
+
+/// Which single server-policy kind every lane shares, selecting the
+/// monomorphized driver instantiation ([`PolicySet::Mixed`] falls back to an
+/// inline-enum lane — still clone-free, but with a per-call kind branch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PolicySet {
+    Polling,
+    Deferrable,
+    Background,
+    Sporadic,
+    Mixed,
+}
+
+/// A validated [`SystemSpec`] frozen into fixed dispatch tables, executable
+/// through both engines.
+///
+/// ```
+/// use rt_model::{Instant, Priority, ServerSpec, Span, SystemSpec};
+/// use rt_compile::CompiledSystem;
+///
+/// let mut b = SystemSpec::builder("doc");
+/// b.server(ServerSpec::polling(Span::from_units(3), Span::from_units(6), Priority::new(30)));
+/// b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
+/// b.aperiodic(Instant::from_units(0), Span::from_units(2));
+/// b.horizon_server_periods(4);
+/// let spec = b.build().unwrap();
+///
+/// let compiled = CompiledSystem::compile(&spec).unwrap();
+/// let trace = compiled.simulate();
+/// // Byte-identical to the interpreted simulator's trace.
+/// assert_eq!(trace.render_canonical(), rtss_sim::simulate(&spec).render_canonical());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledSystem {
+    /// The validated source spec, retained for the execution world and for
+    /// callers that need the full description back.
+    spec: SystemSpec,
+    pub(crate) scheduling: SchedulingPolicy,
+    pub(crate) horizon: Instant,
+    pub(crate) tasks: Vec<TaskTable>,
+    pub(crate) groups: Vec<ReleaseGroup>,
+    pub(crate) lanes: Vec<LaneTable>,
+    pub(crate) arrivals: Vec<ArrivalTable>,
+    pub(crate) lane_set: PolicySet,
+    /// Exact periodic-job count within the horizon (trace preallocation).
+    pub(crate) job_count: usize,
+    /// Segment-vector preallocation hint.
+    pub(crate) segment_hint: usize,
+}
+
+impl CompiledSystem {
+    /// Validates `spec` and freezes it into dispatch tables.
+    ///
+    /// # Errors
+    /// Returns the [`ModelError`] of [`SystemSpec::validate`] when the spec
+    /// is not well formed; a compiled system always corresponds to a valid
+    /// spec.
+    pub fn compile(spec: &SystemSpec) -> Result<CompiledSystem, ModelError> {
+        spec.validate()?;
+        let tasks: Vec<TaskTable> = spec
+            .periodic_tasks
+            .iter()
+            .map(|t| TaskTable {
+                id: t.id,
+                cost: t.cost,
+                deadline: t.deadline,
+                priority: t.priority,
+            })
+            .collect();
+
+        // Group tasks by (offset, period); first-seen order, members
+        // ascending by construction.
+        let mut groups: Vec<ReleaseGroup> = Vec::new();
+        let mut job_count = 0usize;
+        for (i, t) in spec.periodic_tasks.iter().enumerate() {
+            let first = t.release_of(0);
+            let key = (first, t.period);
+            match groups.iter_mut().find(|g| (g.first, g.period) == key) {
+                Some(group) => group.members.push(i as u32),
+                None => groups.push(ReleaseGroup {
+                    first,
+                    period: t.period,
+                    members: vec![i as u32],
+                }),
+            }
+            if first < spec.horizon {
+                let window = spec.horizon.since(first).ticks();
+                // Releases at first, first+p, ... strictly below the horizon.
+                job_count += (1 + (window - 1) / t.period.ticks()) as usize;
+            }
+        }
+
+        // Arrivals at or past the horizon are invisible to the decision loop
+        // (it stops strictly before the horizon), so they are compiled out;
+        // like the interpreted engines, they produce no outcome.
+        let arrivals: Vec<ArrivalTable> = spec
+            .aperiodics
+            .iter()
+            .filter(|e| e.release < spec.horizon)
+            .map(|e| ArrivalTable {
+                id: e.id,
+                server: e.server,
+                release: e.release,
+                actual_cost: e.actual_cost,
+                declared_cost: e.declared_cost,
+                deadline: e.absolute_deadline(),
+                lane_deadline: e.absolute_deadline().unwrap_or(e.release),
+                value: e.value,
+            })
+            .collect();
+
+        let lanes: Vec<LaneTable> = spec
+            .servers
+            .iter()
+            .map(|s| LaneTable {
+                kind: s.policy,
+                capacity: s.capacity,
+                period: s.period,
+                priority: s.priority,
+                discipline: s.discipline,
+                admission: s.admission,
+                spec: s.clone(),
+            })
+            .collect();
+
+        let lane_set = match lanes.split_first() {
+            None => PolicySet::Background,
+            Some((head, tail)) => {
+                if tail.iter().all(|l| l.kind == head.kind) {
+                    match head.kind {
+                        ServerPolicyKind::Polling => PolicySet::Polling,
+                        ServerPolicyKind::Deferrable => PolicySet::Deferrable,
+                        ServerPolicyKind::Background => PolicySet::Background,
+                        ServerPolicyKind::Sporadic => PolicySet::Sporadic,
+                    }
+                } else {
+                    PolicySet::Mixed
+                }
+            }
+        };
+
+        let segment_hint = job_count + 2 * arrivals.len() + 64;
+        Ok(CompiledSystem {
+            spec: spec.clone(),
+            scheduling: spec.scheduling,
+            horizon: spec.horizon,
+            tasks,
+            groups,
+            lanes,
+            arrivals,
+            lane_set,
+            job_count,
+            segment_hint,
+        })
+    }
+
+    /// The validated source specification this system was compiled from.
+    pub fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+
+    /// Runs the compiled simulation driver, producing a trace byte-identical
+    /// to [`rtss-sim`'s](https://docs.rs) interpreted `simulate` (all
+    /// interpreted modes — indexed, reference, unbatched — agree with each
+    /// other, and the compiled driver agrees with them).
+    pub fn simulate(&self) -> Trace {
+        sim::run(self)
+    }
+
+    /// Prepares the compiled schedulable table for the execution engine: the
+    /// installation plan (server shares, thread specs, servable handlers,
+    /// fire schedule) is computed once here and reusable across
+    /// [`ExecutionPlan::run`] calls.
+    pub fn execution_plan(&self, config: &ExecutionConfig) -> ExecutionPlan {
+        ExecutionPlan::prepare(&self.spec, config)
+            .expect("a compiled system always holds a valid spec")
+    }
+
+    /// Executes the compiled schedulable table on the `rtsj-emu` engine,
+    /// producing a trace byte-identical to `rt_taskserver::execute` for the
+    /// same spec and configuration.
+    pub fn execute(&self, config: &ExecutionConfig) -> Trace {
+        self.execution_plan(config).run()
+    }
+}
+
+/// Compiles and simulates in one call (the drop-in compiled counterpart of
+/// `rtss_sim::simulate`).
+///
+/// # Panics
+/// Panics when the specification fails validation, exactly like the
+/// interpreted entry point.
+pub fn simulate_compiled(spec: &SystemSpec) -> Trace {
+    CompiledSystem::compile(spec)
+        .expect("simulate_compiled() requires a valid system specification")
+        .simulate()
+}
+
+/// Compiles and executes in one call (the drop-in compiled counterpart of
+/// `rt_taskserver::execute`).
+///
+/// # Panics
+/// Panics when the specification fails validation, exactly like the
+/// interpreted entry point.
+pub fn execute_compiled(spec: &SystemSpec, config: &ExecutionConfig) -> Trace {
+    CompiledSystem::compile(spec)
+        .expect("execute_compiled() requires a valid system specification")
+        .execute(config)
+}

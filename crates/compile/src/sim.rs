@@ -1,0 +1,974 @@
+//! The compiled simulation driver: the interpreted `rtss-sim` decision loop
+//! re-expressed over the frozen dispatch tables of a [`CompiledSystem`].
+//!
+//! Every rule is the interpreted engine's rule — same decision points, same
+//! tie-breaks, same policy state machines — but the *representation* is
+//! specialized at compile time:
+//!
+//! * one [`Driver`] instantiation per server-policy kind × scheduling policy
+//!   (selected by [`run`] from the compile-time [`PolicySet`]), so capacity
+//!   accounting is direct field arithmetic with no enum dispatch and no
+//!   per-call spec clones;
+//! * the fixed-priority ready set is a [`ReadyBits`] occupancy bitmap
+//!   (find-highest-set scan) instead of a comparison heap, with the heap's
+//!   exact `(priority, Reverse(index))` tie-break by construction;
+//! * periodic releases ride a per-*rate-group* wheel: tasks sharing
+//!   `(offset, period)` release together forever, so one heap entry covers
+//!   the whole group (same-instant releases across groups land in disjoint
+//!   per-task queues, so group order is unobservable);
+//! * when a task runner exits with the decision window still open, the
+//!   driver re-picks *within the window* instead of paying a full
+//!   `process_due_events` + `next_decision_point` re-entry: no event is due
+//!   strictly inside a window by the definition of a decision point, and a
+//!   task runner cannot move a lane replenishment, so the re-pick is
+//!   equivalent (a *server* runner can — sporadic consumption schedules
+//!   replenishments — so server exits re-enter the full loop, exactly as
+//!   the interpreted engine does);
+//! * admission is an inlined plan: `AcceptAll` lanes compile to an
+//!   unconditional accept, stateful lanes embed the identical
+//!   [`ServerAdmission`] machine through its allocation-free
+//!   `on_arrival_into` entry point with a reused scratch buffer.
+//!
+//! # Per-decision allocations: zero
+//!
+//! All growth points are preallocated from the spec (trace vectors, job
+//! queues, the wheel, the ready structures), so a steady-state decision
+//! instant performs no heap allocation; the only amortised growth left is a
+//! pending queue exceeding its initial estimate and the admission machine's
+//! displacement repacks (O(backlog), overload-only). Byte-identity with the
+//! interpreted engine across every mode is pinned by
+//! `tests/compiled_differential.rs` and the compiled goldens.
+
+use crate::{ArrivalTable, CompiledSystem, LaneTable, PolicySet};
+use rt_admission::{AdmissionPolicy, ArrivingEvent, ServerAdmission};
+use rt_model::{
+    AperiodicFate, AperiodicOutcome, EventId, ExecUnit, Instant, PeriodicJobRecord,
+    QueueDiscipline, SchedulingPolicy, Span, Trace,
+};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Runs the compiled system through the driver instantiation its tables
+/// select.
+pub(crate) fn run(sys: &CompiledSystem) -> Trace {
+    match (sys.lane_set, sys.scheduling) {
+        (PolicySet::Polling, SchedulingPolicy::FixedPriority) => {
+            Driver::<CPolling, false>::new(sys).run()
+        }
+        (PolicySet::Polling, SchedulingPolicy::Edf) => Driver::<CPolling, true>::new(sys).run(),
+        (PolicySet::Deferrable, SchedulingPolicy::FixedPriority) => {
+            Driver::<CDeferrable, false>::new(sys).run()
+        }
+        (PolicySet::Deferrable, SchedulingPolicy::Edf) => {
+            Driver::<CDeferrable, true>::new(sys).run()
+        }
+        (PolicySet::Background, SchedulingPolicy::FixedPriority) => {
+            Driver::<CBackground, false>::new(sys).run()
+        }
+        (PolicySet::Background, SchedulingPolicy::Edf) => {
+            Driver::<CBackground, true>::new(sys).run()
+        }
+        (PolicySet::Sporadic, SchedulingPolicy::FixedPriority) => {
+            Driver::<CSporadic, false>::new(sys).run()
+        }
+        (PolicySet::Sporadic, SchedulingPolicy::Edf) => Driver::<CSporadic, true>::new(sys).run(),
+        (PolicySet::Mixed, SchedulingPolicy::FixedPriority) => {
+            Driver::<AnyLanePolicy, false>::new(sys).run()
+        }
+        (PolicySet::Mixed, SchedulingPolicy::Edf) => Driver::<AnyLanePolicy, true>::new(sys).run(),
+    }
+}
+
+/// The capacity state machine of one compiled lane: the same policy rules as
+/// `rtss_sim`'s `ServerState`, but monomorphized — statics come from the
+/// borrowed [`LaneTable`], so there is no per-call spec clone and (outside
+/// [`AnyLanePolicy`]) no dispatch.
+pub(crate) trait LanePolicy {
+    /// State as it is just before time zero.
+    fn init(table: &LaneTable) -> Self;
+    /// Applies every replenishment due at or before `now`.
+    fn replenish_due(&mut self, table: &LaneTable, now: Instant, queue_empty: bool);
+    /// Debits `amount` for a slice that started at `start`.
+    fn consume(&mut self, table: &LaneTable, amount: Span, start: Instant);
+    /// The pending queue just became empty at `now`.
+    fn on_queue_emptied(&mut self, table: &LaneTable, now: Instant);
+    /// Capacity currently available.
+    fn available(&self) -> Span;
+    /// Next instant the capacity can grow.
+    fn next_replenishment(&self) -> Instant;
+    /// Whether the policy maintains a finite capacity.
+    fn is_capacity_limited(&self) -> bool;
+    /// Replenishment-derived EDF deadline.
+    fn edf_deadline(&self, table: &LaneTable, now: Instant) -> Instant;
+}
+
+/// Polling Server: full capacity at each activation, forfeited when idle.
+#[derive(Debug, Clone)]
+pub(crate) struct CPolling {
+    capacity: Span,
+    next_rep: Instant,
+}
+
+impl LanePolicy for CPolling {
+    fn init(_table: &LaneTable) -> Self {
+        CPolling {
+            capacity: Span::ZERO,
+            next_rep: Instant::ZERO,
+        }
+    }
+
+    fn replenish_due(&mut self, table: &LaneTable, now: Instant, queue_empty: bool) {
+        let mut replenished = false;
+        while self.next_rep <= now {
+            self.capacity = table.capacity;
+            self.next_rep += table.period;
+            replenished = true;
+        }
+        if replenished && queue_empty {
+            self.capacity = Span::ZERO;
+        }
+    }
+
+    fn consume(&mut self, _table: &LaneTable, amount: Span, _start: Instant) {
+        debug_assert!(amount <= self.capacity, "server executed beyond capacity");
+        self.capacity = self.capacity.saturating_sub(amount);
+    }
+
+    fn on_queue_emptied(&mut self, _table: &LaneTable, _now: Instant) {
+        self.capacity = Span::ZERO;
+    }
+
+    fn available(&self) -> Span {
+        self.capacity
+    }
+
+    fn next_replenishment(&self) -> Instant {
+        self.next_rep
+    }
+
+    fn is_capacity_limited(&self) -> bool {
+        true
+    }
+
+    fn edf_deadline(&self, _table: &LaneTable, _now: Instant) -> Instant {
+        self.next_rep
+    }
+}
+
+/// Deferrable Server: capacity preserved while idle, refilled every period.
+#[derive(Debug, Clone)]
+pub(crate) struct CDeferrable {
+    capacity: Span,
+    next_rep: Instant,
+}
+
+impl LanePolicy for CDeferrable {
+    fn init(_table: &LaneTable) -> Self {
+        CDeferrable {
+            capacity: Span::ZERO,
+            next_rep: Instant::ZERO,
+        }
+    }
+
+    fn replenish_due(&mut self, table: &LaneTable, now: Instant, _queue_empty: bool) {
+        while self.next_rep <= now {
+            self.capacity = table.capacity;
+            self.next_rep += table.period;
+        }
+    }
+
+    fn consume(&mut self, _table: &LaneTable, amount: Span, _start: Instant) {
+        debug_assert!(amount <= self.capacity, "server executed beyond capacity");
+        self.capacity = self.capacity.saturating_sub(amount);
+    }
+
+    fn on_queue_emptied(&mut self, _table: &LaneTable, _now: Instant) {}
+
+    fn available(&self) -> Span {
+        self.capacity
+    }
+
+    fn next_replenishment(&self) -> Instant {
+        self.next_rep
+    }
+
+    fn is_capacity_limited(&self) -> bool {
+        true
+    }
+
+    fn edf_deadline(&self, _table: &LaneTable, _now: Instant) -> Instant {
+        self.next_rep
+    }
+}
+
+/// Background servicing: no capacity limit, no replenishments.
+#[derive(Debug, Clone)]
+pub(crate) struct CBackground;
+
+impl LanePolicy for CBackground {
+    fn init(_table: &LaneTable) -> Self {
+        CBackground
+    }
+
+    fn replenish_due(&mut self, _table: &LaneTable, _now: Instant, _queue_empty: bool) {}
+
+    fn consume(&mut self, _table: &LaneTable, _amount: Span, _start: Instant) {}
+
+    fn on_queue_emptied(&mut self, _table: &LaneTable, _now: Instant) {}
+
+    fn available(&self) -> Span {
+        Span::MAX
+    }
+
+    fn next_replenishment(&self) -> Instant {
+        Instant::MAX
+    }
+
+    fn is_capacity_limited(&self) -> bool {
+        false
+    }
+
+    fn edf_deadline(&self, _table: &LaneTable, _now: Instant) -> Instant {
+        Instant::MAX
+    }
+}
+
+/// Sporadic Server: per-chunk replenishment one period after the chunk's
+/// anchor (`rtss_sim`'s simplified Sprunt rule, verbatim).
+#[derive(Debug, Clone)]
+pub(crate) struct CSporadic {
+    capacity: Span,
+    /// Scheduled replenishments `(when, amount)`, time-ordered (anchors are
+    /// nondecreasing).
+    pending: VecDeque<(Instant, Span)>,
+    anchor: Option<Instant>,
+    consumed: Span,
+}
+
+impl CSporadic {
+    fn close_chunk(&mut self, table: &LaneTable) {
+        if let Some(anchor) = self.anchor.take() {
+            if !self.consumed.is_zero() {
+                self.pending
+                    .push_back((anchor + table.period, self.consumed));
+            }
+            self.consumed = Span::ZERO;
+        }
+    }
+}
+
+impl LanePolicy for CSporadic {
+    fn init(table: &LaneTable) -> Self {
+        CSporadic {
+            capacity: table.capacity,
+            pending: VecDeque::new(),
+            anchor: None,
+            consumed: Span::ZERO,
+        }
+    }
+
+    fn replenish_due(&mut self, table: &LaneTable, now: Instant, _queue_empty: bool) {
+        while let Some(&(when, amount)) = self.pending.front() {
+            if when > now {
+                break;
+            }
+            self.pending.pop_front();
+            self.capacity = (self.capacity + amount).min(table.capacity);
+        }
+    }
+
+    fn consume(&mut self, table: &LaneTable, amount: Span, start: Instant) {
+        debug_assert!(amount <= self.capacity, "server executed beyond capacity");
+        if self.anchor.is_none() {
+            self.anchor = Some(start);
+        }
+        let debit = amount.min(self.capacity);
+        self.capacity -= debit;
+        self.consumed += debit;
+        if self.capacity.is_zero() {
+            self.close_chunk(table);
+        }
+    }
+
+    fn on_queue_emptied(&mut self, table: &LaneTable, _now: Instant) {
+        self.close_chunk(table);
+    }
+
+    fn available(&self) -> Span {
+        self.capacity
+    }
+
+    fn next_replenishment(&self) -> Instant {
+        self.pending
+            .front()
+            .map(|&(when, _)| when)
+            .unwrap_or(Instant::MAX)
+    }
+
+    fn is_capacity_limited(&self) -> bool {
+        true
+    }
+
+    fn edf_deadline(&self, table: &LaneTable, now: Instant) -> Instant {
+        match (self.anchor, self.pending.front()) {
+            (Some(anchor), _) => anchor + table.period,
+            (None, Some(&(when, _))) => when,
+            (None, None) => now + table.period,
+        }
+    }
+}
+
+/// Fallback for systems mixing server-policy kinds: a per-call kind branch,
+/// still clone-free.
+#[derive(Debug, Clone)]
+pub(crate) enum AnyLanePolicy {
+    Polling(CPolling),
+    Deferrable(CDeferrable),
+    Background(CBackground),
+    Sporadic(CSporadic),
+}
+
+macro_rules! any_lane {
+    ($self:expr, $p:ident => $body:expr) => {
+        match $self {
+            AnyLanePolicy::Polling($p) => $body,
+            AnyLanePolicy::Deferrable($p) => $body,
+            AnyLanePolicy::Background($p) => $body,
+            AnyLanePolicy::Sporadic($p) => $body,
+        }
+    };
+}
+
+impl LanePolicy for AnyLanePolicy {
+    fn init(table: &LaneTable) -> Self {
+        use rt_model::ServerPolicyKind as K;
+        match table.kind {
+            K::Polling => AnyLanePolicy::Polling(CPolling::init(table)),
+            K::Deferrable => AnyLanePolicy::Deferrable(CDeferrable::init(table)),
+            K::Background => AnyLanePolicy::Background(CBackground::init(table)),
+            K::Sporadic => AnyLanePolicy::Sporadic(CSporadic::init(table)),
+        }
+    }
+
+    fn replenish_due(&mut self, table: &LaneTable, now: Instant, queue_empty: bool) {
+        any_lane!(self, p => p.replenish_due(table, now, queue_empty))
+    }
+
+    fn consume(&mut self, table: &LaneTable, amount: Span, start: Instant) {
+        any_lane!(self, p => p.consume(table, amount, start))
+    }
+
+    fn on_queue_emptied(&mut self, table: &LaneTable, now: Instant) {
+        any_lane!(self, p => p.on_queue_emptied(table, now))
+    }
+
+    fn available(&self) -> Span {
+        any_lane!(self, p => p.available())
+    }
+
+    fn next_replenishment(&self) -> Instant {
+        any_lane!(self, p => p.next_replenishment())
+    }
+
+    fn is_capacity_limited(&self) -> bool {
+        any_lane!(self, p => p.is_capacity_limited())
+    }
+
+    fn edf_deadline(&self, table: &LaneTable, now: Instant) -> Instant {
+        any_lane!(self, p => p.edf_deadline(table, now))
+    }
+}
+
+/// The inlined admission plan of one lane.
+enum LaneAdmission {
+    /// `AcceptAll`: compile-time unconditional accept (the interpreted
+    /// machine only bumps counters the trace never sees).
+    Pass,
+    /// Stateful policy: the identical machine the interpreted engines embed.
+    Machine(ServerAdmission),
+}
+
+/// One pending aperiodic job (indexes the frozen arrival table).
+#[derive(Debug, Clone, Copy)]
+struct ApJob {
+    arrival: u32,
+    remaining: Span,
+    started: Option<Instant>,
+    deadline: Instant,
+}
+
+/// One pending periodic job.
+#[derive(Debug, Clone, Copy)]
+struct PJob {
+    activation: u64,
+    release: Instant,
+    deadline: Instant,
+    remaining: Span,
+}
+
+/// One compiled server lane.
+struct Lane<P> {
+    policy: P,
+    queue: VecDeque<ApJob>,
+    admission: LaneAdmission,
+}
+
+impl<P: LanePolicy> Lane<P> {
+    fn is_ready(&self) -> bool {
+        !self.queue.is_empty() && !self.policy.available().is_zero()
+    }
+}
+
+/// The fixed-priority ready set as an occupancy bitmap: one 256-bit priority
+/// occupancy word plus one task-index row per priority level. `peek` is the
+/// highest set priority bit then the lowest set index bit — exactly the
+/// interpreted ready-heap's `(priority, Reverse(index))` max — with no
+/// comparisons and no rebalancing. Unlike the heap there are no stale
+/// entries: bits are cleared eagerly when a queue drains, which is
+/// observationally identical (the heap's lazy entries are discarded before
+/// they are ever returned).
+struct ReadyBits {
+    /// Words per priority row (`ceil(tasks / 64)`, at least 1).
+    words: usize,
+    /// Which priority levels have at least one ready task.
+    occ: [u64; 4],
+    /// Per-priority task-index bitmaps, 256 rows of `words` words.
+    rows: Vec<u64>,
+}
+
+impl ReadyBits {
+    fn new(tasks: usize) -> Self {
+        let words = tasks.div_ceil(64).max(1);
+        ReadyBits {
+            words,
+            occ: [0; 4],
+            rows: vec![0; 256 * words],
+        }
+    }
+
+    fn mark(&mut self, level: u8, index: usize) {
+        let level = level as usize;
+        self.rows[level * self.words + index / 64] |= 1u64 << (index % 64);
+        self.occ[level / 64] |= 1u64 << (level % 64);
+    }
+
+    fn clear(&mut self, level: u8, index: usize) {
+        let level = level as usize;
+        let row = &mut self.rows[level * self.words..(level + 1) * self.words];
+        row[index / 64] &= !(1u64 << (index % 64));
+        if row.iter().all(|&w| w == 0) {
+            self.occ[level / 64] &= !(1u64 << (level % 64));
+        }
+    }
+
+    /// Highest ready priority level and its lowest task index.
+    fn peek(&self) -> Option<(u8, usize)> {
+        let (word, bits) = (0..4)
+            .rev()
+            .map(|w| (w, self.occ[w]))
+            .find(|&(_, b)| b != 0)?;
+        let level = word * 64 + (63 - bits.leading_zeros() as usize);
+        let row = &self.rows[level * self.words..(level + 1) * self.words];
+        let (k, w) = row
+            .iter()
+            .enumerate()
+            .find(|&(_, &w)| w != 0)
+            .map(|(k, &w)| (k, w))
+            .expect("occupied priority level has a set index bit");
+        Some((level as u8, k * 64 + w.trailing_zeros() as usize))
+    }
+}
+
+/// Which entity the driver decided to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Runner {
+    Server(usize),
+    Task(usize),
+}
+
+/// The monomorphized decision loop: one instantiation per lane-policy type ×
+/// scheduling policy (`EDF` const-folds the dispatcher branch away).
+struct Driver<'a, P, const EDF: bool> {
+    sys: &'a CompiledSystem,
+    now: Instant,
+    /// Per-task pending job queues (indexes match `sys.tasks`).
+    pending: Vec<VecDeque<PJob>>,
+    lanes: Vec<Lane<P>>,
+    orphans: Vec<u32>,
+    next_arrival: usize,
+    /// The release wheel: min-first by `(next release, group index)`; one
+    /// live entry per rate group, below the horizon.
+    wheel: BinaryHeap<Reverse<(Instant, u32)>>,
+    /// Releases taken so far per group (the members' activation counter).
+    released: Vec<u64>,
+    /// Fixed-priority ready set (unused under EDF).
+    ready: ReadyBits,
+    /// EDF ready set, lazily re-keyed exactly like the interpreted engine
+    /// (unused under fixed priorities).
+    ready_edf: BinaryHeap<Reverse<(Instant, usize)>>,
+    /// Whether task `i` has pending jobs (EDF staleness check).
+    has_pending: Vec<bool>,
+    /// Reused buffer for admission-displaced event ids.
+    aborted_scratch: Vec<EventId>,
+    trace: Trace,
+}
+
+impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
+    fn new(sys: &'a CompiledSystem) -> Self {
+        let mut wheel = BinaryHeap::with_capacity(sys.groups.len());
+        for (g, group) in sys.groups.iter().enumerate() {
+            if group.first < sys.horizon {
+                wheel.push(Reverse((group.first, g as u32)));
+            }
+        }
+        let lanes = sys
+            .lanes
+            .iter()
+            .map(|table| Lane {
+                policy: P::init(table),
+                queue: VecDeque::new(),
+                admission: if table.admission == AdmissionPolicy::AcceptAll {
+                    LaneAdmission::Pass
+                } else {
+                    LaneAdmission::Machine(ServerAdmission::for_server(&table.spec))
+                },
+            })
+            .collect();
+        let mut trace = Trace::new(sys.horizon);
+        trace.segments.reserve(sys.segment_hint);
+        trace.outcomes.reserve(sys.arrivals.len());
+        trace.periodic_jobs.reserve(sys.job_count);
+        Driver {
+            sys,
+            now: Instant::ZERO,
+            pending: sys.tasks.iter().map(|_| VecDeque::new()).collect(),
+            lanes,
+            orphans: Vec::new(),
+            next_arrival: 0,
+            wheel,
+            released: vec![0; sys.groups.len()],
+            ready: ReadyBits::new(if EDF { 0 } else { sys.tasks.len() }),
+            ready_edf: BinaryHeap::new(),
+            has_pending: vec![false; sys.tasks.len()],
+            aborted_scratch: Vec::new(),
+            trace,
+        }
+    }
+
+    fn run(mut self) -> Trace {
+        while self.now < self.sys.horizon {
+            self.process_due_events();
+            let next = self.next_decision_point();
+            debug_assert!(next > self.now, "decision points must advance time");
+            // Window inner loop: re-pick without a full dispatcher re-entry
+            // while only *task* runners have executed — nothing is due
+            // strictly inside the window and tasks cannot move lane
+            // replenishments, so `process_due_events` would be a no-op and
+            // the decision point is unchanged. A server runner CAN schedule
+            // an earlier replenishment (sporadic consumption), so it breaks
+            // back to the full loop, exactly like the interpreted engine.
+            loop {
+                match self.pick_runner() {
+                    None => {
+                        self.trace.push_segment(ExecUnit::Idle, self.now, next);
+                        self.now = next;
+                        break;
+                    }
+                    Some(Runner::Server(s)) => {
+                        self.run_server(s, next);
+                        break;
+                    }
+                    Some(Runner::Task(i)) => {
+                        self.run_task(i, next);
+                        if self.now >= next {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.finalise();
+        self.trace
+    }
+
+    /// Marks task `i` ready in the active policy's structure. Must be called
+    /// after the job was pushed; only acts on the empty→non-empty transition
+    /// (under EDF the entry is keyed by the front job's deadline, exactly the
+    /// interpreted `mark_ready`).
+    fn mark_ready(&mut self, i: usize) {
+        if !self.has_pending[i] {
+            self.has_pending[i] = true;
+            if EDF {
+                let deadline = self.pending[i]
+                    .front()
+                    .expect("mark_ready requires a pending job")
+                    .deadline;
+                self.ready_edf.push(Reverse((deadline, i)));
+            } else {
+                self.ready.mark(self.sys.tasks[i].priority.level(), i);
+            }
+        }
+    }
+
+    fn process_due_events(&mut self) {
+        let sys = self.sys;
+        // Aperiodic arrivals first (visible to a same-instant activation),
+        // in spec order — the admission machines are order-sensitive.
+        while self.next_arrival < sys.arrivals.len()
+            && sys.arrivals[self.next_arrival].release <= self.now
+        {
+            let arrival = sys.arrivals[self.next_arrival];
+            let index = self.next_arrival as u32;
+            self.next_arrival += 1;
+            match self.lanes.get_mut(arrival.server) {
+                Some(lane) => {
+                    let mut scratch = std::mem::take(&mut self.aborted_scratch);
+                    let accepted = match &mut lane.admission {
+                        LaneAdmission::Pass => true,
+                        LaneAdmission::Machine(m) => {
+                            m.on_arrival_into(
+                                &ArrivingEvent {
+                                    event: arrival.id,
+                                    release: arrival.release,
+                                    declared_cost: arrival.declared_cost,
+                                    deadline: arrival.deadline,
+                                    value: arrival.value,
+                                },
+                                &mut scratch,
+                            )
+                            .0
+                        }
+                    };
+                    for &aborted in &scratch {
+                        self.abort_pending(arrival.server, aborted);
+                    }
+                    scratch.clear();
+                    self.aborted_scratch = scratch;
+                    if accepted {
+                        self.lanes[arrival.server].queue.push_back(ApJob {
+                            arrival: index,
+                            remaining: arrival.actual_cost,
+                            started: None,
+                            deadline: arrival.lane_deadline,
+                        });
+                    } else {
+                        self.trace.push_outcome(outcome(
+                            &arrival,
+                            AperiodicFate::Rejected { at: self.now },
+                        ));
+                    }
+                }
+                None => self.orphans.push(index),
+            }
+        }
+        // Periodic releases: pop due rate groups, release one job per
+        // member. Jobs of distinct tasks land in disjoint queues and the
+        // ready structures are order-insensitive within one instant, so
+        // group-pop order and the interpreted per-task-pop order coincide
+        // observationally.
+        while let Some(&Reverse((at, g))) = self.wheel.peek() {
+            if at > self.now {
+                break;
+            }
+            self.wheel.pop();
+            let g = g as usize;
+            let group = &sys.groups[g];
+            let activation = self.released[g];
+            for &m in &group.members {
+                let m = m as usize;
+                let task = &sys.tasks[m];
+                self.pending[m].push_back(PJob {
+                    activation,
+                    release: at,
+                    deadline: at + task.deadline,
+                    remaining: task.cost,
+                });
+                self.mark_ready(m);
+            }
+            self.released[g] = activation + 1;
+            let next = group.first + group.period.saturating_mul(activation + 1);
+            if next < sys.horizon {
+                self.wheel.push(Reverse((next, g as u32)));
+            }
+        }
+        // Lane replenishments, in install order.
+        for (lane, table) in self.lanes.iter_mut().zip(&sys.lanes) {
+            let queue_empty = lane.queue.is_empty();
+            lane.policy.replenish_due(table, self.now, queue_empty);
+        }
+    }
+
+    /// Removes an admitted-but-displaced, never-started job from a lane's
+    /// queue, recording it aborted (same in-service exemption as the
+    /// interpreted engine).
+    fn abort_pending(&mut self, lane_index: usize, event_id: EventId) {
+        let sys = self.sys;
+        let lane = &mut self.lanes[lane_index];
+        let Some(position) = lane.queue.iter().position(|job| {
+            job.started.is_none() && sys.arrivals[job.arrival as usize].id == event_id
+        }) else {
+            return;
+        };
+        let job = lane
+            .queue
+            .remove(position)
+            .expect("position came from the queue");
+        if lane.queue.is_empty() {
+            lane.policy
+                .on_queue_emptied(&sys.lanes[lane_index], self.now);
+        }
+        self.trace.push_outcome(outcome(
+            &sys.arrivals[job.arrival as usize],
+            AperiodicFate::Aborted { at: self.now },
+        ));
+    }
+
+    /// Next instant the scheduling decision could change: arrival cursor,
+    /// wheel peek, capacity-limited lane replenishments — all O(1) per
+    /// source (the capacity-limited test is const-folded per instantiation).
+    fn next_decision_point(&self) -> Instant {
+        let sys = self.sys;
+        let mut next = sys.horizon;
+        if let Some(arrival) = sys.arrivals.get(self.next_arrival) {
+            next = next.min(arrival.release);
+        }
+        if let Some(&Reverse((at, _))) = self.wheel.peek() {
+            next = next.min(at);
+        }
+        for lane in &self.lanes {
+            if lane.policy.is_capacity_limited() {
+                next = next.min(lane.policy.next_replenishment());
+            }
+        }
+        next.max(self.now + Span::from_ticks(1))
+            .min(sys.horizon.max(self.now + Span::from_ticks(1)))
+    }
+
+    fn pick_runner(&mut self) -> Option<Runner> {
+        if EDF {
+            self.pick_runner_edf()
+        } else {
+            self.pick_runner_fp()
+        }
+    }
+
+    fn pick_runner_fp(&mut self) -> Option<Runner> {
+        let sys = self.sys;
+        let mut best_server: Option<(u8, usize)> = None;
+        for (s, lane) in self.lanes.iter().enumerate() {
+            if !lane.is_ready() {
+                continue;
+            }
+            let level = sys.lanes[s].priority.level();
+            match best_server {
+                None => best_server = Some((level, s)),
+                Some((p, _)) if level > p => best_server = Some((level, s)),
+                _ => {}
+            }
+        }
+        let top_task = self.ready.peek();
+        match (best_server, top_task) {
+            (None, None) => None,
+            (Some((_, s)), None) => Some(Runner::Server(s)),
+            (None, Some((_, i))) => Some(Runner::Task(i)),
+            (Some((server_level, s)), Some((level, i))) => {
+                // Strict preemption: equal priority goes to the server, the
+                // interpreted tie-break.
+                if level > server_level {
+                    Some(Runner::Task(i))
+                } else {
+                    Some(Runner::Server(s))
+                }
+            }
+        }
+    }
+
+    fn pick_runner_edf(&mut self) -> Option<Runner> {
+        let sys = self.sys;
+        let mut best_server: Option<(Instant, usize)> = None;
+        for (s, lane) in self.lanes.iter().enumerate() {
+            if !lane.is_ready() {
+                continue;
+            }
+            let deadline = lane.policy.edf_deadline(&sys.lanes[s], self.now);
+            match best_server {
+                None => best_server = Some((deadline, s)),
+                Some((d, _)) if deadline < d => best_server = Some((deadline, s)),
+                _ => {}
+            }
+        }
+        let top_task = loop {
+            match self.ready_edf.peek() {
+                None => break None,
+                Some(&Reverse((deadline, i))) => {
+                    let live = self.has_pending[i]
+                        && self.pending[i]
+                            .front()
+                            .is_some_and(|job| job.deadline == deadline);
+                    if live {
+                        break Some((deadline, i));
+                    }
+                    self.ready_edf.pop();
+                }
+            }
+        };
+        match (best_server, top_task) {
+            (None, None) => None,
+            (Some((_, s)), None) => Some(Runner::Server(s)),
+            (None, Some((_, i))) => Some(Runner::Task(i)),
+            (Some((server_deadline, s)), Some((deadline, i))) => {
+                // Ties go to the server, the interpreted scan order.
+                if deadline < server_deadline {
+                    Some(Runner::Task(i))
+                } else {
+                    Some(Runner::Server(s))
+                }
+            }
+        }
+    }
+
+    /// Serves lane `s` until the window closes, capacity runs out or the
+    /// queue drains — the interpreted batched server loop with the policy
+    /// calls inlined.
+    fn run_server(&mut self, s: usize, next: Instant) {
+        let sys = self.sys;
+        let table = &sys.lanes[s];
+        let lane = &mut self.lanes[s];
+        loop {
+            let position = match table.discipline {
+                QueueDiscipline::FifoSkip => 0,
+                QueueDiscipline::DeadlineOrdered => {
+                    let mut best = 0;
+                    for (k, job) in lane.queue.iter().enumerate() {
+                        if job.deadline < lane.queue[best].deadline {
+                            best = k;
+                        }
+                    }
+                    best
+                }
+            };
+            let job = lane
+                .queue
+                .get_mut(position)
+                .expect("server runner requires pending work");
+            let window = next.since(self.now);
+            let slice = job.remaining.min(lane.policy.available()).min(window);
+            debug_assert!(!slice.is_zero(), "picked server cannot make progress");
+            let arrival = sys.arrivals[job.arrival as usize];
+            if job.started.is_none() {
+                job.started = Some(self.now);
+            }
+            self.trace
+                .push_segment(ExecUnit::Handler(arrival.id), self.now, self.now + slice);
+            job.remaining -= slice;
+            lane.policy.consume(table, slice, self.now);
+            self.now += slice;
+            if job.remaining.is_zero() {
+                let started = job.started.expect("a completed job has started");
+                self.trace.push_outcome(outcome(
+                    &arrival,
+                    AperiodicFate::Served {
+                        started,
+                        completed: self.now,
+                    },
+                ));
+                lane.queue.remove(position);
+                if lane.queue.is_empty() {
+                    lane.policy.on_queue_emptied(table, self.now);
+                }
+            }
+            if self.now >= next || !lane.is_ready() {
+                break;
+            }
+        }
+    }
+
+    /// Runs task `index` until the window closes or (under EDF) a completion
+    /// forces a re-pick — the interpreted batched task loop.
+    fn run_task(&mut self, index: usize, next: Instant) {
+        let task = &self.sys.tasks[index];
+        let queue = &mut self.pending[index];
+        loop {
+            let job = queue
+                .front_mut()
+                .expect("task runner requires pending work");
+            let window = next.since(self.now);
+            let slice = job.remaining.min(window);
+            debug_assert!(!slice.is_zero());
+            self.trace
+                .push_segment(ExecUnit::Task(task.id), self.now, self.now + slice);
+            job.remaining -= slice;
+            self.now += slice;
+            if job.remaining.is_zero() {
+                let done = *job;
+                self.trace.push_periodic_job(PeriodicJobRecord {
+                    task: task.id,
+                    activation: done.activation,
+                    release: done.release,
+                    deadline: done.deadline,
+                    completed: Some(self.now),
+                });
+                queue.pop_front();
+                if queue.is_empty() {
+                    self.has_pending[index] = false;
+                    if !EDF {
+                        self.ready.clear(task.priority.level(), index);
+                    }
+                    break;
+                }
+                if EDF {
+                    // Re-key to the new front deadline and force a re-pick.
+                    let deadline = queue.front().expect("non-empty checked above").deadline;
+                    self.ready_edf.push(Reverse((deadline, index)));
+                    break;
+                }
+            }
+            if self.now >= next {
+                break;
+            }
+        }
+    }
+
+    fn finalise(&mut self) {
+        let sys = self.sys;
+        for lane in &mut self.lanes {
+            for job in lane.queue.drain(..) {
+                self.trace.push_outcome(outcome(
+                    &sys.arrivals[job.arrival as usize],
+                    AperiodicFate::Unserved,
+                ));
+            }
+        }
+        for index in std::mem::take(&mut self.orphans) {
+            self.trace.push_outcome(outcome(
+                &sys.arrivals[index as usize],
+                AperiodicFate::Unserved,
+            ));
+        }
+        for (i, queue) in self.pending.iter_mut().enumerate() {
+            for job in queue.drain(..) {
+                self.trace.push_periodic_job(PeriodicJobRecord {
+                    task: sys.tasks[i].id,
+                    activation: job.activation,
+                    release: job.release,
+                    deadline: job.deadline,
+                    completed: None,
+                });
+            }
+        }
+        self.trace.outcomes.sort_by_key(|o| (o.release, o.event));
+        debug_assert!(self.trace.check_invariants().is_ok());
+    }
+}
+
+/// Builds the outcome record of one frozen arrival.
+fn outcome(arrival: &ArrivalTable, fate: AperiodicFate) -> AperiodicOutcome {
+    AperiodicOutcome {
+        event: arrival.id,
+        release: arrival.release,
+        declared_cost: arrival.declared_cost,
+        value: arrival.value,
+        deadline: arrival.deadline,
+        fate,
+    }
+}

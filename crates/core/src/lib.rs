@@ -73,7 +73,7 @@ pub use rtsj_emu::TaskServerParameters;
 pub use serve::{ServeStep, ServiceLoop};
 pub use sporadic::SporadicServerBody;
 pub use state::{GrantedService, ServerShared, SharedServer};
-pub use system::{execute, ExecutionConfig};
+pub use system::{execute, ExecutionConfig, ExecutionPlan};
 
 #[cfg(test)]
 mod proptests {

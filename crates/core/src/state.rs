@@ -11,10 +11,10 @@
 
 use crate::handler::QueuedRelease;
 use crate::queue::{PendingQueue, QueueKind};
-use rt_admission::{AdmissionVerdict, ArrivingEvent, ServerAdmission};
+use rt_admission::{ArrivingEvent, ServerAdmission};
 use rt_model::{
-    AdmissionPolicy, AperiodicFate, AperiodicOutcome, Instant, QueueDiscipline, ServerPolicyKind,
-    Span,
+    AdmissionPolicy, AperiodicFate, AperiodicOutcome, EventId, Instant, QueueDiscipline,
+    ServerPolicyKind, Span,
 };
 use rtsj_emu::{OverheadModel, TaskServerParameters};
 use std::cell::RefCell;
@@ -61,6 +61,9 @@ pub struct ServerShared {
     /// the arrival history (see `rt-admission`), so they agree with the
     /// simulator's for identical arrival sequences.
     pub admission: ServerAdmission,
+    /// Reused buffer for the releases an admission decision displaces — the
+    /// release path stays allocation-free in the steady state.
+    aborted_scratch: Vec<EventId>,
 }
 
 /// Shared handle to a server's state.
@@ -113,6 +116,7 @@ impl ServerShared {
             active_since: None,
             consumed_since_active: Span::ZERO,
             admission,
+            aborted_scratch: Vec::new(),
         }))
     }
 
@@ -139,27 +143,33 @@ impl ServerShared {
     /// [`PendingQueue::predicted_slot`] or
     /// [`crate::admission::predicted_response`].
     pub fn released(&mut self, release: QueuedRelease, now: Instant) -> bool {
-        let verdict: AdmissionVerdict = self.admission.on_arrival(&ArrivingEvent {
-            event: release.event,
-            release: release.release,
-            declared_cost: release.declared_cost(),
-            deadline: release.admission_deadline(),
-            value: release.value(),
-        });
-        for event in &verdict.aborted {
+        let mut aborted = std::mem::take(&mut self.aborted_scratch);
+        let (accepted, _prediction) = self.admission.on_arrival_into(
+            &ArrivingEvent {
+                event: release.event,
+                release: release.release,
+                declared_cost: release.declared_cost(),
+                deadline: release.admission_deadline(),
+                value: release.value(),
+            },
+            &mut aborted,
+        );
+        for &event in &aborted {
             // Only still-pending releases can be dropped; one already being
             // served (possible under the non-polling policies, which run
             // ahead of the virtual plan) keeps its in-flight fate.
-            if let Some(dropped) = self.queue.remove_event(*event) {
+            if let Some(dropped) = self.queue.remove_event(event) {
                 self.record_aborted(&dropped, now);
             }
         }
-        if verdict.accepted {
+        aborted.clear();
+        self.aborted_scratch = aborted;
+        if accepted {
             let _ = self.queue.push(release, now, self.remaining);
         } else {
             self.record_rejected(&release, now);
         }
-        verdict.accepted
+        accepted
     }
 
     /// Budget the policy would grant to a release chosen at `now`.

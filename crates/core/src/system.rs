@@ -13,8 +13,8 @@ use crate::framework::{AnyTaskServer, ServableAsyncEvent, TaskServer};
 use crate::handler::ServableHandler;
 use crate::queue::QueueKind;
 use rt_model::{
-    AperiodicFate, AperiodicOutcome, ExecUnit, Instant, PeriodicJobRecord, PeriodicTask,
-    SchedulingPolicy, Span, SystemSpec, Trace,
+    AperiodicFate, AperiodicOutcome, ExecUnit, Instant, ModelError, PeriodicJobRecord,
+    PeriodicTask, SchedulingPolicy, Span, SystemSpec, Trace,
 };
 use rtsj_emu::{Engine, EngineConfig, OverheadModel, SchedulerKind};
 
@@ -120,103 +120,173 @@ impl Default for ExecutionConfig {
 /// # Panics
 /// Panics when the specification fails validation.
 pub fn execute(spec: &SystemSpec, config: &ExecutionConfig) -> Trace {
-    spec.validate()
-        .expect("execute() requires a valid system specification");
-    let policy = config.scheduling.unwrap_or(spec.scheduling);
-    let mut engine = Engine::new(
-        EngineConfig::new(spec.horizon)
+    ExecutionPlan::prepare(spec, config)
+        .expect("execute() requires a valid system specification")
+        .run()
+}
+
+/// One aperiodic occurrence as the engine installs it: the routed server
+/// index, the handler template and the fire instant, precomputed so a run
+/// does not re-derive them from the spec.
+#[derive(Debug, Clone)]
+struct PlannedEvent {
+    server: usize,
+    event: rt_model::EventId,
+    handler: ServableHandler,
+    release: Instant,
+}
+
+/// The compiled schedulable table of one system × configuration: everything
+/// [`execute`] derives from the spec before the engine starts — validation,
+/// the resolved scheduling policy, the engine configuration, the servable
+/// handler templates of the events that actually install (released within
+/// the horizon, routed to an existing server) — computed once in
+/// [`ExecutionPlan::prepare`] and replayed by [`ExecutionPlan::run`] as many
+/// times as needed. [`execute`] is `prepare().run()`, so planned and direct
+/// executions are byte-identical by construction.
+#[derive(Debug, Clone)]
+pub struct ExecutionPlan {
+    spec: SystemSpec,
+    config: ExecutionConfig,
+    engine_config: EngineConfig,
+    events: Vec<PlannedEvent>,
+}
+
+impl ExecutionPlan {
+    /// Validates the spec and freezes the installation plan.
+    ///
+    /// # Errors
+    /// Returns the [`ModelError`] of [`SystemSpec::validate`] when the spec
+    /// is not well formed.
+    pub fn prepare(spec: &SystemSpec, config: &ExecutionConfig) -> Result<Self, ModelError> {
+        spec.validate()?;
+        let policy = config.scheduling.unwrap_or(spec.scheduling);
+        let engine_config = EngineConfig::new(spec.horizon)
             .with_overhead(config.overhead)
             .with_scheduler(config.scheduler)
             .with_policy(policy)
-            .with_batching(config.batching),
-    );
-
-    // The task servers, in install (table) order; one installed server per
-    // entry of `spec.servers`, each with its own pending queue.
-    let servers: Vec<AnyTaskServer> = spec
-        .servers
-        .iter()
-        .map(|server_spec| AnyTaskServer::install(&mut engine, server_spec, config.queue))
-        .collect();
-
-    // The periodic tasks, as periodic real-time threads whose bodies live
-    // inline in the engine's thread table (no per-spawn boxing).
-    for task in &spec.periodic_tasks {
-        let thread = engine.spawn_periodic_worker(
-            task.name.clone(),
-            task.priority,
-            Instant::ZERO + task.offset,
-            task.period,
-            task.cost,
-            ExecUnit::Task(task.id),
-        );
-        if task.deadline != task.period {
-            // Constrained deadlines re-key the EDF dispatcher; under fixed
-            // priorities the value is stored but unused.
-            engine.set_relative_deadline(thread, task.deadline);
-        }
-    }
-
-    // One servable async event + firing timer per aperiodic occurrence,
-    // bound to the server the event routes to.
-    for event in &spec.aperiodics {
-        if event.release >= spec.horizon {
-            continue;
-        }
-        let Some(server) = servers.get(event.server) else {
-            continue;
-        };
-        let handler = ServableHandler {
-            id: event.handler,
-            name: event.name.clone(),
-            declared_cost: event.declared_cost,
-            actual_cost: event.actual_cost,
-            relative_deadline: event.relative_deadline,
-            value: event.value,
-        };
-        let sae = ServableAsyncEvent::create(&mut engine, event.id, handler, server);
-        sae.schedule_fire(&mut engine, event.release);
-    }
-
-    let mut trace = engine.run();
-
-    // Attach the aperiodic outcomes recorded by every server, completing
-    // them with `Unserved` for any released event with no recorded fate
-    // (e.g. the one being served when the horizon was reached).
-    if !servers.is_empty() {
-        let mut outcomes: Vec<AperiodicOutcome> = servers
+            .with_batching(config.batching);
+        let events = spec
+            .aperiodics
             .iter()
-            .flat_map(|server| server.shared().borrow_mut().finalise())
-            .collect();
-        for event in &spec.aperiodics {
-            if event.release >= spec.horizon || servers.get(event.server).is_none() {
-                continue;
-            }
-            if !outcomes.iter().any(|o| o.event == event.id) {
-                outcomes.push(AperiodicOutcome {
-                    event: event.id,
-                    release: event.release,
+            .filter(|event| event.release < spec.horizon && event.server < spec.servers.len())
+            .map(|event| PlannedEvent {
+                server: event.server,
+                event: event.id,
+                handler: ServableHandler {
+                    id: event.handler,
+                    name: event.name.clone(),
                     declared_cost: event.declared_cost,
+                    actual_cost: event.actual_cost,
+                    relative_deadline: event.relative_deadline,
                     value: event.value,
-                    deadline: event.absolute_deadline(),
-                    fate: AperiodicFate::Unserved,
-                });
+                },
+                release: event.release,
+            })
+            .collect();
+        Ok(ExecutionPlan {
+            spec: spec.clone(),
+            config: *config,
+            engine_config,
+            events,
+        })
+    }
+
+    /// The validated system this plan executes.
+    pub fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+
+    /// The configuration the plan was prepared for.
+    pub fn config(&self) -> &ExecutionConfig {
+        &self.config
+    }
+
+    /// Runs the plan on a fresh engine and returns its trace. Reusable: the
+    /// plan holds no run state.
+    pub fn run(&self) -> Trace {
+        let spec = &self.spec;
+        let mut engine = Engine::new(self.engine_config);
+
+        // The task servers, in install (table) order; one installed server
+        // per entry of `spec.servers`, each with its own pending queue.
+        let servers: Vec<AnyTaskServer> = spec
+            .servers
+            .iter()
+            .map(|server_spec| AnyTaskServer::install(&mut engine, server_spec, self.config.queue))
+            .collect();
+
+        // The periodic tasks, as periodic real-time threads whose bodies
+        // live inline in the engine's thread table (no per-spawn boxing).
+        for task in &spec.periodic_tasks {
+            let thread = engine.spawn_periodic_worker(
+                task.name.clone(),
+                task.priority,
+                Instant::ZERO + task.offset,
+                task.period,
+                task.cost,
+                ExecUnit::Task(task.id),
+            );
+            if task.deadline != task.period {
+                // Constrained deadlines re-key the EDF dispatcher; under
+                // fixed priorities the value is stored but unused.
+                engine.set_relative_deadline(thread, task.deadline);
             }
         }
-        outcomes.sort_by_key(|o| (o.release, o.event));
-        trace.outcomes = outcomes;
-    }
 
-    // Reconstruct per-job completion records for the periodic tasks from
-    // their execution segments.
-    for task in &spec.periodic_tasks {
-        for record in reconstruct_periodic_records(&trace, task, spec.horizon) {
-            trace.periodic_jobs.push(record);
+        // One servable async event + firing timer per planned occurrence,
+        // bound to the server the event routes to.
+        for planned in &self.events {
+            let server = &servers[planned.server];
+            let sae = ServableAsyncEvent::create(
+                &mut engine,
+                planned.event,
+                planned.handler.clone(),
+                server,
+            );
+            sae.schedule_fire(&mut engine, planned.release);
         }
-    }
 
-    debug_assert!(trace.check_invariants().is_ok());
-    trace
+        let mut trace = engine.run();
+
+        // Attach the aperiodic outcomes recorded by every server, completing
+        // them with `Unserved` for any released event with no recorded fate
+        // (e.g. the one being served when the horizon was reached).
+        if !servers.is_empty() {
+            let mut outcomes: Vec<AperiodicOutcome> = servers
+                .iter()
+                .flat_map(|server| server.shared().borrow_mut().finalise())
+                .collect();
+            for event in &spec.aperiodics {
+                if event.release >= spec.horizon || servers.get(event.server).is_none() {
+                    continue;
+                }
+                if !outcomes.iter().any(|o| o.event == event.id) {
+                    outcomes.push(AperiodicOutcome {
+                        event: event.id,
+                        release: event.release,
+                        declared_cost: event.declared_cost,
+                        value: event.value,
+                        deadline: event.absolute_deadline(),
+                        fate: AperiodicFate::Unserved,
+                    });
+                }
+            }
+            outcomes.sort_by_key(|o| (o.release, o.event));
+            trace.outcomes = outcomes;
+        }
+
+        // Reconstruct per-job completion records for the periodic tasks from
+        // their execution segments.
+        for task in &spec.periodic_tasks {
+            for record in reconstruct_periodic_records(&trace, task, spec.horizon) {
+                trace.periodic_jobs.push(record);
+            }
+        }
+
+        debug_assert!(trace.check_invariants().is_ok());
+        trace
+    }
 }
 
 /// Rebuilds the periodic job records of one task from its trace segments:

@@ -22,6 +22,12 @@
 //! `SchedulingPolicy::Edf` (both engines dispatch by absolute deadline) and
 //! `--discipline fifo|edd` selects the servers' queue-service discipline
 //! (FIFO-with-skip vs deadline-ordered).
+//!
+//! `--compiled` routes every run through the `rt-compile` specialized
+//! engines instead of the interpreted ones. The compiled traces are
+//! byte-identical to the interpreted traces, so every printed number is
+//! unchanged — the flag is a determinism cross-check that also reproduces
+//! the tables faster at scale.
 
 use rt_experiments::{
     available_workers, default_online_rta, reproduce_edf_table, reproduce_overload_table,
@@ -89,7 +95,7 @@ fn print_online_rta() {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: repro [fig2|fig3|fig4|table2|table3|table4|table5|online-rta|multi|edf|overload|quick|all] \
-         [--workers N] [--edf] [--discipline fifo|edd]"
+         [--workers N] [--edf] [--discipline fifo|edd] [--compiled]"
     );
     std::process::exit(2);
 }
@@ -99,6 +105,7 @@ fn main() {
     let mut workers = available_workers();
     let mut scheduling = SchedulingPolicy::FixedPriority;
     let mut discipline = QueueDiscipline::FifoSkip;
+    let mut compiled = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--workers" {
@@ -112,6 +119,8 @@ fn main() {
                 });
         } else if arg == "--edf" {
             scheduling = SchedulingPolicy::Edf;
+        } else if arg == "--compiled" {
+            compiled = true;
         } else if arg == "--discipline" {
             discipline = match args.next().as_deref() {
                 Some("fifo") => QueueDiscipline::FifoSkip,
@@ -132,6 +141,7 @@ fn main() {
     let full = TableConfig {
         scheduling,
         discipline,
+        compiled,
         ..TableConfig::default()
     };
     let quick = TableConfig {
@@ -139,6 +149,7 @@ fn main() {
         seed: 1983,
         scheduling,
         discipline,
+        compiled,
     };
     match command.as_str() {
         "fig2" => print_scenario(Scenario::One),

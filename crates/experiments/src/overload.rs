@@ -15,12 +15,10 @@
 //! [`crate::run_systems`]'s `parallel_map` returns measures in input order.
 
 use crate::pool;
-use crate::tables::TableConfig;
+use crate::tables::{run_system, EvaluationMode, TableConfig};
 use rt_metrics::{OverloadAggregate, RunMeasures};
-use rt_model::{AdmissionPolicy, ServerPolicyKind, SystemSpec, Trace};
+use rt_model::{AdmissionPolicy, ServerPolicyKind, SystemSpec};
 use rt_sysgen::{GeneratorParams, RandomSystemGenerator, ValueModel};
-use rt_taskserver::{execute, ExecutionConfig};
-use rtss_sim::simulate;
 use std::fmt;
 
 /// Load multipliers of the sweep: half load → nominal → 2× → 4× overload.
@@ -137,13 +135,13 @@ pub fn reproduce_overload_table(config: &TableConfig, workers: usize) -> Overloa
     for &load in &OVERLOAD_LOADS {
         for &policy in &OVERLOAD_POLICIES {
             let systems = generate_overload_set(load, policy, config);
-            let measures = |run: fn(&SystemSpec) -> Trace| -> Vec<RunMeasures> {
+            let measures = |mode: EvaluationMode| -> Vec<RunMeasures> {
                 pool::parallel_map(&systems, workers, |_, system| {
-                    RunMeasures::from_trace(&run(system))
+                    RunMeasures::from_trace(&run_system(system, mode))
                 })
             };
-            let execution = measures(|s| execute(s, &ExecutionConfig::reference()));
-            let simulation = measures(simulate);
+            let execution = measures(EvaluationMode::Execution.for_config(config));
+            let simulation = measures(EvaluationMode::Simulation.for_config(config));
             rows.push(OverloadRow {
                 load,
                 policy,

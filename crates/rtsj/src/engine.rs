@@ -37,6 +37,19 @@
 //! the cheap `runnable` flags are kept coherent), so that path reproduces
 //! the seed's per-decision cost exactly.
 //!
+//! **Steady-state allocations.** A decision in the populated steady state
+//! performs **zero** heap allocations: the calendar drain collects due
+//! timer fires into the reused `due_fires` scratch (take / sort / clear /
+//! restore), the event-fire loop walks its cascade with the reused
+//! `fire_queue` and `cascade_scratch` buffers, hook lists are detached and
+//! reattached rather than copied, and waiter lists are walked by reference
+//! and handed back empty so every event keeps its buffer capacity. The
+//! only allocations left are amortised growth of these buffers and of the
+//! two heaps (O(log n) doublings over a whole run, none once warm). The
+//! [`SchedulerKind::LinearScan`] path keeps the seed's one `to_fire`
+//! vector per scan — that cost is part of what the scheduler comparison
+//! measures.
+//!
 //! **Body storage.** The thread table doubles as a body arena: bodies whose
 //! concrete type the engine knows (the periodic workers of
 //! [`Engine::spawn_periodic_worker`]) live inline in their thread slot, so
@@ -376,6 +389,13 @@ pub struct Engine {
     /// Reusable scratch buffer for the timer fires collected by one calendar
     /// drain, so steady-state decisions allocate nothing.
     due_fires: Vec<(usize, Instant)>,
+    /// Reusable breadth-first fire queue walked by
+    /// [`Self::fire_event_now`] — same reuse discipline as `due_fires`.
+    fire_queue: VecDeque<EventHandle>,
+    /// Reusable cascade buffer handed to fire hooks through [`FireCtx`],
+    /// threaded through the fire loop so hook cascades allocate nothing in
+    /// the steady state.
+    cascade_scratch: Vec<EventHandle>,
 }
 
 impl Engine {
@@ -396,6 +416,8 @@ impl Engine {
             next_event_cache: None,
             drained_at: None,
             due_fires: Vec::new(),
+            fire_queue: VecDeque::new(),
+            cascade_scratch: Vec::new(),
             config,
         }
     }
@@ -851,32 +873,44 @@ impl Engine {
     /// Fires an event immediately: runs its hooks (which may cascade into
     /// more fires) and wakes or credits its waiters.
     pub(crate) fn fire_event_now(&mut self, event: EventHandle) {
-        let mut queue = VecDeque::from([event]);
+        let mut queue = std::mem::take(&mut self.fire_queue);
+        let mut cascade = std::mem::take(&mut self.cascade_scratch);
+        queue.push_back(event);
         while let Some(event) = queue.pop_front() {
             // Run the hooks with the hook list temporarily detached so hooks
-            // can be FnMut over their own captured state.
+            // can be FnMut over their own captured state. The cascade buffer
+            // is threaded through the context and drained back into the fire
+            // queue, so a steady-state fire reuses both buffers.
             let mut hooks = std::mem::take(&mut self.events[event.0].hooks);
             let mut ctx = FireCtx {
                 now: self.now,
-                cascade: Vec::new(),
+                cascade,
             };
             for hook in &mut hooks {
                 hook(&mut ctx);
             }
             self.events[event.0].hooks = hooks;
-            queue.extend(ctx.cascade);
+            cascade = ctx.cascade;
+            queue.extend(cascade.drain(..));
 
             // Wake every waiter; if nobody is waiting the fire is remembered.
-            let waiters = std::mem::take(&mut self.events[event.0].waiters);
+            // The waiter list is detached, walked by reference and handed
+            // back empty so the event keeps its buffer capacity (hooks never
+            // re-enter the engine, so nothing can repopulate it meanwhile).
+            let mut waiters = std::mem::take(&mut self.events[event.0].waiters);
             if waiters.is_empty() {
                 self.events[event.0].pending = self.events[event.0].pending.saturating_add(1);
             } else {
-                for tid in waiters {
+                for &tid in &waiters {
                     self.threads[tid].status = ThreadStatus::Ready(Completion::EventFired);
                     self.mark_runnable(tid);
                 }
+                waiters.clear();
             }
+            self.events[event.0].waiters = waiters;
         }
+        self.fire_queue = queue;
+        self.cascade_scratch = cascade;
     }
 
     /// Wakes every thread whose timed wait has expired by scanning the whole

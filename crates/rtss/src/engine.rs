@@ -47,6 +47,16 @@
 //! differential tests assert both modes produce identical traces and the
 //! `engine_scaling` benchmark measures the gap.
 //!
+//! **Steady-state allocations.** A decision in the populated steady state
+//! performs **zero** heap allocations: arrivals route through
+//! [`rt_admission::ServerAdmission::on_arrival_into`] with the simulator's
+//! reused `aborted_scratch` buffer (take / drain / clear / restore), jobs
+//! move between preallocated per-lane queues, and heap insertions only
+//! allocate on amortised capacity doublings (none once warm). What remains
+//! per decision is O(1) trace-segment growth — the run's output, not
+//! bookkeeping. The compiled engine (`rt-compile`) starts from this same
+//! discipline and removes the residual dynamic dispatch.
+//!
 //! # Scheduling policy and service discipline
 //!
 //! [`SystemSpec::scheduling`] selects the dispatcher: under
@@ -265,6 +275,9 @@ struct Simulator<'a> {
     ready_edf: BinaryHeap<Reverse<(Instant, usize)>>,
     /// Whether task `i` currently has pending jobs.
     has_pending: Vec<bool>,
+    /// Reused buffer for the events an admission decision displaces — the
+    /// arrival path stays allocation-free in the steady state.
+    aborted_scratch: Vec<EventId>,
     /// Scheduling policy of the simulated system ([`SystemSpec::scheduling`]).
     scheduling: SchedulingPolicy,
 }
@@ -310,6 +323,7 @@ impl<'a> Simulator<'a> {
             ready: BinaryHeap::new(),
             ready_edf: BinaryHeap::new(),
             has_pending,
+            aborted_scratch: Vec::new(),
             scheduling: spec.scheduling,
         }
     }
@@ -377,20 +391,29 @@ impl<'a> Simulator<'a> {
                 };
                 match self.servers.get_mut(event.server) {
                     Some(lane) => {
-                        let verdict = lane.admission.on_arrival(&ArrivingEvent {
-                            event: event.id,
-                            release: event.release,
-                            declared_cost: event.declared_cost,
-                            deadline: event.absolute_deadline(),
-                            value: event.value,
-                        });
                         let lane_index = event.server;
-                        for &aborted in &verdict.aborted {
+                        // The displaced-events buffer is owned by the
+                        // simulator and reused across arrivals, so an
+                        // admission decision allocates nothing once the
+                        // buffer has grown to the burst size.
+                        let mut scratch = std::mem::take(&mut self.aborted_scratch);
+                        let (accepted, _prediction) = lane.admission.on_arrival_into(
+                            &ArrivingEvent {
+                                event: event.id,
+                                release: event.release,
+                                declared_cost: event.declared_cost,
+                                deadline: event.absolute_deadline(),
+                                value: event.value,
+                            },
+                            &mut scratch,
+                        );
+                        for &aborted in &scratch {
                             self.abort_pending(lane_index, aborted);
                         }
-                        let lane = &mut self.servers[lane_index];
-                        if verdict.accepted {
-                            lane.queue.push_back(job);
+                        scratch.clear();
+                        self.aborted_scratch = scratch;
+                        if accepted {
+                            self.servers[lane_index].queue.push_back(job);
                         } else {
                             let event = &self.spec.aperiodics[self.next_arrival];
                             self.trace.push_outcome(outcome(

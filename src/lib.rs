@@ -21,6 +21,7 @@
 //! | [`sysgen`] | `rt-sysgen` | the random real-time system generator |
 //! | [`rtsj`] | `rtsj-emu` | the RTSJ substrate emulation and virtual-time execution engine |
 //! | [`taskserver`] | `rt-taskserver` | **the paper's contribution**: the task-server framework |
+//! | [`compile`] | `rt-compile` | spec-specialization pass: zero-overhead compiled dispatch for both engines |
 //! | [`metrics`] | `rt-metrics` | AART / AIR / ASR, paper tables, shape checks |
 //! | [`experiments`] | `rt-experiments` | the reproduction harness (figures 2–4, tables 2–5, §7) |
 //!
@@ -55,6 +56,7 @@
 
 pub use rt_admission as admission;
 pub use rt_analysis as analysis;
+pub use rt_compile as compile;
 pub use rt_experiments as experiments;
 pub use rt_metrics as metrics;
 pub use rt_model as model;
@@ -66,6 +68,7 @@ pub use rtss_sim as simulator;
 /// The most common imports, for examples and downstream users.
 pub mod prelude {
     pub use rt_admission::ServerAdmission;
+    pub use rt_compile::{execute_compiled, simulate_compiled, CompiledSystem};
     pub use rt_metrics::{ResultTable, RunMeasures, SetAggregate};
     pub use rt_model::{
         AdmissionPolicy, AperiodicEvent, AperiodicFate, AperiodicOutcome, ExecUnit, Instant,

@@ -14,6 +14,7 @@
 //! path so fixture provenance stays with the seed implementation, and an
 //! unreviewed golden update defeats the tests.
 
+use rtsj_event_framework::compile::{execute_compiled, simulate_compiled};
 use rtsj_event_framework::model::{
     Instant, Priority, ServerPolicyKind, ServerSpec, Span, SystemSpec,
 };
@@ -456,6 +457,64 @@ fn multi_server_admission_traces_match_goldens() {
             &format!("sim_adm_multi2_{}", policy.label()),
             &reference.render_canonical(),
             &indexed.render_canonical(),
+        );
+    }
+}
+
+/// Compiled-path goldens: the `rt-compile` specialized engines pinned to the
+/// recorded history. Regeneration renders the interpreted linear-scan
+/// reference (like every other golden, fixture provenance stays with the
+/// oracle); the compiled driver / compiled execution plan must reproduce the
+/// same bytes.
+#[test]
+fn compiled_traces_match_goldens() {
+    for scenario in [1u32, 2, 3] {
+        for policy in [
+            ServerPolicyKind::Polling,
+            ServerPolicyKind::Deferrable,
+            ServerPolicyKind::Background,
+            ServerPolicyKind::Sporadic,
+        ] {
+            let spec = system(scenario, policy);
+            let reference = simulate_reference(&spec);
+            let compiled = simulate_compiled(&spec);
+            check_golden(
+                &format!("compiled_sim_s{scenario}_{policy:?}").to_lowercase(),
+                &reference.render_canonical(),
+                &compiled.render_canonical(),
+            );
+        }
+    }
+    // The execution plan on the figure-3 scenario (skips + replenishment
+    // waits) and both multi-server shapes, simulated and executed.
+    for policy in [
+        ServerPolicyKind::Polling,
+        ServerPolicyKind::Deferrable,
+        ServerPolicyKind::Background,
+        ServerPolicyKind::Sporadic,
+    ] {
+        let spec = system(2, policy);
+        let config = ExecutionConfig::reference();
+        let reference = execute(&spec, &config.with_scheduler(SchedulerKind::LinearScan));
+        let compiled = execute_compiled(&spec, &config);
+        check_golden(
+            &format!("compiled_exec_s2_{policy:?}").to_lowercase(),
+            &reference.render_canonical(),
+            &compiled.render_canonical(),
+        );
+    }
+    for n in [2usize, 3] {
+        let spec = multi_server_system(n);
+        check_golden(
+            &format!("compiled_sim_multi{n}"),
+            &simulate_reference(&spec).render_canonical(),
+            &simulate_compiled(&spec).render_canonical(),
+        );
+        let config = ExecutionConfig::reference();
+        check_golden(
+            &format!("compiled_exec_multi{n}"),
+            &execute(&spec, &config.with_scheduler(SchedulerKind::LinearScan)).render_canonical(),
+            &execute_compiled(&spec, &config).render_canonical(),
         );
     }
 }
