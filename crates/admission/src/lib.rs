@@ -447,6 +447,39 @@ impl ServerAdmission {
         (false, Some(first_prediction))
     }
 
+    /// Releases the plan slot of an admitted release the engine had to abort
+    /// (budget-enforcement cut-off of an overrunning job). The surviving
+    /// backlog is repacked from scratch at `now` — an abort breaks the
+    /// incremental plan's premise that admitted work runs to virtual
+    /// completion, so every survivor's equation-(5) completion is re-derived
+    /// under the post-abort plan. O(backlog), but aborts are faults, not the
+    /// steady state. A no-op when the event is not in the plan (already
+    /// virtually completed, or the server runs accept-all).
+    pub fn on_abort(&mut self, event: EventId, now: Instant) {
+        let Some(params) = self.params else {
+            return;
+        };
+        if self.policy == AdmissionPolicy::AcceptAll {
+            return;
+        }
+        self.prune(now);
+        let Some(index) = self.pending.iter().position(|e| e.event == event) else {
+            return;
+        };
+        self.pending.remove(index);
+        self.aborted += 1;
+        if self.pending.is_empty() {
+            self.packer = None;
+            return;
+        }
+        let mut packer = self.seed(now);
+        for entry in self.pending.iter_mut() {
+            let slot = packer.push(entry.cost);
+            entry.completion = now + slot.response_time(params, now);
+        }
+        self.packer = Some(packer);
+    }
+
     fn commit(&mut self, packer: InstancePacker, arrival: &ArrivingEvent, completion: Instant) {
         debug_assert!(
             self.pending
@@ -656,6 +689,60 @@ mod tests {
         let verdict = state.on_arrival(&arrival(0, 0, 9, Some(100), 1));
         assert!(!verdict.accepted);
         assert_eq!(verdict.predicted_completion, None);
+    }
+
+    #[test]
+    fn an_overrun_abort_releases_its_plan_slot() {
+        let mut state = server(AdmissionPolicy::DeadlinePredictive);
+        // Two cost-4 releases at t=0 fill instances 0 and 1.
+        assert!(state.on_arrival(&arrival(0, 0, 4, Some(8), 1)).accepted);
+        assert!(state.on_arrival(&arrival(1, 0, 4, Some(16), 1)).accepted);
+        // A third cost-4 release at t=0 would complete at 16 > 14: rejected
+        // while the plan is full...
+        assert!(!state.on_arrival(&arrival(2, 0, 4, Some(14), 1)).accepted);
+        // ...but once enforcement aborts the overrunning head, the freed
+        // slot must admit the same arrival shape again.
+        state.on_abort(EventId::new(0), Instant::ZERO);
+        let verdict = state.on_arrival(&arrival(3, 0, 4, Some(14), 1));
+        assert!(verdict.accepted, "the aborted slot must be reusable");
+        assert_eq!(verdict.predicted_completion, Some(Instant::from_units(10)));
+        assert_eq!(state.counters(), (3, 1, 1));
+    }
+
+    #[test]
+    fn aborting_an_unknown_or_completed_event_is_a_no_op() {
+        let mut state = server(AdmissionPolicy::DeadlinePredictive);
+        assert!(state.on_arrival(&arrival(0, 0, 2, Some(10), 1)).accepted);
+        let before = state.counters();
+        // Never admitted.
+        state.on_abort(EventId::new(42), Instant::ZERO);
+        assert_eq!(state.counters(), before);
+        // Virtually completed (pruned) by t=12.
+        state.on_abort(EventId::new(0), Instant::from_units(12));
+        assert_eq!(state.counters(), before);
+        assert_eq!(state.backlog(), 0);
+
+        let mut free = server(AdmissionPolicy::AcceptAll);
+        assert!(free.on_arrival(&arrival(0, 0, 4, Some(1), 1)).accepted);
+        free.on_abort(EventId::new(0), Instant::ZERO);
+        assert_eq!(free.counters(), (1, 0, 0), "accept-all keeps no plan");
+    }
+
+    #[test]
+    fn survivor_completions_are_rederived_after_an_abort() {
+        let mut state = server(AdmissionPolicy::DeadlinePredictive);
+        assert!(state.on_arrival(&arrival(0, 0, 4, None, 1)).accepted);
+        assert!(state.on_arrival(&arrival(1, 0, 4, None, 1)).accepted);
+        assert!(state.on_arrival(&arrival(2, 0, 4, None, 1)).accepted);
+        // Aborting the head at t=0 promotes the survivors one instance each:
+        // the probe that previously packed into instance 3 (completion 22)
+        // now lands in instance 2 → completion 16.
+        state.on_abort(EventId::new(0), Instant::ZERO);
+        assert_eq!(state.backlog(), 2);
+        assert_eq!(
+            state.predicted_completion(Instant::ZERO, Span::from_units(4)),
+            Some(Instant::from_units(16))
+        );
     }
 
     #[test]

@@ -27,7 +27,14 @@
 //!   admission workloads (`-- compiled` runs just this sweep); the
 //!   acceptance gate is ≥2× per-decision throughput at the 300-task scaling
 //!   point, and the summary is persisted to `BENCH_engine_scaling.json` at
-//!   the repository root on every run.
+//!   the repository root on every run;
+//! * **fault-plan enforcement overhead** — the scaling workload with an
+//!   active fault plan (half the arrivals tagged with cost overruns, a
+//!   mid-horizon mode change on the server lane) against the fault-free
+//!   baseline, on both engines and the compiled path (`-- faults` runs
+//!   just this sweep); the persisted `faults` trajectory group uses the
+//!   fault-free run as its baseline, so its `speedup` column reads as the
+//!   enforcement overhead factor.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rt_admission::{AdmissionPolicy, ArrivingEvent, ServerAdmission};
@@ -36,7 +43,7 @@ use rt_compile::CompiledSystem;
 use rt_experiments::{available_workers, generate_set, run_systems, EvaluationMode, TableConfig};
 use rt_metrics::SET_ORDER;
 use rt_model::{
-    Instant, Priority, SchedulingPolicy, ServerPolicyKind, ServerSpec, Span, SystemSpec,
+    Instant, ModeChange, Priority, SchedulingPolicy, ServerPolicyKind, ServerSpec, Span, SystemSpec,
 };
 use rt_taskserver::{execute, ExecutionConfig};
 use rtsj_emu::SchedulerKind;
@@ -185,6 +192,30 @@ fn admission_scaled_system(n: usize, horizon_units: u64) -> SystemSpec {
     spec
 }
 
+/// The task-sweep system with an active fault plan: every other aperiodic
+/// arrival is tagged with a cost overrun (declared 500 ticks, actual 1000),
+/// so half the dispatches exercise the declared-budget enforcement path and
+/// surface `Aborted` fates, and the server lane swaps to background service
+/// at mid-horizon, so the mode-change quiescence machinery fires once.
+/// Comparing it with the fault-free system at the same size measures the
+/// cost of carrying a fault plan through a run.
+fn faulted_system(n: usize, horizon_units: u64) -> SystemSpec {
+    let mut spec = scaled_system(n, horizon_units);
+    spec.name = format!("faulted-{n}-{horizon_units}");
+    let mut faults = std::mem::take(&mut spec.faults);
+    for event in spec.aperiodics.iter().step_by(2) {
+        faults = faults.overrun(event.id, Span::from_ticks(500));
+    }
+    faults = faults.mode_change(
+        ModeChange::at(Instant::from_units(horizon_units / 2), 0)
+            .with_policy(ServerPolicyKind::Background),
+    );
+    faults.normalise();
+    spec.faults = faults;
+    spec.validate().expect("faulted systems are valid");
+    spec
+}
+
 /// Backlogs swept by the admission-decision benchmark.
 const ADMISSION_BACKLOGS: [usize; 3] = [256, 1024, 4096];
 
@@ -315,6 +346,37 @@ fn bench(c: &mut Criterion) {
                     black_box(s.predicted_completion_repack(Instant::ZERO, Span::from_units(2)))
                 })
             },
+        );
+    }
+    group.finish();
+
+    // Fault-plan enforcement overhead: the same workloads with overruns
+    // tagged on half the arrivals and one mid-horizon mode change. Run just
+    // this sweep with `cargo bench -p rt-bench --bench engine_scaling --
+    // faults`.
+    let mut group = c.benchmark_group("faults");
+    for n in [30usize, 300] {
+        let clean = scaled_system(n, TASK_SWEEP_HORIZON);
+        let faulted = faulted_system(n, TASK_SWEEP_HORIZON);
+        group.bench_with_input(BenchmarkId::new("rtsj_clean", n), &clean, |b, s| {
+            b.iter(|| black_box(execute(black_box(s), &ExecutionConfig::reference())))
+        });
+        group.bench_with_input(BenchmarkId::new("rtsj_faulted", n), &faulted, |b, s| {
+            b.iter(|| black_box(execute(black_box(s), &ExecutionConfig::reference())))
+        });
+        group.bench_with_input(BenchmarkId::new("rtss_clean", n), &clean, |b, s| {
+            b.iter(|| black_box(simulate(black_box(s))))
+        });
+        group.bench_with_input(BenchmarkId::new("rtss_faulted", n), &faulted, |b, s| {
+            b.iter(|| black_box(simulate(black_box(s))))
+        });
+        // The compiled path specializes the same fault plan byte-identically;
+        // its enforcement cost rides on the monomorphized lane drivers.
+        let compiled = CompiledSystem::compile(&faulted).expect("faulted systems compile");
+        group.bench_with_input(
+            BenchmarkId::new("compiled_faulted", n),
+            &compiled,
+            |b, s| b.iter(|| black_box(black_box(s).simulate())),
         );
     }
     group.finish();
@@ -746,6 +808,99 @@ fn bench(c: &mut Criterion) {
         "sim/3000".into(),
         &overloaded_system(3_000),
     );
+
+    // Fault-enforcement summary: per-decision cost with an active fault
+    // plan against the fault-free baseline. Decisions are each trace's own
+    // segment count (aborted overruns shorten the faulted trace). The
+    // persisted `faults` group keeps the trajectory's speedup convention
+    // with the fault-free run as baseline, so a value below 1 is the
+    // enforcement overhead.
+    println!();
+    println!("fault-plan enforcement overhead (per-decision cost; baseline = fault-free):");
+    println!(
+        "{:>22} {:>10} {:>13} {:>13} {:>8}",
+        "workload", "decisions", "clean", "faulted", "overhead"
+    );
+    fn faults_row(
+        records: &mut Vec<BenchRecord>,
+        label: &str,
+        clean: (usize, f64),
+        faulted: (usize, f64),
+    ) {
+        let clean_ns = clean.1 * 1e9 / clean.0 as f64;
+        let faulted_ns = faulted.1 * 1e9 / faulted.0 as f64;
+        println!(
+            "{:>22} {:>10} {:>11.1}ns {:>11.1}ns {:>7.2}x",
+            label,
+            faulted.0,
+            clean_ns,
+            faulted_ns,
+            faulted_ns / clean_ns
+        );
+        records.push(BenchRecord {
+            group: "faults".into(),
+            config: format!("{label}/clean"),
+            ns_per_decision: clean_ns,
+            speedup: 1.0,
+        });
+        records.push(BenchRecord {
+            group: "faults".into(),
+            config: format!("{label}/faulted"),
+            ns_per_decision: faulted_ns,
+            speedup: clean_ns / faulted_ns,
+        });
+    }
+    {
+        let n = 300usize;
+        let clean = scaled_system(n, TASK_SWEEP_HORIZON);
+        let faulted = faulted_system(n, TASK_SWEEP_HORIZON);
+        let sim_clean = (
+            simulate(&clean).segments.len(),
+            median(&|| {
+                black_box(simulate(&clean));
+            }),
+        );
+        let sim_faulted = (
+            simulate(&faulted).segments.len(),
+            median(&|| {
+                black_box(simulate(&faulted));
+            }),
+        );
+        faults_row(&mut records, "sim/300", sim_clean, sim_faulted);
+        let exec_clean = (
+            execute(&clean, &ExecutionConfig::reference())
+                .segments
+                .len(),
+            median(&|| {
+                black_box(execute(&clean, &ExecutionConfig::reference()));
+            }),
+        );
+        let exec_faulted = (
+            execute(&faulted, &ExecutionConfig::reference())
+                .segments
+                .len(),
+            median(&|| {
+                black_box(execute(&faulted, &ExecutionConfig::reference()));
+            }),
+        );
+        faults_row(&mut records, "exec/300", exec_clean, exec_faulted);
+        let compiled_clean = CompiledSystem::compile(&clean).expect("bench systems compile");
+        let compiled_faulted = CompiledSystem::compile(&faulted).expect("faulted systems compile");
+        let csim_clean = (
+            compiled_clean.simulate().segments.len(),
+            median(&|| {
+                black_box(compiled_clean.simulate());
+            }),
+        );
+        let csim_faulted = (
+            compiled_faulted.simulate().segments.len(),
+            median(&|| {
+                black_box(compiled_faulted.simulate());
+            }),
+        );
+        faults_row(&mut records, "sim-compiled/300", csim_clean, csim_faulted);
+    }
+
     match write_bench_trajectory(&records) {
         Ok(path) => println!("bench trajectory written to {}", path.display()),
         Err(err) => println!("bench trajectory NOT written: {err}"),

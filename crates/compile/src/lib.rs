@@ -92,7 +92,12 @@ pub(crate) struct ArrivalTable {
     /// Routed server index (may be out of range: orphan).
     pub(crate) server: usize,
     pub(crate) release: Instant,
-    pub(crate) actual_cost: Span,
+    /// Demand actually executed: the real cost plus any injected overrun
+    /// ([`rt_model::FaultPlan::overrun_extra`]), resolved at compile time.
+    pub(crate) demand: Span,
+    /// Service cap enforced against the demand: the declared cost for
+    /// overrun-injected jobs, [`Span::MAX`] otherwise.
+    pub(crate) cap: Span,
     pub(crate) declared_cost: Span,
     /// Absolute deadline, if the event carries one.
     pub(crate) deadline: Option<Instant>,
@@ -172,6 +177,17 @@ impl CompiledSystem {
     /// spec.
     pub fn compile(spec: &SystemSpec) -> Result<CompiledSystem, ModelError> {
         spec.validate()?;
+        // Arrival faults (release jitter, dropped arrivals) are a pure spec
+        // normalization, resolved here once — the tables below freeze the
+        // faulted arrival stream, like the interpreted engines' entry points.
+        let normalized;
+        let spec = match spec.apply_arrival_faults() {
+            Some(faulted) => {
+                normalized = faulted;
+                &normalized
+            }
+            None => spec,
+        };
         let tasks: Vec<TaskTable> = spec
             .periodic_tasks
             .iter()
@@ -212,15 +228,23 @@ impl CompiledSystem {
             .aperiodics
             .iter()
             .filter(|e| e.release < spec.horizon)
-            .map(|e| ArrivalTable {
-                id: e.id,
-                server: e.server,
-                release: e.release,
-                actual_cost: e.actual_cost,
-                declared_cost: e.declared_cost,
-                deadline: e.absolute_deadline(),
-                lane_deadline: e.absolute_deadline().unwrap_or(e.release),
-                value: e.value,
+            .map(|e| {
+                let extra = spec.faults.overrun_extra(e.id);
+                ArrivalTable {
+                    id: e.id,
+                    server: e.server,
+                    release: e.release,
+                    demand: e.actual_cost + extra,
+                    cap: if extra.is_zero() {
+                        Span::MAX
+                    } else {
+                        e.declared_cost
+                    },
+                    declared_cost: e.declared_cost,
+                    deadline: e.absolute_deadline(),
+                    lane_deadline: e.absolute_deadline().unwrap_or(e.release),
+                    value: e.value,
+                }
             })
             .collect();
 
@@ -238,18 +262,25 @@ impl CompiledSystem {
             })
             .collect();
 
-        let lane_set = match lanes.split_first() {
-            None => PolicySet::Background,
-            Some((head, tail)) => {
-                if tail.iter().all(|l| l.kind == head.kind) {
-                    match head.kind {
-                        ServerPolicyKind::Polling => PolicySet::Polling,
-                        ServerPolicyKind::Deferrable => PolicySet::Deferrable,
-                        ServerPolicyKind::Background => PolicySet::Background,
-                        ServerPolicyKind::Sporadic => PolicySet::Sporadic,
+        // A scheduled policy swap changes a lane's kind at runtime, which the
+        // single-kind monomorphized drivers cannot represent: fall back to
+        // the inline-enum lane, which rebuilds its variant on the swap.
+        let lane_set = if spec.faults.has_policy_swap() {
+            PolicySet::Mixed
+        } else {
+            match lanes.split_first() {
+                None => PolicySet::Background,
+                Some((head, tail)) => {
+                    if tail.iter().all(|l| l.kind == head.kind) {
+                        match head.kind {
+                            ServerPolicyKind::Polling => PolicySet::Polling,
+                            ServerPolicyKind::Deferrable => PolicySet::Deferrable,
+                            ServerPolicyKind::Background => PolicySet::Background,
+                            ServerPolicyKind::Sporadic => PolicySet::Sporadic,
+                        }
+                    } else {
+                        PolicySet::Mixed
                     }
-                } else {
-                    PolicySet::Mixed
                 }
             }
         };

@@ -42,7 +42,7 @@
 use crate::{ArrivalTable, CompiledSystem, LaneTable, PolicySet};
 use rt_admission::{AdmissionPolicy, ArrivingEvent, ServerAdmission};
 use rt_model::{
-    AperiodicFate, AperiodicOutcome, EventId, ExecUnit, Instant, PeriodicJobRecord,
+    AperiodicFate, AperiodicOutcome, EventId, ExecUnit, Instant, ModeChange, PeriodicJobRecord,
     QueueDiscipline, SchedulingPolicy, Span, Trace,
 };
 use std::cmp::Reverse;
@@ -100,6 +100,13 @@ pub(crate) trait LanePolicy {
     fn is_capacity_limited(&self) -> bool;
     /// Replenishment-derived EDF deadline.
     fn edf_deadline(&self, table: &LaneTable, now: Instant) -> Instant;
+    /// Applies one validated mode-change record at a quiescent instant;
+    /// `table` already carries the post-change statics. Mirrors the
+    /// interpreted `ServerState::reconfigure`: a capacity change clamps the
+    /// available capacity to the new ceiling, a policy swap (only reachable
+    /// through [`AnyLanePolicy`] — compilation forces the mixed lane when
+    /// the plan swaps policies) rebuilds the state fresh.
+    fn reconfigure(&mut self, table: &LaneTable, change: &ModeChange);
 }
 
 /// Polling Server: full capacity at each activation, forfeited when idle.
@@ -153,6 +160,13 @@ impl LanePolicy for CPolling {
     fn edf_deadline(&self, _table: &LaneTable, _now: Instant) -> Instant {
         self.next_rep
     }
+
+    fn reconfigure(&mut self, table: &LaneTable, change: &ModeChange) {
+        debug_assert!(change.policy.is_none(), "no swap reaches a mono lane");
+        if change.capacity.is_some() {
+            self.capacity = self.capacity.min(table.capacity);
+        }
+    }
 }
 
 /// Deferrable Server: capacity preserved while idle, refilled every period.
@@ -199,6 +213,13 @@ impl LanePolicy for CDeferrable {
     fn edf_deadline(&self, _table: &LaneTable, _now: Instant) -> Instant {
         self.next_rep
     }
+
+    fn reconfigure(&mut self, table: &LaneTable, change: &ModeChange) {
+        debug_assert!(change.policy.is_none(), "no swap reaches a mono lane");
+        if change.capacity.is_some() {
+            self.capacity = self.capacity.min(table.capacity);
+        }
+    }
 }
 
 /// Background servicing: no capacity limit, no replenishments.
@@ -230,6 +251,10 @@ impl LanePolicy for CBackground {
 
     fn edf_deadline(&self, _table: &LaneTable, _now: Instant) -> Instant {
         Instant::MAX
+    }
+
+    fn reconfigure(&mut self, _table: &LaneTable, change: &ModeChange) {
+        debug_assert!(change.policy.is_none(), "no swap reaches a mono lane");
     }
 }
 
@@ -316,6 +341,13 @@ impl LanePolicy for CSporadic {
             (None, None) => now + table.period,
         }
     }
+
+    fn reconfigure(&mut self, table: &LaneTable, change: &ModeChange) {
+        debug_assert!(change.policy.is_none(), "no swap reaches a mono lane");
+        if change.capacity.is_some() {
+            self.capacity = self.capacity.min(table.capacity);
+        }
+    }
 }
 
 /// Fallback for systems mixing server-policy kinds: a per-call kind branch,
@@ -377,6 +409,17 @@ impl LanePolicy for AnyLanePolicy {
     fn edf_deadline(&self, table: &LaneTable, now: Instant) -> Instant {
         any_lane!(self, p => p.edf_deadline(table, now))
     }
+
+    fn reconfigure(&mut self, table: &LaneTable, change: &ModeChange) {
+        if change.policy.is_some() {
+            // `table.kind` already names the swap target: rebuild the variant
+            // fresh (full capacity, no pending replenishments, no open
+            // chunk), the interpreted swap semantics.
+            *self = AnyLanePolicy::init(table);
+        } else {
+            any_lane!(self, p => p.reconfigure(table, change))
+        }
+    }
 }
 
 /// The inlined admission plan of one lane.
@@ -393,6 +436,9 @@ enum LaneAdmission {
 struct ApJob {
     arrival: u32,
     remaining: Span,
+    /// Enforced service cap left (the frozen [`ArrivalTable::cap`] counting
+    /// down); hitting zero with work remaining is an enforcement abort.
+    cap_left: Span,
     started: Option<Instant>,
     deadline: Instant,
 }
@@ -494,6 +540,12 @@ struct Driver<'a, P, const EDF: bool> {
     /// Per-task pending job queues (indexes match `sys.tasks`).
     pending: Vec<VecDeque<PJob>>,
     lanes: Vec<Lane<P>>,
+    /// Per-run lane statics: copies of `sys.lanes`, mutable because applied
+    /// mode changes reconfigure them (fault-free runs never touch them).
+    tables: Vec<LaneTable>,
+    /// Which mode-change records have been applied (per-record flags, not a
+    /// cursor: a busy lane defers its record without blocking other lanes').
+    mode_applied: Vec<bool>,
     orphans: Vec<u32>,
     next_arrival: usize,
     /// The release wheel: min-first by `(next release, group index)`; one
@@ -543,6 +595,8 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
             now: Instant::ZERO,
             pending: sys.tasks.iter().map(|_| VecDeque::new()).collect(),
             lanes,
+            tables: sys.lanes.clone(),
+            mode_applied: vec![false; sys.spec().faults.mode_changes.len()],
             orphans: Vec::new(),
             next_arrival: 0,
             wheel,
@@ -612,7 +666,10 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
 
     fn process_due_events(&mut self) {
         let sys = self.sys;
-        // Aperiodic arrivals first (visible to a same-instant activation),
+        // Mode changes first: a same-instant arrival must be admitted under
+        // the reconfigured lane, the interpreted ordering.
+        self.apply_due_mode_changes();
+        // Aperiodic arrivals next (visible to a same-instant activation),
         // in spec order — the admission machines are order-sensitive.
         while self.next_arrival < sys.arrivals.len()
             && sys.arrivals[self.next_arrival].release <= self.now
@@ -647,7 +704,8 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
                     if accepted {
                         self.lanes[arrival.server].queue.push_back(ApJob {
                             arrival: index,
-                            remaining: arrival.actual_cost,
+                            remaining: arrival.demand,
+                            cap_left: arrival.cap,
                             started: None,
                             deadline: arrival.lane_deadline,
                         });
@@ -692,9 +750,64 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
             }
         }
         // Lane replenishments, in install order.
-        for (lane, table) in self.lanes.iter_mut().zip(&sys.lanes) {
+        for (lane, table) in self.lanes.iter_mut().zip(&self.tables) {
             let queue_empty = lane.queue.is_empty();
             lane.policy.replenish_due(table, self.now, queue_empty);
+        }
+    }
+
+    /// Applies every mode change due at the current instant whose lane is
+    /// quiescent — no in-service (started, unfinished) job in its queue; a
+    /// busy lane keeps its record pending and retries at the next decision
+    /// point. Applying a record rewrites the lane's run-local statics,
+    /// reconfigures its policy state and rebuilds the admission plan from
+    /// the updated spec (the admitted backlog is grandfathered), exactly the
+    /// interpreted engine's rule.
+    fn apply_due_mode_changes(&mut self) {
+        let sys = self.sys;
+        if sys.spec().faults.mode_changes.is_empty() {
+            return;
+        }
+        for (k, change) in sys.spec().faults.mode_changes.iter().enumerate() {
+            if self.mode_applied[k] || change.at > self.now {
+                continue;
+            }
+            if self.lanes[change.server]
+                .queue
+                .iter()
+                .any(|job| job.started.is_some())
+            {
+                continue;
+            }
+            let table = &mut self.tables[change.server];
+            if let Some(capacity) = change.capacity {
+                table.spec.capacity = capacity;
+            }
+            if let Some(period) = change.period {
+                table.spec.period = period;
+            }
+            if let Some(discipline) = change.discipline {
+                table.spec.discipline = discipline;
+            }
+            if let Some(admission) = change.admission {
+                table.spec.admission = admission;
+            }
+            if let Some(kind) = change.policy {
+                table.spec.policy = kind;
+            }
+            table.kind = table.spec.policy;
+            table.capacity = table.spec.capacity;
+            table.period = table.spec.period;
+            table.discipline = table.spec.discipline;
+            table.admission = table.spec.admission;
+            let lane = &mut self.lanes[change.server];
+            lane.policy.reconfigure(table, change);
+            lane.admission = if table.admission == AdmissionPolicy::AcceptAll {
+                LaneAdmission::Pass
+            } else {
+                LaneAdmission::Machine(ServerAdmission::for_server(&table.spec))
+            };
+            self.mode_applied[k] = true;
         }
     }
 
@@ -703,6 +816,7 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
     /// interpreted engine).
     fn abort_pending(&mut self, lane_index: usize, event_id: EventId) {
         let sys = self.sys;
+        let table = &self.tables[lane_index];
         let lane = &mut self.lanes[lane_index];
         let Some(position) = lane.queue.iter().position(|job| {
             job.started.is_none() && sys.arrivals[job.arrival as usize].id == event_id
@@ -714,8 +828,7 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
             .remove(position)
             .expect("position came from the queue");
         if lane.queue.is_empty() {
-            lane.policy
-                .on_queue_emptied(&sys.lanes[lane_index], self.now);
+            lane.policy.on_queue_emptied(table, self.now);
         }
         self.trace.push_outcome(outcome(
             &sys.arrivals[job.arrival as usize],
@@ -740,6 +853,11 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
                 next = next.min(lane.policy.next_replenishment());
             }
         }
+        for (k, change) in sys.spec().faults.mode_changes.iter().enumerate() {
+            if !self.mode_applied[k] && change.at > self.now {
+                next = next.min(change.at);
+            }
+        }
         next.max(self.now + Span::from_ticks(1))
             .min(sys.horizon.max(self.now + Span::from_ticks(1)))
     }
@@ -753,13 +871,12 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
     }
 
     fn pick_runner_fp(&mut self) -> Option<Runner> {
-        let sys = self.sys;
         let mut best_server: Option<(u8, usize)> = None;
         for (s, lane) in self.lanes.iter().enumerate() {
             if !lane.is_ready() {
                 continue;
             }
-            let level = sys.lanes[s].priority.level();
+            let level = self.tables[s].priority.level();
             match best_server {
                 None => best_server = Some((level, s)),
                 Some((p, _)) if level > p => best_server = Some((level, s)),
@@ -784,13 +901,12 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
     }
 
     fn pick_runner_edf(&mut self) -> Option<Runner> {
-        let sys = self.sys;
         let mut best_server: Option<(Instant, usize)> = None;
         for (s, lane) in self.lanes.iter().enumerate() {
             if !lane.is_ready() {
                 continue;
             }
-            let deadline = lane.policy.edf_deadline(&sys.lanes[s], self.now);
+            let deadline = lane.policy.edf_deadline(&self.tables[s], self.now);
             match best_server {
                 None => best_server = Some((deadline, s)),
                 Some((d, _)) if deadline < d => best_server = Some((deadline, s)),
@@ -832,7 +948,19 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
     /// calls inlined.
     fn run_server(&mut self, s: usize, next: Instant) {
         let sys = self.sys;
-        let table = &sys.lanes[s];
+        // A mode change deferred by the quiescence rule (due before this
+        // window opened, lane busy then) may become applicable the moment a
+        // job completes: force a dispatcher re-entry instead of batching on,
+        // so the compiled and interpreted loops reconfigure at the same
+        // instant.
+        let deferred_change = sys
+            .spec()
+            .faults
+            .mode_changes
+            .iter()
+            .enumerate()
+            .any(|(k, c)| !self.mode_applied[k] && c.server == s && c.at <= self.now);
+        let table = &self.tables[s];
         let lane = &mut self.lanes[s];
         loop {
             let position = match table.discipline {
@@ -852,7 +980,11 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
                 .get_mut(position)
                 .expect("server runner requires pending work");
             let window = next.since(self.now);
-            let slice = job.remaining.min(lane.policy.available()).min(window);
+            let slice = job
+                .remaining
+                .min(job.cap_left)
+                .min(lane.policy.available())
+                .min(window);
             debug_assert!(!slice.is_zero(), "picked server cannot make progress");
             let arrival = sys.arrivals[job.arrival as usize];
             if job.started.is_none() {
@@ -861,6 +993,7 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
             self.trace
                 .push_segment(ExecUnit::Handler(arrival.id), self.now, self.now + slice);
             job.remaining -= slice;
+            job.cap_left -= slice;
             lane.policy.consume(table, slice, self.now);
             self.now += slice;
             if job.remaining.is_zero() {
@@ -876,8 +1009,22 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
                 if lane.queue.is_empty() {
                     lane.policy.on_queue_emptied(table, self.now);
                 }
+            } else if job.cap_left.is_zero() {
+                // Budget enforcement: the job exhausted its declared budget
+                // with work remaining — cut it off, surface the overrun as an
+                // abort and release its slot in the admission plan so
+                // equation-(5) stops charging for work that will never run.
+                self.trace
+                    .push_outcome(outcome(&arrival, AperiodicFate::Aborted { at: self.now }));
+                lane.queue.remove(position);
+                if lane.queue.is_empty() {
+                    lane.policy.on_queue_emptied(table, self.now);
+                }
+                if let LaneAdmission::Machine(machine) = &mut lane.admission {
+                    machine.on_abort(arrival.id, self.now);
+                }
             }
-            if self.now >= next || !lane.is_ready() {
+            if self.now >= next || deferred_change || !lane.is_ready() {
                 break;
             }
         }

@@ -35,6 +35,11 @@ use rtsj_emu::{Action, BodyCtx, Completion, EventHandle, ThreadBody};
 pub struct EventDrivenServerBody {
     service: ServiceLoop,
     wakeup: EventHandle,
+    /// Chunk-replenishment event of a lane that may mode-swap into the
+    /// Sporadic policy (`None` otherwise): once the lane runs as a sporadic
+    /// server, going idle closes the open consumption chunk and arms its
+    /// replenishment timer exactly like [`crate::sporadic`] does.
+    replenish: Option<EventHandle>,
 }
 
 impl EventDrivenServerBody {
@@ -44,10 +49,26 @@ impl EventDrivenServerBody {
         EventDrivenServerBody {
             service: ServiceLoop::new(shared),
             wakeup,
+            replenish: None,
         }
     }
 
-    fn idle_action(&self) -> Action {
+    /// Attaches the chunk-replenishment event armed when the lane runs under
+    /// a mode-swapped Sporadic policy.
+    pub fn with_replenish(mut self, replenish: EventHandle) -> Self {
+        self.replenish = Some(replenish);
+        self
+    }
+
+    fn idle_action(&self, ctx: &mut BodyCtx) -> Action {
+        // A no-op unless the lane currently runs as a sporadic server
+        // (close_sporadic_chunk is policy-gated): mode-swapped lanes arm
+        // their replenishment timers here, original DS/BG lanes never do.
+        if let Some(replenish) = self.replenish {
+            if let Some(at) = self.service.shared().borrow_mut().close_sporadic_chunk() {
+                ctx.arm_timer(at, replenish);
+            }
+        }
         Action::WaitForEvent(self.wakeup)
     }
 }
@@ -61,17 +82,17 @@ impl ThreadBody for EventDrivenServerBody {
         let deadline = self.service.shared().borrow().edf_deadline(ctx.now());
         ctx.set_deadline(deadline);
         match completion {
-            Completion::Started => self.idle_action(),
+            Completion::Started => self.idle_action(ctx),
             Completion::EventFired | Completion::PeriodStarted | Completion::TimeReached => {
                 match self.service.try_dispatch(ctx.now()) {
                     ServeStep::Continue(action) => action,
-                    ServeStep::Idle => self.idle_action(),
+                    ServeStep::Idle => self.idle_action(ctx),
                 }
             }
             Completion::Computed { .. } | Completion::Interrupted { .. } => {
                 match self.service.on_completion(ctx, completion) {
                     ServeStep::Continue(action) => action,
-                    ServeStep::Idle => self.idle_action(),
+                    ServeStep::Idle => self.idle_action(ctx),
                 }
             }
         }

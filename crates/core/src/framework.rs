@@ -24,7 +24,9 @@ use crate::polling::PollingServerBody;
 use crate::queue::QueueKind;
 use crate::sporadic::SporadicServerBody;
 use crate::state::{ServerShared, SharedServer};
-use rt_model::{AdmissionPolicy, EventId, Instant, QueueDiscipline, ServerPolicyKind, ServerSpec};
+use rt_model::{
+    AdmissionPolicy, EventId, Instant, ModeChange, QueueDiscipline, ServerPolicyKind, ServerSpec,
+};
 use rtsj_emu::{Engine, EventHandle, TaskServerParameters, ThreadHandle};
 
 /// Behaviour common to every installed task server.
@@ -132,10 +134,24 @@ impl DeferrableTaskServer {
             admission,
         );
         let wakeup = engine.create_event("wakeUp");
+        // Chunk-replenishment machinery used only if a mode change swaps the
+        // lane into the Sporadic policy: idle as long as the lane stays a DS.
+        let swap_replenish = engine.create_event("replenish(swap)");
+        let swap_state = shared.clone();
+        engine.add_fire_hook(
+            swap_replenish,
+            Box::new(move |ctx| {
+                if swap_state.borrow_mut().apply_due_replenishments(ctx.now()) {
+                    ctx.fire(wakeup);
+                }
+            }),
+        );
         let thread = engine.spawn(
             "server(DS)",
             params.priority,
-            Box::new(EventDrivenServerBody::new(shared.clone(), wakeup)),
+            Box::new(
+                EventDrivenServerBody::new(shared.clone(), wakeup).with_replenish(swap_replenish),
+            ),
         );
         // EDF rank until the first pump: the first replenishment instant.
         engine.set_thread_deadline(thread, Instant::ZERO + params.period);
@@ -144,7 +160,17 @@ impl DeferrableTaskServer {
         engine.add_fire_hook(
             replenish,
             Box::new(move |ctx| {
-                replenish_state.borrow_mut().replenish(ctx.now());
+                let mut state = replenish_state.borrow_mut();
+                // A replenishment boundary is a decision instant: apply due
+                // mode changes first so a coincident capacity change refills
+                // to the new value, and stop refilling altogether once the
+                // lane has swapped away from the deferrable policy (the
+                // periodic timer itself is fixed at install).
+                state.apply_due_mode_changes(ctx.now());
+                if state.policy == ServerPolicyKind::Deferrable {
+                    state.replenish(ctx.now());
+                }
+                drop(state);
                 ctx.fire(wakeup);
             }),
         );
@@ -205,10 +231,24 @@ impl BackgroundServer {
             discipline,
         );
         let wakeup = engine.create_event("wakeUp(bg)");
+        // As for the DS: chunk-replenishment machinery that stays idle
+        // unless a mode change swaps this lane into the Sporadic policy.
+        let swap_replenish = engine.create_event("replenish(swap-bg)");
+        let swap_state = shared.clone();
+        engine.add_fire_hook(
+            swap_replenish,
+            Box::new(move |ctx| {
+                if swap_state.borrow_mut().apply_due_replenishments(ctx.now()) {
+                    ctx.fire(wakeup);
+                }
+            }),
+        );
         let thread = engine.spawn(
             "server(BG)",
             params.priority,
-            Box::new(EventDrivenServerBody::new(shared.clone(), wakeup)),
+            Box::new(
+                EventDrivenServerBody::new(shared.clone(), wakeup).with_replenish(swap_replenish),
+            ),
         );
         BackgroundServer {
             shared,
@@ -378,6 +418,30 @@ impl AnyTaskServer {
                 ))
             }
         }
+    }
+
+    /// Installs the server and loads its scheduled mode changes. Each change
+    /// instant additionally arms a one-shot firing of the lane's `wakeUp`
+    /// event (event-driven lanes only) so an otherwise idle lane
+    /// reconfigures — and re-examines its backlog under the new
+    /// configuration — at the scheduled instant rather than at its next
+    /// arrival; a polling lane applies due changes at its next activation.
+    pub fn install_with_faults(
+        engine: &mut Engine,
+        spec: &ServerSpec,
+        queue: QueueKind,
+        changes: Vec<ModeChange>,
+    ) -> Self {
+        let server = Self::install(engine, spec, queue);
+        if !changes.is_empty() {
+            if let Some(wakeup) = server.wakeup() {
+                for change in &changes {
+                    engine.add_one_shot_timer(change.at, wakeup);
+                }
+            }
+            server.shared().borrow_mut().set_mode_changes(changes);
+        }
+        server
     }
 
     fn as_task_server(&self) -> &dyn TaskServer {

@@ -28,6 +28,13 @@ pub struct ServableHandler {
     /// by value-density admission and the accrued-value metric). Defaults to
     /// the handler's cost in ticks, i.e. unit value density.
     pub value: u64,
+    /// Fault-injected extra demand beyond the actual cost
+    /// ([`rt_model::FaultPlan`] overruns). A non-zero value marks the
+    /// release as *fault-injected*: the server enforces the declared cost as
+    /// a hard service cap on it and surfaces the cutoff as
+    /// [`rt_model::AperiodicFate::Aborted`] instead of the legacy
+    /// `Interrupted` fate of plain under-declaration.
+    pub overrun_extra: Span,
 }
 
 impl ServableHandler {
@@ -40,6 +47,7 @@ impl ServableHandler {
             actual_cost: cost,
             relative_deadline: None,
             value: cost.ticks(),
+            overrun_extra: Span::ZERO,
         }
     }
 
@@ -59,6 +67,18 @@ impl ServableHandler {
     pub fn with_relative_deadline(mut self, deadline: Span) -> Self {
         self.relative_deadline = Some(deadline);
         self
+    }
+
+    /// Injects a fault: the handler's job demands `extra` processor time
+    /// beyond its actual cost and is budget-enforced at its declared cost.
+    pub fn with_overrun(mut self, extra: Span) -> Self {
+        self.overrun_extra = extra;
+        self
+    }
+
+    /// True when the handler carries an injected overrun.
+    pub fn is_fault_injected(&self) -> bool {
+        !self.overrun_extra.is_zero()
     }
 
     /// True when the handler will overrun its declaration.
@@ -110,6 +130,12 @@ impl QueuedRelease {
     /// Real processor demand of the handler.
     pub fn actual_cost(&self) -> Span {
         self.handler.actual_cost
+    }
+
+    /// Effective processor demand of this release: the actual cost plus any
+    /// fault-injected extra.
+    pub fn demanded_cost(&self) -> Span {
+        self.handler.actual_cost + self.handler.overrun_extra
     }
 
     /// Completion value of the release (the D-OVER value tag).

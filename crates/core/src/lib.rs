@@ -27,6 +27,33 @@
 //! — exceeds that budget. The server must be the highest-priority task of the
 //! system; `rt_model::SystemSpec::validate` enforces it.
 //!
+//! ## Fault injection & mode changes (enforcement complexity)
+//!
+//! A spec's [`rt_model::FaultPlan`] is enforced by this engine at three
+//! points, none of which costs anything on fault-free specs:
+//!
+//! * **Arrival faults** (release jitter, drops) are normalised away by
+//!   `rt_model::SystemSpec::apply_arrival_faults` before the engine is
+//!   built — zero runtime cost, and the same normalised stream every
+//!   other engine sees.
+//! * **Cost overruns** ride the `Timed` budget machinery the paper's §4
+//!   already requires: an overrun-tagged release demands
+//!   `declared + extra` but its service is capped at the *declared*
+//!   cost on any lane — including background lanes, which otherwise
+//!   grant unbounded budget. The cap is one extra `min` per dispatch,
+//!   O(1); exhausting it surfaces as [`rt_model::AperiodicFate::Aborted`]
+//!   (distinct from a plain `Interrupted` budget collision) and releases
+//!   the event's admission-plan slot
+//!   ([`rt_admission::ServerAdmission::on_abort`]), which pays the
+//!   admission repack — O(backlog) — only when an abort actually fires.
+//! * **Mode changes** are applied by the service loop between services
+//!   ([`state::ServerShared::apply_due_mode_changes`]): the lane is
+//!   quiescent there by construction (no in-service handler), so
+//!   in-flight work always drains under the old parameters and the
+//!   reconfiguration lands at the same instant the simulator picks. The
+//!   sweep is O(pending mode changes) per service-loop pass with
+//!   per-record applied flags — amortised O(1) per decision.
+//!
 //! ```
 //! use rt_model::{Instant, Priority, ServerPolicyKind, ServerSpec, Span, SystemSpec};
 //! use rt_taskserver::{execute, ExecutionConfig};

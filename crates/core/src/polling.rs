@@ -43,8 +43,15 @@ impl ThreadBody for PollingServerBody {
         match completion {
             Completion::Started => self.idle_action(),
             Completion::PeriodStarted => {
-                // "The PS is activated every period with its full capacity."
-                self.service.shared().borrow_mut().replenish(ctx.now());
+                // An activation is a decision instant: reconfigure first
+                // (when quiescent) so the refill below restores the *new*
+                // capacity, then — "the PS is activated every period with
+                // its full capacity."
+                {
+                    let mut shared = self.service.shared().borrow_mut();
+                    shared.apply_due_mode_changes(ctx.now());
+                    shared.replenish(ctx.now());
+                }
                 match self.service.try_dispatch(ctx.now()) {
                     ServeStep::Continue(action) => action,
                     // "If there are aperiodic tasks pending, it serves them …

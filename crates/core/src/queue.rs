@@ -214,6 +214,31 @@ impl PendingQueue {
         self.discipline
     }
 
+    /// Reconfigures the queue for new server parameters and/or a new service
+    /// discipline (the mode-change path). The stored packing belongs to the
+    /// old configuration, so it is invalidated — the next push or prediction
+    /// re-packs the live backlog against the new `(capacity, period)` pair.
+    /// A discipline switch rebuilds the deadline heap over the live entries
+    /// (O(n), paid once per mode change, never per dispatch).
+    pub fn set_server(&mut self, capacity: Span, period: Span, discipline: QueueDiscipline) {
+        self.server = ServerParams::new(capacity, period);
+        self.packer = None;
+        self.packing_seed = None;
+        self.replayed_heads.clear();
+        if discipline != self.discipline {
+            self.discipline = discipline;
+            self.deadline_index.clear();
+            if discipline == QueueDiscipline::DeadlineOrdered {
+                for (index, entry) in self.slots.iter().enumerate() {
+                    if let Some(e) = entry {
+                        self.deadline_index
+                            .push(Reverse((e.release.deadline, index)));
+                    }
+                }
+            }
+        }
+    }
+
     /// Number of pending releases.
     pub fn len(&self) -> usize {
         self.live

@@ -34,6 +34,10 @@ enum Phase {
     Working {
         service: GrantedService,
         started: Instant,
+        /// True when the budget is the declared-cost cap of a fault-injected
+        /// overrun: an interruption is then an enforcement *abort*, not the
+        /// legacy capacity-bound interruption.
+        abort_on_interrupt: bool,
     },
     /// Paying the enforcement overhead after the handler finished or was
     /// interrupted.
@@ -42,6 +46,7 @@ enum Phase {
         started: Instant,
         finished: Instant,
         interrupted: bool,
+        abort_on_interrupt: bool,
     },
 }
 
@@ -80,8 +85,15 @@ impl ServiceLoop {
     pub fn try_dispatch(&mut self, now: Instant) -> ServeStep {
         let (chosen, dispatch) = {
             let mut shared = self.shared.borrow_mut();
+            // Between services the lane is quiescent: any due mode change
+            // applies here, before the next choice is made under the (new)
+            // configuration — the quiescence protocol's decision instant.
+            shared.in_service = false;
+            shared.apply_due_mode_changes(now);
             let dispatch = shared.overhead.dispatch;
-            (shared.choose_next(now), dispatch)
+            let chosen = shared.choose_next(now);
+            shared.in_service = chosen.is_some();
+            (chosen, dispatch)
         };
         match chosen {
             None => {
@@ -103,7 +115,7 @@ impl ServiceLoop {
     }
 
     fn begin_work(&mut self, service: GrantedService, now: Instant) -> Action {
-        let (work_budget, amount, unit) = {
+        let (work_budget, abort_on_interrupt, amount, unit) = {
             let shared = self.shared.borrow();
             let overhead = shared.overhead;
             // The work budget is the grant minus the dispatch/enforcement
@@ -124,15 +136,29 @@ impl ServiceLoop {
                 .checked_sub(overhead.dispatch)
                 .and_then(|left| left.checked_sub(overhead.enforcement))
                 .unwrap_or(Span::ZERO);
+            // A fault-injected overrun is additionally enforced at the
+            // *declared* cost. When that cap is the binding limit the cutoff
+            // surfaces as an Aborted fate; when the capacity grant is
+            // already smaller, the legacy interruption semantics of plain
+            // under-declaration apply unchanged.
+            let declared = service.release.declared_cost();
+            let (budget, abort) =
+                if service.release.handler.is_fault_injected() && declared <= budget {
+                    (declared, true)
+                } else {
+                    (budget, false)
+                };
             (
                 budget,
-                service.release.actual_cost(),
+                abort,
+                service.release.demanded_cost(),
                 ExecUnit::Handler(service.release.event),
             )
         };
         self.phase = Phase::Working {
             service,
             started: now,
+            abort_on_interrupt,
         };
         Action::ComputeInterruptible {
             amount,
@@ -157,14 +183,18 @@ impl ServiceLoop {
                 self.shared.borrow_mut().consume(dispatch);
                 ServeStep::Continue(self.begin_work(service, ctx.now()))
             }
-            Phase::Working { service, started } => {
+            Phase::Working {
+                service,
+                started,
+                abort_on_interrupt,
+            } => {
                 let consumed = completion.consumed();
                 self.shared.borrow_mut().consume(consumed);
                 let interrupted = completion.was_interrupted();
                 let finished = ctx.now();
                 let enforcement = self.shared.borrow().overhead.enforcement;
                 if enforcement.is_zero() {
-                    self.record(&service, started, finished, interrupted);
+                    self.record(&service, started, finished, interrupted, abort_on_interrupt);
                     self.try_dispatch(ctx.now())
                 } else {
                     self.phase = Phase::Enforcing {
@@ -172,6 +202,7 @@ impl ServiceLoop {
                         started,
                         finished,
                         interrupted,
+                        abort_on_interrupt,
                     };
                     ServeStep::Continue(Action::Compute {
                         amount: enforcement,
@@ -184,10 +215,11 @@ impl ServiceLoop {
                 started,
                 finished,
                 interrupted,
+                abort_on_interrupt,
             } => {
                 let enforcement = self.shared.borrow().overhead.enforcement;
                 self.shared.borrow_mut().consume(enforcement);
-                self.record(&service, started, finished, interrupted);
+                self.record(&service, started, finished, interrupted, abort_on_interrupt);
                 self.try_dispatch(ctx.now())
             }
         }
@@ -199,9 +231,12 @@ impl ServiceLoop {
         started: Instant,
         finished: Instant,
         interrupted: bool,
+        abort_on_interrupt: bool,
     ) {
         let mut shared = self.shared.borrow_mut();
-        if interrupted {
+        if interrupted && abort_on_interrupt {
+            shared.record_enforcement_abort(&service.release, finished);
+        } else if interrupted {
             shared.record_interrupted(&service.release, started, finished);
         } else {
             shared.record_served(&service.release, started, finished);

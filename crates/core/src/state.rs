@@ -13,8 +13,8 @@ use crate::handler::QueuedRelease;
 use crate::queue::{PendingQueue, QueueKind};
 use rt_admission::{ArrivingEvent, ServerAdmission};
 use rt_model::{
-    AdmissionPolicy, AperiodicFate, AperiodicOutcome, EventId, Instant, QueueDiscipline,
-    ServerPolicyKind, Span,
+    AdmissionPolicy, AperiodicFate, AperiodicOutcome, EventId, Instant, ModeChange,
+    QueueDiscipline, ServerPolicyKind, Span,
 };
 use rtsj_emu::{OverheadModel, TaskServerParameters};
 use std::cell::RefCell;
@@ -61,6 +61,21 @@ pub struct ServerShared {
     /// the arrival history (see `rt-admission`), so they agree with the
     /// simulator's for identical arrival sequences.
     pub admission: ServerAdmission,
+    /// The admission policy the lane is *configured* with. Kept separately
+    /// from the machine (which degenerates to accept-all for background
+    /// lanes and malformed parameter pairs) so a mode change can rebuild the
+    /// machine under the configured policy — e.g. a Background → Sporadic
+    /// swap restores the original admission behaviour.
+    pub configured_admission: AdmissionPolicy,
+    /// Scheduled lane reconfigurations not yet applied, in scheduled order
+    /// (front = next). Drained by [`Self::apply_due_mode_changes`] at
+    /// quiescent decision instants.
+    pub mode_changes: VecDeque<ModeChange>,
+    /// True while a dispatched service (including its overhead phases) is in
+    /// flight. Mode changes are deferred while set — the quiescence
+    /// protocol: in-service work drains under the configuration that
+    /// dispatched it.
+    pub in_service: bool,
     /// Reused buffer for the releases an admission decision displaces — the
     /// release path stays allocation-free in the steady state.
     aborted_scratch: Vec<EventId>,
@@ -99,7 +114,7 @@ impl ServerShared {
         admission: AdmissionPolicy,
     ) -> SharedServer {
         let queue = PendingQueue::new(queue_kind, params.capacity, params.period, discipline);
-        let admission = if policy == ServerPolicyKind::Background {
+        let machine = if policy == ServerPolicyKind::Background {
             ServerAdmission::accept_all()
         } else {
             ServerAdmission::with_params(admission, params.capacity, params.period)
@@ -115,7 +130,10 @@ impl ServerShared {
             pending_replenishments: VecDeque::new(),
             active_since: None,
             consumed_since_active: Span::ZERO,
-            admission,
+            admission: machine,
+            configured_admission: admission,
+            mode_changes: VecDeque::new(),
+            in_service: false,
             aborted_scratch: Vec::new(),
         }))
     }
@@ -126,6 +144,78 @@ impl ServerShared {
     pub fn replenish(&mut self, now: Instant) {
         self.remaining = self.params.capacity;
         self.next_replenishment = now + self.params.period;
+    }
+
+    /// Loads the lane's scheduled mode changes (install time, scheduled
+    /// order).
+    pub fn set_mode_changes(&mut self, changes: Vec<ModeChange>) {
+        self.mode_changes = changes.into();
+    }
+
+    /// Applies every scheduled mode change due at or before `now`, provided
+    /// the lane is quiescent (no service in flight — otherwise the change
+    /// waits for the next decision instant). Returns `true` when a change
+    /// was applied. O(1) when nothing is due.
+    pub fn apply_due_mode_changes(&mut self, now: Instant) -> bool {
+        if self.in_service {
+            return false;
+        }
+        let mut applied = false;
+        while let Some(change) = self.mode_changes.front() {
+            if change.at > now {
+                break;
+            }
+            let change = self.mode_changes.pop_front().expect("front exists");
+            self.apply_mode_change(&change);
+            applied = true;
+        }
+        applied
+    }
+
+    /// Applies one reconfiguration record (see [`ModeChange`] for the field
+    /// semantics; spec validation guarantees the resulting configuration is
+    /// well formed — in particular capacity ≤ period on capacity-limited
+    /// lanes).
+    fn apply_mode_change(&mut self, change: &ModeChange) {
+        if let Some(capacity) = change.capacity {
+            self.params.capacity = capacity;
+        }
+        if let Some(period) = change.period {
+            self.params.period = period;
+        }
+        if let Some(policy) = change.admission {
+            self.configured_admission = policy;
+        }
+        if let Some(kind) = change.policy {
+            self.policy = kind;
+            // The swapped lane restarts fresh: full (new) capacity, no
+            // scheduled replenishments, no open consumption chunk.
+            self.remaining = self.params.capacity;
+            self.pending_replenishments.clear();
+            self.active_since = None;
+            self.consumed_since_active = Span::ZERO;
+        } else if change.capacity.is_some() {
+            self.remaining = self.remaining.min(self.params.capacity);
+        }
+        let discipline = change.discipline.unwrap_or(self.queue.discipline());
+        self.queue
+            .set_server(self.params.capacity, self.params.period, discipline);
+        // Rebuild the admission machine under the (possibly new) configured
+        // policy. The backlog already admitted is grandfathered: it stays
+        // queued and the fresh machine starts with no virtual entries.
+        self.admission = if self.policy == ServerPolicyKind::Background
+            || self.params.capacity.is_zero()
+            || self.params.period.is_zero()
+            || self.params.capacity > self.params.period
+        {
+            ServerAdmission::accept_all()
+        } else {
+            ServerAdmission::with_params(
+                self.configured_admission,
+                self.params.capacity,
+                self.params.period,
+            )
+        };
     }
 
     /// Registers a release (the `servableEventReleased` entry point called by
@@ -143,6 +233,10 @@ impl ServerShared {
     /// [`PendingQueue::predicted_slot`] or
     /// [`crate::admission::predicted_response`].
     pub fn released(&mut self, release: QueuedRelease, now: Instant) -> bool {
+        // An arrival is a decision instant: reconfigure first (when
+        // quiescent) so the release is admitted under the new configuration,
+        // mirroring the simulator's decision ordering.
+        self.apply_due_mode_changes(now);
         let mut aborted = std::mem::take(&mut self.aborted_scratch);
         let (accepted, _prediction) = self.admission.on_arrival_into(
             &ArrivingEvent {
@@ -372,6 +466,14 @@ impl ServerShared {
     pub fn record_aborted(&mut self, release: &QueuedRelease, at: Instant) {
         self.outcomes
             .push(self.outcome(release, AperiodicFate::Aborted { at }));
+    }
+
+    /// Records a fault-injected job cut off by budget enforcement at its
+    /// declared cost, and releases its equation-(5) plan slot so the
+    /// admission state stays consistent with the capacity the abort freed.
+    pub fn record_enforcement_abort(&mut self, release: &QueuedRelease, at: Instant) {
+        self.record_aborted(release, at);
+        self.admission.on_abort(release.event, at);
     }
 
     /// Records an event interrupted by budget enforcement.

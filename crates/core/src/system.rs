@@ -160,6 +160,10 @@ impl ExecutionPlan {
     /// is not well formed.
     pub fn prepare(spec: &SystemSpec, config: &ExecutionConfig) -> Result<Self, ModelError> {
         spec.validate()?;
+        // Arrival faults (release jitter, dropped arrivals) are a pure spec
+        // normalization: the plan is frozen over the faulted arrival stream,
+        // so the engine below never sees them.
+        let spec = &spec.apply_arrival_faults().unwrap_or_else(|| spec.clone());
         let policy = config.scheduling.unwrap_or(spec.scheduling);
         let engine_config = EngineConfig::new(spec.horizon)
             .with_overhead(config.overhead)
@@ -180,6 +184,7 @@ impl ExecutionPlan {
                     actual_cost: event.actual_cost,
                     relative_deadline: event.relative_deadline,
                     value: event.value,
+                    overrun_extra: spec.faults.overrun_extra(event.id),
                 },
                 release: event.release,
             })
@@ -213,7 +218,16 @@ impl ExecutionPlan {
         let servers: Vec<AnyTaskServer> = spec
             .servers
             .iter()
-            .map(|server_spec| AnyTaskServer::install(&mut engine, server_spec, self.config.queue))
+            .enumerate()
+            .map(|(index, server_spec)| {
+                let changes = spec.faults.mode_changes_for(index).cloned().collect();
+                AnyTaskServer::install_with_faults(
+                    &mut engine,
+                    server_spec,
+                    self.config.queue,
+                    changes,
+                )
+            })
             .collect();
 
         // The periodic tasks, as periodic real-time threads whose bodies
@@ -511,6 +525,86 @@ mod tests {
         let a = execute(&spec, &ExecutionConfig::reference());
         let b = execute(&spec, &ExecutionConfig::reference());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overrun_injected_event_is_aborted_at_its_declared_cost() {
+        // e0 declares 2 but a fault injects 2 extra units of demand. The
+        // declared cost becomes a hard service cap: the handler runs 0..2 and
+        // is cut off with the first-class `Aborted` fate (not `Interrupted`,
+        // which is reserved for capacity-bound cutoffs of honest releases).
+        let mut spec = table1(ServerPolicyKind::Polling, 3, &[(0, 2)]);
+        spec.faults =
+            rt_model::FaultPlan::new().overrun(spec.aperiodics[0].id, Span::from_units(2));
+        let trace = execute(&spec, &ExecutionConfig::ideal());
+        assert_eq!(trace.outcomes.len(), 1);
+        match trace.outcomes[0].fate {
+            AperiodicFate::Aborted { at } => assert_eq!(at, Instant::from_units(2)),
+            ref other => panic!("expected an enforcement abort, got {other:?}"),
+        }
+        let segments: Vec<_> = trace
+            .segments_of(ExecUnit::Handler(spec.aperiodics[0].id))
+            .map(|s| (s.start, s.end))
+            .collect();
+        assert_eq!(
+            segments,
+            vec![(Instant::from_units(0), Instant::from_units(2))]
+        );
+    }
+
+    #[test]
+    fn arrival_faults_shift_and_drop_releases_before_the_engine_runs() {
+        let mut spec = table1(ServerPolicyKind::Polling, 3, &[(0, 2), (6, 2)]);
+        spec.faults = rt_model::FaultPlan::new()
+            .jitter(spec.aperiodics[0].id, Span::from_units(6))
+            .drop_arrival(spec.aperiodics[1].id);
+        let trace = execute(&spec, &ExecutionConfig::ideal());
+        // The dropped arrival never reaches the engine; the jittered one is
+        // released — and served — at its shifted instant.
+        assert_eq!(trace.outcomes.len(), 1);
+        assert_eq!(trace.outcomes[0].release, Instant::from_units(6));
+        assert!(trace.outcomes[0].is_served());
+    }
+
+    #[test]
+    fn capacity_mode_change_waits_for_quiescence_and_caps_the_refill() {
+        // DS capacity 3: e0 (cost 3) is in service 0..3 when the change at 1
+        // (capacity → 1) comes due, so it applies at the completion decision
+        // instant. e1 (cost 1, released 4) then has to wait for the period-6
+        // replenishment, which refills to the *new* capacity only.
+        let mut spec = table1(ServerPolicyKind::Deferrable, 3, &[(0, 3), (4, 1)]);
+        spec.faults = rt_model::FaultPlan::new().mode_change(
+            rt_model::ModeChange::at(Instant::from_units(1), 0).with_capacity(Span::from_units(1)),
+        );
+        let trace = execute(&spec, &ExecutionConfig::ideal());
+        let started = |i: usize| match trace.outcomes[i].fate {
+            AperiodicFate::Served { started, .. } => started,
+            ref other => panic!("expected served, got {other:?}"),
+        };
+        assert_eq!(started(0), Instant::from_units(0));
+        assert_eq!(started(1), Instant::from_units(6));
+    }
+
+    #[test]
+    fn policy_swap_to_background_lifts_the_capacity_cap() {
+        // e0 exhausts the DS capacity at 0..2, so e1 (released 3) would wait
+        // for the period-6 replenishment. The scheduled swap to Background at
+        // 4 removes the budget entirely: the lane wakes on the one-shot
+        // mode-change timer and serves the backlog 4..6 instead.
+        let mut spec = table1(ServerPolicyKind::Deferrable, 2, &[(0, 2), (3, 2)]);
+        spec.faults = rt_model::FaultPlan::new().mode_change(
+            rt_model::ModeChange::at(Instant::from_units(4), 0)
+                .with_policy(ServerPolicyKind::Background),
+        );
+        let trace = execute(&spec, &ExecutionConfig::ideal());
+        assert_eq!(trace.outcomes.len(), 2);
+        match trace.outcomes[1].fate {
+            AperiodicFate::Served { started, completed } => {
+                assert_eq!(started, Instant::from_units(4));
+                assert_eq!(completed, Instant::from_units(6));
+            }
+            ref other => panic!("expected served after the swap, got {other:?}"),
+        }
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! repro overload            admission/overload sweep: load 0.5x -> 4x across
 //!                           AcceptAll / DeadlinePredictive / ValueDensity,
 //!                           both engines
+//! repro faults              fault-containment sweep: injected cost overruns,
+//!                           arrival noise and mid-horizon mode changes over
+//!                           byte-identical 2x overload traffic, both engines
 //! repro all                 everything above but multi/edf (default)
 //! repro quick               all tables with 3 systems per set (fast smoke run)
 //! ```
@@ -30,8 +33,9 @@
 //! the tables faster at scale.
 
 use rt_experiments::{
-    available_workers, default_online_rta, reproduce_edf_table, reproduce_overload_table,
-    reproduce_table_with_workers, run_scenario, side_by_side, PaperTable, Scenario, TableConfig,
+    available_workers, default_online_rta, reproduce_edf_table, reproduce_faults_table,
+    reproduce_overload_table, reproduce_table_with_workers, run_scenario, side_by_side, PaperTable,
+    Scenario, TableConfig,
 };
 use rt_model::{QueueDiscipline, SchedulingPolicy};
 
@@ -94,7 +98,7 @@ fn print_online_rta() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro [fig2|fig3|fig4|table2|table3|table4|table5|online-rta|multi|edf|overload|quick|all] \
+        "usage: repro [fig2|fig3|fig4|table2|table3|table4|table5|online-rta|multi|edf|overload|faults|quick|all] \
          [--workers N] [--edf] [--discipline fifo|edd] [--compiled]"
     );
     std::process::exit(2);
@@ -166,6 +170,10 @@ fn main() {
         }
         "overload" => {
             let table = reproduce_overload_table(&full, workers);
+            println!("{table}");
+        }
+        "faults" => {
+            let table = reproduce_faults_table(&full, workers);
             println!("{table}");
         }
         "multi" => {

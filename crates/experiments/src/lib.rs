@@ -20,12 +20,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod online;
 pub mod overload;
 pub mod pool;
 pub mod scenarios;
 pub mod tables;
 
+pub use faults::{
+    generate_fault_set, reproduce_faults_table, FaultRow, FaultScenario, FaultTable,
+    FAULT_SCENARIOS,
+};
 pub use online::{default_online_rta, online_rta_experiment, OnlinePrediction, OnlineRtaReport};
 pub use overload::{
     generate_overload_set, reproduce_overload_table, OverloadRow, OverloadTable, OVERLOAD_LOADS,

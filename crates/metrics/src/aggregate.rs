@@ -11,7 +11,7 @@
 //! share into a [`PartialRuns`] and the partials are merged before
 //! aggregating — the merge is deterministic for any split of the runs.
 
-use crate::measures::RunMeasures;
+use crate::measures::{ContainmentMeasures, RunMeasures};
 
 /// The (AART, AIR, ASR) triple of one set of systems under one policy and
 /// one evaluation mode (simulation or execution).
@@ -81,6 +81,48 @@ impl SetAggregate {
             format!("{:.2}", self.air),
             format!("{:.2}", self.asr),
         )
+    }
+}
+
+/// Aggregate of the fault-containment columns of a set of runs: the mean
+/// miss ratio among the *unaffected* accepted events, the mean share of
+/// overrun-injected events cut off by budget enforcement, and the mean
+/// value retained per run — the row format of the fault tables
+/// (`rt-experiments::reproduce_faults_table`). Folding follows
+/// [`SetAggregate::from_runs`]: plain run-order averages, bit-identical
+/// for any worker count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContainmentAggregate {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Mean per-run deadline-miss ratio among unaffected accepted events.
+    pub unaffected_miss: f64,
+    /// Mean per-run share of overrun-injected events aborted by
+    /// enforcement.
+    pub abort_ratio: f64,
+    /// Mean accrued value per run (the measure carried across mode
+    /// switches).
+    pub mean_value: f64,
+}
+
+impl ContainmentAggregate {
+    /// Aggregates a set of per-run containment measures.
+    pub fn from_runs(runs: &[ContainmentMeasures]) -> Self {
+        let n = runs.len();
+        if n == 0 {
+            return ContainmentAggregate {
+                runs: 0,
+                unaffected_miss: 0.0,
+                abort_ratio: 1.0,
+                mean_value: 0.0,
+            };
+        }
+        ContainmentAggregate {
+            runs: n,
+            unaffected_miss: runs.iter().map(|r| r.unaffected_miss_ratio()).sum::<f64>() / n as f64,
+            abort_ratio: runs.iter().map(|r| r.abort_ratio()).sum::<f64>() / n as f64,
+            mean_value: runs.iter().map(|r| r.accrued_value as f64).sum::<f64>() / n as f64,
+        }
     }
 }
 

@@ -12,8 +12,8 @@ pub mod aggregate;
 pub mod measures;
 pub mod table;
 
-pub use aggregate::{OverloadAggregate, PartialRuns, SetAggregate};
-pub use measures::RunMeasures;
+pub use aggregate::{ContainmentAggregate, OverloadAggregate, PartialRuns, SetAggregate};
+pub use measures::{ContainmentMeasures, RunMeasures};
 pub use table::{paper, shape, ResultTable, SET_ORDER};
 
 #[cfg(test)]

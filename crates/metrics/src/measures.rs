@@ -5,7 +5,7 @@
 //! served-aperiodics ratio" (§6.1). A [`RunMeasures`] value holds exactly
 //! those three quantities for one run.
 
-use rt_model::{AperiodicOutcome, Instant, Span, Trace};
+use rt_model::{AperiodicOutcome, FaultPlan, Instant, Span, Trace};
 
 /// The per-run measures: the paper's three (served/interrupted counts and
 /// the average response time) plus the admission-layer columns introduced
@@ -137,6 +137,87 @@ impl RunMeasures {
     }
 }
 
+/// Fault-containment measures of one run: how well the enforcement layer
+/// isolated the *injected* faults from the rest of the workload.
+///
+/// The outcomes are split into the **affected** events (tagged with a cost
+/// overrun in the run's [`FaultPlan`]) and the **unaffected** remainder. A
+/// containing system aborts the overruns at their declared budgets
+/// ([`rt_model::AperiodicFate::Aborted`]) and keeps the unaffected accepted
+/// events meeting their deadlines — the overrun never propagates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ContainmentMeasures {
+    /// Events released within the horizon.
+    pub released: usize,
+    /// Released events tagged with an injected cost overrun.
+    pub affected: usize,
+    /// Affected events cut off by budget enforcement (`Aborted` fate).
+    pub aborted_affected: usize,
+    /// Unaffected accepted events with an observable deadline (the
+    /// containment-miss denominator, censored at the horizon).
+    pub unaffected_with_deadline: usize,
+    /// Unaffected accepted events that still missed their deadlines — the
+    /// quantity a containing enforcement layer drives to zero.
+    pub unaffected_misses: usize,
+    /// Total value accrued by the run (events completed by their
+    /// deadlines), the measure carried across mode switches.
+    pub accrued_value: u64,
+}
+
+impl ContainmentMeasures {
+    /// Computes the containment measures of one trace against the fault
+    /// plan that produced it, censoring deadline observations at the trace
+    /// horizon exactly like [`RunMeasures::from_trace`].
+    pub fn from_trace(trace: &Trace, faults: &FaultPlan) -> Self {
+        let affected_ids: Vec<_> = faults.overruns.iter().map(|o| o.event).collect();
+        let is_affected = |o: &AperiodicOutcome| affected_ids.contains(&o.event);
+        let observable = |o: &AperiodicOutcome| -> bool {
+            o.deadline.is_some_and(|d| d <= trace.horizon) && o.is_accepted()
+        };
+        ContainmentMeasures {
+            released: trace.outcomes.len(),
+            affected: trace.outcomes.iter().filter(|o| is_affected(o)).count(),
+            aborted_affected: trace
+                .outcomes
+                .iter()
+                .filter(|o| is_affected(o) && o.is_aborted())
+                .count(),
+            unaffected_with_deadline: trace
+                .outcomes
+                .iter()
+                .filter(|o| !is_affected(o) && observable(o))
+                .count(),
+            unaffected_misses: trace
+                .outcomes
+                .iter()
+                .filter(|o| !is_affected(o) && observable(o))
+                .filter(|o| o.missed_deadline_after_acceptance())
+                .count(),
+            accrued_value: trace.outcomes.iter().map(|o| o.accrued_value()).sum(),
+        }
+    }
+
+    /// Deadline-miss ratio among the unaffected accepted events (0.0 when
+    /// none carries an observable deadline). Zero means the injected
+    /// overruns were fully contained.
+    pub fn unaffected_miss_ratio(&self) -> f64 {
+        if self.unaffected_with_deadline == 0 {
+            return 0.0;
+        }
+        self.unaffected_misses as f64 / self.unaffected_with_deadline as f64
+    }
+
+    /// Share of the overrun-injected events cut off by budget enforcement
+    /// (1.0 for fault-free runs: nothing escaped because nothing was
+    /// injected).
+    pub fn abort_ratio(&self) -> f64 {
+        if self.affected == 0 {
+            return 1.0;
+        }
+        self.aborted_affected as f64 / self.affected as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +274,63 @@ mod tests {
         assert_eq!(measures.average_response_time, None);
         assert_eq!(measures.served_ratio(), 1.0);
         assert_eq!(measures.interrupted_ratio(), 0.0);
+    }
+
+    #[test]
+    fn containment_splits_affected_from_unaffected() {
+        let mut trace = Trace::new(Instant::from_units(40));
+        // e0: overrun-injected, aborted at its declared budget.
+        trace.push_outcome(outcome(
+            0,
+            AperiodicFate::Aborted {
+                at: Instant::from_units(4),
+            },
+        ));
+        // e1: unaffected, served before its deadline.
+        trace.push_outcome(
+            outcome(
+                1,
+                AperiodicFate::Served {
+                    started: Instant::from_units(4),
+                    completed: Instant::from_units(6),
+                },
+            )
+            .with_deadline(Some(Instant::from_units(10)))
+            .with_value(7),
+        );
+        // e2: unaffected, misses its observable deadline.
+        trace.push_outcome(
+            outcome(
+                2,
+                AperiodicFate::Served {
+                    started: Instant::from_units(10),
+                    completed: Instant::from_units(20),
+                },
+            )
+            .with_deadline(Some(Instant::from_units(12))),
+        );
+        // e3: unaffected, deadline beyond the horizon — censored.
+        trace.push_outcome(
+            outcome(3, AperiodicFate::Unserved).with_deadline(Some(Instant::from_units(50))),
+        );
+        let faults = FaultPlan::new().overrun(EventId::new(0), Span::from_units(3));
+        let measures = ContainmentMeasures::from_trace(&trace, &faults);
+        assert_eq!(measures.released, 4);
+        assert_eq!(measures.affected, 1);
+        assert_eq!(measures.aborted_affected, 1);
+        assert_eq!(measures.abort_ratio(), 1.0);
+        assert_eq!(measures.unaffected_with_deadline, 2);
+        assert_eq!(measures.unaffected_misses, 1);
+        assert_eq!(measures.unaffected_miss_ratio(), 0.5);
+        assert_eq!(measures.accrued_value, 7);
+    }
+
+    #[test]
+    fn fault_free_runs_have_neutral_containment() {
+        let trace = Trace::new(Instant::from_units(10));
+        let measures = ContainmentMeasures::from_trace(&trace, &FaultPlan::new());
+        assert_eq!(measures.abort_ratio(), 1.0);
+        assert_eq!(measures.unaffected_miss_ratio(), 0.0);
     }
 
     #[test]

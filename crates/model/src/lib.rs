@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod job;
 pub mod priority;
@@ -30,6 +31,7 @@ pub mod time;
 pub mod trace;
 
 pub use error::ModelError;
+pub use fault::{ArrivalFault, CostOverrun, FaultPlan, ModeChange};
 pub use ids::{EventId, HandlerId, IdAllocator, JobId, ServerId, TaskId};
 pub use job::{Job, JobSource, JobState};
 pub use priority::{

@@ -13,6 +13,7 @@
 //! one generated system is guaranteed to be fed identically to both paths.
 
 use crate::error::ModelError;
+use crate::fault::FaultPlan;
 use crate::ids::{EventId, HandlerId, TaskId};
 use crate::priority::{Priority, SchedulingPolicy};
 use crate::task::{AperiodicEvent, PeriodicTask, ServerSpec};
@@ -42,6 +43,10 @@ pub struct SystemSpec {
     /// it; the static priorities are kept either way so one system can be
     /// compared across policies.
     pub scheduling: SchedulingPolicy,
+    /// Deterministic fault-injection and mode-change plan (empty by
+    /// default: fault-free specs are byte-identical to the pre-fault-layer
+    /// behaviour in every engine).
+    pub faults: FaultPlan,
 }
 
 impl SystemSpec {
@@ -167,7 +172,48 @@ impl SystemSpec {
         if self.horizon == Instant::ZERO {
             return Err(ModelError::invalid("horizon must be positive"));
         }
+        let lanes: Vec<_> = self
+            .servers
+            .iter()
+            .map(|s| (s.policy, s.capacity, s.period))
+            .collect();
+        self.faults
+            .validate(|id| self.aperiodics.iter().any(|e| e.id == id), &lanes)?;
         Ok(())
+    }
+
+    /// Resolves the plan's arrival faults into a normalised spec: jittered
+    /// events move to their delayed release (their absolute deadline stays
+    /// anchored to the nominal release, so the relative deadline shrinks,
+    /// saturating at zero), dropped events are removed entirely, events are
+    /// re-sorted by `(release, id)` and the arrival-fault list is cleared
+    /// (normalisation is idempotent). Returns `None` when the plan carries
+    /// no arrival faults, so fault-free paths pay nothing.
+    ///
+    /// Every engine entry point applies this normalisation first, which is
+    /// what makes arrival faults identical across worlds by construction.
+    pub fn apply_arrival_faults(&self) -> Option<SystemSpec> {
+        if !self.faults.has_arrival_faults() {
+            return None;
+        }
+        let mut spec = self.clone();
+        let faults = std::mem::take(&mut spec.faults.arrival_faults);
+        for fault in &faults {
+            match *fault {
+                crate::fault::ArrivalFault::Drop { event } => {
+                    spec.aperiodics.retain(|e| e.id != event);
+                    spec.faults.overruns.retain(|o| o.event != event);
+                }
+                crate::fault::ArrivalFault::Jitter { event, delay } => {
+                    if let Some(e) = spec.aperiodics.iter_mut().find(|e| e.id == event) {
+                        e.release += delay;
+                        e.relative_deadline = e.relative_deadline.map(|d| d.saturating_sub(delay));
+                    }
+                }
+            }
+        }
+        spec.aperiodics.sort_by_key(|e| (e.release, e.id));
+        Some(spec)
     }
 }
 
@@ -180,6 +226,7 @@ pub struct SystemBuilder {
     aperiodics: Vec<AperiodicEvent>,
     horizon: Option<Instant>,
     scheduling: SchedulingPolicy,
+    faults: FaultPlan,
     next_task: u32,
     next_event: u32,
     next_handler: u32,
@@ -195,6 +242,7 @@ impl SystemBuilder {
             aperiodics: Vec::new(),
             horizon: None,
             scheduling: SchedulingPolicy::FixedPriority,
+            faults: FaultPlan::default(),
             next_task: 0,
             next_event: 0,
             next_handler: 0,
@@ -296,6 +344,18 @@ impl SystemBuilder {
         self
     }
 
+    /// Attaches the system's fault-injection / mode-change plan (mode
+    /// changes are sorted by instant at build time).
+    pub fn faults(&mut self, faults: FaultPlan) -> &mut Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Mutable access to the fault plan under construction.
+    pub fn faults_mut(&mut self) -> &mut FaultPlan {
+        &mut self.faults
+    }
+
     /// Sets the horizon to `n` periods of the primary server, the paper's
     /// convention.
     pub fn horizon_server_periods(&mut self, n: u64) -> &mut Self {
@@ -327,6 +387,8 @@ impl SystemBuilder {
                 }
             }
         });
+        let mut faults = std::mem::take(&mut self.faults);
+        faults.normalise();
         let spec = SystemSpec {
             name: std::mem::take(&mut self.name),
             periodic_tasks: std::mem::take(&mut self.periodic_tasks),
@@ -334,6 +396,7 @@ impl SystemBuilder {
             aperiodics,
             horizon,
             scheduling: self.scheduling,
+            faults,
         };
         spec.validate()?;
         Ok(spec)

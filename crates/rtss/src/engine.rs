@@ -90,6 +90,30 @@
 //! cost: O(1) for accept-all, amortised O(1) for the predictive policy,
 //! O(backlog) per provisional drop for the value-density rule.
 //!
+//! # Fault injection & mode changes
+//!
+//! When the spec carries a [`rt_model::FaultPlan`], three things change —
+//! none of which costs anything on fault-free specs:
+//!
+//! * **Arrival faults** (release jitter, dropped arrivals) are resolved by
+//!   [`SystemSpec::apply_arrival_faults`] *before* the simulator is built,
+//!   so every engine mode (and the execution world) sees the same already-
+//!   normalised arrival stream. Zero runtime cost.
+//! * **Cost overruns** give the faulted job a service cap equal to its
+//!   declared budget while its real demand grows by the injected extra;
+//!   exhausting the cap mid-job surfaces as [`AperiodicFate::Aborted`] and
+//!   releases the job's admission-plan slot
+//!   ([`rt_admission::ServerAdmission::on_abort`]). Enforcement is one
+//!   extra `min` + subtraction per served slice — O(1) per decision; the
+//!   abort itself pays the admission repack, O(backlog), only when it fires.
+//! * **Mode changes** apply at the first *quiescent* decision point at or
+//!   after their instant (no in-service job on the lane — in-flight work
+//!   drains first), reconfiguring capacity/period/policy/discipline/
+//!   admission ([`crate::server::ServerState::reconfigure`]). The sweep is
+//!   O(mode changes) per decision point with per-record applied flags, and
+//!   each pending instant is a decision point, so reconfiguration lands at
+//!   the same instant in every engine mode.
+//!
 //! # Same-instant batching
 //!
 //! Decision *count* is the remaining cost driver. Between two consecutive
@@ -155,6 +179,13 @@ struct PendingAperiodic {
     /// `release + relative_deadline`, or the release itself when the event
     /// carries no deadline (so deadline order degenerates to FIFO).
     deadline: Instant,
+    /// Service budget still allowed before enforcement cuts the job off:
+    /// the declared cost for jobs carrying an injected overrun
+    /// ([`rt_model::FaultPlan::overrun_extra`]), [`Span::MAX`] otherwise.
+    /// Exhausting it with work remaining surfaces as
+    /// [`AperiodicFate::Aborted`]. O(1) per served slice — one extra `min`
+    /// and one subtraction on the dispatch path.
+    cap_left: Span,
 }
 
 /// One installed server: its capacity-policy state plus its own pending
@@ -212,6 +243,9 @@ fn outcome(event: &rt_model::AperiodicEvent, fate: AperiodicFate) -> AperiodicOu
 pub fn simulate(spec: &SystemSpec) -> Trace {
     spec.validate()
         .expect("simulate() requires a valid system specification");
+    if let Some(normalized) = spec.apply_arrival_faults() {
+        return Simulator::new(&normalized, true, true).run();
+    }
     Simulator::new(spec, true, true).run()
 }
 
@@ -226,6 +260,9 @@ pub fn simulate(spec: &SystemSpec) -> Trace {
 pub fn simulate_reference(spec: &SystemSpec) -> Trace {
     spec.validate()
         .expect("simulate_reference() requires a valid system specification");
+    if let Some(normalized) = spec.apply_arrival_faults() {
+        return Simulator::new(&normalized, false, false).run();
+    }
     Simulator::new(spec, false, false).run()
 }
 
@@ -241,6 +278,9 @@ pub fn simulate_reference(spec: &SystemSpec) -> Trace {
 pub fn simulate_unbatched(spec: &SystemSpec) -> Trace {
     spec.validate()
         .expect("simulate_unbatched() requires a valid system specification");
+    if let Some(normalized) = spec.apply_arrival_faults() {
+        return Simulator::new(&normalized, true, false).run();
+    }
     Simulator::new(spec, true, false).run()
 }
 
@@ -280,6 +320,11 @@ struct Simulator<'a> {
     aborted_scratch: Vec<EventId>,
     /// Scheduling policy of the simulated system ([`SystemSpec::scheduling`]).
     scheduling: SchedulingPolicy,
+    /// Per-record applied flag for the spec's mode changes (same order as
+    /// [`rt_model::FaultPlan::mode_changes`]). A record stays unapplied past
+    /// its instant while its lane has in-service work — the quiescence
+    /// protocol — and is retried at every decision point.
+    mode_applied: Vec<bool>,
 }
 
 impl<'a> Simulator<'a> {
@@ -325,6 +370,7 @@ impl<'a> Simulator<'a> {
             has_pending,
             aborted_scratch: Vec::new(),
             scheduling: spec.scheduling,
+            mode_applied: vec![false; spec.faults.mode_changes.len()],
         }
     }
 
@@ -373,7 +419,11 @@ impl<'a> Simulator<'a> {
     /// Injects every arrival, release and replenishment due at the current
     /// instant.
     fn process_due_events(&mut self) {
-        // Aperiodic arrivals first, so that an event arriving exactly at a
+        // Mode changes first: a same-instant arrival must be admitted under
+        // the reconfigured lane, exactly as the execution engine applies due
+        // changes before routing a fired event.
+        self.apply_due_mode_changes();
+        // Aperiodic arrivals next, so that an event arriving exactly at a
         // server activation instant is visible to the activation (the polling
         // server would otherwise discard its fresh capacity).
         while self.next_arrival < self.spec.aperiodics.len()
@@ -381,13 +431,22 @@ impl<'a> Simulator<'a> {
         {
             let event = &self.spec.aperiodics[self.next_arrival];
             if event.release < self.horizon {
+                // The simulator executes the real demand of the handler —
+                // plus any injected overrun, capped at the declared budget
+                // for the faulted jobs (for generated systems declared and
+                // actual agree, so unfaulted jobs never hit the cap).
+                let extra = self.spec.faults.overrun_extra(event.id);
+                let (remaining, cap_left) = if extra.is_zero() {
+                    (event.actual_cost, Span::MAX)
+                } else {
+                    (event.actual_cost + extra, event.declared_cost)
+                };
                 let job = PendingAperiodic {
                     index: self.next_arrival,
-                    // The simulator executes the real demand of the handler;
-                    // for generated systems declared and actual agree.
-                    remaining: event.actual_cost,
+                    remaining,
                     started: None,
                     deadline: event.absolute_deadline().unwrap_or(event.release),
+                    cap_left,
                 };
                 match self.servers.get_mut(event.server) {
                     Some(lane) => {
@@ -513,6 +572,35 @@ impl<'a> Simulator<'a> {
             .push_outcome(outcome(event, AperiodicFate::Aborted { at: self.now }));
     }
 
+    /// Applies every mode change due at the current instant whose lane is
+    /// quiescent — no in-service (started, unfinished) job in its queue.
+    /// Non-quiescent lanes keep their record pending and retry at the next
+    /// decision point; other lanes' records are not blocked (per-record
+    /// flags, not a cursor). Applying a record reconfigures the capacity
+    /// state ([`ServerState::reconfigure`]) and rebuilds the admission
+    /// machine from the updated spec — the already-admitted backlog is
+    /// grandfathered: it stays queued, owns no virtual plan entries, and is
+    /// never displaced by post-change arrivals. O(mode changes) per decision
+    /// point, zero when the plan has none.
+    fn apply_due_mode_changes(&mut self) {
+        let spec = self.spec;
+        if spec.faults.mode_changes.is_empty() {
+            return;
+        }
+        for (k, change) in spec.faults.mode_changes.iter().enumerate() {
+            if self.mode_applied[k] || change.at > self.now {
+                continue;
+            }
+            let lane = &mut self.servers[change.server];
+            if lane.queue.iter().any(|job| job.started.is_some()) {
+                continue;
+            }
+            lane.state.reconfigure(change);
+            lane.admission = ServerAdmission::for_server(&lane.state.spec);
+            self.mode_applied[k] = true;
+        }
+    }
+
     /// The next instant at which the scheduling decision could change.
     ///
     /// Indexed: O(1) — arrival cursor, release-heap peek, replenishment
@@ -540,6 +628,11 @@ impl<'a> Simulator<'a> {
         for lane in &self.servers {
             if lane.state.is_capacity_limited() {
                 next = next.min(lane.state.next_replenishment());
+            }
+        }
+        for (k, change) in self.spec.faults.mode_changes.iter().enumerate() {
+            if !self.mode_applied[k] && change.at > self.now {
+                next = next.min(change.at);
             }
         }
         next.max(self.now + Span::from_ticks(1))
@@ -689,6 +782,17 @@ impl<'a> Simulator<'a> {
     /// server is still ready the forced re-pick is skipped and the next job
     /// is served directly.
     fn run_server(&mut self, s: usize, next: Instant) {
+        // A mode change deferred by the quiescence rule (due before this
+        // window opened, lane busy then) may become applicable the moment a
+        // job completes: force a dispatcher re-entry instead of batching on,
+        // so the batched and unbatched loops reconfigure at the same instant.
+        let deferred_change = self
+            .spec
+            .faults
+            .mode_changes
+            .iter()
+            .enumerate()
+            .any(|(k, c)| !self.mode_applied[k] && c.server == s && c.at <= self.now);
         let lane = &mut self.servers[s];
         let discipline = lane.state.spec.discipline;
         loop {
@@ -717,7 +821,11 @@ impl<'a> Simulator<'a> {
             // Decision points strictly advance time (asserted in `run`): an
             // inverted window is an engine bug, not a clamp.
             let window = next.since(self.now);
-            let slice = job.remaining.min(lane.state.max_slice()).min(window);
+            let slice = job
+                .remaining
+                .min(job.cap_left)
+                .min(lane.state.max_slice())
+                .min(window);
             debug_assert!(
                 !slice.is_zero(),
                 "the server was picked but cannot make progress"
@@ -729,6 +837,7 @@ impl<'a> Simulator<'a> {
             self.trace
                 .push_segment(ExecUnit::Handler(event), self.now, self.now + slice);
             job.remaining -= slice;
+            job.cap_left -= slice;
             lane.state.consume(slice, self.now);
             self.now += slice;
             if job.remaining.is_zero() {
@@ -745,8 +854,25 @@ impl<'a> Simulator<'a> {
                 if lane.queue.is_empty() {
                     lane.state.on_queue_emptied(self.now);
                 }
+            } else if job.cap_left.is_zero() {
+                // Budget enforcement: the job exhausted its declared budget
+                // with work remaining — cut it off, surface the overrun as an
+                // abort and release its slot in the admission plan so
+                // equation-(5) stops charging for work that will never run.
+                let spec_event = &self.spec.aperiodics[job.index];
+                self.trace
+                    .push_outcome(outcome(spec_event, AperiodicFate::Aborted { at: self.now }));
+                lane.queue.remove(position);
+                if lane.queue.is_empty() {
+                    lane.state.on_queue_emptied(self.now);
+                }
+                lane.admission.on_abort(event, self.now);
             }
-            if !self.batch || self.now >= next || !lane.state.is_ready(lane.queue.is_empty()) {
+            if !self.batch
+                || self.now >= next
+                || deferred_change
+                || !lane.state.is_ready(lane.queue.is_empty())
+            {
                 break;
             }
         }
@@ -1177,6 +1303,109 @@ mod tests {
             simulate(&edd).render_canonical(),
             "deadline order keyed by release must degenerate to FIFO"
         );
+    }
+
+    #[test]
+    fn injected_overruns_are_cut_off_at_the_declared_budget() {
+        // e1@0 declares 2 but demands 4: the PS serves exactly the declared
+        // budget and enforcement aborts the rest; the unaffected e2@6 is
+        // served exactly as in the fault-free run.
+        let mut spec = table1(ServerPolicyKind::Polling, 3, &[(0, 2), (6, 2)]);
+        let e1 = spec.aperiodics[0].id;
+        spec.faults = rt_model::FaultPlan::new().overrun(e1, Span::from_units(2));
+        let trace = simulate(&spec);
+        assert_eq!(
+            trace.outcomes[0].fate,
+            AperiodicFate::Aborted {
+                at: Instant::from_units(2)
+            }
+        );
+        assert_eq!(response_of(&trace, 1), Some(Span::from_units(2)));
+        assert!(trace.all_periodic_deadlines_met());
+        let canonical = trace.render_canonical();
+        assert_eq!(canonical, simulate_reference(&spec).render_canonical());
+        assert_eq!(canonical, simulate_unbatched(&spec).render_canonical());
+    }
+
+    #[test]
+    fn arrival_faults_reshape_the_stream_before_simulation() {
+        // Jitter moves e1@0 to 3; the drop removes e2 entirely. The faulted
+        // run must be byte-identical to simulating the reshaped stream.
+        let base = table1(ServerPolicyKind::Deferrable, 3, &[(0, 2), (6, 2)]);
+        let mut faulted = base.clone();
+        let e1 = faulted.aperiodics[0].id;
+        let e2 = faulted.aperiodics[1].id;
+        faulted.faults = rt_model::FaultPlan::new()
+            .jitter(e1, Span::from_units(3))
+            .drop_arrival(e2);
+        let trace = simulate(&faulted);
+        assert_eq!(trace.outcomes.len(), 1);
+        assert_eq!(trace.outcomes[0].release, Instant::from_units(3));
+        let mut reshaped = base.clone();
+        reshaped.aperiodics[0].release = Instant::from_units(3);
+        reshaped.aperiodics.remove(1);
+        assert_eq!(
+            trace.render_canonical(),
+            simulate(&reshaped).render_canonical()
+        );
+    }
+
+    #[test]
+    fn mode_changes_wait_for_quiescence_before_reconfiguring() {
+        // DS capacity 3: e1@1 (cost 3) is in service when the capacity cut
+        // to 1 falls due at t=2 — the change waits for e1 to drain (t=4),
+        // so e1 keeps its full-capacity service; e2@4 then lives under the
+        // shrunk server and needs two one-unit periods.
+        let mut spec = table1(ServerPolicyKind::Deferrable, 3, &[(1, 3), (4, 2)]);
+        spec.faults = rt_model::FaultPlan::new().mode_change(
+            rt_model::ModeChange::at(Instant::from_units(2), 0).with_capacity(Span::from_units(1)),
+        );
+        let trace = simulate(&spec);
+        assert_eq!(
+            trace.outcomes[0].fate,
+            AperiodicFate::Served {
+                started: Instant::from_units(1),
+                completed: Instant::from_units(4),
+            },
+            "in-service work drains under the old configuration"
+        );
+        let e2 = spec.aperiodics[1].id;
+        let segs: Vec<_> = trace.segments_of(ExecUnit::Handler(e2)).collect();
+        assert_eq!(segs.len(), 2, "e2 is served in one-unit slices");
+        assert_eq!(
+            (segs[0].start, segs[0].end),
+            (Instant::from_units(6), Instant::from_units(7))
+        );
+        assert_eq!(
+            (segs[1].start, segs[1].end),
+            (Instant::from_units(12), Instant::from_units(13))
+        );
+        let canonical = trace.render_canonical();
+        assert_eq!(canonical, simulate_reference(&spec).render_canonical());
+        assert_eq!(canonical, simulate_unbatched(&spec).render_canonical());
+    }
+
+    #[test]
+    fn policy_swap_to_background_lifts_the_capacity_limit() {
+        // DS capacity 3 exhausted by e1; e2 would wait for the t=6
+        // replenishment, but the swap to background servicing at t=4 frees
+        // it immediately (at the server's priority).
+        let mut spec = table1(ServerPolicyKind::Deferrable, 3, &[(0, 3), (1, 3)]);
+        spec.faults = rt_model::FaultPlan::new().mode_change(
+            rt_model::ModeChange::at(Instant::from_units(4), 0)
+                .with_policy(ServerPolicyKind::Background),
+        );
+        let trace = simulate(&spec);
+        assert_eq!(
+            trace.outcomes[1].fate,
+            AperiodicFate::Served {
+                started: Instant::from_units(4),
+                completed: Instant::from_units(7),
+            }
+        );
+        let canonical = trace.render_canonical();
+        assert_eq!(canonical, simulate_reference(&spec).render_canonical());
+        assert_eq!(canonical, simulate_unbatched(&spec).render_canonical());
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! one place per world, and the framework-vs-textbook comparison stays
 //! policy-by-policy.
 
-use rt_model::{Instant, ServerPolicyKind, ServerSpec, Span};
+use rt_model::{Instant, ModeChange, ServerPolicyKind, ServerSpec, Span};
 use std::collections::VecDeque;
 
 /// The capacity-state machine of one aperiodic server policy.
@@ -379,6 +379,59 @@ impl ServerState {
         self.capacity()
     }
 
+    /// Applies one validated [`ModeChange`] record at a quiescent instant
+    /// (the engine guarantees no job is in service on this lane).
+    ///
+    /// * **Policy swap** — the record's capacity/period (when present)
+    ///   overwrite the spec and the policy state is rebuilt *fresh*: full
+    ///   capacity, no scheduled replenishments, no open chunk. Validation
+    ///   restricts swap targets to [`ServerPolicyKind::Background`] and
+    ///   [`ServerPolicyKind::Sporadic`], whose fresh states need no
+    ///   engine-side replenishment timer surgery.
+    /// * **Capacity change** — the spec is updated and the available
+    ///   capacity clamped to the new ceiling (`min`); outstanding scheduled
+    ///   replenishments are left untouched (they clamp on arrival).
+    /// * **Period change** — the spec is updated; already-scheduled
+    ///   replenishments keep their instants, future ones use the new period.
+    /// * **Discipline / admission** — spec-only here; the engine re-reads
+    ///   the discipline per dispatch and rebuilds its admission machine.
+    pub fn reconfigure(&mut self, change: &ModeChange) {
+        if let Some(capacity) = change.capacity {
+            self.spec.capacity = capacity;
+        }
+        if let Some(period) = change.period {
+            self.spec.period = period;
+        }
+        if let Some(discipline) = change.discipline {
+            self.spec.discipline = discipline;
+        }
+        if let Some(admission) = change.admission {
+            self.spec.admission = admission;
+        }
+        if let Some(kind) = change.policy {
+            self.spec.policy = kind;
+            self.policy = match kind {
+                ServerPolicyKind::Background => PolicyState::Background(BackgroundPolicy),
+                ServerPolicyKind::Sporadic => {
+                    PolicyState::Sporadic(SporadicPolicy::new(&self.spec))
+                }
+                ServerPolicyKind::Polling | ServerPolicyKind::Deferrable => {
+                    unreachable!("validation restricts swap targets to Background/Sporadic")
+                }
+            };
+        } else if change.capacity.is_some() {
+            let ceiling = self.spec.capacity;
+            match &mut self.policy {
+                PolicyState::Polling(PollingPolicy(r)) => r.capacity = r.capacity.min(ceiling),
+                PolicyState::Deferrable(DeferrablePolicy(r)) => {
+                    r.capacity = r.capacity.min(ceiling);
+                }
+                PolicyState::Sporadic(s) => s.capacity = s.capacity.min(ceiling),
+                PolicyState::Background(_) => {}
+            }
+        }
+    }
+
     /// The absolute deadline an EDF dispatcher ranks this server by — its
     /// *replenishment-derived deadline*:
     ///
@@ -546,6 +599,49 @@ mod tests {
         s.consume(Span::from_units(1), Instant::from_units(9));
         s.on_queue_emptied(Instant::from_units(10));
         assert_eq!(s.next_replenishment(), Instant::from_units(15));
+    }
+
+    #[test]
+    fn reconfigure_clamps_capacity_and_keeps_scheduled_replenishments() {
+        let mut s = deferrable();
+        s.replenish_due(Instant::ZERO, false);
+        assert_eq!(s.capacity(), Span::from_units(3));
+        // Shrink to 2: available clamps, the next replenishment instant
+        // stays, and from then on refills hit the new ceiling.
+        s.reconfigure(
+            &ModeChange::at(Instant::from_units(3), 0).with_capacity(Span::from_units(2)),
+        );
+        assert_eq!(s.capacity(), Span::from_units(2));
+        assert_eq!(s.next_replenishment(), Instant::from_units(6));
+        s.consume(Span::from_units(2), Instant::from_units(3));
+        assert!(s.replenish_due(Instant::from_units(6), false));
+        assert_eq!(s.capacity(), Span::from_units(2));
+    }
+
+    #[test]
+    fn reconfigure_swaps_a_lane_to_a_fresh_sporadic_state() {
+        let mut s = deferrable();
+        s.replenish_due(Instant::ZERO, false);
+        s.consume(Span::from_units(2), Instant::ZERO);
+        let change = ModeChange::at(Instant::from_units(4), 0)
+            .with_policy(ServerPolicyKind::Sporadic)
+            .with_capacity(Span::from_units(4))
+            .with_period(Span::from_units(8));
+        s.reconfigure(&change);
+        assert_eq!(s.spec.policy, ServerPolicyKind::Sporadic);
+        assert_eq!(s.capacity(), Span::from_units(4), "fresh full capacity");
+        assert_eq!(
+            s.next_replenishment(),
+            Instant::MAX,
+            "no inherited replenishments"
+        );
+        // A background swap drops the capacity limit entirely.
+        let mut d = deferrable();
+        d.reconfigure(
+            &ModeChange::at(Instant::from_units(4), 0).with_policy(ServerPolicyKind::Background),
+        );
+        assert!(!d.is_capacity_limited());
+        assert_eq!(d.max_slice(), Span::MAX);
     }
 
     #[test]

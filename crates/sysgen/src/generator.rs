@@ -15,8 +15,8 @@ use crate::params::GeneratorParams;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rt_model::{
-    AdmissionPolicy, Instant, Priority, QueueDiscipline, SchedulingPolicy, ServerPolicyKind,
-    ServerSpec, Span, SymbolicPriority, SystemSpec,
+    AdmissionPolicy, ArrivalFault, CostOverrun, Instant, ModeChange, Priority, QueueDiscipline,
+    SchedulingPolicy, ServerPolicyKind, ServerSpec, Span, SymbolicPriority, SystemSpec,
 };
 
 /// How the generator tags aperiodic events with completion values (the
@@ -45,6 +45,79 @@ pub enum ValueModel {
         /// Largest density (inclusive).
         hi: u64,
     },
+}
+
+/// How the generator injects deterministic faults into each generated
+/// system's [`rt_model::FaultPlan`].
+///
+/// **Stream-preserving**: fault decisions are drawn from a **dedicated RNG
+/// stream** derived from the generator seed with a distinct salt, so a
+/// faulted set carries exactly the traffic (releases, costs, values) of its
+/// fault-free twin — the containment experiments compare like with like.
+/// Per event the model draws one placement roll (drop, else jitter, else
+/// clean) and one independent overrun roll, in release order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Probability an event's job demands extra processor time beyond its
+    /// declared cost (drawn independently of the arrival faults).
+    pub overrun_rate: f64,
+    /// Injected extra demand = `declared cost × overrun_factor`.
+    pub overrun_factor: u64,
+    /// Probability an event's release is jittered.
+    pub jitter_rate: f64,
+    /// Largest injected release delay (uniform over `1..=max_jitter` ticks).
+    pub max_jitter: Span,
+    /// Probability an event's arrival is dropped entirely.
+    pub drop_rate: f64,
+}
+
+impl FaultModel {
+    /// A model injecting only cost overruns.
+    pub fn overruns(rate: f64, factor: u64) -> Self {
+        FaultModel {
+            overrun_rate: rate,
+            overrun_factor: factor,
+            jitter_rate: 0.0,
+            max_jitter: Span::ZERO,
+            drop_rate: 0.0,
+        }
+    }
+
+    /// A model injecting only arrival faults (jitter and drops).
+    pub fn arrivals(jitter_rate: f64, max_jitter: Span, drop_rate: f64) -> Self {
+        FaultModel {
+            overrun_rate: 0.0,
+            overrun_factor: 0,
+            jitter_rate,
+            max_jitter,
+            drop_rate,
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let prob = |name: &str, p: f64| -> Result<(), String> {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(format!("{name} must be a probability in [0, 1], got {p}"));
+            }
+            Ok(())
+        };
+        prob("overrun_rate", self.overrun_rate)?;
+        prob("jitter_rate", self.jitter_rate)?;
+        prob("drop_rate", self.drop_rate)?;
+        if self.jitter_rate + self.drop_rate > 1.0 {
+            return Err(format!(
+                "jitter_rate + drop_rate must not exceed 1 (got {})",
+                self.jitter_rate + self.drop_rate
+            ));
+        }
+        if self.overrun_rate > 0.0 && self.overrun_factor == 0 {
+            return Err("overrun_factor must be >= 1 when overruns are enabled".into());
+        }
+        if self.jitter_rate > 0.0 && self.max_jitter.is_zero() {
+            return Err("max_jitter must be positive when jitter is enabled".into());
+        }
+        Ok(())
+    }
 }
 
 /// Optional periodic load generated below the server (an extension over the
@@ -102,6 +175,8 @@ pub struct RandomSystemGenerator {
     admission: AdmissionPolicy,
     overload: f64,
     value_model: Option<ValueModel>,
+    fault_model: Option<FaultModel>,
+    mode_schedule: Vec<ModeChange>,
 }
 
 impl RandomSystemGenerator {
@@ -126,6 +201,8 @@ impl RandomSystemGenerator {
             admission: AdmissionPolicy::AcceptAll,
             overload: 1.0,
             value_model: None,
+            fault_model: None,
+            mode_schedule: Vec::new(),
         })
     }
 
@@ -251,6 +328,33 @@ impl RandomSystemGenerator {
         self
     }
 
+    /// Attaches a deterministic fault-injection model: each generated event
+    /// may be tagged with a cost overrun, release jitter or a dropped
+    /// arrival, recorded in the spec's [`rt_model::FaultPlan`]. Decisions
+    /// come from a dedicated RNG stream (seed ⊕ a fixed salt), so the
+    /// release/cost/value streams are untouched — a faulted set is its
+    /// fault-free twin plus the plan.
+    ///
+    /// # Errors
+    /// Rejects models whose rates are not probabilities, whose jitter/drop
+    /// rates together exceed 1, or whose enabled families carry a zero
+    /// magnitude (factor or maximum jitter).
+    pub fn with_fault_model(mut self, model: FaultModel) -> Result<Self, String> {
+        model.validate()?;
+        self.fault_model = Some(model);
+        Ok(self)
+    }
+
+    /// Stamps an explicit mode-change schedule on every generated system
+    /// (records are sorted into plan order). Purely deterministic — no
+    /// randomness is consumed, so the traffic streams are unchanged. The
+    /// schedule must be valid for the generated server configuration
+    /// (`SystemSpec::validate` checks it per system at build time).
+    pub fn with_mode_schedule(mut self, changes: Vec<ModeChange>) -> Self {
+        self.mode_schedule = changes;
+        self
+    }
+
     /// The generator parameters.
     pub fn params(&self) -> &GeneratorParams {
         &self.params
@@ -372,6 +476,17 @@ impl RandomSystemGenerator {
                     ^ 0xA5A5_5A5A_D0E5_11AD,
             )
         });
+        // Dedicated fault stream (distinct salt): fault tagging never
+        // perturbs the release/cost/value draws.
+        let mut fault_rng = self.fault_model.map(|_| {
+            StdRng::seed_from_u64(
+                self.params
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(index as u64)
+                    ^ 0xFA17_1217_FA17_1217,
+            )
+        });
         let mut releases: Vec<Instant> = Vec::new();
         for k in 0..self.params.horizon_periods {
             let count = poisson(&mut rng, arrival_density);
@@ -419,6 +534,50 @@ impl RandomSystemGenerator {
                     }
                 };
             }
+            if let Some(model) = self.fault_model {
+                let rng = fault_rng
+                    .as_mut()
+                    .expect("fault_rng exists whenever a model is set");
+                let (id, declared) = {
+                    let event = builder
+                        .last_aperiodic_mut()
+                        .expect("an event was just appended");
+                    (event.id, event.declared_cost)
+                };
+                // One placement roll (drop, else jitter, else clean) and one
+                // independent overrun roll per event, in release order, so
+                // any single rate being zero still consumes the same
+                // randomness and the tagged subsets stay comparable across
+                // model variants.
+                let placement: f64 = rng.gen();
+                if placement < model.drop_rate {
+                    builder
+                        .faults_mut()
+                        .arrival_faults
+                        .push(ArrivalFault::Drop { event: id });
+                } else if placement < model.drop_rate + model.jitter_rate {
+                    let delay = Span::from_ticks(rng.gen_range(1..=model.max_jitter.ticks()));
+                    builder
+                        .faults_mut()
+                        .arrival_faults
+                        .push(ArrivalFault::Jitter { event: id, delay });
+                }
+                let overrun: f64 = rng.gen();
+                if overrun < model.overrun_rate {
+                    let extra = declared
+                        .saturating_mul(model.overrun_factor)
+                        .max(Span::from_ticks(1));
+                    builder
+                        .faults_mut()
+                        .overruns
+                        .push(CostOverrun { event: id, extra });
+                }
+            }
+        }
+        if !self.mode_schedule.is_empty() {
+            let plan = builder.faults_mut();
+            plan.mode_changes.extend(self.mode_schedule.iter().cloned());
+            plan.normalise();
         }
         builder.horizon(horizon);
         builder
@@ -813,6 +972,91 @@ mod tests {
             .map(|e| e.value / e.declared_cost.ticks().max(1))
             .collect();
         assert!(densities.len() > 2, "uniform densities must vary");
+    }
+
+    #[test]
+    fn fault_models_tag_without_perturbing_the_streams() {
+        let plain = generator(2, 2).generate();
+        let faulted = generator(2, 2)
+            .with_fault_model(FaultModel {
+                overrun_rate: 0.3,
+                overrun_factor: 2,
+                jitter_rate: 0.2,
+                max_jitter: Span::from_units(3),
+                drop_rate: 0.1,
+            })
+            .expect("a well-formed model")
+            .generate();
+        let mut overruns = 0usize;
+        let mut arrivals = 0usize;
+        for (a, b) in plain.iter().zip(faulted.iter()) {
+            assert_eq!(
+                a.aperiodics, b.aperiodics,
+                "the fault stream must not perturb the traffic"
+            );
+            assert!(b.validate().is_ok());
+            overruns += b.faults.overruns.len();
+            arrivals += b.faults.arrival_faults.len();
+        }
+        assert!(overruns > 0, "a 30% overrun rate must tag some events");
+        assert!(arrivals > 0, "30% jitter+drop must tag some events");
+        assert!(plain.iter().all(|s| s.faults.is_empty()));
+    }
+
+    #[test]
+    fn overrun_only_and_arrival_only_models_stay_in_their_family() {
+        let overruns = generator(2, 2)
+            .with_fault_model(FaultModel::overruns(0.5, 3))
+            .expect("valid")
+            .generate();
+        assert!(overruns.iter().any(|s| !s.faults.overruns.is_empty()));
+        assert!(overruns.iter().all(|s| s.faults.arrival_faults.is_empty()));
+        for sys in &overruns {
+            for o in &sys.faults.overruns {
+                let event = sys.aperiodics.iter().find(|e| e.id == o.event).unwrap();
+                assert_eq!(o.extra, event.declared_cost.saturating_mul(3));
+            }
+        }
+        let arrivals = generator(2, 2)
+            .with_fault_model(FaultModel::arrivals(0.4, Span::from_units(2), 0.2))
+            .expect("valid")
+            .generate();
+        assert!(arrivals.iter().any(|s| !s.faults.arrival_faults.is_empty()));
+        assert!(arrivals.iter().all(|s| s.faults.overruns.is_empty()));
+    }
+
+    #[test]
+    fn mode_schedules_are_stamped_sorted_and_validated() {
+        let gen = RandomSystemGenerator::new(
+            GeneratorParams::paper_set(2, 2),
+            ServerPolicyKind::Deferrable,
+        )
+        .unwrap()
+        .with_mode_schedule(vec![
+            ModeChange::at(Instant::from_units(30), 0).with_capacity(Span::from_units(2)),
+            ModeChange::at(Instant::from_units(12), 0).with_capacity(Span::from_units(3)),
+        ]);
+        for sys in gen.generate() {
+            assert!(sys.validate().is_ok());
+            assert_eq!(sys.faults.mode_changes.len(), 2);
+            assert!(sys.faults.mode_changes[0].at < sys.faults.mode_changes[1].at);
+        }
+    }
+
+    #[test]
+    fn malformed_fault_models_are_rejected() {
+        assert!(generator(1, 0)
+            .with_fault_model(FaultModel::overruns(1.5, 2))
+            .is_err());
+        assert!(generator(1, 0)
+            .with_fault_model(FaultModel::overruns(0.5, 0))
+            .is_err());
+        assert!(generator(1, 0)
+            .with_fault_model(FaultModel::arrivals(0.7, Span::from_units(1), 0.7))
+            .is_err());
+        assert!(generator(1, 0)
+            .with_fault_model(FaultModel::arrivals(0.2, Span::ZERO, 0.0))
+            .is_err());
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub mod generator;
 pub mod params;
 
 pub use cost::{ClampMode, CostModel, MIN_COST_UNITS};
-pub use generator::{uunifast, ExtraServer, PeriodicLoad, RandomSystemGenerator, ValueModel};
+pub use generator::{
+    uunifast, ExtraServer, FaultModel, PeriodicLoad, RandomSystemGenerator, ValueModel,
+};
 pub use params::GeneratorParams;
 
 #[cfg(test)]

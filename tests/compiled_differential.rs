@@ -22,6 +22,9 @@ use rtsj_event_framework::simulator::{simulate, simulate_reference, simulate_unb
 use rtsj_event_framework::sysgen::{GeneratorParams, RandomSystemGenerator};
 use rtsj_event_framework::taskserver::{execute, ExecutionConfig, QueueKind};
 
+mod common;
+use common::invariants::assert_trace_invariants;
+
 /// Asserts the compiled simulation agrees byte-for-byte with every
 /// interpreted simulator mode.
 fn assert_compiled_simulation_agrees(spec: &SystemSpec) {
@@ -52,6 +55,7 @@ fn assert_compiled_simulation_agrees(spec: &SystemSpec) {
         "compiled vs unbatched mismatch on {}",
         spec.name
     );
+    assert_trace_invariants(spec, &compiled);
 }
 
 /// Asserts the compiled execution plan agrees byte-for-byte with the direct
@@ -66,6 +70,7 @@ fn assert_compiled_execution_agrees(spec: &SystemSpec, config: ExecutionConfig) 
         spec.name
     );
     assert_eq!(compiled, interpreted);
+    assert_trace_invariants(spec, &compiled);
 }
 
 /// The Table 1 pair under a configurable server, discipline, admission and

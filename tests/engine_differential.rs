@@ -17,6 +17,9 @@ use rtsj_event_framework::simulator::{simulate, simulate_reference};
 use rtsj_event_framework::sysgen::{GeneratorParams, RandomSystemGenerator};
 use rtsj_event_framework::taskserver::{execute, ExecutionConfig, QueueKind};
 
+mod common;
+use common::invariants::assert_trace_invariants;
+
 /// Asserts both engine paths agree on one system under one configuration.
 fn assert_execution_agrees(spec: &SystemSpec, config: ExecutionConfig) {
     let indexed = execute(spec, &config.with_scheduler(SchedulerKind::Indexed));
@@ -29,6 +32,7 @@ fn assert_execution_agrees(spec: &SystemSpec, config: ExecutionConfig) {
     );
     // PartialEq covers everything render_canonical might abstract away.
     assert_eq!(indexed, scanned, "trace equality mismatch on {}", spec.name);
+    assert_trace_invariants(spec, &indexed);
 }
 
 fn assert_simulation_agrees(spec: &SystemSpec) {
@@ -39,6 +43,7 @@ fn assert_simulation_agrees(spec: &SystemSpec) {
         "indexed and linear-scan simulations diverged on {}",
         spec.name
     );
+    assert_trace_invariants(spec, &indexed);
 }
 
 /// The Table 1 pair with the given policy and traffic.

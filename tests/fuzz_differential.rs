@@ -1,0 +1,315 @@
+//! Seeded cross-engine differential fuzzer.
+//!
+//! Generates random systems across the full configuration space — server
+//! policies × queue disciplines × admission policies × scheduling policies,
+//! single- and multi-lane, with randomly injected cost overruns, arrival
+//! faults and mode changes — and pins the engine pairs that are locked
+//! byte-identical to each other:
+//!
+//! * **simulation world** — `simulate`, `simulate_reference`,
+//!   `simulate_unbatched` and the compiled `simulate_compiled` must render
+//!   identical canonical traces;
+//! * **execution world** — `execute` (indexed and linear-scan schedulers)
+//!   and the compiled `execute_compiled` must render identical canonical
+//!   traces per configuration.
+//!
+//! Every trace additionally passes the spec-aware invariant checker
+//! (`tests/common/invariants.rs`). The two worlds are *not* compared to
+//! each other: the execution substrate is non-resumable and carries
+//! overheads by design.
+//!
+//! The case budget is `FUZZ_CASES` (default 200) and the base seed
+//! `FUZZ_SEED` (default 1983); every case derives a deterministic per-case
+//! seed, so any failure reproduces from the printed seed alone. On a
+//! failure the offending spec is first shrunk — halving the event list,
+//! then dropping fault records and periodic tasks — and the minimal
+//! reproducer is printed with its seed and the divergence.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtsj_event_framework::compile::{execute_compiled, simulate_compiled};
+use rtsj_event_framework::model::{
+    AdmissionPolicy, Instant, ModeChange, Priority, QueueDiscipline, SchedulingPolicy,
+    ServerPolicyKind, ServerSpec, Span, SystemSpec,
+};
+use rtsj_event_framework::prelude::SchedulerKind;
+use rtsj_event_framework::simulator::{simulate, simulate_reference, simulate_unbatched};
+use rtsj_event_framework::taskserver::{execute, ExecutionConfig};
+
+mod common;
+use common::invariants::check_trace_invariants;
+
+const DEFAULT_CASES: usize = 200;
+const DEFAULT_SEED: u64 = 1983;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Draws a random system spec, valid by construction, from the case seed.
+fn random_spec(seed: u64) -> SystemSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let policies = [
+        ServerPolicyKind::Polling,
+        ServerPolicyKind::Deferrable,
+        ServerPolicyKind::Sporadic,
+        ServerPolicyKind::Background,
+    ];
+    let disciplines = [QueueDiscipline::FifoSkip, QueueDiscipline::DeadlineOrdered];
+    let admissions = [
+        AdmissionPolicy::AcceptAll,
+        AdmissionPolicy::DeadlinePredictive,
+        AdmissionPolicy::ValueDensity,
+    ];
+    let mut b = SystemSpec::builder(format!("fuzz-{seed}"));
+
+    let n_servers = rng.gen_range(1..=2u64) as usize;
+    let mut lanes = Vec::new();
+    for lane in 0..n_servers {
+        let policy = policies[rng.gen_range(0..policies.len() as u64) as usize];
+        let server = if policy == ServerPolicyKind::Background {
+            ServerSpec::background(Priority::new(30 - lane as u8))
+        } else {
+            let period = Span::from_units(rng.gen_range(5..=8));
+            ServerSpec {
+                policy,
+                capacity: Span::from_units(rng.gen_range(2..=4u64)),
+                period,
+                priority: Priority::new(30 - lane as u8),
+                discipline: disciplines[rng.gen_range(0..2u64) as usize],
+                admission: admissions[rng.gen_range(0..3u64) as usize],
+            }
+        };
+        lanes.push(server.clone());
+        b.add_server(server);
+    }
+
+    for task in 0..rng.gen_range(1..=2u64) {
+        let period = Span::from_units(rng.gen_range(6..=12));
+        b.periodic(
+            format!("tau{task}"),
+            Span::from_units(rng.gen_range(1..=2)),
+            period,
+            Priority::new(20 - task as u8),
+        );
+    }
+
+    let horizon = 48u64;
+    // Releases must be sorted before insertion.
+    let mut arrivals: Vec<(u64, usize)> = (0..rng.gen_range(0..=10u64))
+        .map(|_| {
+            let release = rng.gen_range(0..horizon);
+            let lane = rng.gen_range(0..n_servers as u64) as usize;
+            (release, lane)
+        })
+        .collect();
+    arrivals.sort();
+    for (release, lane) in arrivals {
+        let max_cost = if lanes[lane].policy.is_capacity_limited() {
+            lanes[lane].capacity.ticks() / Span::from_units(1).ticks()
+        } else {
+            4
+        };
+        let cost = Span::from_units(rng.gen_range(1..=max_cost.max(1)));
+        let id = b.aperiodic_for(lane, Instant::from_units(release), cost);
+        let event = b.last_aperiodic_mut().expect("event just added");
+        if rng.gen_range(0..4u64) != 0 {
+            event.relative_deadline = Some(Span::from_units(rng.gen_range(4..=16)));
+        }
+        event.value = rng.gen_range(1..=8);
+        // Random fault tags: a cost overrun beyond the declared budget
+        // and/or an arrival perturbation, each on ~1 in 4 events.
+        if rng.gen_range(0..4u64) == 0 {
+            let extra = Span::from_units(rng.gen_range(1..=3));
+            *b.faults_mut() = std::mem::take(b.faults_mut()).overrun(id, extra);
+        }
+        if rng.gen_range(0..4u64) == 0 {
+            *b.faults_mut() = if rng.gen_range(0..2u64) == 0 {
+                std::mem::take(b.faults_mut()).drop_arrival(id)
+            } else {
+                std::mem::take(b.faults_mut()).jitter(id, Span::from_units(rng.gen_range(1..=4)))
+            };
+        }
+    }
+
+    // At most one mode change per lane, drawn from the legal trajectory
+    // moves of the lane's policy.
+    for (lane, server) in lanes.iter().enumerate() {
+        if rng.gen_range(0..3u64) != 0 {
+            continue;
+        }
+        let at = Instant::from_units(rng.gen_range(6..horizon));
+        let change = match server.policy {
+            ServerPolicyKind::Polling => ModeChange::at(at, lane).with_capacity(Span::from_units(
+                rng.gen_range(1..=server.capacity.ticks() / Span::from_units(1).ticks()),
+            )),
+            ServerPolicyKind::Deferrable | ServerPolicyKind::Sporadic => {
+                if rng.gen_range(0..2u64) == 0 {
+                    ModeChange::at(at, lane).with_capacity(Span::from_units(
+                        rng.gen_range(1..=server.capacity.ticks() / Span::from_units(1).ticks()),
+                    ))
+                } else {
+                    ModeChange::at(at, lane).with_policy(ServerPolicyKind::Background)
+                }
+            }
+            ServerPolicyKind::Background => continue,
+        };
+        *b.faults_mut() = std::mem::take(b.faults_mut()).mode_change(change);
+    }
+    b.faults_mut().normalise();
+
+    b.scheduling(if rng.gen_range(0..2u64) == 0 {
+        SchedulingPolicy::FixedPriority
+    } else {
+        SchedulingPolicy::Edf
+    });
+    b.horizon(Instant::from_units(horizon));
+    b.build()
+        .unwrap_or_else(|e| panic!("fuzz case {seed} generated an invalid spec: {e:?}"))
+}
+
+/// Runs one spec through both worlds; returns the first divergence or
+/// invariant violation.
+fn check_case(spec: &SystemSpec) -> Result<(), String> {
+    let reference = simulate(spec);
+    let canonical = reference.render_canonical();
+    for (label, trace) in [
+        ("simulate_reference", simulate_reference(spec)),
+        ("simulate_unbatched", simulate_unbatched(spec)),
+        ("simulate_compiled", simulate_compiled(spec)),
+    ] {
+        if trace.render_canonical() != canonical {
+            return Err(format!("simulation world diverged: simulate vs {label}"));
+        }
+    }
+    check_trace_invariants(spec, &reference)?;
+
+    for config in [ExecutionConfig::reference(), ExecutionConfig::ideal()] {
+        let indexed = execute(spec, &config.with_scheduler(SchedulerKind::Indexed));
+        let canonical = indexed.render_canonical();
+        let scanned = execute(spec, &config.with_scheduler(SchedulerKind::LinearScan));
+        if scanned.render_canonical() != canonical {
+            return Err("execution world diverged: indexed vs linear-scan".into());
+        }
+        let compiled = execute_compiled(spec, &config);
+        if compiled.render_canonical() != canonical {
+            return Err("execution world diverged: interpreted vs compiled".into());
+        }
+        check_trace_invariants(spec, &indexed)?;
+    }
+    Ok(())
+}
+
+/// Shrinks a failing spec by halving: repeatedly tries to drop half of the
+/// aperiodic events (keeping the fault plan consistent), then single
+/// events, then fault records and periodic tasks — keeping every removal
+/// that still fails. Returns the minimal failing spec and its error.
+fn shrink(spec: &SystemSpec) -> (SystemSpec, String) {
+    let mut best = spec.clone();
+    let mut error = check_case(&best).expect_err("shrink starts from a failing spec");
+    let still_fails = |candidate: &SystemSpec| -> Option<String> {
+        candidate.validate().ok()?;
+        check_case(candidate).err()
+    };
+    let drop_events = |spec: &SystemSpec, start: usize, len: usize| -> SystemSpec {
+        let mut candidate = spec.clone();
+        let removed: Vec<_> = candidate
+            .aperiodics
+            .iter()
+            .skip(start)
+            .take(len)
+            .map(|e| e.id)
+            .collect();
+        candidate.aperiodics.retain(|e| !removed.contains(&e.id));
+        candidate
+            .faults
+            .overruns
+            .retain(|o| !removed.contains(&o.event));
+        candidate
+            .faults
+            .arrival_faults
+            .retain(|f| !removed.contains(&f.event()));
+        candidate
+    };
+
+    let mut chunk = (best.aperiodics.len() / 2).max(1);
+    while chunk >= 1 {
+        let mut start = 0;
+        while start < best.aperiodics.len() {
+            let candidate = drop_events(&best, start, chunk);
+            if let Some(e) = still_fails(&candidate) {
+                best = candidate;
+                error = e;
+            } else {
+                start += chunk;
+            }
+        }
+        chunk /= 2;
+    }
+    loop {
+        let mut candidates: Vec<SystemSpec> = Vec::new();
+        for index in 0..best.faults.mode_changes.len() {
+            let mut c = best.clone();
+            c.faults.mode_changes.remove(index);
+            candidates.push(c);
+        }
+        for index in 0..best.faults.overruns.len() {
+            let mut c = best.clone();
+            c.faults.overruns.remove(index);
+            candidates.push(c);
+        }
+        for index in 0..best.faults.arrival_faults.len() {
+            let mut c = best.clone();
+            c.faults.arrival_faults.remove(index);
+            candidates.push(c);
+        }
+        for index in 0..best.periodic_tasks.len() {
+            let mut c = best.clone();
+            c.periodic_tasks.remove(index);
+            candidates.push(c);
+        }
+        let Some((candidate, e)) = candidates
+            .into_iter()
+            .find_map(|c| still_fails(&c).map(|e| (c, e)))
+        else {
+            break;
+        };
+        best = candidate;
+        error = e;
+    }
+    (best, error)
+}
+
+#[test]
+fn seeded_cross_engine_fuzz() {
+    let cases = env_u64("FUZZ_CASES", DEFAULT_CASES as u64) as usize;
+    let base = env_u64("FUZZ_SEED", DEFAULT_SEED);
+    for case in 0..cases {
+        let seed = base
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(case as u64);
+        let spec = random_spec(seed);
+        if let Err(first) = check_case(&spec) {
+            let (minimal, error) = shrink(&spec);
+            panic!(
+                "fuzz case {case} (seed {seed}, FUZZ_SEED={base}) failed: {first}\n\
+                 minimized to ({}): {error}\n{minimal:#?}",
+                minimal.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fuzz_cases_are_deterministic_per_seed() {
+    let spec_a = random_spec(42);
+    let spec_b = random_spec(42);
+    assert_eq!(spec_a, spec_b);
+    assert_eq!(
+        simulate(&spec_a).render_canonical(),
+        simulate(&spec_b).render_canonical()
+    );
+}

@@ -542,3 +542,120 @@ fn queue_kinds_share_identical_goldens() {
         }
     }
 }
+
+/// A fault-injected variant of the Table 1 system: richer traffic under
+/// the given server policy with the variant's fault plan stamped on top.
+///
+/// * `overrun`  — two events demand more than they declared; enforcement
+///   must cut both off at their declared budgets (`Aborted` fates).
+/// * `arrival`  — one release jittered, one dropped, one overrun: the
+///   normalization and enforcement paths compose.
+/// * `shrink`   — the server capacity shrinks 3 → 2 at t=18, applied at
+///   the first quiescent decision instant.
+/// * `swap`     — the server degrades to background servicing at t=18
+///   (capacity-limited lanes only; polling lanes cannot swap).
+fn fault_system(variant: &str, policy: ServerPolicyKind) -> SystemSpec {
+    use rtsj_event_framework::model::{ModeChange, ServerPolicyKind as Kind};
+    let mut b = SystemSpec::builder(format!("golden-fault-{variant}-{policy:?}"));
+    b.server(ServerSpec {
+        policy,
+        capacity: Span::from_units(3),
+        period: Span::from_units(6),
+        priority: Priority::new(30),
+        discipline: rt_model::QueueDiscipline::FifoSkip,
+        admission: Default::default(),
+    });
+    b.periodic(
+        "tau1",
+        Span::from_units(2),
+        Span::from_units(6),
+        Priority::new(20),
+    );
+    b.periodic(
+        "tau2",
+        Span::from_units(1),
+        Span::from_units(6),
+        Priority::new(10),
+    );
+    let mut ids = Vec::new();
+    for &(release, cost) in &[(0u64, 2u64), (4, 2), (7, 3), (13, 2), (20, 1), (26, 2)] {
+        ids.push(b.aperiodic(Instant::from_units(release), Span::from_units(cost)));
+    }
+    *b.faults_mut() = match variant {
+        "overrun" => std::mem::take(b.faults_mut())
+            .overrun(ids[0], Span::from_units(2))
+            .overrun(ids[2], Span::from_units(1)),
+        "arrival" => std::mem::take(b.faults_mut())
+            .jitter(ids[1], Span::from_units(3))
+            .drop_arrival(ids[3])
+            .overrun(ids[4], Span::from_units(1)),
+        "shrink" => std::mem::take(b.faults_mut()).mode_change(
+            ModeChange::at(Instant::from_units(18), 0).with_capacity(Span::from_units(2)),
+        ),
+        "swap" => std::mem::take(b.faults_mut())
+            .mode_change(ModeChange::at(Instant::from_units(18), 0).with_policy(Kind::Background)),
+        _ => unreachable!(),
+    };
+    b.horizon(Instant::from_units(60));
+    b.build().expect("fault golden systems are valid")
+}
+
+/// The fault-golden matrix: overrun / arrival / shrink variants on polling
+/// and deferrable lanes, the policy swap on the two lanes that may swap.
+fn fault_matrix() -> Vec<(&'static str, ServerPolicyKind)> {
+    vec![
+        ("overrun", ServerPolicyKind::Polling),
+        ("overrun", ServerPolicyKind::Deferrable),
+        ("arrival", ServerPolicyKind::Polling),
+        ("arrival", ServerPolicyKind::Deferrable),
+        ("shrink", ServerPolicyKind::Polling),
+        ("shrink", ServerPolicyKind::Deferrable),
+        ("swap", ServerPolicyKind::Deferrable),
+        ("swap", ServerPolicyKind::Sporadic),
+    ]
+}
+
+/// Fault-injection simulation goldens, with the compiled driver pinned to
+/// the same bytes.
+#[test]
+fn fault_simulations_match_goldens() {
+    for (variant, policy) in fault_matrix() {
+        let spec = fault_system(variant, policy);
+        let reference = simulate_reference(&spec);
+        let indexed = simulate(&spec);
+        let name = format!("fault_sim_{variant}_{policy:?}").to_lowercase();
+        check_golden(
+            &name,
+            &reference.render_canonical(),
+            &indexed.render_canonical(),
+        );
+        assert_eq!(
+            reference.render_canonical(),
+            simulate_compiled(&spec).render_canonical(),
+            "compiled simulation diverged from fault golden {name}"
+        );
+    }
+}
+
+/// Fault-injection execution goldens, with the compiled plan pinned to the
+/// same bytes.
+#[test]
+fn fault_executions_match_goldens() {
+    for (variant, policy) in fault_matrix() {
+        let spec = fault_system(variant, policy);
+        let config = ExecutionConfig::reference();
+        let reference = execute(&spec, &config.with_scheduler(SchedulerKind::LinearScan));
+        let indexed = execute(&spec, &config.with_scheduler(SchedulerKind::Indexed));
+        let name = format!("fault_exec_{variant}_{policy:?}").to_lowercase();
+        check_golden(
+            &name,
+            &reference.render_canonical(),
+            &indexed.render_canonical(),
+        );
+        assert_eq!(
+            reference.render_canonical(),
+            execute_compiled(&spec, &config).render_canonical(),
+            "compiled execution diverged from fault golden {name}"
+        );
+    }
+}
