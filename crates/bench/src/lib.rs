@@ -371,5 +371,26 @@ mod tests {
                 .any(|r| r.group == "scaling" && r.config.contains("compiled")),
             "trajectory must cover the compiled scaling sweep"
         );
+        // Phase-2 additions: the compile-cost-vs-event-count sweep must be
+        // present (flatness is the acceptance gate for zero-copy compile),
+        // and the execution-side compiled row must record a real speedup.
+        let compile_cost: Vec<_> = records
+            .iter()
+            .filter(|r| r.group == "compile-cost")
+            .collect();
+        assert!(
+            !compile_cost.is_empty(),
+            "trajectory must cover the compile-cost event sweep"
+        );
+        assert!(
+            compile_cost.iter().all(|r| r.ns_per_decision > 0.0),
+            "compile-cost rows must carry real timings"
+        );
+        assert!(
+            records
+                .iter()
+                .any(|r| r.group == "scaling" && r.config.contains("exec") && r.speedup > 1.0),
+            "trajectory must record a compiled speedup on the execution engine"
+        );
     }
 }

@@ -11,8 +11,8 @@
 //!
 //! This crate is the RTFM-style specialization pass the ROADMAP calls for
 //! ("let the hardware do the bulk of the scheduling"): [`CompiledSystem::compile`]
-//! takes a *validated* [`SystemSpec`] and freezes it into fixed dispatch
-//! tables —
+//! takes a structurally validated [`SystemSpec`] and freezes it into fixed
+//! dispatch tables —
 //!
 //! * **priority order resolved offline** — the fixed-priority ready set is a
 //!   per-priority occupancy bitmap (find-highest-set word scan, no
@@ -33,13 +33,42 @@
 //!   structures, the trace vectors) is sized from the spec up front, so a
 //!   steady-state decision instant allocates nothing.
 //!
+//! ## Phase 2: interned zero-copy compilation
+//!
+//! Compilation itself is O(tasks + servers), independent of the aperiodic
+//! traffic volume: the compiled system *borrows* the source spec
+//! ([`std::borrow::Cow`], owned only when arrival faults force a normalised
+//! copy), the arrival stream is read through the spec's
+//! [`rt_model::WorkloadView`] instead of being materialised into per-event
+//! rows (arrival rows are assembled on demand from the borrowed events, with
+//! injected overruns resolved through a small sorted side table), and
+//! handler names live in `rt-model`'s interned symbol table
+//! ([`rt_model::NameId`]) so the execution plan's handler templates are
+//! plain `Copy` scalars. Compiling a system with 10⁵ pending arrivals costs
+//! the same as compiling one with 10² — the `compile-cost` group of the
+//! `engine_scaling` benchmark pins that flatness.
+//!
+//! ## Phase 2: the SRP ceiling pass and the execution fast path
+//!
+//! For the execution world, compilation also runs an RTFM-style analyze pass
+//! ([`CompiledSystem::substrate`], after Real-Time For the Masses'
+//! compile-time Stack Resource Policy ceilings): every schedulable is ranked
+//! into a *static dispatch order*, periodic releases are folded into a
+//! *release wheel* whose groups carry precomputed *preemption ceilings*, and
+//! [`CompiledSystem::execute`] drives the real server bodies through
+//! `rt-taskserver`'s specialized `run_with_substrate` loop — release drains
+//! are wheel walks, the "does this wake preempt?" question is one integer
+//! compare against the group ceiling, and dispatching is a find-first-set
+//! bitmap scan. Under EDF the plan transparently falls back to the
+//! interpreted run.
+//!
 //! The compiled system executes through both worlds:
 //! [`CompiledSystem::simulate`] is a specialized re-implementation of the
 //! simulator's decision loop (byte-identical canonical traces, pinned by
 //! `tests/compiled_differential.rs` and the compiled goldens), and
 //! [`CompiledSystem::execute`] runs the prepared schedulable table through
-//! `rt-taskserver`'s [`ExecutionPlan`] (same engine, installation plan
-//! precomputed once instead of per run).
+//! the ceiling-table fast path (byte-identical to `rt_taskserver::execute`,
+//! same pins).
 //!
 //! The interpreted engines stay untouched as differential oracles; the
 //! `engine_scaling` benchmark's `interpreted-vs-compiled` group and
@@ -48,13 +77,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analyze;
 mod sim;
 
 use rt_model::{
     AdmissionPolicy, EventId, Instant, ModelError, Priority, QueueDiscipline, SchedulingPolicy,
     ServerPolicyKind, ServerSpec, Span, SystemSpec, TaskId, Trace,
 };
-use rt_taskserver::{ExecutionConfig, ExecutionPlan};
+use rt_taskserver::{ExecutionConfig, ExecutionPlan, SubstratePlan};
+use std::borrow::Cow;
 
 /// One periodic task, frozen: exactly the fields the decision loop touches,
 /// laid out flat (the `name` string and spec bookkeeping stay behind in the
@@ -83,9 +114,14 @@ pub(crate) struct ReleaseGroup {
     pub(crate) members: Vec<u32>,
 }
 
-/// One aperiodic arrival, frozen: outcome fields plus the lane-service
-/// deadline precomputed (`release + relative_deadline`, or the release when
-/// the event carries no deadline).
+/// One aperiodic arrival as the decision loop sees it: outcome fields plus
+/// the lane-service deadline precomputed (`release + relative_deadline`, or
+/// the release when the event carries no deadline).
+///
+/// Since phase 2 these rows are no longer materialised at compile time: they
+/// are assembled on demand ([`CompiledSystem::arrival`]) from the borrowed
+/// spec events, which is what keeps compilation independent of the traffic
+/// volume.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct ArrivalTable {
     pub(crate) id: EventId,
@@ -93,7 +129,8 @@ pub(crate) struct ArrivalTable {
     pub(crate) server: usize,
     pub(crate) release: Instant,
     /// Demand actually executed: the real cost plus any injected overrun
-    /// ([`rt_model::FaultPlan::overrun_extra`]), resolved at compile time.
+    /// ([`rt_model::FaultPlan::overrun_extra`]), resolved per access through
+    /// the sorted overrun side table.
     pub(crate) demand: Span,
     /// Service cap enforced against the demand: the declared cost for
     /// overrun-injected jobs, [`Span::MAX`] otherwise.
@@ -132,7 +169,9 @@ pub(crate) enum PolicySet {
 }
 
 /// A validated [`SystemSpec`] frozen into fixed dispatch tables, executable
-/// through both engines.
+/// through both engines. Borrows the spec it was compiled from (owned only
+/// when arrival faults force a normalised copy), so compiling is
+/// O(tasks + servers) with zero per-event allocations.
 ///
 /// ```
 /// use rt_model::{Instant, Priority, ServerSpec, Span, SystemSpec};
@@ -151,42 +190,57 @@ pub(crate) enum PolicySet {
 /// assert_eq!(trace.render_canonical(), rtss_sim::simulate(&spec).render_canonical());
 /// ```
 #[derive(Debug, Clone)]
-pub struct CompiledSystem {
-    /// The validated source spec, retained for the execution world and for
-    /// callers that need the full description back.
-    spec: SystemSpec,
+pub struct CompiledSystem<'a> {
+    /// The validated source spec — borrowed from the caller, or owned when
+    /// arrival faults required normalisation. Retained for the execution
+    /// world and for callers that need the full description back.
+    spec: Cow<'a, SystemSpec>,
     pub(crate) scheduling: SchedulingPolicy,
     pub(crate) horizon: Instant,
     pub(crate) tasks: Vec<TaskTable>,
     pub(crate) groups: Vec<ReleaseGroup>,
     pub(crate) lanes: Vec<LaneTable>,
-    pub(crate) arrivals: Vec<ArrivalTable>,
+    /// In-horizon prefix length of the (release, id)-sorted arrival stream;
+    /// [`Self::arrival`] indexes into that prefix.
+    pub(crate) arrival_count: usize,
+    /// Injected cost overruns, sorted by event id for binary search.
+    pub(crate) overruns: Vec<(EventId, Span)>,
     pub(crate) lane_set: PolicySet,
     /// Exact periodic-job count within the horizon (trace preallocation).
     pub(crate) job_count: usize,
     /// Segment-vector preallocation hint.
     pub(crate) segment_hint: usize,
+    /// The execution fast path's precomputed scheduling substrate.
+    substrate: SubstratePlan,
 }
 
-impl CompiledSystem {
-    /// Validates `spec` and freezes it into dispatch tables.
+impl<'a> CompiledSystem<'a> {
+    /// Structurally validates `spec` and freezes it into dispatch tables.
+    ///
+    /// Compilation is O(tasks + servers): the aperiodic traffic is neither
+    /// copied nor walked (beyond one binary search locating the horizon
+    /// boundary in the sorted stream). Workload validation — the O(events)
+    /// id/sortedness/routing sweep — is the spec builder's job and is
+    /// re-asserted here in debug builds only.
     ///
     /// # Errors
-    /// Returns the [`ModelError`] of [`SystemSpec::validate`] when the spec
-    /// is not well formed; a compiled system always corresponds to a valid
-    /// spec.
-    pub fn compile(spec: &SystemSpec) -> Result<CompiledSystem, ModelError> {
-        spec.validate()?;
+    /// Returns the [`ModelError`] of [`SystemSpec::validate_structure`] when
+    /// the task/server tables are not well formed; a compiled system always
+    /// corresponds to a structurally valid spec.
+    pub fn compile(spec: &'a SystemSpec) -> Result<CompiledSystem<'a>, ModelError> {
+        spec.validate_structure()?;
+        debug_assert!(
+            spec.validate_workload().is_ok(),
+            "compile() requires a workload-valid spec: {:?}",
+            spec.validate_workload()
+        );
         // Arrival faults (release jitter, dropped arrivals) are a pure spec
         // normalization, resolved here once — the tables below freeze the
         // faulted arrival stream, like the interpreted engines' entry points.
-        let normalized;
-        let spec = match spec.apply_arrival_faults() {
-            Some(faulted) => {
-                normalized = faulted;
-                &normalized
-            }
-            None => spec,
+        // Fault-free specs stay borrowed: nothing is cloned.
+        let spec: Cow<'a, SystemSpec> = match spec.apply_arrival_faults() {
+            Some(faulted) => Cow::Owned(faulted),
+            None => Cow::Borrowed(spec),
         };
         let tasks: Vec<TaskTable> = spec
             .periodic_tasks
@@ -223,30 +277,20 @@ impl CompiledSystem {
 
         // Arrivals at or past the horizon are invisible to the decision loop
         // (it stops strictly before the horizon), so they are compiled out;
-        // like the interpreted engines, they produce no outcome.
-        let arrivals: Vec<ArrivalTable> = spec
-            .aperiodics
+        // like the interpreted engines, they produce no outcome. The stream
+        // is (release, id)-sorted, so the in-horizon traffic is a prefix —
+        // one binary search, no walk, no copy.
+        let arrival_count = spec.workload().within_horizon_count();
+
+        // The overrun side table: tiny (one row per injected fault), sorted
+        // by event id so on-demand arrival assembly is a binary search.
+        let mut overruns: Vec<(EventId, Span)> = spec
+            .faults
+            .overruns
             .iter()
-            .filter(|e| e.release < spec.horizon)
-            .map(|e| {
-                let extra = spec.faults.overrun_extra(e.id);
-                ArrivalTable {
-                    id: e.id,
-                    server: e.server,
-                    release: e.release,
-                    demand: e.actual_cost + extra,
-                    cap: if extra.is_zero() {
-                        Span::MAX
-                    } else {
-                        e.declared_cost
-                    },
-                    declared_cost: e.declared_cost,
-                    deadline: e.absolute_deadline(),
-                    lane_deadline: e.absolute_deadline().unwrap_or(e.release),
-                    value: e.value,
-                }
-            })
+            .map(|o| (o.event, o.extra))
             .collect();
+        overruns.sort_unstable_by_key(|&(id, _)| id);
 
         let lanes: Vec<LaneTable> = spec
             .servers
@@ -285,24 +329,76 @@ impl CompiledSystem {
             }
         };
 
-        let segment_hint = job_count + 2 * arrivals.len() + 64;
+        let segment_hint = job_count + 2 * arrival_count + 64;
+        let substrate = analyze::build_substrate(
+            &lanes,
+            &tasks,
+            &groups,
+            job_count,
+            arrival_count,
+            spec.horizon,
+        );
         Ok(CompiledSystem {
-            spec: spec.clone(),
             scheduling: spec.scheduling,
             horizon: spec.horizon,
             tasks,
             groups,
             lanes,
-            arrivals,
+            arrival_count,
+            overruns,
             lane_set,
             job_count,
             segment_hint,
+            substrate,
+            spec,
         })
     }
 
     /// The validated source specification this system was compiled from.
     pub fn spec(&self) -> &SystemSpec {
         &self.spec
+    }
+
+    /// The execution fast path's precomputed substrate: static dispatch
+    /// ranks, the release wheel with preemption ceilings, reservation hints.
+    pub fn substrate(&self) -> &SubstratePlan {
+        &self.substrate
+    }
+
+    /// Assembles the `index`-th in-horizon arrival row on demand from the
+    /// borrowed spec event (a handful of field copies plus one binary search
+    /// in the overrun side table — no allocation, no compile-time
+    /// materialisation).
+    #[inline]
+    pub(crate) fn arrival(&self, index: usize) -> ArrivalTable {
+        debug_assert!(index < self.arrival_count);
+        let e = &self.spec.aperiodics[index];
+        let extra = match self.overruns.binary_search_by_key(&e.id, |&(id, _)| id) {
+            Ok(k) => self.overruns[k].1,
+            Err(_) => Span::ZERO,
+        };
+        ArrivalTable {
+            id: e.id,
+            server: e.server,
+            release: e.release,
+            demand: e.actual_cost + extra,
+            cap: if extra.is_zero() {
+                Span::MAX
+            } else {
+                e.declared_cost
+            },
+            declared_cost: e.declared_cost,
+            deadline: e.absolute_deadline(),
+            lane_deadline: e.absolute_deadline().unwrap_or(e.release),
+            value: e.value,
+        }
+    }
+
+    /// Release instant of the `index`-th in-horizon arrival (the decision
+    /// loop's next-arrival peek, cheaper than assembling the full row).
+    #[inline]
+    pub(crate) fn arrival_release(&self, index: usize) -> Instant {
+        self.spec.aperiodics[index].release
     }
 
     /// Runs the compiled simulation driver, producing a trace byte-identical
@@ -316,17 +412,19 @@ impl CompiledSystem {
     /// Prepares the compiled schedulable table for the execution engine: the
     /// installation plan (server shares, thread specs, servable handlers,
     /// fire schedule) is computed once here and reusable across
-    /// [`ExecutionPlan::run`] calls.
-    pub fn execution_plan(&self, config: &ExecutionConfig) -> ExecutionPlan {
-        ExecutionPlan::prepare(&self.spec, config)
-            .expect("a compiled system always holds a valid spec")
+    /// [`ExecutionPlan::run`] calls. Validation is not repeated — the
+    /// compiled system already holds a validated spec.
+    pub fn execution_plan(&self, config: &ExecutionConfig) -> ExecutionPlan<'_> {
+        ExecutionPlan::prepare_prevalidated(&self.spec, config)
     }
 
-    /// Executes the compiled schedulable table on the `rtsj-emu` engine,
+    /// Executes the compiled schedulable table on the `rtsj-emu` engine
+    /// through the ceiling-table fast path (interpreted fallback under EDF),
     /// producing a trace byte-identical to `rt_taskserver::execute` for the
     /// same spec and configuration.
     pub fn execute(&self, config: &ExecutionConfig) -> Trace {
-        self.execution_plan(config).run()
+        self.execution_plan(config)
+            .run_with_substrate(&self.substrate)
     }
 }
 
@@ -334,8 +432,8 @@ impl CompiledSystem {
 /// `rtss_sim::simulate`).
 ///
 /// # Panics
-/// Panics when the specification fails validation, exactly like the
-/// interpreted entry point.
+/// Panics when the specification fails structural validation, exactly like
+/// the interpreted entry point.
 pub fn simulate_compiled(spec: &SystemSpec) -> Trace {
     CompiledSystem::compile(spec)
         .expect("simulate_compiled() requires a valid system specification")
@@ -346,8 +444,8 @@ pub fn simulate_compiled(spec: &SystemSpec) -> Trace {
 /// `rt_taskserver::execute`).
 ///
 /// # Panics
-/// Panics when the specification fails validation, exactly like the
-/// interpreted entry point.
+/// Panics when the specification fails structural validation, exactly like
+/// the interpreted entry point.
 pub fn execute_compiled(spec: &SystemSpec, config: &ExecutionConfig) -> Trace {
     CompiledSystem::compile(spec)
         .expect("execute_compiled() requires a valid system specification")

@@ -45,12 +45,13 @@ use rt_model::{
     AperiodicFate, AperiodicOutcome, EventId, ExecUnit, Instant, ModeChange, PeriodicJobRecord,
     QueueDiscipline, SchedulingPolicy, Span, Trace,
 };
+use std::borrow::Cow;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 /// Runs the compiled system through the driver instantiation its tables
 /// select.
-pub(crate) fn run(sys: &CompiledSystem) -> Trace {
+pub(crate) fn run(sys: &CompiledSystem<'_>) -> Trace {
     match (sys.lane_set, sys.scheduling) {
         (PolicySet::Polling, SchedulingPolicy::FixedPriority) => {
             Driver::<CPolling, false>::new(sys).run()
@@ -535,14 +536,15 @@ enum Runner {
 /// The monomorphized decision loop: one instantiation per lane-policy type ×
 /// scheduling policy (`EDF` const-folds the dispatcher branch away).
 struct Driver<'a, P, const EDF: bool> {
-    sys: &'a CompiledSystem,
+    sys: &'a CompiledSystem<'a>,
     now: Instant,
     /// Per-task pending job queues (indexes match `sys.tasks`).
     pending: Vec<VecDeque<PJob>>,
     lanes: Vec<Lane<P>>,
-    /// Per-run lane statics: copies of `sys.lanes`, mutable because applied
-    /// mode changes reconfigure them (fault-free runs never touch them).
-    tables: Vec<LaneTable>,
+    /// Per-run lane statics: borrowed straight from `sys.lanes` on the
+    /// fault-free path, copied only when the plan schedules mode changes
+    /// (applied changes reconfigure the copy).
+    tables: Cow<'a, [LaneTable]>,
     /// Which mode-change records have been applied (per-record flags, not a
     /// cursor: a busy lane defers its record without blocking other lanes').
     mode_applied: Vec<bool>,
@@ -566,7 +568,7 @@ struct Driver<'a, P, const EDF: bool> {
 }
 
 impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
-    fn new(sys: &'a CompiledSystem) -> Self {
+    fn new(sys: &'a CompiledSystem<'a>) -> Self {
         let mut wheel = BinaryHeap::with_capacity(sys.groups.len());
         for (g, group) in sys.groups.iter().enumerate() {
             if group.first < sys.horizon {
@@ -588,14 +590,18 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
             .collect();
         let mut trace = Trace::new(sys.horizon);
         trace.segments.reserve(sys.segment_hint);
-        trace.outcomes.reserve(sys.arrivals.len());
+        trace.outcomes.reserve(sys.arrival_count);
         trace.periodic_jobs.reserve(sys.job_count);
         Driver {
             sys,
             now: Instant::ZERO,
             pending: sys.tasks.iter().map(|_| VecDeque::new()).collect(),
             lanes,
-            tables: sys.lanes.clone(),
+            tables: if sys.spec().faults.mode_changes.is_empty() {
+                Cow::Borrowed(&sys.lanes[..])
+            } else {
+                Cow::Owned(sys.lanes.clone())
+            },
             mode_applied: vec![false; sys.spec().faults.mode_changes.len()],
             orphans: Vec::new(),
             next_arrival: 0,
@@ -671,10 +677,10 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
         self.apply_due_mode_changes();
         // Aperiodic arrivals next (visible to a same-instant activation),
         // in spec order — the admission machines are order-sensitive.
-        while self.next_arrival < sys.arrivals.len()
-            && sys.arrivals[self.next_arrival].release <= self.now
+        while self.next_arrival < sys.arrival_count
+            && sys.arrival_release(self.next_arrival) <= self.now
         {
-            let arrival = sys.arrivals[self.next_arrival];
+            let arrival = sys.arrival(self.next_arrival);
             let index = self.next_arrival as u32;
             self.next_arrival += 1;
             match self.lanes.get_mut(arrival.server) {
@@ -750,7 +756,7 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
             }
         }
         // Lane replenishments, in install order.
-        for (lane, table) in self.lanes.iter_mut().zip(&self.tables) {
+        for (lane, table) in self.lanes.iter_mut().zip(self.tables.iter()) {
             let queue_empty = lane.queue.is_empty();
             lane.policy.replenish_due(table, self.now, queue_empty);
         }
@@ -779,7 +785,7 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
             {
                 continue;
             }
-            let table = &mut self.tables[change.server];
+            let table = &mut self.tables.to_mut()[change.server];
             if let Some(capacity) = change.capacity {
                 table.spec.capacity = capacity;
             }
@@ -819,7 +825,7 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
         let table = &self.tables[lane_index];
         let lane = &mut self.lanes[lane_index];
         let Some(position) = lane.queue.iter().position(|job| {
-            job.started.is_none() && sys.arrivals[job.arrival as usize].id == event_id
+            job.started.is_none() && sys.arrival(job.arrival as usize).id == event_id
         }) else {
             return;
         };
@@ -831,7 +837,7 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
             lane.policy.on_queue_emptied(table, self.now);
         }
         self.trace.push_outcome(outcome(
-            &sys.arrivals[job.arrival as usize],
+            &sys.arrival(job.arrival as usize),
             AperiodicFate::Aborted { at: self.now },
         ));
     }
@@ -842,8 +848,8 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
     fn next_decision_point(&self) -> Instant {
         let sys = self.sys;
         let mut next = sys.horizon;
-        if let Some(arrival) = sys.arrivals.get(self.next_arrival) {
-            next = next.min(arrival.release);
+        if self.next_arrival < sys.arrival_count {
+            next = next.min(sys.arrival_release(self.next_arrival));
         }
         if let Some(&Reverse((at, _))) = self.wheel.peek() {
             next = next.min(at);
@@ -986,7 +992,7 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
                 .min(lane.policy.available())
                 .min(window);
             debug_assert!(!slice.is_zero(), "picked server cannot make progress");
-            let arrival = sys.arrivals[job.arrival as usize];
+            let arrival = sys.arrival(job.arrival as usize);
             if job.started.is_none() {
                 job.started = Some(self.now);
             }
@@ -1081,14 +1087,14 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
         for lane in &mut self.lanes {
             for job in lane.queue.drain(..) {
                 self.trace.push_outcome(outcome(
-                    &sys.arrivals[job.arrival as usize],
+                    &sys.arrival(job.arrival as usize),
                     AperiodicFate::Unserved,
                 ));
             }
         }
         for index in std::mem::take(&mut self.orphans) {
             self.trace.push_outcome(outcome(
-                &sys.arrivals[index as usize],
+                &sys.arrival(index as usize),
                 AperiodicFate::Unserved,
             ));
         }

@@ -105,6 +105,7 @@ mod tests {
     use crate::handler::{QueuedRelease, ServableHandler};
     use crate::queue::QueueKind;
     use crate::state::ServerShared;
+    use rt_model::NameId;
     use rt_model::{
         EventId, ExecUnit, HandlerId, Instant, Priority, ServerPolicyKind, Span, TaskId,
     };
@@ -177,7 +178,7 @@ mod tests {
             let event = engine.create_event(format!("e{i}"));
             let handler = ServableHandler::new(
                 HandlerId::new(i as u32),
-                format!("h{i}"),
+                NameId::from_raw(i as u32),
                 Span::from_units(*cost),
             );
             let shared_hook = shared.clone();
@@ -186,10 +187,9 @@ mod tests {
             engine.add_fire_hook(
                 event,
                 Box::new(move |ctx| {
-                    shared_hook.borrow_mut().released(
-                        QueuedRelease::new(event_id, handler.clone(), release_at),
-                        ctx.now(),
-                    );
+                    shared_hook
+                        .borrow_mut()
+                        .released(QueuedRelease::new(event_id, handler, release_at), ctx.now());
                     ctx.fire(wakeup);
                 }),
             );

@@ -1,0 +1,1204 @@
+//! The compiled execution fast path: a specialized dispatch loop that drives
+//! the *real* task-server bodies over precomputed SRP-style tables instead of
+//! the general engine's calendar and ready heaps.
+//!
+//! ## What is precomputed (the [`SubstratePlan`])
+//!
+//! An RTFM-style analyze pass (see `rt-compile`'s `analyze` module, after
+//! Real-Time For the Masses' compile-time Stack Resource Policy ceilings)
+//! derives, once per system × configuration:
+//!
+//! * a **static dispatch order** — every schedulable ranked by
+//!   (priority desc, spawn index asc), the exact tie-break of the engine's
+//!   fixed-priority ready heap, so dispatching is a find-first-set scan over
+//!   a rank bitmap instead of a heap;
+//! * a **release wheel** — periodic schedulables grouped by (first release,
+//!   period) with a per-group *preemption ceiling* (the best rank in the
+//!   group), so a release drain costs O(groups) when nothing is due and the
+//!   "does this release preempt the running thread?" question is one integer
+//!   compare against the ceiling;
+//! * a **segment reservation hint**, so the trace records into preallocated
+//!   storage.
+//!
+//! ## What stays real
+//!
+//! The server bodies are the very same [`PollingServerBody`],
+//! [`EventDrivenServerBody`] and [`SporadicServerBody`] state machines the
+//! interpreted engine runs, pumped through the public [`BodyCtx`] protocol
+//! with the engine's exact ordering (deadline, action, fires, timers). The
+//! fast path only replaces the *scheduling substrate* around them — calendar,
+//! ready queue, timer multiplexing — with table-driven equivalents, which is
+//! why its traces are byte-identical to the interpreted engine's and are
+//! pinned against it by the compiled differential matrix and the fuzzer.
+//!
+//! ## Complexity per decision
+//!
+//! With `t` threads, `g` wheel groups and `s` servers: a drain is O(g + s)
+//! when nothing is due (one compare per group/static timer, one cursor peek
+//! for the arrival stream); a dispatch is O(1) when the ceiling check proves
+//! the running thread keeps the processor, O(t/64) for the bitmap scan
+//! otherwise; per-release work is O(1) amortized and allocation-free (the
+//! handler templates are `Copy`, the scratch buffers are reused).
+//!
+//! Only fixed-priority systems take this path: under EDF the plan falls back
+//! to the interpreted [`ExecutionPlan::run`], whose ready heap is the honest
+//! way to track dynamic deadlines.
+
+use crate::deferrable::EventDrivenServerBody;
+use crate::handler::QueuedRelease;
+use crate::polling::PollingServerBody;
+use crate::sporadic::SporadicServerBody;
+use crate::state::{ServerShared, SharedServer};
+use crate::system::{finalise_trace, ExecutionConfig, ExecutionPlan, PlannedEvent};
+use rt_model::{
+    AperiodicOutcome, ExecUnit, Instant, Priority, SchedulingPolicy, ServerPolicyKind, Span,
+    SystemSpec, Trace,
+};
+use rtsj_emu::{
+    Action, BodyCtx, Completion, EventHandle, PeriodicThreadBody, TaskServerParameters, ThreadBody,
+};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Safety net against non-progressing bodies, mirroring the engine's guard.
+const MAX_ZERO_TIME_STEPS: u32 = 100_000;
+
+/// One release-wheel group: periodic schedulables sharing a release grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubstrateGroup {
+    /// First release instant of the grid.
+    pub first: Instant,
+    /// Release period of the grid.
+    pub period: Span,
+    /// Member thread ids (spawn order: servers first, then tasks).
+    pub members: Vec<u32>,
+    /// Preemption ceiling: the best (smallest) dispatch rank in the group.
+    /// A running thread with a rank below this value cannot be preempted by
+    /// any release of the group — the SRP-style O(1) preemption test.
+    pub ceiling: u32,
+}
+
+/// The precomputed scheduling substrate of one system × configuration: the
+/// static dispatch order, the release wheel with preemption ceilings, and
+/// the trace reservation hint. See the module docs for the derivation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubstratePlan {
+    /// Thread id → dispatch rank (0 = dispatched first).
+    pub rank_of: Vec<u32>,
+    /// Dispatch rank → thread id (the inverse of [`Self::rank_of`]).
+    pub order: Vec<u32>,
+    /// The release wheel.
+    pub groups: Vec<SubstrateGroup>,
+    /// Reservation hint for the trace's segment storage (an upper-bound
+    /// estimate; undershooting only costs a reallocation).
+    pub segment_hint: usize,
+}
+
+impl SubstratePlan {
+    /// Derives the substrate directly from a spec — the convenience
+    /// constructor used by tests and one-shot callers. The compile layer
+    /// builds the same structure from its own task/lane tables (O(tasks +
+    /// servers), no spec walk) in `rt-compile`'s `analyze` module.
+    pub fn analyze(spec: &SystemSpec, _config: &ExecutionConfig) -> Self {
+        let server_count = spec.servers.len();
+        let thread_count = server_count + spec.periodic_tasks.len();
+        let mut priorities: Vec<Priority> = Vec::with_capacity(thread_count);
+        priorities.extend(spec.servers.iter().map(|s| s.priority));
+        priorities.extend(spec.periodic_tasks.iter().map(|t| t.priority));
+        let (rank_of, order) = rank_tables(&priorities);
+
+        let mut groups: Vec<SubstrateGroup> = Vec::new();
+        let mut push_member = |first: Instant, period: Span, tid: u32| match groups
+            .iter_mut()
+            .find(|g| g.first == first && g.period == period)
+        {
+            Some(g) => g.members.push(tid),
+            None => groups.push(SubstrateGroup {
+                first,
+                period,
+                members: vec![tid],
+                ceiling: u32::MAX,
+            }),
+        };
+        for (index, server) in spec.servers.iter().enumerate() {
+            if server.policy == ServerPolicyKind::Polling {
+                push_member(Instant::ZERO, server.period, index as u32);
+            }
+        }
+        for (index, task) in spec.periodic_tasks.iter().enumerate() {
+            push_member(
+                Instant::ZERO + task.offset,
+                task.period,
+                (server_count + index) as u32,
+            );
+        }
+        for group in &mut groups {
+            group.ceiling = group
+                .members
+                .iter()
+                .map(|&m| rank_of[m as usize])
+                .min()
+                .unwrap_or(u32::MAX);
+        }
+
+        let horizon = spec.horizon.ticks();
+        let releases_before_horizon = |first: u64, period: u64| -> u64 {
+            if first >= horizon || period == 0 {
+                0
+            } else {
+                (horizon - first).div_ceil(period)
+            }
+        };
+        let mut activity: u64 = 0;
+        for task in &spec.periodic_tasks {
+            activity += releases_before_horizon(task.offset.ticks(), task.period.ticks());
+        }
+        for server in &spec.servers {
+            match server.policy {
+                // PS activations and DS replenishment fires both recur once
+                // per server period.
+                ServerPolicyKind::Polling | ServerPolicyKind::Deferrable => {
+                    activity += releases_before_horizon(0, server.period.ticks());
+                }
+                ServerPolicyKind::Background | ServerPolicyKind::Sporadic => {}
+            }
+        }
+        activity += spec.workload().within_horizon_count() as u64;
+        let segment_hint = usize::try_from(activity.saturating_mul(4))
+            .unwrap_or(usize::MAX)
+            .saturating_add(64);
+
+        SubstratePlan {
+            rank_of,
+            order,
+            groups,
+            segment_hint,
+        }
+    }
+}
+
+/// Builds the (thread → rank, rank → thread) tables for the engine's
+/// fixed-priority dispatch order: priority descending, spawn index ascending.
+pub fn rank_tables(priorities: &[Priority]) -> (Vec<u32>, Vec<u32>) {
+    let mut order: Vec<u32> = (0..priorities.len() as u32).collect();
+    order.sort_by_key(|&tid| (Reverse(priorities[tid as usize]), tid));
+    let mut rank_of = vec![0u32; priorities.len()];
+    for (rank, &tid) in order.iter().enumerate() {
+        rank_of[tid as usize] = rank as u32;
+    }
+    (rank_of, order)
+}
+
+impl ExecutionPlan<'_> {
+    /// Runs the plan through the compiled fast path described in the module
+    /// docs, producing a trace byte-identical to [`ExecutionPlan::run`].
+    ///
+    /// Only fixed-priority systems are specialized; a plan whose effective
+    /// policy is EDF falls back to the interpreted run (the substrate's
+    /// static ranks cannot represent dynamic deadlines).
+    pub fn run_with_substrate(&self, substrate: &SubstratePlan) -> Trace {
+        let policy = self.config.scheduling.unwrap_or(self.spec.scheduling);
+        if policy != SchedulingPolicy::FixedPriority {
+            return self.run();
+        }
+        let mut driver = FastDriver::new(self, substrate);
+        driver.run();
+        let FastDriver {
+            mut trace, shareds, ..
+        } = driver;
+        let collected: Option<Vec<AperiodicOutcome>> = (!shareds.is_empty()).then(|| {
+            shareds
+                .iter()
+                .flat_map(|shared| shared.borrow_mut().finalise())
+                .collect()
+        });
+        finalise_trace(&self.spec, shareds.len(), collected, &mut trace);
+        trace
+    }
+}
+
+/// Mirror of the engine's thread status (without the EDF deadline key, which
+/// fixed-priority dispatch ignores).
+#[derive(Debug, Clone, Copy)]
+enum Status {
+    Ready(Completion),
+    Computing {
+        remaining: Span,
+        budget: Option<Span>,
+        unit: ExecUnit,
+        consumed: Span,
+    },
+    BlockedForPeriod,
+    BlockedUntil(Instant),
+    BlockedOnEvent,
+    Terminated,
+}
+
+/// A schedulable body: the periodic workers inline (no heap box), the server
+/// state machines behind the same boxing the engine uses.
+enum Body {
+    Task(PeriodicThreadBody),
+    Server(Box<dyn ThreadBody>),
+}
+
+impl Body {
+    fn next_action(&mut self, ctx: &mut BodyCtx, completion: Completion) -> Action {
+        match self {
+            Body::Task(body) => body.next_action(ctx, completion),
+            Body::Server(body) => body.next_action(ctx, completion),
+        }
+    }
+}
+
+/// The status a thread enters when its body asks to compute `amount` on
+/// `unit` (the engine's zero-amount short-circuit included).
+#[inline]
+fn start_compute(amount: Span, unit: ExecUnit) -> Status {
+    if amount.is_zero() {
+        Status::Ready(Completion::Computed {
+            consumed: Span::ZERO,
+        })
+    } else {
+        Status::Computing {
+            remaining: amount,
+            budget: None,
+            unit,
+            consumed: Span::ZERO,
+        }
+    }
+}
+
+/// Pre-pumps an effect-free periodic worker through its period start: the
+/// real [`PeriodicThreadBody`] yields its `Compute` action (it never touches
+/// the ctx — no fires, timers or deadlines), and the thread transitions
+/// straight into the computing state without a separate dispatch round. The
+/// pump it elides is trace-silent, so traces are unaffected.
+#[inline]
+fn start_period(body: &mut PeriodicThreadBody, now: Instant) -> Status {
+    let mut ctx = BodyCtx::new(now);
+    let action = body.next_action(&mut ctx, Completion::PeriodStarted);
+    debug_assert!(ctx.take_fire_requests().is_empty());
+    debug_assert!(ctx.take_timer_requests().is_empty());
+    debug_assert!(ctx.take_deadline_request().is_none());
+    match action {
+        Action::Compute { amount, unit } => start_compute(amount, unit),
+        _ => unreachable!("a periodic worker always computes at a period start"),
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Periodic {
+    next: Instant,
+    period: Span,
+}
+
+struct ThreadSlot {
+    body: Body,
+    periodic: Option<Periodic>,
+    status: Status,
+}
+
+/// Static hook table: what firing an event does, as data instead of boxed
+/// closures. One variant per hook the framework installs.
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    /// No hook (the `wakeUp` events): only waiters/pending bookkeeping.
+    Plain,
+    /// Chunk-replenishment of a DS/BG lane that may mode-swap into the
+    /// Sporadic policy: credit due replenishments, wake on success.
+    SwapReplenish { lane: usize, wakeup: usize },
+    /// The DS periodic replenishment: apply due mode changes, refill (while
+    /// still deferrable), always wake.
+    DsReplenish { lane: usize, wakeup: usize },
+    /// The SS replenishment: credit due replenishments, wake on success.
+    SsReplenish { lane: usize, wakeup: usize },
+    /// A servable async event: queue the release, wake the lane if accepted.
+    Sae {
+        lane: usize,
+        wakeup: Option<usize>,
+        plan_index: usize,
+    },
+}
+
+struct EventSlot {
+    kind: EventKind,
+    pending: u32,
+    waiter: Option<usize>,
+}
+
+/// A pre-run timer of the substrate (per-lane replenishments and mode-change
+/// wake-ups). Servable-event fire timers are not materialized: the planned
+/// events are release-sorted, so a single cursor replays them.
+#[derive(Debug, Clone, Copy)]
+struct StaticTimer {
+    next: Instant,
+    period: Option<Span>,
+    enabled: bool,
+    event: usize,
+}
+
+/// Runtime state of one release-wheel group.
+struct WheelGroup<'s> {
+    next: Instant,
+    period: Span,
+    members: &'s [u32],
+    ceiling: u32,
+}
+
+struct FastDriver<'p, 's> {
+    // --- immutable tables ---
+    plan_events: &'p [PlannedEvent],
+    rank_of: &'s [u32],
+    order: &'s [u32],
+    horizon: Instant,
+    timer_fire: Span,
+    /// Engine event index of each planned servable event.
+    sae_events: Vec<usize>,
+    /// Conceptual timer index of the first servable-event fire timer (the
+    /// engine creates them after every install-time timer), keeping the
+    /// (timer creation order, occurrence instant) fire order exact.
+    sae_base: usize,
+
+    // --- mutable run state ---
+    now: Instant,
+    threads: Vec<ThreadSlot>,
+    shareds: Vec<SharedServer>,
+    events: Vec<EventSlot>,
+    static_timers: Vec<StaticTimer>,
+    groups: Vec<WheelGroup<'s>>,
+    sae_cursor: usize,
+    /// Runtime-armed one-shots (SS chunk replenishments): (fire instant,
+    /// conceptual timer index, event index).
+    dynamic: BinaryHeap<Reverse<(Instant, usize, usize)>>,
+    next_timer_idx: usize,
+    until_wakes: Vec<(Instant, usize)>,
+    /// Ready/Computing bitmap indexed by dispatch rank.
+    runnable: Vec<u64>,
+    /// Best (smallest) rank made runnable since the last dispatch decision;
+    /// the ceiling-gated preemption test compares it to the running rank.
+    woken_min_rank: u32,
+    running: Option<(usize, u32)>,
+    pending_overhead: Span,
+    /// Earliest instant at which anything can become due (timer, wheel grid
+    /// point, planned release, timed wake). Maintained exactly: recomputed by
+    /// [`Self::drain`], lowered in place when a pump arms a timer or a timed
+    /// wait. Lets the run loop skip the drain entirely between due points
+    /// and reuse the value as the compute-slice preemption limit.
+    next_due: Instant,
+    zero_steps: u32,
+    trace: Trace,
+    // --- reused scratch ---
+    due_scratch: Vec<(usize, Instant, usize)>,
+    fire_queue: VecDeque<usize>,
+}
+
+impl<'p, 's> FastDriver<'p, 's> {
+    fn new(plan: &'p ExecutionPlan<'_>, substrate: &'s SubstratePlan) -> Self {
+        let spec: &SystemSpec = &plan.spec;
+        let config = &plan.config;
+        let thread_count = spec.servers.len() + spec.periodic_tasks.len();
+        debug_assert_eq!(
+            substrate.rank_of.len(),
+            thread_count,
+            "substrate was analyzed for a different system"
+        );
+
+        let mut threads: Vec<ThreadSlot> = Vec::with_capacity(thread_count);
+        let mut shareds: Vec<SharedServer> = Vec::with_capacity(spec.servers.len());
+        let mut events: Vec<EventSlot> =
+            Vec::with_capacity(spec.servers.len() * 2 + plan.events.len());
+        let mut static_timers: Vec<StaticTimer> = Vec::new();
+        let mut lane_wakeup: Vec<Option<usize>> = Vec::with_capacity(spec.servers.len());
+
+        let create_event = |events: &mut Vec<EventSlot>, kind: EventKind| -> usize {
+            events.push(EventSlot {
+                kind,
+                pending: 0,
+                waiter: None,
+            });
+            events.len() - 1
+        };
+
+        // Install the servers exactly like `AnyTaskServer::install_with_faults`
+        // does on the engine: same shared-state construction, same event and
+        // timer creation order, same bodies.
+        for (lane, server) in spec.servers.iter().enumerate() {
+            let (params, shared) = match server.policy {
+                ServerPolicyKind::Background => {
+                    // Nominal parameters: never used to reject work.
+                    let params = TaskServerParameters::new(
+                        Span::from_units(1),
+                        Span::from_units(1),
+                        server.priority,
+                    );
+                    (
+                        params,
+                        ServerShared::new(
+                            params,
+                            ServerPolicyKind::Background,
+                            config.overhead,
+                            config.queue,
+                            server.discipline,
+                        ),
+                    )
+                }
+                policy => {
+                    let params =
+                        TaskServerParameters::new(server.capacity, server.period, server.priority);
+                    (
+                        params,
+                        ServerShared::with_admission(
+                            params,
+                            policy,
+                            config.overhead,
+                            config.queue,
+                            server.discipline,
+                            server.admission,
+                        ),
+                    )
+                }
+            };
+            let (body, periodic, wakeup) = match server.policy {
+                ServerPolicyKind::Polling => (
+                    Body::Server(Box::new(PollingServerBody::new(shared.clone()))),
+                    Some(Periodic {
+                        next: Instant::ZERO,
+                        period: params.period,
+                    }),
+                    None,
+                ),
+                ServerPolicyKind::Deferrable => {
+                    let wakeup = create_event(&mut events, EventKind::Plain);
+                    let swap = create_event(&mut events, EventKind::SwapReplenish { lane, wakeup });
+                    let body =
+                        EventDrivenServerBody::new(shared.clone(), EventHandle::from_raw(wakeup))
+                            .with_replenish(EventHandle::from_raw(swap));
+                    let replenish =
+                        create_event(&mut events, EventKind::DsReplenish { lane, wakeup });
+                    static_timers.push(StaticTimer {
+                        next: Instant::ZERO + params.period,
+                        period: Some(params.period),
+                        enabled: true,
+                        event: replenish,
+                    });
+                    (Body::Server(Box::new(body)), None, Some(wakeup))
+                }
+                ServerPolicyKind::Background => {
+                    let wakeup = create_event(&mut events, EventKind::Plain);
+                    let swap = create_event(&mut events, EventKind::SwapReplenish { lane, wakeup });
+                    let body =
+                        EventDrivenServerBody::new(shared.clone(), EventHandle::from_raw(wakeup))
+                            .with_replenish(EventHandle::from_raw(swap));
+                    (Body::Server(Box::new(body)), None, Some(wakeup))
+                }
+                ServerPolicyKind::Sporadic => {
+                    let wakeup = create_event(&mut events, EventKind::Plain);
+                    let replenish =
+                        create_event(&mut events, EventKind::SsReplenish { lane, wakeup });
+                    let body = SporadicServerBody::new(
+                        shared.clone(),
+                        EventHandle::from_raw(wakeup),
+                        EventHandle::from_raw(replenish),
+                    );
+                    (Body::Server(Box::new(body)), None, Some(wakeup))
+                }
+            };
+            let changes: Vec<rt_model::ModeChange> =
+                spec.faults.mode_changes_for(lane).cloned().collect();
+            if !changes.is_empty() {
+                if let Some(wakeup) = wakeup {
+                    for change in &changes {
+                        static_timers.push(StaticTimer {
+                            next: change.at,
+                            period: None,
+                            enabled: true,
+                            event: wakeup,
+                        });
+                    }
+                }
+                shared.borrow_mut().set_mode_changes(changes);
+            }
+            threads.push(ThreadSlot {
+                body,
+                periodic,
+                status: Status::Ready(Completion::Started),
+            });
+            shareds.push(shared);
+            lane_wakeup.push(wakeup);
+        }
+
+        // The periodic tasks, same spawn order as `ExecutionPlan::run`.
+        for task in &spec.periodic_tasks {
+            threads.push(ThreadSlot {
+                body: Body::Task(PeriodicThreadBody::new(task.cost, ExecUnit::Task(task.id))),
+                periodic: Some(Periodic {
+                    next: Instant::ZERO + task.offset,
+                    period: task.period,
+                }),
+                status: Status::Ready(Completion::Started),
+            });
+        }
+
+        // One servable event per planned occurrence; its fire timer is the
+        // release cursor, with conceptual indices after every static timer.
+        let sae_base = static_timers.len();
+        let mut sae_events: Vec<usize> = Vec::with_capacity(plan.events.len());
+        for (plan_index, planned) in plan.events.iter().enumerate() {
+            sae_events.push(create_event(
+                &mut events,
+                EventKind::Sae {
+                    lane: planned.server,
+                    wakeup: lane_wakeup[planned.server],
+                    plan_index,
+                },
+            ));
+        }
+        let next_timer_idx = sae_base + plan.events.len();
+
+        // Steady-state allocation freedom: reserve the outcome and segment
+        // storage up front (each lane records at most one outcome per
+        // planned release).
+        for shared in &shareds {
+            shared.borrow_mut().outcomes.reserve(plan.events.len() + 1);
+        }
+        let mut trace = Trace::new(spec.horizon);
+        trace.segments.reserve(substrate.segment_hint);
+
+        let word_count = thread_count.div_ceil(64).max(1);
+        let mut driver = FastDriver {
+            plan_events: &plan.events,
+            rank_of: &substrate.rank_of,
+            order: &substrate.order,
+            horizon: spec.horizon,
+            timer_fire: config.overhead.timer_fire,
+            sae_events,
+            sae_base,
+            now: Instant::ZERO,
+            threads,
+            shareds,
+            events,
+            static_timers,
+            groups: substrate
+                .groups
+                .iter()
+                .map(|g| WheelGroup {
+                    next: g.first,
+                    period: g.period,
+                    members: &g.members,
+                    ceiling: g.ceiling,
+                })
+                .collect(),
+            sae_cursor: 0,
+            dynamic: BinaryHeap::new(),
+            next_timer_idx,
+            until_wakes: Vec::new(),
+            runnable: vec![0u64; word_count],
+            woken_min_rank: u32::MAX,
+            running: None,
+            pending_overhead: Span::ZERO,
+            next_due: Instant::ZERO,
+            zero_steps: 0,
+            trace,
+            due_scratch: Vec::new(),
+            fire_queue: VecDeque::new(),
+        };
+        for tid in 0..driver.threads.len() {
+            driver.mark_runnable(tid);
+        }
+        driver
+    }
+
+    #[inline]
+    fn mark_runnable(&mut self, tid: usize) {
+        let rank = self.rank_of[tid];
+        self.runnable[(rank / 64) as usize] |= 1u64 << (rank % 64);
+        self.woken_min_rank = self.woken_min_rank.min(rank);
+    }
+
+    #[inline]
+    fn unmark_runnable(&mut self, tid: usize) {
+        let rank = self.rank_of[tid];
+        self.runnable[(rank / 64) as usize] &= !(1u64 << (rank % 64));
+    }
+
+    /// Highest-priority runnable thread: the first set bit of the rank
+    /// bitmap (the substrate's static dispatch order).
+    fn pick_scan(&self) -> Option<usize> {
+        for (word_index, &word) in self.runnable.iter().enumerate() {
+            if word != 0 {
+                let rank = word_index * 64 + word.trailing_zeros() as usize;
+                return Some(self.order[rank] as usize);
+            }
+        }
+        None
+    }
+
+    /// Dispatch decision with the ceiling-gated fast resume: while the
+    /// previously dispatched thread is still mid-computation and everything
+    /// woken since the last decision ranks below it, it keeps the processor
+    /// without a scan.
+    fn pick(&mut self) -> Option<usize> {
+        if let Some((tid, rank)) = self.running {
+            if self.woken_min_rank > rank
+                && matches!(self.threads[tid].status, Status::Computing { .. })
+            {
+                self.woken_min_rank = u32::MAX;
+                return Some(tid);
+            }
+        }
+        self.woken_min_rank = u32::MAX;
+        let tid = self.pick_scan()?;
+        self.running = Some((tid, self.rank_of[tid]));
+        Some(tid)
+    }
+
+    fn note_progress(&mut self, advanced: Span) {
+        if advanced.is_zero() {
+            self.zero_steps += 1;
+            assert!(
+                self.zero_steps < MAX_ZERO_TIME_STEPS,
+                "fast path made {MAX_ZERO_TIME_STEPS} scheduling decisions at {now} without \
+                 advancing time: a ThreadBody is not making progress",
+                now = self.now
+            );
+        } else {
+            self.zero_steps = 0;
+        }
+    }
+
+    /// Everything due at or before `now`: timed wakes and wheel releases
+    /// first, then the timer fires replayed in (timer creation order,
+    /// occurrence instant) order — the engine's exact drain semantics.
+    fn drain(&mut self) {
+        if !self.until_wakes.is_empty() {
+            let mut i = 0;
+            while i < self.until_wakes.len() {
+                let (at, tid) = self.until_wakes[i];
+                if at <= self.now {
+                    self.until_wakes.swap_remove(i);
+                    if matches!(self.threads[tid].status, Status::BlockedUntil(t) if t == at) {
+                        self.threads[tid].status = Status::Ready(Completion::TimeReached);
+                        self.mark_runnable(tid);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        for gi in 0..self.groups.len() {
+            while self.groups[gi].next <= self.now {
+                let period = self.groups[gi].period;
+                let ceiling = self.groups[gi].ceiling;
+                let mut released_any = false;
+                for mi in 0..self.groups[gi].members.len() {
+                    let tid = self.groups[gi].members[mi] as usize;
+                    let slot = &mut self.threads[tid];
+                    if matches!(slot.status, Status::BlockedForPeriod) {
+                        let periodic = slot.periodic.as_mut().expect("wheel members are periodic");
+                        if periodic.next <= self.now {
+                            periodic.next += periodic.period;
+                            slot.status = match &mut slot.body {
+                                Body::Task(body) => start_period(body, self.now),
+                                Body::Server(_) => Status::Ready(Completion::PeriodStarted),
+                            };
+                            let rank = self.rank_of[tid];
+                            self.runnable[(rank / 64) as usize] |= 1u64 << (rank % 64);
+                            released_any = true;
+                        }
+                    }
+                }
+                if released_any {
+                    // One O(1) update for the whole group: the precomputed
+                    // ceiling is the best rank any member can contribute.
+                    self.woken_min_rank = self.woken_min_rank.min(ceiling);
+                }
+                self.groups[gi].next += period;
+            }
+        }
+
+        let mut due = std::mem::take(&mut self.due_scratch);
+        debug_assert!(due.is_empty());
+        for (index, timer) in self.static_timers.iter_mut().enumerate() {
+            if !timer.enabled {
+                continue;
+            }
+            match timer.period {
+                Some(period) => {
+                    while timer.next <= self.now {
+                        due.push((index, timer.next, timer.event));
+                        timer.next += period;
+                    }
+                }
+                None => {
+                    if timer.next <= self.now {
+                        timer.enabled = false;
+                        due.push((index, timer.next, timer.event));
+                    }
+                }
+            }
+        }
+        while self.sae_cursor < self.plan_events.len()
+            && self.plan_events[self.sae_cursor].release <= self.now
+        {
+            due.push((
+                self.sae_base + self.sae_cursor,
+                self.plan_events[self.sae_cursor].release,
+                self.sae_events[self.sae_cursor],
+            ));
+            self.sae_cursor += 1;
+        }
+        while let Some(&Reverse((at, index, event))) = self.dynamic.peek() {
+            if at > self.now {
+                break;
+            }
+            self.dynamic.pop();
+            due.push((index, at, event));
+        }
+        due.sort_unstable();
+        for &(_, _, event) in &due {
+            self.pending_overhead += self.timer_fire;
+            self.fire_event(event);
+        }
+        due.clear();
+        self.due_scratch = due;
+        self.next_due = self.earliest_due();
+        debug_assert!(
+            self.next_due > self.now,
+            "drain must consume everything due"
+        );
+    }
+
+    /// Recomputes the earliest-due instant over every timed source (the
+    /// cache invariant of [`Self::next_due`]).
+    fn earliest_due(&self) -> Instant {
+        let mut next = Instant::MAX;
+        for timer in &self.static_timers {
+            if timer.enabled {
+                next = next.min(timer.next);
+            }
+        }
+        if self.sae_cursor < self.plan_events.len() {
+            next = next.min(self.plan_events[self.sae_cursor].release);
+        }
+        if let Some(&Reverse((at, _, _))) = self.dynamic.peek() {
+            next = next.min(at);
+        }
+        for group in &self.groups {
+            next = next.min(group.next);
+        }
+        for &(at, _) in &self.until_wakes {
+            next = next.min(at);
+        }
+        next
+    }
+
+    /// Fires an event now: run its (static) hook, cascade, then wake or
+    /// credit — the engine's `fire_event_now` over the hook table.
+    fn fire_event(&mut self, event: usize) {
+        self.fire_queue.push_back(event);
+        while let Some(event) = self.fire_queue.pop_front() {
+            match self.events[event].kind {
+                EventKind::Plain => {}
+                EventKind::SwapReplenish { lane, wakeup }
+                | EventKind::SsReplenish { lane, wakeup } => {
+                    if self.shareds[lane]
+                        .borrow_mut()
+                        .apply_due_replenishments(self.now)
+                    {
+                        self.fire_queue.push_back(wakeup);
+                    }
+                }
+                EventKind::DsReplenish { lane, wakeup } => {
+                    let mut state = self.shareds[lane].borrow_mut();
+                    state.apply_due_mode_changes(self.now);
+                    if state.policy == ServerPolicyKind::Deferrable {
+                        state.replenish(self.now);
+                    }
+                    drop(state);
+                    self.fire_queue.push_back(wakeup);
+                }
+                EventKind::Sae {
+                    lane,
+                    wakeup,
+                    plan_index,
+                } => {
+                    let planned = &self.plan_events[plan_index];
+                    let accepted = self.shareds[lane].borrow_mut().released(
+                        QueuedRelease::new(planned.event, planned.handler, self.now),
+                        self.now,
+                    );
+                    if accepted {
+                        if let Some(wakeup) = wakeup {
+                            self.fire_queue.push_back(wakeup);
+                        }
+                    }
+                }
+            }
+            match self.events[event].waiter.take() {
+                None => {
+                    self.events[event].pending = self.events[event].pending.saturating_add(1);
+                }
+                Some(tid) => {
+                    self.threads[tid].status = Status::Ready(Completion::EventFired);
+                    self.mark_runnable(tid);
+                }
+            }
+        }
+    }
+
+    /// Specialized pump for the periodic workers: [`PeriodicThreadBody`]
+    /// never touches its ctx (debug-asserted in [`start_period`]), so the
+    /// request plumbing of the generic pump is skipped, and an in-place
+    /// release transitions straight into the computing state.
+    fn pump_task(&mut self, tid: usize, completion: Completion) {
+        let now = self.now;
+        let slot = &mut self.threads[tid];
+        let Body::Task(body) = &mut slot.body else {
+            unreachable!("pump_task requires a periodic worker")
+        };
+        let mut ctx = BodyCtx::new(now);
+        let mut blocked = false;
+        match body.next_action(&mut ctx, completion) {
+            Action::Compute { amount, unit } => {
+                slot.status = start_compute(amount, unit);
+            }
+            Action::WaitForNextPeriod => {
+                let periodic = slot
+                    .periodic
+                    .as_mut()
+                    .expect("periodic workers have a period");
+                if periodic.next <= now {
+                    // Released in place; the wheel's grid point for this
+                    // release (if still ahead) drains as a no-op.
+                    periodic.next += periodic.period;
+                    slot.status = start_period(body, now);
+                } else {
+                    slot.status = Status::BlockedForPeriod;
+                    blocked = true;
+                }
+            }
+            _ => unreachable!("periodic workers only compute or wait for their period"),
+        }
+        debug_assert!(ctx.take_fire_requests().is_empty());
+        debug_assert!(ctx.take_timer_requests().is_empty());
+        debug_assert!(ctx.take_deadline_request().is_none());
+        if blocked {
+            self.unmark_runnable(tid);
+        }
+    }
+
+    /// Pumps a Ready thread's body once, applying its action and requests
+    /// with the engine's ordering: deadline (ignored under fixed priorities),
+    /// action, fires, timers.
+    fn pump(&mut self, tid: usize) {
+        let completion = match self.threads[tid].status {
+            Status::Ready(completion) => completion,
+            _ => unreachable!("pump requires a Ready thread"),
+        };
+        if matches!(self.threads[tid].body, Body::Task(_)) {
+            return self.pump_task(tid, completion);
+        }
+        let mut ctx = BodyCtx::new(self.now);
+        let action = self.threads[tid].body.next_action(&mut ctx, completion);
+        let fires = ctx.take_fire_requests();
+        let timers = ctx.take_timer_requests();
+        // Fixed-priority dispatch ignores published deadlines.
+        let _ = ctx.take_deadline_request();
+
+        match action {
+            Action::Compute { amount, unit } => {
+                self.threads[tid].status = if amount.is_zero() {
+                    Status::Ready(Completion::Computed {
+                        consumed: Span::ZERO,
+                    })
+                } else {
+                    Status::Computing {
+                        remaining: amount,
+                        budget: None,
+                        unit,
+                        consumed: Span::ZERO,
+                    }
+                };
+            }
+            Action::ComputeInterruptible {
+                amount,
+                budget,
+                unit,
+            } => {
+                self.threads[tid].status = if amount.is_zero() {
+                    Status::Ready(Completion::Computed {
+                        consumed: Span::ZERO,
+                    })
+                } else if budget.is_zero() {
+                    Status::Ready(Completion::Interrupted {
+                        consumed: Span::ZERO,
+                    })
+                } else {
+                    Status::Computing {
+                        remaining: amount,
+                        budget: Some(budget),
+                        unit,
+                        consumed: Span::ZERO,
+                    }
+                };
+            }
+            Action::WaitForNextPeriod => {
+                let periodic = self.threads[tid]
+                    .periodic
+                    .as_mut()
+                    .expect("WaitForNextPeriod requires a periodic schedulable");
+                if periodic.next <= self.now {
+                    // Released in place; the wheel's grid point for this
+                    // release (if still ahead) drains as a no-op.
+                    periodic.next += periodic.period;
+                    self.threads[tid].status = Status::Ready(Completion::PeriodStarted);
+                } else {
+                    self.threads[tid].status = Status::BlockedForPeriod;
+                    self.unmark_runnable(tid);
+                }
+            }
+            Action::WaitUntil(at) => {
+                if at <= self.now {
+                    self.threads[tid].status = Status::Ready(Completion::TimeReached);
+                } else {
+                    self.threads[tid].status = Status::BlockedUntil(at);
+                    self.unmark_runnable(tid);
+                    self.until_wakes.push((at, tid));
+                    self.next_due = self.next_due.min(at);
+                }
+            }
+            Action::WaitForEvent(event) => {
+                let event = event.raw();
+                if self.events[event].pending > 0 {
+                    self.events[event].pending -= 1;
+                    self.threads[tid].status = Status::Ready(Completion::EventFired);
+                } else {
+                    debug_assert!(
+                        self.events[event].waiter.is_none(),
+                        "framework events have at most one waiter"
+                    );
+                    self.events[event].waiter = Some(tid);
+                    self.threads[tid].status = Status::BlockedOnEvent;
+                    self.unmark_runnable(tid);
+                }
+            }
+            Action::Terminate => {
+                self.threads[tid].status = Status::Terminated;
+                self.unmark_runnable(tid);
+            }
+        }
+
+        for event in fires {
+            self.fire_event(event.raw());
+        }
+        for (at, event) in timers {
+            if at <= self.now {
+                self.pending_overhead += self.timer_fire;
+                self.fire_event(event.raw());
+            } else {
+                let index = self.next_timer_idx;
+                self.next_timer_idx += 1;
+                self.dynamic.push(Reverse((at, index, event.raw())));
+                self.next_due = self.next_due.min(at);
+            }
+        }
+    }
+
+    /// The next instant the runnable set could change: the cached
+    /// earliest-due instant — clamped to the horizon, floored one tick
+    /// ahead. Spurious wheel points (a grid instant none of the group's
+    /// members is blocked on) merely split a compute or idle span;
+    /// `Trace::push_segment` merges the pieces back, so traces are
+    /// unaffected.
+    #[inline]
+    fn next_preemption_time(&self) -> Instant {
+        self.next_due
+            .min(self.horizon)
+            .max(self.now + Span::from_ticks(1))
+    }
+
+    /// The engine run loop over the substrate tables.
+    fn run(&mut self) {
+        while self.now < self.horizon {
+            if self.now >= self.next_due {
+                self.drain();
+            }
+
+            if !self.pending_overhead.is_zero() {
+                let slice = self.pending_overhead.min(self.horizon.since(self.now));
+                self.trace
+                    .push_segment(ExecUnit::TimerOverhead, self.now, self.now + slice);
+                self.now += slice;
+                self.pending_overhead -= slice;
+                self.note_progress(slice);
+                continue;
+            }
+
+            let Some(tid) = self.pick() else {
+                let next = self.next_preemption_time();
+                debug_assert!(next > self.now);
+                self.trace.push_segment(ExecUnit::Idle, self.now, next);
+                self.now = next;
+                self.zero_steps = 0;
+                continue;
+            };
+
+            if matches!(self.threads[tid].status, Status::Ready(_)) {
+                self.pump(tid);
+                self.note_progress(Span::ZERO);
+                // Fused dispatch: when the pump left this thread computing,
+                // woke nothing that outranks it and charged no overhead, the
+                // next decision would re-pick it — slice immediately.
+                if !self.pending_overhead.is_zero()
+                    || self.woken_min_rank <= self.rank_of[tid]
+                    || !matches!(self.threads[tid].status, Status::Computing { .. })
+                {
+                    continue;
+                }
+                self.woken_min_rank = u32::MAX;
+            }
+
+            let limit = self.next_preemption_time();
+            debug_assert!(limit > self.now);
+            let window = limit.since(self.now);
+            let Status::Computing {
+                remaining,
+                budget,
+                unit,
+                consumed,
+            } = &mut self.threads[tid].status
+            else {
+                unreachable!("pick returned a non-runnable thread");
+            };
+            let mut slice = (*remaining).min(window);
+            if let Some(budget) = *budget {
+                slice = slice.min(budget);
+            }
+            debug_assert!(!slice.is_zero(), "computations always make progress");
+            let unit = *unit;
+            self.trace.push_segment(unit, self.now, self.now + slice);
+            self.now += slice;
+            *remaining = remaining.minus(slice);
+            *consumed += slice;
+            if let Some(budget) = budget {
+                *budget = budget.minus(slice);
+            }
+            if remaining.is_zero() {
+                let consumed = *consumed;
+                self.threads[tid].status = Status::Ready(Completion::Computed { consumed });
+            } else if *budget == Some(Span::ZERO) {
+                let consumed = *consumed;
+                self.threads[tid].status = Status::Ready(Completion::Interrupted { consumed });
+            }
+            self.note_progress(slice);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_model::{Priority, ServerSpec, SystemSpec};
+
+    fn table1(policy: ServerPolicyKind, capacity: u64, events: &[(u64, u64)]) -> SystemSpec {
+        let mut b = SystemSpec::builder("fastpath-table-1");
+        b.server(ServerSpec {
+            policy,
+            capacity: Span::from_units(capacity),
+            period: Span::from_units(6),
+            priority: Priority::new(30),
+            discipline: rt_model::QueueDiscipline::FifoSkip,
+            admission: Default::default(),
+        });
+        b.periodic(
+            "tau1",
+            Span::from_units(2),
+            Span::from_units(6),
+            Priority::new(20),
+        );
+        b.periodic(
+            "tau2",
+            Span::from_units(1),
+            Span::from_units(6),
+            Priority::new(10),
+        );
+        for &(release, cost) in events {
+            b.aperiodic(Instant::from_units(release), Span::from_units(cost));
+        }
+        b.horizon_server_periods(10);
+        b.build().unwrap()
+    }
+
+    fn assert_fastpath_matches_interpreted(spec: &SystemSpec, config: &ExecutionConfig) {
+        let plan = ExecutionPlan::prepare(spec, config).expect("valid spec");
+        let substrate = SubstratePlan::analyze(spec, config);
+        let interpreted = plan.run();
+        let fast = plan.run_with_substrate(&substrate);
+        assert_eq!(
+            interpreted.render_canonical(),
+            fast.render_canonical(),
+            "fast path diverged from the interpreted engine"
+        );
+        assert_eq!(interpreted, fast);
+    }
+
+    #[test]
+    fn fastpath_matches_interpreted_across_policies_and_overheads() {
+        let events: Vec<(u64, u64)> = (0..12).map(|i| (i * 3 + 1, 2)).collect();
+        for policy in [
+            ServerPolicyKind::Polling,
+            ServerPolicyKind::Deferrable,
+            ServerPolicyKind::Background,
+            ServerPolicyKind::Sporadic,
+        ] {
+            let spec = table1(policy, 3, &events);
+            assert_fastpath_matches_interpreted(&spec, &ExecutionConfig::ideal());
+            assert_fastpath_matches_interpreted(&spec, &ExecutionConfig::reference());
+        }
+    }
+
+    #[test]
+    fn fastpath_matches_interpreted_with_faults_and_mode_changes() {
+        let mut spec = table1(ServerPolicyKind::Deferrable, 3, &[(0, 3), (4, 1), (9, 2)]);
+        spec.faults = rt_model::FaultPlan::new()
+            .overrun(spec.aperiodics[2].id, Span::from_units(2))
+            .mode_change(
+                rt_model::ModeChange::at(Instant::from_units(1), 0)
+                    .with_capacity(Span::from_units(1)),
+            );
+        assert_fastpath_matches_interpreted(&spec, &ExecutionConfig::reference());
+
+        let mut spec = table1(ServerPolicyKind::Deferrable, 2, &[(0, 2), (3, 2)]);
+        spec.faults = rt_model::FaultPlan::new().mode_change(
+            rt_model::ModeChange::at(Instant::from_units(4), 0)
+                .with_policy(ServerPolicyKind::Sporadic)
+                .with_capacity(Span::from_units(2))
+                .with_period(Span::from_units(6)),
+        );
+        assert_fastpath_matches_interpreted(&spec, &ExecutionConfig::reference());
+    }
+
+    #[test]
+    fn edf_plans_fall_back_to_the_interpreted_run() {
+        let mut spec = table1(ServerPolicyKind::Deferrable, 3, &[(0, 2), (7, 2)]);
+        spec.scheduling = SchedulingPolicy::Edf;
+        let config = ExecutionConfig::reference();
+        let plan = ExecutionPlan::prepare(&spec, &config).expect("valid spec");
+        let substrate = SubstratePlan::analyze(&spec, &config);
+        assert_eq!(plan.run(), plan.run_with_substrate(&substrate));
+    }
+
+    #[test]
+    fn substrate_ranks_follow_priority_then_spawn_order() {
+        let spec = table1(ServerPolicyKind::Polling, 3, &[(0, 2)]);
+        let substrate = SubstratePlan::analyze(&spec, &ExecutionConfig::ideal());
+        // Server (priority 30) ranks first, then tau1 (20), then tau2 (10).
+        assert_eq!(substrate.order, vec![0, 1, 2]);
+        assert_eq!(substrate.rank_of, vec![0, 1, 2]);
+        // One wheel group: all three share the (0, period 6) grid.
+        assert_eq!(substrate.groups.len(), 1);
+        assert_eq!(substrate.groups[0].members, vec![0, 1, 2]);
+        assert_eq!(substrate.groups[0].ceiling, 0);
+    }
+}

@@ -492,10 +492,9 @@ impl ServableAsyncEvent {
         engine.add_fire_hook(
             engine_event,
             Box::new(move |ctx| {
-                let accepted = shared.borrow_mut().released(
-                    QueuedRelease::new(event_id, handler.clone(), ctx.now()),
-                    ctx.now(),
-                );
+                let accepted = shared
+                    .borrow_mut()
+                    .released(QueuedRelease::new(event_id, handler, ctx.now()), ctx.now());
                 // A refused release never entered the queue: waking the
                 // server would be a spurious (if harmless) activation, and
                 // under AcceptAll this is exactly the pre-admission path.
@@ -532,6 +531,7 @@ impl ServableAsyncEvent {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rt_model::NameId;
     use rt_model::{HandlerId, Priority, Span};
     use rtsj_emu::{EngineConfig, OverheadModel};
 
@@ -553,7 +553,7 @@ mod tests {
         );
         assert!(server.wakeup().is_none());
         assert_eq!(server.policy(), ServerPolicyKind::Polling);
-        let handler = ServableHandler::new(HandlerId::new(0), "h0", Span::from_units(2));
+        let handler = ServableHandler::new(HandlerId::new(0), NameId::UNNAMED, Span::from_units(2));
         let sae = ServableAsyncEvent::create(&mut engine, EventId::new(0), handler, &server);
         sae.schedule_fire(&mut engine, Instant::from_units(0));
         assert_eq!(sae.event_id(), EventId::new(0));
@@ -583,7 +583,7 @@ mod tests {
         // second must wait for the replenishment at 6.
         for (i, at) in [(0u32, 0u64), (1, 1)] {
             let handler =
-                ServableHandler::new(HandlerId::new(i), format!("h{i}"), Span::from_units(2));
+                ServableHandler::new(HandlerId::new(i), NameId::from_raw(i), Span::from_units(2));
             let sae = ServableAsyncEvent::create(&mut engine, EventId::new(i), handler, &server);
             sae.schedule_fire(&mut engine, Instant::from_units(at));
         }

@@ -54,6 +54,20 @@
 //!   sweep is O(pending mode changes) per service-loop pass with
 //!   per-record applied flags — amortised O(1) per decision.
 //!
+//! ## Per-run cost model (phase-2 compile layer)
+//!
+//! Preparing a run ([`system::ExecutionPlan::prepare`]) is
+//! O(structure + events-within-horizon): validation, one planned-event
+//! table, and one interned [`rt_model::NameTable`] — no per-event `String`
+//! clones (handler templates carry fixed-width [`rt_model::NameId`]s), and
+//! fault-free specs are borrowed (`Cow`), never cloned. Running is
+//! O(decisions · log n) on the interpreted engine and O(decisions) on the
+//! compiled substrate ([`fastpath::SubstratePlan`]), both with zero heap
+//! allocations per decision (pinned by `rt-bench`'s `zero_alloc` test).
+//! Post-run trace finalisation buckets execution segments by task in one
+//! pass — O(segments + tasks), *not* O(tasks × segments); at 300 tasks the
+//! difference is the bulk of the per-run cost.
+//!
 //! ```
 //! use rt_model::{Instant, Priority, ServerPolicyKind, ServerSpec, Span, SystemSpec};
 //! use rt_taskserver::{execute, ExecutionConfig};
@@ -76,6 +90,7 @@
 
 pub mod admission;
 pub mod deferrable;
+pub mod fastpath;
 pub mod framework;
 pub mod handler;
 pub mod polling;
@@ -89,6 +104,7 @@ pub use admission::{
     predicted_response, textbook_prediction, AdmissionController, AdmissionOracle,
 };
 pub use deferrable::EventDrivenServerBody;
+pub use fastpath::{rank_tables, SubstrateGroup, SubstratePlan};
 pub use framework::{
     AnyTaskServer, BackgroundServer, DeferrableTaskServer, PollingTaskServer, ServableAsyncEvent,
     SporadicTaskServer, TaskServer,

@@ -82,6 +82,7 @@ mod tests {
     use crate::handler::{QueuedRelease, ServableHandler};
     use crate::queue::QueueKind;
     use crate::state::ServerShared;
+    use rt_model::NameId;
     use rt_model::{
         EventId, ExecUnit, HandlerId, Instant, Priority, ServerPolicyKind, Span, TaskId,
     };
@@ -141,7 +142,7 @@ mod tests {
             let event = engine.create_event(format!("e{i}"));
             let handler = ServableHandler::new(
                 HandlerId::new(i as u32),
-                format!("h{i}"),
+                NameId::from_raw(i as u32),
                 Span::from_units(*actual),
             )
             .with_declared_cost(Span::from_units(declared.unwrap_or(*actual)));
@@ -151,10 +152,9 @@ mod tests {
             engine.add_fire_hook(
                 event,
                 Box::new(move |ctx| {
-                    shared_hook.borrow_mut().released(
-                        QueuedRelease::new(event_id, handler.clone(), release_at),
-                        ctx.now(),
-                    );
+                    shared_hook
+                        .borrow_mut()
+                        .released(QueuedRelease::new(event_id, handler, release_at), ctx.now());
                 }),
             );
             engine.add_one_shot_timer(release_at, event);
@@ -273,14 +273,17 @@ mod tests {
             Box::new(PollingServerBody::new(shared.clone())),
         );
         let event = engine.create_event("e0");
-        let handler =
-            ServableHandler::new(HandlerId::new(0), "h0", Span::from_ticks(params_cost_ticks));
+        let handler = ServableHandler::new(
+            HandlerId::new(0),
+            NameId::UNNAMED,
+            Span::from_ticks(params_cost_ticks),
+        );
         let hook_state = shared.clone();
         engine.add_fire_hook(
             event,
             Box::new(move |ctx| {
                 hook_state.borrow_mut().released(
-                    QueuedRelease::new(EventId::new(0), handler.clone(), Instant::ZERO),
+                    QueuedRelease::new(EventId::new(0), handler, Instant::ZERO),
                     ctx.now(),
                 );
             }),

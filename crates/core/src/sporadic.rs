@@ -83,7 +83,7 @@ mod tests {
     use crate::framework::{ServableAsyncEvent, SporadicTaskServer, TaskServer};
     use crate::handler::ServableHandler;
     use crate::queue::QueueKind;
-    use rt_model::{EventId, ExecUnit, HandlerId, Instant, Priority, Span, TaskId};
+    use rt_model::{EventId, ExecUnit, HandlerId, Instant, NameId, Priority, Span, TaskId};
     use rtsj_emu::{Engine, EngineConfig, OverheadModel, PeriodicThreadBody, TaskServerParameters};
 
     /// Installs a sporadic server (capacity 3, period 6, priority 30) above
@@ -116,7 +116,7 @@ mod tests {
         for (i, &(release, cost)) in events.iter().enumerate() {
             let handler = ServableHandler::new(
                 HandlerId::new(i as u32),
-                format!("h{i}"),
+                NameId::from_raw(i as u32),
                 Span::from_units(cost),
             );
             let sae =

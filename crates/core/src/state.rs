@@ -509,6 +509,7 @@ impl ServerShared {
 mod tests {
     use super::*;
     use crate::handler::ServableHandler;
+    use rt_model::NameId;
     use rt_model::{EventId, HandlerId, Priority};
 
     fn params() -> TaskServerParameters {
@@ -518,7 +519,11 @@ mod tests {
     fn release(id: u32, cost: u64, at: u64) -> QueuedRelease {
         QueuedRelease::new(
             EventId::new(id),
-            ServableHandler::new(HandlerId::new(id), format!("h{id}"), Span::from_units(cost)),
+            ServableHandler::new(
+                HandlerId::new(id),
+                NameId::from_raw(id),
+                Span::from_units(cost),
+            ),
             Instant::from_units(at),
         )
     }
@@ -630,7 +635,7 @@ mod tests {
         let mut s = server.borrow_mut();
         let first = release(0, 2, 0);
         let second = release(1, 2, 3);
-        s.released(second.clone(), Instant::from_units(3));
+        s.released(second, Instant::from_units(3));
         s.record_served(&first, Instant::from_units(6), Instant::from_units(8));
         let outcomes = s.finalise();
         assert_eq!(outcomes.len(), 2);

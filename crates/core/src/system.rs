@@ -13,10 +13,11 @@ use crate::framework::{AnyTaskServer, ServableAsyncEvent, TaskServer};
 use crate::handler::ServableHandler;
 use crate::queue::QueueKind;
 use rt_model::{
-    AperiodicFate, AperiodicOutcome, ExecUnit, Instant, ModelError, PeriodicJobRecord,
+    AperiodicFate, AperiodicOutcome, ExecUnit, Instant, ModelError, NameTable, PeriodicJobRecord,
     PeriodicTask, SchedulingPolicy, Span, SystemSpec, Trace,
 };
 use rtsj_emu::{Engine, EngineConfig, OverheadModel, SchedulerKind};
+use std::borrow::Cow;
 
 /// Configuration of an execution run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -127,13 +128,14 @@ pub fn execute(spec: &SystemSpec, config: &ExecutionConfig) -> Trace {
 
 /// One aperiodic occurrence as the engine installs it: the routed server
 /// index, the handler template and the fire instant, precomputed so a run
-/// does not re-derive them from the spec.
-#[derive(Debug, Clone)]
-struct PlannedEvent {
-    server: usize,
-    event: rt_model::EventId,
-    handler: ServableHandler,
-    release: Instant,
+/// does not re-derive them from the spec. Fully `Copy` — the handler name is
+/// interned in the plan's [`NameTable`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PlannedEvent {
+    pub(crate) server: usize,
+    pub(crate) event: rt_model::EventId,
+    pub(crate) handler: ServableHandler,
+    pub(crate) release: Instant,
 }
 
 /// The compiled schedulable table of one system × configuration: everything
@@ -144,42 +146,60 @@ struct PlannedEvent {
 /// [`ExecutionPlan::prepare`] and replayed by [`ExecutionPlan::run`] as many
 /// times as needed. [`execute`] is `prepare().run()`, so planned and direct
 /// executions are byte-identical by construction.
+/// The plan borrows the spec it was prepared from (`Cow`): a fault-free spec
+/// is never cloned, and preparing allocates O(events-within-horizon) for the
+/// planned-event table plus the interned [`NameTable`] — no per-event
+/// `String` clones.
 #[derive(Debug, Clone)]
-pub struct ExecutionPlan {
-    spec: SystemSpec,
-    config: ExecutionConfig,
-    engine_config: EngineConfig,
-    events: Vec<PlannedEvent>,
+pub struct ExecutionPlan<'a> {
+    pub(crate) spec: Cow<'a, SystemSpec>,
+    pub(crate) names: NameTable,
+    pub(crate) config: ExecutionConfig,
+    pub(crate) engine_config: EngineConfig,
+    pub(crate) events: Vec<PlannedEvent>,
 }
 
-impl ExecutionPlan {
+impl<'a> ExecutionPlan<'a> {
     /// Validates the spec and freezes the installation plan.
     ///
     /// # Errors
     /// Returns the [`ModelError`] of [`SystemSpec::validate`] when the spec
     /// is not well formed.
-    pub fn prepare(spec: &SystemSpec, config: &ExecutionConfig) -> Result<Self, ModelError> {
+    pub fn prepare(spec: &'a SystemSpec, config: &ExecutionConfig) -> Result<Self, ModelError> {
         spec.validate()?;
+        Ok(Self::prepare_prevalidated(spec, config))
+    }
+
+    /// Freezes the installation plan of a spec the caller guarantees is
+    /// already valid (`spec.validate()` would succeed). The compile layer
+    /// uses this to avoid re-running the O(events) workload checks it has
+    /// already accounted for.
+    pub fn prepare_prevalidated(spec: &'a SystemSpec, config: &ExecutionConfig) -> Self {
         // Arrival faults (release jitter, dropped arrivals) are a pure spec
         // normalization: the plan is frozen over the faulted arrival stream,
-        // so the engine below never sees them.
-        let spec = &spec.apply_arrival_faults().unwrap_or_else(|| spec.clone());
+        // so the engine below never sees them. Fault-free specs stay borrowed.
+        let spec = match spec.apply_arrival_faults() {
+            Some(faulted) => Cow::Owned(faulted),
+            None => Cow::Borrowed(spec),
+        };
         let policy = config.scheduling.unwrap_or(spec.scheduling);
         let engine_config = EngineConfig::new(spec.horizon)
             .with_overhead(config.overhead)
             .with_scheduler(config.scheduler)
             .with_policy(policy)
             .with_batching(config.batching);
+        let mut names = NameTable::new();
         let events = spec
-            .aperiodics
+            .workload()
+            .within_horizon()
             .iter()
-            .filter(|event| event.release < spec.horizon && event.server < spec.servers.len())
+            .filter(|event| event.server < spec.servers.len())
             .map(|event| PlannedEvent {
                 server: event.server,
                 event: event.id,
                 handler: ServableHandler {
                     id: event.handler,
-                    name: event.name.clone(),
+                    name: names.intern(&event.name),
                     declared_cost: event.declared_cost,
                     actual_cost: event.actual_cost,
                     relative_deadline: event.relative_deadline,
@@ -189,17 +209,25 @@ impl ExecutionPlan {
                 release: event.release,
             })
             .collect();
-        Ok(ExecutionPlan {
-            spec: spec.clone(),
+        ExecutionPlan {
+            spec,
+            names,
             config: *config,
             engine_config,
             events,
-        })
+        }
     }
 
     /// The validated system this plan executes.
     pub fn spec(&self) -> &SystemSpec {
         &self.spec
+    }
+
+    /// The symbol table resolving the plan's interned handler names back to
+    /// the spec's strings (diagnostics only — canonical traces carry no
+    /// names).
+    pub fn names(&self) -> &NameTable {
+        &self.names
     }
 
     /// The configuration the plan was prepared for.
@@ -252,70 +280,120 @@ impl ExecutionPlan {
         // bound to the server the event routes to.
         for planned in &self.events {
             let server = &servers[planned.server];
-            let sae = ServableAsyncEvent::create(
-                &mut engine,
-                planned.event,
-                planned.handler.clone(),
-                server,
-            );
+            let sae =
+                ServableAsyncEvent::create(&mut engine, planned.event, planned.handler, server);
             sae.schedule_fire(&mut engine, planned.release);
         }
 
         let mut trace = engine.run();
 
-        // Attach the aperiodic outcomes recorded by every server, completing
-        // them with `Unserved` for any released event with no recorded fate
-        // (e.g. the one being served when the horizon was reached).
-        if !servers.is_empty() {
-            let mut outcomes: Vec<AperiodicOutcome> = servers
+        let collected = (!servers.is_empty()).then(|| {
+            servers
                 .iter()
                 .flat_map(|server| server.shared().borrow_mut().finalise())
-                .collect();
-            for event in &spec.aperiodics {
-                if event.release >= spec.horizon || servers.get(event.server).is_none() {
-                    continue;
-                }
-                if !outcomes.iter().any(|o| o.event == event.id) {
-                    outcomes.push(AperiodicOutcome {
-                        event: event.id,
-                        release: event.release,
-                        declared_cost: event.declared_cost,
-                        value: event.value,
-                        deadline: event.absolute_deadline(),
-                        fate: AperiodicFate::Unserved,
-                    });
-                }
-            }
-            outcomes.sort_by_key(|o| (o.release, o.event));
-            trace.outcomes = outcomes;
-        }
-
-        // Reconstruct per-job completion records for the periodic tasks from
-        // their execution segments.
-        for task in &spec.periodic_tasks {
-            for record in reconstruct_periodic_records(&trace, task, spec.horizon) {
-                trace.periodic_jobs.push(record);
-            }
-        }
-
-        debug_assert!(trace.check_invariants().is_ok());
+                .collect()
+        });
+        finalise_trace(spec, servers.len(), collected, &mut trace);
         trace
     }
+}
+
+/// Shared post-run finalisation of an execution trace, used by both the
+/// interpreted [`ExecutionPlan::run`] and the compiled fast path: attach the
+/// aperiodic outcomes recorded by the servers — completing them with
+/// `Unserved` for any released event with no recorded fate (e.g. the one
+/// being served when the horizon was reached) — and reconstruct the periodic
+/// job records from the execution segments.
+pub(crate) fn finalise_trace(
+    spec: &SystemSpec,
+    server_count: usize,
+    collected: Option<Vec<AperiodicOutcome>>,
+    trace: &mut Trace,
+) {
+    if let Some(mut outcomes) = collected {
+        for event in &spec.aperiodics {
+            if event.release >= spec.horizon || event.server >= server_count {
+                continue;
+            }
+            if !outcomes.iter().any(|o| o.event == event.id) {
+                outcomes.push(AperiodicOutcome {
+                    event: event.id,
+                    release: event.release,
+                    declared_cost: event.declared_cost,
+                    value: event.value,
+                    deadline: event.absolute_deadline(),
+                    fate: AperiodicFate::Unserved,
+                });
+            }
+        }
+        outcomes.sort_by_key(|o| (o.release, o.event));
+        trace.outcomes = outcomes;
+    }
+
+    // One reservation for all records: the job count is computable from the
+    // spec, so the record vector never grows incrementally (part of the
+    // horizon-independent allocation discipline the zero-allocation
+    // regression test in `rt-bench` pins).
+    let job_total: usize = spec
+        .periodic_tasks
+        .iter()
+        .map(|task| jobs_within(task, spec.horizon))
+        .sum();
+    trace.periodic_jobs.reserve(job_total);
+    // Bucket the execution segments by task in one pass over the trace
+    // rather than one filtered scan per task: O(segments + tasks) instead of
+    // O(tasks × segments), which otherwise dominates post-run cost for large
+    // task sets. Two passes (count, then fill) keep every bucket
+    // right-sized, preserving the horizon-independent allocation count.
+    let slots = spec
+        .periodic_tasks
+        .iter()
+        .map(|task| task.id.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut counts = vec![0usize; slots];
+    for segment in &trace.segments {
+        if let ExecUnit::Task(id) = segment.unit {
+            counts[id.index()] += 1;
+        }
+    }
+    let mut buckets: Vec<Vec<(Instant, Instant)>> = counts
+        .iter()
+        .map(|&count| Vec::with_capacity(count))
+        .collect();
+    for segment in &trace.segments {
+        if let ExecUnit::Task(id) = segment.unit {
+            buckets[id.index()].push((segment.start, segment.end));
+        }
+    }
+    for task in &spec.periodic_tasks {
+        for record in reconstruct_periodic_records(&buckets[task.id.index()], task, spec.horizon) {
+            trace.periodic_jobs.push(record);
+        }
+    }
+
+    debug_assert!(trace.check_invariants().is_ok());
+}
+
+/// Number of releases of `task` strictly before `horizon`.
+fn jobs_within(task: &PeriodicTask, horizon: Instant) -> usize {
+    let first = task.release_of(0);
+    if first >= horizon {
+        return 0;
+    }
+    let window = horizon.since(first).ticks();
+    (1 + (window - 1) / task.period.ticks()) as usize
 }
 
 /// Rebuilds the periodic job records of one task from its trace segments:
 /// the k-th job completes when the task has accumulated `(k+1) · cost` of
 /// processor time.
 fn reconstruct_periodic_records(
-    trace: &Trace,
+    segments: &[(Instant, Instant)],
     task: &PeriodicTask,
     horizon: Instant,
 ) -> Vec<PeriodicJobRecord> {
-    let segments: Vec<(Instant, Instant)> = trace
-        .segments_of(ExecUnit::Task(task.id))
-        .map(|s| (s.start, s.end))
-        .collect();
-    let mut records = Vec::new();
+    let mut records = Vec::with_capacity(jobs_within(task, horizon));
     let mut segment_index = 0usize;
     // Processor time of the current segment already attributed to earlier jobs.
     let mut consumed_in_segment = Span::ZERO;

@@ -1,0 +1,106 @@
+//! Name interning: a compact symbol table mapping human-readable names
+//! ("e17", "tau3") to fixed-width [`NameId`]s.
+//!
+//! The spec keeps its `String` names — they are the serialisation format and
+//! the diagnostics surface — but everything on a per-decision or per-release
+//! path carries a [`NameId`] instead. That turns the handler templates built
+//! from a spec into plain `Copy` data: cloning one per release is a register
+//! move, not a heap allocation, which is what lets the compile layer promise
+//! *zero per-event allocations* (the phase-2 interning work of the ROADMAP's
+//! compile-layer item).
+//!
+//! Canonical trace rendering never contains names, so interning is
+//! behaviour-invariant by construction; the round-trip property is pinned by
+//! `tests/intern_roundtrip.rs`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A fixed-width handle into a [`NameTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NameId(u32);
+
+impl NameId {
+    /// The id handed to anonymous handlers (tests, ad-hoc constructions)
+    /// that never registered a name in any table.
+    pub const UNNAMED: NameId = NameId(u32::MAX);
+
+    /// Builds an id from its raw table slot. Meaningful only together with
+    /// the table that produced it; tests use it to fabricate distinct ids
+    /// without a table.
+    pub const fn from_raw(raw: u32) -> Self {
+        NameId(raw)
+    }
+
+    /// The raw table slot.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// An append-only string interner: each distinct string is stored once and
+/// addressed by the [`NameId`] of its first insertion.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NameTable {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl NameTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        NameTable::default()
+    }
+
+    /// Interns a name, returning the id of its existing entry when the exact
+    /// string was interned before.
+    pub fn intern(&mut self, name: &str) -> NameId {
+        if let Some(&slot) = self.index.get(name) {
+            return NameId(slot);
+        }
+        let slot = u32::try_from(self.names.len()).expect("name table overflow");
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), slot);
+        NameId(slot)
+    }
+
+    /// Resolves an id back to its string; `None` for [`NameId::UNNAMED`] and
+    /// for ids minted by a different table.
+    pub fn resolve(&self, id: NameId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of distinct names interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_round_trips() {
+        let mut table = NameTable::new();
+        let a = table.intern("e0");
+        let b = table.intern("e1");
+        assert_ne!(a, b);
+        assert_eq!(table.intern("e0"), a);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.resolve(a), Some("e0"));
+        assert_eq!(table.resolve(b), Some("e1"));
+        assert_eq!(table.resolve(NameId::UNNAMED), None);
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        assert_eq!(NameId::from_raw(7).raw(), 7);
+        assert!(NameTable::new().is_empty());
+    }
+}

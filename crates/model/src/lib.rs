@@ -23,6 +23,7 @@
 pub mod error;
 pub mod fault;
 pub mod ids;
+pub mod intern;
 pub mod job;
 pub mod priority;
 pub mod system;
@@ -33,11 +34,12 @@ pub mod trace;
 pub use error::ModelError;
 pub use fault::{ArrivalFault, CostOverrun, FaultPlan, ModeChange};
 pub use ids::{EventId, HandlerId, IdAllocator, JobId, ServerId, TaskId};
+pub use intern::{NameId, NameTable};
 pub use job::{Job, JobSource, JobState};
 pub use priority::{
     deadline_monotonic, rate_monotonic, Priority, SchedulingPolicy, SymbolicPriority,
 };
-pub use system::{SystemBuilder, SystemSpec};
+pub use system::{SystemBuilder, SystemSpec, WorkloadView};
 pub use task::{
     AdmissionPolicy, AperiodicEvent, PeriodicTask, QueueDiscipline, ServerPolicyKind, ServerSpec,
 };

@@ -102,7 +102,22 @@ impl SystemSpec {
     /// task in the system" requirement, applied per server — every event
     /// routed to an existing server, and handler costs within the capacity
     /// of their own server (the framework's admission constraint).
+    ///
+    /// Equivalent to [`Self::validate_structure`] followed by
+    /// [`Self::validate_workload`]; callers on a compile-cost-sensitive path
+    /// (the compile layer, whose cost must not scale with traffic) run only
+    /// the structural half eagerly.
     pub fn validate(&self) -> Result<(), ModelError> {
+        self.validate_structure()?;
+        self.validate_workload()
+    }
+
+    /// The structural half of [`Self::validate`]: everything that does not
+    /// look at the aperiodic arrival stream — well-formed tasks and servers,
+    /// unique task ids, per-server priority domination, a positive horizon.
+    /// O(tasks + servers) (task-id deduplication is `O(t log t)`), never
+    /// O(events).
+    pub fn validate_structure(&self) -> Result<(), ModelError> {
         for t in &self.periodic_tasks {
             if !t.is_well_formed() {
                 return Err(ModelError::invalid(format!(
@@ -116,21 +131,6 @@ impl SystemSpec {
         task_ids.dedup();
         if task_ids.len() != self.periodic_tasks.len() {
             return Err(ModelError::invalid("duplicate periodic task id"));
-        }
-        let mut event_ids: Vec<EventId> = self.aperiodics.iter().map(|e| e.id).collect();
-        event_ids.sort();
-        event_ids.dedup();
-        if event_ids.len() != self.aperiodics.len() {
-            return Err(ModelError::invalid("duplicate aperiodic event id"));
-        }
-        if self
-            .aperiodics
-            .windows(2)
-            .any(|w| w[0].release > w[1].release)
-        {
-            return Err(ModelError::invalid(
-                "aperiodic events must be sorted by release time",
-            ));
         }
         for (index, server) in self.servers.iter().enumerate() {
             if !server.is_well_formed() {
@@ -151,6 +151,32 @@ impl SystemSpec {
                 }
             }
         }
+        if self.horizon == Instant::ZERO {
+            return Err(ModelError::invalid("horizon must be positive"));
+        }
+        Ok(())
+    }
+
+    /// The workload half of [`Self::validate`]: the O(events) checks over the
+    /// aperiodic arrival stream — unique event ids, release-sorted order,
+    /// routing to existing servers, declared costs within the routed server's
+    /// capacity, and the fault plan's cross-references.
+    pub fn validate_workload(&self) -> Result<(), ModelError> {
+        let mut event_ids: Vec<EventId> = self.aperiodics.iter().map(|e| e.id).collect();
+        event_ids.sort();
+        event_ids.dedup();
+        if event_ids.len() != self.aperiodics.len() {
+            return Err(ModelError::invalid("duplicate aperiodic event id"));
+        }
+        if self
+            .aperiodics
+            .windows(2)
+            .any(|w| w[0].release > w[1].release)
+        {
+            return Err(ModelError::invalid(
+                "aperiodic events must be sorted by release time",
+            ));
+        }
         if !self.servers.is_empty() {
             for e in &self.aperiodics {
                 let Some(server) = self.servers.get(e.server) else {
@@ -169,9 +195,6 @@ impl SystemSpec {
                 }
             }
         }
-        if self.horizon == Instant::ZERO {
-            return Err(ModelError::invalid("horizon must be positive"));
-        }
         let lanes: Vec<_> = self
             .servers
             .iter()
@@ -180,6 +203,18 @@ impl SystemSpec {
         self.faults
             .validate(|id| self.aperiodics.iter().any(|e| e.id == id), &lanes)?;
         Ok(())
+    }
+
+    /// A borrowed view of the system's aperiodic workload — the arrival
+    /// stream plus the fault plan that modulates it. The compile layer works
+    /// through this view instead of cloning the spec, which is what keeps
+    /// compilation O(tasks + servers).
+    pub fn workload(&self) -> WorkloadView<'_> {
+        WorkloadView {
+            aperiodics: &self.aperiodics,
+            faults: &self.faults,
+            horizon: self.horizon,
+        }
     }
 
     /// Resolves the plan's arrival faults into a normalised spec: jittered
@@ -214,6 +249,38 @@ impl SystemSpec {
         }
         spec.aperiodics.sort_by_key(|e| (e.release, e.id));
         Some(spec)
+    }
+}
+
+/// A borrowed view of a system's aperiodic workload: the (release, id)-sorted
+/// arrival stream, the fault plan modulating it, and the horizon that bounds
+/// observation. Produced by [`SystemSpec::workload`].
+///
+/// Consumers that only need to *walk* the traffic (the compile layer's
+/// arrival tables, the execution plan's release schedule) take this view
+/// instead of cloning event vectors, so their setup cost does not scale with
+/// traffic volume.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadView<'a> {
+    /// The aperiodic traffic, sorted by (release, id).
+    pub aperiodics: &'a [AperiodicEvent],
+    /// The deterministic fault/mode-change plan.
+    pub faults: &'a FaultPlan,
+    /// Observation horizon.
+    pub horizon: Instant,
+}
+
+impl WorkloadView<'_> {
+    /// Number of arrivals strictly before the horizon. Because the stream is
+    /// release-sorted, these form a prefix of [`Self::aperiodics`].
+    pub fn within_horizon_count(&self) -> usize {
+        self.aperiodics
+            .partition_point(|e| e.release < self.horizon)
+    }
+
+    /// The prefix of arrivals released strictly before the horizon.
+    pub fn within_horizon(&self) -> &[AperiodicEvent] {
+        &self.aperiodics[..self.within_horizon_count()]
     }
 }
 

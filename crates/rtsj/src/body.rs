@@ -153,15 +153,23 @@ impl BodyCtx {
         self.deadline_request = Some(deadline);
     }
 
-    pub(crate) fn take_fire_requests(&mut self) -> Vec<EventHandle> {
+    /// Drains the fire requests queued by [`Self::fire`]. Public so drivers
+    /// other than the engine (the compiled execution fast path, unit tests of
+    /// custom bodies) can pump a [`ThreadBody`] and apply its requests with
+    /// the engine's exact ordering: deadline, action, fires, timers.
+    pub fn take_fire_requests(&mut self) -> Vec<EventHandle> {
         std::mem::take(&mut self.fire_requests)
     }
 
-    pub(crate) fn take_deadline_request(&mut self) -> Option<Instant> {
+    /// Drains the deadline published by [`Self::set_deadline`] (see
+    /// [`Self::take_fire_requests`] for why this is public).
+    pub fn take_deadline_request(&mut self) -> Option<Instant> {
         self.deadline_request.take()
     }
 
-    pub(crate) fn take_timer_requests(&mut self) -> Vec<(Instant, EventHandle)> {
+    /// Drains the timers armed by [`Self::arm_timer`] (see
+    /// [`Self::take_fire_requests`] for why this is public).
+    pub fn take_timer_requests(&mut self) -> Vec<(Instant, EventHandle)> {
         std::mem::take(&mut self.timer_requests)
     }
 }

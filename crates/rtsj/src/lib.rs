@@ -23,6 +23,21 @@
 //! The task-server framework itself (the paper's contribution) lives in the
 //! `rt-taskserver` crate and is built entirely on this API.
 //!
+//! ## Per-decision cost model
+//!
+//! The engine advances decision by decision in integer virtual time: each
+//! decision is O(log n) — calendar pops and ready-heap updates, amortised
+//! O(1) peeks via the memoised next-preemption instant — and allocates
+//! nothing in the steady state (scratch buffers for timer fires, event
+//! cascades and waiter lists are reused across decisions). Everything per
+//! release is `Copy` or reused: handler identities are interned
+//! [`rt_model::NameId`]s, not `String`s, part of the compile layer's
+//! zero-allocations-per-decision discipline (pinned by `rt-bench`'s
+//! `zero_alloc` test). The compiled execution fast path in
+//! `rt-taskserver::fastpath` bypasses this engine's generic heaps with
+//! precomputed rank/ceiling tables while reproducing its traces
+//! byte-identically.
+//!
 //! ```
 //! use rt_model::{ExecUnit, Instant, Priority, Span, TaskId};
 //! use rtsj_emu::{Engine, EngineConfig, OverheadModel, PeriodicThreadBody};
