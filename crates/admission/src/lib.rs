@@ -225,6 +225,7 @@ impl ServerAdmission {
     /// already forfeited the instance (nothing was pending at its
     /// activation), so the plan starts at the next one.
     fn seed(&self, now: Instant) -> InstancePacker {
+        // rt-lint: allow(panic, reason = "the predictive admission machine installs its capacity plan at construction; a missing plan is a constructor bug, not a runtime condition")
         let params = self.params.expect("seed() requires a capacity plan");
         let remaining = if now.ticks().is_multiple_of(params.period.ticks()) {
             params.capacity
@@ -367,9 +368,11 @@ impl ServerAdmission {
         first_prediction: Instant,
         dropped: &mut Vec<EventId>,
     ) -> (bool, Option<Instant>) {
+        // rt-lint: allow(panic, reason = "displacement runs only inside the predictive policies, which always carry a capacity plan")
         let params = self.params.expect("displacement requires a capacity plan");
         let deadline = arrival
             .deadline
+            // rt-lint: allow(panic, reason = "displacement is entered only after a miss was predicted, which requires the deadline to exist")
             .expect("displacement is only reached on a predicted miss");
         let now = arrival.release;
         // Victim eligibility is frozen against the *committed* plan: an

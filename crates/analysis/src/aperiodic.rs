@@ -73,10 +73,10 @@ pub fn textbook_ps_response_time(
     );
     if pending_work <= remaining_capacity {
         // Equation (1), first case: everything fits in the current instance.
-        return (t + pending_work) - release;
+        return (t + pending_work).since(release);
     }
     // Equation (2): number of *full* further instances needed.
-    let leftover = pending_work - remaining_capacity;
+    let leftover = pending_work.minus(remaining_capacity);
     let f_k = leftover.div_span(server.capacity);
     // Equation (3): index of the instance that begins the spill-over
     // service, `G_k = ⌈ t / T_s ⌉`. When `t` falls exactly on an activation
@@ -86,10 +86,10 @@ pub fn textbook_ps_response_time(
     // `⌊ t / T_s ⌋ + 1`, which coincides with the ceiling everywhere else.
     let g_k = Span::from_ticks(t.ticks()).div_span(server.period) + 1;
     // Equation (4): work served in the last (partial) instance.
-    let r_k = leftover - server.capacity.saturating_mul(f_k);
+    let r_k = leftover.minus(server.capacity.saturating_mul(f_k));
     // Equation (1), second case.
     let completion = server.instance_start(f_k + g_k) + r_k;
-    completion - release
+    completion.since(release)
 }
 
 /// Equation (5): response time of an aperiodic event under the paper's
@@ -105,7 +105,7 @@ pub fn implementation_ps_response_time(
     release: Instant,
 ) -> Span {
     let completion = server.instance_start(instance) + prior_cost_in_instance + cost;
-    completion - release
+    completion.since(release)
 }
 
 /// Assignment of one handler to a server instance, as computed by

@@ -34,7 +34,7 @@ pub fn demand_bound(tasks: &[PeriodicTask], t: Span) -> Span {
             continue;
         }
         // floor((t - D) / T) + 1 jobs fit entirely in the window.
-        let jobs = (t - task.deadline).div_span(task.period) + 1;
+        let jobs = t.minus(task.deadline).div_span(task.period) + 1;
         demand += task.cost.saturating_mul(jobs);
     }
     demand

@@ -132,7 +132,7 @@ impl<'a> JsonCursor<'a> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
+    fn eat(&mut self, byte: u8) -> Result<(), String> {
         self.skip_ws();
         if self.bytes.get(self.pos) == Some(&byte) {
             self.pos += 1;
@@ -148,7 +148,7 @@ impl<'a> JsonCursor<'a> {
     }
 
     fn parse_string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.eat(b'"')?;
         let mut out = String::new();
         loop {
             match self.bytes.get(self.pos).copied() {
@@ -214,11 +214,11 @@ impl<'a> JsonCursor<'a> {
 /// `BENCH_engine_scaling.json`.
 pub fn parse_bench_trajectory(text: &str) -> Result<Vec<BenchRecord>, String> {
     let mut cursor = JsonCursor::new(text);
-    cursor.expect(b'{')?;
+    cursor.eat(b'{')?;
     let mut records: Option<Vec<BenchRecord>> = None;
     loop {
         let key = cursor.parse_string()?;
-        cursor.expect(b':')?;
+        cursor.eat(b':')?;
         match key.as_str() {
             "benchmark" => {
                 let name = cursor.parse_string()?;
@@ -231,16 +231,16 @@ pub fn parse_bench_trajectory(text: &str) -> Result<Vec<BenchRecord>, String> {
             }
             "records" => {
                 let mut list = Vec::new();
-                cursor.expect(b'[')?;
+                cursor.eat(b'[')?;
                 if cursor.peek() == Some(b']') {
-                    cursor.expect(b']')?;
+                    cursor.eat(b']')?;
                 } else {
                     loop {
                         list.push(parse_record(&mut cursor)?);
                         match cursor.peek() {
-                            Some(b',') => cursor.expect(b',')?,
+                            Some(b',') => cursor.eat(b',')?,
                             _ => {
-                                cursor.expect(b']')?;
+                                cursor.eat(b']')?;
                                 break;
                             }
                         }
@@ -251,9 +251,9 @@ pub fn parse_bench_trajectory(text: &str) -> Result<Vec<BenchRecord>, String> {
             other => return Err(format!("unexpected key {other:?}")),
         }
         match cursor.peek() {
-            Some(b',') => cursor.expect(b',')?,
+            Some(b',') => cursor.eat(b',')?,
             _ => {
-                cursor.expect(b'}')?;
+                cursor.eat(b'}')?;
                 break;
             }
         }
@@ -262,12 +262,12 @@ pub fn parse_bench_trajectory(text: &str) -> Result<Vec<BenchRecord>, String> {
 }
 
 fn parse_record(cursor: &mut JsonCursor<'_>) -> Result<BenchRecord, String> {
-    cursor.expect(b'{')?;
+    cursor.eat(b'{')?;
     let (mut group, mut config) = (None, None);
     let (mut ns_per_decision, mut speedup) = (None, None);
     loop {
         let key = cursor.parse_string()?;
-        cursor.expect(b':')?;
+        cursor.eat(b':')?;
         match key.as_str() {
             "group" => group = Some(cursor.parse_string()?),
             "config" => config = Some(cursor.parse_string()?),
@@ -276,9 +276,9 @@ fn parse_record(cursor: &mut JsonCursor<'_>) -> Result<BenchRecord, String> {
             other => return Err(format!("unexpected record key {other:?}")),
         }
         match cursor.peek() {
-            Some(b',') => cursor.expect(b',')?,
+            Some(b',') => cursor.eat(b',')?,
             _ => {
-                cursor.expect(b'}')?;
+                cursor.eat(b'}')?;
                 break;
             }
         }

@@ -16,26 +16,51 @@
 //! because implementing `GlobalAlloc` requires `unsafe`, which the library
 //! forbids.
 
-use rt_model::{Instant, Priority, ServerSpec, Span, SystemSpec};
+use rt_model::{Instant, Priority, SchedulingPolicy, ServerSpec, Span, SystemSpec, Trace};
 use rt_taskserver::{ExecutionConfig, ExecutionPlan, SubstratePlan};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Static↔dynamic coverage manifest: every `// rt-lint: zero-alloc` region in
+/// the workspace, as `(file, fn)` pairs. rt-lint's workspace self-test parses
+/// this table out of this file and cross-checks it against the regions the
+/// static pass discovers, in both directions: a marker without a manifest
+/// entry means the hot loop is not exercised under the counting allocator
+/// below; a manifest entry without a marker means the static half of the
+/// guarantee was dropped. Keep the list sorted by path then name.
+const ZERO_ALLOC_COVERED_FNS: &[(&str, &str)] = &[
+    ("crates/compile/src/sim.rs", "pick_runner_edf"),
+    ("crates/compile/src/sim.rs", "pick_runner_fp"),
+    ("crates/compile/src/sim.rs", "run_server"),
+    ("crates/compile/src/sim.rs", "run_task"),
+    ("crates/core/src/fastpath.rs", "pick"),
+    ("crates/core/src/fastpath.rs", "run"),
+    ("crates/rtsj/src/engine.rs", "pick_runnable"),
+    ("crates/rtss/src/engine.rs", "pick_runner_edf"),
+    ("crates/rtss/src/engine.rs", "pick_runner_fp"),
+    ("crates/rtss/src/engine.rs", "run_server"),
+    ("crates/rtss/src/engine.rs", "run_task"),
+];
 
 struct CountingAllocator;
 
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 static REALLOCS: AtomicUsize = AtomicUsize::new(0);
 
+// rt-lint: allow(unsafe, reason = "a GlobalAlloc impl is unavoidably unsafe; every method delegates straight to the System allocator and only bumps atomic counters")
 unsafe impl GlobalAlloc for CountingAllocator {
+    // rt-lint: allow(unsafe, reason = "required unsafe signature of the GlobalAlloc trait; delegates to System")
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // rt-lint: allow(unsafe, reason = "required unsafe signature of the GlobalAlloc trait; delegates to System")
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // rt-lint: allow(unsafe, reason = "required unsafe signature of the GlobalAlloc trait; delegates to System")
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         REALLOCS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
@@ -122,4 +147,100 @@ fn execution_fast_path_allocation_count_is_horizon_independent() {
         "4x the horizon must not change the allocation count: every \
          allocation must be per-run setup, none per decision"
     );
+}
+
+/// Variant of [`workload`] with the scheduling policy forced, so the EDF
+/// pickers (`pick_runner_edf`) are driven too.
+fn workload_with(horizon_units: u64, scheduling: SchedulingPolicy) -> SystemSpec {
+    let mut spec = workload(horizon_units);
+    spec.scheduling = scheduling;
+    spec
+}
+
+/// Runs `run` on the base and 4x horizons and asserts the allocation growth
+/// is amortized-only: the long run makes several times the decisions, so any
+/// per-decision allocation would add thousands of allocations, while legal
+/// amortized growth (a trace vector doubling past its reservation) adds at
+/// most a handful. The budget is deliberately far below the decision delta
+/// and far above any doubling schedule.
+fn assert_amortized_only(label: &str, run: impl Fn(&SystemSpec) -> Trace) {
+    const BASE: u64 = 200;
+    const AMORTIZED_BUDGET: usize = 48;
+    let spec_base = workload(BASE);
+    let spec_long = workload(4 * BASE);
+
+    // Warm-up outside the counted region (lazy statics, first-touch caches).
+    let warm_base = run(&spec_base);
+    let warm_long = run(&spec_long);
+    assert!(
+        warm_long.segments.len() > 2 * warm_base.segments.len(),
+        "{label}: the long run must make more decisions ({} vs {})",
+        warm_long.segments.len(),
+        warm_base.segments.len()
+    );
+
+    let (base_allocs, base_reallocs) = count_allocations(|| {
+        std::hint::black_box(run(&spec_base));
+    });
+    let (long_allocs, long_reallocs) = count_allocations(|| {
+        std::hint::black_box(run(&spec_long));
+    });
+    let base_total = base_allocs + base_reallocs;
+    let long_total = long_allocs + long_reallocs;
+    let growth = long_total.saturating_sub(base_total);
+    assert!(
+        growth <= AMORTIZED_BUDGET,
+        "{label}: 4x the horizon grew the allocation count by {growth} \
+         ({base_total} -> {long_total}); the decision loops must not allocate \
+         per decision (amortized budget: {AMORTIZED_BUDGET})"
+    );
+}
+
+#[test]
+fn interpreted_simulator_decision_loops_allocate_amortized_only() {
+    assert_amortized_only("rtss-sim fp", rtss_sim::simulate);
+    assert_amortized_only("rtss-sim edf", |spec| {
+        rtss_sim::simulate(&workload_with(
+            spec.horizon.ticks() / 1000,
+            SchedulingPolicy::Edf,
+        ))
+    });
+}
+
+#[test]
+fn compiled_simulator_decision_loops_allocate_amortized_only() {
+    assert_amortized_only("rt-compile fp", rt_compile::simulate_compiled);
+    assert_amortized_only("rt-compile edf", |spec| {
+        rt_compile::simulate_compiled(&workload_with(
+            spec.horizon.ticks() / 1000,
+            SchedulingPolicy::Edf,
+        ))
+    });
+}
+
+#[test]
+fn emulation_engine_decision_loop_allocates_amortized_only() {
+    let config = ExecutionConfig::reference();
+    assert_amortized_only("rtsj-emu execute", |spec| {
+        rt_taskserver::execute(spec, &config)
+    });
+}
+
+#[test]
+fn coverage_manifest_is_sorted_and_names_real_files() {
+    assert!(
+        ZERO_ALLOC_COVERED_FNS.windows(2).all(|w| w[0] < w[1]),
+        "manifest must be sorted and duplicate-free"
+    );
+    // The engines driven above are exactly the crates the manifest spans.
+    for (file, _) in ZERO_ALLOC_COVERED_FNS {
+        assert!(
+            file.starts_with("crates/compile/")
+                || file.starts_with("crates/core/")
+                || file.starts_with("crates/rtsj/")
+                || file.starts_with("crates/rtss/"),
+            "unexpected manifest file {file}: extend the dynamic tests to \
+             drive its engine before listing it"
+        );
+    }
 }

@@ -14,6 +14,8 @@
 //! test). Positional command-line arguments act as substring filters on the
 //! full `group/function` benchmark id.
 
+#![forbid(unsafe_code)]
+
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
 

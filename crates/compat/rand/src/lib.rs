@@ -12,6 +12,8 @@
 //! `rand::rngs::StdRng` (ChaCha12). Within this repository that is fine —
 //! all generated-system goldens are produced and consumed by this shim.
 
+#![forbid(unsafe_code)]
+
 /// Types that can be sampled uniformly by [`Rng::gen`].
 pub trait Standard: Sized {
     /// Draws one value from the generator.

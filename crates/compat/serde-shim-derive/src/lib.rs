@@ -7,6 +7,8 @@
 //! serialisation code. Swapping the shim for real serde later requires no
 //! source changes outside `crates/compat`.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{TokenStream, TokenTree};
 
 /// Extracts the identifier being derived for and the text of its generics

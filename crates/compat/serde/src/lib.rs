@@ -7,6 +7,8 @@
 //! names. Replacing this crate with real serde is a one-line change in the
 //! workspace manifest.
 
+#![forbid(unsafe_code)]
+
 /// Marker stand-in for `serde::Serialize` (no methods; derive is a no-op).
 pub trait Serialize {}
 

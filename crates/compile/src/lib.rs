@@ -436,6 +436,7 @@ impl<'a> CompiledSystem<'a> {
 /// the interpreted entry point.
 pub fn simulate_compiled(spec: &SystemSpec) -> Trace {
     CompiledSystem::compile(spec)
+        // rt-lint: allow(panic, reason = "documented '# Panics' contract: the convenience entry point fails loudly on invalid specs, mirroring the interpreted API")
         .expect("simulate_compiled() requires a valid system specification")
         .simulate()
 }
@@ -448,6 +449,7 @@ pub fn simulate_compiled(spec: &SystemSpec) -> Trace {
 /// the interpreted entry point.
 pub fn execute_compiled(spec: &SystemSpec, config: &ExecutionConfig) -> Trace {
     CompiledSystem::compile(spec)
+        // rt-lint: allow(panic, reason = "documented '# Panics' contract: the convenience entry point fails loudly on invalid specs, mirroring the interpreted API")
         .expect("execute_compiled() requires a valid system specification")
         .execute(config)
 }

@@ -309,7 +309,7 @@ impl LanePolicy for CSporadic {
             self.anchor = Some(start);
         }
         let debit = amount.min(self.capacity);
-        self.capacity -= debit;
+        self.capacity = self.capacity.minus(debit);
         self.consumed += debit;
         if self.capacity.is_zero() {
             self.close_chunk(table);
@@ -521,6 +521,7 @@ impl ReadyBits {
             .enumerate()
             .find(|&(_, &w)| w != 0)
             .map(|(k, &w)| (k, w))
+            // rt-lint: allow(panic, reason = "the priority level was found via its non-zero occupancy summary bit, so one word in it is non-zero")
             .expect("occupied priority level has a set index bit");
         Some((level as u8, k * 64 + w.trailing_zeros() as usize))
     }
@@ -661,6 +662,7 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
             if EDF {
                 let deadline = self.pending[i]
                     .front()
+                    // rt-lint: allow(panic, reason = "mark_ready is called exactly when a job was pushed onto this queue")
                     .expect("mark_ready requires a pending job")
                     .deadline;
                 self.ready_edf.push(Reverse((deadline, i)));
@@ -832,6 +834,7 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
         let job = lane
             .queue
             .remove(position)
+            // rt-lint: allow(panic, reason = "the position was selected from this queue two lines above; losing it mid-dispatch is an engine bug worth a crash over a corrupted trace")
             .expect("position came from the queue");
         if lane.queue.is_empty() {
             lane.policy.on_queue_emptied(table, self.now);
@@ -876,6 +879,7 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
         }
     }
 
+    // rt-lint: zero-alloc
     fn pick_runner_fp(&mut self) -> Option<Runner> {
         let mut best_server: Option<(u8, usize)> = None;
         for (s, lane) in self.lanes.iter().enumerate() {
@@ -906,6 +910,7 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
         }
     }
 
+    // rt-lint: zero-alloc
     fn pick_runner_edf(&mut self) -> Option<Runner> {
         let mut best_server: Option<(Instant, usize)> = None;
         for (s, lane) in self.lanes.iter().enumerate() {
@@ -952,6 +957,7 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
     /// Serves lane `s` until the window closes, capacity runs out or the
     /// queue drains — the interpreted batched server loop with the policy
     /// calls inlined.
+    // rt-lint: zero-alloc
     fn run_server(&mut self, s: usize, next: Instant) {
         let sys = self.sys;
         // A mode change deferred by the quiescence rule (due before this
@@ -984,6 +990,7 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
             let job = lane
                 .queue
                 .get_mut(position)
+                // rt-lint: allow(panic, reason = "the lane is run only while its queue is non-empty; a silent fallback would corrupt the trace")
                 .expect("server runner requires pending work");
             let window = next.since(self.now);
             let slice = job
@@ -998,11 +1005,12 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
             }
             self.trace
                 .push_segment(ExecUnit::Handler(arrival.id), self.now, self.now + slice);
-            job.remaining -= slice;
-            job.cap_left -= slice;
+            job.remaining = job.remaining.minus(slice);
+            job.cap_left = job.cap_left.minus(slice);
             lane.policy.consume(table, slice, self.now);
             self.now += slice;
             if job.remaining.is_zero() {
+                // rt-lint: allow(panic, reason = "a job only completes after executing, and execution records the start instant")
                 let started = job.started.expect("a completed job has started");
                 self.trace.push_outcome(outcome(
                     &arrival,
@@ -1038,19 +1046,21 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
 
     /// Runs task `index` until the window closes or (under EDF) a completion
     /// forces a re-pick — the interpreted batched task loop.
+    // rt-lint: zero-alloc
     fn run_task(&mut self, index: usize, next: Instant) {
         let task = &self.sys.tasks[index];
         let queue = &mut self.pending[index];
         loop {
             let job = queue
                 .front_mut()
+                // rt-lint: allow(panic, reason = "the task runner is entered only while the task has pending jobs")
                 .expect("task runner requires pending work");
             let window = next.since(self.now);
             let slice = job.remaining.min(window);
             debug_assert!(!slice.is_zero());
             self.trace
                 .push_segment(ExecUnit::Task(task.id), self.now, self.now + slice);
-            job.remaining -= slice;
+            job.remaining = job.remaining.minus(slice);
             self.now += slice;
             if job.remaining.is_zero() {
                 let done = *job;
@@ -1071,6 +1081,7 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
                 }
                 if EDF {
                     // Re-key to the new front deadline and force a re-pick.
+                    // rt-lint: allow(panic, reason = "the queue was checked non-empty in the branch condition just above")
                     let deadline = queue.front().expect("non-empty checked above").deadline;
                     self.ready_edf.push(Reverse((deadline, index)));
                     break;

@@ -637,6 +637,7 @@ impl<'p, 's> FastDriver<'p, 's> {
     /// previously dispatched thread is still mid-computation and everything
     /// woken since the last decision ranks below it, it keeps the processor
     /// without a scan.
+    // rt-lint: zero-alloc
     fn pick(&mut self) -> Option<usize> {
         if let Some((tid, rank)) = self.running {
             if self.woken_min_rank > rank
@@ -695,6 +696,7 @@ impl<'p, 's> FastDriver<'p, 's> {
                     let tid = self.groups[gi].members[mi] as usize;
                     let slot = &mut self.threads[tid];
                     if matches!(slot.status, Status::BlockedForPeriod) {
+                        // rt-lint: allow(panic, reason = "only periodic schedulables are enrolled in the timer wheel groups")
                         let periodic = slot.periodic.as_mut().expect("wheel members are periodic");
                         if periodic.next <= self.now {
                             periodic.next += periodic.period;
@@ -867,6 +869,7 @@ impl<'p, 's> FastDriver<'p, 's> {
                 let periodic = slot
                     .periodic
                     .as_mut()
+                    // rt-lint: allow(panic, reason = "WaitForNextPeriod is emitted only by periodic workers, which carry period parameters")
                     .expect("periodic workers have a period");
                 if periodic.next <= now {
                     // Released in place; the wheel's grid point for this
@@ -947,6 +950,7 @@ impl<'p, 's> FastDriver<'p, 's> {
                 let periodic = self.threads[tid]
                     .periodic
                     .as_mut()
+                    // rt-lint: allow(panic, reason = "WaitForNextPeriod is emitted only by periodic workers, which carry period parameters")
                     .expect("WaitForNextPeriod requires a periodic schedulable");
                 if periodic.next <= self.now {
                     // Released in place; the wheel's grid point for this
@@ -1019,6 +1023,7 @@ impl<'p, 's> FastDriver<'p, 's> {
     }
 
     /// The engine run loop over the substrate tables.
+    // rt-lint: zero-alloc
     fn run(&mut self) {
         while self.now < self.horizon {
             if self.now >= self.next_due {
@@ -1030,7 +1035,7 @@ impl<'p, 's> FastDriver<'p, 's> {
                 self.trace
                     .push_segment(ExecUnit::TimerOverhead, self.now, self.now + slice);
                 self.now += slice;
-                self.pending_overhead -= slice;
+                self.pending_overhead = self.pending_overhead.minus(slice);
                 self.note_progress(slice);
                 continue;
             }

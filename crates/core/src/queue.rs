@@ -289,6 +289,7 @@ impl PendingQueue {
             Some(
                 self.packer
                     .as_mut()
+                    // rt-lint: allow(panic, reason = "the packer was rebuilt on the branch immediately above")
                     .expect("packer was just rebuilt")
                     .push(release.declared_cost()),
             )
@@ -352,6 +353,7 @@ impl PendingQueue {
         let was_head = self.head() == Some(index);
         let entry = self.slots[index]
             .take()
+            // rt-lint: allow(panic, reason = "take() is an internal helper whose callers pass indices of live slots; a dead slot is a queue-invariant bug")
             .expect("take() requires a live slot");
         self.index.remove(index);
         self.live -= 1;
@@ -441,6 +443,7 @@ impl PendingQueue {
         let mut skipped: Vec<Reverse<(Instant, usize)>> = Vec::new();
         let mut found = None;
         while let Some(&Reverse((deadline, slot))) = self.deadline_index.peek() {
+            // rt-lint: allow(panic, reason = "the entry was peeked non-empty in the loop condition")
             let entry = self.deadline_index.pop().expect("peeked entry exists");
             let live = self.slots[slot]
                 .as_ref()
@@ -450,6 +453,7 @@ impl PendingQueue {
             }
             let fits = self.slots[slot]
                 .as_ref()
+                // rt-lint: allow(panic, reason = "the slot was checked live earlier in this iteration")
                 .expect("checked live above")
                 .release
                 .declared_cost()

@@ -161,13 +161,11 @@ impl ServerShared {
             return false;
         }
         let mut applied = false;
-        while let Some(change) = self.mode_changes.front() {
-            if change.at > now {
-                break;
+        while self.mode_changes.front().is_some_and(|c| c.at <= now) {
+            if let Some(change) = self.mode_changes.pop_front() {
+                self.apply_mode_change(&change);
+                applied = true;
             }
-            let change = self.mode_changes.pop_front().expect("front exists");
-            self.apply_mode_change(&change);
-            applied = true;
         }
         applied
     }
@@ -292,7 +290,7 @@ impl ServerShared {
                 // capacity], the event can be served") — otherwise the server
                 // would be running on capacity it does not have yet.
                 let crosses_boundary = now + release.declared_cost() > self.next_replenishment;
-                let refill_before_exhaustion = self.next_replenishment - now <= self.remaining;
+                let refill_before_exhaustion = self.next_replenishment.since(now) <= self.remaining;
                 if crosses_boundary && refill_before_exhaustion {
                     self.remaining + self.params.capacity
                 } else {
@@ -320,7 +318,7 @@ impl ServerShared {
             ServerPolicyKind::Background => Span::MAX,
             ServerPolicyKind::Polling | ServerPolicyKind::Sporadic => self.remaining,
             ServerPolicyKind::Deferrable => {
-                let refill_before_exhaustion = self.next_replenishment - now <= self.remaining;
+                let refill_before_exhaustion = self.next_replenishment.since(now) <= self.remaining;
                 if refill_before_exhaustion {
                     // Any cost in (next_replenishment − now, remaining +
                     // capacity] crosses the boundary and gets the extended
@@ -366,7 +364,7 @@ impl ServerShared {
     pub fn consume(&mut self, amount: Span) {
         if self.policy != ServerPolicyKind::Background {
             let debit = amount.min(self.remaining);
-            self.remaining -= debit;
+            self.remaining = self.remaining.minus(debit);
             if self.policy == ServerPolicyKind::Sporadic && self.active_since.is_some() {
                 self.consumed_since_active += debit;
             }

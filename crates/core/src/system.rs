@@ -122,6 +122,7 @@ impl Default for ExecutionConfig {
 /// Panics when the specification fails validation.
 pub fn execute(spec: &SystemSpec, config: &ExecutionConfig) -> Trace {
     ExecutionPlan::prepare(spec, config)
+        // rt-lint: allow(panic, reason = "documented '# Panics' contract: the convenience entry point fails loudly on invalid specs")
         .expect("execute() requires a valid system specification")
         .run()
 }
@@ -409,9 +410,9 @@ fn reconstruct_periodic_records(
             let Some(&(start, end)) = segments.get(segment_index) else {
                 break;
             };
-            let available = (end - start) - consumed_in_segment;
+            let available = end.since(start).minus(consumed_in_segment);
             if available <= needed {
-                needed -= available;
+                needed = needed.minus(available);
                 segment_index += 1;
                 consumed_in_segment = Span::ZERO;
                 if needed.is_zero() {

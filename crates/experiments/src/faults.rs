@@ -170,6 +170,7 @@ pub fn generate_fault_set(scenario: FaultScenario, config: &TableConfig) -> Vec<
     params.nb_generation = config.systems_per_set;
     params.seed = config.seed;
     let generator = RandomSystemGenerator::new(params, scenario.server_policy())
+        // rt-lint: allow(panic, reason = "the paper's fixed generator parameter sets are statically known to pass validation")
         .expect("paper parameters are valid")
         .with_scheduling(config.scheduling)
         .with_discipline(config.discipline)
@@ -180,6 +181,7 @@ pub fn generate_fault_set(scenario: FaultScenario, config: &TableConfig) -> Vec<
     let generator = match scenario.fault_model() {
         Some(model) => generator
             .with_fault_model(model)
+            // rt-lint: allow(panic, reason = "the fault scenarios enumerate hand-written, well-formed fault models")
             .expect("scenario fault models are well-formed"),
         None => generator,
     };

@@ -58,6 +58,7 @@ pub fn online_rta_experiment(
         builder.aperiodic(release, cost);
     }
     builder.horizon(Instant::ZERO + period.saturating_mul((count as u64 + 2) * 2));
+    // rt-lint: allow(panic, reason = "the experiment builds its system from fixed, known-valid parameters")
     let spec = builder.build().expect("online-rta system is valid");
 
     let trace = execute(
@@ -86,6 +87,7 @@ pub fn online_rta_experiment(
         if drained {
             packer = Some(InstancePacker::new(params, *release, Span::ZERO));
         }
+        // rt-lint: allow(panic, reason = "the packer was re-seeded on the drained branch immediately above")
         let slot = packer.as_mut().expect("packer was just seeded").push(cost);
         let predicted = slot.response_time(params, *release);
         predictions.push(OnlinePrediction {

@@ -116,6 +116,7 @@ pub fn generate_overload_set(
     params.nb_generation = config.systems_per_set;
     params.seed = config.seed;
     RandomSystemGenerator::new(params, ServerPolicyKind::Polling)
+        // rt-lint: allow(panic, reason = "the paper's fixed generator parameter sets are statically known to pass validation")
         .expect("paper parameters are valid")
         .with_scheduling(config.scheduling)
         .with_discipline(config.discipline)

@@ -69,6 +69,7 @@ pub fn table1_system(
         );
     }
     b.horizon_server_periods(horizon_periods);
+    // rt-lint: allow(panic, reason = "the Table 1 scenario is the paper's hand-written example system, statically known to be valid")
     b.build().expect("the Table 1 system is valid")
 }
 

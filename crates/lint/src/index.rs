@@ -1,0 +1,288 @@
+//! Workspace-wide type index for the time-arithmetic lint.
+//!
+//! A token-level linter cannot run type inference, but it can get most of
+//! the way there for two nominal types that the whole workspace shares:
+//! `rt_model::Instant` and `rt_model::Span`. This pass scans *every* file
+//! once and records, by bare name:
+//!
+//! * **fields/bindings** declared with an explicit `name: Instant` /
+//!   `name: Span` ascription (struct fields, fn params, typed lets,
+//!   closure params), and
+//! * **functions/methods** declared with a `-> Instant` / `-> Span`
+//!   return type.
+//!
+//! Ambiguity is resolved conservatively: a name that is *ever* declared
+//! with a non-time type anywhere in the workspace is dropped from the
+//! index, so `x.cost - y` is only flagged if every `cost` declaration in
+//! the repo is time-typed. False negatives are acceptable (the lint is a
+//! ratchet backed by the dynamic test suite); false positives are not.
+
+use crate::context::FileCtx;
+use crate::lexer::TokenKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Either of the two time newtypes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeKind {
+    Instant,
+    Span,
+}
+
+impl TimeKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            TimeKind::Instant => "Instant",
+            TimeKind::Span => "Span",
+        }
+    }
+
+    pub fn from_type(name: &str) -> Option<TimeKind> {
+        match name {
+            "Instant" => Some(TimeKind::Instant),
+            "Span" => Some(TimeKind::Span),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Seen {
+    Time(TimeKind),
+    /// Declared with both time types in different places — still time.
+    TimeMixed,
+    /// Declared with a non-time type somewhere — poisoned, never flagged.
+    NotTime,
+}
+
+impl Seen {
+    fn merge(self, other: Seen) -> Seen {
+        match (self, other) {
+            (Seen::NotTime, _) | (_, Seen::NotTime) => Seen::NotTime,
+            (Seen::Time(a), Seen::Time(b)) if a == b => Seen::Time(a),
+            _ => Seen::TimeMixed,
+        }
+    }
+}
+
+/// The cross-file index consumed by the L1 classifier.
+#[derive(Debug, Default)]
+pub struct TimeIndex {
+    fields: BTreeMap<String, Seen>,
+    methods: BTreeMap<String, Seen>,
+    /// Clamp operator forms declared in `rt-model::time`
+    /// (e.g. `"Instant - Instant"`); their op symbols are what L1 polices.
+    pub clamp_forms: BTreeSet<String>,
+}
+
+/// Primitive / std types that make a same-named declaration "not time".
+/// Lowercase idents that are not in this list are treated as *values*
+/// (struct-literal fields), not as type ascriptions.
+const PRIMITIVES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64", "bool", "char", "str",
+];
+
+pub(crate) fn type_token_class(name: &str) -> Option<bool> {
+    // Some(true) = time type, Some(false) = other type, None = not a type.
+    if TimeKind::from_type(name).is_some() {
+        return Some(true);
+    }
+    if PRIMITIVES.contains(&name) || name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+        return Some(false);
+    }
+    None
+}
+
+impl TimeIndex {
+    /// Folds one file into the index.
+    pub fn add_file(&mut self, ctx: &FileCtx) {
+        for form in &ctx.directives.clamp_forms {
+            self.clamp_forms.insert(form.clone());
+        }
+        let toks = &ctx.lexed.tokens;
+        let mut i = 0;
+        while i + 2 < toks.len() {
+            // `name : Type` — field / param / let ascription.
+            if toks[i].kind == TokenKind::Ident
+                && toks[i + 1].text == ":"
+                && toks[i + 1].kind == TokenKind::Punct
+            {
+                let name = toks[i].text.clone();
+                // Skip `&`, `&&`, `mut` and lifetimes in the type position.
+                let mut j = i + 2;
+                while j < toks.len()
+                    && (toks[j].text == "&"
+                        || toks[j].text == "&&"
+                        || toks[j].text == "mut"
+                        || toks[j].kind == TokenKind::Lifetime)
+                {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].kind == TokenKind::Ident {
+                    // A path or call after the candidate type means this is
+                    // a struct-literal *value* (`release: Instant::ZERO`),
+                    // not an ascription.
+                    let followed_by = toks.get(j + 1).map(|t| t.text.as_str());
+                    if followed_by != Some("::") && followed_by != Some("(") {
+                        if let Some(is_time) = type_token_class(&toks[j].text) {
+                            let seen = if is_time {
+                                match TimeKind::from_type(&toks[j].text) {
+                                    Some(k) => Seen::Time(k),
+                                    None => Seen::TimeMixed,
+                                }
+                            } else {
+                                Seen::NotTime
+                            };
+                            self.fields
+                                .entry(name)
+                                .and_modify(|s| *s = s.merge(seen))
+                                .or_insert(seen);
+                        }
+                    }
+                }
+            }
+            // `) -> Type` — function / method return ascription. The callee
+            // name is the ident just before the matching `(` (non-generic
+            // signatures; generic ones are simply not indexed).
+            if toks[i].text == ")" && toks[i + 1].text == "->" {
+                let mut j = i + 2;
+                while j < toks.len()
+                    && (toks[j].text == "&"
+                        || toks[j].text == "mut"
+                        || toks[j].kind == TokenKind::Lifetime)
+                {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].kind == TokenKind::Ident {
+                    if let (Some(open), Some(class)) =
+                        (ctx.pairs[i], type_token_class(&toks[j].text))
+                    {
+                        // `Option<Span>` etc: a `<` after the type name means
+                        // the return type is the *wrapper*, handled by
+                        // type_token_class on the wrapper name itself.
+                        if open > 0 && toks[open - 1].kind == TokenKind::Ident {
+                            let callee = toks[open - 1].text.clone();
+                            if callee != "fn" {
+                                let seen = if class {
+                                    match TimeKind::from_type(&toks[j].text) {
+                                        Some(k) => Seen::Time(k),
+                                        None => Seen::TimeMixed,
+                                    }
+                                } else {
+                                    Seen::NotTime
+                                };
+                                self.methods
+                                    .entry(callee)
+                                    .and_modify(|s| *s = s.merge(seen))
+                                    .or_insert(seen);
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Is `name` an unambiguously time-typed field across the workspace?
+    pub fn field_time(&self, name: &str) -> Option<TimeKind> {
+        match self.fields.get(name) {
+            Some(Seen::Time(k)) => Some(*k),
+            Some(Seen::TimeMixed) => Some(TimeKind::Span), // time, kind unknown
+            _ => None,
+        }
+    }
+
+    /// True when `name` is time-typed (possibly mixed Instant/Span).
+    pub fn field_is_time(&self, name: &str) -> bool {
+        matches!(
+            self.fields.get(name),
+            Some(Seen::Time(_)) | Some(Seen::TimeMixed)
+        )
+    }
+
+    /// Return-type classification for a method/fn name: `Some(true)` time,
+    /// `Some(false)` known non-time, `None` unknown.
+    pub fn method_returns_time(&self, name: &str) -> Option<bool> {
+        match self.methods.get(name) {
+            Some(Seen::Time(_)) | Some(Seen::TimeMixed) => Some(true),
+            Some(Seen::NotTime) => Some(false),
+            None => None,
+        }
+    }
+
+    /// The operator symbols policed by L1, derived from the declared clamp
+    /// forms (the middle token of each form).
+    pub fn policed_ops(&self) -> BTreeSet<String> {
+        self.clamp_forms
+            .iter()
+            .filter_map(|form| form.split_whitespace().nth(1).map(str::to_string))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{FileCtx, FileKind};
+
+    fn index_of(src: &str) -> TimeIndex {
+        let ctx = FileCtx::new(
+            "fixture.rs".into(),
+            FileKind::LibSrc,
+            "crates/fixture".into(),
+            src,
+        );
+        let mut idx = TimeIndex::default();
+        idx.add_file(&ctx);
+        idx
+    }
+
+    #[test]
+    fn struct_fields_and_params_are_indexed() {
+        let idx = index_of(
+            "struct S { release: Instant, cost: Span, n: u32 }\n\
+             fn f(now: Instant, budget: &Span) {}\n",
+        );
+        assert_eq!(idx.field_time("release"), Some(TimeKind::Instant));
+        assert_eq!(idx.field_time("cost"), Some(TimeKind::Span));
+        assert!(idx.field_is_time("now"));
+        assert!(idx.field_is_time("budget"));
+        assert!(!idx.field_is_time("n"));
+    }
+
+    #[test]
+    fn conflicting_declarations_poison_the_name() {
+        let idx = index_of("struct A { cost: Span }\nstruct B { cost: f64 }\n");
+        assert!(!idx.field_is_time("cost"));
+    }
+
+    #[test]
+    fn struct_literal_values_are_not_ascriptions() {
+        let idx = index_of("fn f() { let s = S { release: Instant::ZERO, cost: make() }; }\n");
+        assert!(!idx.field_is_time("release"));
+        assert!(!idx.field_is_time("cost"));
+    }
+
+    #[test]
+    fn method_returns_are_indexed_with_conflicts() {
+        let idx = index_of(
+            "impl S { fn period(&self) -> Span { self.p } fn ticks(self) -> u64 { 0 } }\n",
+        );
+        assert_eq!(idx.method_returns_time("period"), Some(true));
+        assert_eq!(idx.method_returns_time("ticks"), Some(false));
+        assert_eq!(idx.method_returns_time("absent"), None);
+    }
+
+    #[test]
+    fn clamp_forms_define_policed_ops() {
+        let idx = index_of(
+            "// rt-lint: time-arith-clamp(Instant - Instant)\n\
+             // rt-lint: time-arith-clamp(Span -= Span)\nfn f() {}\n",
+        );
+        let ops = idx.policed_ops();
+        assert!(ops.contains("-"));
+        assert!(ops.contains("-="));
+        assert!(!ops.contains("+"));
+    }
+}

@@ -1,0 +1,454 @@
+//! A minimal, self-contained Rust lexer.
+//!
+//! rt-lint's analyses are token-level, so the lexer's one hard job is to be
+//! *reliable about what is code and what is not*: string literals (plain,
+//! raw, byte), char literals vs. lifetimes, and line/block comments
+//! (including nested block comments) must never leak their contents into the
+//! token stream, or every lint would false-positive on documentation and
+//! test fixtures. Comments are not discarded — they are collected separately
+//! with their positions so the directive layer (`// rt-lint: ...`) can
+//! attach suppressions and markers to the code they precede.
+
+/// A single lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Token text. For multi-character operators this is the combined
+    /// operator (`::`, `->`, `-=`, ...).
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+}
+
+/// Coarse token classification — enough for token-pattern lints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// Punctuation / operator, possibly multi-character.
+    Punct,
+    /// Numeric literal (including tuple-index position after `.`).
+    Num,
+    /// String literal of any flavour (contents dropped).
+    Str,
+    /// Char literal (contents dropped).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// A comment, preserved for directive parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text with the `//`/`/*` framing and any doc-comment
+    /// `/`/`!` prefix removed, trimmed.
+    pub text: String,
+    /// 1-based line where the comment starts.
+    pub line: u32,
+}
+
+/// Lexer output for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// True if any *code* token lives on `line`.
+    pub fn line_has_code(&self, line: u32) -> bool {
+        // Tokens are in position order; a binary search keeps the common
+        // "is the directive trailing or standalone" query cheap.
+        self.tokens
+            .binary_search_by(|t| {
+                if t.line < line {
+                    std::cmp::Ordering::Less
+                } else if t.line > line {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// First code line strictly after `line`, if any.
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        let idx = self.tokens.partition_point(|t| t.line <= line);
+        self.tokens.get(idx).map(|t| t.line)
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch is trivial.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=",
+    "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+/// Lexes `src` into tokens + comments. Never fails: unterminated constructs
+/// consume to end-of-file, which is the forgiving behaviour a lint wants on
+/// code that may not even compile yet.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    // Advance the cursor over chars[i..i+n], tracking line/col.
+    macro_rules! bump {
+        ($n:expr) => {{
+            for _ in 0..$n {
+                if i < chars.len() {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+
+        if c.is_whitespace() {
+            bump!(1);
+            continue;
+        }
+
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                bump!(1);
+            }
+            let raw: String = chars[start..i].iter().collect();
+            let body = raw
+                .trim_start_matches('/')
+                .trim_start_matches(['!', '/'])
+                .trim();
+            out.comments.push(Comment {
+                text: body.to_string(),
+                line: tline,
+            });
+            continue;
+        }
+
+        // Block comment, nesting-aware (also `/** */`, `/*! */`).
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start = i;
+            bump!(2);
+            let mut depth = 1u32;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    bump!(2);
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    bump!(2);
+                } else {
+                    bump!(1);
+                }
+            }
+            let raw: String = chars[start..i].iter().collect();
+            let body = raw
+                .trim_start_matches('/')
+                .trim_start_matches('*')
+                .trim_start_matches('!')
+                .trim_end_matches('/')
+                .trim_end_matches('*')
+                .trim();
+            out.comments.push(Comment {
+                text: body.to_string(),
+                line: tline,
+            });
+            continue;
+        }
+
+        // Raw / byte / plain string literals. Handle the `r`/`b`/`br`/`rb`
+        // prefixes by lookahead rather than as identifiers.
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            let mut saw_r = false;
+            if chars[j] == 'b' {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'r') {
+                saw_r = true;
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while saw_r && chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') && (saw_r || j == i + 1 || chars[i] == 'b') {
+                // Confirmed string start at j.
+                bump!(j - i + 1); // prefix + opening quote
+                if saw_r {
+                    // Raw string: ends at `"` followed by `hashes` hashes.
+                    'raw: while i < chars.len() {
+                        if chars[i] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                bump!(1 + hashes);
+                                break 'raw;
+                            }
+                        }
+                        bump!(1);
+                    }
+                } else {
+                    // Plain (byte) string with escapes.
+                    while i < chars.len() {
+                        if chars[i] == '\\' {
+                            bump!(2);
+                        } else if chars[i] == '"' {
+                            bump!(1);
+                            break;
+                        } else {
+                            bump!(1);
+                        }
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: String::new(),
+                    line: tline,
+                    col: tcol,
+                });
+                continue;
+            }
+            // else: fall through to identifier handling below.
+        }
+
+        if c == '"' {
+            bump!(1);
+            while i < chars.len() {
+                if chars[i] == '\\' {
+                    bump!(2);
+                } else if chars[i] == '"' {
+                    bump!(1);
+                    break;
+                } else {
+                    bump!(1);
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: String::new(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                Some(n) if n != '\'' => after == Some('\''),
+                _ => true, // `''` — treat as (malformed) char
+            };
+            if is_char {
+                bump!(1);
+                while i < chars.len() {
+                    if chars[i] == '\\' {
+                        bump!(2);
+                    } else if chars[i] == '\'' {
+                        bump!(1);
+                        break;
+                    } else {
+                        bump!(1);
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: String::new(),
+                    line: tline,
+                    col: tcol,
+                });
+            } else {
+                bump!(1);
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    bump!(1);
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+            {
+                // Stop a numeric literal before `..` (range) and before a
+                // method call on a literal (`1.max(x)`).
+                if chars[i] == '.'
+                    && (chars.get(i + 1) == Some(&'.')
+                        || chars.get(i + 1).is_some_and(|n| n.is_ascii_alphabetic()))
+                {
+                    break;
+                }
+                bump!(1);
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Num,
+                text: chars[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                bump!(1);
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Punctuation: maximal munch over the multi-char table.
+        let mut matched = None;
+        for op in MULTI_PUNCT {
+            let oc: Vec<char> = op.chars().collect();
+            if chars[i..].starts_with(&oc) {
+                matched = Some(*op);
+                break;
+            }
+        }
+        if let Some(op) = matched {
+            bump!(op.chars().count());
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: op.to_string(),
+                line: tline,
+                col: tcol,
+            });
+        } else {
+            bump!(1);
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                line: tline,
+                col: tcol,
+            });
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let lexed = lex("let s = \"a - b // not a comment\"; // real - comment\nx");
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s", "x"]);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].text, "real - comment");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let lexed = lex("r#\"inner \" quote - minus\"# + y");
+        assert_eq!(lexed.tokens[0].kind, TokenKind::Str);
+        assert_eq!(lexed.tokens[1].text, "+");
+        assert_eq!(lexed.tokens[2].text, "y");
+    }
+
+    #[test]
+    fn lifetimes_versus_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }");
+        let lifetimes: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("a /* outer /* inner */ still comment */ b");
+        let idents: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(idents, ["a", "b"]);
+    }
+
+    #[test]
+    fn multichar_operators_munch_longest() {
+        assert_eq!(
+            texts("a -= b - c ..= d .. e :: f -> g"),
+            ["a", "-=", "b", "-", "c", "..=", "d", "..", "e", "::", "f", "->", "g"]
+        );
+    }
+
+    #[test]
+    fn numeric_literals_stop_before_ranges_and_methods() {
+        assert_eq!(texts("0..10"), ["0", "..", "10"]);
+        assert_eq!(texts("1.max(2)"), ["1", ".", "max", "(", "2", ")"]);
+        assert_eq!(texts("1.5e3_f64"), ["1.5e3_f64"]);
+        assert_eq!(texts("x.0"), ["x", ".", "0"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let lexed = lex("b\"bytes\" br#\"raw - bytes\"# rest");
+        assert_eq!(lexed.tokens[0].kind, TokenKind::Str);
+        assert_eq!(lexed.tokens[1].kind, TokenKind::Str);
+        assert_eq!(lexed.tokens[2].text, "rest");
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let lexed = lex("ab\n  cd");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+}

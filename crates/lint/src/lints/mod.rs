@@ -1,0 +1,7 @@
+//! The lint visitors, one module per lint tier.
+
+pub mod determinism;
+pub mod panic_policy;
+pub mod time_arith;
+pub mod unsafe_hygiene;
+pub mod zero_alloc;

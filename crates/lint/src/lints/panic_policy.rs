@@ -1,0 +1,48 @@
+//! L4 — panic policy: no `unwrap`/`expect` in library code.
+//!
+//! The engines are grown toward a long-running online service (ROADMAP:
+//! ingest mode, per-tenant servers); a stray `unwrap()` on a path a remote
+//! client can reach is an availability bug. Library crates must either
+//! propagate errors, prove infallibility to the *reader* with a
+//! `// rt-lint: allow(panic, reason = "...")` justification, or restructure
+//! so the fallible shape disappears. Tests, benches, examples, binaries
+//! and `#[cfg(test)]` modules keep the ergonomic forms — a panic there is
+//! a failed test, not an outage.
+
+use crate::context::{FileCtx, FileKind};
+use crate::diag::{Finding, Lint};
+use crate::lexer::TokenKind;
+
+const FORBIDDEN: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+
+pub fn run(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.kind != FileKind::LibSrc {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for i in 1..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || !FORBIDDEN.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Only method-call position: `.unwrap()` — not `unwrap_or`, not a
+        // local named `expect`, not `Option::unwrap` paths in docs.
+        if toks[i - 1].text != "." || toks.get(i + 1).map(|t| t.text.as_str()) != Some("(") {
+            continue;
+        }
+        if ctx.in_cfg_test(i) {
+            continue;
+        }
+        ctx.push(
+            out,
+            Lint::Panic,
+            t.line,
+            t.col,
+            format!(
+                ".{}() can panic in library code — propagate the error, restructure, or \
+                 justify with rt-lint allow(panic, reason = \"...\")",
+                t.text
+            ),
+        );
+    }
+}

@@ -106,6 +106,7 @@ impl IdAllocator {
         self.next = self
             .next
             .checked_add(1)
+            // rt-lint: allow(panic, reason = "exhausting the u32 identifier space would need four billion registrations; aborting beats silently reusing ids")
             .expect("identifier space exhausted");
         id
     }

@@ -14,7 +14,7 @@
 //! `tests/intern_roundtrip.rs`.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A fixed-width handle into a [`NameTable`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -43,7 +43,11 @@ impl NameId {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct NameTable {
     names: Vec<String>,
-    index: HashMap<String, u32>,
+    // Ids are insertion-order slots in `names`; the map is only the dedup
+    // lookup, so its iteration order never reaches any output. BTreeMap
+    // keeps even that order deterministic (and the engine crates free of
+    // RandomState, per rt-lint's determinism pass).
+    index: BTreeMap<String, u32>,
 }
 
 impl NameTable {
@@ -58,6 +62,7 @@ impl NameTable {
         if let Some(&slot) = self.index.get(name) {
             return NameId(slot);
         }
+        // rt-lint: allow(panic, reason = "interning four billion distinct names is out of scope; aborting beats silently aliasing ids")
         let slot = u32::try_from(self.names.len()).expect("name table overflow");
         self.names.push(name.to_owned());
         self.index.insert(name.to_owned(), slot);

@@ -129,7 +129,7 @@ impl Job {
             JobState::Started { started_at } => started_at,
             _ => unreachable!(),
         };
-        self.remaining -= amount;
+        self.remaining = self.remaining.minus(amount);
         let end = now + amount;
         if self.remaining.is_zero() {
             self.state = JobState::Completed {

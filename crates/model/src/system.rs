@@ -367,6 +367,7 @@ impl SystemBuilder {
         let event = self
             .aperiodics
             .last_mut()
+            // rt-lint: allow(panic, reason = "aperiodic_with appended the event on the previous line")
             .expect("aperiodic_with just appended the event");
         debug_assert_eq!(event.id, id);
         event.server = server;

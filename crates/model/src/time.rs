@@ -285,6 +285,16 @@ impl AddAssign<Span> for Instant {
     }
 }
 
+// The four subtraction impls below are *clamping*: they saturate at zero
+// instead of underflowing. That is the right default for measurement call
+// sites, but it silently masks inverted operands everywhere else, so the
+// operator forms are usable only here — rt-lint's time-arith pass reads the
+// `time-arith-clamp(...)` annotations as its whitelist and requires every
+// other call site to name an explicit subtraction (`since`, `minus`,
+// `saturating_since`, `saturating_sub`, or a `checked_*` form). Addition is
+// not policed: `+`/`+=` saturate at `MAX` (an unreachable sentinel, see
+// `Instant::MAX`) and are the documented construction idiom.
+// rt-lint: time-arith-clamp(Instant - Span)
 impl Sub<Span> for Instant {
     type Output = Instant;
     #[inline]
@@ -293,6 +303,7 @@ impl Sub<Span> for Instant {
     }
 }
 
+// rt-lint: time-arith-clamp(Instant - Instant)
 impl Sub<Instant> for Instant {
     type Output = Span;
     /// Saturating difference between two instants (zero when `rhs` is later).
@@ -323,6 +334,7 @@ impl AddAssign for Span {
     }
 }
 
+// rt-lint: time-arith-clamp(Span - Span)
 impl Sub for Span {
     type Output = Span;
     /// Saturating subtraction (clamps at zero).
@@ -332,6 +344,7 @@ impl Sub for Span {
     }
 }
 
+// rt-lint: time-arith-clamp(Span -= Span)
 impl SubAssign for Span {
     #[inline]
     fn sub_assign(&mut self, rhs: Span) {

@@ -328,7 +328,7 @@ impl Trace {
             .filter(|s| s.unit != ExecUnit::Idle)
             .map(|s| s.duration())
             .sum();
-        (self.horizon - Instant::ZERO) - busy
+        self.horizon.since(Instant::ZERO).minus(busy)
     }
 
     /// Busy time per unit, for reporting.
@@ -367,9 +367,10 @@ impl Trace {
     pub fn render_canonical(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        writeln!(out, "horizon {}", self.horizon.ticks()).unwrap();
+        // fmt::Write into a String is infallible, so the results are ignored.
+        let _ = writeln!(out, "horizon {}", self.horizon.ticks());
         for s in &self.segments {
-            writeln!(out, "seg {} {} {}", s.unit, s.start.ticks(), s.end.ticks()).unwrap();
+            let _ = writeln!(out, "seg {} {} {}", s.unit, s.start.ticks(), s.end.ticks());
         }
         for o in &self.outcomes {
             let fate = match o.fate {
@@ -386,18 +387,17 @@ impl Trace {
                 AperiodicFate::Rejected { at } => format!("rejected {}", at.ticks()),
                 AperiodicFate::Aborted { at } => format!("aborted {}", at.ticks()),
             };
-            writeln!(
+            let _ = writeln!(
                 out,
                 "out {} release {} declared {} {}",
                 o.event,
                 o.release.ticks(),
                 o.declared_cost.ticks(),
                 fate
-            )
-            .unwrap();
+            );
         }
         for j in &self.periodic_jobs {
-            writeln!(
+            let _ = writeln!(
                 out,
                 "job {} act {} release {} deadline {} completed {}",
                 j.task,
@@ -406,8 +406,7 @@ impl Trace {
                 j.deadline.ticks(),
                 j.completed
                     .map_or("never".to_string(), |c| c.ticks().to_string())
-            )
-            .unwrap();
+            );
         }
         out
     }

@@ -645,6 +645,7 @@ impl Engine {
         let periodic = self.threads[handle.0]
             .periodic
             .as_mut()
+            // rt-lint: allow(panic, reason = "documented '# Panics' contract: the handle kind is part of the API")
             .expect("set_relative_deadline requires a periodic schedulable");
         periodic.relative_deadline = relative_deadline;
         // Re-key the not-yet-released first job: `next` still holds the
@@ -703,7 +704,7 @@ impl Engine {
                 self.trace
                     .push_segment(ExecUnit::TimerOverhead, self.now, self.now + slice);
                 self.now += slice;
-                self.pending_timer_overhead -= slice;
+                self.pending_timer_overhead = self.pending_timer_overhead.minus(slice);
                 self.note_progress(slice);
                 continue;
             }
@@ -827,6 +828,7 @@ impl Engine {
                     let release = self.threads[t]
                         .periodic
                         .as_mut()
+                        // rt-lint: allow(panic, reason = "a PeriodRelease calendar entry is only enqueued for periodic schedulables")
                         .expect("BlockedForPeriod requires periodic parameters");
                     let job_deadline = entry.time + release.relative_deadline;
                     release.next += release.period;
@@ -928,6 +930,7 @@ impl Engine {
                     let release = thread
                         .periodic
                         .as_mut()
+                        // rt-lint: allow(panic, reason = "BlockedForPeriod is only entered by periodic schedulables")
                         .expect("BlockedForPeriod requires periodic parameters");
                     if release.next <= self.now {
                         let job_deadline = release.next + release.relative_deadline;
@@ -950,6 +953,7 @@ impl Engine {
     /// Indexed: amortised O(1) peek on the policy's ready heap (stale
     /// entries — not-runnable threads, re-keyed deadlines — are dropped
     /// lazily). Linear scan: O(t) sweep over every thread.
+    // rt-lint: zero-alloc
     fn pick_runnable(&mut self) -> Option<usize> {
         match (self.config.scheduler, self.config.policy) {
             (SchedulerKind::Indexed, SchedulingPolicy::FixedPriority) => {
@@ -1067,6 +1071,7 @@ impl Engine {
                 let periodic = self.threads[tid]
                     .periodic
                     .as_mut()
+                    // rt-lint: allow(panic, reason = "WaitForNextPeriod is emitted only by periodic workers, which carry period parameters")
                     .expect("WaitForNextPeriod requires a periodic schedulable");
                 if periodic.next <= self.now {
                     // The release has already happened (including the very

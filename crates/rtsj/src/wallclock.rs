@@ -11,6 +11,8 @@
 //! sanity-check that the virtual-time results are not an artefact of the
 //! virtual clock.
 
+// rt-lint: allow-file(determinism, reason = "this module IS the wall-clock adapter: reading the machine clock and sleeping on OS threads is its entire purpose, and nothing here feeds the deterministic traces")
+
 use rt_model::{Instant, Span};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -136,6 +138,7 @@ pub fn run_polling_wallclock(
             busy_work(units_to_duration(cost, scale));
             remaining -= cost;
             let response = released_at.elapsed().as_secs_f64() * 1_000.0 / scale;
+            // rt-lint: allow(panic, reason = "the mutex is poisoned only if the generator thread panicked, which already aborts the demonstration run")
             outcomes.lock().unwrap()[request_index] = Some(WallclockOutcome {
                 request: requests[request_index],
                 response_units: response,
@@ -151,6 +154,7 @@ pub fn run_polling_wallclock(
     let _ = generator.join();
     let _ = served;
 
+    // rt-lint: allow(panic, reason = "the mutex is poisoned only if the generator thread panicked, which already aborts the demonstration run")
     let locked = outcomes.lock().unwrap();
     requests
         .iter()

@@ -61,6 +61,7 @@ impl DynJob {
 /// relative deadline get an implicit deadline equal to the horizon.
 pub fn simulate_dynamic(spec: &SystemSpec, policy: DynamicPolicy) -> Trace {
     spec.validate()
+        // rt-lint: allow(panic, reason = "documented '# Panics' contract: the convenience entry point fails loudly on invalid specs")
         .expect("simulate_dynamic() requires a valid system specification");
     let horizon = spec.horizon;
     let mut trace = Trace::new(horizon);
@@ -73,7 +74,9 @@ pub fn simulate_dynamic(spec: &SystemSpec, policy: DynamicPolicy) -> Trace {
     while now < horizon {
         // Admit everything released at or before now.
         while future.front().is_some_and(|j| j.release <= now) {
-            ready.push(future.pop_front().unwrap());
+            if let Some(job) = future.pop_front() {
+                ready.push(job);
+            }
         }
         // D-OVER: abandon jobs that can no longer complete by their deadline.
         if policy == DynamicPolicy::DOver {
@@ -100,15 +103,15 @@ pub fn simulate_dynamic(spec: &SystemSpec, policy: DynamicPolicy) -> Trace {
         let job = &mut ready[0];
         let slice = job
             .remaining
-            .min(next_release - now)
-            .min(job.deadline.max(now) - now)
+            .min(next_release.since(now))
+            .min(job.deadline.max(now).since(now))
             .max(
                 // If the deadline already passed (plain EDF keeps running late
                 // jobs), fall back to the release window.
                 Span::ZERO,
             );
         let slice = if slice.is_zero() {
-            job.remaining.min(next_release - now)
+            job.remaining.min(next_release.since(now))
         } else {
             slice
         };
@@ -116,7 +119,7 @@ pub fn simulate_dynamic(spec: &SystemSpec, policy: DynamicPolicy) -> Trace {
             job.started = Some(now);
         }
         trace.push_segment(job.unit, now, now + slice);
-        job.remaining -= slice;
+        job.remaining = job.remaining.minus(slice);
         now += slice;
         if ready[0].remaining.is_zero() {
             let job = ready.remove(0);
@@ -229,6 +232,7 @@ fn shed_overload(ready: &mut Vec<DynJob>, now: Instant, trace: &mut Trace, spec:
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
             .map(|(i, _)| i)
+            // rt-lint: allow(panic, reason = "the victim search runs over a ready set checked non-empty by the overload branch")
             .expect("non-empty ready set has a victim");
         let victim = ready.remove(victim_index);
         record_incomplete(victim, trace, spec);

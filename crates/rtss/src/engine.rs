@@ -242,6 +242,7 @@ fn outcome(event: &rt_model::AperiodicEvent, fate: AperiodicFate) -> AperiodicOu
 /// build specs through [`rt_model::SystemBuilder`], which validates.
 pub fn simulate(spec: &SystemSpec) -> Trace {
     spec.validate()
+        // rt-lint: allow(panic, reason = "documented '# Panics' contract: the convenience entry point fails loudly on invalid specs")
         .expect("simulate() requires a valid system specification");
     if let Some(normalized) = spec.apply_arrival_faults() {
         return Simulator::new(&normalized, true, true).run();
@@ -259,6 +260,7 @@ pub fn simulate(spec: &SystemSpec) -> Trace {
 /// Panics when the specification fails validation.
 pub fn simulate_reference(spec: &SystemSpec) -> Trace {
     spec.validate()
+        // rt-lint: allow(panic, reason = "documented '# Panics' contract: the convenience entry point fails loudly on invalid specs")
         .expect("simulate_reference() requires a valid system specification");
     if let Some(normalized) = spec.apply_arrival_faults() {
         return Simulator::new(&normalized, false, false).run();
@@ -277,6 +279,7 @@ pub fn simulate_reference(spec: &SystemSpec) -> Trace {
 /// Panics when the specification fails validation.
 pub fn simulate_unbatched(spec: &SystemSpec) -> Trace {
     spec.validate()
+        // rt-lint: allow(panic, reason = "documented '# Panics' contract: the convenience entry point fails loudly on invalid specs")
         .expect("simulate_unbatched() requires a valid system specification");
     if let Some(normalized) = spec.apply_arrival_faults() {
         return Simulator::new(&normalized, true, false).run();
@@ -389,6 +392,7 @@ impl<'a> Simulator<'a> {
                         let deadline = self.periodic[i]
                             .pending
                             .front()
+                            // rt-lint: allow(panic, reason = "mark_ready is called exactly when a job was pushed onto this queue")
                             .expect("mark_ready requires a pending job")
                             .deadline;
                         self.ready_edf.push(Reverse((deadline, i)));
@@ -563,6 +567,7 @@ impl<'a> Simulator<'a> {
         let job = lane
             .queue
             .remove(position)
+            // rt-lint: allow(panic, reason = "the position was selected from this queue above; losing it mid-dispatch is an engine bug worth a crash over a corrupted trace")
             .expect("position came from the queue");
         if lane.queue.is_empty() {
             lane.state.on_queue_emptied(self.now);
@@ -658,6 +663,7 @@ impl<'a> Simulator<'a> {
         }
     }
 
+    // rt-lint: zero-alloc
     fn pick_runner_fp(&mut self) -> Option<Runner> {
         let mut best_server: Option<(Priority, usize)> = None;
         for (s, lane) in self.servers.iter().enumerate() {
@@ -714,6 +720,7 @@ impl<'a> Simulator<'a> {
         }
     }
 
+    // rt-lint: zero-alloc
     fn pick_runner_edf(&mut self) -> Option<Runner> {
         // Server lanes are few and their deadlines are state-derived, so
         // they are swept fresh every decision (no staleness to manage).
@@ -781,6 +788,7 @@ impl<'a> Simulator<'a> {
     /// comparison that picked the server is unchanged, so as long as the
     /// server is still ready the forced re-pick is skipped and the next job
     /// is served directly.
+    // rt-lint: zero-alloc
     fn run_server(&mut self, s: usize, next: Instant) {
         // A mode change deferred by the quiescence rule (due before this
         // window opened, lane busy then) may become applicable the moment a
@@ -817,6 +825,7 @@ impl<'a> Simulator<'a> {
             let job = lane
                 .queue
                 .get_mut(position)
+                // rt-lint: allow(panic, reason = "the lane is run only while its queue is non-empty; a silent fallback would corrupt the trace")
                 .expect("server runner requires pending work");
             // Decision points strictly advance time (asserted in `run`): an
             // inverted window is an engine bug, not a clamp.
@@ -836,11 +845,12 @@ impl<'a> Simulator<'a> {
             }
             self.trace
                 .push_segment(ExecUnit::Handler(event), self.now, self.now + slice);
-            job.remaining -= slice;
-            job.cap_left -= slice;
+            job.remaining = job.remaining.minus(slice);
+            job.cap_left = job.cap_left.minus(slice);
             lane.state.consume(slice, self.now);
             self.now += slice;
             if job.remaining.is_zero() {
+                // rt-lint: allow(panic, reason = "a job only completes after executing, and execution records the start instant")
                 let started = job.started.expect("a completed job has started");
                 let spec_event = &self.spec.aperiodics[job.index];
                 self.trace.push_outcome(outcome(
@@ -886,19 +896,21 @@ impl<'a> Simulator<'a> {
     /// next pending job has a *later* deadline, so another ready entity may
     /// now be the most urgent): a completion re-keys the task's ready entry
     /// and re-enters the dispatcher instead.
+    // rt-lint: zero-alloc
     fn run_task(&mut self, index: usize, next: Instant) {
         let state = &mut self.periodic[index];
         loop {
             let job = state
                 .pending
                 .front_mut()
+                // rt-lint: allow(panic, reason = "the task runner is entered only while the task has pending jobs")
                 .expect("task runner requires pending work");
             let window = next.since(self.now);
             let slice = job.remaining.min(window);
             debug_assert!(!slice.is_zero());
             self.trace
                 .push_segment(ExecUnit::Task(state.task.id), self.now, self.now + slice);
-            job.remaining -= slice;
+            job.remaining = job.remaining.minus(slice);
             self.now += slice;
             if job.remaining.is_zero() {
                 self.trace.push_periodic_job(PeriodicJobRecord {
@@ -921,6 +933,7 @@ impl<'a> Simulator<'a> {
                         let deadline = state
                             .pending
                             .front()
+                            // rt-lint: allow(panic, reason = "the queue was checked non-empty in the branch condition just above")
                             .expect("non-empty checked above")
                             .deadline;
                         self.ready_edf.push(Reverse((deadline, index)));

@@ -62,8 +62,8 @@ fn row_order(unit: ExecUnit) -> (u8, ExecUnit) {
 /// Renders the trace as a fixed-width ASCII chart.
 pub fn render_ascii(trace: &Trace, spec: Option<&SystemSpec>, options: GanttOptions) -> String {
     let column = Span::from_units_f64(options.column_units.max(1e-3));
-    let total_columns =
-        ((trace.horizon - Instant::ZERO).div_ceil_span(column) as usize).min(options.max_columns);
+    let total_columns = (trace.horizon.since(Instant::ZERO).div_ceil_span(column) as usize)
+        .min(options.max_columns);
 
     // Collect the units that actually appear, keep a stable row order.
     let mut units: Vec<ExecUnit> = trace

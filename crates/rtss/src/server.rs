@@ -245,7 +245,7 @@ impl ServerPolicy for SporadicPolicy {
         // Replenish only what was actually debited, so the total capacity in
         // flight (available + scheduled) never exceeds the full capacity.
         let debit = amount.min(self.capacity);
-        self.capacity -= debit;
+        self.capacity = self.capacity.minus(debit);
         self.consumed += debit;
         if self.capacity.is_zero() {
             self.close_chunk(spec);

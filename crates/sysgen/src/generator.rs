@@ -405,6 +405,7 @@ impl RandomSystemGenerator {
             let level = server_priority
                 .level()
                 .checked_sub(1 + j as u8)
+                // rt-lint: allow(panic, reason = "with_extra_servers rejected configurations that would underflow the priority range")
                 .expect("priority range was validated at configuration time");
             debug_assert!(level >= Priority::MIN.level());
             builder.add_server(ServerSpec {
@@ -420,6 +421,7 @@ impl RandomSystemGenerator {
         let lowest_server_level = server_priority
             .level()
             .checked_sub(self.extra_servers.len() as u8)
+            // rt-lint: allow(panic, reason = "with_extra_servers rejected configurations that would underflow the priority range")
             .expect("priority range was validated at configuration time");
 
         if let Some(load) = self.periodic_load {
@@ -448,6 +450,7 @@ impl RandomSystemGenerator {
             for (rank, &i) in order.iter().enumerate() {
                 levels[i] = lowest_server_level
                     .checked_sub(1 + rank as u8)
+                    // rt-lint: allow(panic, reason = "with_periodic_load rejected task counts that would underflow the priority range")
                     .expect("priority range was validated at configuration time");
                 debug_assert!(levels[i] >= Priority::MIN.level());
             }
@@ -514,12 +517,14 @@ impl RandomSystemGenerator {
             if let Some(factor) = self.deadline_factor {
                 let event = builder
                     .last_aperiodic_mut()
+                    // rt-lint: allow(panic, reason = "the builder appended the event in the loop body above")
                     .expect("an event was just appended");
                 event.relative_deadline = Some(event.declared_cost.saturating_mul(factor));
             }
             if let Some(model) = self.value_model {
                 let event = builder
                     .last_aperiodic_mut()
+                    // rt-lint: allow(panic, reason = "the builder appended the event in the loop body above")
                     .expect("an event was just appended");
                 event.value = match model {
                     ValueModel::CostProportional { factor } => {
@@ -528,6 +533,7 @@ impl RandomSystemGenerator {
                     ValueModel::UniformDensity { lo, hi } => {
                         let density = value_rng
                             .as_mut()
+                            // rt-lint: allow(panic, reason = "the value rng is seeded whenever a value model is configured")
                             .expect("value_rng exists whenever a model is set")
                             .gen_range(lo..=hi.max(lo));
                         event.declared_cost.ticks().saturating_mul(density)
@@ -537,10 +543,12 @@ impl RandomSystemGenerator {
             if let Some(model) = self.fault_model {
                 let rng = fault_rng
                     .as_mut()
+                    // rt-lint: allow(panic, reason = "the fault rng is seeded whenever a fault model is configured")
                     .expect("fault_rng exists whenever a model is set");
                 let (id, declared) = {
                     let event = builder
                         .last_aperiodic_mut()
+                        // rt-lint: allow(panic, reason = "the builder appended the event in the loop body above")
                         .expect("an event was just appended");
                     (event.id, event.declared_cost)
                 };
@@ -582,6 +590,7 @@ impl RandomSystemGenerator {
         builder.horizon(horizon);
         builder
             .build()
+            // rt-lint: allow(panic, reason = "the generator draws from validated parameter ranges, so the built spec satisfies the same validator")
             .expect("generated systems are valid by construction")
     }
 }
