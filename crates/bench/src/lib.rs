@@ -15,6 +15,9 @@
 //! [`write_bench_trajectory`], and [`parse_bench_trajectory`] reads it back
 //! (the CI bench smoke regenerates the file and checks it parses). The JSON
 //! is hand-rolled because the offline `serde` shim has no JSON backend.
+//!
+//! The same cursor backs [`validate_chrome_trace`], the CI parse-check for
+//! the Perfetto/Chrome trace files `repro observe --trace-out` emits.
 
 #![forbid(unsafe_code)]
 
@@ -208,6 +211,170 @@ impl<'a> JsonCursor<'a> {
     }
 }
 
+/// Shape summary of a validated Chrome trace: how many `ph:"X"` complete
+/// events (processor slices) and `ph:"i"` instant events (decision marks)
+/// the file carries. Returned by [`validate_chrome_trace`] so callers can
+/// assert the trace is non-trivial, not just well-formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeTraceSummary {
+    /// Number of `ph:"X"` complete events.
+    pub spans: usize,
+    /// Number of `ph:"i"` instant events.
+    pub marks: usize,
+}
+
+/// Validates a Chrome trace-event JSON file as produced by
+/// `rt_observe::chrome_trace_json` (and consumed by `chrome://tracing` /
+/// Perfetto): the top level must be an object with a `traceEvents` array of
+/// flat event objects; every event needs a non-empty `name`, a `ph` of `"X"`
+/// or `"i"`, and a finite non-negative `ts`; `X` events need a finite
+/// non-negative `dur`; and each phase stream must be monotone in `ts` (the
+/// exporter emits slices then marks, each in virtual-time order). There must
+/// be at least one span — an empty trace means the probe was never driven.
+///
+/// This is the CI parse-check behind `repro observe --trace-out`; it shares
+/// the recursive JSON cursor with the bench-trajectory parser so both
+/// persisted JSON artifacts go through one grammar.
+pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceSummary, String> {
+    let mut cursor = JsonCursor::new(text);
+    cursor.eat(b'{')?;
+    let mut summary: Option<ChromeTraceSummary> = None;
+    loop {
+        let key = cursor.parse_string()?;
+        cursor.eat(b':')?;
+        match key.as_str() {
+            "traceEvents" => summary = Some(validate_trace_events(&mut cursor)?),
+            // Chrome's trace format allows top-level metadata alongside the
+            // event array; accept string-valued extras for forward
+            // compatibility.
+            _ => {
+                cursor.parse_string()?;
+            }
+        }
+        match cursor.peek() {
+            Some(b',') => cursor.eat(b',')?,
+            _ => {
+                cursor.eat(b'}')?;
+                break;
+            }
+        }
+    }
+    let summary = summary.ok_or("missing \"traceEvents\" array")?;
+    if summary.spans == 0 {
+        return Err("trace has no ph:\"X\" spans — the probe never saw a slice".into());
+    }
+    Ok(summary)
+}
+
+fn validate_trace_events(cursor: &mut JsonCursor<'_>) -> Result<ChromeTraceSummary, String> {
+    cursor.eat(b'[')?;
+    let mut summary = ChromeTraceSummary { spans: 0, marks: 0 };
+    // Per-phase monotonicity watermarks: the exporter writes all slices,
+    // then all marks, each stream sorted by virtual time.
+    let (mut last_span_ts, mut last_mark_ts) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    if cursor.peek() == Some(b']') {
+        cursor.eat(b']')?;
+        return Ok(summary);
+    }
+    loop {
+        let index = summary.spans + summary.marks;
+        let event = parse_trace_event(cursor)?;
+        let name = event
+            .name
+            .ok_or(format!("event #{index} missing \"name\""))?;
+        if name.is_empty() {
+            return Err(format!("event #{index} has an empty name"));
+        }
+        let ph = event.ph.ok_or(format!("event #{index} missing \"ph\""))?;
+        let ts = event.ts.ok_or(format!("event #{index} missing \"ts\""))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(format!("event #{index} ({name:?}) has bad ts {ts}"));
+        }
+        match ph.as_str() {
+            "X" => {
+                let dur = event
+                    .dur
+                    .ok_or(format!("span #{index} ({name:?}) missing \"dur\""))?;
+                if !dur.is_finite() || dur < 0.0 {
+                    return Err(format!("span #{index} ({name:?}) has bad dur {dur}"));
+                }
+                if summary.marks > 0 {
+                    return Err(format!(
+                        "span #{index} ({name:?}) appears after an instant event; \
+                         the exporter writes all slices first"
+                    ));
+                }
+                if ts < last_span_ts {
+                    return Err(format!(
+                        "span #{index} ({name:?}) breaks ts monotonicity: {ts} < {last_span_ts}"
+                    ));
+                }
+                last_span_ts = ts;
+                summary.spans += 1;
+            }
+            "i" => {
+                if ts < last_mark_ts {
+                    return Err(format!(
+                        "mark #{index} ({name:?}) breaks ts monotonicity: {ts} < {last_mark_ts}"
+                    ));
+                }
+                last_mark_ts = ts;
+                summary.marks += 1;
+            }
+            other => return Err(format!("event #{index} ({name:?}) has bad ph {other:?}")),
+        }
+        match cursor.peek() {
+            Some(b',') => cursor.eat(b',')?,
+            _ => {
+                cursor.eat(b']')?;
+                break;
+            }
+        }
+    }
+    Ok(summary)
+}
+
+/// The fields of one trace event [`validate_chrome_trace`] cares about.
+#[derive(Default)]
+struct TraceEventFields {
+    name: Option<String>,
+    ph: Option<String>,
+    ts: Option<f64>,
+    dur: Option<f64>,
+}
+
+fn parse_trace_event(cursor: &mut JsonCursor<'_>) -> Result<TraceEventFields, String> {
+    cursor.eat(b'{')?;
+    let mut event = TraceEventFields::default();
+    loop {
+        let key = cursor.parse_string()?;
+        cursor.eat(b':')?;
+        match key.as_str() {
+            "name" => event.name = Some(cursor.parse_string()?),
+            "ph" => event.ph = Some(cursor.parse_string()?),
+            "ts" => event.ts = Some(cursor.parse_number()?),
+            "dur" => event.dur = Some(cursor.parse_number()?),
+            // cat / s are strings; pid / tid are numbers — skip either form.
+            _ => match cursor.peek() {
+                Some(b'"') => {
+                    cursor.parse_string()?;
+                }
+                _ => {
+                    cursor.parse_number()?;
+                }
+            },
+        }
+        match cursor.peek() {
+            Some(b',') => cursor.eat(b',')?,
+            _ => {
+                cursor.eat(b'}')?;
+                break;
+            }
+        }
+    }
+    Ok(event)
+}
+
 /// Parses a trajectory file produced by [`render_bench_trajectory`], checking
 /// the header fields and that every record carries the four expected keys
 /// with finite numbers. Used by the CI smoke to validate the regenerated
@@ -352,6 +519,90 @@ mod tests {
     }
 
     #[test]
+    fn valid_chrome_traces_pass_with_the_right_counts() {
+        let json = r#"{"traceEvents":[
+            {"name":"tau1","cat":"task","ph":"X","ts":0,"dur":2,"pid":1,"tid":16},
+            {"name":"idle","cat":"idle","ph":"X","ts":2,"dur":1,"pid":1,"tid":3},
+            {"name":"release","cat":"mark","ph":"i","s":"t","ts":0,"pid":1,"tid":0},
+            {"name":"dispatch:tau1","cat":"mark","ph":"i","s":"t","ts":0,"pid":1,"tid":16}
+        ]}"#;
+        assert_eq!(
+            validate_chrome_trace(json).unwrap(),
+            ChromeTraceSummary { spans: 2, marks: 2 }
+        );
+    }
+
+    #[test]
+    fn chrome_traces_from_the_exporter_pass() {
+        use rt_model::{ExecUnit, Instant, TaskId};
+        use rt_observe::{chrome_trace_json, Probe, SpanProbe, UnitNames};
+        let mut probe = SpanProbe::new();
+        probe.release(Instant::from_units(0));
+        probe.dispatch(ExecUnit::Task(TaskId::new(0)), Instant::from_units(0));
+        probe.slice(
+            ExecUnit::Task(TaskId::new(0)),
+            Instant::from_units(0),
+            Instant::from_units(3),
+        );
+        probe.slice(
+            ExecUnit::Idle,
+            Instant::from_units(3),
+            Instant::from_units(5),
+        );
+        let json = chrome_trace_json(&probe, &UnitNames::default());
+        assert_eq!(
+            validate_chrome_trace(&json).unwrap(),
+            ChromeTraceSummary { spans: 2, marks: 2 }
+        );
+    }
+
+    #[test]
+    fn malformed_chrome_traces_are_rejected() {
+        // Not an object / wrong key / no events at all.
+        assert!(validate_chrome_trace("[]").is_err());
+        assert!(validate_chrome_trace("{\"otherEvents\":\"x\"}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[]}").is_err());
+        // Marks alone are not a trace.
+        assert!(
+            validate_chrome_trace(r#"{"traceEvents":[{"name":"release","ph":"i","ts":0}]}"#)
+                .is_err()
+        );
+        // Non-monotone span timestamps.
+        assert!(validate_chrome_trace(
+            r#"{"traceEvents":[
+                {"name":"a","ph":"X","ts":5,"dur":1},
+                {"name":"b","ph":"X","ts":2,"dur":1}
+            ]}"#
+        )
+        .is_err());
+        // A span after a mark violates the exporter's stream order.
+        assert!(validate_chrome_trace(
+            r#"{"traceEvents":[
+                {"name":"a","ph":"X","ts":0,"dur":1},
+                {"name":"m","ph":"i","ts":0},
+                {"name":"b","ph":"X","ts":1,"dur":1}
+            ]}"#
+        )
+        .is_err());
+        // Missing dur, negative ts, unknown phase, empty name.
+        assert!(
+            validate_chrome_trace(r#"{"traceEvents":[{"name":"a","ph":"X","ts":0}]}"#).is_err()
+        );
+        assert!(validate_chrome_trace(
+            r#"{"traceEvents":[{"name":"a","ph":"X","ts":-1,"dur":1}]}"#
+        )
+        .is_err());
+        assert!(
+            validate_chrome_trace(r#"{"traceEvents":[{"name":"a","ph":"B","ts":0,"dur":1}]}"#)
+                .is_err()
+        );
+        assert!(
+            validate_chrome_trace(r#"{"traceEvents":[{"name":"","ph":"X","ts":0,"dur":1}]}"#)
+                .is_err()
+        );
+    }
+
+    #[test]
     fn checked_in_trajectory_parses() {
         // The CI bench smoke regenerates the file and re-runs this test; a
         // missing file means the bench has never run in this tree, which the
@@ -392,5 +643,20 @@ mod tests {
                 .any(|r| r.group == "scaling" && r.config.contains("exec") && r.speedup > 1.0),
             "trajectory must record a compiled speedup on the execution engine"
         );
+        // The probe-overhead rows: a noop/metrics pair per engine at the
+        // 300-task acceptance point. The noop rows are the zero-cost gate's
+        // paper trail — they are measured through the plain entry points,
+        // which *are* the NoopProbe monomorphization.
+        for workload in ["sim/300", "exec/300", "sim-compiled/300"] {
+            for side in ["noop", "metrics"] {
+                let config = format!("{workload}/{side}");
+                assert!(
+                    records.iter().any(|r| r.group == "observe"
+                        && r.config == config
+                        && r.ns_per_decision > 0.0),
+                    "trajectory must carry the probe-overhead row {config}"
+                );
+            }
+        }
     }
 }

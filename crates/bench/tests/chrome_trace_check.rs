@@ -1,0 +1,46 @@
+//! CI parse-check for the Chrome trace-event JSON `repro observe
+//! --trace-out` emits: the exported file must be well-formed under
+//! [`rt_bench::validate_chrome_trace`] (the recursive cursor shared with
+//! the bench-trajectory parser), carry at least one `ph:"X"` span, and
+//! keep both event streams monotone in `ts`.
+
+use rt_bench::validate_chrome_trace;
+use rt_experiments::{chrome_trace_for_scenario, Scenario};
+
+#[test]
+fn exported_scenario_traces_validate() {
+    for scenario in [Scenario::One, Scenario::Two, Scenario::Three] {
+        let json = chrome_trace_for_scenario(scenario);
+        let summary = validate_chrome_trace(&json)
+            .unwrap_or_else(|e| panic!("scenario {scenario:?} trace invalid: {e}"));
+        assert!(
+            summary.spans > 0 && summary.marks > 0,
+            "scenario {scenario:?} trace is trivial: {summary:?}"
+        );
+    }
+}
+
+#[test]
+fn scenario_three_trace_shows_the_named_units() {
+    // Figure 4's scenario: both periodic tasks and the declared-cost
+    // aperiodics appear, as do the execution engine's overhead lanes.
+    let json = chrome_trace_for_scenario(Scenario::Three);
+    for label in ["tau1", "tau2", "server-overhead", "release"] {
+        assert!(json.contains(label), "trace lacks {label}");
+    }
+}
+
+/// When CI has already exported a trace file through the `repro` binary,
+/// `CHROME_TRACE_PATH` points here and the same validator must accept the
+/// bytes on disk — pinning the whole pipeline, not just the in-process
+/// rendering.
+#[test]
+fn on_disk_trace_validates_when_provided() {
+    let Ok(path) = std::env::var("CHROME_TRACE_PATH") else {
+        return;
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("CHROME_TRACE_PATH {path} unreadable: {e}"));
+    let summary = validate_chrome_trace(&text).unwrap_or_else(|e| panic!("{path} invalid: {e}"));
+    assert!(summary.spans > 0, "{path} carries no spans");
+}

@@ -35,6 +35,18 @@ const ZERO_ALLOC_COVERED_FNS: &[(&str, &str)] = &[
     ("crates/compile/src/sim.rs", "run_task"),
     ("crates/core/src/fastpath.rs", "pick"),
     ("crates/core/src/fastpath.rs", "run"),
+    ("crates/metrics/src/hist.rs", "record"),
+    ("crates/observe/src/lib.rs", "admission"),
+    ("crates/observe/src/lib.rs", "calendar_size"),
+    ("crates/observe/src/lib.rs", "cap_exhausted"),
+    ("crates/observe/src/lib.rs", "decision"),
+    ("crates/observe/src/lib.rs", "dispatch"),
+    ("crates/observe/src/lib.rs", "fire"),
+    ("crates/observe/src/lib.rs", "mode_change"),
+    ("crates/observe/src/lib.rs", "preemption"),
+    ("crates/observe/src/lib.rs", "queue_depth"),
+    ("crates/observe/src/lib.rs", "release"),
+    ("crates/observe/src/lib.rs", "slice"),
     ("crates/rtsj/src/engine.rs", "pick_runnable"),
     ("crates/rtss/src/engine.rs", "pick_runner_edf"),
     ("crates/rtss/src/engine.rs", "pick_runner_fp"),
@@ -226,6 +238,31 @@ fn emulation_engine_decision_loop_allocates_amortized_only() {
     });
 }
 
+/// The probe-*enabled* decision loops obey the same discipline: a recording
+/// [`rt_observe::MetricsProbe`] is preallocated (fixed-bucket histograms,
+/// plain counters), so attaching it must not add a single allocation per
+/// decision on any engine. This is the dynamic half of the manifest entries
+/// for `crates/observe/src/lib.rs` and `crates/metrics/src/hist.rs`
+/// (`TickHistogram::record` is the only operation the hooks perform in the
+/// hot loops).
+#[test]
+fn probe_enabled_decision_loops_allocate_amortized_only() {
+    use rt_observe::MetricsProbe;
+    assert_amortized_only("rtss-sim observed", |spec| {
+        let mut probe = MetricsProbe::new();
+        rtss_sim::simulate_with_probe(spec, &mut probe)
+    });
+    assert_amortized_only("rt-compile observed", |spec| {
+        let mut probe = MetricsProbe::new();
+        rt_compile::simulate_compiled_with_probe(spec, &mut probe)
+    });
+    let config = ExecutionConfig::reference();
+    assert_amortized_only("rtsj-emu observed", |spec| {
+        let mut probe = MetricsProbe::new();
+        rt_taskserver::execute_with_probe(spec, &config, &mut probe)
+    });
+}
+
 #[test]
 fn coverage_manifest_is_sorted_and_names_real_files() {
     assert!(
@@ -237,6 +274,8 @@ fn coverage_manifest_is_sorted_and_names_real_files() {
         assert!(
             file.starts_with("crates/compile/")
                 || file.starts_with("crates/core/")
+                || file.starts_with("crates/metrics/")
+                || file.starts_with("crates/observe/")
                 || file.starts_with("crates/rtsj/")
                 || file.starts_with("crates/rtss/"),
             "unexpected manifest file {file}: extend the dynamic tests to \

@@ -84,6 +84,7 @@ use rt_model::{
     AdmissionPolicy, EventId, Instant, ModelError, Priority, QueueDiscipline, SchedulingPolicy,
     ServerPolicyKind, ServerSpec, Span, SystemSpec, TaskId, Trace,
 };
+use rt_observe::Probe;
 use rt_taskserver::{ExecutionConfig, ExecutionPlan, SubstratePlan};
 use std::borrow::Cow;
 
@@ -409,6 +410,18 @@ impl<'a> CompiledSystem<'a> {
         sim::run(self)
     }
 
+    /// Runs the compiled simulation driver with an attached
+    /// [`Probe`] observing every decision, dispatch,
+    /// slice, release, admission verdict and mode change. The hook sites
+    /// mirror the interpreted engine's exactly, so a recording probe reports
+    /// identical counters across `rtss_sim::simulate_with_probe` and this
+    /// entry point; the trace itself is byte-identical to [`Self::simulate`]
+    /// — probes observe, they never decide. Pass `&mut probe` to keep the
+    /// recording.
+    pub fn simulate_with_probe<PR: Probe>(&self, probe: PR) -> Trace {
+        sim::run_with(self, probe)
+    }
+
     /// Prepares the compiled schedulable table for the execution engine: the
     /// installation plan (server shares, thread specs, servable handlers,
     /// fire schedule) is computed once here and reusable across
@@ -439,6 +452,19 @@ pub fn simulate_compiled(spec: &SystemSpec) -> Trace {
         // rt-lint: allow(panic, reason = "documented '# Panics' contract: the convenience entry point fails loudly on invalid specs, mirroring the interpreted API")
         .expect("simulate_compiled() requires a valid system specification")
         .simulate()
+}
+
+/// Compiles and simulates with an attached probe in one call (the compiled
+/// counterpart of `rtss_sim::simulate_with_probe`).
+///
+/// # Panics
+/// Panics when the specification fails structural validation, exactly like
+/// the interpreted entry point.
+pub fn simulate_compiled_with_probe<PR: Probe>(spec: &SystemSpec, probe: PR) -> Trace {
+    CompiledSystem::compile(spec)
+        // rt-lint: allow(panic, reason = "documented '# Panics' contract: the convenience entry point fails loudly on invalid specs, mirroring the interpreted API")
+        .expect("simulate_compiled_with_probe() requires a valid system specification")
+        .simulate_with_probe(probe)
 }
 
 /// Compiles and executes in one call (the drop-in compiled counterpart of

@@ -45,6 +45,7 @@ use rt_model::{
     AperiodicFate, AperiodicOutcome, EventId, ExecUnit, Instant, ModeChange, PeriodicJobRecord,
     QueueDiscipline, SchedulingPolicy, Span, Trace,
 };
+use rt_observe::{AdmissionVerdict, NoopProbe, Probe};
 use std::borrow::Cow;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -52,31 +53,47 @@ use std::collections::{BinaryHeap, VecDeque};
 /// Runs the compiled system through the driver instantiation its tables
 /// select.
 pub(crate) fn run(sys: &CompiledSystem<'_>) -> Trace {
+    run_with(sys, NoopProbe)
+}
+
+/// Runs the compiled system with an attached probe. Every probe call site in
+/// the driver is gated on `PR::ENABLED`, so the [`NoopProbe`] instantiation
+/// (the [`run`] path) monomorphizes to the pre-probe decision loop — and the
+/// hook placement mirrors the interpreted `rtss-sim` engine's exactly, so a
+/// recording probe reports identical counters and histograms across the two
+/// engines whenever their traces agree.
+pub(crate) fn run_with<PR: Probe>(sys: &CompiledSystem<'_>, probe: PR) -> Trace {
     match (sys.lane_set, sys.scheduling) {
         (PolicySet::Polling, SchedulingPolicy::FixedPriority) => {
-            Driver::<CPolling, false>::new(sys).run()
+            Driver::<CPolling, PR, false>::new(sys, probe).run()
         }
-        (PolicySet::Polling, SchedulingPolicy::Edf) => Driver::<CPolling, true>::new(sys).run(),
+        (PolicySet::Polling, SchedulingPolicy::Edf) => {
+            Driver::<CPolling, PR, true>::new(sys, probe).run()
+        }
         (PolicySet::Deferrable, SchedulingPolicy::FixedPriority) => {
-            Driver::<CDeferrable, false>::new(sys).run()
+            Driver::<CDeferrable, PR, false>::new(sys, probe).run()
         }
         (PolicySet::Deferrable, SchedulingPolicy::Edf) => {
-            Driver::<CDeferrable, true>::new(sys).run()
+            Driver::<CDeferrable, PR, true>::new(sys, probe).run()
         }
         (PolicySet::Background, SchedulingPolicy::FixedPriority) => {
-            Driver::<CBackground, false>::new(sys).run()
+            Driver::<CBackground, PR, false>::new(sys, probe).run()
         }
         (PolicySet::Background, SchedulingPolicy::Edf) => {
-            Driver::<CBackground, true>::new(sys).run()
+            Driver::<CBackground, PR, true>::new(sys, probe).run()
         }
         (PolicySet::Sporadic, SchedulingPolicy::FixedPriority) => {
-            Driver::<CSporadic, false>::new(sys).run()
+            Driver::<CSporadic, PR, false>::new(sys, probe).run()
         }
-        (PolicySet::Sporadic, SchedulingPolicy::Edf) => Driver::<CSporadic, true>::new(sys).run(),
+        (PolicySet::Sporadic, SchedulingPolicy::Edf) => {
+            Driver::<CSporadic, PR, true>::new(sys, probe).run()
+        }
         (PolicySet::Mixed, SchedulingPolicy::FixedPriority) => {
-            Driver::<AnyLanePolicy, false>::new(sys).run()
+            Driver::<AnyLanePolicy, PR, false>::new(sys, probe).run()
         }
-        (PolicySet::Mixed, SchedulingPolicy::Edf) => Driver::<AnyLanePolicy, true>::new(sys).run(),
+        (PolicySet::Mixed, SchedulingPolicy::Edf) => {
+            Driver::<AnyLanePolicy, PR, true>::new(sys, probe).run()
+        }
     }
 }
 
@@ -536,7 +553,7 @@ enum Runner {
 
 /// The monomorphized decision loop: one instantiation per lane-policy type ×
 /// scheduling policy (`EDF` const-folds the dispatcher branch away).
-struct Driver<'a, P, const EDF: bool> {
+struct Driver<'a, P, PR, const EDF: bool> {
     sys: &'a CompiledSystem<'a>,
     now: Instant,
     /// Per-task pending job queues (indexes match `sys.tasks`).
@@ -565,11 +582,18 @@ struct Driver<'a, P, const EDF: bool> {
     has_pending: Vec<bool>,
     /// Reused buffer for admission-displaced event ids.
     aborted_scratch: Vec<EventId>,
+    /// The observation hooks. Every call site is gated on `PR::ENABLED`, so
+    /// the [`NoopProbe`] instantiation compiles to the pre-probe loop.
+    probe: PR,
+    /// The unit whose last slice ended with work remaining — the candidate
+    /// for a preemption report when the next dispatch picks someone else.
+    /// Only maintained when `PR::ENABLED`.
+    incomplete: Option<ExecUnit>,
     trace: Trace,
 }
 
-impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
-    fn new(sys: &'a CompiledSystem<'a>) -> Self {
+impl<'a, P: LanePolicy, PR: Probe, const EDF: bool> Driver<'a, P, PR, EDF> {
+    fn new(sys: &'a CompiledSystem<'a>, probe: PR) -> Self {
         let mut wheel = BinaryHeap::with_capacity(sys.groups.len());
         for (g, group) in sys.groups.iter().enumerate() {
             if group.first < sys.horizon {
@@ -612,11 +636,16 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
             ready_edf: BinaryHeap::new(),
             has_pending: vec![false; sys.tasks.len()],
             aborted_scratch: Vec::new(),
+            probe,
+            incomplete: None,
             trace,
         }
     }
 
     fn run(mut self) -> Trace {
+        if PR::ENABLED {
+            self.probe.attach(self.lanes.len());
+        }
         while self.now < self.sys.horizon {
             self.process_due_events();
             let next = self.next_decision_point();
@@ -629,8 +658,19 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
             // an earlier replenishment (sporadic consumption), so it breaks
             // back to the full loop, exactly like the interpreted engine.
             loop {
+                // One `decision` report per `pick_runner` call: the
+                // interpreted engine's per-outer-iteration report coincides
+                // with per-pick (its early task-runner exits re-enter the
+                // outer loop), so this placement keeps the two engines'
+                // probe counters identical.
+                if PR::ENABLED {
+                    self.probe.decision(self.now);
+                }
                 match self.pick_runner() {
                     None => {
+                        if PR::ENABLED {
+                            self.probe.slice(ExecUnit::Idle, self.now, next);
+                        }
                         self.trace.push_segment(ExecUnit::Idle, self.now, next);
                         self.now = next;
                         break;
@@ -685,6 +725,9 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
             let arrival = sys.arrival(self.next_arrival);
             let index = self.next_arrival as u32;
             self.next_arrival += 1;
+            if PR::ENABLED {
+                self.probe.release(self.now);
+            }
             match self.lanes.get_mut(arrival.server) {
                 Some(lane) => {
                     let mut scratch = std::mem::take(&mut self.aborted_scratch);
@@ -717,7 +760,23 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
                             started: None,
                             deadline: arrival.lane_deadline,
                         });
+                        if PR::ENABLED {
+                            self.probe.admission(
+                                arrival.server,
+                                AdmissionVerdict::Accepted,
+                                self.now,
+                            );
+                            let depth = self.lanes[arrival.server].queue.len() as u64;
+                            self.probe.queue_depth(arrival.server, depth);
+                        }
                     } else {
+                        if PR::ENABLED {
+                            self.probe.admission(
+                                arrival.server,
+                                AdmissionVerdict::Rejected,
+                                self.now,
+                            );
+                        }
                         self.trace.push_outcome(outcome(
                             &arrival,
                             AperiodicFate::Rejected { at: self.now },
@@ -749,6 +808,9 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
                     deadline: at + task.deadline,
                     remaining: task.cost,
                 });
+                if PR::ENABLED {
+                    self.probe.release(self.now);
+                }
                 self.mark_ready(m);
             }
             self.released[g] = activation + 1;
@@ -816,6 +878,9 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
                 LaneAdmission::Machine(ServerAdmission::for_server(&table.spec))
             };
             self.mode_applied[k] = true;
+            if PR::ENABLED {
+                self.probe.mode_change(change.server, self.now);
+            }
         }
     }
 
@@ -838,6 +903,10 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
             .expect("position came from the queue");
         if lane.queue.is_empty() {
             lane.policy.on_queue_emptied(table, self.now);
+        }
+        if PR::ENABLED {
+            self.probe
+                .admission(lane_index, AdmissionVerdict::Aborted, self.now);
         }
         self.trace.push_outcome(outcome(
             &sys.arrival(job.arrival as usize),
@@ -1003,10 +1072,24 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
             if job.started.is_none() {
                 job.started = Some(self.now);
             }
+            if PR::ENABLED {
+                let unit = ExecUnit::Handler(arrival.id);
+                if let Some(prev) = self.incomplete.take() {
+                    if prev != unit {
+                        self.probe.preemption(prev, self.now);
+                    }
+                }
+                self.probe.dispatch(unit, self.now);
+                self.probe.slice(unit, self.now, self.now + slice);
+            }
             self.trace
                 .push_segment(ExecUnit::Handler(arrival.id), self.now, self.now + slice);
             job.remaining = job.remaining.minus(slice);
             job.cap_left = job.cap_left.minus(slice);
+            if PR::ENABLED {
+                self.incomplete = (!job.remaining.is_zero() && !job.cap_left.is_zero())
+                    .then_some(ExecUnit::Handler(arrival.id));
+            }
             lane.policy.consume(table, slice, self.now);
             self.now += slice;
             if job.remaining.is_zero() {
@@ -1028,6 +1111,9 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
                 // with work remaining — cut it off, surface the overrun as an
                 // abort and release its slot in the admission plan so
                 // equation-(5) stops charging for work that will never run.
+                if PR::ENABLED {
+                    self.probe.cap_exhausted(s, self.now);
+                }
                 self.trace
                     .push_outcome(outcome(&arrival, AperiodicFate::Aborted { at: self.now }));
                 lane.queue.remove(position);
@@ -1058,9 +1144,22 @@ impl<'a, P: LanePolicy, const EDF: bool> Driver<'a, P, EDF> {
             let window = next.since(self.now);
             let slice = job.remaining.min(window);
             debug_assert!(!slice.is_zero());
+            if PR::ENABLED {
+                let unit = ExecUnit::Task(task.id);
+                if let Some(prev) = self.incomplete.take() {
+                    if prev != unit {
+                        self.probe.preemption(prev, self.now);
+                    }
+                }
+                self.probe.dispatch(unit, self.now);
+                self.probe.slice(unit, self.now, self.now + slice);
+            }
             self.trace
                 .push_segment(ExecUnit::Task(task.id), self.now, self.now + slice);
             job.remaining = job.remaining.minus(slice);
+            if PR::ENABLED && !job.remaining.is_zero() {
+                self.incomplete = Some(ExecUnit::Task(task.id));
+            }
             self.now += slice;
             if job.remaining.is_zero() {
                 let done = *job;

@@ -116,7 +116,7 @@ pub use rtsj_emu::TaskServerParameters;
 pub use serve::{ServeStep, ServiceLoop};
 pub use sporadic::SporadicServerBody;
 pub use state::{GrantedService, ServerShared, SharedServer};
-pub use system::{execute, ExecutionConfig, ExecutionPlan};
+pub use system::{execute, execute_with_probe, ExecutionConfig, ExecutionPlan};
 
 #[cfg(test)]
 mod proptests {

@@ -16,6 +16,7 @@ use rt_model::{
     AdmissionPolicy, AperiodicFate, AperiodicOutcome, EventId, Instant, ModeChange,
     QueueDiscipline, ServerPolicyKind, Span,
 };
+use rt_observe::LaneTotals;
 use rtsj_emu::{OverheadModel, TaskServerParameters};
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -79,6 +80,13 @@ pub struct ServerShared {
     /// Reused buffer for the releases an admission decision displaces — the
     /// release path stays allocation-free in the steady state.
     aborted_scratch: Vec<EventId>,
+    /// Always-on per-lane observability tally: plain `u64` increments at the
+    /// decision sites below, drained once after the run by
+    /// [`crate::system::ExecutionPlan::run_with_probe`] through
+    /// [`rt_observe::Probe::lane_totals`]. Kept unconditional (no probe
+    /// generic in the shared state) because the bumps are cheaper than the
+    /// `Rc<RefCell>` traffic already paid on every one of these paths.
+    pub totals: LaneTotals,
 }
 
 /// Shared handle to a server's state.
@@ -135,6 +143,7 @@ impl ServerShared {
             mode_changes: VecDeque::new(),
             in_service: false,
             aborted_scratch: Vec::new(),
+            totals: LaneTotals::default(),
         }))
     }
 
@@ -175,6 +184,7 @@ impl ServerShared {
     /// well formed — in particular capacity ≤ period on capacity-limited
     /// lanes).
     fn apply_mode_change(&mut self, change: &ModeChange) {
+        self.totals.mode_changes += 1;
         if let Some(capacity) = change.capacity {
             self.params.capacity = capacity;
         }
@@ -257,6 +267,7 @@ impl ServerShared {
         aborted.clear();
         self.aborted_scratch = aborted;
         if accepted {
+            self.totals.accepted += 1;
             let _ = self.queue.push(release, now, self.remaining);
         } else {
             self.record_rejected(&release, now);
@@ -456,12 +467,14 @@ impl ServerShared {
 
     /// Records a release refused by the admission policy at arrival.
     pub fn record_rejected(&mut self, release: &QueuedRelease, at: Instant) {
+        self.totals.rejected += 1;
         self.outcomes
             .push(self.outcome(release, AperiodicFate::Rejected { at }));
     }
 
     /// Records a pending release dropped by an overload decision.
     pub fn record_aborted(&mut self, release: &QueuedRelease, at: Instant) {
+        self.totals.aborted += 1;
         self.outcomes
             .push(self.outcome(release, AperiodicFate::Aborted { at }));
     }
@@ -470,6 +483,7 @@ impl ServerShared {
     /// declared cost, and releases its equation-(5) plan slot so the
     /// admission state stays consistent with the capacity the abort freed.
     pub fn record_enforcement_abort(&mut self, release: &QueuedRelease, at: Instant) {
+        self.totals.cap_exhaustions += 1;
         self.record_aborted(release, at);
         self.admission.on_abort(release.event, at);
     }
@@ -481,6 +495,7 @@ impl ServerShared {
         started: Instant,
         interrupted_at: Instant,
     ) {
+        self.totals.cap_exhaustions += 1;
         self.outcomes.push(self.outcome(
             release,
             AperiodicFate::Interrupted {

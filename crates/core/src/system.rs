@@ -16,6 +16,7 @@ use rt_model::{
     AperiodicFate, AperiodicOutcome, ExecUnit, Instant, ModelError, NameTable, PeriodicJobRecord,
     PeriodicTask, SchedulingPolicy, Span, SystemSpec, Trace,
 };
+use rt_observe::{NoopProbe, Probe};
 use rtsj_emu::{Engine, EngineConfig, OverheadModel, SchedulerKind};
 use std::borrow::Cow;
 
@@ -125,6 +126,24 @@ pub fn execute(spec: &SystemSpec, config: &ExecutionConfig) -> Trace {
         // rt-lint: allow(panic, reason = "documented '# Panics' contract: the convenience entry point fails loudly on invalid specs")
         .expect("execute() requires a valid system specification")
         .run()
+}
+
+/// [`execute`] with an observation probe attached — the execution-world
+/// entry of the `rt-observe` layer. The trace is byte-identical to the
+/// probe-free [`execute`]; pass `&mut probe` to keep the recording (the
+/// blanket `&mut P: Probe` impl forwards every hook).
+///
+/// # Panics
+/// Panics when the specification fails validation.
+pub fn execute_with_probe<P: Probe>(
+    spec: &SystemSpec,
+    config: &ExecutionConfig,
+    probe: P,
+) -> Trace {
+    ExecutionPlan::prepare(spec, config)
+        // rt-lint: allow(panic, reason = "documented '# Panics' contract: the convenience entry point fails loudly on invalid specs")
+        .expect("execute_with_probe() requires a valid system specification")
+        .run_with_probe(probe)
 }
 
 /// One aperiodic occurrence as the engine installs it: the routed server
@@ -239,8 +258,27 @@ impl<'a> ExecutionPlan<'a> {
     /// Runs the plan on a fresh engine and returns its trace. Reusable: the
     /// plan holds no run state.
     pub fn run(&self) -> Trace {
+        self.run_with_probe(NoopProbe)
+    }
+
+    /// Runs the plan with an observation probe attached. The trace is
+    /// byte-identical to [`ExecutionPlan::run`] — every hook site is gated on
+    /// [`Probe::ENABLED`], so `run()` *is* this method monomorphized over
+    /// [`NoopProbe`].
+    ///
+    /// The engine reports the decision-loop hooks live (decisions,
+    /// dispatches, preemptions, slices, releases, fires, calendar size);
+    /// admission verdicts happen inside the shared server lanes, which the
+    /// engine's probe cannot reach, so each lane keeps an always-on
+    /// [`rt_observe::LaneTotals`] tally that is handed to
+    /// [`Probe::lane_totals`] once the run finishes. Pass `&mut probe` to
+    /// keep the recording.
+    pub fn run_with_probe<P: Probe>(&self, mut probe: P) -> Trace {
+        if P::ENABLED {
+            probe.attach(self.spec.servers.len());
+        }
         let spec = &self.spec;
-        let mut engine = Engine::new(self.engine_config);
+        let mut engine = Engine::with_probe(self.engine_config, &mut probe);
 
         // The task servers, in install (table) order; one installed server
         // per entry of `spec.servers`, each with its own pending queue.
@@ -286,7 +324,16 @@ impl<'a> ExecutionPlan<'a> {
             sae.schedule_fire(&mut engine, planned.release);
         }
 
+        // `run` consumes the engine, releasing its `&mut probe` borrow so
+        // the lane tallies can be drained into the probe below.
         let mut trace = engine.run();
+
+        if P::ENABLED {
+            for (lane, server) in servers.iter().enumerate() {
+                let totals = server.shared().borrow().totals;
+                probe.lane_totals(lane, &totals);
+            }
+        }
 
         let collected = (!servers.is_empty()).then(|| {
             servers

@@ -13,7 +13,11 @@
 //! repro faults              fault-containment sweep: injected cost overruns,
 //!                           arrival noise and mid-horizon mode changes over
 //!                           byte-identical 2x overload traffic, both engines
-//! repro all                 everything above but multi/edf (default)
+//! repro observe             probe-instrumented reproduction: per-set metrics
+//!                           summaries (decision/dispatch/admission counters,
+//!                           virtual-time response and backlog quantiles) for
+//!                           every paper table; bit-identical at any --workers
+//! repro all                 everything above but multi/edf/observe (default)
 //! repro quick               all tables with 3 systems per set (fast smoke run)
 //! ```
 //!
@@ -31,11 +35,17 @@
 //! byte-identical to the interpreted traces, so every printed number is
 //! unchanged — the flag is a determinism cross-check that also reproduces
 //! the tables faster at scale.
+//!
+//! `observe` extras: `--quick` observes 3 systems per set instead of the
+//! paper's 10 (the CI determinism smoke uses it), and `--trace-out <path>`
+//! additionally records Figure 4's Scenario Three on the execution engine
+//! and writes the schedule as Chrome trace-event JSON — open the file in
+//! `chrome://tracing` or Perfetto to see the named task/handler tracks.
 
 use rt_experiments::{
-    available_workers, default_online_rta, reproduce_edf_table, reproduce_faults_table,
-    reproduce_overload_table, reproduce_table_with_workers, run_scenario, side_by_side, PaperTable,
-    Scenario, TableConfig,
+    available_workers, chrome_trace_for_scenario, default_online_rta, observe_table,
+    reproduce_edf_table, reproduce_faults_table, reproduce_overload_table,
+    reproduce_table_with_workers, run_scenario, side_by_side, PaperTable, Scenario, TableConfig,
 };
 use rt_model::{QueueDiscipline, SchedulingPolicy};
 
@@ -98,8 +108,8 @@ fn print_online_rta() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro [fig2|fig3|fig4|table2|table3|table4|table5|online-rta|multi|edf|overload|faults|quick|all] \
-         [--workers N] [--edf] [--discipline fifo|edd] [--compiled]"
+        "usage: repro [fig2|fig3|fig4|table2|table3|table4|table5|online-rta|multi|edf|overload|faults|observe|quick|all] \
+         [--workers N] [--edf] [--discipline fifo|edd] [--compiled] [--quick] [--trace-out PATH]"
     );
     std::process::exit(2);
 }
@@ -110,6 +120,8 @@ fn main() {
     let mut scheduling = SchedulingPolicy::FixedPriority;
     let mut discipline = QueueDiscipline::FifoSkip;
     let mut compiled = false;
+    let mut quick_flag = false;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--workers" {
@@ -125,6 +137,13 @@ fn main() {
             scheduling = SchedulingPolicy::Edf;
         } else if arg == "--compiled" {
             compiled = true;
+        } else if arg == "--quick" {
+            quick_flag = true;
+        } else if arg == "--trace-out" {
+            trace_out = Some(args.next().unwrap_or_else(|| {
+                eprintln!("--trace-out needs a file path");
+                usage_and_exit()
+            }));
         } else if arg == "--discipline" {
             discipline = match args.next().as_deref() {
                 Some("fifo") => QueueDiscipline::FifoSkip,
@@ -175,6 +194,22 @@ fn main() {
         "faults" => {
             let table = reproduce_faults_table(&full, workers);
             println!("{table}");
+        }
+        "observe" => {
+            let config = if quick_flag { &quick } else { &full };
+            for table in PaperTable::all() {
+                println!("{}", observe_table(table, config, workers));
+            }
+            if let Some(path) = &trace_out {
+                let json = chrome_trace_for_scenario(Scenario::Three);
+                if let Err(error) = std::fs::write(path, &json) {
+                    eprintln!("cannot write {path}: {error}");
+                    std::process::exit(1);
+                }
+                // stderr, so stdout stays byte-comparable across --workers
+                // runs that export to different paths (the CI smoke diffs it).
+                eprintln!("wrote Chrome trace of Scenario Three to {path}");
+            }
         }
         "multi" => {
             use rt_experiments::reproduce_multi_server_table;

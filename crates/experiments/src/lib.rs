@@ -11,6 +11,9 @@
 //!   against measured executions;
 //! * [`overload`] — the admission/overload sweep: load 0.5×→4× across the
 //!   admission policies, on both engines;
+//! * [`observe`] — the probe-instrumented reproduction: per-set metrics
+//!   summaries (counters + virtual-time quantiles, worker-count-invariant)
+//!   and Chrome-trace export of the Figure scenarios;
 //! * [`pool`] — the std-thread worker pool the table harness fans out on,
 //!   with deterministic (bit-identical for any worker count) reduction.
 //!
@@ -21,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod faults;
+pub mod observe;
 pub mod online;
 pub mod overload;
 pub mod pool;
@@ -30,6 +34,9 @@ pub mod tables;
 pub use faults::{
     generate_fault_set, reproduce_faults_table, FaultRow, FaultScenario, FaultTable,
     FAULT_SCENARIOS,
+};
+pub use observe::{
+    chrome_trace_for_scenario, observe_table, run_system_observed, ObserveReport, ObservedSet,
 };
 pub use online::{default_online_rta, online_rta_experiment, OnlinePrediction, OnlineRtaReport};
 pub use overload::{

@@ -26,6 +26,7 @@ pub const ENGINE_CRATE_DIRS: &[&str] = &[
     "crates/rtss",
     "crates/admission",
     "crates/compile",
+    "crates/observe",
 ];
 
 /// Single forbidden identifiers with the hazard they carry.

@@ -1,4 +1,7 @@
-//! Cross-set aggregates: AART, AIR and ASR.
+//! Cross-set aggregates: AART, AIR and ASR, plus the admission/overload and
+//! fault-containment row aggregates with their p50/p95/p99 columns (all
+//! percentiles go through [`crate::quantile`], the workspace's single
+//! quantile implementation).
 //!
 //! For every set of ten generated systems the paper reports
 //!
@@ -12,6 +15,7 @@
 //! aggregating — the merge is deterministic for any split of the runs.
 
 use crate::measures::{ContainmentMeasures, RunMeasures};
+use crate::quantile::Quantiles;
 
 /// The (AART, AIR, ASR) triple of one set of systems under one policy and
 /// one evaluation mode (simulation or execution).
@@ -103,6 +107,10 @@ pub struct ContainmentAggregate {
     /// Mean accrued value per run (the measure carried across mode
     /// switches).
     pub mean_value: f64,
+    /// Percentiles of the per-run accrued value, by the workspace
+    /// nearest-rank rule ([`crate::quantile`]) — the same implementation
+    /// the `rt-observe` summary uses, so the two can never disagree.
+    pub value_quantiles: Quantiles,
 }
 
 impl ContainmentAggregate {
@@ -115,13 +123,16 @@ impl ContainmentAggregate {
                 unaffected_miss: 0.0,
                 abort_ratio: 1.0,
                 mean_value: 0.0,
+                value_quantiles: Quantiles::default(),
             };
         }
+        let values: Vec<f64> = runs.iter().map(|r| r.accrued_value as f64).collect();
         ContainmentAggregate {
             runs: n,
             unaffected_miss: runs.iter().map(|r| r.unaffected_miss_ratio()).sum::<f64>() / n as f64,
             abort_ratio: runs.iter().map(|r| r.abort_ratio()).sum::<f64>() / n as f64,
-            mean_value: runs.iter().map(|r| r.accrued_value as f64).sum::<f64>() / n as f64,
+            mean_value: values.iter().sum::<f64>() / n as f64,
+            value_quantiles: Quantiles::from_samples(&values),
         }
     }
 }
@@ -146,6 +157,11 @@ pub struct OverloadAggregate {
     pub mean_value: f64,
     /// Average of the per-run average response times over served events.
     pub aart: f64,
+    /// Percentiles of the per-run average response times (runs that served
+    /// nothing do not contribute, matching the `aart` column), computed by
+    /// the workspace nearest-rank rule ([`crate::quantile`]) shared with
+    /// the `rt-observe` histograms.
+    pub response_quantiles: Quantiles,
 }
 
 impl OverloadAggregate {
@@ -159,6 +175,7 @@ impl OverloadAggregate {
                 accepted_miss: 0.0,
                 mean_value: 0.0,
                 aart: 0.0,
+                response_quantiles: Quantiles::default(),
             };
         }
         let with_service: Vec<f64> = runs
@@ -176,6 +193,7 @@ impl OverloadAggregate {
             accepted_miss: runs.iter().map(|r| r.accepted_miss_ratio()).sum::<f64>() / n as f64,
             mean_value: runs.iter().map(|r| r.accrued_value as f64).sum::<f64>() / n as f64,
             aart,
+            response_quantiles: Quantiles::from_samples(&with_service),
         }
     }
 }
@@ -328,6 +346,28 @@ mod tests {
             }
             assert_eq!(SetAggregate::from_partials(partials), sequential);
         }
+    }
+
+    #[test]
+    fn overload_and_containment_aggregates_carry_shared_quantiles() {
+        let runs: Vec<RunMeasures> = (1..=20).map(|i| run(Some(i as f64), 1, 0, 1)).collect();
+        let agg = OverloadAggregate::from_runs(&runs);
+        // Nearest rank over 1..=20: p50 → rank 10, p95 → rank 19, p99 → 20.
+        assert_eq!(agg.response_quantiles.p50, 10.0);
+        assert_eq!(agg.response_quantiles.p95, 19.0);
+        assert_eq!(agg.response_quantiles.p99, 20.0);
+
+        let cruns: Vec<ContainmentMeasures> = (1..=10)
+            .map(|i| ContainmentMeasures {
+                released: 1,
+                accrued_value: i,
+                ..ContainmentMeasures::default()
+            })
+            .collect();
+        let cagg = ContainmentAggregate::from_runs(&cruns);
+        assert_eq!(cagg.value_quantiles.p50, 5.0);
+        assert_eq!(cagg.value_quantiles.p99, 10.0);
+        assert_eq!(cagg.mean_value, 5.5);
     }
 
     #[test]

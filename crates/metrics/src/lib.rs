@@ -9,11 +9,15 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod hist;
 pub mod measures;
+pub mod quantile;
 pub mod table;
 
 pub use aggregate::{ContainmentAggregate, OverloadAggregate, PartialRuns, SetAggregate};
+pub use hist::TickHistogram;
 pub use measures::{ContainmentMeasures, RunMeasures};
+pub use quantile::{nearest_rank, percentile_sorted, Quantiles};
 pub use table::{paper, shape, ResultTable, SET_ORDER};
 
 #[cfg(test)]

@@ -425,10 +425,14 @@ impl SystemBuilder {
     }
 
     /// Sets the horizon to `n` periods of the primary server, the paper's
-    /// convention.
+    /// convention. A background server's sentinel period (`Span::MAX`) is
+    /// ignored — the horizon falls through to [`Self::build`]'s default
+    /// instead of saturating to the end of virtual time.
     pub fn horizon_server_periods(&mut self, n: u64) -> &mut Self {
         if let Some(server) = self.servers.first() {
-            self.horizon = Some(Instant::ZERO + server.period.saturating_mul(n));
+            if !server.period.is_zero() && server.period != Span::MAX {
+                self.horizon = Some(Instant::ZERO + server.period.saturating_mul(n));
+            }
         }
         self
     }

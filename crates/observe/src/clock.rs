@@ -1,0 +1,78 @@
+//! Wall-clock profiling behind an injectable seam.
+//!
+//! Everything else in the probe layer measures *virtual* time — ticks the
+//! engines advance deterministically. Wall-clock profiling (how many real
+//! nanoseconds a decision loop burns) is inherently non-deterministic, so
+//! it lives behind the [`ClockSource`] trait: harness code injects
+//! [`WallClock`] where a human wants real timings, tests and deterministic
+//! paths inject [`NullClock`], and the engine crates themselves never read
+//! a machine clock — the same seam discipline as `rtsj::wallclock`.
+// rt-lint: allow-file(determinism, reason = "this module IS the wall-clock seam: the one place the probe layer may touch std::time, injected explicitly and never reachable from an engine decision path")
+
+use std::time::Instant as StdInstant;
+
+/// A source of monotonic wall-clock readings, in nanoseconds from an
+/// arbitrary per-source origin.
+pub trait ClockSource {
+    /// Nanoseconds elapsed since this source's origin.
+    fn now_ns(&mut self) -> u64;
+}
+
+/// The real machine clock, anchored at construction time.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    origin: StdInstant,
+}
+
+impl WallClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        WallClock {
+            origin: StdInstant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClockSource for WallClock {
+    fn now_ns(&mut self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A clock that always reads zero: the deterministic default, so code
+/// written against [`ClockSource`] costs nothing and varies nothing unless
+/// a real clock is injected.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NullClock;
+
+impl ClockSource for NullClock {
+    fn now_ns(&mut self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let mut clock = WallClock::new();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn null_clock_reads_zero_forever() {
+        let mut clock = NullClock;
+        assert_eq!(clock.now_ns(), 0);
+        assert_eq!(clock.now_ns(), 0);
+    }
+}

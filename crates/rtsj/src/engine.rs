@@ -103,6 +103,7 @@
 use crate::body::{Action, BodyCtx, Completion, ThreadBody};
 use crate::overhead::OverheadModel;
 use rt_model::{ExecUnit, Instant, Priority, SchedulingPolicy, Span, Trace};
+use rt_observe::{NoopProbe, Probe};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -351,7 +352,12 @@ struct CalendarEntry {
 }
 
 /// The virtual-time execution engine.
-pub struct Engine {
+///
+/// The probe parameter defaults to [`NoopProbe`]: `Engine` in type position
+/// is the unobserved engine, and every probe call site is gated on
+/// `P::ENABLED`, so the default instantiation compiles to the pre-probe
+/// decision loop. [`Engine::with_probe`] attaches a recording probe.
+pub struct Engine<P: Probe = NoopProbe> {
     config: EngineConfig,
     now: Instant,
     threads: Vec<ThreadState>,
@@ -396,11 +402,30 @@ pub struct Engine {
     /// threaded through the fire loop so hook cascades allocate nothing in
     /// the steady state.
     cascade_scratch: Vec<EventHandle>,
+    /// The observation hooks. Every call site is gated on `P::ENABLED`, so
+    /// the [`NoopProbe`] instantiation compiles to the pre-probe loop.
+    probe: P,
+    /// The unit whose last compute slice ended with work remaining — the
+    /// candidate for a preemption report when the next dispatch picks
+    /// someone else. Only maintained when `P::ENABLED`.
+    incomplete: Option<ExecUnit>,
 }
 
 impl Engine {
-    /// Creates an engine with the given configuration.
+    /// Creates an engine with the given configuration (no probe attached).
     pub fn new(config: EngineConfig) -> Self {
+        Engine::with_probe(config, NoopProbe)
+    }
+}
+
+impl<P: Probe> Engine<P> {
+    /// Creates an engine with an attached [`Probe`] observing every
+    /// scheduling decision, dispatch, slice, periodic release, event fire
+    /// and calendar drain of the run. Pass `&mut probe` to keep the
+    /// recording; the caller is responsible for calling
+    /// [`Probe::attach`] if its probe needs per-lane storage (the engine
+    /// has no lane notion — servers are a framework concept).
+    pub fn with_probe(config: EngineConfig, probe: P) -> Self {
         Engine {
             now: Instant::ZERO,
             threads: Vec::new(),
@@ -418,6 +443,8 @@ impl Engine {
             due_fires: Vec::new(),
             fire_queue: VecDeque::new(),
             cascade_scratch: Vec::new(),
+            probe,
+            incomplete: None,
             config,
         }
     }
@@ -701,6 +728,10 @@ impl Engine {
                 let slice = self
                     .pending_timer_overhead
                     .min(self.config.horizon.since(self.now));
+                if P::ENABLED {
+                    self.probe
+                        .slice(ExecUnit::TimerOverhead, self.now, self.now + slice);
+                }
                 self.trace
                     .push_segment(ExecUnit::TimerOverhead, self.now, self.now + slice);
                 self.now += slice;
@@ -709,11 +740,17 @@ impl Engine {
                 continue;
             }
 
+            if P::ENABLED {
+                self.probe.decision(self.now);
+            }
             let Some(tid) = self.pick_runnable() else {
                 // Idle: jump to the next instant anything can happen
                 // (next_preemption_time is already capped at the horizon).
                 let next = self.next_preemption_time();
                 debug_assert!(next > self.now);
+                if P::ENABLED {
+                    self.probe.slice(ExecUnit::Idle, self.now, next);
+                }
                 self.trace.push_segment(ExecUnit::Idle, self.now, next);
                 self.now = next;
                 self.zero_time_steps = 0;
@@ -743,6 +780,16 @@ impl Engine {
                 slice = slice.min(budget);
             }
             debug_assert!(!slice.is_zero(), "computations always make progress");
+            if P::ENABLED {
+                let unit = state.unit;
+                if let Some(prev) = self.incomplete.take() {
+                    if prev != unit {
+                        self.probe.preemption(prev, self.now);
+                    }
+                }
+                self.probe.dispatch(unit, self.now);
+                self.probe.slice(unit, self.now, self.now + slice);
+            }
             self.trace
                 .push_segment(state.unit, self.now, self.now + slice);
             self.now += slice;
@@ -752,6 +799,13 @@ impl Engine {
             state.consumed += slice;
             if let Some(budget) = &mut state.budget {
                 *budget = budget.minus(slice);
+            }
+            if P::ENABLED {
+                // A budget cut ends the job (the body sees `Interrupted`),
+                // so only a genuinely unfinished computation is a preemption
+                // candidate.
+                self.incomplete = (!state.remaining.is_zero() && state.budget != Some(Span::ZERO))
+                    .then_some(state.unit);
             }
             if state.remaining.is_zero() {
                 let consumed = state.consumed;
@@ -837,8 +891,14 @@ impl Engine {
                     // insertion so the EDF entry carries the new key.
                     self.set_deadline(t, job_deadline);
                     self.mark_runnable(t);
+                    if P::ENABLED {
+                        self.probe.release(self.now);
+                    }
                 }
             }
+        }
+        if P::ENABLED {
+            self.probe.calendar_size(self.calendar.len() as u64);
         }
         due_fires.sort_unstable();
         for &(i, _) in &due_fires {
@@ -879,6 +939,9 @@ impl Engine {
         let mut cascade = std::mem::take(&mut self.cascade_scratch);
         queue.push_back(event);
         while let Some(event) = queue.pop_front() {
+            if P::ENABLED {
+                self.probe.fire(self.now);
+            }
             // Run the hooks with the hook list temporarily detached so hooks
             // can be FnMut over their own captured state. The cascade buffer
             // is threaded through the context and drained back into the fire
@@ -938,6 +1001,9 @@ impl Engine {
                         thread.status = ThreadStatus::Ready(Completion::PeriodStarted);
                         self.set_deadline(tid, job_deadline);
                         self.mark_runnable(tid);
+                        if P::ENABLED {
+                            self.probe.release(self.now);
+                        }
                     }
                 }
                 _ => {}
@@ -1084,6 +1150,9 @@ impl Engine {
                     // EDF re-key pushes a fresh heap entry here (the blocked
                     // path re-keys when the calendar wakes it instead).
                     self.set_deadline(tid, job_deadline);
+                    if P::ENABLED {
+                        self.probe.release(self.now);
+                    }
                 } else {
                     let release = periodic.next;
                     self.threads[tid].status = ThreadStatus::BlockedForPeriod;

@@ -136,6 +136,7 @@ use rt_model::{
     AperiodicFate, AperiodicOutcome, EventId, ExecUnit, Instant, PeriodicJobRecord, PeriodicTask,
     Priority, QueueDiscipline, SchedulingPolicy, ServerPolicyKind, Span, SystemSpec, Trace,
 };
+use rt_observe::{AdmissionVerdict, NoopProbe, Probe};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -245,9 +246,44 @@ pub fn simulate(spec: &SystemSpec) -> Trace {
         // rt-lint: allow(panic, reason = "documented '# Panics' contract: the convenience entry point fails loudly on invalid specs")
         .expect("simulate() requires a valid system specification");
     if let Some(normalized) = spec.apply_arrival_faults() {
-        return Simulator::new(&normalized, true, true).run();
+        return Simulator::new(&normalized, true, true, NoopProbe).run();
     }
-    Simulator::new(spec, true, true).run()
+    Simulator::new(spec, true, true, NoopProbe).run()
+}
+
+/// Simulates with an attached [`Probe`] observing every decision, dispatch,
+/// slice, release, admission verdict and mode change of the run. The default
+/// indexed + batched engine, so the returned trace is byte-identical to
+/// [`simulate`]'s — probes observe, they never decide (pinned by
+/// `tests/probe_transparency.rs`). Pass `&mut probe` to keep the recording:
+///
+/// ```
+/// use rt_model::{Instant, Priority, ServerSpec, Span, SystemSpec};
+/// use rt_observe::MetricsProbe;
+///
+/// let mut b = SystemSpec::builder("observed");
+/// b.server(ServerSpec::polling(Span::from_units(3), Span::from_units(6), Priority::new(30)));
+/// b.periodic("tau1", Span::from_units(2), Span::from_units(6), Priority::new(20));
+/// b.aperiodic(Instant::from_units(0), Span::from_units(2));
+/// b.horizon_server_periods(4);
+/// let spec = b.build().unwrap();
+///
+/// let mut probe = MetricsProbe::new();
+/// let trace = rtss_sim::simulate_with_probe(&spec, &mut probe);
+/// assert_eq!(trace.render_canonical(), rtss_sim::simulate(&spec).render_canonical());
+/// assert!(probe.counters.decisions > 0);
+/// ```
+///
+/// # Panics
+/// Panics when the specification fails validation.
+pub fn simulate_with_probe<P: Probe>(spec: &SystemSpec, probe: P) -> Trace {
+    spec.validate()
+        // rt-lint: allow(panic, reason = "documented '# Panics' contract: the convenience entry point fails loudly on invalid specs")
+        .expect("simulate_with_probe() requires a valid system specification");
+    if let Some(normalized) = spec.apply_arrival_faults() {
+        return Simulator::new(&normalized, true, true, probe).run();
+    }
+    Simulator::new(spec, true, true, probe).run()
 }
 
 /// Simulates with the seed's linear-scan decision loop (O(t) per decision,
@@ -263,9 +299,9 @@ pub fn simulate_reference(spec: &SystemSpec) -> Trace {
         // rt-lint: allow(panic, reason = "documented '# Panics' contract: the convenience entry point fails loudly on invalid specs")
         .expect("simulate_reference() requires a valid system specification");
     if let Some(normalized) = spec.apply_arrival_faults() {
-        return Simulator::new(&normalized, false, false).run();
+        return Simulator::new(&normalized, false, false, NoopProbe).run();
     }
-    Simulator::new(spec, false, false).run()
+    Simulator::new(spec, false, false, NoopProbe).run()
 }
 
 /// Simulates with the indexed decision structures but without same-instant
@@ -282,12 +318,12 @@ pub fn simulate_unbatched(spec: &SystemSpec) -> Trace {
         // rt-lint: allow(panic, reason = "documented '# Panics' contract: the convenience entry point fails loudly on invalid specs")
         .expect("simulate_unbatched() requires a valid system specification");
     if let Some(normalized) = spec.apply_arrival_faults() {
-        return Simulator::new(&normalized, true, false).run();
+        return Simulator::new(&normalized, true, false, NoopProbe).run();
     }
-    Simulator::new(spec, true, false).run()
+    Simulator::new(spec, true, false, NoopProbe).run()
 }
 
-struct Simulator<'a> {
+struct Simulator<'a, P: Probe> {
     spec: &'a SystemSpec,
     now: Instant,
     horizon: Instant,
@@ -328,10 +364,17 @@ struct Simulator<'a> {
     /// its instant while its lane has in-service work — the quiescence
     /// protocol — and is retried at every decision point.
     mode_applied: Vec<bool>,
+    /// The observation hooks. Every call site is gated on `P::ENABLED`, so
+    /// the [`NoopProbe`] instantiation compiles to the pre-probe loop.
+    probe: P,
+    /// The unit whose last slice ended with work remaining — the candidate
+    /// for a preemption report when the next dispatch picks someone else.
+    /// Only maintained when `P::ENABLED`.
+    incomplete: Option<ExecUnit>,
 }
 
-impl<'a> Simulator<'a> {
-    fn new(spec: &'a SystemSpec, indexed: bool, batch: bool) -> Self {
+impl<'a, P: Probe> Simulator<'a, P> {
+    fn new(spec: &'a SystemSpec, indexed: bool, batch: bool, probe: P) -> Self {
         let periodic: Vec<PeriodicState> = spec
             .periodic_tasks
             .iter()
@@ -374,6 +417,8 @@ impl<'a> Simulator<'a> {
             aborted_scratch: Vec::new(),
             scheduling: spec.scheduling,
             mode_applied: vec![false; spec.faults.mode_changes.len()],
+            probe,
+            incomplete: None,
         }
     }
 
@@ -403,12 +448,21 @@ impl<'a> Simulator<'a> {
     }
 
     fn run(mut self) -> Trace {
+        if P::ENABLED {
+            self.probe.attach(self.servers.len());
+        }
         while self.now < self.horizon {
             self.process_due_events();
             let next = self.next_decision_point();
             debug_assert!(next > self.now, "decision points must advance time");
+            if P::ENABLED {
+                self.probe.decision(self.now);
+            }
             match self.pick_runner() {
                 None => {
+                    if P::ENABLED {
+                        self.probe.slice(ExecUnit::Idle, self.now, next);
+                    }
                     self.trace.push_segment(ExecUnit::Idle, self.now, next);
                     self.now = next;
                 }
@@ -435,6 +489,9 @@ impl<'a> Simulator<'a> {
         {
             let event = &self.spec.aperiodics[self.next_arrival];
             if event.release < self.horizon {
+                if P::ENABLED {
+                    self.probe.release(self.now);
+                }
                 // The simulator executes the real demand of the handler —
                 // plus any injected overrun, capped at the declared budget
                 // for the faulted jobs (for generated systems declared and
@@ -477,7 +534,23 @@ impl<'a> Simulator<'a> {
                         self.aborted_scratch = scratch;
                         if accepted {
                             self.servers[lane_index].queue.push_back(job);
+                            if P::ENABLED {
+                                self.probe.admission(
+                                    lane_index,
+                                    AdmissionVerdict::Accepted,
+                                    self.now,
+                                );
+                                let depth = self.servers[lane_index].queue.len() as u64;
+                                self.probe.queue_depth(lane_index, depth);
+                            }
                         } else {
+                            if P::ENABLED {
+                                self.probe.admission(
+                                    lane_index,
+                                    AdmissionVerdict::Rejected,
+                                    self.now,
+                                );
+                            }
                             let event = &self.spec.aperiodics[self.next_arrival];
                             self.trace.push_outcome(outcome(
                                 event,
@@ -516,6 +589,9 @@ impl<'a> Simulator<'a> {
                 if next < self.horizon {
                     self.releases.push(Reverse((next, i)));
                 }
+                if P::ENABLED {
+                    self.probe.release(self.now);
+                }
                 self.mark_ready(i);
             }
         } else {
@@ -532,6 +608,9 @@ impl<'a> Simulator<'a> {
                     state.next_activation += 1;
                     state.next_release = state.task.release_of(state.next_activation);
                     released = true;
+                    if P::ENABLED {
+                        self.probe.release(self.now);
+                    }
                 }
                 if released {
                     self.mark_ready(i);
@@ -572,6 +651,10 @@ impl<'a> Simulator<'a> {
         if lane.queue.is_empty() {
             lane.state.on_queue_emptied(self.now);
         }
+        if P::ENABLED {
+            self.probe
+                .admission(lane_index, AdmissionVerdict::Aborted, self.now);
+        }
         let event = &spec.aperiodics[job.index];
         self.trace
             .push_outcome(outcome(event, AperiodicFate::Aborted { at: self.now }));
@@ -603,6 +686,9 @@ impl<'a> Simulator<'a> {
             lane.state.reconfigure(change);
             lane.admission = ServerAdmission::for_server(&lane.state.spec);
             self.mode_applied[k] = true;
+            if P::ENABLED {
+                self.probe.mode_change(change.server, self.now);
+            }
         }
     }
 
@@ -843,10 +929,24 @@ impl<'a> Simulator<'a> {
             if job.started.is_none() {
                 job.started = Some(self.now);
             }
+            if P::ENABLED {
+                let unit = ExecUnit::Handler(event);
+                if let Some(prev) = self.incomplete.take() {
+                    if prev != unit {
+                        self.probe.preemption(prev, self.now);
+                    }
+                }
+                self.probe.dispatch(unit, self.now);
+                self.probe.slice(unit, self.now, self.now + slice);
+            }
             self.trace
                 .push_segment(ExecUnit::Handler(event), self.now, self.now + slice);
             job.remaining = job.remaining.minus(slice);
             job.cap_left = job.cap_left.minus(slice);
+            if P::ENABLED {
+                self.incomplete = (!job.remaining.is_zero() && !job.cap_left.is_zero())
+                    .then_some(ExecUnit::Handler(event));
+            }
             lane.state.consume(slice, self.now);
             self.now += slice;
             if job.remaining.is_zero() {
@@ -869,6 +969,9 @@ impl<'a> Simulator<'a> {
                 // with work remaining — cut it off, surface the overrun as an
                 // abort and release its slot in the admission plan so
                 // equation-(5) stops charging for work that will never run.
+                if P::ENABLED {
+                    self.probe.cap_exhausted(s, self.now);
+                }
                 let spec_event = &self.spec.aperiodics[job.index];
                 self.trace
                     .push_outcome(outcome(spec_event, AperiodicFate::Aborted { at: self.now }));
@@ -908,9 +1011,22 @@ impl<'a> Simulator<'a> {
             let window = next.since(self.now);
             let slice = job.remaining.min(window);
             debug_assert!(!slice.is_zero());
+            if P::ENABLED {
+                let unit = ExecUnit::Task(state.task.id);
+                if let Some(prev) = self.incomplete.take() {
+                    if prev != unit {
+                        self.probe.preemption(prev, self.now);
+                    }
+                }
+                self.probe.dispatch(unit, self.now);
+                self.probe.slice(unit, self.now, self.now + slice);
+            }
             self.trace
                 .push_segment(ExecUnit::Task(state.task.id), self.now, self.now + slice);
             job.remaining = job.remaining.minus(slice);
+            if P::ENABLED && !job.remaining.is_zero() {
+                self.incomplete = Some(ExecUnit::Task(state.task.id));
+            }
             self.now += slice;
             if job.remaining.is_zero() {
                 self.trace.push_periodic_job(PeriodicJobRecord {

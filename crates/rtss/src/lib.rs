@@ -36,7 +36,9 @@ pub mod gantt;
 pub mod server;
 
 pub use dynamic::{simulate_dynamic, DynamicPolicy};
-pub use engine::{simulate, simulate_reference, simulate_unbatched, simulate_with_policy};
+pub use engine::{
+    simulate, simulate_reference, simulate_unbatched, simulate_with_policy, simulate_with_probe,
+};
 pub use gantt::{render_ascii, render_svg, GanttOptions};
 pub use server::{
     BackgroundPolicy, DeferrablePolicy, PollingPolicy, ServerPolicy, ServerState, SporadicPolicy,

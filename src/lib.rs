@@ -23,6 +23,7 @@
 //! | [`taskserver`] | `rt-taskserver` | **the paper's contribution**: the task-server framework |
 //! | [`compile`] | `rt-compile` | spec-specialization pass: zero-overhead compiled dispatch for both engines |
 //! | [`metrics`] | `rt-metrics` | AART / AIR / ASR, paper tables, shape checks |
+//! | [`observe`] | `rt-observe` | zero-cost probe layer: virtual-time histograms, Chrome-trace export |
 //! | [`experiments`] | `rt-experiments` | the reproduction harness (figures 2–4, tables 2–5, §7) |
 //!
 //! ## Quick start
@@ -60,6 +61,7 @@ pub use rt_compile as compile;
 pub use rt_experiments as experiments;
 pub use rt_metrics as metrics;
 pub use rt_model as model;
+pub use rt_observe as observe;
 pub use rt_sysgen as sysgen;
 pub use rt_taskserver as taskserver;
 pub use rtsj_emu as rtsj;

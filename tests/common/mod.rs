@@ -3,3 +3,4 @@
 //! compiled as a test.
 
 pub mod invariants;
+pub mod specgen;
